@@ -1,0 +1,282 @@
+// Root benchmark harness: one benchmark per table/figure of the paper's
+// evaluation section (Figures 4-7 and the Graph500 study), each
+// regenerating the figure's sweep at smoke scale and reporting the HiPER
+// speedup over the figure's baseline as a custom metric, plus ablation
+// benchmarks for the design choices DESIGN.md calls out.
+//
+// Full-scale sweeps: go run ./cmd/hiper-bench -full
+package repro_test
+
+import (
+	"io"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/hipermpi"
+	"repro/internal/modules"
+	"repro/internal/mpi"
+	"repro/internal/platform"
+	"repro/internal/simnet"
+	"repro/internal/workloads/uts"
+)
+
+// reportSpeedup attaches mean(baseline)/mean(series) at the largest x as a
+// benchmark metric.
+func reportSpeedup(b *testing.B, fig *bench.Figure, baseline, series string) {
+	b.Helper()
+	var base, other *bench.Series
+	for _, s := range fig.Series {
+		switch s.Name {
+		case baseline:
+			base = s
+		case series:
+			other = s
+		}
+	}
+	if base == nil || other == nil || len(base.Points) == 0 || len(other.Points) == 0 {
+		return
+	}
+	bp := base.Points[len(base.Points)-1]
+	op := other.Points[len(other.Points)-1]
+	if op.S.Mean > 0 {
+		b.ReportMetric(float64(bp.S.Mean)/float64(op.S.Mean), "hiper-speedup-at-max-scale")
+	}
+}
+
+// BenchmarkFig4HPGMG regenerates Figure 4 (HPGMG-FV weak scaling:
+// MPI+OpenMP reference vs HiPER UPC+++MPI). Paper shape: comparable.
+func BenchmarkFig4HPGMG(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig := bench.Fig4HPGMG(io.Discard, bench.Quick)
+		reportSpeedup(b, fig, "MPI+OMP (reference)", "HiPER (UPC+++MPI)")
+	}
+}
+
+// BenchmarkFig5ISx regenerates Figure 5 (ISx weak scaling: flat OpenSHMEM
+// vs OpenSHMEM+OMP vs HiPER AsyncSHMEM). Paper shape: flat wins small,
+// collapses at scale.
+func BenchmarkFig5ISx(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig := bench.Fig5ISx(io.Discard, bench.Quick)
+		reportSpeedup(b, fig, "Flat OpenSHMEM", "HiPER AsyncSHMEM")
+	}
+}
+
+// BenchmarkFig6GEO regenerates Figure 6 (GEO weak scaling: blocking
+// MPI+CUDA vs future-based HiPER). Paper shape: HiPER consistently ahead.
+func BenchmarkFig6GEO(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig := bench.Fig6GEO(io.Discard, bench.Quick)
+		reportSpeedup(b, fig, "MPI+CUDA (blocking)", "HiPER (futures)")
+	}
+}
+
+// BenchmarkFig7UTS regenerates Figure 7 (UTS strong scaling: hybrid
+// OpenMP variants vs HiPER AsyncSHMEM). Paper shape: Tasks worst, HiPER
+// degrades most gracefully.
+func BenchmarkFig7UTS(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig := bench.Fig7UTS(io.Discard, bench.Quick)
+		reportSpeedup(b, fig, "OpenSHMEM+OMP", "HiPER AsyncSHMEM")
+	}
+}
+
+// BenchmarkGraph500 regenerates the Section III-C2 BFS study (polling
+// reference vs shmem_async_when). Paper shape: similar performance; the
+// win is programmability.
+func BenchmarkGraph500(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig := bench.Graph500Study(io.Discard, bench.Quick)
+		reportSpeedup(b, fig, "Reference (polling)", "HiPER shmem_async_when")
+	}
+}
+
+// ---------------- Ablation benchmarks ----------------
+
+// BenchmarkTaskifyOverhead measures what the "taskify" pattern costs over
+// calling the underlying library directly: the price of scheduling every
+// MPI call as a task at the Interconnect place.
+func BenchmarkTaskifyOverhead(b *testing.B) {
+	world := mpi.NewWorld(2, simnet.CostModel{})
+	go func() { // echo rank
+		c := world.Comm(1)
+		buf := make([]byte, 8)
+		for {
+			if st := c.Recv(buf, 0, mpi.AnyTag); st.Tag == 99 {
+				return
+			}
+		}
+	}()
+
+	b.Run("direct", func(b *testing.B) {
+		c := world.Comm(0)
+		payload := make([]byte, 8)
+		for i := 0; i < b.N; i++ {
+			c.Send(payload, 1, 0)
+		}
+	})
+	b.Run("taskified", func(b *testing.B) {
+		rt := core.NewDefault(2)
+		m := hipermpi.New(world.Comm(0), nil)
+		modules.MustInstall(rt, m)
+		payload := make([]byte, 8)
+		rt.Launch(func(c *core.Ctx) {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m.Send(c, payload, 1, 0)
+			}
+		})
+		rt.Shutdown()
+	})
+	world.Comm(0).Send(nil, 1, 99) // stop the echo rank
+}
+
+// BenchmarkPollingVsCallbacks compares the paper's pending-list polling
+// scheme against direct request callbacks for async MPI completion.
+func BenchmarkPollingVsCallbacks(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		opts *hipermpi.Options
+	}{
+		{"polling", nil},
+		{"callbacks", &hipermpi.Options{Callbacks: true}},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			world := mpi.NewWorld(2, simnet.CostModel{Alpha: 20 * time.Microsecond})
+			rts := make([]*core.Runtime, 2)
+			ms := make([]*hipermpi.Module, 2)
+			for r := 0; r < 2; r++ {
+				rts[r] = core.NewDefault(2)
+				ms[r] = hipermpi.New(world.Comm(r), mode.opts)
+				modules.MustInstall(rts[r], ms[r])
+			}
+			done := make(chan struct{})
+			go rts[1].Launch(func(c *core.Ctx) {
+				buf := make([]byte, 8)
+				for i := 0; i < b.N; i++ {
+					c.Wait(ms[1].Irecv(c, buf, 0, 0))
+					c.Wait(ms[1].Isend(c, buf, 0, 1))
+				}
+				close(done)
+			})
+			rts[0].Launch(func(c *core.Ctx) {
+				payload := make([]byte, 8)
+				buf := make([]byte, 8)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					c.Wait(ms[0].Isend(c, payload, 1, 0))
+					c.Wait(ms[0].Irecv(c, buf, 1, 1))
+				}
+			})
+			<-done
+			rts[0].Shutdown()
+			rts[1].Shutdown()
+		})
+	}
+}
+
+// BenchmarkStealScope compares global steal paths against socket-scoped
+// steal paths on a two-socket model under an imbalanced load — the pop and
+// steal paths are "infinitely flexible" and encode load-balancing policy.
+func BenchmarkStealScope(b *testing.B) {
+	for _, scope := range []string{"global", "socket"} {
+		b.Run(scope, func(b *testing.B) {
+			model, err := platform.Generate(platform.MachineSpec{
+				Sockets: 2, CoresPerSocket: 2, StealScope: scope, Interconnect: true,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			rt, err := core.New(model, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer rt.Shutdown()
+			rt.Launch(func(c *core.Ctx) {
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					// All work spawned from one task: only cross-socket
+					// steals spread it under the global policy.
+					c.ForasyncSync(core.Range{Lo: 0, Hi: 512, Grain: 1}, func(*core.Ctx, int) {
+						busyWork(200)
+					})
+				}
+			})
+		})
+	}
+}
+
+//go:noinline
+func busyWork(n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		s += i * i
+	}
+	return s
+}
+
+// BenchmarkWorkerSubstitution measures the cost of blocking a worker on an
+// unsatisfied future (substitute spawn + retire) versus an already-
+// satisfied one (fast path).
+func BenchmarkWorkerSubstitution(b *testing.B) {
+	rt := core.NewDefault(2)
+	defer rt.Shutdown()
+	b.Run("satisfied", func(b *testing.B) {
+		rt.Launch(func(c *core.Ctx) {
+			f := core.Satisfied(rt, nil)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c.Wait(f)
+			}
+		})
+	})
+	b.Run("parked", func(b *testing.B) {
+		rt.Launch(func(c *core.Ctx) {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p := core.NewPromise(rt)
+				go func() { // external satisfier: forces a real park
+					time.Sleep(50 * time.Microsecond)
+					p.Put(nil)
+				}()
+				c.Wait(p.Future())
+			}
+		})
+	})
+}
+
+// BenchmarkUTSTaskGranularity sweeps the UTS batch size: the trade-off
+// between load-balancing responsiveness (small batches, more queue and
+// counter traffic) and amortization (large batches).
+func BenchmarkUTSTaskGranularity(b *testing.B) {
+	tree := uts.TreeConfig{B0: 4, GenMax: 10, Seed: 19}
+	for _, batch := range []int{64, 256, 1024} {
+		b.Run(time.Duration(batch).String()[:0]+"batch="+itoa(batch), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, err := uts.RunHiPER(uts.RunConfig{
+					Tree: tree, Ranks: 4, Threads: 2, BatchSize: batch,
+					Cost: simnet.CostModel{Alpha: 10 * time.Microsecond},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

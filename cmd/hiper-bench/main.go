@@ -1,0 +1,61 @@
+// Command hiper-bench regenerates every table and figure of the paper's
+// evaluation section in one run: Figures 4-7 and the Graph500 study.
+//
+// Usage:
+//
+//	hiper-bench [-full] [-only fig4|fig5|fig6|fig7|graph500]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/stats"
+)
+
+func main() {
+	full := flag.Bool("full", false, "run the full-size sweeps (slower)")
+	only := flag.String("only", "", "run a single experiment: fig4|fig5|fig6|fig7|graph500")
+	showStats := flag.Bool("stats", false, "print per-module API time statistics afterwards")
+	flag.Parse()
+
+	scale := bench.Quick
+	if *full {
+		scale = bench.Full
+	}
+	type exp struct {
+		name     string
+		run      func(io.Writer, bench.Scale) *bench.Figure
+		baseline string
+	}
+	exps := []exp{
+		{"fig4", bench.Fig4HPGMG, "MPI+OMP (reference)"},
+		{"fig5", bench.Fig5ISx, "Flat OpenSHMEM"},
+		{"fig6", bench.Fig6GEO, "MPI+CUDA (blocking)"},
+		{"fig7", bench.Fig7UTS, "OpenSHMEM+OMP"},
+		{"graph500", bench.Graph500Study, "Reference (polling)"},
+	}
+	ran := 0
+	for _, e := range exps {
+		if *only != "" && *only != e.name {
+			continue
+		}
+		t0 := time.Now()
+		fig := e.run(os.Stdout, scale)
+		fmt.Println(fig.Speedups(e.baseline))
+		fmt.Printf("(%s swept in %v)\n", e.name, time.Since(t0).Round(time.Millisecond))
+		ran++
+	}
+	if ran == 0 {
+		log.Fatalf("unknown experiment %q", *only)
+	}
+	if *showStats {
+		fmt.Println()
+		fmt.Print(stats.Report())
+	}
+}

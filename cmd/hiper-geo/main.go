@@ -1,0 +1,58 @@
+// Command hiper-geo regenerates the paper's Figure 6: GEO (3D geophysical
+// stencil) weak scaling, comparing blocking MPI+CUDA against future-based
+// HiPER.
+//
+// Usage:
+//
+//	hiper-geo [-full] [-ranks N] [-nx X] [-nz Z] [-steps S] [-repeats R]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/workloads/geo"
+)
+
+func main() {
+	full := flag.Bool("full", false, "run the full-size sweep (slower)")
+	ranks := flag.Int("ranks", 0, "single run: rank count")
+	nx := flag.Int("nx", 64, "plane dimension (nx = ny)")
+	nz := flag.Int("nz", 24, "planes per rank")
+	steps := flag.Int("steps", 4, "time steps")
+	repeats := flag.Int("repeats", 5, "repetitions per configuration")
+	flag.Parse()
+
+	if *ranks > 0 {
+		cfg := geo.Config{NX: *nx, NY: *nx, NZ: *nz, Steps: *steps, Ranks: *ranks,
+			Workers: 4, Cost: bench.Network(), GPU: bench.GPU(), Seed: 11,
+			PollInterval: 2 * time.Microsecond}
+		if err := geo.Validate(cfg); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("variants agree (checksum validated)")
+		for name, run := range map[string]func(geo.Config) (geo.Result, error){
+			"mpi+cuda": geo.RunMPICUDA, "hiper": geo.RunHiPER,
+		} {
+			s := bench.Measure(1, *repeats, func() time.Duration {
+				res, err := run(cfg)
+				if err != nil {
+					log.Fatal(err)
+				}
+				return res.Elapsed
+			})
+			fmt.Printf("%-10s ranks=%-3d %s\n", name, *ranks, s)
+		}
+		return
+	}
+	scale := bench.Quick
+	if *full {
+		scale = bench.Full
+	}
+	fig := bench.Fig6GEO(os.Stdout, scale)
+	fmt.Println(fig.Speedups("MPI+CUDA (blocking)"))
+}

@@ -1,0 +1,55 @@
+// Command hiper-graph500 regenerates the paper's Section III-C2 study:
+// distributed BFS over a Kronecker graph, comparing the polling reference
+// against the HiPER shmem_async_when version.
+//
+// Usage:
+//
+//	hiper-graph500 [-full] [-ranks N] [-scale S] [-edgefactor E] [-repeats R]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/workloads/graph500"
+)
+
+func main() {
+	full := flag.Bool("full", false, "run the full-size sweep (slower)")
+	ranks := flag.Int("ranks", 0, "single run: rank count")
+	scaleF := flag.Int("scale", 12, "graph scale (2^scale vertices)")
+	ef := flag.Int("edgefactor", 16, "edges per vertex")
+	repeats := flag.Int("repeats", 5, "repetitions per configuration")
+	flag.Parse()
+
+	if *ranks > 0 {
+		g := graph500.GraphConfig{Scale: *scaleF, EdgeFactor: *ef, Seed: 5}
+		cfg := graph500.RunConfig{Graph: g, Root: 1, Ranks: *ranks, Workers: 4, Cost: bench.Network()}
+		for name, run := range map[string]func(graph500.RunConfig) (graph500.Result, error){
+			"reference": graph500.RunReference, "hiper": graph500.RunHiPER,
+		} {
+			var last graph500.Result
+			s := bench.Measure(1, *repeats, func() time.Duration {
+				res, err := run(cfg)
+				if err != nil {
+					log.Fatal(err)
+				}
+				last = res
+				return res.Elapsed
+			})
+			fmt.Printf("%-10s ranks=%-3d %s  visited=%d levels=%d\n",
+				name, *ranks, s, last.Visited, last.Levels)
+		}
+		return
+	}
+	scale := bench.Quick
+	if *full {
+		scale = bench.Full
+	}
+	fig := bench.Graph500Study(os.Stdout, scale)
+	fmt.Println(fig.Speedups("Reference (polling)"))
+}

@@ -1,0 +1,56 @@
+// Command hiper-hpgmg regenerates the paper's Figure 4: HPGMG-FV
+// (miniature) weak scaling, comparing the MPI+OpenMP reference hybrid
+// against HiPER composing the UPC++ and MPI modules.
+//
+// Usage:
+//
+//	hiper-hpgmg [-full] [-ranks N] [-n DIM] [-nz Z] [-cycles C] [-repeats R]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/workloads/hpgmg"
+)
+
+func main() {
+	full := flag.Bool("full", false, "run the full-size sweep (slower)")
+	ranks := flag.Int("ranks", 0, "single run: rank count")
+	n := flag.Int("n", 32, "plane dimension (nx = ny)")
+	nz := flag.Int("nz", 16, "planes per rank (fine level)")
+	cycles := flag.Int("cycles", 3, "V-cycles")
+	repeats := flag.Int("repeats", 5, "repetitions per configuration")
+	flag.Parse()
+
+	if *ranks > 0 {
+		cfg := hpgmg.Config{N: *n, NZ: *nz, Ranks: *ranks, Workers: 4,
+			Cycles: *cycles, Cost: bench.Network()}
+		for name, run := range map[string]func(hpgmg.Config) (hpgmg.Result, error){
+			"mpi+omp": hpgmg.RunReference, "hiper": hpgmg.RunHiPER,
+		} {
+			var last hpgmg.Result
+			s := bench.Measure(1, *repeats, func() time.Duration {
+				res, err := run(cfg)
+				if err != nil {
+					log.Fatal(err)
+				}
+				last = res
+				return res.Elapsed
+			})
+			fmt.Printf("%-10s ranks=%-3d %s  residuals=%.3g -> %.3g\n",
+				name, *ranks, s, last.Residuals[0], last.Residuals[len(last.Residuals)-1])
+		}
+		return
+	}
+	scale := bench.Quick
+	if *full {
+		scale = bench.Full
+	}
+	fig := bench.Fig4HPGMG(os.Stdout, scale)
+	fmt.Println(fig.Speedups("MPI+OMP (reference)"))
+}

@@ -1,0 +1,55 @@
+// Command hiper-isx regenerates the paper's Figure 5: ISx integer-sort
+// weak scaling, comparing flat OpenSHMEM, OpenSHMEM+OpenMP, and HiPER
+// AsyncSHMEM.
+//
+// Usage:
+//
+//	hiper-isx [-full] [-pes N] [-threads T] [-keys K] [-repeats R]
+//
+// With explicit flags a single configuration is run and reported; without
+// them the full weak-scaling sweep prints the figure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/workloads/isx"
+)
+
+func main() {
+	full := flag.Bool("full", false, "run the full-size sweep (slower)")
+	pes := flag.Int("pes", 0, "single run: total PEs (cores)")
+	threads := flag.Int("threads", 4, "threads per hybrid rank")
+	keys := flag.Int("keys", 1<<13, "keys per PE")
+	repeats := flag.Int("repeats", 5, "repetitions per configuration")
+	flag.Parse()
+
+	if *pes > 0 {
+		cfg := isx.Config{PEs: *pes, Threads: *threads, KeysPerPE: *keys,
+			Cost: bench.Network(), Seed: 42}
+		for name, run := range map[string]func(isx.Config) (isx.Result, error){
+			"flat-shmem": isx.RunFlat, "shmem+omp": isx.RunHybridOMP, "hiper": isx.RunHiPER,
+		} {
+			s := bench.Measure(1, *repeats, func() time.Duration {
+				res, err := run(cfg)
+				if err != nil {
+					log.Fatal(err)
+				}
+				return res.Elapsed
+			})
+			fmt.Printf("%-12s pes=%-4d keys/PE=%-8d %s\n", name, *pes, *keys, s)
+		}
+		return
+	}
+	scale := bench.Quick
+	if *full {
+		scale = bench.Full
+	}
+	fig := bench.Fig5ISx(os.Stdout, scale)
+	fmt.Println(fig.Speedups("Flat OpenSHMEM"))
+}

@@ -1,0 +1,54 @@
+// Command hiper-platgen generates HiPER platform-model JSON files from a
+// machine description, standing in for the paper's HWloc-based utilities.
+// Users are free to edit the generated configuration.
+//
+// Usage:
+//
+//	hiper-platgen [-sockets N] [-cores N] [-gpus N] [-nvm] [-disk] [-nic] [-o file]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/platform"
+)
+
+func main() {
+	sockets := flag.Int("sockets", 1, "CPU sockets")
+	cores := flag.Int("cores", 4, "cores (workers) per socket")
+	gpus := flag.Int("gpus", 0, "GPUs")
+	nvm := flag.Bool("nvm", false, "include an NVM place")
+	disk := flag.Bool("disk", false, "include a disk place")
+	nic := flag.Bool("nic", true, "include an interconnect (NIC) place")
+	scope := flag.String("steal-scope", "global", "steal path scope: global|socket")
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	m, err := platform.Generate(platform.MachineSpec{
+		Sockets:        *sockets,
+		CoresPerSocket: *cores,
+		GPUs:           *gpus,
+		NVM:            *nvm,
+		Disk:           *disk,
+		Interconnect:   *nic,
+		StealScope:     *scope,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *out != "" {
+		if err := m.SaveFile(*out); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s: %d places, %d workers\n", *out, m.NumPlaces(), m.NumWorkers())
+		return
+	}
+	data, err := m.MarshalJSON()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(string(data))
+}

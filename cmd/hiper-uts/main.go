@@ -1,0 +1,54 @@
+// Command hiper-uts regenerates the paper's Figure 7: UTS unbalanced tree
+// search strong scaling, comparing OpenSHMEM+OpenMP, OpenSHMEM+OpenMP
+// Tasks, and HiPER AsyncSHMEM.
+//
+// Usage:
+//
+//	hiper-uts [-full] [-ranks N] [-threads T] [-b0 B] [-depth D] [-repeats R]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/workloads/uts"
+)
+
+func main() {
+	full := flag.Bool("full", false, "run the full-size sweep (slower)")
+	ranks := flag.Int("ranks", 0, "single run: rank count")
+	threads := flag.Int("threads", 4, "threads per rank")
+	b0 := flag.Int("b0", 4, "root branching factor")
+	depth := flag.Int("depth", 12, "tree taper depth (GenMax)")
+	repeats := flag.Int("repeats", 5, "repetitions per configuration")
+	flag.Parse()
+
+	if *ranks > 0 {
+		tree := uts.TreeConfig{B0: *b0, GenMax: *depth, Seed: 19}
+		fmt.Printf("tree: %d nodes (sequential oracle)\n", uts.CountSequential(tree))
+		cfg := uts.RunConfig{Tree: tree, Ranks: *ranks, Threads: *threads, Cost: bench.Network()}
+		for name, run := range map[string]func(uts.RunConfig) (uts.Result, error){
+			"shmem+omp": uts.RunSHMEMOMP, "shmem+omp-tasks": uts.RunSHMEMOMPTasks, "hiper": uts.RunHiPER,
+		} {
+			s := bench.Measure(1, *repeats, func() time.Duration {
+				res, err := run(cfg)
+				if err != nil {
+					log.Fatal(err)
+				}
+				return res.Elapsed
+			})
+			fmt.Printf("%-16s ranks=%-3d %s\n", name, *ranks, s)
+		}
+		return
+	}
+	scale := bench.Quick
+	if *full {
+		scale = bench.Full
+	}
+	fig := bench.Fig7UTS(os.Stdout, scale)
+	fmt.Println(fig.Speedups("OpenSHMEM+OMP"))
+}

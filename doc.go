@@ -1,0 +1,13 @@
+// Package repro is a from-scratch Go reproduction of "A Pluggable
+// Framework for Composable HPC Scheduling Libraries" (Grossman, Kumar,
+// Vrvilo, Budimlić, Sarkar; IPDPS 2017) — the HiPER runtime, its pluggable
+// MPI / OpenSHMEM / CUDA / UPC++ modules, every substrate they need
+// (simulated interconnect, PGAS heaps, GPU device), and the paper's full
+// evaluation suite (HPGMG-FV, ISx, GEO, UTS, Graph500).
+//
+// Start at package repro/hiper for the public API, DESIGN.md for the
+// system inventory, and EXPERIMENTS.md for the figure-by-figure
+// reproduction record. The root-level benchmarks in bench_test.go
+// regenerate each figure of the paper's evaluation section at smoke scale;
+// cmd/hiper-bench runs the full sweeps.
+package repro

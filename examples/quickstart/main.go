@@ -1,0 +1,53 @@
+// Quickstart: the HiPER task, future, and parallel-loop APIs in one page.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/hiper"
+)
+
+func main() {
+	// A runtime over the default platform model: one sysmem place every
+	// worker services, plus an interconnect place for communication
+	// modules. Workers <= 0 selects GOMAXPROCS.
+	rt := hiper.NewDefault(0)
+	defer rt.Shutdown()
+
+	rt.Launch(func(c *hiper.Ctx) {
+		// --- async + finish: bulk-synchronous task parallelism ---------
+		var count atomic.Int64
+		c.Finish(func(c *hiper.Ctx) {
+			for i := 0; i < 100; i++ {
+				c.Async(func(*hiper.Ctx) { count.Add(1) })
+			}
+		})
+		fmt.Println("tasks completed inside finish:", count.Load())
+
+		// --- futures: point-to-point dataflow --------------------------
+		a := c.AsyncFuture(func(*hiper.Ctx) any { return 6 })
+		b := c.AsyncFuture(func(*hiper.Ctx) any { return 7 })
+		product := c.AsyncFutureAwait(func(*hiper.Ctx) any {
+			return a.Get().(int) * b.Get().(int)
+		}, a, b)
+		fmt.Println("future dataflow result:", c.Get(product))
+
+		// --- promises: explicit single-assignment channels --------------
+		p := hiper.NewPromise(rt)
+		c.Async(func(c *hiper.Ctx) { c.Put(p, "satisfied by another task") })
+		fmt.Println("promise:", c.Get(p.Future()))
+
+		// --- forasync: parallel loops over the work-stealing pool -------
+		var sum atomic.Int64
+		c.ForasyncSync(hiper.Range{Lo: 1, Hi: 1_000_001, Grain: 4096},
+			func(_ *hiper.Ctx, i int) { sum.Add(int64(i)) })
+		fmt.Println("forasync sum 1..1e6:", sum.Load())
+	})
+
+	s := rt.Stats()
+	fmt.Printf("scheduler: %d tasks executed, %d pops, %d steals, %d substitutions\n",
+		s.TasksExecuted, s.Pops, s.Steals, s.Substitutions)
+}

@@ -1,0 +1,58 @@
+// Stencil: the paper's Section II-D program — a 3D stencil whose grid is
+// distributed in z across MPI ranks, each time step running a
+// data-parallel kernel and a ghost exchange, expressed in HiPER's
+// future-based composable model with the CUDA and MPI modules installed:
+//
+//	for t := range steps {
+//	    finish {
+//	        ghost  := forasync_future(...)          // boundary planes
+//	        sends  := MPI_Isend_await(..., ghost)   // chained on the kernel
+//	        recvs  := MPI_Irecv(...)
+//	        forasync_cuda(interior)                 // overlaps the exchange
+//	        async_copy_await(..., recvs)            // ghosts back to device
+//	    }
+//	}
+//
+// Dependencies are expressed naturally BETWEEN software components: each
+// asynchronous operation waits on precisely the futures it needs, and
+// blocking operations never block CPU workers.
+//
+//	go run ./examples/stencil
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/workloads/geo"
+)
+
+func main() {
+	cfg := geo.Config{
+		NX: 48, NY: 48, NZ: 16, Steps: 5, Ranks: 3, Workers: 4,
+		Cost: bench.Network(), GPU: bench.GPU(), Seed: 11,
+		PollInterval: 2 * time.Microsecond,
+	}
+
+	fmt.Println("3D stencil, z-distributed over", cfg.Ranks, "simulated ranks,",
+		cfg.Steps, "time steps")
+
+	ref, err := geo.RunMPICUDA(cfg)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("  %-22s %v (checksum %.6f)\n", "MPI+CUDA blocking:", ref.Elapsed.Round(time.Microsecond), ref.Checksum)
+
+	hip, err := geo.RunHiPER(cfg)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("  %-22s %v (checksum %.6f)\n", "HiPER future-based:", hip.Elapsed.Round(time.Microsecond), hip.Checksum)
+
+	if ref.Checksum == hip.Checksum {
+		fmt.Println("results identical: the future graph preserved every dependency")
+	} else {
+		fmt.Println("WARNING: checksums differ!")
+	}
+}

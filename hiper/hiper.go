@@ -1,0 +1,116 @@
+// Package hiper is the public face of this HiPER implementation — a
+// Highly Pluggable, Extensible, and Re-configurable scheduling framework
+// for HPC (Grossman, Kumar, Vrvilo, Budimlić, Sarkar; IPDPS 2017).
+//
+// HiPER unifies computation, communication, and accelerator work as tasks
+// on one generalized work-stealing runtime:
+//
+//	rt := hiper.NewDefault(0) // workers = GOMAXPROCS
+//	defer rt.Shutdown()
+//	rt.Launch(func(c *hiper.Ctx) {
+//	    c.Finish(func(c *hiper.Ctx) {
+//	        fut := c.AsyncFuture(func(*hiper.Ctx) any { return compute() })
+//	        c.AsyncAwait(func(c *hiper.Ctx) { use(fut.Get()) }, fut)
+//	    })
+//	})
+//
+// The three HiPER components map to packages:
+//
+//   - the platform model (an undirected graph of hardware "places" with
+//     per-worker pop and steal paths) lives in internal/platform, aliased
+//     here as Model/Place/Kind;
+//   - the generalized work-stealing runtime (per-place per-worker deques,
+//     futures/promises, finish scopes, forasync loops, worker
+//     substitution for blocking waits) lives in internal/core;
+//   - pluggable modules — MPI, OpenSHMEM ("AsyncSHMEM"), CUDA, UPC++ —
+//     live in internal/hiper* and are installed with Install.
+//
+// The type aliases below make the internal packages' documented APIs
+// available to external users without a second layer of wrappers.
+package hiper
+
+import (
+	"repro/internal/core"
+	"repro/internal/modules"
+	"repro/internal/platform"
+)
+
+// Core runtime types.
+type (
+	// Runtime is the generalized work-stealing runtime.
+	Runtime = core.Runtime
+	// Ctx is the execution context threaded through every task body.
+	Ctx = core.Ctx
+	// Future is a read-only handle on a promise's value.
+	Future = core.Future
+	// Promise is a single-assignment, thread-safe value container.
+	Promise = core.Promise
+	// Range is a 1D iteration space for Forasync loops.
+	Range = core.Range
+	// Buf names a memory region at a place for AsyncCopy.
+	Buf = core.Buf
+	// Options tunes runtime construction.
+	Options = core.Options
+	// Stats is a scheduler activity snapshot.
+	Stats = core.Stats
+)
+
+// Platform model types.
+type (
+	// Model is the platform model: an undirected graph of places plus the
+	// worker pop/steal path configuration.
+	Model = platform.Model
+	// Place is a node of the platform model.
+	Place = platform.Place
+	// Kind classifies the hardware component a place represents.
+	Kind = platform.Kind
+	// MachineSpec describes a node for model generation.
+	MachineSpec = platform.MachineSpec
+)
+
+// Module is the pluggable-module lifecycle contract.
+type Module = modules.Module
+
+// Standard place kinds.
+const (
+	KindSysMem       = platform.KindSysMem
+	KindCache        = platform.KindCache
+	KindGPU          = platform.KindGPU
+	KindGPUMem       = platform.KindGPUMem
+	KindInterconnect = platform.KindInterconnect
+	KindNVM          = platform.KindNVM
+	KindDisk         = platform.KindDisk
+)
+
+// New builds a runtime over a platform model.
+func New(m *Model, opts *Options) (*Runtime, error) { return core.New(m, opts) }
+
+// NewDefault builds a runtime over a default single-socket model with the
+// given worker count (<= 0 selects GOMAXPROCS).
+func NewDefault(workers int) *Runtime { return core.NewDefault(workers) }
+
+// NewPromise creates an unsatisfied promise bound to rt.
+func NewPromise(rt *Runtime) *Promise { return core.NewPromise(rt) }
+
+// Satisfied returns a pre-satisfied future holding v.
+func Satisfied(rt *Runtime, v any) *Future { return core.Satisfied(rt, v) }
+
+// WhenAll returns a future satisfied once all the given futures are.
+func WhenAll(rt *Runtime, fs ...*Future) *Future { return core.WhenAll(rt, fs...) }
+
+// At constructs a Buf for AsyncCopy.
+func At(p *Place, data any) Buf { return core.At(p, data) }
+
+// Install initializes a pluggable module on rt and registers its
+// finalizer; see the internal/hipermpi, hipershmem, hipercuda, and
+// hiperupcxx packages for the standard modules.
+func Install(rt *Runtime, m Module) error { return modules.Install(rt, m) }
+
+// MustInstall is Install that panics on error.
+func MustInstall(rt *Runtime, m Module) { modules.MustInstall(rt, m) }
+
+// LoadModel parses a platform model from JSON (see cmd/hiper-platgen).
+func LoadModel(path string) (*Model, error) { return platform.LoadFile(path) }
+
+// GenerateModel synthesizes a platform model from a machine description.
+func GenerateModel(spec MachineSpec) (*Model, error) { return platform.Generate(spec) }

@@ -1,0 +1,86 @@
+package hiper_test
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"repro/hiper"
+)
+
+// The facade tests double as API usage examples.
+
+func TestQuickstartShape(t *testing.T) {
+	rt := hiper.NewDefault(2)
+	defer rt.Shutdown()
+	var sum atomic.Int64
+	rt.Launch(func(c *hiper.Ctx) {
+		c.Finish(func(c *hiper.Ctx) {
+			c.Forasync(hiper.Range{Lo: 1, Hi: 101, Grain: 10}, func(_ *hiper.Ctx, i int) {
+				sum.Add(int64(i))
+			})
+		})
+	})
+	if sum.Load() != 5050 {
+		t.Fatalf("sum = %d", sum.Load())
+	}
+}
+
+func TestFuturesThroughFacade(t *testing.T) {
+	rt := hiper.NewDefault(2)
+	defer rt.Shutdown()
+	rt.Launch(func(c *hiper.Ctx) {
+		p := hiper.NewPromise(rt)
+		c.Async(func(c *hiper.Ctx) { c.Put(p, 21) })
+		doubled := c.AsyncFutureAwait(func(c *hiper.Ctx) any {
+			return p.Future().Get().(int) * 2
+		}, p.Future())
+		if got := c.Get(doubled); got != 42 {
+			t.Fatalf("got %v", got)
+		}
+		done := hiper.WhenAll(rt, doubled, hiper.Satisfied(rt, nil))
+		c.Wait(done)
+	})
+}
+
+func TestGenerateAndRunModel(t *testing.T) {
+	m, err := hiper.GenerateModel(hiper.MachineSpec{Sockets: 1, CoresPerSocket: 2, Interconnect: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := hiper.New(m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Shutdown()
+	nic := m.FirstByKind(hiper.KindInterconnect)
+	rt.Launch(func(c *hiper.Ctx) {
+		c.Finish(func(c *hiper.Ctx) {
+			c.AsyncAt(nic, func(cc *hiper.Ctx) {
+				if cc.Place().Kind != hiper.KindInterconnect {
+					t.Error("task ran at wrong place")
+				}
+			})
+		})
+	})
+	if rt.Stats().TasksExecuted == 0 {
+		t.Fatal("no tasks recorded")
+	}
+}
+
+func TestModelRoundTripThroughFacade(t *testing.T) {
+	m, err := hiper.GenerateModel(hiper.MachineSpec{Sockets: 1, CoresPerSocket: 2, GPUs: 1, Interconnect: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/model.json"
+	if err := m.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := hiper.LoadModel(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumWorkers() != m.NumWorkers() || got.FirstByKind(hiper.KindGPU) == nil {
+		t.Fatal("round trip lost structure")
+	}
+}

@@ -1,0 +1,198 @@
+// Package bench is the measurement harness for reproducing the paper's
+// evaluation: repeated runs with 95% confidence intervals (the paper
+// repeats all tests ten times and reports 95% CIs), weak- and
+// strong-scaling sweeps, and figure-shaped text output so each benchmark
+// binary prints the same rows/series the corresponding paper figure shows.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Sample summarizes repeated measurements of one configuration.
+type Sample struct {
+	N      int
+	Mean   time.Duration
+	StdDev time.Duration
+	CI95   time.Duration // half-width of the 95% confidence interval
+	Min    time.Duration
+	Max    time.Duration
+}
+
+// tCrit returns the two-sided 95% critical value of Student's t for n-1
+// degrees of freedom (n >= 2), falling back to the normal 1.96 for large n.
+func tCrit(n int) float64 {
+	table := []float64{ // df = 1..30
+		12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+		2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+		2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+	}
+	df := n - 1
+	if df <= 0 {
+		return 0
+	}
+	if df <= len(table) {
+		return table[df-1]
+	}
+	return 1.96
+}
+
+// Summarize computes a Sample from raw durations.
+func Summarize(runs []time.Duration) Sample {
+	if len(runs) == 0 {
+		return Sample{}
+	}
+	s := Sample{N: len(runs), Min: runs[0], Max: runs[0]}
+	var sum float64
+	for _, r := range runs {
+		sum += float64(r)
+		if r < s.Min {
+			s.Min = r
+		}
+		if r > s.Max {
+			s.Max = r
+		}
+	}
+	mean := sum / float64(len(runs))
+	s.Mean = time.Duration(mean)
+	if len(runs) > 1 {
+		var ss float64
+		for _, r := range runs {
+			d := float64(r) - mean
+			ss += d * d
+		}
+		sd := math.Sqrt(ss / float64(len(runs)-1))
+		s.StdDev = time.Duration(sd)
+		s.CI95 = time.Duration(tCrit(len(runs)) * sd / math.Sqrt(float64(len(runs))))
+	}
+	return s
+}
+
+// Measure runs fn `repeats` times (after `warmup` unrecorded runs) and
+// summarizes. fn reports its own elapsed time so harness overhead stays
+// out of the numbers.
+func Measure(warmup, repeats int, fn func() time.Duration) Sample {
+	for i := 0; i < warmup; i++ {
+		fn()
+	}
+	runs := make([]time.Duration, 0, repeats)
+	for i := 0; i < repeats; i++ {
+		runs = append(runs, fn())
+	}
+	return Summarize(runs)
+}
+
+// String renders "mean ±ci95".
+func (s Sample) String() string {
+	return fmt.Sprintf("%v ±%v", s.Mean.Round(time.Microsecond), s.CI95.Round(time.Microsecond))
+}
+
+// Point is one x-coordinate of a series.
+type Point struct {
+	X int // ranks / PEs / cores
+	S Sample
+}
+
+// Series is one line of a figure.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Add appends a point.
+func (s *Series) Add(x int, sample Sample) {
+	s.Points = append(s.Points, Point{X: x, S: sample})
+}
+
+// Figure is a text rendering of one paper figure: rows are x values,
+// columns are series.
+type Figure struct {
+	Title  string
+	XLabel string
+	Series []*Series
+}
+
+// NewFigure creates a figure.
+func NewFigure(title, xlabel string) *Figure {
+	return &Figure{Title: title, XLabel: xlabel}
+}
+
+// NewSeries adds and returns a named series.
+func (f *Figure) NewSeries(name string) *Series {
+	s := &Series{Name: name}
+	f.Series = append(f.Series, s)
+	return s
+}
+
+// Render writes the figure as an aligned table.
+func (f *Figure) Render(w io.Writer) {
+	fmt.Fprintf(w, "\n== %s ==\n", f.Title)
+	xs := map[int]bool{}
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			xs[p.X] = true
+		}
+	}
+	var order []int
+	for x := range xs {
+		order = append(order, x)
+	}
+	sort.Ints(order)
+
+	fmt.Fprintf(w, "%-8s", f.XLabel)
+	for _, s := range f.Series {
+		fmt.Fprintf(w, " %24s", s.Name)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "%s\n", strings.Repeat("-", 8+25*len(f.Series)))
+	for _, x := range order {
+		fmt.Fprintf(w, "%-8d", x)
+		for _, s := range f.Series {
+			cell := ""
+			for _, p := range s.Points {
+				if p.X == x {
+					cell = p.S.String()
+					break
+				}
+			}
+			fmt.Fprintf(w, " %24s", cell)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// Speedups annotates, for each x, how much faster (or slower) each series
+// is relative to the named baseline series, returned as a rendered table.
+func (f *Figure) Speedups(baseline string) string {
+	var base *Series
+	for _, s := range f.Series {
+		if s.Name == baseline {
+			base = s
+		}
+	}
+	if base == nil {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "speedup vs %s:\n", baseline)
+	for _, s := range f.Series {
+		if s == base {
+			continue
+		}
+		fmt.Fprintf(&b, "  %-24s", s.Name)
+		for _, p := range s.Points {
+			for _, bp := range base.Points {
+				if bp.X == p.X && p.S.Mean > 0 {
+					fmt.Fprintf(&b, " %d:%.2fx", p.X, float64(bp.S.Mean)/float64(p.S.Mean))
+				}
+			}
+		}
+		fmt.Fprintln(&b)
+	}
+	return b.String()
+}

@@ -1,0 +1,95 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSummarizeBasics(t *testing.T) {
+	runs := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond, 30 * time.Millisecond}
+	s := Summarize(runs)
+	if s.N != 3 || s.Mean != 20*time.Millisecond {
+		t.Fatalf("sample = %+v", s)
+	}
+	if s.Min != 10*time.Millisecond || s.Max != 30*time.Millisecond {
+		t.Fatalf("min/max wrong: %+v", s)
+	}
+	if s.StdDev != 10*time.Millisecond {
+		t.Fatalf("stddev = %v, want 10ms", s.StdDev)
+	}
+	// CI95 = t(2df) * sd / sqrt(3) = 4.303 * 10ms / 1.732 ≈ 24.84ms
+	sd := float64(10 * time.Millisecond)
+	want := time.Duration(4.303 * sd / 1.7320508)
+	if d := s.CI95 - want; d > time.Millisecond || d < -time.Millisecond {
+		t.Fatalf("ci95 = %v, want ~%v", s.CI95, want)
+	}
+}
+
+func TestSummarizeDegenerate(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 {
+		t.Fatal("empty summarize")
+	}
+	s := Summarize([]time.Duration{5 * time.Millisecond})
+	if s.N != 1 || s.Mean != 5*time.Millisecond || s.CI95 != 0 {
+		t.Fatalf("single-run sample = %+v", s)
+	}
+}
+
+func TestTCritMonotone(t *testing.T) {
+	if tCrit(1) != 0 {
+		t.Fatal("no CI with one run")
+	}
+	if !(tCrit(2) > tCrit(10) && tCrit(10) > tCrit(100)) {
+		t.Fatal("t critical values not decreasing")
+	}
+	if tCrit(1000) != 1.96 {
+		t.Fatal("large-n fallback wrong")
+	}
+}
+
+func TestMeasureCountsRunsNotWarmup(t *testing.T) {
+	calls := 0
+	s := Measure(2, 5, func() time.Duration {
+		calls++
+		return time.Millisecond
+	})
+	if calls != 7 {
+		t.Fatalf("fn called %d times, want 7", calls)
+	}
+	if s.N != 5 || s.Mean != time.Millisecond {
+		t.Fatalf("sample = %+v", s)
+	}
+}
+
+func TestFigureRender(t *testing.T) {
+	f := NewFigure("Fig X: test", "ranks")
+	a := f.NewSeries("alpha")
+	b := f.NewSeries("beta")
+	a.Add(1, Summarize([]time.Duration{time.Millisecond, time.Millisecond}))
+	a.Add(2, Summarize([]time.Duration{2 * time.Millisecond}))
+	b.Add(2, Summarize([]time.Duration{4 * time.Millisecond}))
+	var sb strings.Builder
+	f.Render(&sb)
+	out := sb.String()
+	for _, want := range []string{"Fig X: test", "ranks", "alpha", "beta", "1", "2"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSpeedups(t *testing.T) {
+	f := NewFigure("t", "x")
+	base := f.NewSeries("base")
+	fast := f.NewSeries("fast")
+	base.Add(4, Summarize([]time.Duration{10 * time.Millisecond}))
+	fast.Add(4, Summarize([]time.Duration{5 * time.Millisecond}))
+	out := f.Speedups("base")
+	if !strings.Contains(out, "2.00x") {
+		t.Fatalf("speedup output: %q", out)
+	}
+	if f.Speedups("missing") != "" {
+		t.Fatal("missing baseline should yield empty string")
+	}
+}

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/platform"
+)
+
+// Buf names a memory region at a place in the platform model. Data's
+// concrete type is interpreted by the copy handler responsible for the
+// (source kind, destination kind) pair: host-to-host copies expect matching
+// Go slices, while e.g. the CUDA module's handler accepts its device buffer
+// type on the GPU side.
+type Buf struct {
+	Place *platform.Place
+	Data  any
+	Off   int // element offset into Data
+}
+
+// At is a convenience constructor for Buf.
+func At(p *platform.Place, data any) Buf { return Buf{Place: p, Data: data} }
+
+// AtOff is At with an element offset.
+func AtOff(p *platform.Place, data any, off int) Buf { return Buf{Place: p, Data: data, Off: off} }
+
+// CopyHandler performs an asynchronous transfer of n elements from src to
+// dst, returning a future satisfied on completion. Handlers are registered
+// by modules for the place kinds they own (the CUDA module registers
+// itself for transfers touching GPU memory places).
+type CopyHandler func(c *Ctx, dst, src Buf, n int) *Future
+
+// RegisterCopyHandler installs h for transfers from srcKind places to
+// dstKind places. Later registrations override earlier ones, letting a
+// module refine the defaults.
+func (r *Runtime) RegisterCopyHandler(srcKind, dstKind platform.Kind, h CopyHandler) {
+	r.copyHandlers[[2]platform.Kind{srcKind, dstKind}] = h
+}
+
+// AsyncCopy asynchronously transfers n elements from a memory location in
+// one place to a memory location in another place, returning a future
+// satisfied when the transfer completes. The transfer is dispatched to the
+// handler registered for the (src kind, dst kind) pair; host-to-host pairs
+// fall back to a built-in handler that copies matching slices.
+func (c *Ctx) AsyncCopy(dst, src Buf, n int) *Future {
+	if dst.Place == nil || src.Place == nil {
+		panic("core: AsyncCopy requires both places")
+	}
+	if h, ok := c.rt.copyHandlers[[2]platform.Kind{src.Place.Kind, dst.Place.Kind}]; ok {
+		return h(c, dst, src, n)
+	}
+	return hostCopy(c, dst, src, n)
+}
+
+// AsyncCopyAwait is AsyncCopy predicated on the given futures: the transfer
+// begins only once all of them are satisfied.
+func (c *Ctx) AsyncCopyAwait(dst, src Buf, n int, futures ...*Future) *Future {
+	return c.AsyncFutureAwait(func(cc *Ctx) any {
+		cc.Wait(cc.AsyncCopy(dst, src, n))
+		return nil
+	}, futures...)
+}
+
+// hostCopy is the built-in handler for host-side transfers: it runs the
+// copy as a task at the destination place.
+func hostCopy(c *Ctx, dst, src Buf, n int) *Future {
+	return c.AsyncFutureAt(dst.Place, func(*Ctx) any {
+		if err := copySlices(dst, src, n); err != nil {
+			panic(err)
+		}
+		return nil
+	})
+}
+
+// copySlices copies n elements between like-typed slices.
+func copySlices(dst, src Buf, n int) error {
+	switch d := dst.Data.(type) {
+	case []byte:
+		s, ok := src.Data.([]byte)
+		if !ok {
+			return typeMismatch(dst, src)
+		}
+		copy(d[dst.Off:dst.Off+n], s[src.Off:src.Off+n])
+	case []float64:
+		s, ok := src.Data.([]float64)
+		if !ok {
+			return typeMismatch(dst, src)
+		}
+		copy(d[dst.Off:dst.Off+n], s[src.Off:src.Off+n])
+	case []float32:
+		s, ok := src.Data.([]float32)
+		if !ok {
+			return typeMismatch(dst, src)
+		}
+		copy(d[dst.Off:dst.Off+n], s[src.Off:src.Off+n])
+	case []int64:
+		s, ok := src.Data.([]int64)
+		if !ok {
+			return typeMismatch(dst, src)
+		}
+		copy(d[dst.Off:dst.Off+n], s[src.Off:src.Off+n])
+	case []int:
+		s, ok := src.Data.([]int)
+		if !ok {
+			return typeMismatch(dst, src)
+		}
+		copy(d[dst.Off:dst.Off+n], s[src.Off:src.Off+n])
+	default:
+		return fmt.Errorf("core: no copy handler for %T -> %T between %v and %v",
+			src.Data, dst.Data, src.Place, dst.Place)
+	}
+	return nil
+}
+
+func typeMismatch(dst, src Buf) error {
+	return fmt.Errorf("core: AsyncCopy type mismatch: %T -> %T", src.Data, dst.Data)
+}

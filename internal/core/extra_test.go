@@ -1,0 +1,181 @@
+package core
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/platform"
+)
+
+// TestFinishFutureNonBlocking: FinishFuture must return before the scope
+// drains and satisfy the future when it does.
+func TestFinishFutureNonBlocking(t *testing.T) {
+	r := newTestRuntime(t, 2)
+	r.Launch(func(c *Ctx) {
+		gate := NewPromise(r)
+		var done atomic.Bool
+		f := c.FinishFuture(func(c *Ctx) {
+			c.Async(func(c *Ctx) {
+				c.Wait(gate.Future())
+				done.Store(true)
+			})
+		})
+		if f.Done() {
+			t.Error("finish future done before scope drained")
+		}
+		c.Put(gate, nil)
+		c.Wait(f)
+		if !done.Load() {
+			t.Error("scope future satisfied before its tasks finished")
+		}
+	})
+}
+
+// TestAsyncDetachedNotWaitedByFinish: detached tasks must not hold up
+// enclosing finish scopes.
+func TestAsyncDetachedNotWaitedByFinish(t *testing.T) {
+	r := newTestRuntime(t, 2)
+	r.Launch(func(c *Ctx) {
+		release := NewPromise(r)
+		started := make(chan struct{})
+		c.Finish(func(c *Ctx) {
+			c.AsyncDetachedAt(c.Place(), func(cc *Ctx) {
+				close(started)
+				cc.Wait(release.Future()) // would deadlock the finish if attached
+			})
+		})
+		// Finish returned while the detached task still runs.
+		<-started
+		c.Put(release, nil)
+	})
+}
+
+// TestSpawnDetachedAtFromExternalGoroutine: the external spawn path used
+// by module completion callbacks.
+func TestSpawnDetachedAtFromExternalGoroutine(t *testing.T) {
+	r := newTestRuntime(t, 2)
+	r.Start()
+	ran := make(chan struct{})
+	go r.SpawnDetachedAt(r.Model().Place(0), func(*Ctx) { close(ran) })
+	select {
+	case <-ran:
+	case <-time.After(10 * time.Second):
+		t.Fatal("externally spawned detached task never ran")
+	}
+}
+
+// TestSubstitutionBudgetExhaustion: with MaxBlockedWorkers=1, a second
+// simultaneous blocking wait degrades to plain parking but must still
+// complete once its future is satisfied externally.
+func TestSubstitutionBudgetExhaustion(t *testing.T) {
+	model := platform.Default(2)
+	r, err := New(model, &Options{MaxBlockedWorkers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Shutdown()
+	p1 := NewPromise(r)
+	p2 := NewPromise(r)
+	done := make(chan struct{})
+	go func() {
+		r.Launch(func(c *Ctx) {
+			c.Finish(func(c *Ctx) {
+				c.Async(func(cc *Ctx) { cc.Wait(p1.Future()) })
+				c.Async(func(cc *Ctx) { cc.Wait(p2.Future()) })
+			})
+		})
+		close(done)
+	}()
+	time.Sleep(5 * time.Millisecond) // let both tasks block
+	p1.Put(nil)
+	p2.Put(nil)
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("blocking beyond the substitution budget deadlocked")
+	}
+	if r.Stats().Substitutions > 1 {
+		t.Fatalf("substitutions = %d, budget was 1", r.Stats().Substitutions)
+	}
+}
+
+// TestYieldFairness: a repeatedly yielding task must not starve a task
+// enqueued at the same place (the poller-shadowing regression).
+func TestYieldFairness(t *testing.T) {
+	r := newTestRuntime(t, 1) // single worker: fairness must come from Yield itself
+	r.Launch(func(c *Ctx) {
+		var other atomic.Bool
+		c.Finish(func(c *Ctx) {
+			var spin func(*Ctx)
+			rounds := 0
+			spin = func(cc *Ctx) {
+				rounds++
+				if other.Load() || rounds > 10000 {
+					return
+				}
+				cc.Yield(spin)
+			}
+			c.Async(spin)
+			c.Async(func(*Ctx) { other.Store(true) })
+		})
+		if !other.Load() {
+			t.Error("yielding task starved its sibling")
+		}
+	})
+}
+
+// TestForasyncNestedScopes: forasync bodies can open their own finish
+// scopes and spawn, and the outer sync still waits for everything.
+func TestForasyncNestedScopes(t *testing.T) {
+	r := newTestRuntime(t, 4)
+	r.Launch(func(c *Ctx) {
+		var n atomic.Int64
+		c.ForasyncSync(Range{Lo: 0, Hi: 20, Grain: 2}, func(cc *Ctx, i int) {
+			cc.Finish(func(cc *Ctx) {
+				for j := 0; j < 5; j++ {
+					cc.Async(func(*Ctx) { n.Add(1) })
+				}
+			})
+		})
+		if n.Load() != 100 {
+			t.Errorf("nested iterations = %d, want 100", n.Load())
+		}
+	})
+}
+
+// TestStatsSubstitutionCounted: a forced park must be visible in Stats.
+func TestStatsSubstitutionCounted(t *testing.T) {
+	r := newTestRuntime(t, 2)
+	p := NewPromise(r)
+	go func() {
+		time.Sleep(2 * time.Millisecond)
+		p.Put(nil)
+	}()
+	r.Launch(func(c *Ctx) {
+		c.Wait(p.Future())
+	})
+	s := r.Stats()
+	if s.Substitutions == 0 {
+		t.Skip("future satisfied before the worker parked (timing)")
+	}
+	if s.MaxWorkerIDs <= r.NumWorkers() {
+		t.Fatalf("substitution did not activate a new identity: %d", s.MaxWorkerIDs)
+	}
+}
+
+// TestGetTypedValues: futures carry arbitrary values through Ctx.Get.
+func TestGetTypedValues(t *testing.T) {
+	r := newTestRuntime(t, 2)
+	r.Launch(func(c *Ctx) {
+		type pair struct{ a, b int }
+		f := c.AsyncFuture(func(*Ctx) any { return pair{1, 2} })
+		if got := c.Get(f).(pair); got.a != 1 || got.b != 2 {
+			t.Errorf("got %+v", got)
+		}
+		fn := c.AsyncFuture(func(*Ctx) any { return nil })
+		if got := c.Get(fn); got != nil {
+			t.Errorf("nil-valued future returned %v", got)
+		}
+	})
+}

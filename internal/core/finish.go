@@ -1,0 +1,40 @@
+package core
+
+import "sync/atomic"
+
+// finishScope implements bulk task synchronization: a finish waits for all
+// tasks created in its body before returning, including transitively
+// spawned tasks. Each scope is an atomic reference count: one reference for
+// the scope body itself plus one per registered (spawned but not yet
+// completed) task. When the count drains to zero the scope's future is
+// satisfied, releasing the waiter.
+//
+// Tasks inherit the finish scope that was innermost at their spawn point,
+// which is what makes the count transitive: a child task spawning a
+// grandchild registers the grandchild with the same scope.
+type finishScope struct {
+	count atomic.Int64
+	prom  *Promise
+}
+
+func newFinishScope(rt *Runtime) *finishScope {
+	fs := &finishScope{prom: NewPromise(rt)}
+	fs.count.Store(1) // the scope body's own reference
+	return fs
+}
+
+// inc registers one more task with the scope.
+func (fs *finishScope) inc() {
+	fs.count.Add(1)
+}
+
+// dec drops one reference; the context (may be nil when dropped from a
+// non-worker goroutine) routes released waiters efficiently.
+func (fs *finishScope) dec(c *Ctx) {
+	if fs.count.Add(-1) == 0 {
+		fs.prom.put(c, nil)
+	}
+}
+
+// future returns the future satisfied when the scope fully drains.
+func (fs *finishScope) future() *Future { return fs.prom.Future() }

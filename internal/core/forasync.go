@@ -1,0 +1,107 @@
+package core
+
+import "repro/internal/platform"
+
+// Range describes a 1D iteration space [Lo, Hi) with a sequential grain
+// size: subranges at or below Grain iterations execute sequentially inside
+// one task.
+type Range struct {
+	Lo, Hi int
+	Grain  int
+}
+
+func (r Range) grain() int {
+	if r.Grain <= 0 {
+		return 1
+	}
+	return r.Grain
+}
+
+// Forasync executes body for every index in r as a tree of tasks spawned by
+// recursive binary splitting, registered with the current finish scope. It
+// returns immediately; wrap it in Finish (or use ForasyncFuture) to wait.
+func (c *Ctx) Forasync(r Range, body func(*Ctx, int)) {
+	c.forasyncAt(c.place, r, body)
+}
+
+// ForasyncAt is Forasync with all loop tasks placed at p.
+func (c *Ctx) ForasyncAt(p *platform.Place, r Range, body func(*Ctx, int)) {
+	c.forasyncAt(p, r, body)
+}
+
+func (c *Ctx) forasyncAt(p *platform.Place, r Range, body func(*Ctx, int)) {
+	if r.Hi <= r.Lo {
+		return
+	}
+	g := r.grain()
+	var split func(cc *Ctx, lo, hi int)
+	split = func(cc *Ctx, lo, hi int) {
+		for hi-lo > g {
+			mid := lo + (hi-lo)/2
+			hi2 := hi
+			cc.AsyncAt(p, func(c2 *Ctx) { split(c2, mid, hi2) })
+			hi = mid
+		}
+		for i := lo; i < hi; i++ {
+			body(cc, i)
+		}
+	}
+	c.AsyncAt(p, func(cc *Ctx) { split(cc, r.Lo, r.Hi) })
+}
+
+// ForasyncFuture is Forasync wrapped in its own finish scope; the returned
+// future is satisfied when every iteration has completed.
+func (c *Ctx) ForasyncFuture(r Range, body func(*Ctx, int)) *Future {
+	return c.FinishFuture(func(cc *Ctx) {
+		cc.Forasync(r, body)
+	})
+}
+
+// ForasyncSync is Forasync wrapped in a blocking finish: it returns only
+// when every iteration has completed.
+func (c *Ctx) ForasyncSync(r Range, body func(*Ctx, int)) {
+	c.Finish(func(cc *Ctx) {
+		cc.Forasync(r, body)
+	})
+}
+
+// Forasync2D executes body(i, j) over the product of the two ranges; the
+// outer dimension is split into tasks, the inner runs inside each task with
+// its own grain-based chunking.
+func (c *Ctx) Forasync2D(ri, rj Range, body func(*Ctx, int, int)) {
+	c.Forasync(ri, func(cc *Ctx, i int) {
+		g := rj.grain()
+		for lo := rj.Lo; lo < rj.Hi; lo += g {
+			hi := lo + g
+			if hi > rj.Hi {
+				hi = rj.Hi
+			}
+			for j := lo; j < hi; j++ {
+				body(cc, i, j)
+			}
+		}
+	})
+}
+
+// Forasync3D executes body(i, j, k) over three ranges: the i dimension is
+// task-split; j and k iterate sequentially within each i-task. This matches
+// typical stencil decompositions where one axis is distributed.
+func (c *Ctx) Forasync3D(ri, rj, rk Range, body func(*Ctx, int, int, int)) {
+	c.Forasync(ri, func(cc *Ctx, i int) {
+		for j := rj.Lo; j < rj.Hi; j++ {
+			for k := rk.Lo; k < rk.Hi; k++ {
+				body(cc, i, j, k)
+			}
+		}
+	})
+}
+
+// ForasyncFuture2D is Forasync2D in its own finish scope.
+func (c *Ctx) ForasyncFuture2D(ri, rj Range, body func(*Ctx, int, int)) *Future {
+	return c.FinishFuture(func(cc *Ctx) { cc.Forasync2D(ri, rj, body) })
+}
+
+// ForasyncFuture3D is Forasync3D in its own finish scope.
+func (c *Ctx) ForasyncFuture3D(ri, rj, rk Range, body func(*Ctx, int, int, int)) *Future {
+	return c.FinishFuture(func(cc *Ctx) { cc.Forasync3D(ri, rj, rk, body) })
+}

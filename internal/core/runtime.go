@@ -1,0 +1,581 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/deque"
+	"repro/internal/platform"
+)
+
+// Options tunes runtime construction. The zero value gives sensible
+// defaults.
+type Options struct {
+	// MaxBlockedWorkers bounds how many workers may simultaneously be
+	// parked on unsatisfied futures with substitutes running in their
+	// stead. Beyond the bound, blocking degrades to plain parking (no
+	// substitute), which is safe but temporarily loses parallelism.
+	// Default 256.
+	MaxBlockedWorkers int
+	// SpinRounds is how many full pop+steal scans a worker performs
+	// (yielding between rounds) before parking. Default 2.
+	SpinRounds int
+}
+
+func (o *Options) withDefaults() Options {
+	out := Options{MaxBlockedWorkers: 256, SpinRounds: 2}
+	if o != nil {
+		if o.MaxBlockedWorkers > 0 {
+			out.MaxBlockedWorkers = o.MaxBlockedWorkers
+		}
+		if o.SpinRounds > 0 {
+			out.SpinRounds = o.SpinRounds
+		}
+	}
+	return out
+}
+
+// injector is a mutex-guarded MPSC queue per place for tasks released by
+// code running outside any worker (external goroutines, Promise.Put from
+// simulated hardware completion goroutines, ...). Workers check injectors
+// on their steal paths. The atomic count keeps the empty check lock-free.
+type injector struct {
+	n  atomic.Int64
+	mu sync.Mutex
+	q  []*Task
+}
+
+func (in *injector) push(t *Task) {
+	in.mu.Lock()
+	in.q = append(in.q, t)
+	in.mu.Unlock()
+	in.n.Add(1)
+}
+
+func (in *injector) take() *Task {
+	if in.n.Load() == 0 {
+		return nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if len(in.q) == 0 {
+		return nil
+	}
+	t := in.q[0]
+	in.q = in.q[1:]
+	in.n.Add(-1)
+	return t
+}
+
+// worker is a worker identity: the owner of one deque column across all
+// places. Identities 0..N-1 are the configured workers; higher identities
+// are used by substitution workers spawned while a peer is blocked.
+type worker struct {
+	id    int
+	rt    *Runtime
+	group int // path-group: which configured worker's paths this identity runs
+	pop   []*platform.Place
+	steal []*platform.Place
+	rng   uint64
+
+	// statistics (atomics so Stats can read them live)
+	tasks  atomic.Uint64
+	pops   atomic.Uint64
+	steals atomic.Uint64
+	parks  atomic.Uint64
+}
+
+// Runtime is the generalized work-stealing runtime: a persistent pool of
+// workers executing tasks from per-place, per-worker deques according to
+// the platform model's pop and steal paths.
+type Runtime struct {
+	model *platform.Model
+	opts  Options
+
+	nWorkers int // configured (target active) worker count
+	maxIDs   int // worker identity columns (nWorkers + substitution slots)
+
+	deques          [][]deque.Deque[Task] // [placeID][workerID]
+	inject          []injector            // [placeID]
+	pendingPerPlace []atomic.Int64
+	covered         []bool // placeID -> reachable by some path
+
+	workers []*worker // all identities
+	freeIDs chan int  // identities available for substitution workers
+	maxUsed atomic.Int64
+
+	parkMu   sync.Mutex
+	parkCond *sync.Cond
+	parked   atomic.Int64
+
+	// retireGroup[g] counts surplus runners that should retire from path
+	// group g. Retirement is group-aware: when a blocked worker resumes,
+	// only a runner covering the same places may exit, otherwise a
+	// special-purpose place (e.g. the Interconnect) could lose its only
+	// active servicer while its owner is still blocked.
+	retireGroup   []atomic.Int64
+	substitutions atomic.Uint64
+	stopped       atomic.Bool
+	started       atomic.Bool
+	runners       sync.WaitGroup
+
+	copyHandlers map[[2]platform.Kind]CopyHandler
+
+	// finalizers registered by modules, run during Shutdown.
+	finalizeMu sync.Mutex
+	finalizers []func()
+}
+
+// New builds a runtime over the given platform model. The model must
+// validate; its worker specifications define the pool size and each
+// worker's pop and steal paths.
+func New(model *platform.Model, opts *Options) (*Runtime, error) {
+	if model == nil {
+		return nil, fmt.Errorf("core: nil platform model")
+	}
+	if err := model.Validate(); err != nil {
+		return nil, err
+	}
+	o := opts.withDefaults()
+	n := model.NumWorkers()
+	r := &Runtime{
+		model:        model,
+		opts:         o,
+		nWorkers:     n,
+		maxIDs:       n + o.MaxBlockedWorkers,
+		copyHandlers: make(map[[2]platform.Kind]CopyHandler),
+	}
+	np := model.NumPlaces()
+	r.deques = make([][]deque.Deque[Task], np)
+	for p := 0; p < np; p++ {
+		r.deques[p] = make([]deque.Deque[Task], r.maxIDs)
+	}
+	r.inject = make([]injector, np)
+	r.pendingPerPlace = make([]atomic.Int64, np)
+	r.covered = make([]bool, np)
+	for id := range model.CoveredPlaces() {
+		r.covered[id] = true
+	}
+
+	resolve := func(ids []int) []*platform.Place {
+		out := make([]*platform.Place, len(ids))
+		for i, id := range ids {
+			out[i] = model.Place(id)
+		}
+		return out
+	}
+	r.workers = make([]*worker, r.maxIDs)
+	for id := 0; id < r.maxIDs; id++ {
+		spec := model.Workers()[id%n]
+		r.workers[id] = &worker{
+			id:    id,
+			rt:    r,
+			group: id % n,
+			pop:   resolve(spec.Pop),
+			steal: resolve(spec.Steal),
+			rng:   uint64(id)*0x9E3779B97F4A7C15 + 0x1234567,
+		}
+	}
+	r.retireGroup = make([]atomic.Int64, n)
+	r.freeIDs = make(chan int, r.maxIDs)
+	for id := n; id < r.maxIDs; id++ {
+		r.freeIDs <- id
+	}
+	r.maxUsed.Store(int64(n))
+	r.parkCond = sync.NewCond(&r.parkMu)
+	return r, nil
+}
+
+// NewDefault builds a runtime over platform.Default(workers); workers <= 0
+// selects GOMAXPROCS.
+func NewDefault(workers int) *Runtime {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	r, err := New(platform.Default(workers), nil)
+	if err != nil {
+		panic(err) // unreachable: Default models validate
+	}
+	return r
+}
+
+// Model returns the platform model the runtime was built over.
+func (r *Runtime) Model() *platform.Model { return r.model }
+
+// NumWorkers returns the configured worker count.
+func (r *Runtime) NumWorkers() int { return r.nWorkers }
+
+// Start launches the persistent worker pool. It is idempotent.
+func (r *Runtime) Start() {
+	if r.started.Swap(true) {
+		return
+	}
+	for id := 0; id < r.nWorkers; id++ {
+		r.runners.Add(1)
+		go r.runner(r.workers[id])
+	}
+}
+
+// Shutdown runs registered module finalizers, signals all workers to exit,
+// and waits for them. Outstanding tasks are abandoned; callers should only
+// shut down after quiescence (Launch returns only when its whole task tree
+// has completed).
+func (r *Runtime) Shutdown() {
+	if !r.started.Load() || r.stopped.Swap(true) {
+		return
+	}
+	r.finalizeMu.Lock()
+	fins := r.finalizers
+	r.finalizers = nil
+	r.finalizeMu.Unlock()
+	for i := len(fins) - 1; i >= 0; i-- {
+		fins[i]()
+	}
+	r.parkMu.Lock()
+	r.parkCond.Broadcast()
+	r.parkMu.Unlock()
+	r.runners.Wait()
+}
+
+// RegisterFinalizer queues fn to run (LIFO) at Shutdown. Modules register
+// their finalization functions here.
+func (r *Runtime) RegisterFinalizer(fn func()) {
+	r.finalizeMu.Lock()
+	r.finalizers = append(r.finalizers, fn)
+	r.finalizeMu.Unlock()
+}
+
+// Launch runs fn as a root task inside an implicit finish scope and blocks
+// the calling goroutine until fn and every task it transitively spawned
+// have completed. The runtime is started if necessary.
+func (r *Runtime) Launch(fn func(*Ctx)) {
+	r.Start()
+	fs := newFinishScope(r)
+	root := &Task{fn: fn, place: r.defaultPlace(), finish: fs}
+	fs.inc()
+	r.enqueue(nil, root)
+	fs.dec(nil)
+	fs.future().Wait()
+}
+
+// SpawnDetachedAt enqueues a task at place p from outside any task context
+// (no finish scope, injector path). Modules use it to arm pollers from
+// completion callbacks that run on non-worker goroutines.
+func (r *Runtime) SpawnDetachedAt(p *platform.Place, fn func(*Ctx)) {
+	r.spawn(nil, p, nil, fn)
+}
+
+// defaultPlace is where root tasks land: the first place of worker 0's pop
+// path.
+func (r *Runtime) defaultPlace() *platform.Place {
+	return r.workers[0].pop[0]
+}
+
+// spawn creates an eligible task at place p registered with finish scope
+// fs, pushed through worker w's own deque column (or the place's injector
+// when w is nil).
+func (r *Runtime) spawn(w *worker, p *platform.Place, fs *finishScope, fn func(*Ctx)) {
+	r.checkCovered(p)
+	if fs != nil {
+		fs.inc()
+	}
+	t := &Task{fn: fn, place: p, finish: fs}
+	r.enqueue(w, t)
+}
+
+// spawnAwait creates a task predicated on the given futures.
+func (r *Runtime) spawnAwait(w *worker, p *platform.Place, fs *finishScope, fn func(*Ctx), futures []*Future) {
+	r.checkCovered(p)
+	if fs != nil {
+		fs.inc()
+	}
+	t := &Task{fn: fn, place: p, finish: fs}
+	if len(futures) == 0 {
+		r.enqueue(w, t)
+		return
+	}
+	// +1 guard reference so the task cannot launch until registration of
+	// every future has been attempted (avoids double-enqueue races).
+	t.deps.set(len(futures) + 1)
+	for _, f := range futures {
+		if !f.addTaskWaiter(t) {
+			// Already satisfied: account for it immediately.
+			if t.deps.dec() {
+				r.enqueue(w, t)
+				return
+			}
+		}
+	}
+	if t.deps.dec() {
+		r.enqueue(w, t)
+	}
+}
+
+// checkCovered rejects spawns at places no worker path covers: such tasks
+// would never run. The check happens before the task is registered with any
+// finish scope, so a recovered panic leaves the runtime consistent.
+func (r *Runtime) checkCovered(p *platform.Place) {
+	if !r.covered[p.ID] {
+		panic(fmt.Sprintf("core: task enqueued at place %v which is on no worker's pop or steal path", p))
+	}
+}
+
+// enqueue makes t visible to the scheduler.
+func (r *Runtime) enqueue(w *worker, t *Task) {
+	pid := t.place.ID
+	r.pendingPerPlace[pid].Add(1)
+	if w != nil {
+		r.deques[pid][w.id].PushBottom(t)
+	} else {
+		r.inject[pid].push(t)
+	}
+	r.wake()
+}
+
+// wake unparks workers so they rescan their paths.
+func (r *Runtime) wake() {
+	if r.parked.Load() > 0 {
+		r.parkMu.Lock()
+		r.parkCond.Broadcast()
+		r.parkMu.Unlock()
+	}
+}
+
+// execute runs t on worker w, then settles its finish scope.
+func (r *Runtime) execute(w *worker, t *Task) {
+	w.tasks.Add(1)
+	c := Ctx{rt: r, w: w, place: t.place, fin: t.finish}
+	t.fn(&c)
+	if t.finish != nil {
+		t.finish.dec(&c)
+	}
+}
+
+// findWork performs one full scan: pop path first (own work, LIFO), then
+// steal path (others' work and injected work, FIFO).
+func (w *worker) findWork() *Task {
+	r := w.rt
+	for _, p := range w.pop {
+		if t := r.deques[p.ID][w.id].PopBottom(); t != nil {
+			r.pendingPerPlace[p.ID].Add(-1)
+			w.pops.Add(1)
+			return t
+		}
+	}
+	maxUsed := int(r.maxUsed.Load())
+	for _, p := range w.steal {
+		if r.pendingPerPlace[p.ID].Load() == 0 {
+			continue
+		}
+		if t := r.inject[p.ID].take(); t != nil {
+			r.pendingPerPlace[p.ID].Add(-1)
+			w.steals.Add(1)
+			return t
+		}
+		// Start at a pseudo-random victim to spread contention.
+		start := int(w.nextRand() % uint64(maxUsed))
+		for k := 0; k < maxUsed; k++ {
+			vid := start + k
+			if vid >= maxUsed {
+				vid -= maxUsed
+			}
+			if vid == w.id {
+				continue
+			}
+			for {
+				t, retry := r.deques[p.ID][vid].Steal()
+				if t != nil {
+					r.pendingPerPlace[p.ID].Add(-1)
+					w.steals.Add(1)
+					return t
+				}
+				if !retry {
+					break
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// anyPending reports whether any place on w's paths has pending tasks.
+func (w *worker) anyPending() bool {
+	r := w.rt
+	for _, p := range w.pop {
+		if r.pendingPerPlace[p.ID].Load() > 0 {
+			return true
+		}
+	}
+	for _, p := range w.steal {
+		if r.pendingPerPlace[p.ID].Load() > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func (w *worker) nextRand() uint64 {
+	x := w.rng
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	w.rng = x
+	return x
+}
+
+// runner is the persistent worker loop.
+func (r *Runtime) runner(w *worker) {
+	defer r.runners.Done()
+	for {
+		if r.stopped.Load() {
+			return
+		}
+		// A surplus runner (created by worker substitution) retires when a
+		// blocked peer of the same path group resumes, keeping the active
+		// count per group at its configured level.
+		rg := &r.retireGroup[w.group]
+		if n := rg.Load(); n > 0 && rg.CompareAndSwap(n, n-1) {
+			r.releaseID(w)
+			return
+		}
+		if t := w.findWork(); t != nil {
+			r.execute(w, t)
+			continue
+		}
+		// Nothing found: spin briefly, then park.
+		found := false
+		for s := 0; s < r.opts.SpinRounds; s++ {
+			runtime.Gosched()
+			if t := w.findWork(); t != nil {
+				r.execute(w, t)
+				found = true
+				break
+			}
+		}
+		if found {
+			continue
+		}
+		r.park(w)
+	}
+}
+
+// park blocks w until new work may be available, the runtime shuts down, or
+// a retire request arrives.
+func (r *Runtime) park(w *worker) {
+	w.parks.Add(1)
+	r.parkMu.Lock()
+	r.parked.Add(1)
+	for !r.stopped.Load() && r.retireGroup[w.group].Load() == 0 && !w.anyPending() {
+		r.parkCond.Wait()
+	}
+	r.parked.Add(-1)
+	r.parkMu.Unlock()
+}
+
+// releaseID returns a substitution identity to the free pool. Identities
+// below nWorkers are permanent and never released.
+func (r *Runtime) releaseID(w *worker) {
+	if w.id >= r.nWorkers {
+		r.freeIDs <- w.id
+	}
+}
+
+// waitOn blocks the current task until f is satisfied, helping with other
+// eligible work and substituting the worker if it must truly park.
+func (r *Runtime) waitOn(w *worker, f *Future) {
+	for !f.Done() {
+		if t := w.findWork(); t != nil {
+			r.execute(w, t)
+			continue
+		}
+		if f.Done() {
+			return
+		}
+		ch := make(chan struct{})
+		if !f.addChanWaiter(ch) {
+			return
+		}
+		// Hand our concurrency slot to a substitute, if one is available.
+		// The substitute inherits OUR paths and group: it must service
+		// exactly the places we would have, or special-purpose places
+		// (like the MPI module's Interconnect) could starve while we wait.
+		substituted := false
+		select {
+		case id := <-r.freeIDs:
+			sub := r.workers[id]
+			sub.group = w.group
+			sub.pop = w.pop
+			sub.steal = w.steal
+			for {
+				cur := r.maxUsed.Load()
+				if int64(id) < cur || r.maxUsed.CompareAndSwap(cur, int64(id)+1) {
+					break
+				}
+			}
+			r.substitutions.Add(1)
+			r.runners.Add(1)
+			go r.runner(sub)
+			substituted = true
+		default:
+			// Substitution budget exhausted; park without a substitute.
+		}
+		<-ch
+		if substituted {
+			// We are back: ask one surplus runner of our group to retire.
+			r.retireGroup[w.group].Add(1)
+			r.wakeAll()
+		}
+	}
+}
+
+// helpUntil keeps the worker executing eligible tasks until pred holds,
+// napping briefly when no work is available. Unlike waitOn there is no
+// future to park on — the predicate is satisfied by an external event the
+// scheduler cannot observe (e.g. a remote one-sided write) — so the worker
+// stays live and keeps servicing its places, which is exactly what
+// counter-polling synchronization protocols need.
+func (r *Runtime) helpUntil(w *worker, pred func() bool) {
+	for !pred() {
+		if t := w.findWork(); t != nil {
+			r.execute(w, t)
+			continue
+		}
+		runtime.Gosched()
+	}
+}
+
+// wakeAll broadcasts unconditionally (used for retire requests, which park
+// does not observe via pending counters).
+func (r *Runtime) wakeAll() {
+	r.parkMu.Lock()
+	r.parkCond.Broadcast()
+	r.parkMu.Unlock()
+}
+
+// Stats is a snapshot of scheduler activity, usable for the tooling hooks
+// the paper describes (a unified scheduler is aware of all work on the
+// system).
+type Stats struct {
+	TasksExecuted uint64
+	Pops          uint64 // tasks taken from own deques (pop path)
+	Steals        uint64 // tasks taken from other workers or injectors
+	Parks         uint64
+	Substitutions uint64 // replacement workers spawned for blocked peers
+	MaxWorkerIDs  int    // identity columns ever activated
+}
+
+// Stats returns a snapshot of scheduler counters.
+func (r *Runtime) Stats() Stats {
+	var s Stats
+	for _, w := range r.workers {
+		s.TasksExecuted += w.tasks.Load()
+		s.Pops += w.pops.Load()
+		s.Steals += w.steals.Load()
+		s.Parks += w.parks.Load()
+	}
+	s.Substitutions = r.substitutions.Load()
+	s.MaxWorkerIDs = int(r.maxUsed.Load())
+	return s
+}

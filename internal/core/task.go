@@ -1,0 +1,205 @@
+// Package core implements HiPER's generalized work-stealing runtime.
+//
+// "Generalized" refers to the ability to perform work-stealing load
+// balancing for more than homogeneous computational tasks: the runtime
+// schedules ordinary compute tasks, communication proxy tasks, accelerator
+// proxy tasks, and any third-party module's work on one persistent pool of
+// worker threads, using the platform model's places to segregate work by the
+// hardware component it needs.
+//
+// The four components from the paper:
+//
+//  1. a persistent pool of worker goroutines (one per management core);
+//  2. N task deques at each place in the platform model, where the i-th
+//     deque at a place holds only eligible tasks spawned by worker i;
+//  3. per-worker pop paths (own work, LIFO — locality) and steal paths
+//     (others' work, FIFO — load balance) over the places;
+//  4. task creation APIs: Async, AsyncAt, AsyncFuture, AsyncAwait, Finish,
+//     Forasync, AsyncCopy, plus promises and futures for point-to-point
+//     synchronization.
+//
+// Blocking never idles a worker: waiting first "helps" by executing other
+// eligible tasks, and if it must truly park it hands its concurrency slot to
+// a freshly spawned replacement worker (worker substitution). This stands in
+// for the paper's Boost.Context call-stack swapping, which Go cannot express,
+// while preserving the scheduling property that matters: a blocked task does
+// not block a CPU core.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/platform"
+)
+
+// Task is a suspendable single-threaded stream of execution. Tasks may
+// synchronize on other tasks (via futures and finish scopes) and create new
+// tasks. A task becomes eligible when its dependency count reaches zero and
+// is then pushed onto a deque at its place.
+type Task struct {
+	fn     func(*Ctx)
+	place  *platform.Place
+	finish *finishScope
+	deps   depCounter
+}
+
+// Ctx is the execution context threaded through every task body. It
+// identifies the runtime, the worker currently executing the task, and the
+// enclosing finish scope. Go has no thread-local storage, so HiPER's C++
+// free-function API surface becomes methods on Ctx.
+type Ctx struct {
+	rt    *Runtime
+	w     *worker
+	place *platform.Place // place the current task was scheduled at
+	fin   *finishScope    // innermost finish scope
+}
+
+// Runtime returns the runtime this context belongs to.
+func (c *Ctx) Runtime() *Runtime { return c.rt }
+
+// Place returns the place at which the current task is executing.
+func (c *Ctx) Place() *platform.Place { return c.place }
+
+// WorkerID returns the identity of the worker executing the current task.
+// Identities above the configured worker count belong to substitution
+// workers spawned while a peer is blocked.
+func (c *Ctx) WorkerID() int { return c.w.id }
+
+// Async creates a task executing fn at the place closest to the current
+// worker — the place of the currently executing task. The task is registered
+// with the innermost finish scope.
+func (c *Ctx) Async(fn func(*Ctx)) {
+	c.rt.spawn(c.w, c.place, c.fin, fn)
+}
+
+// AsyncAt creates a task executing fn at the given place.
+func (c *Ctx) AsyncAt(p *platform.Place, fn func(*Ctx)) {
+	c.rt.spawn(c.w, p, c.fin, fn)
+}
+
+// AsyncDetachedAt creates a task at place p that is registered with NO
+// finish scope: enclosing Finish calls do not wait for it. Module pollers
+// use detached tasks so that a user's finish scope never blocks on polling
+// machinery servicing unrelated operations.
+func (c *Ctx) AsyncDetachedAt(p *platform.Place, fn func(*Ctx)) {
+	c.rt.spawn(c.w, p, nil, fn)
+}
+
+// AsyncFuture creates a task and returns a future that is satisfied with
+// fn's return value when the task completes.
+func (c *Ctx) AsyncFuture(fn func(*Ctx) any) *Future {
+	return c.AsyncFutureAt(c.place, fn)
+}
+
+// AsyncFutureAt is AsyncFuture at a specific place.
+func (c *Ctx) AsyncFutureAt(p *platform.Place, fn func(*Ctx) any) *Future {
+	prom := NewPromise(c.rt)
+	c.rt.spawn(c.w, p, c.fin, func(cc *Ctx) {
+		prom.put(cc, fn(cc))
+	})
+	return prom.Future()
+}
+
+// AsyncAwait creates a task whose execution is predicated on the
+// satisfaction of all given futures.
+func (c *Ctx) AsyncAwait(fn func(*Ctx), futures ...*Future) {
+	c.AsyncAwaitAt(c.place, fn, futures...)
+}
+
+// AsyncAwaitAt is AsyncAwait at a specific place.
+func (c *Ctx) AsyncAwaitAt(p *platform.Place, fn func(*Ctx), futures ...*Future) {
+	c.rt.spawnAwait(c.w, p, c.fin, fn, futures)
+}
+
+// AsyncFutureAwait creates a task whose execution is predicated on the given
+// futures and returns a future satisfied with fn's return value when the
+// task completes.
+func (c *Ctx) AsyncFutureAwait(fn func(*Ctx) any, futures ...*Future) *Future {
+	return c.AsyncFutureAwaitAt(c.place, fn, futures...)
+}
+
+// AsyncFutureAwaitAt is AsyncFutureAwait at a specific place.
+func (c *Ctx) AsyncFutureAwaitAt(p *platform.Place, fn func(*Ctx) any, futures ...*Future) *Future {
+	prom := NewPromise(c.rt)
+	c.rt.spawnAwait(c.w, p, c.fin, func(cc *Ctx) {
+		prom.put(cc, fn(cc))
+	}, futures)
+	return prom.Future()
+}
+
+// Finish executes fn and then waits for every task created within it —
+// including transitively spawned tasks — to complete before returning.
+// The wait helps execute eligible work and never idles the worker.
+func (c *Ctx) Finish(fn func(*Ctx)) {
+	fs := newFinishScope(c.rt)
+	prev := c.fin
+	c.fin = fs
+	defer func() {
+		c.fin = prev
+		fs.dec(c) // drop the scope's own reference
+		c.Wait(fs.future())
+	}()
+	fn(c)
+}
+
+// FinishFuture executes fn like Finish but does not block: it returns a
+// future satisfied when all tasks created within fn (transitively) complete.
+func (c *Ctx) FinishFuture(fn func(*Ctx)) *Future {
+	fs := newFinishScope(c.rt)
+	prev := c.fin
+	c.fin = fs
+	defer func() {
+		c.fin = prev
+		fs.dec(c)
+	}()
+	fn(c)
+	return fs.future()
+}
+
+// Wait blocks the current task until f is satisfied. While waiting, the
+// worker executes other eligible tasks; if none are available the worker's
+// concurrency slot is handed to a substitute so no CPU sits idle.
+func (c *Ctx) Wait(f *Future) {
+	c.rt.waitOn(c.w, f)
+}
+
+// HelpUntil keeps the current worker executing eligible tasks until pred
+// returns true, napping briefly when no work is available. Use it to wait
+// on conditions established by events outside the runtime (e.g. a remote
+// one-sided write flipping a flag) without stalling the tasks — such as
+// module pollers — that the condition's satisfaction may depend on.
+func (c *Ctx) HelpUntil(pred func() bool) {
+	c.rt.helpUntil(c.w, pred)
+}
+
+// Get waits for f and returns its value.
+func (c *Ctx) Get(f *Future) any {
+	c.Wait(f)
+	return f.valueLocked()
+}
+
+// Put satisfies promise p with v from inside a task. Tasks released by the
+// satisfaction are enqueued through the current worker's deques, which is
+// cheaper than the injector path taken by Promise.Put.
+func (c *Ctx) Put(p *Promise, v any) {
+	p.put(c, v)
+}
+
+// Yield re-enqueues the remainder of the current task's work expressed as a
+// continuation fn at the current place, giving other eligible tasks at this
+// place a chance to run first. The paper's module pollers use exactly this
+// pattern: poll the pending list, and if operations remain, yield and poll
+// again later.
+// The continuation goes through the place's FIFO injector rather than the
+// worker's own LIFO deque: a yielded poller re-pushed LIFO would shadow
+// every older task in its column and the worker would re-pop it forever,
+// starving exactly the work the yield was meant to let through.
+func (c *Ctx) Yield(fn func(*Ctx)) {
+	// A yielded continuation belongs to the same finish scope.
+	c.rt.spawn(nil, c.place, c.fin, fn)
+}
+
+// String implements fmt.Stringer for debugging.
+func (c *Ctx) String() string {
+	return fmt.Sprintf("ctx(worker=%d place=%v)", c.w.id, c.place)
+}

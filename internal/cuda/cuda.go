@@ -1,0 +1,344 @@
+// Package cuda simulates a CUDA-capable GPU: device memory, in-order
+// streams, events, asynchronous host<->device transfers over a modelled
+// PCIe link, and data-parallel kernel execution on a bounded pool of
+// simulated SMs.
+//
+// It substitutes for the NVIDIA K20X + CUDA toolkit used on Titan in the
+// paper's evaluation. What matters for reproducing the paper's results is
+// the asynchrony structure — kernels and copies enqueue onto streams, run
+// concurrently with host code, cost wall-clock time, and complete events —
+// because the GEO speedup comes from HiPER overlapping those operations
+// with MPI communication via futures instead of blocking the host.
+//
+// Kernels are Go functions over a 1D grid; they really execute (on SM-pool
+// goroutines), so numerical results are real, while launch overhead and
+// transfer costs follow the configured model.
+package cuda
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/spin"
+)
+
+// Config parameterizes a simulated device. Zero values disable the
+// corresponding cost (useful in unit tests).
+type Config struct {
+	// SMs bounds kernel execution parallelism (grid chunks in flight).
+	// Default 4.
+	SMs int
+	// LaunchOverhead is charged once per kernel launch.
+	LaunchOverhead time.Duration
+	// PCIeBytesPerSec models the host<->device link bandwidth; zero means
+	// infinite.
+	PCIeBytesPerSec float64
+	// MemcpyAlpha is the fixed per-transfer latency.
+	MemcpyAlpha time.Duration
+	// MemBytes caps device memory; zero means unlimited.
+	MemBytes int64
+}
+
+// Device is one simulated GPU.
+type Device struct {
+	cfg  Config
+	sms  chan struct{} // SM tokens
+	used atomic.Int64  // allocated device memory
+
+	outstanding sync.WaitGroup // all enqueued ops, for Synchronize
+
+	// statistics
+	kernels   atomic.Int64
+	h2dBytes  atomic.Int64
+	d2hBytes  atomic.Int64
+	streamSeq atomic.Int64
+}
+
+// NewDevice creates a device with the given configuration.
+func NewDevice(cfg Config) *Device {
+	if cfg.SMs <= 0 {
+		cfg.SMs = 4
+	}
+	d := &Device{cfg: cfg}
+	d.sms = make(chan struct{}, cfg.SMs)
+	for i := 0; i < cfg.SMs; i++ {
+		d.sms <- struct{}{}
+	}
+	return d
+}
+
+// Config returns the device configuration.
+func (d *Device) Config() Config { return d.cfg }
+
+// Buffer is a device-memory allocation of float64 elements. Host code must
+// not touch its contents directly; use Memcpy APIs (kernels, which "run on
+// the device", may).
+type Buffer struct {
+	dev  *Device
+	data []float64
+}
+
+// Len returns the element count.
+func (b *Buffer) Len() int { return len(b.data) }
+
+// Device returns the owning device.
+func (b *Buffer) Device() *Device { return b.dev }
+
+// Data exposes the underlying storage to kernels. Host-side code should
+// treat device memory as opaque, exactly as with a real GPU.
+func (b *Buffer) Data() []float64 { return b.data }
+
+// Malloc allocates n float64 elements of device memory.
+func (d *Device) Malloc(n int) (*Buffer, error) {
+	bytes := int64(8 * n)
+	if d.cfg.MemBytes > 0 {
+		if d.used.Add(bytes) > d.cfg.MemBytes {
+			d.used.Add(-bytes)
+			return nil, fmt.Errorf("cuda: out of device memory allocating %d bytes (cap %d)", bytes, d.cfg.MemBytes)
+		}
+	} else {
+		d.used.Add(bytes)
+	}
+	return &Buffer{dev: d, data: make([]float64, n)}, nil
+}
+
+// MustMalloc is Malloc that panics on exhaustion.
+func (d *Device) MustMalloc(n int) *Buffer {
+	b, err := d.Malloc(n)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// Free releases a buffer's accounting (the Go GC reclaims the storage).
+func (d *Device) Free(b *Buffer) {
+	if b == nil || b.dev != d {
+		return
+	}
+	d.used.Add(int64(-8 * b.Len()))
+	b.data = nil
+}
+
+// MemUsed returns currently allocated device memory in bytes.
+func (d *Device) MemUsed() int64 { return d.used.Load() }
+
+// Event marks a point in a stream; it completes when all prior work in the
+// stream has executed. HiPER's CUDA module polls events the same way the
+// MPI module polls requests.
+type Event struct {
+	done atomic.Bool
+	ch   chan struct{}
+}
+
+func newEvent() *Event { return &Event{ch: make(chan struct{})} }
+
+func (e *Event) complete() {
+	e.done.Store(true)
+	close(e.ch)
+}
+
+// Query reports completion without blocking (cudaEventQuery).
+func (e *Event) Query() bool { return e.done.Load() }
+
+// Wait blocks until the event completes (cudaEventSynchronize).
+func (e *Event) Wait() { <-e.ch }
+
+// Stream is an in-order execution queue (cudaStream_t). Operations
+// enqueued on one stream execute sequentially; distinct streams execute
+// concurrently, sharing the device's SMs.
+type Stream struct {
+	dev *Device
+	id  int64
+	mu  sync.Mutex
+	ops []func()
+	run bool
+}
+
+// NewStream creates an asynchronous stream.
+func (d *Device) NewStream() *Stream {
+	return &Stream{dev: d, id: d.streamSeq.Add(1)}
+}
+
+// enqueue appends op to the stream, starting the drainer if idle.
+func (s *Stream) enqueue(op func()) {
+	s.dev.outstanding.Add(1)
+	s.mu.Lock()
+	s.ops = append(s.ops, op)
+	if !s.run {
+		s.run = true
+		go s.drain()
+	}
+	s.mu.Unlock()
+}
+
+func (s *Stream) drain() {
+	for {
+		s.mu.Lock()
+		if len(s.ops) == 0 {
+			s.run = false
+			s.mu.Unlock()
+			return
+		}
+		op := s.ops[0]
+		s.ops = s.ops[1:]
+		s.mu.Unlock()
+		op()
+		s.dev.outstanding.Done()
+	}
+}
+
+// Synchronize blocks until every operation enqueued on the stream so far
+// has completed (cudaStreamSynchronize).
+func (s *Stream) Synchronize() {
+	s.Record().Wait()
+}
+
+// Record enqueues an event and returns it (cudaEventRecord).
+func (s *Stream) Record() *Event {
+	e := newEvent()
+	s.enqueue(e.complete)
+	return e
+}
+
+// transferSleep models PCIe cost for a transfer of the given size.
+func (d *Device) transferSleep(bytes int) {
+	delay := d.cfg.MemcpyAlpha
+	if d.cfg.PCIeBytesPerSec > 0 {
+		delay += time.Duration(float64(bytes) / d.cfg.PCIeBytesPerSec * float64(time.Second))
+	}
+	if delay > 0 {
+		spin.Sleep(delay)
+	}
+}
+
+// MemcpyH2DAsync copies host src into dst at dstOff, asynchronously on the
+// stream, returning the completion event. The source is captured eagerly.
+func (s *Stream) MemcpyH2DAsync(dst *Buffer, dstOff int, src []float64) *Event {
+	cp := make([]float64, len(src))
+	copy(cp, src)
+	e := newEvent()
+	s.enqueue(func() {
+		s.dev.transferSleep(8 * len(cp))
+		copy(dst.data[dstOff:], cp)
+		s.dev.h2dBytes.Add(int64(8 * len(cp)))
+		e.complete()
+	})
+	return e
+}
+
+// MemcpyD2HAsync copies n elements from src at srcOff into host dst,
+// asynchronously on the stream, returning the completion event. The host
+// buffer must stay untouched until the event completes, as with real CUDA.
+func (s *Stream) MemcpyD2HAsync(dst []float64, src *Buffer, srcOff, n int) *Event {
+	e := newEvent()
+	s.enqueue(func() {
+		s.dev.transferSleep(8 * n)
+		copy(dst, src.data[srcOff:srcOff+n])
+		s.dev.d2hBytes.Add(int64(8 * n))
+		e.complete()
+	})
+	return e
+}
+
+// MemcpyD2DAsync copies device-to-device within one GPU.
+func (s *Stream) MemcpyD2DAsync(dst *Buffer, dstOff int, src *Buffer, srcOff, n int) *Event {
+	e := newEvent()
+	s.enqueue(func() {
+		// On-device copies are cheap; charge only the fixed latency.
+		if s.dev.cfg.MemcpyAlpha > 0 {
+			spin.Sleep(s.dev.cfg.MemcpyAlpha)
+		}
+		copy(dst.data[dstOff:dstOff+n], src.data[srcOff:srcOff+n])
+		e.complete()
+	})
+	return e
+}
+
+// Kernel is a device function over a 1D grid: invoked once per index in
+// [0, grid). Implementations see device buffers via Buffer.Data.
+type Kernel func(i int)
+
+// LaunchAsync enqueues a kernel over the grid. Grid chunks execute with
+// parallelism bounded by the device's SM count, shared with concurrently
+// executing streams.
+func (s *Stream) LaunchAsync(grid int, k Kernel) *Event {
+	e := newEvent()
+	s.enqueue(func() {
+		s.dev.runKernel(grid, k)
+		e.complete()
+	})
+	return e
+}
+
+// runKernel executes the grid with SM-bounded parallelism.
+func (d *Device) runKernel(grid int, k Kernel) {
+	if d.cfg.LaunchOverhead > 0 {
+		spin.Sleep(d.cfg.LaunchOverhead)
+	}
+	d.kernels.Add(1)
+	if grid <= 0 {
+		return
+	}
+	chunks := d.cfg.SMs
+	if chunks > grid {
+		chunks = grid
+	}
+	var wg sync.WaitGroup
+	per := (grid + chunks - 1) / chunks
+	for c := 0; c < chunks; c++ {
+		lo := c * per
+		hi := lo + per
+		if hi > grid {
+			hi = grid
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			<-d.sms // acquire an SM
+			for i := lo; i < hi; i++ {
+				k(i)
+			}
+			d.sms <- struct{}{}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// Synchronize blocks until all work enqueued on all streams completes
+// (cudaDeviceSynchronize).
+func (d *Device) Synchronize() { d.outstanding.Wait() }
+
+// Stats returns cumulative device activity.
+func (d *Device) Stats() (kernels, h2dBytes, d2hBytes int64) {
+	return d.kernels.Load(), d.h2dBytes.Load(), d.d2hBytes.Load()
+}
+
+// Memcpy variants that block the caller (cudaMemcpy): used by the naive
+// MPI+CUDA baselines that the paper's HiPER version outperforms by
+// eliminating blocking operations.
+
+// MemcpyH2D is a blocking host-to-device copy.
+func (d *Device) MemcpyH2D(dst *Buffer, dstOff int, src []float64) {
+	d.transferSleep(8 * len(src))
+	copy(dst.data[dstOff:], src)
+	d.h2dBytes.Add(int64(8 * len(src)))
+}
+
+// MemcpyD2H is a blocking device-to-host copy.
+func (d *Device) MemcpyD2H(dst []float64, src *Buffer, srcOff, n int) {
+	d.transferSleep(8 * n)
+	copy(dst, src.data[srcOff:srcOff+n])
+	d.d2hBytes.Add(int64(8 * n))
+}
+
+// Launch is a blocking kernel launch (launch + cudaDeviceSynchronize in
+// one call), for the baselines.
+func (d *Device) Launch(grid int, k Kernel) {
+	d.runKernel(grid, k)
+}

@@ -1,0 +1,246 @@
+package cuda
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestMallocFreeAccounting(t *testing.T) {
+	d := NewDevice(Config{MemBytes: 1024})
+	b, err := d.Malloc(64) // 512 bytes
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.MemUsed() != 512 {
+		t.Fatalf("used = %d", d.MemUsed())
+	}
+	if _, err := d.Malloc(128); err == nil { // would exceed cap
+		t.Fatal("expected out-of-memory")
+	}
+	d.Free(b)
+	if d.MemUsed() != 0 {
+		t.Fatalf("used after free = %d", d.MemUsed())
+	}
+	if _, err := d.Malloc(128); err != nil {
+		t.Fatalf("alloc after free: %v", err)
+	}
+}
+
+func TestBlockingMemcpyRoundTrip(t *testing.T) {
+	d := NewDevice(Config{})
+	b := d.MustMalloc(8)
+	host := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	d.MemcpyH2D(b, 0, host)
+	out := make([]float64, 8)
+	d.MemcpyD2H(out, b, 0, 8)
+	for i := range host {
+		if out[i] != host[i] {
+			t.Fatalf("out[%d] = %v", i, out[i])
+		}
+	}
+}
+
+func TestKernelComputes(t *testing.T) {
+	d := NewDevice(Config{SMs: 4})
+	const n = 10000
+	b := d.MustMalloc(n)
+	d.Launch(n, func(i int) { b.Data()[i] = float64(i) * 2 })
+	out := make([]float64, n)
+	d.MemcpyD2H(out, b, 0, n)
+	for i := 0; i < n; i++ {
+		if out[i] != float64(i)*2 {
+			t.Fatalf("out[%d] = %v", i, out[i])
+		}
+	}
+}
+
+func TestStreamOrdering(t *testing.T) {
+	d := NewDevice(Config{SMs: 2})
+	s := d.NewStream()
+	const n = 1000
+	b := d.MustMalloc(n)
+	host := make([]float64, n)
+	for i := range host {
+		host[i] = 1
+	}
+	// H2D, then kernel squaring+1, then D2H: in-order stream semantics mean
+	// the D2H must observe the kernel's writes.
+	s.MemcpyH2DAsync(b, 0, host)
+	s.LaunchAsync(n, func(i int) { b.Data()[i] = b.Data()[i] + 41 })
+	out := make([]float64, n)
+	ev := s.MemcpyD2HAsync(out, b, 0, n)
+	ev.Wait()
+	for i := range out {
+		if out[i] != 42 {
+			t.Fatalf("out[%d] = %v; stream ops reordered", i, out[i])
+		}
+	}
+}
+
+func TestEventQueryBeforeAfter(t *testing.T) {
+	d := NewDevice(Config{MemcpyAlpha: 10 * time.Millisecond})
+	s := d.NewStream()
+	b := d.MustMalloc(4)
+	ev := s.MemcpyH2DAsync(b, 0, []float64{1, 2, 3, 4})
+	if ev.Query() {
+		t.Fatal("event complete before transfer latency elapsed")
+	}
+	ev.Wait()
+	if !ev.Query() {
+		t.Fatal("event incomplete after Wait")
+	}
+}
+
+func TestStreamsRunConcurrently(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	d := NewDevice(Config{SMs: 4, MemcpyAlpha: 20 * time.Millisecond})
+	b := d.MustMalloc(4)
+	start := time.Now()
+	s1 := d.NewStream()
+	s2 := d.NewStream()
+	e1 := s1.MemcpyH2DAsync(b, 0, []float64{1})
+	e2 := s2.MemcpyH2DAsync(b, 2, []float64{2})
+	e1.Wait()
+	e2.Wait()
+	if el := time.Since(start); el > 35*time.Millisecond {
+		t.Fatalf("two streams took %v; expected concurrent execution (~20ms)", el)
+	}
+	// Same stream serializes.
+	start = time.Now()
+	e3 := s1.MemcpyH2DAsync(b, 0, []float64{3})
+	e4 := s1.MemcpyH2DAsync(b, 2, []float64{4})
+	e3.Wait()
+	e4.Wait()
+	if el := time.Since(start); el < 35*time.Millisecond {
+		t.Fatalf("same-stream ops took %v; expected serialized (~40ms)", el)
+	}
+}
+
+func TestHostBufferCapturedEagerly(t *testing.T) {
+	d := NewDevice(Config{MemcpyAlpha: 5 * time.Millisecond})
+	s := d.NewStream()
+	b := d.MustMalloc(1)
+	host := []float64{7}
+	ev := s.MemcpyH2DAsync(b, 0, host)
+	host[0] = 0 // mutate before transfer completes
+	ev.Wait()
+	out := make([]float64, 1)
+	d.MemcpyD2H(out, b, 0, 1)
+	if out[0] != 7 {
+		t.Fatal("H2D async did not capture source eagerly")
+	}
+}
+
+func TestD2DCopy(t *testing.T) {
+	d := NewDevice(Config{})
+	a := d.MustMalloc(4)
+	b := d.MustMalloc(4)
+	d.MemcpyH2D(a, 0, []float64{1, 2, 3, 4})
+	s := d.NewStream()
+	s.MemcpyD2DAsync(b, 1, a, 2, 2).Wait()
+	out := make([]float64, 4)
+	d.MemcpyD2H(out, b, 0, 4)
+	if out[1] != 3 || out[2] != 4 {
+		t.Fatalf("d2d: %v", out)
+	}
+}
+
+func TestDeviceSynchronize(t *testing.T) {
+	d := NewDevice(Config{SMs: 2, MemcpyAlpha: 5 * time.Millisecond})
+	b := d.MustMalloc(4)
+	var done atomic.Int32
+	for i := 0; i < 4; i++ {
+		s := d.NewStream()
+		s.MemcpyH2DAsync(b, i, []float64{1}) // distinct offsets: concurrent streams must not alias
+		s.LaunchAsync(1, func(int) { done.Add(1) })
+	}
+	d.Synchronize()
+	if done.Load() != 4 {
+		t.Fatalf("Synchronize returned with %d/4 kernels done", done.Load())
+	}
+}
+
+func TestSMBoundedParallelism(t *testing.T) {
+	d := NewDevice(Config{SMs: 2})
+	var cur, peak atomic.Int32
+	d.Launch(64, func(i int) {
+		c := cur.Add(1)
+		for {
+			p := peak.Load()
+			if c <= p || peak.CompareAndSwap(p, c) {
+				break
+			}
+		}
+		time.Sleep(100 * time.Microsecond)
+		cur.Add(-1)
+	})
+	if p := peak.Load(); p > 2 {
+		t.Fatalf("observed %d concurrent grid chunks with 2 SMs", p)
+	}
+}
+
+func TestEmptyKernelGrid(t *testing.T) {
+	d := NewDevice(Config{})
+	d.Launch(0, func(int) { t.Error("kernel invoked for empty grid") })
+	k, _, _ := d.Stats()
+	if k != 1 {
+		t.Fatalf("kernel count = %d", k)
+	}
+}
+
+func TestStats(t *testing.T) {
+	d := NewDevice(Config{})
+	b := d.MustMalloc(10)
+	d.MemcpyH2D(b, 0, make([]float64, 10))
+	d.MemcpyD2H(make([]float64, 5), b, 0, 5)
+	d.Launch(1, func(int) {})
+	k, h2d, d2h := d.Stats()
+	if k != 1 || h2d != 80 || d2h != 40 {
+		t.Fatalf("stats = %d %d %d", k, h2d, d2h)
+	}
+}
+
+// Property: a kernel over any grid size touches each index exactly once.
+func TestQuickKernelCoverage(t *testing.T) {
+	d := NewDevice(Config{SMs: 3})
+	f := func(g uint16) bool {
+		grid := int(g % 5000)
+		counts := make([]atomic.Int32, grid)
+		d.Launch(grid, func(i int) { counts[i].Add(1) })
+		for i := range counts {
+			if counts[i].Load() != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkKernelLaunch(b *testing.B) {
+	d := NewDevice(Config{SMs: 4})
+	buf := d.MustMalloc(1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Launch(1024, func(j int) { buf.Data()[j]++ })
+	}
+}
+
+func BenchmarkAsyncPipeline(b *testing.B) {
+	d := NewDevice(Config{SMs: 4})
+	s := d.NewStream()
+	buf := d.MustMalloc(1024)
+	host := make([]float64, 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.MemcpyH2DAsync(buf, 0, host)
+		s.LaunchAsync(1024, func(j int) { buf.Data()[j]++ })
+		s.MemcpyD2HAsync(host, buf, 0, 1024).Wait()
+	}
+}

@@ -1,0 +1,136 @@
+// Package deque implements a Chase-Lev lock-free work-stealing deque.
+//
+// The deque is owned by a single worker goroutine, which may call PushBottom
+// and PopBottom. Any number of other goroutines ("thieves") may concurrently
+// call Steal. This is the classic dynamic circular work-stealing deque from
+// Chase and Lev, "Dynamic Circular Work-Stealing Deque" (SPAA 2005), adapted
+// to Go's sequentially-consistent sync/atomic operations.
+//
+// In the HiPER runtime each place in the platform model holds one deque per
+// worker identity; the i-th deque at a place contains only tasks spawned by
+// worker i, so pop paths (own work, LIFO, locality-friendly) and steal paths
+// (others' work, FIFO, load-balancing) are cheap to distinguish.
+package deque
+
+import "sync/atomic"
+
+const (
+	// minCapacity is the initial ring size allocated on first push.
+	// Must be a power of two.
+	minCapacity = 32
+)
+
+// ring is an immutable-capacity circular buffer. Elements are accessed with
+// atomic operations because a thief may read a slot while the owner
+// overwrites it after a successful steal of an adjacent slot.
+type ring[T any] struct {
+	mask int64
+	buf  []atomic.Pointer[T]
+}
+
+func newRing[T any](capacity int64) *ring[T] {
+	return &ring[T]{mask: capacity - 1, buf: make([]atomic.Pointer[T], capacity)}
+}
+
+func (r *ring[T]) cap() int64 { return int64(len(r.buf)) }
+
+func (r *ring[T]) get(i int64) *T    { return r.buf[i&r.mask].Load() }
+func (r *ring[T]) put(i int64, v *T) { r.buf[i&r.mask].Store(v) }
+
+// grow returns a ring of twice the capacity holding the elements in [top, bottom).
+func (r *ring[T]) grow(top, bottom int64) *ring[T] {
+	nr := newRing[T](r.cap() * 2)
+	for i := top; i < bottom; i++ {
+		nr.put(i, r.get(i))
+	}
+	return nr
+}
+
+// Deque is a single-owner, multi-thief work-stealing deque holding *T values.
+// The zero value is ready to use.
+type Deque[T any] struct {
+	top    atomic.Int64 // next slot to steal from
+	bottom atomic.Int64 // next slot to push to (owner-only writes, thieves read)
+	arr    atomic.Pointer[ring[T]]
+}
+
+// New returns an empty deque.
+func New[T any]() *Deque[T] { return &Deque[T]{} }
+
+// PushBottom adds v to the owner's end of the deque. Owner-only.
+func (d *Deque[T]) PushBottom(v *T) {
+	b := d.bottom.Load()
+	t := d.top.Load()
+	a := d.arr.Load()
+	if a == nil {
+		a = newRing[T](minCapacity)
+		d.arr.Store(a)
+	}
+	if b-t >= a.cap() {
+		a = a.grow(t, b)
+		d.arr.Store(a)
+	}
+	a.put(b, v)
+	d.bottom.Store(b + 1)
+}
+
+// PopBottom removes and returns the most recently pushed value, or nil if the
+// deque is empty. Owner-only.
+func (d *Deque[T]) PopBottom() *T {
+	b := d.bottom.Load() - 1
+	a := d.arr.Load()
+	if a == nil {
+		return nil
+	}
+	d.bottom.Store(b)
+	t := d.top.Load()
+	if t > b {
+		// Deque was empty; restore the canonical empty state.
+		d.bottom.Store(t)
+		return nil
+	}
+	v := a.get(b)
+	if t == b {
+		// Last element: race with thieves via CAS on top.
+		if !d.top.CompareAndSwap(t, t+1) {
+			v = nil // a thief got it
+		}
+		d.bottom.Store(t + 1)
+		return v
+	}
+	return v
+}
+
+// Steal removes and returns the oldest value in the deque. It returns
+// (nil, false) if the deque is empty and (nil, true) if the steal lost a race
+// and should be retried if the caller insists on this victim.
+func (d *Deque[T]) Steal() (v *T, retry bool) {
+	t := d.top.Load()
+	b := d.bottom.Load()
+	if t >= b {
+		return nil, false
+	}
+	a := d.arr.Load()
+	if a == nil {
+		return nil, false
+	}
+	v = a.get(t)
+	if !d.top.CompareAndSwap(t, t+1) {
+		return nil, true
+	}
+	return v, false
+}
+
+// Size reports the approximate number of elements. It is only exact when the
+// deque is quiescent; concurrent callers get a snapshot.
+func (d *Deque[T]) Size() int {
+	b := d.bottom.Load()
+	t := d.top.Load()
+	if b < t {
+		return 0
+	}
+	return int(b - t)
+}
+
+// Empty reports whether the deque appears empty.
+func (d *Deque[T]) Empty() bool { return d.Size() == 0 }

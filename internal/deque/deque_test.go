@@ -1,0 +1,282 @@
+package deque
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestPushPopLIFO(t *testing.T) {
+	d := New[int]()
+	vals := []int{1, 2, 3, 4, 5}
+	ptrs := make([]*int, len(vals))
+	for i := range vals {
+		ptrs[i] = &vals[i]
+		d.PushBottom(ptrs[i])
+	}
+	for i := len(vals) - 1; i >= 0; i-- {
+		got := d.PopBottom()
+		if got != ptrs[i] {
+			t.Fatalf("pop %d: got %v want %v", i, got, ptrs[i])
+		}
+	}
+	if d.PopBottom() != nil {
+		t.Fatal("pop on empty deque should return nil")
+	}
+}
+
+func TestStealFIFO(t *testing.T) {
+	d := New[int]()
+	vals := []int{10, 20, 30}
+	for i := range vals {
+		d.PushBottom(&vals[i])
+	}
+	for i := range vals {
+		v, retry := d.Steal()
+		if retry {
+			t.Fatal("unexpected retry on uncontended steal")
+		}
+		if v == nil || *v != vals[i] {
+			t.Fatalf("steal %d: got %v want %d", i, v, vals[i])
+		}
+	}
+	if v, _ := d.Steal(); v != nil {
+		t.Fatal("steal on empty deque should return nil")
+	}
+}
+
+func TestEmptyOps(t *testing.T) {
+	d := New[int]()
+	if !d.Empty() || d.Size() != 0 {
+		t.Fatal("new deque should be empty")
+	}
+	if d.PopBottom() != nil {
+		t.Fatal("pop empty")
+	}
+	if v, retry := d.Steal(); v != nil || retry {
+		t.Fatal("steal empty")
+	}
+	x := 7
+	d.PushBottom(&x)
+	if d.Empty() || d.Size() != 1 {
+		t.Fatal("size after push")
+	}
+	d.PopBottom()
+	if !d.Empty() {
+		t.Fatal("should be empty again")
+	}
+	// Interleave to exercise the canonical-empty restore path.
+	for i := 0; i < 100; i++ {
+		d.PushBottom(&x)
+		if d.PopBottom() == nil {
+			t.Fatal("lost element")
+		}
+	}
+}
+
+func TestGrowth(t *testing.T) {
+	d := New[int]()
+	n := 10 * minCapacity
+	vals := make([]int, n)
+	for i := 0; i < n; i++ {
+		vals[i] = i
+		d.PushBottom(&vals[i])
+	}
+	if d.Size() != n {
+		t.Fatalf("size = %d, want %d", d.Size(), n)
+	}
+	// Mixed pops and steals must retrieve every element exactly once.
+	seen := make(map[int]bool)
+	for i := 0; i < n; i++ {
+		var v *int
+		if i%2 == 0 {
+			v = d.PopBottom()
+		} else {
+			v, _ = d.Steal()
+		}
+		if v == nil {
+			t.Fatalf("lost element at %d", i)
+		}
+		if seen[*v] {
+			t.Fatalf("duplicate element %d", *v)
+		}
+		seen[*v] = true
+	}
+	if !d.Empty() {
+		t.Fatal("should be empty")
+	}
+}
+
+// TestConcurrentStealers runs one owner pushing/popping against several
+// thieves, verifying that every pushed element is consumed exactly once.
+func TestConcurrentStealers(t *testing.T) {
+	const (
+		total    = 100000
+		stealers = 4
+	)
+	d := New[int64]()
+	var consumed atomic.Int64
+	var sum atomic.Int64
+	var wantSum int64
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for s := 0; s < stealers; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				v, retry := d.Steal()
+				if v != nil {
+					consumed.Add(1)
+					sum.Add(*v)
+					continue
+				}
+				if retry {
+					continue
+				}
+				select {
+				case <-done:
+					// Drain anything left after the owner finished.
+					for {
+						v, retry := d.Steal()
+						if v != nil {
+							consumed.Add(1)
+							sum.Add(*v)
+						} else if !retry {
+							return
+						}
+					}
+				default:
+				}
+			}
+		}()
+	}
+
+	vals := make([]int64, total)
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < total; i++ {
+		vals[i] = int64(i + 1)
+		wantSum += vals[i]
+		d.PushBottom(&vals[i])
+		if rng.Intn(3) == 0 {
+			if v := d.PopBottom(); v != nil {
+				consumed.Add(1)
+				sum.Add(*v)
+			}
+		}
+	}
+	// Owner drains its remaining work.
+	for {
+		v := d.PopBottom()
+		if v == nil {
+			break
+		}
+		consumed.Add(1)
+		sum.Add(*v)
+	}
+	close(done)
+	wg.Wait()
+	// A thief may still have grabbed elements between the owner's last pop
+	// returning nil and close(done); all elements must be accounted for.
+	if got := consumed.Load(); got != total {
+		t.Fatalf("consumed %d elements, want %d", got, total)
+	}
+	if got := sum.Load(); got != wantSum {
+		t.Fatalf("sum = %d, want %d (duplicate or lost element)", got, wantSum)
+	}
+}
+
+// TestQuickSequential property: for any sequence of push/pop/steal operations
+// performed sequentially, the deque behaves like a double-ended queue where
+// pop takes from the back and steal takes from the front.
+func TestQuickSequential(t *testing.T) {
+	f := func(ops []uint8) bool {
+		d := New[int]()
+		var model []int // front = steal end, back = pop end
+		next := 0
+		storage := make([]int, 0, len(ops))
+		for _, op := range ops {
+			switch op % 3 {
+			case 0: // push
+				storage = append(storage, next)
+				// Note: appending may reallocate; take address after append
+				// of the element in its final home for this iteration.
+				d.PushBottom(&storage[len(storage)-1])
+				model = append(model, next)
+				next++
+			case 1: // pop
+				got := d.PopBottom()
+				if len(model) == 0 {
+					if got != nil {
+						return false
+					}
+				} else {
+					want := model[len(model)-1]
+					model = model[:len(model)-1]
+					if got == nil || *got != want {
+						return false
+					}
+				}
+			case 2: // steal
+				got, retry := d.Steal()
+				if retry {
+					return false // no contention sequentially
+				}
+				if len(model) == 0 {
+					if got != nil {
+						return false
+					}
+				} else {
+					want := model[0]
+					model = model[1:]
+					if got == nil || *got != want {
+						return false
+					}
+				}
+			}
+		}
+		return d.Size() == len(model)
+	}
+	cfg := &quick.Config{MaxCount: 200}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkPushPop(b *testing.B) {
+	d := New[int]()
+	x := 1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.PushBottom(&x)
+		d.PopBottom()
+	}
+}
+
+func BenchmarkStealContention(b *testing.B) {
+	d := New[int]()
+	x := 1
+	stop := make(chan struct{})
+	for i := 0; i < 3; i++ {
+		go func() {
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					d.Steal()
+				}
+			}
+		}()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.PushBottom(&x)
+		d.PopBottom()
+	}
+	b.StopTimer()
+	close(stop)
+}

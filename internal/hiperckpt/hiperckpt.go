@@ -1,0 +1,185 @@
+// Package hiperckpt is a HiPER checkpointing module — the first of the
+// three future-work module types the paper's Section V sketches: "a HiPER
+// module for checkpointing of application state would enable overlapping
+// of checkpoint I/O with useful application work."
+//
+// The module wraps a simulated node-local persistent store (NVM or burst
+// buffer; the paper's abstract platform model gives every node
+// flash-class local storage). Checkpoint writes snapshot the data eagerly
+// and stream it to the store asynchronously, returning a future — so the
+// application keeps computing while the I/O drains, and can chain the
+// next phase (or the next checkpoint) on the future like any other HiPER
+// work.
+//
+// It also demonstrates that modules need no support from the core
+// runtime: everything here is built on the public task APIs, exactly as a
+// third party would.
+package hiperckpt
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/platform"
+	"repro/internal/spin"
+	"repro/internal/stats"
+)
+
+// ModuleName is the name this module registers under.
+const ModuleName = "ckpt"
+
+// StoreConfig models the persistent device.
+type StoreConfig struct {
+	// Alpha is the fixed per-operation latency.
+	Alpha time.Duration
+	// BytesPerSec is the device bandwidth; zero means infinite.
+	BytesPerSec float64
+}
+
+// Store is a simulated persistent key-value store (NVM / burst buffer).
+// One Store may be shared by many ranks' modules, like a node-local
+// device shared by the processes on the node.
+type Store struct {
+	cfg   StoreConfig
+	mu    sync.Mutex
+	blobs map[string][]float64
+
+	writes sync.WaitGroup
+}
+
+// NewStore creates an empty store.
+func NewStore(cfg StoreConfig) *Store {
+	return &Store{cfg: cfg, blobs: make(map[string][]float64)}
+}
+
+// delay models one transfer.
+func (s *Store) delay(bytes int) {
+	d := s.cfg.Alpha
+	if s.cfg.BytesPerSec > 0 {
+		d += time.Duration(float64(bytes) / s.cfg.BytesPerSec * float64(time.Second))
+	}
+	if d > 0 {
+		spin.Sleep(d)
+	}
+}
+
+// write persists a snapshot asynchronously; done runs when durable.
+func (s *Store) write(key string, snapshot []float64, done func()) {
+	s.writes.Add(1)
+	go func() {
+		defer s.writes.Done()
+		s.delay(8 * len(snapshot))
+		s.mu.Lock()
+		s.blobs[key] = snapshot
+		s.mu.Unlock()
+		done()
+	}()
+}
+
+// read fetches a blob (blocking for the modelled latency).
+func (s *Store) read(key string) ([]float64, bool) {
+	s.mu.Lock()
+	blob, ok := s.blobs[key]
+	s.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	s.delay(8 * len(blob))
+	out := make([]float64, len(blob))
+	copy(out, blob)
+	return out, true
+}
+
+// Drain waits for all in-flight writes (used by Finalize).
+func (s *Store) Drain() { s.writes.Wait() }
+
+// Module is the checkpoint module bound to one rank's runtime.
+type Module struct {
+	store *Store
+	rt    *core.Runtime
+	place *platform.Place // NVM (preferred) or disk place
+}
+
+// New creates the module over a store.
+func New(store *Store) *Module { return &Module{store: store} }
+
+// Name implements modules.Module.
+func (m *Module) Name() string { return ModuleName }
+
+// Init asserts the platform model has persistent storage — an NVM place,
+// else a disk place — covered by some worker path (checkpoint initiation
+// tasks are placed there, keeping storage traffic visible to the unified
+// scheduler like all other module work).
+func (m *Module) Init(rt *core.Runtime) error {
+	p := rt.Model().FirstByKind(platform.KindNVM)
+	if p == nil {
+		p = rt.Model().FirstByKind(platform.KindDisk)
+	}
+	if p == nil {
+		return fmt.Errorf("hiperckpt: platform model has neither %q nor %q place",
+			platform.KindNVM, platform.KindDisk)
+	}
+	if !rt.Model().CoveredPlaces()[p.ID] {
+		return fmt.Errorf("hiperckpt: storage place %v is on no worker's pop or steal path", p)
+	}
+	m.rt = rt
+	m.place = p
+	return nil
+}
+
+// Finalize drains outstanding writes so no checkpoint is torn at exit.
+func (m *Module) Finalize() { m.store.Drain() }
+
+// StoragePlace returns the place checkpoint tasks run at.
+func (m *Module) StoragePlace() *platform.Place { return m.place }
+
+// CheckpointAsync snapshots data (eagerly — the caller may mutate it
+// immediately) and persists it under key, returning a future satisfied
+// when the write is durable. The snapshot-and-initiate step runs as a
+// task at the storage place.
+func (m *Module) CheckpointAsync(c *core.Ctx, key string, data []float64) *core.Future {
+	defer stats.Track(ModuleName, "checkpoint_async")()
+	snapshot := make([]float64, len(data))
+	copy(snapshot, data)
+	prom := core.NewPromise(m.rt)
+	c.AsyncAt(m.place, func(*core.Ctx) {
+		m.store.write(key, snapshot, func() { prom.Put(nil) })
+	})
+	return prom.Future()
+}
+
+// CheckpointAwait is CheckpointAsync predicated on dependency futures —
+// e.g. snapshot only after the time step that produces the state.
+func (m *Module) CheckpointAwait(c *core.Ctx, key string, data []float64, deps ...*core.Future) *core.Future {
+	out := core.NewPromise(m.rt)
+	c.AsyncAwaitAt(m.place, func(cc *core.Ctx) {
+		m.CheckpointAsync(cc, key, data).OnDone(func(any) { out.Put(nil) })
+	}, deps...)
+	return out.Future()
+}
+
+// Restore reads a checkpoint back (taskified at the storage place; the
+// calling task is descheduled for the device latency).
+func (m *Module) Restore(c *core.Ctx, key string) ([]float64, bool) {
+	defer stats.Track(ModuleName, "restore")()
+	f := c.AsyncFutureAt(m.place, func(cc *core.Ctx) any {
+		done := core.NewPromise(m.rt)
+		go func() {
+			blob, ok := m.store.read(key)
+			if !ok {
+				done.Put(nil)
+				return
+			}
+			done.Put(blob)
+		}()
+		cc.Wait(done.Future())
+		return done.Future().Get()
+	})
+	v := c.Get(f)
+	if v == nil {
+		return nil, false
+	}
+	return v.([]float64), true
+}

@@ -1,0 +1,157 @@
+package hiperckpt
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/modules"
+	"repro/internal/platform"
+)
+
+func boot(t testing.TB, cfg StoreConfig) (*core.Runtime, *Module) {
+	t.Helper()
+	model, err := platform.Generate(platform.MachineSpec{
+		Sockets: 1, CoresPerSocket: 2, NVM: true, Interconnect: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := core.New(model, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(NewStore(cfg))
+	modules.MustInstall(rt, m)
+	t.Cleanup(rt.Shutdown)
+	return rt, m
+}
+
+func TestInitRequiresStoragePlace(t *testing.T) {
+	rt := core.NewDefault(1) // default model: no NVM, no disk
+	defer rt.Shutdown()
+	if err := modules.Install(rt, New(NewStore(StoreConfig{}))); err == nil {
+		t.Fatal("Init must fail without a storage place")
+	}
+}
+
+func TestInitFallsBackToDisk(t *testing.T) {
+	model, err := platform.Generate(platform.MachineSpec{
+		Sockets: 1, CoresPerSocket: 1, Disk: true, Interconnect: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := core.New(model, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Shutdown()
+	m := New(NewStore(StoreConfig{}))
+	modules.MustInstall(rt, m)
+	if m.StoragePlace().Kind != platform.KindDisk {
+		t.Fatalf("storage place = %v", m.StoragePlace())
+	}
+}
+
+func TestCheckpointRestoreRoundTrip(t *testing.T) {
+	rt, m := boot(t, StoreConfig{Alpha: time.Millisecond})
+	rt.Launch(func(c *core.Ctx) {
+		data := []float64{1, 2, 3, 4}
+		f := m.CheckpointAsync(c, "state", data)
+		data[0] = 99 // mutate immediately: the snapshot must be eager
+		c.Wait(f)
+		got, ok := m.Restore(c, "state")
+		if !ok || len(got) != 4 || got[0] != 1 || got[3] != 4 {
+			t.Errorf("restore = %v %v", got, ok)
+		}
+		if _, ok := m.Restore(c, "missing"); ok {
+			t.Error("missing key restored")
+		}
+	})
+}
+
+func TestCheckpointOverlapsCompute(t *testing.T) {
+	// The point of the module: application work proceeds while the write
+	// drains. Verify the future is NOT satisfied immediately and compute
+	// can run meanwhile.
+	rt, m := boot(t, StoreConfig{Alpha: 10 * time.Millisecond})
+	rt.Launch(func(c *core.Ctx) {
+		f := m.CheckpointAsync(c, "big", make([]float64, 1024))
+		sum := 0
+		for i := 0; i < 100000; i++ {
+			sum += i
+		}
+		if sum != 4999950000 {
+			t.Error("compute wrong")
+		}
+		c.Wait(f)
+		if !f.Done() {
+			t.Error("checkpoint never completed")
+		}
+	})
+}
+
+func TestCheckpointAwaitChains(t *testing.T) {
+	rt, m := boot(t, StoreConfig{})
+	rt.Launch(func(c *core.Ctx) {
+		data := make([]float64, 8)
+		step := c.AsyncFuture(func(*core.Ctx) any {
+			for i := range data {
+				data[i] = float64(i)
+			}
+			return nil
+		})
+		c.Wait(m.CheckpointAwait(c, "after-step", data, step))
+		got, ok := m.Restore(c, "after-step")
+		if !ok || got[7] != 7 {
+			t.Errorf("chained checkpoint captured %v before its dependency", got)
+		}
+	})
+}
+
+func TestFinalizeDrainsWrites(t *testing.T) {
+	store := NewStore(StoreConfig{Alpha: 5 * time.Millisecond})
+	model, _ := platform.Generate(platform.MachineSpec{
+		Sockets: 1, CoresPerSocket: 2, NVM: true, Interconnect: true,
+	})
+	rt, err := core.New(model, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(store)
+	modules.MustInstall(rt, m)
+	rt.Launch(func(c *core.Ctx) {
+		m.CheckpointAsync(c, "x", []float64{42})
+	})
+	rt.Shutdown() // runs Finalize -> Drain
+	if blob, ok := store.read("x"); !ok || blob[0] != 42 {
+		t.Fatal("write lost at shutdown")
+	}
+}
+
+func TestSharedStoreAcrossRanks(t *testing.T) {
+	// Two runtimes (two ranks on one node) sharing one store.
+	store := NewStore(StoreConfig{})
+	model, _ := platform.Generate(platform.MachineSpec{
+		Sockets: 1, CoresPerSocket: 1, NVM: true, Interconnect: true,
+	})
+	for r := 0; r < 2; r++ {
+		rt, err := core.New(model, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := New(store)
+		modules.MustInstall(rt, m)
+		r := r
+		rt.Launch(func(c *core.Ctx) {
+			c.Wait(m.CheckpointAsync(c, key(r), []float64{float64(r)}))
+		})
+		rt.Shutdown()
+	}
+	if blob, ok := store.read(key(1)); !ok || blob[0] != 1 {
+		t.Fatal("per-rank keys collided or lost")
+	}
+}
+
+func key(r int) string { return string(rune('a' + r)) }

@@ -1,0 +1,290 @@
+// Package hipercuda is the HiPER CUDA module. It supports blocking and
+// asynchronous data transfers and asynchronous CUDA kernels, scheduled on
+// the unified HiPER runtime.
+//
+// It is the only standard module that registers special-purpose functions
+// with the runtime: at Init it registers itself as the handler for
+// AsyncCopy transfers that read or write GPU places, so any module or
+// application calling HiPER's generic data-movement API is transparently
+// routed through CUDA streams.
+//
+// Asynchronous operations use the same polling technique as the MPI module
+// (a single yielding poller task testing CUDA events and satisfying HiPER
+// promises).
+package hipercuda
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/cuda"
+	"repro/internal/platform"
+	"repro/internal/spin"
+	"repro/internal/stats"
+)
+
+// ModuleName is the name this module registers under.
+const ModuleName = "cuda"
+
+// Options tunes module behaviour.
+type Options struct {
+	// PollInterval bounds CPU burned on empty event-polling rounds.
+	// Default 20µs.
+	PollInterval time.Duration
+	// Streams is the number of device streams the module round-robins
+	// asynchronous operations over. Default 4.
+	Streams int
+}
+
+// Module is the HiPER CUDA module bound to one device.
+type Module struct {
+	dev  *cuda.Device
+	opts Options
+
+	rt     *core.Runtime
+	gpu    *platform.Place // execution place
+	gpumem *platform.Place // device-memory place
+
+	streams []*cuda.Stream
+	nextStr int
+	strMu   sync.Mutex
+
+	mu           sync.Mutex
+	pending      []pendingEvent
+	pollerActive bool
+}
+
+type pendingEvent struct {
+	ev   *cuda.Event
+	prom *core.Promise
+}
+
+// New creates the module for one simulated device.
+func New(dev *cuda.Device, opts *Options) *Module {
+	m := &Module{dev: dev}
+	if opts != nil {
+		m.opts = *opts
+	}
+	if m.opts.PollInterval <= 0 {
+		m.opts.PollInterval = 20 * time.Microsecond
+	}
+	if m.opts.Streams <= 0 {
+		m.opts.Streams = 4
+	}
+	return m
+}
+
+// Name implements modules.Module.
+func (m *Module) Name() string { return ModuleName }
+
+// Init asserts GPU places exist, creates the module's streams, and
+// registers the GPU copy handlers with the runtime.
+func (m *Module) Init(rt *core.Runtime) error {
+	gpu := rt.Model().FirstByKind(platform.KindGPU)
+	gpumem := rt.Model().FirstByKind(platform.KindGPUMem)
+	if gpu == nil || gpumem == nil {
+		return fmt.Errorf("hipercuda: platform model needs %q and %q places", platform.KindGPU, platform.KindGPUMem)
+	}
+	if !rt.Model().CoveredPlaces()[gpu.ID] {
+		return fmt.Errorf("hipercuda: gpu place %v is on no worker's pop or steal path", gpu)
+	}
+	m.rt = rt
+	m.gpu = gpu
+	m.gpumem = gpumem
+	m.streams = make([]*cuda.Stream, m.opts.Streams)
+	for i := range m.streams {
+		m.streams[i] = m.dev.NewStream()
+	}
+	// Special-purpose registration: anytime a call to HiPER's AsyncCopy
+	// API reads or writes a GPU place, it is handed to this module.
+	rt.RegisterCopyHandler(platform.KindSysMem, platform.KindGPUMem, m.copyH2D)
+	rt.RegisterCopyHandler(platform.KindGPUMem, platform.KindSysMem, m.copyD2H)
+	rt.RegisterCopyHandler(platform.KindGPUMem, platform.KindGPUMem, m.copyD2D)
+	return nil
+}
+
+// Finalize drains the device.
+func (m *Module) Finalize() {
+	m.dev.Synchronize()
+}
+
+// Device returns the wrapped device.
+func (m *Module) Device() *cuda.Device { return m.dev }
+
+// GPUPlace returns the device's execution place.
+func (m *Module) GPUPlace() *platform.Place { return m.gpu }
+
+// GPUMemPlace returns the device's memory place.
+func (m *Module) GPUMemPlace() *platform.Place { return m.gpumem }
+
+// Malloc allocates device memory.
+func (m *Module) Malloc(n int) (*cuda.Buffer, error) { return m.dev.Malloc(n) }
+
+// MustMalloc allocates device memory or panics.
+func (m *Module) MustMalloc(n int) *cuda.Buffer { return m.dev.MustMalloc(n) }
+
+// Free releases device memory.
+func (m *Module) Free(b *cuda.Buffer) { m.dev.Free(b) }
+
+// stream picks the next stream round-robin.
+func (m *Module) stream() *cuda.Stream {
+	m.strMu.Lock()
+	s := m.streams[m.nextStr%len(m.streams)]
+	m.nextStr++
+	m.strMu.Unlock()
+	return s
+}
+
+// register parks (event, promise) for the poller, mirroring the MPI
+// module's pending-request scheme.
+func (m *Module) register(c *core.Ctx, ev *cuda.Event) *core.Future {
+	prom := core.NewPromise(m.rt)
+	m.mu.Lock()
+	m.pending = append(m.pending, pendingEvent{ev: ev, prom: prom})
+	spawn := !m.pollerActive
+	if spawn {
+		m.pollerActive = true
+	}
+	m.mu.Unlock()
+	if spawn {
+		c.AsyncDetachedAt(m.gpu, m.poll)
+	}
+	return prom.Future()
+}
+
+// poll tests pending CUDA events, satisfies completed promises, yields
+// while work remains.
+func (m *Module) poll(c *core.Ctx) {
+	m.mu.Lock()
+	var still, done []pendingEvent
+	for _, p := range m.pending {
+		if p.ev.Query() {
+			done = append(done, p)
+		} else {
+			still = append(still, p)
+		}
+	}
+	m.pending = still
+	remaining := len(still)
+	if remaining == 0 {
+		m.pollerActive = false
+	}
+	m.mu.Unlock()
+
+	for _, p := range done {
+		c.Put(p.prom, nil)
+	}
+	if remaining > 0 {
+		if len(done) == 0 {
+			spin.Sleep(m.opts.PollInterval)
+		}
+		c.Yield(m.poll)
+	}
+}
+
+// ForasyncCUDA launches kernel over grid asynchronously and returns a
+// future satisfied on completion — the paper's forasync_cuda.
+func (m *Module) ForasyncCUDA(c *core.Ctx, grid int, kernel cuda.Kernel) *core.Future {
+	defer stats.Track(ModuleName, "forasync_cuda")()
+	ev := m.stream().LaunchAsync(grid, kernel)
+	return m.register(c, ev)
+}
+
+// ForasyncCUDAAwait launches kernel once all deps are satisfied and
+// returns a future satisfied on kernel completion.
+func (m *Module) ForasyncCUDAAwait(c *core.Ctx, grid int, kernel cuda.Kernel, deps ...*core.Future) *core.Future {
+	out := core.NewPromise(m.rt)
+	c.AsyncAwaitAt(m.gpu, func(cc *core.Ctx) {
+		m.ForasyncCUDA(cc, grid, kernel).OnDone(func(any) { out.Put(nil) })
+	}, deps...)
+	return out.Future()
+}
+
+// MemcpyH2DAsync starts an asynchronous host-to-device copy, returning its
+// completion future.
+func (m *Module) MemcpyH2DAsync(c *core.Ctx, dst *cuda.Buffer, dstOff int, src []float64) *core.Future {
+	defer stats.Track(ModuleName, "cudaMemcpyAsync_H2D")()
+	ev := m.stream().MemcpyH2DAsync(dst, dstOff, src)
+	return m.register(c, ev)
+}
+
+// MemcpyD2HAsync starts an asynchronous device-to-host copy, returning its
+// completion future. The host buffer must not be read until it completes.
+func (m *Module) MemcpyD2HAsync(c *core.Ctx, dst []float64, src *cuda.Buffer, srcOff, n int) *core.Future {
+	defer stats.Track(ModuleName, "cudaMemcpyAsync_D2H")()
+	ev := m.stream().MemcpyD2HAsync(dst, src, srcOff, n)
+	return m.register(c, ev)
+}
+
+// MemcpyH2D is the blocking transfer (taskified at the GPU place).
+func (m *Module) MemcpyH2D(c *core.Ctx, dst *cuda.Buffer, dstOff int, src []float64) {
+	defer stats.Track(ModuleName, "cudaMemcpy_H2D")()
+	c.Wait(m.MemcpyH2DAsync(c, dst, dstOff, src))
+}
+
+// MemcpyD2H is the blocking transfer (taskified at the GPU place).
+func (m *Module) MemcpyD2H(c *core.Ctx, dst []float64, src *cuda.Buffer, srcOff, n int) {
+	defer stats.Track(ModuleName, "cudaMemcpy_D2H")()
+	c.Wait(m.MemcpyD2HAsync(c, dst, src, srcOff, n))
+}
+
+// MemcpyAwait chains an asynchronous copy on dependency futures: the copy
+// starts only after all deps are satisfied. dstBuf/srcBuf follow the same
+// conventions as the copy handlers (cuda.Buffer or []float64 by direction).
+func (m *Module) MemcpyH2DAwait(c *core.Ctx, dst *cuda.Buffer, dstOff int, src []float64, deps ...*core.Future) *core.Future {
+	out := core.NewPromise(m.rt)
+	c.AsyncAwaitAt(m.gpu, func(cc *core.Ctx) {
+		m.MemcpyH2DAsync(cc, dst, dstOff, src).OnDone(func(any) { out.Put(nil) })
+	}, deps...)
+	return out.Future()
+}
+
+// MemcpyD2HAwait is MemcpyH2DAwait for the device-to-host direction — the
+// paper's async_copy_await as used in GEO's time loop.
+func (m *Module) MemcpyD2HAwait(c *core.Ctx, dst []float64, src *cuda.Buffer, srcOff, n int, deps ...*core.Future) *core.Future {
+	out := core.NewPromise(m.rt)
+	c.AsyncAwaitAt(m.gpu, func(cc *core.Ctx) {
+		m.MemcpyD2HAsync(cc, dst, src, srcOff, n).OnDone(func(any) { out.Put(nil) })
+	}, deps...)
+	return out.Future()
+}
+
+// The AsyncCopy handlers registered with the runtime. Data conventions:
+// host side is []float64, device side is *cuda.Buffer; element offsets
+// come from the Buf, n is the element count.
+
+func (m *Module) copyH2D(c *core.Ctx, dst, src core.Buf, n int) *core.Future {
+	d, ok := dst.Data.(*cuda.Buffer)
+	if !ok {
+		panic(fmt.Sprintf("hipercuda: AsyncCopy to GPU place requires *cuda.Buffer destination, got %T", dst.Data))
+	}
+	s, ok := src.Data.([]float64)
+	if !ok {
+		panic(fmt.Sprintf("hipercuda: AsyncCopy to GPU place requires []float64 source, got %T", src.Data))
+	}
+	return m.MemcpyH2DAsync(c, d, dst.Off, s[src.Off:src.Off+n])
+}
+
+func (m *Module) copyD2H(c *core.Ctx, dst, src core.Buf, n int) *core.Future {
+	d, ok := dst.Data.([]float64)
+	if !ok {
+		panic(fmt.Sprintf("hipercuda: AsyncCopy from GPU place requires []float64 destination, got %T", dst.Data))
+	}
+	s, ok := src.Data.(*cuda.Buffer)
+	if !ok {
+		panic(fmt.Sprintf("hipercuda: AsyncCopy from GPU place requires *cuda.Buffer source, got %T", src.Data))
+	}
+	return m.MemcpyD2HAsync(c, d[dst.Off:dst.Off+n], s, src.Off, n)
+}
+
+func (m *Module) copyD2D(c *core.Ctx, dst, src core.Buf, n int) *core.Future {
+	d, ok := dst.Data.(*cuda.Buffer)
+	s, ok2 := src.Data.(*cuda.Buffer)
+	if !ok || !ok2 {
+		panic(fmt.Sprintf("hipercuda: AsyncCopy between GPU places requires *cuda.Buffer on both sides, got %T and %T", src.Data, dst.Data))
+	}
+	ev := m.stream().MemcpyD2DAsync(d, dst.Off, s, src.Off, n)
+	return m.register(c, ev)
+}

@@ -1,0 +1,178 @@
+package hipercuda
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/cuda"
+	"repro/internal/modules"
+	"repro/internal/platform"
+)
+
+// boot creates a runtime with a GPU platform model and installs the module.
+func boot(t testing.TB, workers int, cfg cuda.Config, opts *Options) (*core.Runtime, *Module) {
+	t.Helper()
+	rt, err := core.New(platform.DefaultWithGPU(workers, 1), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(cuda.NewDevice(cfg), opts)
+	modules.MustInstall(rt, m)
+	t.Cleanup(rt.Shutdown)
+	return rt, m
+}
+
+func TestInitRequiresGPUPlaces(t *testing.T) {
+	rt := core.NewDefault(1) // Default model has no GPU
+	defer rt.Shutdown()
+	if err := modules.Install(rt, New(cuda.NewDevice(cuda.Config{}), nil)); err == nil {
+		t.Fatal("Init must fail without GPU places")
+	}
+}
+
+func TestForasyncCUDA(t *testing.T) {
+	rt, m := boot(t, 2, cuda.Config{SMs: 2}, nil)
+	rt.Launch(func(c *core.Ctx) {
+		const n = 4096
+		buf := m.MustMalloc(n)
+		f := m.ForasyncCUDA(c, n, func(i int) { buf.Data()[i] = float64(i) })
+		c.Wait(f)
+		host := make([]float64, n)
+		m.MemcpyD2H(c, host, buf, 0, n)
+		for i := 0; i < n; i += 997 {
+			if host[i] != float64(i) {
+				t.Errorf("host[%d] = %v", i, host[i])
+			}
+		}
+	})
+}
+
+func TestAsyncMemcpyFutures(t *testing.T) {
+	rt, m := boot(t, 2, cuda.Config{SMs: 2, MemcpyAlpha: 2 * time.Millisecond}, nil)
+	rt.Launch(func(c *core.Ctx) {
+		buf := m.MustMalloc(16)
+		src := make([]float64, 16)
+		for i := range src {
+			src[i] = float64(i) + 0.5
+		}
+		fh := m.MemcpyH2DAsync(c, buf, 0, src)
+		if fh.Done() {
+			t.Error("H2D future done before transfer latency")
+		}
+		c.Wait(fh)
+		dst := make([]float64, 16)
+		c.Wait(m.MemcpyD2HAsync(c, dst, buf, 0, 16))
+		for i := range dst {
+			if dst[i] != src[i] {
+				t.Fatalf("dst[%d] = %v", i, dst[i])
+			}
+		}
+	})
+}
+
+func TestKernelAwaitChain(t *testing.T) {
+	// H2D -> kernel (awaits copy) -> D2H (awaits kernel): the paper's GEO
+	// inner loop expressed with futures.
+	rt, m := boot(t, 2, cuda.Config{SMs: 2, MemcpyAlpha: time.Millisecond}, nil)
+	rt.Launch(func(c *core.Ctx) {
+		const n = 256
+		buf := m.MustMalloc(n)
+		src := make([]float64, n)
+		for i := range src {
+			src[i] = 1
+		}
+		h2d := m.MemcpyH2DAsync(c, buf, 0, src)
+		kern := m.ForasyncCUDAAwait(c, n, func(i int) { buf.Data()[i] += 41 }, h2d)
+		dst := make([]float64, n)
+		d2h := m.MemcpyD2HAwait(c, dst, buf, 0, n, kern)
+		c.Wait(d2h)
+		for i := range dst {
+			if dst[i] != 42 {
+				t.Fatalf("dst[%d] = %v; chain ran out of order", i, dst[i])
+			}
+		}
+	})
+}
+
+func TestAsyncCopyRoutedThroughModule(t *testing.T) {
+	// The generic HiPER AsyncCopy API must be handed to the CUDA module for
+	// GPU places (the module's special-purpose registration).
+	rt, m := boot(t, 2, cuda.Config{SMs: 2}, nil)
+	mem := rt.Model().FirstByKind(platform.KindSysMem)
+	gmem := m.GPUMemPlace()
+	rt.Launch(func(c *core.Ctx) {
+		buf := m.MustMalloc(8)
+		host := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+		c.Wait(c.AsyncCopy(core.At(gmem, buf), core.At(mem, host), 8))
+		out := make([]float64, 8)
+		c.Wait(c.AsyncCopy(core.At(mem, out), core.At(gmem, buf), 8))
+		for i := range host {
+			if out[i] != host[i] {
+				t.Fatalf("roundtrip[%d] = %v", i, out[i])
+			}
+		}
+		// Device-to-device through the generic API.
+		buf2 := m.MustMalloc(8)
+		c.Wait(c.AsyncCopy(core.At(gmem, buf2), core.At(gmem, buf), 8))
+		out2 := make([]float64, 8)
+		c.Wait(c.AsyncCopy(core.At(mem, out2), core.At(gmem, buf2), 8))
+		if out2[7] != 8 {
+			t.Fatalf("d2d roundtrip = %v", out2)
+		}
+		k, _, _ := m.Device().Stats()
+		_ = k
+	})
+}
+
+func TestAsyncCopyWrongTypePanics(t *testing.T) {
+	rt, m := boot(t, 2, cuda.Config{}, nil)
+	mem := rt.Model().FirstByKind(platform.KindSysMem)
+	rt.Launch(func(c *core.Ctx) {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic for wrong buffer type")
+			}
+		}()
+		c.AsyncCopy(core.At(m.GPUMemPlace(), []int{1}), core.At(mem, []float64{1}), 1)
+	})
+}
+
+func TestOverlappedKernelsAndCopies(t *testing.T) {
+	rt, m := boot(t, 4, cuda.Config{SMs: 4, MemcpyAlpha: 2 * time.Millisecond}, &Options{Streams: 4})
+	rt.Launch(func(c *core.Ctx) {
+		const n = 128
+		futs := make([]*core.Future, 0, 8)
+		bufs := make([]*cuda.Buffer, 8)
+		hosts := make([][]float64, 8)
+		for i := 0; i < 8; i++ {
+			bufs[i] = m.MustMalloc(n)
+			hosts[i] = make([]float64, n)
+			i := i
+			h2d := m.MemcpyH2DAsync(c, bufs[i], 0, hosts[i])
+			k := m.ForasyncCUDAAwait(c, n, func(j int) { bufs[i].Data()[j] = float64(i) }, h2d)
+			futs = append(futs, m.MemcpyD2HAwait(c, hosts[i], bufs[i], 0, n, k))
+		}
+		c.Wait(core.WhenAll(c.Runtime(), futs...))
+		for i := 0; i < 8; i++ {
+			if hosts[i][n-1] != float64(i) {
+				t.Fatalf("pipeline %d = %v", i, hosts[i][n-1])
+			}
+		}
+	})
+}
+
+func TestMallocFreeThroughModule(t *testing.T) {
+	_, m := boot(t, 1, cuda.Config{MemBytes: 256}, nil)
+	b, err := m.Malloc(16) // 128 bytes
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Malloc(32); err == nil {
+		t.Fatal("expected OOM")
+	}
+	m.Free(b)
+	if _, err := m.Malloc(32); err != nil {
+		t.Fatal(err)
+	}
+}

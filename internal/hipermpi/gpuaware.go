@@ -1,0 +1,79 @@
+package hipermpi
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/cuda"
+	"repro/internal/hipercuda"
+	"repro/internal/modules"
+	"repro/internal/mpi"
+	"repro/internal/stats"
+)
+
+// GPU-aware MPI, built by inter-module discovery — the future direction
+// the paper's related-work section sketches for HiPER: "allow registered
+// modules to query for other modules which they can integrate with."
+//
+// When the CUDA module is installed on the same runtime, the MPI module
+// offers single-call device-buffer sends and receives: the staging D2H /
+// H2D copies and the MPI messaging are chained internally with futures,
+// so the programmer writes one call where GPU-Aware MPI would — and gets
+// the same pipelining a hand-fused implementation would, scheduled on the
+// unified runtime.
+
+// cudaPeer discovers the CUDA module installed on the same runtime.
+func (m *Module) cudaPeer() (*hipercuda.Module, error) {
+	peer := modules.Installed(m.rt, hipercuda.ModuleName)
+	if peer == nil {
+		return nil, fmt.Errorf("hipermpi: GPU-aware API requires the %q module on the same runtime",
+			hipercuda.ModuleName)
+	}
+	cm, ok := peer.(*hipercuda.Module)
+	if !ok {
+		return nil, fmt.Errorf("hipermpi: module %q is not the standard CUDA module", hipercuda.ModuleName)
+	}
+	return cm, nil
+}
+
+// GPUAware reports whether device-buffer APIs are available.
+func (m *Module) GPUAware() bool {
+	_, err := m.cudaPeer()
+	return err == nil
+}
+
+// IsendDevice sends n float64 elements directly from device memory: one
+// call stages the D2H copy and chains the send on its completion. The
+// returned future is satisfied when the send completes.
+func (m *Module) IsendDevice(c *core.Ctx, buf *cuda.Buffer, off, n, dest, tag int, deps ...*core.Future) (*core.Future, error) {
+	defer stats.Track(ModuleName, "MPI_Isend_device")()
+	cm, err := m.cudaPeer()
+	if err != nil {
+		return nil, err
+	}
+	host := make([]float64, n)
+	d2h := cm.MemcpyD2HAwait(c, host, buf, off, n, deps...)
+	out := core.NewPromise(m.rt)
+	c.AsyncAwaitAt(m.nic, func(cc *core.Ctx) {
+		m.Isend(cc, mpi.EncodeFloat64s(host), dest, tag).OnDone(func(v any) { out.Put(v) })
+	}, d2h)
+	return out.Future(), nil
+}
+
+// IrecvDevice receives n float64 elements directly into device memory:
+// the H2D copy is chained on the receive. The returned future is
+// satisfied when the data is resident on the device.
+func (m *Module) IrecvDevice(c *core.Ctx, buf *cuda.Buffer, off, n, source, tag int) (*core.Future, error) {
+	defer stats.Track(ModuleName, "MPI_Irecv_device")()
+	cm, err := m.cudaPeer()
+	if err != nil {
+		return nil, err
+	}
+	raw := make([]byte, 8*n)
+	recv := m.Irecv(c, raw, source, tag)
+	out := core.NewPromise(m.rt)
+	c.AsyncAwaitAt(m.nic, func(cc *core.Ctx) {
+		cm.MemcpyH2DAsync(cc, buf, off, mpi.DecodeFloat64s(raw)).OnDone(func(any) { out.Put(nil) })
+	}, recv)
+	return out.Future(), nil
+}

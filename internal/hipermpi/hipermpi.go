@@ -1,0 +1,288 @@
+// Package hipermpi is the HiPER MPI module: it extends the HiPER namespace
+// with MPI APIs whose execution is scheduled on the unified work-stealing
+// runtime, and composes MPI communication with other HiPER work through
+// futures.
+//
+// Blocking APIs use the "taskify" pattern from the paper:
+//
+//  1. a closure captures the API inputs and calls the underlying MPI
+//     library's implementation;
+//  2. the closure is spawned with AsyncAt targeting the Interconnect place
+//     in the platform model;
+//  3. the calling task is descheduled until the spawned task completes
+//     (a continuation, not a blocked thread);
+//  4. eventually a runtime worker whose pop or steal path covers the
+//     Interconnect place — not a dedicated communication thread — discovers
+//     and executes the task.
+//
+// Asynchronous APIs (Isend, Irecv) drop MPI's output MPI_Request argument
+// and instead return a future. Internally the module keeps a list of
+// pending (request, promise) pairs and a single periodically-polling task
+// that tests them, satisfies the promises of completed operations, and
+// yields while operations remain pending; a polling task is not created if
+// one already exists.
+package hipermpi
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/mpi"
+	"repro/internal/platform"
+	"repro/internal/spin"
+	"repro/internal/stats"
+)
+
+// ModuleName is the name this module registers under.
+const ModuleName = "mpi"
+
+// Options tunes module behaviour.
+type Options struct {
+	// PollInterval is how long the poller task sleeps when a polling round
+	// completes no operations, bounding CPU burned on empty polls while
+	// still giving the MPI runtime frequent progress opportunities.
+	// Default 20µs.
+	PollInterval time.Duration
+	// Callbacks switches completion detection from the paper's polling
+	// scheme to request callbacks (an ablation knob; see
+	// BenchmarkPollingVsCallbacks).
+	Callbacks bool
+}
+
+// Module is the HiPER MPI module bound to one rank's communicator.
+type Module struct {
+	comm *mpi.Comm
+	opts Options
+
+	rt  *core.Runtime
+	nic *platform.Place
+
+	mu           sync.Mutex
+	pending      []pendingOp
+	pollerActive bool
+}
+
+type pendingOp struct {
+	req  *mpi.Request
+	prom *core.Promise
+}
+
+// New creates the module for one rank's communicator.
+func New(comm *mpi.Comm, opts *Options) *Module {
+	m := &Module{comm: comm}
+	if opts != nil {
+		m.opts = *opts
+	}
+	if m.opts.PollInterval <= 0 {
+		m.opts.PollInterval = 20 * time.Microsecond
+	}
+	return m
+}
+
+// Name implements modules.Module.
+func (m *Module) Name() string { return ModuleName }
+
+// Init asserts the module's platform-model requirements: an Interconnect
+// place must exist and be covered by some worker's pop or steal path, so
+// taskified MPI calls actually execute. It is up to individual modules to
+// make these assertions during initialization.
+func (m *Module) Init(rt *core.Runtime) error {
+	nic := rt.Model().FirstByKind(platform.KindInterconnect)
+	if nic == nil {
+		return fmt.Errorf("hipermpi: platform model has no %q place", platform.KindInterconnect)
+	}
+	if !rt.Model().CoveredPlaces()[nic.ID] {
+		return fmt.Errorf("hipermpi: interconnect place %v is on no worker's pop or steal path", nic)
+	}
+	m.rt = rt
+	m.nic = nic
+	return nil
+}
+
+// Finalize implements modules.Module.
+func (m *Module) Finalize() {}
+
+// Comm returns the wrapped communicator.
+func (m *Module) Comm() *mpi.Comm { return m.comm }
+
+// Rank returns the caller's rank.
+func (m *Module) Rank() int { return m.comm.Rank() }
+
+// Size returns the communicator size.
+func (m *Module) Size() int { return m.comm.Size() }
+
+// Interconnect returns the place communication tasks are scheduled at.
+func (m *Module) Interconnect() *platform.Place { return m.nic }
+
+// taskify runs fn as a task at the Interconnect place and deschedules the
+// calling task until it completes. The underlying library call may block
+// indefinitely (a Recv with no matching send yet, a collective waiting for
+// other ranks), so the NIC task shunts it onto a proxy goroutine — the
+// stand-in for the OS thread a real blocking C call would pin — and waits
+// on its future: worker substitution then keeps the Interconnect place
+// serviced while the call is in flight, so pollers and chained
+// communication tasks can never be starved by one blocked call.
+func (m *Module) taskify(c *core.Ctx, api string, fn func()) {
+	defer stats.Track(ModuleName, api)()
+	f := c.AsyncFutureAt(m.nic, func(cc *core.Ctx) any {
+		done := core.NewPromise(m.rt)
+		go func() {
+			fn()
+			done.Put(nil)
+		}()
+		cc.Wait(done.Future())
+		return nil
+	})
+	c.Wait(f)
+}
+
+// Send is taskified MPI_Send.
+func (m *Module) Send(c *core.Ctx, buf []byte, dest, tag int) {
+	m.taskify(c, "MPI_Send", func() { m.comm.Send(buf, dest, tag) })
+}
+
+// Recv is taskified MPI_Recv.
+func (m *Module) Recv(c *core.Ctx, buf []byte, source, tag int) mpi.Status {
+	var st mpi.Status
+	m.taskify(c, "MPI_Recv", func() { st = m.comm.Recv(buf, source, tag) })
+	return st
+}
+
+// Isend is MPI_Isend with the MPI_Request output replaced by a future,
+// satisfied (with the mpi.Status) when the send completes.
+func (m *Module) Isend(c *core.Ctx, buf []byte, dest, tag int) *core.Future {
+	defer stats.Track(ModuleName, "MPI_Isend")()
+	req := m.comm.Isend(buf, dest, tag)
+	return m.register(c, req)
+}
+
+// Irecv is MPI_Irecv with the MPI_Request output replaced by a future.
+func (m *Module) Irecv(c *core.Ctx, buf []byte, source, tag int) *core.Future {
+	defer stats.Track(ModuleName, "MPI_Irecv")()
+	req := m.comm.Irecv(buf, source, tag)
+	return m.register(c, req)
+}
+
+// IsendAwait is the paper's MPI_Isend_await: the send is issued only after
+// all the given futures are satisfied, and the returned future completes
+// when the send does. This is how GEO chains a ghost-region send on the
+// completion of the kernel that produces the region.
+func (m *Module) IsendAwait(c *core.Ctx, buf []byte, dest, tag int, deps ...*core.Future) *core.Future {
+	out := core.NewPromise(m.rt)
+	c.AsyncAwaitAt(m.nic, func(cc *core.Ctx) {
+		f := m.Isend(cc, buf, dest, tag)
+		f.OnDone(func(v any) { out.Put(v) })
+	}, deps...)
+	return out.Future()
+}
+
+// IrecvAwait posts a receive once the given futures are satisfied.
+func (m *Module) IrecvAwait(c *core.Ctx, buf []byte, source, tag int, deps ...*core.Future) *core.Future {
+	out := core.NewPromise(m.rt)
+	c.AsyncAwaitAt(m.nic, func(cc *core.Ctx) {
+		f := m.Irecv(cc, buf, source, tag)
+		f.OnDone(func(v any) { out.Put(v) })
+	}, deps...)
+	return out.Future()
+}
+
+// register parks (req, promise) on the pending list and ensures a poller
+// task exists (or, in callback mode, wires the request callback directly).
+func (m *Module) register(c *core.Ctx, req *mpi.Request) *core.Future {
+	prom := core.NewPromise(m.rt)
+	if m.opts.Callbacks {
+		req.OnComplete(func(st mpi.Status) { prom.Put(st) })
+		return prom.Future()
+	}
+	m.mu.Lock()
+	m.pending = append(m.pending, pendingOp{req: req, prom: prom})
+	spawn := !m.pollerActive
+	if spawn {
+		m.pollerActive = true
+	}
+	m.mu.Unlock()
+	if spawn {
+		c.AsyncDetachedAt(m.nic, m.poll)
+	}
+	return prom.Future()
+}
+
+// poll is the periodically polling task: it iterates the pending list,
+// satisfies promises of completed operations, and yields (re-enqueues
+// itself) while operations remain.
+func (m *Module) poll(c *core.Ctx) {
+	m.mu.Lock()
+	var still []pendingOp
+	var done []pendingOp
+	for _, op := range m.pending {
+		if op.req.Test() {
+			done = append(done, op)
+		} else {
+			still = append(still, op)
+		}
+	}
+	m.pending = still
+	remaining := len(still)
+	if remaining == 0 {
+		m.pollerActive = false
+	}
+	m.mu.Unlock()
+
+	for _, op := range done {
+		c.Put(op.prom, op.req.Status())
+	}
+	if remaining > 0 {
+		if len(done) == 0 {
+			// Nothing completed: back off briefly before the next round so
+			// an otherwise-idle worker does not spin.
+			spin.Sleep(m.opts.PollInterval)
+		}
+		c.Yield(m.poll)
+	}
+}
+
+// Barrier is MPI_Barrier: the calling task is descheduled until every rank
+// arrives. Arrival uses MPI_Ibarrier so the worker servicing the
+// Interconnect place never hard-blocks (which would starve the module's
+// request poller).
+func (m *Module) Barrier(c *core.Ctx) {
+	defer stats.Track(ModuleName, "MPI_Barrier")()
+	c.Wait(m.register(c, m.comm.Ibarrier()))
+}
+
+// Bcast is taskified MPI_Bcast.
+func (m *Module) Bcast(c *core.Ctx, buf []byte, root int) {
+	m.taskify(c, "MPI_Bcast", func() { m.comm.Bcast(buf, root) })
+}
+
+// Reduce is taskified MPI_Reduce.
+func (m *Module) Reduce(c *core.Ctx, recv, contrib []byte, op mpi.ReduceOp, root int) {
+	m.taskify(c, "MPI_Reduce", func() { m.comm.Reduce(recv, contrib, op, root) })
+}
+
+// Allreduce is taskified MPI_Allreduce.
+func (m *Module) Allreduce(c *core.Ctx, recv, contrib []byte, op mpi.ReduceOp) {
+	m.taskify(c, "MPI_Allreduce", func() { m.comm.Allreduce(recv, contrib, op) })
+}
+
+// Alltoallv is taskified MPI_Alltoallv.
+func (m *Module) Alltoallv(c *core.Ctx, chunks [][]byte) [][]byte {
+	var out [][]byte
+	m.taskify(c, "MPI_Alltoallv", func() { out = m.comm.Alltoallv(chunks) })
+	return out
+}
+
+// Allgather is taskified MPI_Allgather.
+func (m *Module) Allgather(c *core.Ctx, contrib []byte) [][]byte {
+	var out [][]byte
+	m.taskify(c, "MPI_Allgather", func() { out = m.comm.Allgather(contrib) })
+	return out
+}
+
+// BarrierFuture is MPI_Ibarrier: it returns a future satisfied when all
+// ranks have entered the barrier, without descheduling the caller.
+func (m *Module) BarrierFuture(c *core.Ctx) *core.Future {
+	return m.register(c, m.comm.Ibarrier())
+}

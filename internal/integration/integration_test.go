@@ -1,0 +1,267 @@
+// Package integration exercises cross-module composition — the paper's
+// whole point: multiple discrete HPC libraries cooperating within a single
+// process on one unified runtime, with dependencies expressed between
+// components via futures.
+package integration
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/cuda"
+	"repro/internal/hiperckpt"
+	"repro/internal/hipercuda"
+	"repro/internal/hipermpi"
+	"repro/internal/hipershmem"
+	"repro/internal/modules"
+	"repro/internal/mpi"
+	"repro/internal/platform"
+	"repro/internal/shmem"
+	"repro/internal/simnet"
+)
+
+// fullModel builds a platform with every place kind the standard modules
+// need: CPU memory, GPU, NIC, and NVM.
+func fullModel(t testing.TB, workers int) *platform.Model {
+	t.Helper()
+	m, err := platform.Generate(platform.MachineSpec{
+		Sockets: 1, CoresPerSocket: workers, GPUs: 1, NVM: true, Interconnect: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestFourModulesOneRuntime installs MPI, SHMEM, CUDA, and checkpoint
+// modules on a single runtime and runs a workload that crosses all of
+// them: generate on GPU -> checkpoint -> exchange via MPI -> publish via
+// SHMEM put -> AsyncWhen consumer.
+func TestFourModulesOneRuntime(t *testing.T) {
+	const ranks = 2
+	cost := simnet.CostModel{Alpha: 200 * time.Microsecond}
+	mworld := mpi.NewWorld(ranks, cost)
+	sworld := shmem.NewWorld(ranks, cost)
+	flag := sworld.AllocInt64(1)
+	store := hiperckpt.NewStore(hiperckpt.StoreConfig{Alpha: time.Millisecond})
+
+	var wg sync.WaitGroup
+	var crossChecks atomic.Int64
+	for r := 0; r < ranks; r++ {
+		rt, err := core.New(fullModel(t, 2), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mm := hipermpi.New(mworld.Comm(r), nil)
+		sm := hipershmem.New(sworld.PE(r), nil)
+		cm := hipercuda.New(cuda.NewDevice(cuda.Config{SMs: 2, MemcpyAlpha: time.Millisecond}), nil)
+		km := hiperckpt.New(store)
+		for _, mod := range []modules.Module{mm, sm, cm, km} {
+			modules.MustInstall(rt, mod)
+		}
+		if got := modules.Names(rt); len(got) != 4 {
+			t.Fatalf("installed modules = %v", got)
+		}
+
+		wg.Add(1)
+		go func(r int, rt *core.Runtime) {
+			defer wg.Done()
+			defer rt.Shutdown()
+			rt.Launch(func(c *core.Ctx) {
+				const n = 256
+				// 1) Produce data on the GPU.
+				buf := cm.MustMalloc(n)
+				kern := cm.ForasyncCUDA(c, n, func(i int) {
+					buf.Data()[i] = float64(r*1000 + i)
+				})
+				// 2) Checkpoint the device data (D2H chained on the kernel,
+				//    checkpoint chained on the copy).
+				host := make([]float64, n)
+				d2h := cm.MemcpyD2HAwait(c, host, buf, 0, n, kern)
+				ck := km.CheckpointAwait(c, "gpu-state", host, d2h)
+				// 3) Exchange with the peer over MPI, chained on the D2H.
+				peer := 1 - r
+				recv := make([]byte, 8*n)
+				rf := mm.Irecv(c, recv, peer, 0)
+				// Encode AFTER d2h lands (encoding at call time would
+				// capture the unfilled buffer).
+				sf := c.AsyncFutureAwait(func(cc *core.Ctx) any {
+					cc.Wait(mm.Isend(cc, mpi.EncodeFloat64s(host), peer, 0))
+					return nil
+				}, d2h)
+				c.Wait(core.WhenAll(rt, rf, sf, ck))
+				got := mpi.DecodeFloat64s(recv)
+				if got[10] != float64(peer*1000+10) {
+					t.Errorf("rank %d: MPI payload wrong: %v", r, got[10])
+				}
+				// 4) Publish completion via SHMEM; rank 0 awaits both flags
+				//    with the novel AsyncWhen API.
+				sm.Add(c, flag, 0, 0, 1)
+				if r == 0 {
+					done := core.NewPromise(rt)
+					sm.AsyncWhen(c, flag, 0, shmem.CmpGE, ranks, func(cc *core.Ctx) {
+						cc.Put(done, nil)
+					})
+					c.Wait(done.Future())
+					crossChecks.Add(1)
+				}
+				// 5) Restore the checkpoint and verify.
+				blob, ok := km.Restore(c, "gpu-state")
+				if !ok || blob[5] == 0 {
+					t.Errorf("rank %d: restore failed", r)
+				}
+			})
+		}(r, rt)
+	}
+	wg.Wait()
+	if crossChecks.Load() != 1 {
+		t.Fatal("AsyncWhen completion never observed")
+	}
+}
+
+// TestModuleDiscovery verifies the inter-module query mechanism the
+// related-work section motivates (GPU-aware MPI).
+func TestModuleDiscovery(t *testing.T) {
+	rt, err := core.New(fullModel(t, 2), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Shutdown()
+	world := mpi.NewWorld(1, simnet.CostModel{})
+	mm := hipermpi.New(world.Comm(0), nil)
+	modules.MustInstall(rt, mm)
+	if mm.GPUAware() {
+		t.Fatal("GPU-aware before CUDA module installed")
+	}
+	modules.MustInstall(rt, hipercuda.New(cuda.NewDevice(cuda.Config{}), nil))
+	if !mm.GPUAware() {
+		t.Fatal("GPU-aware discovery failed after CUDA module install")
+	}
+}
+
+// TestUnifiedSchedulingInterleavesModules checks the unified-runtime
+// property: compute tasks, MPI comm tasks, and GPU tasks all execute on
+// the same worker pool (observed via the runtime's scheduler statistics).
+func TestUnifiedSchedulingInterleavesModules(t *testing.T) {
+	rt, err := core.New(fullModel(t, 2), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Shutdown()
+	world := mpi.NewWorld(1, simnet.CostModel{})
+	mm := hipermpi.New(world.Comm(0), nil)
+	cm := hipercuda.New(cuda.NewDevice(cuda.Config{SMs: 2}), nil)
+	modules.MustInstall(rt, mm)
+	modules.MustInstall(rt, cm)
+
+	rt.Launch(func(c *core.Ctx) {
+		c.Finish(func(c *core.Ctx) {
+			// Self-messaging comm tasks.
+			buf := make([]byte, 8)
+			for i := 0; i < 10; i++ {
+				rf := mm.Irecv(c, buf, 0, i)
+				c.Wait(mm.Isend(c, mpi.EncodeInt64s([]int64{int64(i)}), 0, i))
+				c.Wait(rf)
+			}
+			// GPU tasks.
+			b := cm.MustMalloc(64)
+			c.Wait(cm.ForasyncCUDA(c, 64, func(i int) { b.Data()[i] = 1 }))
+			// Plain compute tasks.
+			c.Forasync(core.Range{Lo: 0, Hi: 100, Grain: 10}, func(*core.Ctx, int) {})
+		})
+	})
+	s := rt.Stats()
+	if s.TasksExecuted < 25 {
+		t.Fatalf("expected many tasks on the unified pool, got %d", s.TasksExecuted)
+	}
+}
+
+// TestBlockingCollectiveDoesNotStarvePoller reproduces (as a regression
+// test) the deadlock class fixed during development: a blocking collective
+// on the Interconnect-covering worker must not starve the module's poller
+// or chained communication tasks.
+func TestBlockingCollectiveDoesNotStarvePoller(t *testing.T) {
+	const ranks = 3
+	cost := simnet.CostModel{Alpha: 500 * time.Microsecond}
+	world := mpi.NewWorld(ranks, cost)
+	done := make(chan struct{})
+	go func() {
+		var wg sync.WaitGroup
+		for r := 0; r < ranks; r++ {
+			rt := core.NewDefault(2)
+			mm := hipermpi.New(world.Comm(r), nil)
+			modules.MustInstall(rt, mm)
+			wg.Add(1)
+			go func(r int, rt *core.Runtime) {
+				defer wg.Done()
+				defer rt.Shutdown()
+				rt.Launch(func(c *core.Ctx) {
+					peer := (r + 1) % ranks
+					prev := (r - 1 + ranks) % ranks
+					for it := 0; it < 5; it++ {
+						// Async ring exchange whose completion tasks need
+						// the NIC worker...
+						recv := make([]byte, 8)
+						rf := mm.Irecv(c, recv, prev, 1)
+						mm.Isend(c, mpi.EncodeInt64s([]int64{int64(it)}), peer, 1)
+						// ...racing a blocking collective on the same worker.
+						buf := make([]byte, 8)
+						mm.Allreduce(c, buf, mpi.EncodeInt64s([]int64{1}), mpi.SumInt64)
+						if got := mpi.DecodeInt64s(buf)[0]; got != ranks {
+							t.Errorf("allreduce = %d", got)
+						}
+						c.Wait(rf)
+					}
+				})
+			}(r, rt)
+		}
+		wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("collective + async composition deadlocked")
+	}
+}
+
+// TestSHMEMAndMPIInOneApp composes two communication libraries in one
+// application (as HPGMG composes UPC++ and MPI in the paper).
+func TestSHMEMAndMPIInOneApp(t *testing.T) {
+	const ranks = 2
+	mworld := mpi.NewWorld(ranks, simnet.CostModel{})
+	sworld := shmem.NewWorld(ranks, simnet.CostModel{})
+	arr := sworld.AllocInt64(ranks)
+	var wg sync.WaitGroup
+	for r := 0; r < ranks; r++ {
+		rt := core.NewDefault(2)
+		mm := hipermpi.New(mworld.Comm(r), nil)
+		sm := hipershmem.New(sworld.PE(r), nil)
+		modules.MustInstall(rt, mm)
+		modules.MustInstall(rt, sm)
+		wg.Add(1)
+		go func(r int, rt *core.Runtime) {
+			defer wg.Done()
+			defer rt.Shutdown()
+			rt.Launch(func(c *core.Ctx) {
+				// SHMEM one-sided publish, MPI reduction over the published
+				// values, all on one runtime.
+				for dst := 0; dst < ranks; dst++ {
+					sm.PutValue(c, arr, dst, r, int64(r+1))
+				}
+				sm.BarrierAll(c)
+				local := arr.Local(r)
+				sum := local[0] + local[1]
+				out := make([]byte, 8)
+				mm.Allreduce(c, out, mpi.EncodeInt64s([]int64{sum}), mpi.SumInt64)
+				if got := mpi.DecodeInt64s(out)[0]; got != 6 { // (1+2) * 2 ranks
+					t.Errorf("rank %d: cross-library reduce = %d", r, got)
+				}
+			})
+		}(r, rt)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,94 @@
+// Package job boots simulated multi-rank HiPER jobs inside one process:
+// one core.Runtime (with its own platform model and worker pool) per
+// simulated rank, matching how the paper's hybrid configurations run one
+// multi-threaded HiPER process per node.
+package job
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/platform"
+)
+
+// Proc is one simulated process (rank) of a job.
+type Proc struct {
+	Rank int
+	RT   *core.Runtime
+}
+
+// Spec describes a job.
+type Spec struct {
+	Ranks          int
+	WorkersPerRank int
+	GPUs           int // GPUs per rank's platform model (0 for none)
+	// OnStart, if non-nil, runs after all runtimes are constructed and set
+	// up, immediately before the rank bodies launch. Benchmarks use it to
+	// start their clocks after process/runtime boot, which a real job's
+	// measured region would not include either.
+	OnStart func()
+}
+
+// Run boots spec.Ranks runtimes, calls setup for each (module
+// installation), then runs body once per rank concurrently inside
+// Launch, and finally shuts all runtimes down. The first setup error
+// aborts the job; panics inside bodies propagate.
+func Run(spec Spec, setup func(p *Proc) error, body func(p *Proc, c *core.Ctx)) error {
+	if spec.Ranks <= 0 {
+		return fmt.Errorf("job: need at least 1 rank, got %d", spec.Ranks)
+	}
+	if spec.WorkersPerRank <= 0 {
+		spec.WorkersPerRank = 1
+	}
+	procs := make([]*Proc, spec.Ranks)
+	for r := 0; r < spec.Ranks; r++ {
+		var model *platform.Model
+		if spec.GPUs > 0 {
+			model = platform.DefaultWithGPU(spec.WorkersPerRank, spec.GPUs)
+		} else {
+			model = platform.Default(spec.WorkersPerRank)
+		}
+		rt, err := core.New(model, nil)
+		if err != nil {
+			return fmt.Errorf("job: rank %d: %w", r, err)
+		}
+		procs[r] = &Proc{Rank: r, RT: rt}
+		if setup != nil {
+			if err := setup(procs[r]); err != nil {
+				return fmt.Errorf("job: rank %d setup: %w", r, err)
+			}
+		}
+	}
+	if spec.OnStart != nil {
+		spec.OnStart()
+	}
+	var wg sync.WaitGroup
+	for _, p := range procs {
+		wg.Add(1)
+		go func(p *Proc) {
+			defer wg.Done()
+			p.RT.Launch(func(c *core.Ctx) { body(p, c) })
+		}(p)
+	}
+	wg.Wait()
+	for _, p := range procs {
+		p.RT.Shutdown()
+	}
+	return nil
+}
+
+// RunFlat runs a non-HiPER SPMD job: body once per rank on a plain
+// goroutine (the "flat" and hybrid baseline variants, which do not use the
+// HiPER runtime at all).
+func RunFlat(ranks int, body func(rank int)) {
+	var wg sync.WaitGroup
+	for r := 0; r < ranks; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			body(r)
+		}(r)
+	}
+	wg.Wait()
+}

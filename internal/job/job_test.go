@@ -1,0 +1,76 @@
+package job
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestRunLaunchesEveryRank(t *testing.T) {
+	var mask atomic.Int64
+	err := Run(Spec{Ranks: 5, WorkersPerRank: 2}, nil, func(p *Proc, c *core.Ctx) {
+		mask.Add(1 << p.Rank)
+		if p.RT.NumWorkers() != 2 {
+			t.Errorf("rank %d workers = %d", p.Rank, p.RT.NumWorkers())
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mask.Load() != 31 {
+		t.Fatalf("rank mask = %b", mask.Load())
+	}
+}
+
+func TestRunSetupErrorAborts(t *testing.T) {
+	ran := false
+	err := Run(Spec{Ranks: 2}, func(p *Proc) error {
+		if p.Rank == 1 {
+			return errors.New("boom")
+		}
+		return nil
+	}, func(*Proc, *core.Ctx) { ran = true })
+	if err == nil || ran {
+		t.Fatalf("err=%v ran=%v", err, ran)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if err := Run(Spec{Ranks: 0}, nil, nil); err == nil {
+		t.Fatal("zero ranks must error")
+	}
+}
+
+func TestRunOnStartBeforeBodies(t *testing.T) {
+	var started atomic.Bool
+	err := Run(Spec{Ranks: 2, OnStart: func() { started.Store(true) }},
+		nil, func(p *Proc, c *core.Ctx) {
+			if !started.Load() {
+				t.Error("body ran before OnStart")
+			}
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWithGPUPlatform(t *testing.T) {
+	err := Run(Spec{Ranks: 1, WorkersPerRank: 2, GPUs: 1}, nil, func(p *Proc, c *core.Ctx) {
+		if p.RT.Model().FirstByKind("gpu") == nil {
+			t.Error("GPU place missing")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFlat(t *testing.T) {
+	var n atomic.Int64
+	RunFlat(8, func(r int) { n.Add(int64(r)) })
+	if n.Load() != 28 {
+		t.Fatalf("sum of ranks = %d", n.Load())
+	}
+}

@@ -1,0 +1,126 @@
+package modules
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+)
+
+type fakeModule struct {
+	name      string
+	initErr   error
+	inited    int
+	finalized int
+}
+
+func (m *fakeModule) Name() string             { return m.name }
+func (m *fakeModule) Init(*core.Runtime) error { m.inited++; return m.initErr }
+func (m *fakeModule) Finalize()                { m.finalized++ }
+
+func TestInstallLifecycle(t *testing.T) {
+	rt := core.NewDefault(1)
+	m := &fakeModule{name: "fake"}
+	if err := Install(rt, m); err != nil {
+		t.Fatal(err)
+	}
+	if m.inited != 1 {
+		t.Fatal("Init not called")
+	}
+	if got := Installed(rt, "fake"); got != m {
+		t.Fatal("Installed lookup failed")
+	}
+	if Installed(rt, "missing") != nil {
+		t.Fatal("missing module should be nil")
+	}
+	rt.Launch(func(c *core.Ctx) {})
+	rt.Shutdown()
+	if m.finalized != 1 {
+		t.Fatalf("Finalize called %d times", m.finalized)
+	}
+}
+
+func TestInstallDuplicateRejected(t *testing.T) {
+	rt := core.NewDefault(1)
+	defer rt.Shutdown()
+	MustInstall(rt, &fakeModule{name: "dup"})
+	if err := Install(rt, &fakeModule{name: "dup"}); err == nil {
+		t.Fatal("duplicate install must fail")
+	}
+}
+
+func TestInstallInitErrorRollsBack(t *testing.T) {
+	rt := core.NewDefault(1)
+	defer rt.Shutdown()
+	bad := &fakeModule{name: "bad", initErr: errors.New("boom")}
+	if err := Install(rt, bad); err == nil {
+		t.Fatal("expected init error")
+	}
+	if Installed(rt, "bad") != nil {
+		t.Fatal("failed module left registered")
+	}
+	// Name is free again after rollback.
+	if err := Install(rt, &fakeModule{name: "bad"}); err != nil {
+		t.Fatalf("reinstall after rollback: %v", err)
+	}
+}
+
+func TestNamesOrdered(t *testing.T) {
+	rt := core.NewDefault(1)
+	defer rt.Shutdown()
+	MustInstall(rt, &fakeModule{name: "a"})
+	MustInstall(rt, &fakeModule{name: "b"})
+	got := Names(rt)
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("names = %v", got)
+	}
+	if Names(core.NewDefault(1)) != nil {
+		t.Fatal("fresh runtime should have no modules")
+	}
+}
+
+func TestMustInstallPanics(t *testing.T) {
+	rt := core.NewDefault(1)
+	defer rt.Shutdown()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustInstall must panic on error")
+		}
+	}()
+	MustInstall(rt, &fakeModule{name: "x", initErr: errors.New("no")})
+}
+
+func TestTimedHelpers(t *testing.T) {
+	got := Timed("tmod", "api", func() int { return 41 })
+	if got != 41 {
+		t.Fatalf("Timed = %d", got)
+	}
+	ran := false
+	TimedVoid("tmod", "api2", func() { ran = true })
+	if !ran {
+		t.Fatal("TimedVoid did not run fn")
+	}
+}
+
+func TestFinalizeOrderAcrossModules(t *testing.T) {
+	rt := core.NewDefault(1)
+	var order []string
+	a := &orderModule{name: "a", order: &order}
+	b := &orderModule{name: "b", order: &order}
+	MustInstall(rt, a)
+	MustInstall(rt, b)
+	rt.Launch(func(c *core.Ctx) {})
+	rt.Shutdown()
+	if len(order) != 2 || order[0] != "b" || order[1] != "a" {
+		t.Fatalf("finalize order = %v, want [b a] (LIFO)", order)
+	}
+}
+
+type orderModule struct {
+	name  string
+	order *[]string
+}
+
+func (m *orderModule) Name() string             { return m.name }
+func (m *orderModule) Init(*core.Runtime) error { return nil }
+func (m *orderModule) Finalize()                { *m.order = append(*m.order, m.name) }

@@ -1,0 +1,97 @@
+package mpi
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// Codec helpers: Go slices <-> wire bytes, plus the standard reduction
+// operators over encoded buffers. Little-endian fixed-width encoding keeps
+// the wire format trivial and the reductions exact.
+
+// EncodeInt64s packs vals into a fresh byte buffer.
+func EncodeInt64s(vals []int64) []byte {
+	out := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(out[8*i:], uint64(v))
+	}
+	return out
+}
+
+// DecodeInt64s unpacks a buffer produced by EncodeInt64s.
+func DecodeInt64s(buf []byte) []int64 {
+	out := make([]int64, len(buf)/8)
+	for i := range out {
+		out[i] = int64(binary.LittleEndian.Uint64(buf[8*i:]))
+	}
+	return out
+}
+
+// EncodeFloat64s packs vals into a fresh byte buffer.
+func EncodeFloat64s(vals []float64) []byte {
+	out := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(out[8*i:], math.Float64bits(v))
+	}
+	return out
+}
+
+// DecodeFloat64s unpacks a buffer produced by EncodeFloat64s.
+func DecodeFloat64s(buf []byte) []float64 {
+	out := make([]float64, len(buf)/8)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*i:]))
+	}
+	return out
+}
+
+// SumInt64 is a ReduceOp summing int64 elements.
+func SumInt64(acc, in []byte) {
+	for i := 0; i+8 <= len(acc) && i+8 <= len(in); i += 8 {
+		a := int64(binary.LittleEndian.Uint64(acc[i:]))
+		b := int64(binary.LittleEndian.Uint64(in[i:]))
+		binary.LittleEndian.PutUint64(acc[i:], uint64(a+b))
+	}
+}
+
+// MaxInt64 is a ReduceOp taking the element-wise maximum of int64s.
+func MaxInt64(acc, in []byte) {
+	for i := 0; i+8 <= len(acc) && i+8 <= len(in); i += 8 {
+		a := int64(binary.LittleEndian.Uint64(acc[i:]))
+		b := int64(binary.LittleEndian.Uint64(in[i:]))
+		if b > a {
+			binary.LittleEndian.PutUint64(acc[i:], uint64(b))
+		}
+	}
+}
+
+// MinInt64 is a ReduceOp taking the element-wise minimum of int64s.
+func MinInt64(acc, in []byte) {
+	for i := 0; i+8 <= len(acc) && i+8 <= len(in); i += 8 {
+		a := int64(binary.LittleEndian.Uint64(acc[i:]))
+		b := int64(binary.LittleEndian.Uint64(in[i:]))
+		if b < a {
+			binary.LittleEndian.PutUint64(acc[i:], uint64(b))
+		}
+	}
+}
+
+// SumFloat64 is a ReduceOp summing float64 elements.
+func SumFloat64(acc, in []byte) {
+	for i := 0; i+8 <= len(acc) && i+8 <= len(in); i += 8 {
+		a := math.Float64frombits(binary.LittleEndian.Uint64(acc[i:]))
+		b := math.Float64frombits(binary.LittleEndian.Uint64(in[i:]))
+		binary.LittleEndian.PutUint64(acc[i:], math.Float64bits(a+b))
+	}
+}
+
+// MaxFloat64 is a ReduceOp taking the element-wise maximum of float64s.
+func MaxFloat64(acc, in []byte) {
+	for i := 0; i+8 <= len(acc) && i+8 <= len(in); i += 8 {
+		a := math.Float64frombits(binary.LittleEndian.Uint64(acc[i:]))
+		b := math.Float64frombits(binary.LittleEndian.Uint64(in[i:]))
+		if b > a {
+			binary.LittleEndian.PutUint64(acc[i:], math.Float64bits(b))
+		}
+	}
+}

@@ -1,0 +1,277 @@
+// Package mpi implements the subset of the MPI standard that the HiPER MPI
+// module wraps, over the simulated interconnect in package simnet. It
+// stands in for a full MPI library (OpenMPI, MVAPICH, Cray MPI): the HiPER
+// module "taskifies" these APIs exactly as it would a real library's.
+//
+// Semantics follow the standard: point-to-point messages are matched by
+// (source, tag) with wildcards, per-pair ordering is FIFO, collectives
+// require one call from every rank of the communicator, and nonblocking
+// operations return Request objects that complete asynchronously.
+//
+// Each simulated process holds one *Comm per communicator; a World bundles
+// the per-rank handles of MPI_COMM_WORLD for in-process job construction.
+package mpi
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/simnet"
+)
+
+// ThreadMode mirrors MPI's thread support levels. The HiPER MPI module
+// configures the library in Funneled mode — all MPI calls are made by tasks
+// at the Interconnect place, serviced by a single worker's pop path — which
+// keeps MPI runtime overheads low.
+type ThreadMode int
+
+const (
+	// ThreadSingle allows exactly one thread per process (not enforced
+	// separately from Funneled here).
+	ThreadSingle ThreadMode = iota
+	// ThreadFunneled requires all MPI calls to be serialized; concurrent
+	// entry panics, surfacing composition bugs loudly.
+	ThreadFunneled
+	// ThreadMultiple allows unrestricted concurrent calls.
+	ThreadMultiple
+)
+
+// Reserved internal tag space for collectives (user tags must be >= 0).
+const (
+	tagBarrier = -(iota + 2)
+	tagBcast
+	tagReduce
+	tagAllgather
+	tagAlltoall
+	tagScan
+	tagGather
+)
+
+// World is an in-process MPI job: n ranks over one fabric.
+type World struct {
+	fabric *simnet.Fabric
+	comms  []*Comm
+}
+
+// NewWorld creates an n-rank job over a fabric with the given cost model.
+func NewWorld(n int, cost simnet.CostModel) *World {
+	w := &World{fabric: simnet.NewFabric(n, cost)}
+	w.comms = make([]*Comm, n)
+	for r := 0; r < n; r++ {
+		w.comms[r] = &Comm{world: w, rank: r, size: n, mode: ThreadMultiple}
+	}
+	return w
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.fabric.Size() }
+
+// Fabric exposes the underlying interconnect (for diagnostics).
+func (w *World) Fabric() *simnet.Fabric { return w.fabric }
+
+// Comm returns rank r's MPI_COMM_WORLD handle.
+func (w *World) Comm(r int) *Comm { return w.comms[r] }
+
+// Comm is one rank's handle on a communicator.
+type Comm struct {
+	world *World
+	rank  int
+	size  int
+
+	mode    ThreadMode
+	inCall  atomic.Int32
+	pending sync.WaitGroup // outstanding nonblocking ops (for Finalize)
+}
+
+// Rank returns the calling process's rank.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the communicator size.
+func (c *Comm) Size() int { return c.size }
+
+// InitThread sets the thread support level, as MPI_Init_thread would.
+func (c *Comm) InitThread(mode ThreadMode) { c.mode = mode }
+
+// enter/exit enforce Funneled-mode serialization.
+func (c *Comm) enter() {
+	if c.mode == ThreadMultiple {
+		return
+	}
+	if c.inCall.Add(1) != 1 {
+		panic(fmt.Sprintf("mpi: rank %d: concurrent MPI calls under MPI_THREAD_FUNNELED", c.rank))
+	}
+}
+
+func (c *Comm) exit() {
+	if c.mode == ThreadMultiple {
+		return
+	}
+	c.inCall.Add(-1)
+}
+
+// Status describes a completed receive.
+type Status struct {
+	Source int
+	Tag    int
+	Count  int // bytes received
+}
+
+// Wildcards, mirroring MPI_ANY_SOURCE and MPI_ANY_TAG.
+const (
+	AnySource = simnet.AnySource
+	AnyTag    = simnet.AnyTag
+)
+
+// Send performs a blocking standard-mode send. The payload is buffered
+// eagerly, so Send returns once the data is captured.
+func (c *Comm) Send(buf []byte, dest, tag int) {
+	c.enter()
+	defer c.exit()
+	if tag < 0 {
+		panic("mpi: user tags must be non-negative")
+	}
+	c.world.fabric.Send(c.rank, dest, tag, buf)
+}
+
+// Recv blocks until a matching message arrives and copies it into buf,
+// which must be large enough.
+func (c *Comm) Recv(buf []byte, source, tag int) Status {
+	c.enter()
+	defer c.exit()
+	return c.recvInto(buf, source, tag)
+}
+
+func (c *Comm) recvInto(buf []byte, source, tag int) Status {
+	m := c.world.fabric.Recv(c.rank, source, tag)
+	if len(m.Data) > len(buf) {
+		panic(fmt.Sprintf("mpi: rank %d: message of %d bytes overflows %d-byte receive buffer",
+			c.rank, len(m.Data), len(buf)))
+	}
+	copy(buf, m.Data)
+	return Status{Source: m.Src, Tag: m.Tag, Count: len(m.Data)}
+}
+
+// Request represents an outstanding nonblocking operation. Completion can
+// be polled with Test (how the HiPER module's poller task operates) or
+// awaited with Wait.
+type Request struct {
+	done   atomic.Bool
+	ch     chan struct{}
+	status Status
+
+	mu  sync.Mutex
+	cbs []func(Status)
+}
+
+func newRequest() *Request { return &Request{ch: make(chan struct{})} }
+
+func (r *Request) complete(st Status) {
+	r.mu.Lock()
+	r.status = st
+	cbs := r.cbs
+	r.cbs = nil
+	r.done.Store(true)
+	r.mu.Unlock()
+	close(r.ch)
+	for _, cb := range cbs {
+		cb(st)
+	}
+}
+
+// Test reports whether the operation has completed, without blocking.
+func (r *Request) Test() bool { return r.done.Load() }
+
+// Wait blocks until the operation completes and returns its status.
+func (r *Request) Wait() Status {
+	<-r.ch
+	return r.status
+}
+
+// Status returns the completion status; valid only after completion.
+func (r *Request) Status() Status { return r.status }
+
+// OnComplete registers fn to run when the request completes (immediately if
+// it already has). The HiPER module's callback-mode ablation uses this; the
+// default module configuration polls with Test instead, as the paper
+// describes.
+func (r *Request) OnComplete(fn func(Status)) {
+	r.mu.Lock()
+	if r.done.Load() {
+		st := r.status
+		r.mu.Unlock()
+		fn(st)
+		return
+	}
+	r.cbs = append(r.cbs, fn)
+	r.mu.Unlock()
+}
+
+// Isend starts a nonblocking send. With eager buffering the request
+// completes as soon as the payload is captured.
+func (c *Comm) Isend(buf []byte, dest, tag int) *Request {
+	c.enter()
+	defer c.exit()
+	if tag < 0 {
+		panic("mpi: user tags must be non-negative")
+	}
+	req := newRequest()
+	c.world.fabric.Send(c.rank, dest, tag, buf)
+	req.complete(Status{Source: c.rank, Tag: tag, Count: len(buf)})
+	return req
+}
+
+// Irecv starts a nonblocking receive into buf. The request completes when
+// a matching message has been copied into buf.
+func (c *Comm) Irecv(buf []byte, source, tag int) *Request {
+	c.enter()
+	defer c.exit()
+	req := newRequest()
+	c.pending.Add(1)
+	c.world.fabric.RecvAsync(c.rank, source, tag, func(m simnet.Message) {
+		defer c.pending.Done()
+		if len(m.Data) > len(buf) {
+			panic(fmt.Sprintf("mpi: rank %d: message of %d bytes overflows %d-byte Irecv buffer",
+				c.rank, len(m.Data), len(buf)))
+		}
+		copy(buf, m.Data)
+		req.complete(Status{Source: m.Src, Tag: m.Tag, Count: len(m.Data)})
+	})
+	return req
+}
+
+// Waitall blocks until every request completes.
+func Waitall(reqs ...*Request) {
+	for _, r := range reqs {
+		if r != nil {
+			r.Wait()
+		}
+	}
+}
+
+// Testall reports whether all requests have completed.
+func Testall(reqs ...*Request) bool {
+	for _, r := range reqs {
+		if r != nil && !r.Test() {
+			return false
+		}
+	}
+	return true
+}
+
+// Iprobe reports whether a matching message is queued, without receiving
+// it. The reference Graph500 implementation polls with this.
+func (c *Comm) Iprobe(source, tag int) (Status, bool) {
+	c.enter()
+	defer c.exit()
+	m, ok := c.world.fabric.Probe(c.rank, source, tag)
+	if !ok {
+		return Status{}, false
+	}
+	return Status{Source: m.Src, Tag: m.Tag, Count: len(m.Data)}, true
+}
+
+// Finalize waits for this rank's outstanding nonblocking receives.
+func (c *Comm) Finalize() {
+	c.pending.Wait()
+}

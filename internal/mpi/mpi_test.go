@@ -1,0 +1,491 @@
+package mpi
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/simnet"
+)
+
+// runJob executes fn once per rank, concurrently, and waits for all.
+func runJob(t testing.TB, n int, cost simnet.CostModel, fn func(c *Comm)) *World {
+	t.Helper()
+	w := NewWorld(n, cost)
+	var wg sync.WaitGroup
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			fn(w.Comm(r))
+		}(r)
+	}
+	wg.Wait()
+	return w
+}
+
+func TestSendRecv(t *testing.T) {
+	runJob(t, 2, simnet.CostModel{}, func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Send([]byte("ping"), 1, 42)
+		} else {
+			buf := make([]byte, 16)
+			st := c.Recv(buf, 0, 42)
+			if st.Count != 4 || string(buf[:4]) != "ping" {
+				t.Errorf("recv %q count=%d", buf[:st.Count], st.Count)
+			}
+		}
+	})
+}
+
+func TestIsendIrecvWaitall(t *testing.T) {
+	runJob(t, 2, simnet.CostModel{Alpha: time.Millisecond}, func(c *Comm) {
+		peer := 1 - c.Rank()
+		out := EncodeInt64s([]int64{int64(c.Rank()) + 100})
+		in := make([]byte, 8)
+		rs := c.Isend(out, peer, 1)
+		rr := c.Irecv(in, peer, 1)
+		Waitall(rs, rr)
+		got := DecodeInt64s(in)[0]
+		if got != int64(peer)+100 {
+			t.Errorf("rank %d got %d", c.Rank(), got)
+		}
+	})
+}
+
+func TestRequestTestAndCallbacks(t *testing.T) {
+	runJob(t, 2, simnet.CostModel{Alpha: 5 * time.Millisecond}, func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Send([]byte("x"), 1, 0)
+			return
+		}
+		buf := make([]byte, 4)
+		req := c.Irecv(buf, 0, 0)
+		if req.Test() {
+			t.Error("request completed before message latency elapsed")
+		}
+		fired := make(chan Status, 1)
+		req.OnComplete(func(st Status) { fired <- st })
+		st := req.Wait()
+		if st.Count != 1 {
+			t.Errorf("count = %d", st.Count)
+		}
+		if !req.Test() {
+			t.Error("Test false after Wait")
+		}
+		select {
+		case <-fired:
+		case <-time.After(time.Second):
+			t.Error("OnComplete never fired")
+		}
+		// Callback registered after completion runs immediately.
+		done := false
+		req.OnComplete(func(Status) { done = true })
+		if !done {
+			t.Error("late OnComplete not run inline")
+		}
+	})
+}
+
+func TestFunneledModePanicsOnConcurrency(t *testing.T) {
+	w := NewWorld(2, simnet.CostModel{})
+	c := w.Comm(0)
+	c.InitThread(ThreadFunneled)
+	// A blocking Recv occupies the communicator; a concurrent Send must panic.
+	panicked := make(chan bool, 1)
+	go func() {
+		defer func() { panicked <- recover() != nil }()
+		// This Recv blocks forever inside the enter/exit window.
+		c.Recv(make([]byte, 1), 1, 0)
+	}()
+	time.Sleep(5 * time.Millisecond)
+	func() {
+		defer func() { panicked <- recover() != nil }()
+		c.Send([]byte("x"), 1, 0)
+	}()
+	if !<-panicked {
+		t.Fatal("expected a panic from concurrent funneled-mode calls")
+	}
+	// Unblock the pending Recv.
+	w.Comm(1).Send([]byte("y"), 0, 0)
+}
+
+func TestBarrierCollective(t *testing.T) {
+	var mu sync.Mutex
+	arrived := 0
+	runJob(t, 8, simnet.CostModel{}, func(c *Comm) {
+		mu.Lock()
+		arrived++
+		mu.Unlock()
+		c.Barrier()
+		mu.Lock()
+		if arrived != 8 {
+			t.Errorf("rank %d passed barrier with %d arrivals", c.Rank(), arrived)
+		}
+		mu.Unlock()
+	})
+}
+
+func TestBcastVariousSizesAndRoots(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 7, 8, 13} {
+		for root := 0; root < n; root += 3 {
+			n, root := n, root
+			t.Run(fmt.Sprintf("n%d_root%d", n, root), func(t *testing.T) {
+				runJob(t, n, simnet.CostModel{}, func(c *Comm) {
+					buf := make([]byte, 8)
+					if c.Rank() == root {
+						copy(buf, EncodeInt64s([]int64{777}))
+					}
+					c.Bcast(buf, root)
+					if got := DecodeInt64s(buf)[0]; got != 777 {
+						t.Errorf("rank %d got %d", c.Rank(), got)
+					}
+				})
+			})
+		}
+	}
+}
+
+func TestReduceSum(t *testing.T) {
+	const n = 9
+	runJob(t, n, simnet.CostModel{}, func(c *Comm) {
+		contrib := EncodeInt64s([]int64{int64(c.Rank() + 1), 1})
+		recv := make([]byte, 16)
+		c.Reduce(recv, contrib, SumInt64, 0)
+		if c.Rank() == 0 {
+			got := DecodeInt64s(recv)
+			if got[0] != n*(n+1)/2 || got[1] != n {
+				t.Errorf("reduce got %v", got)
+			}
+		}
+	})
+}
+
+func TestAllreduceMax(t *testing.T) {
+	const n = 6
+	runJob(t, n, simnet.CostModel{}, func(c *Comm) {
+		contrib := EncodeInt64s([]int64{int64(c.Rank() * 10)})
+		recv := make([]byte, 8)
+		c.Allreduce(recv, contrib, MaxInt64)
+		if got := DecodeInt64s(recv)[0]; got != (n-1)*10 {
+			t.Errorf("rank %d allreduce max = %d", c.Rank(), got)
+		}
+	})
+}
+
+func TestAllreduceFloatSum(t *testing.T) {
+	const n = 5
+	runJob(t, n, simnet.CostModel{}, func(c *Comm) {
+		contrib := EncodeFloat64s([]float64{0.5})
+		recv := make([]byte, 8)
+		c.Allreduce(recv, contrib, SumFloat64)
+		if got := DecodeFloat64s(recv)[0]; got != 2.5 {
+			t.Errorf("sum = %v", got)
+		}
+	})
+}
+
+func TestGather(t *testing.T) {
+	const n = 5
+	runJob(t, n, simnet.CostModel{}, func(c *Comm) {
+		contrib := []byte{byte(c.Rank()), byte(c.Rank())}
+		got := c.Gather(contrib, 2)
+		if c.Rank() != 2 {
+			if got != nil {
+				t.Errorf("non-root got %v", got)
+			}
+			return
+		}
+		for r := 0; r < n; r++ {
+			if len(got[r]) != 2 || got[r][0] != byte(r) {
+				t.Errorf("root: chunk %d = %v", r, got[r])
+			}
+		}
+	})
+}
+
+func TestAllgather(t *testing.T) {
+	const n = 7
+	runJob(t, n, simnet.CostModel{}, func(c *Comm) {
+		got := c.Allgather([]byte{byte(c.Rank() + 1)})
+		for r := 0; r < n; r++ {
+			if len(got[r]) != 1 || got[r][0] != byte(r+1) {
+				t.Errorf("rank %d: chunk %d = %v", c.Rank(), r, got[r])
+			}
+		}
+	})
+}
+
+func TestAlltoallv(t *testing.T) {
+	const n = 6
+	runJob(t, n, simnet.CostModel{}, func(c *Comm) {
+		chunks := make([][]byte, n)
+		for d := 0; d < n; d++ {
+			// variable sizes: rank r sends d+1 copies of byte r to rank d
+			chunk := make([]byte, d+1)
+			for i := range chunk {
+				chunk[i] = byte(c.Rank())
+			}
+			chunks[d] = chunk
+		}
+		got := c.Alltoallv(chunks)
+		for s := 0; s < n; s++ {
+			if len(got[s]) != c.Rank()+1 {
+				t.Errorf("rank %d: chunk from %d has len %d, want %d", c.Rank(), s, len(got[s]), c.Rank()+1)
+			}
+			for _, b := range got[s] {
+				if b != byte(s) {
+					t.Errorf("rank %d: chunk from %d has wrong payload", c.Rank(), s)
+				}
+			}
+		}
+	})
+}
+
+func TestScan(t *testing.T) {
+	const n = 6
+	runJob(t, n, simnet.CostModel{}, func(c *Comm) {
+		contrib := EncodeInt64s([]int64{int64(c.Rank() + 1)})
+		recv := make([]byte, 8)
+		c.Scan(recv, contrib, SumInt64)
+		want := int64((c.Rank() + 1) * (c.Rank() + 2) / 2)
+		if got := DecodeInt64s(recv)[0]; got != want {
+			t.Errorf("rank %d scan = %d, want %d", c.Rank(), got, want)
+		}
+	})
+}
+
+func TestBackToBackCollectives(t *testing.T) {
+	const n = 4
+	runJob(t, n, simnet.CostModel{Alpha: 200 * time.Microsecond}, func(c *Comm) {
+		for it := 0; it < 10; it++ {
+			buf := make([]byte, 8)
+			if c.Rank() == 0 {
+				copy(buf, EncodeInt64s([]int64{int64(it)}))
+			}
+			c.Bcast(buf, 0)
+			if got := DecodeInt64s(buf)[0]; got != int64(it) {
+				t.Fatalf("rank %d iteration %d got %d (cross-iteration mixing)", c.Rank(), it, got)
+			}
+		}
+	})
+}
+
+func TestIprobe(t *testing.T) {
+	w := NewWorld(2, simnet.CostModel{})
+	c1 := w.Comm(1)
+	if _, ok := c1.Iprobe(AnySource, AnyTag); ok {
+		t.Fatal("Iprobe true on empty queue")
+	}
+	w.Comm(0).Send([]byte("abc"), 1, 5)
+	st, ok := c1.Iprobe(0, 5)
+	if !ok || st.Count != 3 {
+		t.Fatalf("Iprobe = %+v %v", st, ok)
+	}
+	// Probe does not consume.
+	buf := make([]byte, 3)
+	if got := c1.Recv(buf, 0, 5); got.Count != 3 {
+		t.Fatal("message consumed by probe")
+	}
+}
+
+func TestNegativeUserTagPanics(t *testing.T) {
+	w := NewWorld(2, simnet.CostModel{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative user tag must panic")
+		}
+	}()
+	w.Comm(0).Send(nil, 1, -1)
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	f := func(vals []int64) bool {
+		got := DecodeInt64s(EncodeInt64s(vals))
+		if len(got) != len(vals) {
+			return false
+		}
+		for i := range vals {
+			if got[i] != vals[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	g := func(vals []float64) bool {
+		got := DecodeFloat64s(EncodeFloat64s(vals))
+		if len(got) != len(vals) {
+			return false
+		}
+		for i := range vals {
+			if got[i] != vals[i] && !(vals[i] != vals[i] && got[i] != got[i]) { // NaN-safe
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(g, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Allreduce(sum) over random contributions equals the local sum
+// of all contributions, for any rank count.
+func TestQuickAllreduce(t *testing.T) {
+	f := func(vals []int16, nn uint8) bool {
+		n := int(nn%6) + 1
+		if len(vals) == 0 {
+			vals = []int16{3}
+		}
+		if len(vals) > 8 {
+			vals = vals[:8]
+		}
+		var want int64
+		contribs := make([][]int64, n)
+		for r := 0; r < n; r++ {
+			contribs[r] = []int64{0}
+			for _, v := range vals {
+				contribs[r][0] += int64(v) * int64(r+1)
+			}
+			want += contribs[r][0]
+		}
+		results := make([]int64, n)
+		w := NewWorld(n, simnet.CostModel{})
+		var wg sync.WaitGroup
+		for r := 0; r < n; r++ {
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				recv := make([]byte, 8)
+				w.Comm(r).Allreduce(recv, EncodeInt64s(contribs[r]), SumInt64)
+				results[r] = DecodeInt64s(recv)[0]
+			}(r)
+		}
+		wg.Wait()
+		for r := 0; r < n; r++ {
+			if results[r] != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkPingPong(b *testing.B) {
+	w := NewWorld(2, simnet.CostModel{})
+	payload := make([]byte, 64)
+	done := make(chan struct{})
+	go func() {
+		c := w.Comm(1)
+		buf := make([]byte, 64)
+		for i := 0; i < b.N; i++ {
+			c.Recv(buf, 0, 0)
+			c.Send(buf, 0, 1)
+		}
+		close(done)
+	}()
+	c := w.Comm(0)
+	buf := make([]byte, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Send(payload, 1, 0)
+		c.Recv(buf, 1, 1)
+	}
+	<-done
+}
+
+func BenchmarkAllreduce8(b *testing.B) {
+	const n = 8
+	w := NewWorld(n, simnet.CostModel{})
+	var wg sync.WaitGroup
+	b.ResetTimer()
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			c := w.Comm(r)
+			contrib := EncodeInt64s([]int64{int64(r)})
+			recv := make([]byte, 8)
+			for i := 0; i < b.N; i++ {
+				c.Allreduce(recv, contrib, SumInt64)
+			}
+		}(r)
+	}
+	wg.Wait()
+}
+
+func TestIbarrier(t *testing.T) {
+	const n = 4
+	runJob(t, n, simnet.CostModel{}, func(c *Comm) {
+		req := c.Ibarrier()
+		// Useful work is possible while the barrier is pending.
+		work := 0
+		for i := 0; i < 100; i++ {
+			work += i
+		}
+		_ = work
+		st := req.Wait()
+		if st.Source != c.Rank() {
+			t.Errorf("ibarrier status source = %d", st.Source)
+		}
+		if !req.Test() {
+			t.Error("Test false after Wait")
+		}
+	})
+}
+
+func TestIbarrierMixedWithBlocking(t *testing.T) {
+	// Ibarrier arrivals and blocking Barrier arrivals count toward the
+	// same generations.
+	const n = 3
+	runJob(t, n, simnet.CostModel{}, func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Ibarrier().Wait()
+		} else {
+			c.Barrier()
+		}
+	})
+}
+
+func TestTestallAndWaitallNilSafe(t *testing.T) {
+	Waitall(nil, nil) // must not panic
+	if !Testall(nil) {
+		t.Fatal("Testall(nil) should be true")
+	}
+	w := NewWorld(2, simnet.CostModel{Alpha: 5 * time.Millisecond})
+	buf := make([]byte, 8)
+	r := w.Comm(1).Irecv(buf, 0, 0)
+	if Testall(r, nil) {
+		t.Fatal("Testall true with pending request")
+	}
+	w.Comm(0).Send(EncodeInt64s([]int64{1}), 1, 0)
+	Waitall(r)
+	if !Testall(r) {
+		t.Fatal("Testall false after Waitall")
+	}
+}
+
+func TestGatherAtEachRoot(t *testing.T) {
+	const n = 3
+	for root := 0; root < n; root++ {
+		root := root
+		runJob(t, n, simnet.CostModel{}, func(c *Comm) {
+			got := c.Gather([]byte{byte(c.Rank() * 2)}, root)
+			if c.Rank() == root {
+				for r := 0; r < n; r++ {
+					if got[r][0] != byte(r*2) {
+						t.Errorf("root %d: chunk %d = %v", root, r, got[r])
+					}
+				}
+			}
+		})
+	}
+}

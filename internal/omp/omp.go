@@ -1,0 +1,171 @@
+// Package omp is a minimal OpenMP-style runtime used ONLY by the paper's
+// baseline variants (MPI+OpenMP, OpenSHMEM+OpenMP, OpenSHMEM+OpenMP Tasks).
+//
+// It deliberately reproduces the structural property the paper contrasts
+// HiPER against: OpenMP regions are fork-join, and OpenMP task groups
+// require coarse-grain synchronization (taskwait over ALL pending tasks)
+// before the enclosing code can proceed — there is no integration with a
+// communication runtime, so distributed load-balancing loops must
+// repeatedly drain the whole local task pool.
+package omp
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Team is an OpenMP thread team of fixed size.
+type Team struct {
+	n int
+}
+
+// NewTeam creates a team with n threads (n <= 0 panics: OpenMP requires a
+// positive team size).
+func NewTeam(n int) *Team {
+	if n <= 0 {
+		panic("omp: team size must be positive")
+	}
+	return &Team{n: n}
+}
+
+// Size returns the team size (omp_get_num_threads).
+func (t *Team) Size() int { return t.n }
+
+// Parallel runs fn once per team thread (a `parallel` region) and joins.
+func (t *Team) Parallel(fn func(tid int)) {
+	var wg sync.WaitGroup
+	for tid := 0; tid < t.n; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			fn(tid)
+		}(tid)
+	}
+	wg.Wait()
+}
+
+// ParallelFor runs body over [lo, hi) with static scheduling
+// (`parallel for schedule(static)`) and an implicit barrier at the end.
+func (t *Team) ParallelFor(lo, hi int, body func(i int)) {
+	n := hi - lo
+	if n <= 0 {
+		return
+	}
+	chunk := (n + t.n - 1) / t.n
+	var wg sync.WaitGroup
+	for tid := 0; tid < t.n; tid++ {
+		s := lo + tid*chunk
+		e := s + chunk
+		if e > hi {
+			e = hi
+		}
+		if s >= e {
+			break
+		}
+		wg.Add(1)
+		go func(s, e int) {
+			defer wg.Done()
+			for i := s; i < e; i++ {
+				body(i)
+			}
+		}(s, e)
+	}
+	wg.Wait()
+}
+
+// ParallelForDynamic runs body over [lo, hi) with dynamic scheduling
+// (`schedule(dynamic, chunk)`).
+func (t *Team) ParallelForDynamic(lo, hi, chunk int, body func(i int)) {
+	if hi <= lo {
+		return
+	}
+	if chunk <= 0 {
+		chunk = 1
+	}
+	var next atomic.Int64
+	next.Store(int64(lo))
+	var wg sync.WaitGroup
+	for tid := 0; tid < t.n; tid++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				s := int(next.Add(int64(chunk))) - chunk
+				if s >= hi {
+					return
+				}
+				e := s + chunk
+				if e > hi {
+					e = hi
+				}
+				for i := s; i < e; i++ {
+					body(i)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TaskGroup is an OpenMP task pool executed by a team inside a parallel
+// region. Tasks may spawn further tasks. The group's Run call returns only
+// when ALL tasks (including transitively spawned ones) have finished —
+// this is the coarse-grain synchronization point the paper identifies as
+// the structural weakness of the OpenSHMEM+OpenMP Tasks UTS variant: the
+// application cannot interleave communication or termination checks with
+// task execution; it must wait for the whole batch.
+type TaskGroup struct {
+	mu      sync.Mutex
+	queue   []func(*TaskGroup)
+	pending int64
+	cond    *sync.Cond
+}
+
+// Tasks runs seed inside a fresh task group on the team and blocks until
+// the group fully drains (`parallel` + `single` seeding + implicit
+// taskwait at region end).
+func (t *Team) Tasks(seed func(tg *TaskGroup)) {
+	tg := &TaskGroup{}
+	tg.cond = sync.NewCond(&tg.mu)
+	tg.Spawn(seed)
+	t.Parallel(func(int) {
+		tg.work()
+	})
+}
+
+// Spawn enqueues a task (`#pragma omp task`).
+func (tg *TaskGroup) Spawn(fn func(*TaskGroup)) {
+	tg.mu.Lock()
+	tg.queue = append(tg.queue, fn)
+	tg.pending++
+	tg.cond.Broadcast()
+	tg.mu.Unlock()
+}
+
+// work executes tasks until the group drains (no queued tasks and no task
+// in flight anywhere in the team).
+func (tg *TaskGroup) work() {
+	for {
+		tg.mu.Lock()
+		for len(tg.queue) == 0 && tg.pending > 0 {
+			tg.cond.Wait()
+		}
+		if tg.pending == 0 {
+			tg.cond.Broadcast()
+			tg.mu.Unlock()
+			return
+		}
+		fn := tg.queue[len(tg.queue)-1]
+		tg.queue = tg.queue[:len(tg.queue)-1]
+		tg.mu.Unlock()
+
+		fn(tg)
+
+		tg.mu.Lock()
+		tg.pending--
+		if tg.pending == 0 {
+			tg.cond.Broadcast()
+		}
+		tg.mu.Unlock()
+	}
+}

@@ -1,0 +1,113 @@
+package omp
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestParallelRunsEachThread(t *testing.T) {
+	team := NewTeam(4)
+	var hits [4]atomic.Int32
+	team.Parallel(func(tid int) { hits[tid].Add(1) })
+	for tid := range hits {
+		if hits[tid].Load() != 1 {
+			t.Fatalf("tid %d ran %d times", tid, hits[tid].Load())
+		}
+	}
+}
+
+func TestParallelForCoverage(t *testing.T) {
+	team := NewTeam(3)
+	const n = 1000
+	hits := make([]atomic.Int32, n)
+	team.ParallelFor(0, n, func(i int) { hits[i].Add(1) })
+	for i := range hits {
+		if hits[i].Load() != 1 {
+			t.Fatalf("i=%d ran %d times", i, hits[i].Load())
+		}
+	}
+	// Empty and reversed ranges are no-ops.
+	team.ParallelFor(5, 5, func(int) { t.Error("empty range ran") })
+	team.ParallelFor(9, 3, func(int) { t.Error("reversed range ran") })
+}
+
+func TestParallelForDynamicCoverage(t *testing.T) {
+	team := NewTeam(4)
+	const n = 777
+	hits := make([]atomic.Int32, n)
+	team.ParallelForDynamic(0, n, 10, func(i int) { hits[i].Add(1) })
+	for i := range hits {
+		if hits[i].Load() != 1 {
+			t.Fatalf("i=%d ran %d times", i, hits[i].Load())
+		}
+	}
+	team.ParallelForDynamic(0, 10, 0, func(int) {}) // chunk<=0 clamps to 1
+}
+
+func TestTasksTransitive(t *testing.T) {
+	team := NewTeam(4)
+	var count atomic.Int64
+	team.Tasks(func(tg *TaskGroup) {
+		for i := 0; i < 8; i++ {
+			tg.Spawn(func(tg *TaskGroup) {
+				for j := 0; j < 8; j++ {
+					tg.Spawn(func(*TaskGroup) { count.Add(1) })
+				}
+			})
+		}
+	})
+	if count.Load() != 64 {
+		t.Fatalf("tasks executed = %d, want 64", count.Load())
+	}
+}
+
+func TestTasksDrainBeforeReturn(t *testing.T) {
+	team := NewTeam(2)
+	var done atomic.Bool
+	team.Tasks(func(tg *TaskGroup) {
+		tg.Spawn(func(tg *TaskGroup) {
+			tg.Spawn(func(*TaskGroup) { done.Store(true) })
+		})
+	})
+	if !done.Load() {
+		t.Fatal("Tasks returned before the group drained")
+	}
+}
+
+func TestNewTeamValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewTeam(0) must panic")
+		}
+	}()
+	NewTeam(0)
+}
+
+// Property: ParallelFor computes the same sum as a sequential loop for any
+// bounds and team size.
+func TestQuickParallelForSum(t *testing.T) {
+	f := func(lo8, n8, team8 uint8) bool {
+		lo := int(lo8 % 50)
+		hi := lo + int(n8%200)
+		team := NewTeam(int(team8%7) + 1)
+		var got atomic.Int64
+		team.ParallelFor(lo, hi, func(i int) { got.Add(int64(i)) })
+		var want int64
+		for i := lo; i < hi; i++ {
+			want += int64(i)
+		}
+		return got.Load() == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkParallelForForkJoin(b *testing.B) {
+	team := NewTeam(4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		team.ParallelFor(0, 1024, func(int) {})
+	}
+}

@@ -1,0 +1,140 @@
+package platform
+
+import "fmt"
+
+// MachineSpec describes a physical node for model generation. It stands in
+// for the paper's HWloc-based utilities that automatically produce JSON
+// platform configuration files; users are likewise free to edit the output.
+type MachineSpec struct {
+	Sockets        int  // CPU sockets; each gets a sysmem and an L3 cache place
+	CoresPerSocket int  // worker threads per socket
+	GPUs           int  // each gets a gpu + gpumem place pair
+	NVM            bool // add a node-local NVM place
+	Disk           bool // add a node-local disk place
+	Interconnect   bool // add a NIC place for inter-node communication
+
+	// StealScope controls steal-path construction:
+	// "socket" limits steals to same-socket places first, then global;
+	// "global" (default) lets every worker steal everywhere.
+	StealScope string
+}
+
+// Generate synthesizes a platform model from a machine description.
+//
+// Topology: per socket, an L3 cache place connected to the socket's sysmem;
+// sysmem places are interconnected (QPI-style); GPUs hang off socket 0's
+// sysmem through their gpumem; NVM/disk/NIC hang off socket 0's sysmem.
+// Each core contributes one worker whose pop path is
+// [its L3, its sysmem, extras...] and whose steal path mirrors it followed
+// by the other sockets' places.
+func Generate(spec MachineSpec) (*Model, error) {
+	if spec.Sockets <= 0 || spec.CoresPerSocket <= 0 {
+		return nil, fmt.Errorf("platform: MachineSpec requires at least one socket and core, got %+v", spec)
+	}
+	m := NewModel()
+
+	sysmem := make([]*Place, spec.Sockets)
+	l3 := make([]*Place, spec.Sockets)
+	for s := 0; s < spec.Sockets; s++ {
+		sysmem[s] = m.AddPlace(fmt.Sprintf("sysmem%d", s), KindSysMem)
+		l3[s] = m.AddPlace(fmt.Sprintf("l3-%d", s), KindCache)
+		m.AddEdge(l3[s], sysmem[s])
+		if s > 0 {
+			m.AddEdge(sysmem[s-1], sysmem[s])
+		}
+	}
+
+	var extras []*Place
+	var nic *Place
+	for g := 0; g < spec.GPUs; g++ {
+		gpu := m.AddPlace(fmt.Sprintf("gpu%d", g), KindGPU)
+		gmem := m.AddPlace(fmt.Sprintf("gpumem%d", g), KindGPUMem)
+		m.AddEdge(gpu, gmem)
+		m.AddEdge(gmem, sysmem[0])
+		extras = append(extras, gpu)
+	}
+	if spec.NVM {
+		nvm := m.AddPlace("nvm0", KindNVM)
+		m.AddEdge(nvm, sysmem[0])
+		extras = append(extras, nvm)
+	}
+	if spec.Disk {
+		disk := m.AddPlace("disk0", KindDisk)
+		m.AddEdge(disk, sysmem[0])
+		extras = append(extras, disk)
+	}
+	if spec.Interconnect {
+		nic = m.AddPlace("nic0", KindInterconnect)
+		m.AddEdge(nic, sysmem[0])
+	}
+
+	extraIDs := func() []int {
+		var ids []int
+		for _, p := range extras {
+			ids = append(ids, p.ID)
+		}
+		return ids
+	}()
+
+	wid := 0
+	for s := 0; s < spec.Sockets; s++ {
+		for c := 0; c < spec.CoresPerSocket; c++ {
+			pop := []int{l3[s].ID, sysmem[s].ID}
+			steal := []int{l3[s].ID, sysmem[s].ID}
+			// The first worker on socket 0 owns the NIC place, matching the
+			// MPI module's MPI_THREAD_FUNNELED assumption: the Interconnect
+			// place must be on at least one worker's pop and steal paths.
+			if nic != nil && wid == 0 {
+				pop = append(pop, nic.ID)
+				steal = append(steal, nic.ID)
+			}
+			// Workers on socket 0 also service accelerator and storage places.
+			if s == 0 {
+				pop = append(pop, extraIDs...)
+				steal = append(steal, extraIDs...)
+			}
+			if spec.StealScope != "socket" {
+				for s2 := 0; s2 < spec.Sockets; s2++ {
+					if s2 == s {
+						continue
+					}
+					steal = append(steal, l3[s2].ID, sysmem[s2].ID)
+				}
+			}
+			m.AddWorker(pop, steal)
+			wid++
+		}
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Default returns a minimal single-socket model with the given number of
+// workers, one sysmem place everyone pops from and steals at, and an
+// interconnect place serviced by worker 0. It is the model the runtime uses
+// when the user supplies none.
+func Default(workers int) *Model {
+	if workers <= 0 {
+		workers = 1
+	}
+	m, err := Generate(MachineSpec{Sockets: 1, CoresPerSocket: workers, Interconnect: true})
+	if err != nil {
+		panic(err) // unreachable: spec is well-formed by construction
+	}
+	return m
+}
+
+// DefaultWithGPU returns Default(workers) extended with a GPU, for
+// accelerator-module tests and examples.
+func DefaultWithGPU(workers, gpus int) *Model {
+	if workers <= 0 {
+		workers = 1
+	}
+	m, err := Generate(MachineSpec{Sockets: 1, CoresPerSocket: workers, GPUs: gpus, Interconnect: true})
+	if err != nil {
+		panic(err)
+	}
+	return m
+}

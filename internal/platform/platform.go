@@ -1,0 +1,361 @@
+// Package platform implements the HiPER platform model: an undirected,
+// unweighted graph of "places". Nodes logically represent hardware
+// components that software libraries may utilize (system memory, caches,
+// GPU device memory, interconnect NICs, NVM, disks); edges represent
+// direct accessibility between components (for example, an edge between
+// system memory and a GPU's device memory means data is directly
+// transferable between them).
+//
+// A model is loaded from a JSON document at runtime initialization, and the
+// package also provides a generator that synthesizes a model from a machine
+// description, standing in for the paper's HWloc-based utilities. There is
+// no strict requirement of a one-to-one mapping from places and edges to
+// physical hardware, but similarity is desirable for performance fidelity.
+package platform
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// Kind classifies the hardware component a place represents. Module
+// implementations dispatch on kinds: for example, the CUDA module registers
+// itself as the handler for copies touching KindGPUMem places.
+type Kind string
+
+// The standard place kinds. Third-party modules may introduce new kinds;
+// the runtime treats kinds opaquely.
+const (
+	KindSysMem       Kind = "sysmem"       // host DRAM attached to a socket
+	KindCache        Kind = "cache"        // a shared or private CPU cache level
+	KindCore         Kind = "core"         // a latency-optimized management core
+	KindGPU          Kind = "gpu"          // a GPU's execution resources
+	KindGPUMem       Kind = "gpumem"       // a GPU's device memory
+	KindInterconnect Kind = "interconnect" // NIC / network port for inter-node comms
+	KindNVM          Kind = "nvm"          // non-volatile memory / burst buffer
+	KindDisk         Kind = "disk"         // node-local storage
+)
+
+// Place is a node in the platform model graph.
+type Place struct {
+	ID   int    // dense index, unique within a Model
+	Name string // human-readable, unique within a Model
+	Kind Kind
+	// Attrs carries optional model parameters (e.g. bandwidth hints)
+	// that generators emit and modules may consult.
+	Attrs map[string]string
+
+	neighbors []*Place
+}
+
+// Neighbors returns the places directly connected to p. The returned slice
+// is owned by the model and must not be mutated.
+func (p *Place) Neighbors() []*Place { return p.neighbors }
+
+// String implements fmt.Stringer.
+func (p *Place) String() string {
+	return fmt.Sprintf("%s#%d(%s)", p.Name, p.ID, p.Kind)
+}
+
+// WorkerSpec configures one persistent worker thread of the generalized
+// work-stealing runtime: the ordered list of places it traverses when
+// looking for its own work (Pop) and for other workers' work (Steal).
+type WorkerSpec struct {
+	ID    int
+	Pop   []int // place IDs, traversal order
+	Steal []int // place IDs, traversal order
+}
+
+// Model is an in-memory platform graph plus the worker/path configuration.
+type Model struct {
+	places  []*Place
+	byName  map[string]*Place
+	edges   [][2]int
+	workers []WorkerSpec
+}
+
+// jsonModel is the on-disk representation.
+type jsonModel struct {
+	Places  []jsonPlace  `json:"places"`
+	Edges   [][2]int     `json:"edges"`
+	Workers []jsonWorker `json:"workers"`
+}
+
+type jsonPlace struct {
+	ID    int               `json:"id"`
+	Name  string            `json:"name"`
+	Kind  Kind              `json:"kind"`
+	Attrs map[string]string `json:"attrs,omitempty"`
+}
+
+type jsonWorker struct {
+	ID    int   `json:"id"`
+	Pop   []int `json:"pop"`
+	Steal []int `json:"steal"`
+}
+
+// NewModel returns an empty model.
+func NewModel() *Model {
+	return &Model{byName: make(map[string]*Place)}
+}
+
+// AddPlace appends a new place with the given name and kind and returns it.
+// It panics if the name is already in use (model construction is programmer
+// error territory, like building a malformed literal).
+func (m *Model) AddPlace(name string, kind Kind) *Place {
+	if _, dup := m.byName[name]; dup {
+		panic(fmt.Sprintf("platform: duplicate place name %q", name))
+	}
+	p := &Place{ID: len(m.places), Name: name, Kind: kind}
+	m.places = append(m.places, p)
+	m.byName[name] = p
+	return p
+}
+
+// AddEdge connects two places bidirectionally. Duplicate edges are ignored.
+func (m *Model) AddEdge(a, b *Place) {
+	if a == nil || b == nil || a == b {
+		panic("platform: AddEdge requires two distinct non-nil places")
+	}
+	for _, n := range a.neighbors {
+		if n == b {
+			return
+		}
+	}
+	a.neighbors = append(a.neighbors, b)
+	b.neighbors = append(b.neighbors, a)
+	if a.ID > b.ID {
+		a, b = b, a
+	}
+	m.edges = append(m.edges, [2]int{a.ID, b.ID})
+}
+
+// AddWorker appends a worker specification. Paths are given as place IDs.
+func (m *Model) AddWorker(pop, steal []int) {
+	m.workers = append(m.workers, WorkerSpec{ID: len(m.workers), Pop: pop, Steal: steal})
+}
+
+// Places returns all places in ID order.
+func (m *Model) Places() []*Place { return m.places }
+
+// NumPlaces returns the number of places.
+func (m *Model) NumPlaces() int { return len(m.places) }
+
+// Place returns the place with the given ID, or nil.
+func (m *Model) Place(id int) *Place {
+	if id < 0 || id >= len(m.places) {
+		return nil
+	}
+	return m.places[id]
+}
+
+// PlaceByName returns the place with the given name, or nil.
+func (m *Model) PlaceByName(name string) *Place { return m.byName[name] }
+
+// PlacesByKind returns all places of the given kind, in ID order.
+func (m *Model) PlacesByKind(kind Kind) []*Place {
+	var out []*Place
+	for _, p := range m.places {
+		if p.Kind == kind {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// FirstByKind returns the lowest-ID place of the given kind, or nil.
+func (m *Model) FirstByKind(kind Kind) *Place {
+	for _, p := range m.places {
+		if p.Kind == kind {
+			return p
+		}
+	}
+	return nil
+}
+
+// Workers returns the worker specifications.
+func (m *Model) Workers() []WorkerSpec { return m.workers }
+
+// NumWorkers returns the configured worker count.
+func (m *Model) NumWorkers() int { return len(m.workers) }
+
+// Connected reports whether places a and b share an edge.
+func (m *Model) Connected(a, b *Place) bool {
+	for _, n := range a.neighbors {
+		if n == b {
+			return true
+		}
+	}
+	return false
+}
+
+// ShortestPath returns a minimal-hop path from src to dst (inclusive of both
+// endpoints), or nil if dst is unreachable. Used by data-movement planners
+// to route multi-hop copies through intermediate places.
+func (m *Model) ShortestPath(src, dst *Place) []*Place {
+	if src == dst {
+		return []*Place{src}
+	}
+	prev := make([]*Place, len(m.places))
+	seen := make([]bool, len(m.places))
+	queue := []*Place{src}
+	seen[src.ID] = true
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, n := range cur.neighbors {
+			if seen[n.ID] {
+				continue
+			}
+			seen[n.ID] = true
+			prev[n.ID] = cur
+			if n == dst {
+				// reconstruct
+				var path []*Place
+				for p := dst; p != nil; p = prev[p.ID] {
+					path = append(path, p)
+					if p == src {
+						break
+					}
+				}
+				// reverse
+				for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+					path[i], path[j] = path[j], path[i]
+				}
+				return path
+			}
+			queue = append(queue, n)
+		}
+	}
+	return nil
+}
+
+// Validate checks structural invariants: non-empty, unique names, worker
+// paths reference valid place IDs, every worker has a non-empty pop path,
+// and worker IDs are dense.
+func (m *Model) Validate() error {
+	if len(m.places) == 0 {
+		return fmt.Errorf("platform: model has no places")
+	}
+	if len(m.workers) == 0 {
+		return fmt.Errorf("platform: model has no workers")
+	}
+	for i, w := range m.workers {
+		if w.ID != i {
+			return fmt.Errorf("platform: worker IDs must be dense, got %d at index %d", w.ID, i)
+		}
+		if len(w.Pop) == 0 {
+			return fmt.Errorf("platform: worker %d has an empty pop path", w.ID)
+		}
+		for _, id := range w.Pop {
+			if m.Place(id) == nil {
+				return fmt.Errorf("platform: worker %d pop path references unknown place %d", w.ID, id)
+			}
+		}
+		for _, id := range w.Steal {
+			if m.Place(id) == nil {
+				return fmt.Errorf("platform: worker %d steal path references unknown place %d", w.ID, id)
+			}
+		}
+	}
+	return nil
+}
+
+// CoveredPlaces returns the set of place IDs reachable by at least one
+// worker's pop or steal path. Tasks enqueued at uncovered places would never
+// execute; module initialization uses this to assert its requirements (for
+// example, the MPI module requires the Interconnect place to be covered).
+func (m *Model) CoveredPlaces() map[int]bool {
+	cov := make(map[int]bool)
+	for _, w := range m.workers {
+		for _, id := range w.Pop {
+			cov[id] = true
+		}
+		for _, id := range w.Steal {
+			cov[id] = true
+		}
+	}
+	return cov
+}
+
+// MarshalJSON implements json.Marshaler.
+func (m *Model) MarshalJSON() ([]byte, error) {
+	jm := jsonModel{}
+	for _, p := range m.places {
+		jm.Places = append(jm.Places, jsonPlace{ID: p.ID, Name: p.Name, Kind: p.Kind, Attrs: p.Attrs})
+	}
+	jm.Edges = append(jm.Edges, m.edges...)
+	sort.Slice(jm.Edges, func(i, j int) bool {
+		if jm.Edges[i][0] != jm.Edges[j][0] {
+			return jm.Edges[i][0] < jm.Edges[j][0]
+		}
+		return jm.Edges[i][1] < jm.Edges[j][1]
+	})
+	for _, w := range m.workers {
+		jm.Workers = append(jm.Workers, jsonWorker{ID: w.ID, Pop: w.Pop, Steal: w.Steal})
+	}
+	return json.MarshalIndent(jm, "", "  ")
+}
+
+// Parse decodes a model from JSON bytes and validates it.
+func Parse(data []byte) (*Model, error) {
+	var jm jsonModel
+	if err := json.Unmarshal(data, &jm); err != nil {
+		return nil, fmt.Errorf("platform: %w", err)
+	}
+	m := NewModel()
+	// Places must arrive with dense, ordered IDs; re-index defensively.
+	sort.Slice(jm.Places, func(i, j int) bool { return jm.Places[i].ID < jm.Places[j].ID })
+	for i, jp := range jm.Places {
+		if jp.ID != i {
+			return nil, fmt.Errorf("platform: place IDs must be dense starting at 0, got %d", jp.ID)
+		}
+		p := m.AddPlace(jp.Name, jp.Kind)
+		p.Attrs = jp.Attrs
+	}
+	for _, e := range jm.Edges {
+		a, b := m.Place(e[0]), m.Place(e[1])
+		if a == nil || b == nil {
+			return nil, fmt.Errorf("platform: edge %v references unknown place", e)
+		}
+		m.AddEdge(a, b)
+	}
+	for _, jw := range jm.Workers {
+		m.workers = append(m.workers, WorkerSpec(jw))
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Load reads and parses a model from r.
+func Load(r io.Reader) (*Model, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("platform: %w", err)
+	}
+	return Parse(data)
+}
+
+// LoadFile reads and parses a model from the named file.
+func LoadFile(path string) (*Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}
+
+// SaveFile writes the model as JSON to the named file.
+func (m *Model) SaveFile(path string) error {
+	data, err := m.MarshalJSON()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

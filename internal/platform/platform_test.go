@@ -1,0 +1,290 @@
+package platform
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddPlaceAndLookup(t *testing.T) {
+	m := NewModel()
+	a := m.AddPlace("sysmem0", KindSysMem)
+	b := m.AddPlace("gpu0", KindGPU)
+	if a.ID != 0 || b.ID != 1 {
+		t.Fatalf("IDs not dense: %d %d", a.ID, b.ID)
+	}
+	if m.Place(0) != a || m.PlaceByName("gpu0") != b {
+		t.Fatal("lookup mismatch")
+	}
+	if m.Place(5) != nil || m.Place(-1) != nil {
+		t.Fatal("out-of-range lookup should be nil")
+	}
+	if got := m.FirstByKind(KindGPU); got != b {
+		t.Fatalf("FirstByKind = %v", got)
+	}
+	if got := m.PlacesByKind(KindSysMem); len(got) != 1 || got[0] != a {
+		t.Fatalf("PlacesByKind = %v", got)
+	}
+}
+
+func TestDuplicateNamePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on duplicate place name")
+		}
+	}()
+	m := NewModel()
+	m.AddPlace("x", KindSysMem)
+	m.AddPlace("x", KindGPU)
+}
+
+func TestEdges(t *testing.T) {
+	m := NewModel()
+	a := m.AddPlace("a", KindSysMem)
+	b := m.AddPlace("b", KindGPUMem)
+	c := m.AddPlace("c", KindGPU)
+	m.AddEdge(a, b)
+	m.AddEdge(a, b) // duplicate ignored
+	m.AddEdge(b, c)
+	if !m.Connected(a, b) || !m.Connected(b, a) {
+		t.Fatal("edge should be bidirectional")
+	}
+	if m.Connected(a, c) {
+		t.Fatal("a and c are not adjacent")
+	}
+	if len(a.Neighbors()) != 1 {
+		t.Fatalf("duplicate edge not ignored: %v", a.Neighbors())
+	}
+}
+
+func TestShortestPath(t *testing.T) {
+	m := NewModel()
+	// a - b - c - d, plus shortcut a - d via e? Build a line then check hops.
+	a := m.AddPlace("a", KindSysMem)
+	b := m.AddPlace("b", KindCache)
+	c := m.AddPlace("c", KindGPUMem)
+	d := m.AddPlace("d", KindGPU)
+	iso := m.AddPlace("iso", KindDisk)
+	m.AddEdge(a, b)
+	m.AddEdge(b, c)
+	m.AddEdge(c, d)
+
+	path := m.ShortestPath(a, d)
+	if len(path) != 4 || path[0] != a || path[3] != d {
+		t.Fatalf("path = %v", path)
+	}
+	if got := m.ShortestPath(a, a); len(got) != 1 || got[0] != a {
+		t.Fatalf("self path = %v", got)
+	}
+	if got := m.ShortestPath(a, iso); got != nil {
+		t.Fatalf("unreachable place should give nil path, got %v", got)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	m := NewModel()
+	if err := m.Validate(); err == nil {
+		t.Fatal("empty model must not validate")
+	}
+	m.AddPlace("sysmem0", KindSysMem)
+	if err := m.Validate(); err == nil {
+		t.Fatal("model without workers must not validate")
+	}
+	m.AddWorker([]int{0}, []int{0})
+	if err := m.Validate(); err != nil {
+		t.Fatalf("valid model rejected: %v", err)
+	}
+	m.AddWorker(nil, []int{0})
+	if err := m.Validate(); err == nil || !strings.Contains(err.Error(), "empty pop path") {
+		t.Fatalf("empty pop path not caught: %v", err)
+	}
+}
+
+func TestValidateBadPlaceRef(t *testing.T) {
+	m := NewModel()
+	m.AddPlace("sysmem0", KindSysMem)
+	m.AddWorker([]int{7}, []int{0})
+	if err := m.Validate(); err == nil {
+		t.Fatal("pop path with unknown place must not validate")
+	}
+	m2 := NewModel()
+	m2.AddPlace("sysmem0", KindSysMem)
+	m2.AddWorker([]int{0}, []int{9})
+	if err := m2.Validate(); err == nil {
+		t.Fatal("steal path with unknown place must not validate")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	orig := Default(4)
+	data, err := orig.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Parse(data)
+	if err != nil {
+		t.Fatalf("parse of marshaled model failed: %v\n%s", err, data)
+	}
+	if got.NumPlaces() != orig.NumPlaces() || got.NumWorkers() != orig.NumWorkers() {
+		t.Fatalf("round trip changed shape: %d/%d places, %d/%d workers",
+			got.NumPlaces(), orig.NumPlaces(), got.NumWorkers(), orig.NumWorkers())
+	}
+	for i, p := range orig.Places() {
+		q := got.Place(i)
+		if q.Name != p.Name || q.Kind != p.Kind {
+			t.Fatalf("place %d mismatch: %v vs %v", i, q, p)
+		}
+		if len(q.Neighbors()) != len(p.Neighbors()) {
+			t.Fatalf("place %d degree mismatch", i)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"bad json", `{`},
+		{"sparse ids", `{"places":[{"id":3,"name":"x","kind":"sysmem"}],"workers":[{"id":0,"pop":[3],"steal":[]}]}`},
+		{"bad edge", `{"places":[{"id":0,"name":"x","kind":"sysmem"}],"edges":[[0,9]],"workers":[{"id":0,"pop":[0],"steal":[]}]}`},
+		{"no workers", `{"places":[{"id":0,"name":"x","kind":"sysmem"}]}`},
+	}
+	for _, tc := range cases {
+		if _, err := Parse([]byte(tc.in)); err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+}
+
+func TestGenerate(t *testing.T) {
+	m, err := Generate(MachineSpec{Sockets: 2, CoresPerSocket: 4, GPUs: 1, NVM: true, Disk: true, Interconnect: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumWorkers() != 8 {
+		t.Fatalf("workers = %d, want 8", m.NumWorkers())
+	}
+	// 2 sysmem + 2 l3 + gpu + gpumem + nvm + disk + nic = 9
+	if m.NumPlaces() != 9 {
+		t.Fatalf("places = %d, want 9", m.NumPlaces())
+	}
+	nic := m.FirstByKind(KindInterconnect)
+	if nic == nil {
+		t.Fatal("no interconnect place")
+	}
+	cov := m.CoveredPlaces()
+	if !cov[nic.ID] {
+		t.Fatal("interconnect place not covered by any worker path")
+	}
+	// Every place must be covered in the generated model.
+	for _, p := range m.Places() {
+		if !cov[p.ID] && p.Kind != KindGPUMem && p.Kind != KindNVM && p.Kind != KindDisk {
+			t.Errorf("place %v not covered by any path", p)
+		}
+	}
+	// GPU execution place must be covered so accelerator proxy tasks run.
+	gpu := m.FirstByKind(KindGPU)
+	if gpu != nil && !cov[gpu.ID] {
+		t.Error("gpu place not covered")
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := Generate(MachineSpec{}); err == nil {
+		t.Fatal("zero spec should error")
+	}
+	if _, err := Generate(MachineSpec{Sockets: 1}); err == nil {
+		t.Fatal("zero cores should error")
+	}
+}
+
+func TestGenerateSocketScopedSteal(t *testing.T) {
+	m, err := Generate(MachineSpec{Sockets: 2, CoresPerSocket: 2, StealScope: "socket"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With socket scope, workers' steal paths stay within their socket,
+	// so worker 0 (socket 0) must not reference socket 1's sysmem.
+	s1 := m.PlaceByName("sysmem1")
+	for _, id := range m.Workers()[0].Steal {
+		if id == s1.ID {
+			t.Fatal("socket-scoped steal path leaked to other socket")
+		}
+	}
+}
+
+// Property: any generated model validates, round-trips through JSON, and has
+// a connected host-memory backbone (all sysmem places mutually reachable).
+func TestQuickGenerateInvariants(t *testing.T) {
+	f := func(sock, cores, gpus uint8) bool {
+		spec := MachineSpec{
+			Sockets:        int(sock%4) + 1,
+			CoresPerSocket: int(cores%8) + 1,
+			GPUs:           int(gpus % 3),
+			Interconnect:   gpus%2 == 0,
+		}
+		m, err := Generate(spec)
+		if err != nil {
+			return false
+		}
+		if m.Validate() != nil {
+			return false
+		}
+		data, err := m.MarshalJSON()
+		if err != nil {
+			return false
+		}
+		m2, err := Parse(data)
+		if err != nil {
+			return false
+		}
+		if m2.NumPlaces() != m.NumPlaces() || m2.NumWorkers() != m.NumWorkers() {
+			return false
+		}
+		mems := m.PlacesByKind(KindSysMem)
+		for _, a := range mems {
+			for _, b := range mems {
+				if m.ShortestPath(a, b) == nil {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDefaultModels(t *testing.T) {
+	m := Default(0) // clamps to 1
+	if m.NumWorkers() != 1 {
+		t.Fatalf("Default(0) workers = %d", m.NumWorkers())
+	}
+	g := DefaultWithGPU(2, 1)
+	if g.FirstByKind(KindGPU) == nil || g.FirstByKind(KindGPUMem) == nil {
+		t.Fatal("DefaultWithGPU missing gpu places")
+	}
+	if g.FirstByKind(KindInterconnect) == nil {
+		t.Fatal("DefaultWithGPU missing interconnect")
+	}
+}
+
+func TestLoadFileAndSave(t *testing.T) {
+	m := Default(2)
+	path := t.TempDir() + "/plat.json"
+	if err := m.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumWorkers() != 2 {
+		t.Fatalf("loaded workers = %d", got.NumWorkers())
+	}
+	if _, err := LoadFile(path + ".missing"); err == nil {
+		t.Fatal("missing file should error")
+	}
+}

@@ -1,0 +1,126 @@
+package shmem
+
+import "sync"
+
+// ByteArray is a symmetric byte array — the workhorse for bulk payloads
+// (sorted key blocks in ISx, serialized tree nodes in UTS).
+type ByteArray struct {
+	w    *World
+	data [][]byte
+	mus  []sync.Mutex
+	cond []*sync.Cond
+}
+
+// AllocBytes allocates a symmetric byte array of length n per PE.
+func (w *World) AllocBytes(n int) *ByteArray {
+	a := &ByteArray{w: w}
+	a.data = make([][]byte, w.n)
+	a.mus = make([]sync.Mutex, w.n)
+	a.cond = make([]*sync.Cond, w.n)
+	for r := 0; r < w.n; r++ {
+		a.data[r] = make([]byte, n)
+		a.cond[r] = sync.NewCond(&a.mus[r])
+	}
+	return a
+}
+
+// Len returns the per-PE length.
+func (a *ByteArray) Len() int { return len(a.data[0]) }
+
+// Local returns PE rank's local instance; the SHMEM synchronization rules
+// from Int64Array.Local apply.
+func (a *ByteArray) Local(rank int) []byte { return a.data[rank] }
+
+// PutBytes copies vals into dst's instance at offset off; source reusable
+// immediately, remote visibility after the modelled delay.
+func (p *PE) PutBytes(a *ByteArray, dst, off int, vals []byte) {
+	if dst == p.rank {
+		a.mus[dst].Lock()
+		copy(a.data[dst][off:], vals)
+		a.cond[dst].Broadcast()
+		a.mus[dst].Unlock()
+		return
+	}
+	cp := make([]byte, len(vals))
+	copy(cp, vals)
+	p.pending.Add(1)
+	go func() {
+		defer p.pending.Done()
+		p.remoteSleep(dst, len(cp))
+		a.mus[dst].Lock()
+		copy(a.data[dst][off:], cp)
+		a.cond[dst].Broadcast()
+		a.mus[dst].Unlock()
+	}()
+}
+
+// GetBytes copies n bytes from src's instance at offset off. Blocks for
+// the round trip.
+func (p *PE) GetBytes(a *ByteArray, src, off, n int) []byte {
+	p.remoteSleep(src, n)
+	out := make([]byte, n)
+	a.mus[src].Lock()
+	copy(out, a.data[src][off:off+n])
+	a.mus[src].Unlock()
+	return out
+}
+
+// Float64Array is a symmetric array of float64 (ghost-zone payloads in
+// stencil codes).
+type Float64Array struct {
+	w    *World
+	data [][]float64
+	mus  []sync.Mutex
+	cond []*sync.Cond
+}
+
+// AllocFloat64 allocates a symmetric float64 array of length n per PE.
+func (w *World) AllocFloat64(n int) *Float64Array {
+	a := &Float64Array{w: w}
+	a.data = make([][]float64, w.n)
+	a.mus = make([]sync.Mutex, w.n)
+	a.cond = make([]*sync.Cond, w.n)
+	for r := 0; r < w.n; r++ {
+		a.data[r] = make([]float64, n)
+		a.cond[r] = sync.NewCond(&a.mus[r])
+	}
+	return a
+}
+
+// Len returns the per-PE length.
+func (a *Float64Array) Len() int { return len(a.data[0]) }
+
+// Local returns PE rank's local instance.
+func (a *Float64Array) Local(rank int) []float64 { return a.data[rank] }
+
+// PutFloat64 copies vals into dst's instance at offset off.
+func (p *PE) PutFloat64(a *Float64Array, dst, off int, vals []float64) {
+	if dst == p.rank {
+		a.mus[dst].Lock()
+		copy(a.data[dst][off:], vals)
+		a.cond[dst].Broadcast()
+		a.mus[dst].Unlock()
+		return
+	}
+	cp := make([]float64, len(vals))
+	copy(cp, vals)
+	p.pending.Add(1)
+	go func() {
+		defer p.pending.Done()
+		p.remoteSleep(dst, 8*len(cp))
+		a.mus[dst].Lock()
+		copy(a.data[dst][off:], cp)
+		a.cond[dst].Broadcast()
+		a.mus[dst].Unlock()
+	}()
+}
+
+// GetFloat64 copies n elements from src's instance at offset off.
+func (p *PE) GetFloat64(a *Float64Array, src, off, n int) []float64 {
+	p.remoteSleep(src, 8*n)
+	out := make([]float64, n)
+	a.mus[src].Lock()
+	copy(out, a.data[src][off:off+n])
+	a.mus[src].Unlock()
+	return out
+}

@@ -1,0 +1,150 @@
+package shmem
+
+import "sync"
+
+// Collectives. All PEs must call each collective; the implementation
+// synchronizes internally (SHMEM collectives have barrier-like semantics
+// when using the default sync arrays). A log(n)-scaled delay models the
+// tree cost of real implementations.
+
+// collDelay models the critical path of a tree collective.
+func (p *PE) collDelay(bytes int) {
+	n := p.w.n
+	hops := 0
+	for v := 1; v < n; v <<= 1 {
+		hops++
+	}
+	if hops == 0 {
+		hops = 1
+	}
+	for i := 0; i < hops; i++ {
+		p.delaySleep(bytes)
+	}
+}
+
+// Broadcast copies nelems from root's src instance into every other PE's
+// dst instance (shmem_broadcast64). Root's dst is untouched, per the spec.
+func (p *PE) Broadcast(dst, src *Int64Array, nelems, root int) {
+	p.Quiet()
+	p.w.barrier.Await()
+	if p.rank == root {
+		p.collDelay(8 * nelems)
+		src.mus[root].Lock()
+		vals := make([]int64, nelems)
+		copy(vals, src.data[root][:nelems])
+		src.mus[root].Unlock()
+		for r := 0; r < p.w.n; r++ {
+			if r == root {
+				continue
+			}
+			dst.mus[r].Lock()
+			copy(dst.data[r][:nelems], vals)
+			dst.cond[r].Broadcast()
+			dst.mus[r].Unlock()
+		}
+	}
+	p.w.barrier.Await()
+}
+
+// FCollect concatenates nelems from every PE's src into every PE's dst,
+// ordered by PE (shmem_fcollect64). dst must have length >= n*nelems.
+func (p *PE) FCollect(dst, src *Int64Array, nelems int) {
+	p.Quiet()
+	p.w.barrier.Await()
+	if p.rank == 0 {
+		n := p.w.n
+		p.collDelay(8 * nelems * n)
+		gathered := make([]int64, n*nelems)
+		for r := 0; r < n; r++ {
+			src.mus[r].Lock()
+			copy(gathered[r*nelems:], src.data[r][:nelems])
+			src.mus[r].Unlock()
+		}
+		for r := 0; r < n; r++ {
+			dst.mus[r].Lock()
+			copy(dst.data[r][:n*nelems], gathered)
+			dst.cond[r].Broadcast()
+			dst.mus[r].Unlock()
+		}
+	}
+	p.w.barrier.Await()
+}
+
+// ReduceKind selects the reduction operator.
+type ReduceKind int
+
+// Reduction operators (shmem_int64_{sum,max,min}_to_all).
+const (
+	ReduceSum ReduceKind = iota
+	ReduceMax
+	ReduceMin
+)
+
+func (k ReduceKind) apply(a, b int64) int64 {
+	switch k {
+	case ReduceSum:
+		return a + b
+	case ReduceMax:
+		if b > a {
+			return b
+		}
+		return a
+	case ReduceMin:
+		if b < a {
+			return b
+		}
+		return a
+	}
+	panic("shmem: unknown reduction")
+}
+
+// ToAll reduces nelems elements of src element-wise across all PEs with
+// the given operator and stores the result in every PE's dst.
+func (p *PE) ToAll(dst, src *Int64Array, nelems int, kind ReduceKind) {
+	p.Quiet()
+	p.w.barrier.Await()
+	if p.rank == 0 {
+		n := p.w.n
+		p.collDelay(8 * nelems)
+		acc := make([]int64, nelems)
+		src.mus[0].Lock()
+		copy(acc, src.data[0][:nelems])
+		src.mus[0].Unlock()
+		for r := 1; r < n; r++ {
+			src.mus[r].Lock()
+			for i := 0; i < nelems; i++ {
+				acc[i] = kind.apply(acc[i], src.data[r][i])
+			}
+			src.mus[r].Unlock()
+		}
+		for r := 0; r < n; r++ {
+			dst.mus[r].Lock()
+			copy(dst.data[r][:nelems], acc)
+			dst.cond[r].Broadcast()
+			dst.mus[r].Unlock()
+		}
+	}
+	p.w.barrier.Await()
+}
+
+// Lock provides shmem_set_lock / shmem_clear_lock semantics over a
+// symmetric lock variable, identified by an opaque handle allocated with
+// AllocLock. The in-process implementation serializes through one mutex,
+// which preserves the contention behaviour distributed locks exhibit.
+type Lock struct {
+	mu sync.Mutex
+}
+
+// AllocLock allocates a symmetric lock.
+func (w *World) AllocLock() *Lock { return &Lock{} }
+
+// SetLock acquires the lock, blocking, after the modelled remote latency.
+func (p *PE) SetLock(l *Lock) {
+	p.delaySleep(8)
+	l.mu.Lock()
+}
+
+// ClearLock releases the lock.
+func (p *PE) ClearLock(l *Lock) {
+	l.mu.Unlock()
+}

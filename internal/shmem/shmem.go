@@ -1,0 +1,333 @@
+// Package shmem implements the subset of the OpenSHMEM 1.3 specification
+// that the HiPER AsyncSHMEM module wraps, over an in-process symmetric
+// heap with a simulated remote-access cost model.
+//
+// OpenSHMEM is a PGAS library: every PE (processing element) allocates the
+// same symmetric objects, and any PE may Put/Get/atomically-update the
+// instance of an object on any other PE. v1.3 makes no thread-safety
+// guarantees, which is precisely why the paper builds a HiPER module around
+// it: the module funnels all SHMEM calls through tasks so multi-threaded
+// programs stay specification-compliant.
+//
+// Completion semantics follow the specification: Put returns when the
+// source buffer is reusable (remote delivery is asynchronous), Quiet blocks
+// until all of the calling PE's outstanding puts are remotely visible,
+// BarrierAll implies Quiet, and WaitUntil blocks until a local symmetric
+// location satisfies a comparison — typically made true by a remote put.
+package shmem
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/simnet"
+	"repro/internal/spin"
+)
+
+// Cmp is a comparison operator for WaitUntil, mirroring SHMEM_CMP_*.
+type Cmp int
+
+// Comparison operators.
+const (
+	CmpEQ Cmp = iota
+	CmpNE
+	CmpGT
+	CmpGE
+	CmpLT
+	CmpLE
+)
+
+// Eval applies the comparison.
+func (c Cmp) Eval(a, b int64) bool {
+	switch c {
+	case CmpEQ:
+		return a == b
+	case CmpNE:
+		return a != b
+	case CmpGT:
+		return a > b
+	case CmpGE:
+		return a >= b
+	case CmpLT:
+		return a < b
+	case CmpLE:
+		return a <= b
+	}
+	panic(fmt.Sprintf("shmem: unknown comparison %d", int(c)))
+}
+
+// World is an in-process SHMEM job: n PEs sharing a symmetric heap.
+type World struct {
+	n       int
+	cost    simnet.CostModel
+	barrier *simnet.Barrier
+	pes     []*PE
+}
+
+// NewWorld creates an n-PE job with the given remote-access cost model.
+func NewWorld(n int, cost simnet.CostModel) *World {
+	if n <= 0 {
+		panic("shmem: world needs at least one PE")
+	}
+	w := &World{n: n, cost: cost, barrier: simnet.NewBarrier(n)}
+	w.pes = make([]*PE, n)
+	for i := range w.pes {
+		w.pes[i] = &PE{w: w, rank: i}
+	}
+	return w
+}
+
+// Size returns the number of PEs (shmem_n_pes).
+func (w *World) Size() int { return w.n }
+
+// PE returns rank r's handle (each simulated process holds one).
+func (w *World) PE(r int) *PE { return w.pes[r] }
+
+// PE is one processing element's handle on the job.
+type PE struct {
+	w       *World
+	rank    int
+	pending sync.WaitGroup // outstanding one-sided updates issued by this PE
+}
+
+// Rank returns the calling PE's number (shmem_my_pe).
+func (p *PE) Rank() int { return p.rank }
+
+// Size returns the job size (shmem_n_pes).
+func (p *PE) Size() int { return p.w.n }
+
+// World returns the underlying job.
+func (p *PE) World() *World { return p.w }
+
+// delaySleep models one-way remote-access latency for an op of the given
+// payload size.
+func (p *PE) delaySleep(bytes int) {
+	if d := p.w.cost.Delay(bytes); d > 0 {
+		spin.Sleep(d)
+	}
+}
+
+// remoteSleep models latency only for genuinely remote accesses: a PE's
+// loads, stores, and atomics on its own symmetric memory cost nothing
+// extra, and same-node peers use the cost model's cheap local parameters,
+// exactly as on real PGAS hardware with a shared-memory transport.
+func (p *PE) remoteSleep(dst, bytes int) {
+	if dst == p.rank {
+		return
+	}
+	if d := p.w.cost.DelayBetween(p.rank, dst, bytes); d > 0 {
+		spin.Sleep(d)
+	}
+}
+
+// Quiet blocks until all outstanding puts and atomic updates issued by
+// this PE are complete and remotely visible (shmem_quiet).
+func (p *PE) Quiet() { p.pending.Wait() }
+
+// Fence orders this PE's puts; with our per-op delivery it is equivalent
+// to Quiet, which the specification permits.
+func (p *PE) Fence() { p.Quiet() }
+
+// BarrierAll synchronizes all PEs and implies Quiet (shmem_barrier_all).
+func (p *PE) BarrierAll() {
+	p.Quiet()
+	p.w.barrier.Await()
+}
+
+// BarrierAllAsync arrives at the barrier once this PE's outstanding
+// one-sided updates complete, and invokes onDone when all PEs have
+// arrived. It never blocks the caller — the AsyncSHMEM module uses it so
+// a barrier never stalls the worker that services its condition poller.
+func (p *PE) BarrierAllAsync(onDone func()) {
+	go func() {
+		p.pending.Wait()
+		p.w.barrier.Arrive(onDone)
+	}()
+}
+
+// Int64Array is a symmetric array of int64: every PE owns one instance of
+// length n, remotely accessible by all PEs. Allocation is logically
+// collective; in-process, allocate once and share the handle.
+type Int64Array struct {
+	w    *World
+	data [][]int64
+	mus  []sync.Mutex
+	cond []*sync.Cond
+}
+
+// AllocInt64 allocates a symmetric int64 array of length n per PE
+// (shmem_malloc), zero-initialized.
+func (w *World) AllocInt64(n int) *Int64Array {
+	a := &Int64Array{w: w}
+	a.data = make([][]int64, w.n)
+	a.mus = make([]sync.Mutex, w.n)
+	a.cond = make([]*sync.Cond, w.n)
+	for r := 0; r < w.n; r++ {
+		a.data[r] = make([]int64, n)
+		a.cond[r] = sync.NewCond(&a.mus[r])
+	}
+	return a
+}
+
+// Len returns the per-PE length.
+func (a *Int64Array) Len() int { return len(a.data[0]) }
+
+// Local returns PE rank's local instance for direct access. Direct access
+// is only safe when properly synchronized (after a barrier, a WaitUntil,
+// or within the owning PE before any remote updates), exactly as in SHMEM.
+func (a *Int64Array) Local(rank int) []int64 { return a.data[rank] }
+
+// Put copies vals into dst's instance at offset off (shmem_put64). It
+// returns once the source values are captured; remote visibility completes
+// asynchronously after the modelled delay. Use Quiet or BarrierAll to wait.
+func (p *PE) Put(a *Int64Array, dst, off int, vals []int64) {
+	if dst == p.rank {
+		a.mus[dst].Lock()
+		copy(a.data[dst][off:], vals)
+		a.cond[dst].Broadcast()
+		a.mus[dst].Unlock()
+		return
+	}
+	cp := make([]int64, len(vals))
+	copy(cp, vals)
+	p.pending.Add(1)
+	go func() {
+		defer p.pending.Done()
+		p.remoteSleep(dst, 8*len(cp))
+		a.mus[dst].Lock()
+		copy(a.data[dst][off:], cp)
+		a.cond[dst].Broadcast()
+		a.mus[dst].Unlock()
+	}()
+}
+
+// PutValue is Put of a single element (shmem_int64_p).
+func (p *PE) PutValue(a *Int64Array, dst, off int, val int64) {
+	if dst == p.rank {
+		a.mus[dst].Lock()
+		a.data[dst][off] = val
+		a.cond[dst].Broadcast()
+		a.mus[dst].Unlock()
+		return
+	}
+	p.pending.Add(1)
+	go func() {
+		defer p.pending.Done()
+		p.remoteSleep(dst, 8)
+		a.mus[dst].Lock()
+		a.data[dst][off] = val
+		a.cond[dst].Broadcast()
+		a.mus[dst].Unlock()
+	}()
+}
+
+// Get copies n elements from src's instance at offset off into a fresh
+// slice (shmem_get64). Get blocks for the full round trip.
+func (p *PE) Get(a *Int64Array, src, off, n int) []int64 {
+	p.remoteSleep(src, 8*n) // request + payload return, modelled as one delay
+	out := make([]int64, n)
+	a.mus[src].Lock()
+	copy(out, a.data[src][off:off+n])
+	a.mus[src].Unlock()
+	return out
+}
+
+// GetValue is Get of a single element (shmem_int64_g).
+func (p *PE) GetValue(a *Int64Array, src, off int) int64 {
+	p.remoteSleep(src, 8)
+	a.mus[src].Lock()
+	v := a.data[src][off]
+	a.mus[src].Unlock()
+	return v
+}
+
+// Peek reads a single element with no modelled delay. It is not a SHMEM
+// API; the HiPER module's poller uses it to test AsyncWhen conditions
+// cheaply (local polling, as the runtime would poll its own memory).
+func (a *Int64Array) Peek(rank, off int) int64 {
+	a.mus[rank].Lock()
+	v := a.data[rank][off]
+	a.mus[rank].Unlock()
+	return v
+}
+
+// FetchAdd atomically adds delta to dst's element and returns the prior
+// value (shmem_int64_atomic_fetch_add). Blocks for the round trip.
+func (p *PE) FetchAdd(a *Int64Array, dst, off int, delta int64) int64 {
+	p.remoteSleep(dst, 8)
+	a.mus[dst].Lock()
+	old := a.data[dst][off]
+	a.data[dst][off] = old + delta
+	a.cond[dst].Broadcast()
+	a.mus[dst].Unlock()
+	return old
+}
+
+// Add atomically adds delta without fetching (shmem_int64_atomic_add);
+// returns immediately, completing asynchronously.
+func (p *PE) Add(a *Int64Array, dst, off int, delta int64) {
+	if dst == p.rank {
+		a.mus[dst].Lock()
+		a.data[dst][off] += delta
+		a.cond[dst].Broadcast()
+		a.mus[dst].Unlock()
+		return
+	}
+	p.pending.Add(1)
+	go func() {
+		defer p.pending.Done()
+		p.remoteSleep(dst, 8)
+		a.mus[dst].Lock()
+		a.data[dst][off] += delta
+		a.cond[dst].Broadcast()
+		a.mus[dst].Unlock()
+	}()
+}
+
+// CompareSwap atomically replaces dst's element with val if it equals
+// cond, returning the prior value (shmem_int64_atomic_compare_swap).
+func (p *PE) CompareSwap(a *Int64Array, dst, off int, cond, val int64) int64 {
+	p.remoteSleep(dst, 8)
+	a.mus[dst].Lock()
+	old := a.data[dst][off]
+	if old == cond {
+		a.data[dst][off] = val
+	}
+	a.cond[dst].Broadcast()
+	a.mus[dst].Unlock()
+	return old
+}
+
+// Swap atomically replaces dst's element, returning the prior value
+// (shmem_int64_atomic_swap).
+func (p *PE) Swap(a *Int64Array, dst, off int, val int64) int64 {
+	p.remoteSleep(dst, 8)
+	a.mus[dst].Lock()
+	old := a.data[dst][off]
+	a.data[dst][off] = val
+	a.cond[dst].Broadcast()
+	a.mus[dst].Unlock()
+	return old
+}
+
+// WaitUntil blocks the calling PE until its own element at off satisfies
+// cmp against val (shmem_int64_wait_until). The blocking nature of this
+// API is what motivated the paper's shmem_async_when extension.
+func (p *PE) WaitUntil(a *Int64Array, off int, cmp Cmp, val int64) {
+	me := p.rank
+	a.mus[me].Lock()
+	for !cmp.Eval(a.data[me][off], val) {
+		a.cond[me].Wait()
+	}
+	a.mus[me].Unlock()
+}
+
+// Test reports whether the calling PE's element at off satisfies cmp
+// against val, without blocking (shmem_int64_test).
+func (p *PE) Test(a *Int64Array, off int, cmp Cmp, val int64) bool {
+	me := p.rank
+	a.mus[me].Lock()
+	ok := cmp.Eval(a.data[me][off], val)
+	a.mus[me].Unlock()
+	return ok
+}

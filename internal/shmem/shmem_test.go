@@ -1,0 +1,428 @@
+package shmem
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/simnet"
+)
+
+// runJob executes fn once per PE, concurrently, and waits for all.
+func runJob(t testing.TB, n int, cost simnet.CostModel, fn func(p *PE)) *World {
+	t.Helper()
+	w := NewWorld(n, cost)
+	var wg sync.WaitGroup
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			fn(w.PE(r))
+		}(r)
+	}
+	wg.Wait()
+	return w
+}
+
+func TestPutQuietVisibility(t *testing.T) {
+	w := NewWorld(2, simnet.CostModel{Alpha: 2 * time.Millisecond})
+	a := w.AllocInt64(4)
+	p0 := w.PE(0)
+	p0.Put(a, 1, 0, []int64{1, 2, 3, 4})
+	p0.Quiet()
+	got := a.Local(1)
+	for i, want := range []int64{1, 2, 3, 4} {
+		if got[i] != want {
+			t.Fatalf("after Quiet, remote[%d] = %d, want %d", i, got[i], want)
+		}
+	}
+}
+
+func TestPutSourceReusable(t *testing.T) {
+	w := NewWorld(2, simnet.CostModel{Alpha: 5 * time.Millisecond})
+	a := w.AllocInt64(1)
+	src := []int64{42}
+	w.PE(0).Put(a, 1, 0, src)
+	src[0] = 0 // mutate immediately; the put captured the value
+	w.PE(0).Quiet()
+	if a.Local(1)[0] != 42 {
+		t.Fatal("Put did not capture source values eagerly")
+	}
+}
+
+func TestGetRoundTrip(t *testing.T) {
+	w := NewWorld(3, simnet.CostModel{})
+	a := w.AllocInt64(8)
+	copy(a.Local(2), []int64{9, 8, 7, 6, 5, 4, 3, 2})
+	got := w.PE(0).Get(a, 2, 2, 3)
+	if len(got) != 3 || got[0] != 7 || got[2] != 5 {
+		t.Fatalf("Get = %v", got)
+	}
+	if v := w.PE(1).GetValue(a, 2, 0); v != 9 {
+		t.Fatalf("GetValue = %d", v)
+	}
+}
+
+func TestBarrierAllImpliesQuiet(t *testing.T) {
+	const n = 4
+	w := runJob(t, n, simnet.CostModel{Alpha: time.Millisecond}, func(p *PE) {})
+	a := w.AllocInt64(n)
+	runJob(t, n, simnet.CostModel{Alpha: time.Millisecond}, func(p *PE) {
+		// Every PE writes its rank into every other PE's slot.
+		for dst := 0; dst < n; dst++ {
+			p.PutValue(a, dst, p.Rank(), int64(p.Rank()+1))
+		}
+		p.BarrierAll()
+		loc := a.Local(p.Rank())
+		for r := 0; r < n; r++ {
+			if loc[r] != int64(r+1) {
+				t.Errorf("PE %d slot %d = %d after barrier", p.Rank(), r, loc[r])
+			}
+		}
+	})
+}
+
+func TestFetchAddSerializes(t *testing.T) {
+	const n = 8
+	w := NewWorld(n, simnet.CostModel{})
+	a := w.AllocInt64(1)
+	seen := make([]bool, n*100)
+	var mu sync.Mutex
+	runJobW(t, w, func(p *PE) {
+		for i := 0; i < 100; i++ {
+			old := p.FetchAdd(a, 0, 0, 1)
+			mu.Lock()
+			if seen[old] {
+				t.Errorf("FetchAdd returned duplicate ticket %d", old)
+			}
+			seen[old] = true
+			mu.Unlock()
+		}
+	})
+	if a.Local(0)[0] != n*100 {
+		t.Fatalf("counter = %d, want %d", a.Local(0)[0], n*100)
+	}
+}
+
+// runJobW runs fn per PE over an existing world.
+func runJobW(t testing.TB, w *World, fn func(p *PE)) {
+	t.Helper()
+	var wg sync.WaitGroup
+	for r := 0; r < w.Size(); r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			fn(w.PE(r))
+		}(r)
+	}
+	wg.Wait()
+}
+
+func TestCompareSwapAndSwap(t *testing.T) {
+	w := NewWorld(2, simnet.CostModel{})
+	a := w.AllocInt64(1)
+	p := w.PE(0)
+	if old := p.CompareSwap(a, 1, 0, 0, 5); old != 0 {
+		t.Fatalf("CAS old = %d", old)
+	}
+	if old := p.CompareSwap(a, 1, 0, 0, 9); old != 5 {
+		t.Fatalf("failed CAS should return current value, got %d", old)
+	}
+	if a.Local(1)[0] != 5 {
+		t.Fatal("failed CAS must not write")
+	}
+	if old := p.Swap(a, 1, 0, 7); old != 5 || a.Local(1)[0] != 7 {
+		t.Fatal("Swap wrong")
+	}
+}
+
+func TestWaitUntilReleasedByRemotePut(t *testing.T) {
+	w := NewWorld(2, simnet.CostModel{Alpha: 2 * time.Millisecond})
+	a := w.AllocInt64(1)
+	done := make(chan struct{})
+	go func() {
+		w.PE(1).WaitUntil(a, 0, CmpEQ, 99)
+		close(done)
+	}()
+	time.Sleep(time.Millisecond)
+	select {
+	case <-done:
+		t.Fatal("WaitUntil returned before the put")
+	default:
+	}
+	w.PE(0).PutValue(a, 1, 0, 99)
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("WaitUntil never released")
+	}
+}
+
+func TestWaitUntilComparisons(t *testing.T) {
+	cases := []struct {
+		cmp  Cmp
+		a, b int64
+		want bool
+	}{
+		{CmpEQ, 3, 3, true}, {CmpEQ, 3, 4, false},
+		{CmpNE, 3, 4, true}, {CmpNE, 3, 3, false},
+		{CmpGT, 4, 3, true}, {CmpGT, 3, 3, false},
+		{CmpGE, 3, 3, true}, {CmpGE, 2, 3, false},
+		{CmpLT, 2, 3, true}, {CmpLT, 3, 3, false},
+		{CmpLE, 3, 3, true}, {CmpLE, 4, 3, false},
+	}
+	for _, tc := range cases {
+		if got := tc.cmp.Eval(tc.a, tc.b); got != tc.want {
+			t.Errorf("cmp %d: Eval(%d,%d) = %v", int(tc.cmp), tc.a, tc.b, got)
+		}
+	}
+}
+
+func TestTestNonblocking(t *testing.T) {
+	w := NewWorld(2, simnet.CostModel{})
+	a := w.AllocInt64(1)
+	p1 := w.PE(1)
+	if p1.Test(a, 0, CmpNE, 0) {
+		t.Fatal("Test true before any write")
+	}
+	w.PE(0).PutValue(a, 1, 0, 5)
+	w.PE(0).Quiet()
+	if !p1.Test(a, 0, CmpNE, 0) {
+		t.Fatal("Test false after write")
+	}
+}
+
+func TestAddNonFetching(t *testing.T) {
+	w := NewWorld(3, simnet.CostModel{Alpha: time.Millisecond})
+	a := w.AllocInt64(1)
+	p := w.PE(0)
+	for i := 0; i < 10; i++ {
+		p.Add(a, 2, 0, 3)
+	}
+	p.Quiet()
+	if got := a.Local(2)[0]; got != 30 {
+		t.Fatalf("after Add x10, value = %d", got)
+	}
+}
+
+func TestBroadcast(t *testing.T) {
+	const n = 5
+	w := NewWorld(n, simnet.CostModel{})
+	src := w.AllocInt64(3)
+	dst := w.AllocInt64(3)
+	copy(src.Local(2), []int64{10, 20, 30})
+	runJobW(t, w, func(p *PE) {
+		p.Broadcast(dst, src, 3, 2)
+	})
+	for r := 0; r < n; r++ {
+		if r == 2 {
+			continue // root's dst untouched per spec
+		}
+		loc := dst.Local(r)
+		if loc[0] != 10 || loc[1] != 20 || loc[2] != 30 {
+			t.Fatalf("PE %d dst = %v", r, loc)
+		}
+	}
+}
+
+func TestFCollect(t *testing.T) {
+	const n = 4
+	w := NewWorld(n, simnet.CostModel{})
+	src := w.AllocInt64(2)
+	dst := w.AllocInt64(2 * n)
+	runJobW(t, w, func(p *PE) {
+		loc := src.Local(p.Rank())
+		loc[0] = int64(p.Rank() * 10)
+		loc[1] = int64(p.Rank()*10 + 1)
+		p.FCollect(dst, src, 2)
+	})
+	for r := 0; r < n; r++ {
+		loc := dst.Local(r)
+		for s := 0; s < n; s++ {
+			if loc[2*s] != int64(s*10) || loc[2*s+1] != int64(s*10+1) {
+				t.Fatalf("PE %d collected %v", r, loc)
+			}
+		}
+	}
+}
+
+func TestToAllReductions(t *testing.T) {
+	const n = 6
+	w := NewWorld(n, simnet.CostModel{})
+	src := w.AllocInt64(2)
+	dst := w.AllocInt64(2)
+	runJobW(t, w, func(p *PE) {
+		loc := src.Local(p.Rank())
+		loc[0] = int64(p.Rank() + 1)
+		loc[1] = int64(-p.Rank())
+		p.ToAll(dst, src, 2, ReduceSum)
+	})
+	for r := 0; r < n; r++ {
+		if dst.Local(r)[0] != n*(n+1)/2 {
+			t.Fatalf("sum on PE %d = %d", r, dst.Local(r)[0])
+		}
+	}
+	runJobW(t, w, func(p *PE) { p.ToAll(dst, src, 2, ReduceMax) })
+	if dst.Local(0)[0] != n || dst.Local(0)[1] != 0 {
+		t.Fatalf("max = %v", dst.Local(0)[:2])
+	}
+	runJobW(t, w, func(p *PE) { p.ToAll(dst, src, 2, ReduceMin) })
+	if dst.Local(0)[0] != 1 || dst.Local(0)[1] != -(n-1) {
+		t.Fatalf("min = %v", dst.Local(0)[:2])
+	}
+}
+
+func TestLockMutualExclusion(t *testing.T) {
+	const n = 6
+	w := NewWorld(n, simnet.CostModel{})
+	l := w.AllocLock()
+	counter := 0
+	runJobW(t, w, func(p *PE) {
+		for i := 0; i < 200; i++ {
+			p.SetLock(l)
+			counter++
+			p.ClearLock(l)
+		}
+	})
+	if counter != n*200 {
+		t.Fatalf("counter = %d, want %d (lock not mutually exclusive)", counter, n*200)
+	}
+}
+
+func TestByteArray(t *testing.T) {
+	w := NewWorld(2, simnet.CostModel{})
+	a := w.AllocBytes(16)
+	if a.Len() != 16 {
+		t.Fatal("len")
+	}
+	w.PE(0).PutBytes(a, 1, 4, []byte("abcd"))
+	w.PE(0).Quiet()
+	if got := w.PE(1).GetBytes(a, 1, 4, 4); string(got) != "abcd" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestFloat64Array(t *testing.T) {
+	w := NewWorld(2, simnet.CostModel{})
+	a := w.AllocFloat64(8)
+	if a.Len() != 8 {
+		t.Fatal("len")
+	}
+	w.PE(1).PutFloat64(a, 0, 2, []float64{1.5, 2.5})
+	w.PE(1).Quiet()
+	got := w.PE(0).GetFloat64(a, 0, 2, 2)
+	if got[0] != 1.5 || got[1] != 2.5 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+// Property: concurrent FetchAdds from all PEs hand out a permutation of
+// 0..total-1 and leave the counter at total, for any PE count and op count.
+func TestQuickFetchAddTickets(t *testing.T) {
+	f := func(nn, ops uint8) bool {
+		n := int(nn%5) + 1
+		k := int(ops%30) + 1
+		w := NewWorld(n, simnet.CostModel{})
+		a := w.AllocInt64(1)
+		var mu sync.Mutex
+		seen := make(map[int64]bool)
+		var wg sync.WaitGroup
+		ok := true
+		for r := 0; r < n; r++ {
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				p := w.PE(r)
+				for i := 0; i < k; i++ {
+					old := p.FetchAdd(a, 0, 0, 1)
+					mu.Lock()
+					if seen[old] {
+						ok = false
+					}
+					seen[old] = true
+					mu.Unlock()
+				}
+			}(r)
+		}
+		wg.Wait()
+		return ok && a.Local(0)[0] == int64(n*k) && len(seen) == n*k
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkFetchAdd(b *testing.B) {
+	w := NewWorld(2, simnet.CostModel{})
+	a := w.AllocInt64(1)
+	p := w.PE(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.FetchAdd(a, 1, 0, 1)
+	}
+}
+
+func BenchmarkPutQuiet(b *testing.B) {
+	w := NewWorld(2, simnet.CostModel{})
+	a := w.AllocInt64(64)
+	p := w.PE(0)
+	vals := make([]int64, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Put(a, 1, 0, vals)
+		p.Quiet()
+	}
+}
+
+func TestBarrierAllAsync(t *testing.T) {
+	const n = 3
+	w := NewWorld(n, simnet.CostModel{Alpha: time.Millisecond})
+	a := w.AllocInt64(1)
+	fired := make(chan int, n)
+	runJobW(t, w, func(p *PE) {
+		p.PutValue(a, (p.Rank()+1)%n, 0, 1)
+		done := make(chan struct{})
+		p.BarrierAllAsync(func() {
+			// All PEs' puts must be visible when the barrier completes.
+			if a.Peek(p.Rank(), 0) != 1 {
+				t.Error("BarrierAllAsync fired before quiet")
+			}
+			fired <- p.Rank()
+			close(done)
+		})
+		<-done
+	})
+	if len(fired) != n {
+		t.Fatalf("barrier callbacks fired %d times", len(fired))
+	}
+}
+
+func TestPeekNoDelay(t *testing.T) {
+	w := NewWorld(2, simnet.CostModel{Alpha: 50 * time.Millisecond})
+	a := w.AllocInt64(1)
+	a.Local(1)[0] = 9
+	start := time.Now()
+	if got := a.Peek(1, 0); got != 9 {
+		t.Fatalf("Peek = %d", got)
+	}
+	if time.Since(start) > 10*time.Millisecond {
+		t.Fatal("Peek paid the remote-latency model")
+	}
+}
+
+func TestLocalOpsSkipCostModel(t *testing.T) {
+	w := NewWorld(2, simnet.CostModel{Alpha: 100 * time.Millisecond})
+	a := w.AllocInt64(4)
+	p := w.PE(0)
+	start := time.Now()
+	p.Put(a, 0, 0, []int64{1, 2, 3, 4})
+	p.PutValue(a, 0, 0, 5)
+	_ = p.Get(a, 0, 0, 4)
+	_ = p.FetchAdd(a, 0, 1, 1)
+	p.Add(a, 0, 2, 1)
+	p.Quiet()
+	if time.Since(start) > 20*time.Millisecond {
+		t.Fatal("same-PE operations paid the network cost model")
+	}
+}

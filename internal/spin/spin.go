@@ -1,0 +1,47 @@
+// Package spin provides sub-millisecond sleeps for the simulation cost
+// models. The OS timer granularity under container schedulers is commonly
+// ~1ms, which would quantize every modelled microsecond-scale network or
+// PCIe delay up to a millisecond and destroy the fidelity of the
+// benchmarks. Sleep burns the short tail of a delay in a Gosched loop
+// instead, trading a little CPU for accurate virtual hardware timing.
+package spin
+
+import (
+	"runtime"
+	"time"
+)
+
+// coarse is the duration below which the OS sleep cannot be trusted; the
+// remainder of every sleep is spun.
+const coarse = 2 * time.Millisecond
+
+// parkThreshold: at and above this duration the OS timer's ~1ms skew is
+// an acceptable relative error, and truly parking the goroutine lets
+// concurrent simulated delays overlap even on a single-core host (spinning
+// serializes them).
+const parkThreshold = 5 * time.Millisecond
+
+// Sleep pauses the calling goroutine for accurately d: long sleeps park on
+// the OS timer, short ones spin with Gosched so other goroutines keep
+// running.
+func Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	if d >= parkThreshold {
+		time.Sleep(d)
+		return
+	}
+	Until(time.Now().Add(d))
+}
+
+// Until pauses until the deadline, using the OS timer for the bulk of
+// long waits and a yield loop for the precise tail.
+func Until(deadline time.Time) {
+	if rest := time.Until(deadline); rest > 2*coarse {
+		time.Sleep(rest - 2*coarse)
+	}
+	for time.Now().Before(deadline) {
+		runtime.Gosched()
+	}
+}

@@ -1,0 +1,48 @@
+package spin
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSleepAccuracyShort(t *testing.T) {
+	for _, d := range []time.Duration{10 * time.Microsecond, 200 * time.Microsecond, time.Millisecond} {
+		start := time.Now()
+		Sleep(d)
+		got := time.Since(start)
+		if got < d {
+			t.Fatalf("Sleep(%v) returned after %v (early)", d, got)
+		}
+		if got > d+2*time.Millisecond {
+			t.Fatalf("Sleep(%v) took %v (way over)", d, got)
+		}
+	}
+}
+
+func TestSleepZeroAndNegative(t *testing.T) {
+	start := time.Now()
+	Sleep(0)
+	Sleep(-time.Second)
+	if time.Since(start) > time.Millisecond {
+		t.Fatal("zero/negative sleeps should be immediate")
+	}
+}
+
+func TestUntilPastDeadline(t *testing.T) {
+	start := time.Now()
+	Until(time.Now().Add(-time.Second))
+	if time.Since(start) > time.Millisecond {
+		t.Fatal("past deadline should return immediately")
+	}
+}
+
+func TestLongSleepParks(t *testing.T) {
+	// Long sleeps must use the OS timer (parking), which on this class of
+	// host can overshoot by ~1ms but must not undershoot.
+	start := time.Now()
+	Sleep(parkThreshold)
+	got := time.Since(start)
+	if got < parkThreshold {
+		t.Fatalf("Sleep(%v) returned after %v", parkThreshold, got)
+	}
+}

@@ -1,0 +1,147 @@
+// Package stats implements the tooling hooks the paper describes: because
+// a unified scheduler is aware of all work executing on a system, HiPER can
+// gather statistics on time spent in calls to different modules and attach
+// high-level, module-specific semantic information to performance
+// bottlenecks.
+//
+// Modules call Track around each user-facing API; applications (or the
+// runtime itself) call Snapshot or Report to inspect where time went.
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// key identifies one instrumented API of one module.
+type key struct {
+	module string
+	api    string
+}
+
+// cell accumulates calls and time for one key.
+type cell struct {
+	calls atomic.Int64
+	nanos atomic.Int64
+}
+
+var (
+	mu    sync.RWMutex
+	cells = make(map[key]*cell)
+)
+
+// Enabled globally toggles collection. Disabled tracking costs one atomic
+// load per call.
+var Enabled atomic.Bool
+
+func init() { Enabled.Store(true) }
+
+func lookup(module, api string) *cell {
+	k := key{module, api}
+	mu.RLock()
+	c, ok := cells[k]
+	mu.RUnlock()
+	if ok {
+		return c
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if c, ok = cells[k]; ok {
+		return c
+	}
+	c = &cell{}
+	cells[k] = c
+	return c
+}
+
+// Track records one call to module/api; invoke the returned func when the
+// call completes (typically via defer).
+func Track(module, api string) func() {
+	if !Enabled.Load() {
+		return func() {}
+	}
+	c := lookup(module, api)
+	start := time.Now()
+	return func() {
+		c.calls.Add(1)
+		c.nanos.Add(int64(time.Since(start)))
+	}
+}
+
+// Add records an externally measured duration, for modules that meter work
+// without a surrounding call (e.g. poller batches).
+func Add(module, api string, d time.Duration, calls int64) {
+	if !Enabled.Load() {
+		return
+	}
+	c := lookup(module, api)
+	c.calls.Add(calls)
+	c.nanos.Add(int64(d))
+}
+
+// Entry is one row of a statistics snapshot.
+type Entry struct {
+	Module string
+	API    string
+	Calls  int64
+	Time   time.Duration
+}
+
+// Snapshot returns all entries, sorted by total time descending.
+func Snapshot() []Entry {
+	mu.RLock()
+	defer mu.RUnlock()
+	out := make([]Entry, 0, len(cells))
+	for k, c := range cells {
+		out = append(out, Entry{
+			Module: k.module,
+			API:    k.api,
+			Calls:  c.calls.Load(),
+			Time:   time.Duration(c.nanos.Load()),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Time != out[j].Time {
+			return out[i].Time > out[j].Time
+		}
+		if out[i].Module != out[j].Module {
+			return out[i].Module < out[j].Module
+		}
+		return out[i].API < out[j].API
+	})
+	return out
+}
+
+// ModuleTotals aggregates time per module.
+func ModuleTotals() map[string]time.Duration {
+	totals := make(map[string]time.Duration)
+	for _, e := range Snapshot() {
+		totals[e.Module] += e.Time
+	}
+	return totals
+}
+
+// Report formats a snapshot as an aligned table.
+func Report() string {
+	entries := Snapshot()
+	if len(entries) == 0 {
+		return "stats: no module activity recorded\n"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %-28s %12s %14s\n", "MODULE", "API", "CALLS", "TIME")
+	for _, e := range entries {
+		fmt.Fprintf(&b, "%-12s %-28s %12d %14s\n", e.Module, e.API, e.Calls, e.Time)
+	}
+	return b.String()
+}
+
+// Reset clears all collected statistics.
+func Reset() {
+	mu.Lock()
+	defer mu.Unlock()
+	cells = make(map[key]*cell)
+}

@@ -1,0 +1,86 @@
+package stats
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTrackAccumulates(t *testing.T) {
+	Reset()
+	for i := 0; i < 5; i++ {
+		end := Track("mpi", "MPI_Send")
+		end()
+	}
+	entries := Snapshot()
+	if len(entries) != 1 {
+		t.Fatalf("entries = %d", len(entries))
+	}
+	e := entries[0]
+	if e.Module != "mpi" || e.API != "MPI_Send" || e.Calls != 5 {
+		t.Fatalf("entry = %+v", e)
+	}
+}
+
+func TestAddAndTotals(t *testing.T) {
+	Reset()
+	Add("cuda", "kernel", 3*time.Millisecond, 2)
+	Add("cuda", "memcpy", time.Millisecond, 1)
+	Add("mpi", "send", 2*time.Millisecond, 1)
+	totals := ModuleTotals()
+	if totals["cuda"] != 4*time.Millisecond || totals["mpi"] != 2*time.Millisecond {
+		t.Fatalf("totals = %v", totals)
+	}
+}
+
+func TestSnapshotSortedByTime(t *testing.T) {
+	Reset()
+	Add("a", "fast", time.Millisecond, 1)
+	Add("b", "slow", 10*time.Millisecond, 1)
+	s := Snapshot()
+	if s[0].API != "slow" {
+		t.Fatalf("not sorted by time: %+v", s)
+	}
+}
+
+func TestReportFormats(t *testing.T) {
+	Reset()
+	if !strings.Contains(Report(), "no module activity") {
+		t.Fatal("empty report wrong")
+	}
+	Add("shmem", "put", time.Millisecond, 3)
+	rep := Report()
+	if !strings.Contains(rep, "shmem") || !strings.Contains(rep, "put") {
+		t.Fatalf("report missing entries:\n%s", rep)
+	}
+}
+
+func TestDisabledTrackingIsNoop(t *testing.T) {
+	Reset()
+	Enabled.Store(false)
+	defer Enabled.Store(true)
+	Track("x", "y")()
+	Add("x", "z", time.Second, 1)
+	if len(Snapshot()) != 0 {
+		t.Fatal("disabled tracking recorded entries")
+	}
+}
+
+func TestConcurrentTracking(t *testing.T) {
+	Reset()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				Track("m", "api")()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := Snapshot()[0].Calls; got != 8000 {
+		t.Fatalf("calls = %d", got)
+	}
+}

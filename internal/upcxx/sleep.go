@@ -1,0 +1,7 @@
+package upcxx
+
+import "repro/internal/spin"
+
+// sleepFor is the precise simulation sleep behind a seam so
+// timing-sensitive tests could substitute a virtual clock if needed.
+var sleepFor = spin.Sleep

@@ -1,0 +1,175 @@
+package upcxx
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/simnet"
+)
+
+func TestRPutVisibleAfterQuiet(t *testing.T) {
+	w := NewWorld(2, simnet.CostModel{Alpha: time.Millisecond})
+	a := w.AllocShared(4)
+	r0 := w.Rank(0)
+	r0.RPut(a, 1, 1, []float64{2.5, 3.5}, nil)
+	r0.Quiet()
+	if a.Local(1)[1] != 2.5 || a.Local(1)[2] != 3.5 {
+		t.Fatalf("remote block = %v", a.Local(1))
+	}
+}
+
+func TestRPutRemoteCompletion(t *testing.T) {
+	w := NewWorld(2, simnet.CostModel{Alpha: time.Millisecond})
+	a := w.AllocShared(1)
+	done := make(chan struct{})
+	w.Rank(0).RPut(a, 1, 0, []float64{1}, func() {
+		if a.Local(1)[0] != 1 {
+			t.Error("remote completion fired before data visible")
+		}
+		close(done)
+	})
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("remote completion never fired")
+	}
+}
+
+func TestRPutCapturesSource(t *testing.T) {
+	w := NewWorld(2, simnet.CostModel{Alpha: 5 * time.Millisecond})
+	a := w.AllocShared(1)
+	src := []float64{7}
+	w.Rank(0).RPut(a, 1, 0, src, nil)
+	src[0] = 0
+	w.Rank(0).Quiet()
+	if a.Local(1)[0] != 7 {
+		t.Fatal("RPut did not capture source eagerly")
+	}
+}
+
+func TestRGet(t *testing.T) {
+	w := NewWorld(3, simnet.CostModel{})
+	a := w.AllocShared(4)
+	copy(a.Local(2), []float64{1, 2, 3, 4})
+	got := make(chan []float64, 1)
+	w.Rank(0).RGet(a, 2, 1, 2, func(v []float64) { got <- v })
+	select {
+	case v := <-got:
+		if len(v) != 2 || v[0] != 2 || v[1] != 3 {
+			t.Fatalf("rget = %v", v)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("rget never completed")
+	}
+}
+
+func TestRPCRequiresProgress(t *testing.T) {
+	w := NewWorld(2, simnet.CostModel{})
+	var ran atomic.Bool
+	acked := make(chan struct{})
+	w.Rank(0).RPC(1, func(target *Rank) {
+		if target.ID() != 1 {
+			t.Errorf("rpc ran on rank %d", target.ID())
+		}
+		ran.Store(true)
+	}, func() { close(acked) })
+	w.Rank(0).Quiet() // rpc enqueued at target
+	if ran.Load() {
+		t.Fatal("rpc executed without Progress")
+	}
+	if !w.Rank(1).PendingRPCs() {
+		t.Fatal("rpc not pending at target")
+	}
+	if n := w.Rank(1).Progress(); n != 1 {
+		t.Fatalf("Progress ran %d rpcs", n)
+	}
+	if !ran.Load() {
+		t.Fatal("rpc did not run during Progress")
+	}
+	select {
+	case <-acked:
+	case <-time.After(5 * time.Second):
+		t.Fatal("rpc ack never fired")
+	}
+}
+
+func TestBarrierSynchronizesRPuts(t *testing.T) {
+	const n = 4
+	w := NewWorld(n, simnet.CostModel{Alpha: time.Millisecond})
+	a := w.AllocShared(n)
+	var wg sync.WaitGroup
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			rank := w.Rank(r)
+			for dst := 0; dst < n; dst++ {
+				rank.RPut(a, dst, r, []float64{float64(r + 1)}, nil)
+			}
+			rank.Barrier()
+			loc := a.Local(r)
+			for s := 0; s < n; s++ {
+				if loc[s] != float64(s+1) {
+					t.Errorf("rank %d slot %d = %v after barrier", r, s, loc[s])
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+}
+
+func TestWorldAccessors(t *testing.T) {
+	w := NewWorld(3, simnet.CostModel{})
+	if w.Size() != 3 || w.Rank(1).Size() != 3 || w.Rank(2).ID() != 2 {
+		t.Fatal("accessors wrong")
+	}
+	a := w.AllocShared(5)
+	if a.Len() != 5 {
+		t.Fatal("len")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewWorld(0) must panic")
+		}
+	}()
+	NewWorld(0, simnet.CostModel{})
+}
+
+func TestBarrierAsync(t *testing.T) {
+	const n = 3
+	w := NewWorld(n, simnet.CostModel{Alpha: time.Millisecond})
+	a := w.AllocShared(n)
+	var wg sync.WaitGroup
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			rank := w.Rank(r)
+			for dst := 0; dst < n; dst++ {
+				rank.RPut(a, dst, r, []float64{float64(r + 1)}, nil)
+			}
+			done := make(chan struct{})
+			rank.BarrierAsync(func() { close(done) })
+			<-done
+			loc := a.Local(r)
+			for s := 0; s < n; s++ {
+				if loc[s] != float64(s+1) {
+					t.Errorf("rank %d slot %d = %v after async barrier", r, s, loc[s])
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+}
+
+func TestPeekLocksConsistently(t *testing.T) {
+	w := NewWorld(2, simnet.CostModel{})
+	a := w.AllocShared(1)
+	w.Rank(0).RPut(a, 1, 0, []float64{3.5}, nil)
+	w.Rank(0).Quiet()
+	if got := a.Peek(1, 0); got != 3.5 {
+		t.Fatalf("Peek = %v", got)
+	}
+}

@@ -1,0 +1,124 @@
+package geo
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/simnet"
+)
+
+func smallCfg(ranks int) Config {
+	return Config{
+		NX: 12, NY: 12, NZ: 6, Steps: 3, Ranks: ranks, Workers: 2,
+		Cost: simnet.CostModel{Alpha: 50 * time.Microsecond},
+		Seed: 11,
+	}
+}
+
+func TestInitialSlabDeterministic(t *testing.T) {
+	cfg := smallCfg(2).withDefaults()
+	a := initialSlab(cfg, 1)
+	b := initialSlab(cfg, 1)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("initial slab not deterministic")
+		}
+	}
+	// Ghost planes start zero.
+	for i := 0; i < planeSize(cfg); i++ {
+		if a[i] != 0 {
+			t.Fatal("low ghost plane not zero")
+		}
+	}
+}
+
+func TestUpdateCellBoundaryFixed(t *testing.T) {
+	cfg := smallCfg(1).withDefaults()
+	in := initialSlab(cfg, 0)
+	out := make([]float64, len(in))
+	updateCell(cfg, in, out, 1, 0, 5) // y boundary
+	if out[idx(cfg, 1, 0, 5)] != in[idx(cfg, 1, 0, 5)] {
+		t.Fatal("boundary cell not held fixed")
+	}
+	updateCell(cfg, in, out, 1, 5, 5) // interior
+	want := cCenter*in[idx(cfg, 1, 5, 5)] + cNeigh*(in[idx(cfg, 0, 5, 5)]+in[idx(cfg, 2, 5, 5)]+
+		in[idx(cfg, 1, 4, 5)]+in[idx(cfg, 1, 6, 5)]+in[idx(cfg, 1, 5, 4)]+in[idx(cfg, 1, 5, 6)])
+	if out[idx(cfg, 1, 5, 5)] != want {
+		t.Fatal("stencil arithmetic wrong")
+	}
+}
+
+func TestKernelCoversPlaneRange(t *testing.T) {
+	cfg := smallCfg(1).withDefaults()
+	in := initialSlab(cfg, 0)
+	out := make([]float64, len(in))
+	grid, k := kernelForPlanes(cfg, in, out, 2, 4)
+	if grid != 3*cfg.NY*cfg.NX {
+		t.Fatalf("grid = %d", grid)
+	}
+	for g := 0; g < grid; g++ {
+		k(g)
+	}
+	// Plane 1 untouched, planes 2..4 written.
+	if out[idx(cfg, 1, 5, 5)] != 0 {
+		t.Fatal("kernel wrote outside its plane range")
+	}
+	if out[idx(cfg, 3, 5, 5)] == 0 && in[idx(cfg, 3, 5, 5)] != 0 {
+		t.Fatal("kernel did not write plane 3")
+	}
+}
+
+func TestSingleRankVariantsAgree(t *testing.T) {
+	cfg := smallCfg(1)
+	if err := Validate(cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultiRankVariantsAgree(t *testing.T) {
+	if err := Validate(smallCfg(3)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecompositionInvariance(t *testing.T) {
+	// The same global domain split over 1, 2, and 4 ranks must produce the
+	// same global checksum: ghost exchange must be exactly equivalent to a
+	// contiguous domain. Global NZ = 12.
+	base := Config{NX: 10, NY: 10, Steps: 3, Workers: 2, Seed: 5}
+	var sums []float64
+	for _, r := range []int{1, 2, 4} {
+		cfg := base
+		cfg.Ranks = r
+		cfg.NZ = 12 / r
+		res, err := RunHiPER(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sums = append(sums, res.Checksum)
+	}
+	// initialSlab is coordinate-based, so fields match across
+	// decompositions up to summation-order rounding.
+	for i := 1; i < len(sums); i++ {
+		if d := sums[i] - sums[0]; d > 1e-9 || d < -1e-9 {
+			t.Fatalf("checksums differ across decompositions: %v", sums)
+		}
+	}
+}
+
+func TestChecksumEvolves(t *testing.T) {
+	cfg := smallCfg(2)
+	r1, err := RunMPICUDA(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg2 := cfg
+	cfg2.Steps = cfg.Steps + 3
+	r2, err := RunMPICUDA(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Checksum == r2.Checksum {
+		t.Fatal("field did not evolve with more steps")
+	}
+}

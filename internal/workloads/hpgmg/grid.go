@@ -1,0 +1,220 @@
+// Package hpgmg implements a miniature HPGMG-FV: geometric multigrid
+// V-cycles for the 3D Poisson problem with a finite-volume-style cell
+// layout, weak-scaled by distributing the domain in z-slabs across ranks —
+// the paper's Figure 4 workload.
+//
+// Two variants reproduce the paper's comparison:
+//
+//   - Reference hybrid (MPI+OpenMP): fork-join smoothers, blocking MPI
+//     halo exchanges and reductions.
+//   - HiPER: the same multigrid, with UPC++-module rputs for the halo
+//     exchange, the MPI module for reductions (two communication libraries
+//     composed in one application, as HPGMG does in the paper), and
+//     forasync smoothers on the unified runtime.
+//
+// Correctness oracle: each V-cycle must contract the residual norm, and
+// both variants must produce identical iterates bit-for-bit.
+package hpgmg
+
+import "math"
+
+// level is one multigrid level's local slab: interior nz×ny×nx cells with
+// one ghost layer in every direction (x/y ghosts hold the zero Dirichlet
+// boundary; z ghosts are exchanged with neighbour ranks).
+type level struct {
+	nx, ny, nz int
+	h          float64
+	u, f, res  []float64
+	scratch    []float64
+}
+
+func newLevel(nx, ny, nz int, h float64) *level {
+	size := (nz + 2) * (ny + 2) * (nx + 2)
+	return &level{
+		nx: nx, ny: ny, nz: nz, h: h,
+		u: make([]float64, size), f: make([]float64, size),
+		res: make([]float64, size), scratch: make([]float64, size),
+	}
+}
+
+// at indexes the padded slab (z, y, x each including ghosts at 0 and n+1).
+func (l *level) at(z, y, x int) int {
+	return (z*(l.ny+2)+y)*(l.nx+2) + x
+}
+
+// planeSize is the interior plane cell count.
+func (l *level) planeSize() int { return l.ny * l.nx }
+
+// copyPlaneOut extracts interior plane z into out (ny*nx values).
+func (l *level) copyPlaneOut(arr []float64, z int, out []float64) {
+	i := 0
+	for y := 1; y <= l.ny; y++ {
+		row := l.at(z, y, 1)
+		copy(out[i:i+l.nx], arr[row:row+l.nx])
+		i += l.nx
+	}
+}
+
+// copyPlaneIn installs vals into ghost plane z.
+func (l *level) copyPlaneIn(arr []float64, z int, vals []float64) {
+	i := 0
+	for y := 1; y <= l.ny; y++ {
+		row := l.at(z, y, 1)
+		copy(arr[row:row+l.nx], vals[i:i+l.nx])
+		i += l.nx
+	}
+}
+
+// applyOperatorCell computes (A u)(z,y,x) for the 7-point Poisson operator
+// A = -∆ with mesh width h.
+func (l *level) applyOperatorCell(u []float64, z, y, x int) float64 {
+	i := l.at(z, y, x)
+	h2 := l.h * l.h
+	return (6*u[i] - u[l.at(z-1, y, x)] - u[l.at(z+1, y, x)] -
+		u[l.at(z, y-1, x)] - u[l.at(z, y+1, x)] -
+		u[l.at(z, y, x-1)] - u[l.at(z, y, x+1)]) / h2
+}
+
+// smoothPlane performs one weighted-Jacobi update of interior plane z,
+// reading u, writing scratch. omega = 2/3 is the standard choice.
+const omega = 2.0 / 3.0
+
+func (l *level) smoothPlane(z int) {
+	h2 := l.h * l.h
+	for y := 1; y <= l.ny; y++ {
+		for x := 1; x <= l.nx; x++ {
+			i := l.at(z, y, x)
+			au := l.applyOperatorCell(l.u, z, y, x)
+			l.scratch[i] = l.u[i] + omega*(l.f[i]-au)*h2/6
+		}
+	}
+}
+
+// commitSmooth copies scratch interior back into u for planes [1, nz].
+func (l *level) commitSmoothPlane(z int) {
+	for y := 1; y <= l.ny; y++ {
+		row := l.at(z, y, 1)
+		copy(l.u[row:row+l.nx], l.scratch[row:row+l.nx])
+	}
+}
+
+// residualPlane computes res = f - A u for interior plane z.
+func (l *level) residualPlane(z int) {
+	for y := 1; y <= l.ny; y++ {
+		for x := 1; x <= l.nx; x++ {
+			i := l.at(z, y, x)
+			l.res[i] = l.f[i] - l.applyOperatorCell(l.u, z, y, x)
+		}
+	}
+}
+
+// residualNormSqPlane returns the squared L2 norm of res over plane z.
+func (l *level) residualNormSqPlane(z int) float64 {
+	var s float64
+	for y := 1; y <= l.ny; y++ {
+		for x := 1; x <= l.nx; x++ {
+			v := l.res[l.at(z, y, x)]
+			s += v * v
+		}
+	}
+	return s
+}
+
+// restrictTo computes coarse.f = full-weighting (8-cell average) of this
+// level's residual, and zeroes coarse.u. Fine dims must be even.
+func (l *level) restrictTo(coarse *level) {
+	for Z := 1; Z <= coarse.nz; Z++ {
+		for Y := 1; Y <= coarse.ny; Y++ {
+			for X := 1; X <= coarse.nx; X++ {
+				var s float64
+				for dz := 0; dz < 2; dz++ {
+					for dy := 0; dy < 2; dy++ {
+						for dx := 0; dx < 2; dx++ {
+							s += l.res[l.at(2*Z-1+dz, 2*Y-1+dy, 2*X-1+dx)]
+						}
+					}
+				}
+				ci := coarse.at(Z, Y, X)
+				coarse.f[ci] = s / 8
+				coarse.u[ci] = 0
+			}
+		}
+	}
+}
+
+// prolongFrom adds the coarse correction into this level's u by trilinear
+// (cell-centered) interpolation: each fine cell blends its parent coarse
+// cell (weight 3/4 per axis) with the nearest coarse neighbour (1/4 per
+// axis). Coarse ghost cells are zero, which imposes the homogeneous
+// Dirichlet condition the error equation satisfies.
+func (l *level) prolongFrom(coarse *level) {
+	axis := func(fine int) (parent, neigh int, wp, wn float64) {
+		parent = (fine + 1) / 2
+		if fine%2 == 1 {
+			neigh = parent - 1
+		} else {
+			neigh = parent + 1
+		}
+		return parent, neigh, 0.75, 0.25
+	}
+	for z := 1; z <= l.nz; z++ {
+		Zp, Zn, wzp, wzn := axis(z)
+		for y := 1; y <= l.ny; y++ {
+			Yp, Yn, wyp, wyn := axis(y)
+			for x := 1; x <= l.nx; x++ {
+				Xp, Xn, wxp, wxn := axis(x)
+				var e float64
+				for _, zc := range [2]struct {
+					i int
+					w float64
+				}{{Zp, wzp}, {Zn, wzn}} {
+					for _, yc := range [2]struct {
+						i int
+						w float64
+					}{{Yp, wyp}, {Yn, wyn}} {
+						for _, xc := range [2]struct {
+							i int
+							w float64
+						}{{Xp, wxp}, {Xn, wxn}} {
+							e += zc.w * yc.w * xc.w * coarse.u[coarse.at(zc.i, yc.i, xc.i)]
+						}
+					}
+				}
+				l.u[l.at(z, y, x)] += e
+			}
+		}
+	}
+}
+
+// buildHierarchy constructs the per-rank level stack: the fine level plus
+// coarser levels halving every dimension while the local slab stays
+// divisible and meaningfully sized.
+func buildHierarchy(nx, ny, nz int, h float64) []*level {
+	var levels []*level
+	for {
+		levels = append(levels, newLevel(nx, ny, nz, h))
+		if nx%2 != 0 || ny%2 != 0 || nz%2 != 0 || nx < 4 || ny < 4 || nz < 4 {
+			break
+		}
+		nx, ny, nz = nx/2, ny/2, nz/2
+		h *= 2
+	}
+	return levels
+}
+
+// initRHS fills the fine level's right-hand side with a deterministic
+// smooth source field based on global coordinates (rank r of R slabs).
+func initRHS(l *level, rank, ranks int) {
+	globalNZ := ranks * l.nz
+	for z := 1; z <= l.nz; z++ {
+		gz := rank*l.nz + z
+		for y := 1; y <= l.ny; y++ {
+			for x := 1; x <= l.nx; x++ {
+				fx := math.Sin(math.Pi * float64(x) / float64(l.nx+1))
+				fy := math.Sin(math.Pi * float64(y) / float64(l.ny+1))
+				fz := math.Sin(math.Pi * float64(gz) / float64(globalNZ+1))
+				l.f[l.at(z, y, x)] = fx * fy * fz
+			}
+		}
+	}
+}

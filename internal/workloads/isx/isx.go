@@ -1,0 +1,407 @@
+// Package isx implements the ISx integer sort benchmark (Hanebutte &
+// Hemstad, PGAS 2015), the paper's Figure 5 workload.
+//
+// ISx is a bucket sort: every PE generates uniform random keys, exchanges
+// them so PE i receives all keys in bucket i (a global all-to-all built
+// from atomic fetch-adds to reserve remote space plus one-sided puts), and
+// then sorts its bucket locally with a counting sort.
+//
+// Three variants reproduce the paper's comparison:
+//
+//   - Flat OpenSHMEM: one single-threaded PE per core. Fastest at small
+//     scale, but the R² message all-to-all collapses under congestion as
+//     the job grows — the effect visible at 512/1024 nodes in the paper.
+//   - OpenSHMEM+OpenMP: one PE per "node", OpenMP-style fork-join
+//     parallelism inside. Fewer, bigger messages; intra-node fork-join
+//     overhead at small scale.
+//   - HiPER (AsyncSHMEM): same decomposition as the hybrid, but bucket
+//     exchange and local work are HiPER tasks composed with futures, so
+//     communication overlaps the remaining local work.
+package isx
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/hipershmem"
+	"repro/internal/job"
+	"repro/internal/modules"
+	"repro/internal/omp"
+	"repro/internal/shmem"
+	"repro/internal/simnet"
+)
+
+// Config parameterizes a run. Weak scaling: KeysPerPE is per *core*; the
+// hybrid variants multiply by Threads per rank so total work matches the
+// flat variant at equal core counts.
+type Config struct {
+	PEs       int // total cores (= flat PEs; hybrids use PEs/Threads ranks)
+	Threads   int // threads per rank for hybrid/HiPER variants
+	KeysPerPE int
+	Cost      simnet.CostModel
+	Seed      int64
+	// BufSlack oversizes the symmetric receive buffer relative to the
+	// expected per-bucket key count (default 3x), absorbing imbalance.
+	BufSlack float64
+}
+
+func (c Config) slack() float64 {
+	if c.BufSlack <= 0 {
+		return 3
+	}
+	return c.BufSlack
+}
+
+// Result reports one run.
+type Result struct {
+	Variant   string
+	Ranks     int // communicating entities (PEs or hybrid ranks)
+	Elapsed   time.Duration
+	TotalKeys int64
+}
+
+// splitmix64 is the key generator (deterministic per seed).
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	z := x
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// genKeys produces n uniform keys in [0, maxKey) for a logical stream id.
+func genKeys(seed int64, stream, n int, maxKey int64) []int64 {
+	keys := make([]int64, n)
+	s := uint64(seed)*0x100000001B3 + uint64(stream+1)*0x9E3779B97F4A7C15
+	for i := range keys {
+		s = splitmix64(s)
+		keys[i] = int64(s % uint64(maxKey))
+	}
+	return keys
+}
+
+// bucketizeSeq partitions keys by destination bucket: returns, per bucket,
+// the contiguous keys bound for it (counting-sort arrangement).
+func bucketizeSeq(keys []int64, buckets int, bucketSize int64) ([][]int64, []int) {
+	counts := make([]int, buckets)
+	for _, k := range keys {
+		counts[int(k/bucketSize)]++
+	}
+	out := make([][]int64, buckets)
+	for b := range out {
+		out[b] = make([]int64, 0, counts[b])
+	}
+	for _, k := range keys {
+		b := int(k / bucketSize)
+		out[b] = append(out[b], k)
+	}
+	return out, counts
+}
+
+// countingSort sorts keys known to lie in [lo, lo+width) in O(n + width).
+func countingSort(keys []int64, lo, width int64) {
+	counts := make([]int32, width)
+	for _, k := range keys {
+		counts[k-lo]++
+	}
+	i := 0
+	for v := int64(0); v < width; v++ {
+		for c := counts[v]; c > 0; c-- {
+			keys[i] = lo + v
+			i++
+		}
+	}
+}
+
+// verifyBucket checks PE me's received keys: all inside its bucket range
+// and sorted ascending.
+func verifyBucket(me int, keys []int64, bucketSize int64) error {
+	lo := int64(me) * bucketSize
+	hi := lo + bucketSize
+	prev := lo
+	for i, k := range keys {
+		if k < lo || k >= hi {
+			return fmt.Errorf("isx: PE %d key %d out of bucket range [%d,%d)", me, k, lo, hi)
+		}
+		if k < prev {
+			return fmt.Errorf("isx: PE %d keys not sorted at %d", me, i)
+		}
+		prev = k
+	}
+	return nil
+}
+
+// exchange is the ISx all-to-all kernel for one PE: reserve space with
+// fetch-add, put the bucket, then synchronize.
+type exchangeCtx struct {
+	world   *shmem.World
+	recvBuf *shmem.Int64Array
+	recvCnt *shmem.Int64Array
+	total   *shmem.Int64Array // verification: global key count
+}
+
+func newExchange(world *shmem.World, capPerPE int) *exchangeCtx {
+	return &exchangeCtx{
+		world:   world,
+		recvBuf: world.AllocInt64(capPerPE),
+		recvCnt: world.AllocInt64(1),
+		total:   world.AllocInt64(1),
+	}
+}
+
+// RunFlat runs the flat OpenSHMEM variant: cfg.PEs single-threaded PEs.
+func RunFlat(cfg Config) (Result, error) {
+	npes := cfg.PEs
+	n := cfg.KeysPerPE
+	maxKey := int64(npes) * int64(n)
+	bucketSize := int64(n)
+	world := shmem.NewWorld(npes, cfg.Cost)
+	ex := newExchange(world, int(float64(n)*cfg.slack()))
+	errs := make([]error, npes)
+
+	start := time.Now()
+	job.RunFlat(npes, func(r int) {
+		pe := world.PE(r)
+		keys := genKeys(cfg.Seed, r, n, maxKey)
+		chunks, _ := bucketizeSeq(keys, npes, bucketSize)
+		for dst := 0; dst < npes; dst++ {
+			if len(chunks[dst]) == 0 {
+				continue
+			}
+			off := pe.FetchAdd(ex.recvCnt, dst, 0, int64(len(chunks[dst])))
+			pe.Put(ex.recvBuf, dst, int(off), chunks[dst])
+		}
+		pe.Add(ex.total, 0, 0, int64(len(keys)))
+		pe.BarrierAll()
+		cnt := int(ex.recvCnt.Local(r)[0])
+		mine := ex.recvBuf.Local(r)[:cnt]
+		countingSort(mine, int64(r)*bucketSize, bucketSize)
+		errs[r] = verifyBucket(r, mine, bucketSize)
+	})
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return Result{}, err
+		}
+	}
+	if got := ex.total.Local(0)[0]; got != int64(npes)*int64(n) {
+		return Result{}, fmt.Errorf("isx: flat lost keys: %d != %d", got, int64(npes)*int64(n))
+	}
+	return Result{Variant: "flat-shmem", Ranks: npes, Elapsed: elapsed, TotalKeys: int64(npes) * int64(n)}, nil
+}
+
+// RunHybridOMP runs the OpenSHMEM+OpenMP variant: PEs/Threads ranks, each
+// with an OpenMP team of Threads.
+func RunHybridOMP(cfg Config) (Result, error) {
+	if cfg.Threads <= 0 {
+		cfg.Threads = 1
+	}
+	ranks := cfg.PEs / cfg.Threads
+	if ranks == 0 {
+		ranks = 1
+	}
+	nPerRank := cfg.KeysPerPE * cfg.Threads
+	maxKey := int64(ranks) * int64(nPerRank)
+	bucketSize := int64(nPerRank)
+	world := shmem.NewWorld(ranks, cfg.Cost)
+	ex := newExchange(world, int(float64(nPerRank)*cfg.slack()))
+	errs := make([]error, ranks)
+
+	start := time.Now()
+	job.RunFlat(ranks, func(r int) {
+		pe := world.PE(r)
+		team := omp.NewTeam(cfg.Threads)
+		keys := genKeys(cfg.Seed, r, nPerRank, maxKey)
+
+		// Parallel bucketize: per-thread partial bucketization, merged by
+		// the master (the fork-join structure of the OpenMP original).
+		parts := make([][][]int64, cfg.Threads)
+		team.Parallel(func(tid int) {
+			lo := tid * nPerRank / cfg.Threads
+			hi := (tid + 1) * nPerRank / cfg.Threads
+			parts[tid], _ = bucketizeSeq(keys[lo:hi], ranks, bucketSize)
+		})
+		chunks := make([][]int64, ranks)
+		for dst := 0; dst < ranks; dst++ {
+			for tid := 0; tid < cfg.Threads; tid++ {
+				chunks[dst] = append(chunks[dst], parts[tid][dst]...)
+			}
+		}
+		// Master-thread communication (OpenMP master region).
+		for dst := 0; dst < ranks; dst++ {
+			if len(chunks[dst]) == 0 {
+				continue
+			}
+			off := pe.FetchAdd(ex.recvCnt, dst, 0, int64(len(chunks[dst])))
+			pe.Put(ex.recvBuf, dst, int(off), chunks[dst])
+		}
+		pe.Add(ex.total, 0, 0, int64(len(keys)))
+		pe.BarrierAll()
+		cnt := int(ex.recvCnt.Local(r)[0])
+		mine := ex.recvBuf.Local(r)[:cnt]
+		parallelCountingSort(team, mine, int64(r)*bucketSize, bucketSize)
+		errs[r] = verifyBucket(r, mine, bucketSize)
+	})
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return Result{}, err
+		}
+	}
+	total := int64(ranks) * int64(nPerRank)
+	if got := ex.total.Local(0)[0]; got != total {
+		return Result{}, fmt.Errorf("isx: hybrid lost keys: %d != %d", got, total)
+	}
+	return Result{Variant: "shmem+omp", Ranks: ranks, Elapsed: elapsed, TotalKeys: total}, nil
+}
+
+// parallelCountingSort is the team-parallel counting sort used by the
+// hybrid: parallel count, sequential prefix, parallel write-back by value
+// range.
+func parallelCountingSort(team *omp.Team, keys []int64, lo, width int64) {
+	t := team.Size()
+	partial := make([][]int32, t)
+	team.Parallel(func(tid int) {
+		cnt := make([]int32, width)
+		s := tid * len(keys) / t
+		e := (tid + 1) * len(keys) / t
+		for _, k := range keys[s:e] {
+			cnt[k-lo]++
+		}
+		partial[tid] = cnt
+	})
+	counts := make([]int64, width)
+	for v := int64(0); v < width; v++ {
+		for tid := 0; tid < t; tid++ {
+			counts[v] += int64(partial[tid][v])
+		}
+	}
+	starts := make([]int64, width+1)
+	for v := int64(0); v < width; v++ {
+		starts[v+1] = starts[v] + counts[v]
+	}
+	team.Parallel(func(tid int) {
+		vlo := int64(tid) * width / int64(t)
+		vhi := int64(tid+1) * width / int64(t)
+		for v := vlo; v < vhi; v++ {
+			for i := starts[v]; i < starts[v+1]; i++ {
+				keys[i] = lo + v
+			}
+		}
+	})
+}
+
+// RunHiPER runs the AsyncSHMEM variant: PEs/Threads HiPER runtimes with
+// Threads workers each; the bucket exchange issues each destination's
+// fetch-add + put as its own task so communication overlaps local work.
+func RunHiPER(cfg Config) (Result, error) {
+	if cfg.Threads <= 0 {
+		cfg.Threads = 1
+	}
+	ranks := cfg.PEs / cfg.Threads
+	if ranks == 0 {
+		ranks = 1
+	}
+	nPerRank := cfg.KeysPerPE * cfg.Threads
+	maxKey := int64(ranks) * int64(nPerRank)
+	bucketSize := int64(nPerRank)
+	world := shmem.NewWorld(ranks, cfg.Cost)
+	ex := newExchange(world, int(float64(nPerRank)*cfg.slack()))
+	mods := make([]*hipershmem.Module, ranks)
+	errs := make([]error, ranks)
+
+	start := time.Now()
+	err := job.Run(job.Spec{Ranks: ranks, WorkersPerRank: cfg.Threads,
+		OnStart: func() { start = time.Now() }},
+		func(p *job.Proc) error {
+			mods[p.Rank] = hipershmem.New(world.PE(p.Rank), nil)
+			return modules.Install(p.RT, mods[p.Rank])
+		},
+		func(p *job.Proc, c *core.Ctx) {
+			r := p.Rank
+			m := mods[r]
+			keys := genKeys(cfg.Seed, r, nPerRank, maxKey)
+
+			// Bucketize in parallel HiPER tasks (tree split, like the
+			// hybrid's team but without fork-join barriers).
+			parts := make([][][]int64, cfg.Threads)
+			c.ForasyncSync(core.Range{Lo: 0, Hi: cfg.Threads, Grain: 1}, func(_ *core.Ctx, tid int) {
+				lo := tid * nPerRank / cfg.Threads
+				hi := (tid + 1) * nPerRank / cfg.Threads
+				parts[tid], _ = bucketizeSeq(keys[lo:hi], ranks, bucketSize)
+			})
+			chunks := make([][]int64, ranks)
+			for dst := 0; dst < ranks; dst++ {
+				for tid := 0; tid < cfg.Threads; tid++ {
+					chunks[dst] = append(chunks[dst], parts[tid][dst]...)
+				}
+			}
+			// Asynchronous exchange: each destination is an independent
+			// task chaining fetch-add -> put; all overlap.
+			c.Finish(func(c *core.Ctx) {
+				for dst := 0; dst < ranks; dst++ {
+					if len(chunks[dst]) == 0 {
+						continue
+					}
+					dst := dst
+					fOff := m.FetchAddFuture(c, ex.recvCnt, dst, 0, int64(len(chunks[dst])))
+					c.AsyncAwait(func(cc *core.Ctx) {
+						off := fOff.Get().(int64)
+						m.Put(cc, ex.recvBuf, dst, int(off), chunks[dst])
+					}, fOff)
+				}
+			})
+			m.Add(c, ex.total, 0, 0, int64(len(keys)))
+			m.BarrierAll(c)
+			cnt := int(ex.recvCnt.Local(r)[0])
+			mine := ex.recvBuf.Local(r)[:cnt]
+			hiperCountingSort(c, cfg.Threads, mine, int64(r)*bucketSize, bucketSize)
+			errs[r] = verifyBucket(r, mine, bucketSize)
+		})
+	elapsed := time.Since(start)
+	if err != nil {
+		return Result{}, err
+	}
+	for _, e := range errs {
+		if e != nil {
+			return Result{}, e
+		}
+	}
+	total := int64(ranks) * int64(nPerRank)
+	if got := ex.total.Local(0)[0]; got != total {
+		return Result{}, fmt.Errorf("isx: hiper lost keys: %d != %d", got, total)
+	}
+	return Result{Variant: "hiper-asyncshmem", Ranks: ranks, Elapsed: elapsed, TotalKeys: total}, nil
+}
+
+// hiperCountingSort mirrors parallelCountingSort with HiPER forasync.
+func hiperCountingSort(c *core.Ctx, par int, keys []int64, lo, width int64) {
+	partial := make([][]int32, par)
+	c.ForasyncSync(core.Range{Lo: 0, Hi: par, Grain: 1}, func(_ *core.Ctx, tid int) {
+		cnt := make([]int32, width)
+		s := tid * len(keys) / par
+		e := (tid + 1) * len(keys) / par
+		for _, k := range keys[s:e] {
+			cnt[k-lo]++
+		}
+		partial[tid] = cnt
+	})
+	starts := make([]int64, width+1)
+	for v := int64(0); v < width; v++ {
+		var sum int64
+		for tid := 0; tid < par; tid++ {
+			sum += int64(partial[tid][v])
+		}
+		starts[v+1] = starts[v] + sum
+	}
+	c.ForasyncSync(core.Range{Lo: 0, Hi: par, Grain: 1}, func(_ *core.Ctx, tid int) {
+		vlo := int64(tid) * width / int64(par)
+		vhi := int64(tid+1) * width / int64(par)
+		for v := vlo; v < vhi; v++ {
+			for i := starts[v]; i < starts[v+1]; i++ {
+				keys[i] = lo + v
+			}
+		}
+	})
+}

@@ -1,0 +1,146 @@
+package isx
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/simnet"
+)
+
+var testCost = simnet.CostModel{Alpha: 50 * time.Microsecond}
+
+func TestGenKeysDeterministic(t *testing.T) {
+	a := genKeys(1, 3, 100, 1000)
+	b := genKeys(1, 3, 100, 1000)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("keys not deterministic")
+		}
+		if a[i] < 0 || a[i] >= 1000 {
+			t.Fatalf("key %d out of range", a[i])
+		}
+	}
+	c := genKeys(2, 3, 100, 1000)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical keys")
+	}
+}
+
+func TestBucketizePartition(t *testing.T) {
+	keys := genKeys(7, 0, 1000, 4*64)
+	chunks, counts := bucketizeSeq(keys, 4, 64)
+	total := 0
+	for b, chunk := range chunks {
+		if len(chunk) != counts[b] {
+			t.Fatalf("bucket %d count mismatch", b)
+		}
+		for _, k := range chunk {
+			if int(k/64) != b {
+				t.Fatalf("key %d in wrong bucket %d", k, b)
+			}
+		}
+		total += len(chunk)
+	}
+	if total != len(keys) {
+		t.Fatalf("bucketize lost keys: %d != %d", total, len(keys))
+	}
+}
+
+func TestCountingSort(t *testing.T) {
+	keys := genKeys(9, 1, 500, 128)
+	countingSort(keys, 0, 128)
+	for i := 1; i < len(keys); i++ {
+		if keys[i] < keys[i-1] {
+			t.Fatal("not sorted")
+		}
+	}
+}
+
+func TestQuickCountingSortIsPermutationSorted(t *testing.T) {
+	f := func(seed int64, n16 uint16) bool {
+		n := int(n16%2000) + 1
+		width := int64(256)
+		keys := genKeys(seed, 2, n, width)
+		var before [256]int
+		for _, k := range keys {
+			before[k]++
+		}
+		countingSort(keys, 0, width)
+		var after [256]int
+		for i, k := range keys {
+			after[k]++
+			if i > 0 && keys[i] < keys[i-1] {
+				return false
+			}
+		}
+		return before == after
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFlat(t *testing.T) {
+	res, err := RunFlat(Config{PEs: 8, KeysPerPE: 2048, Cost: testCost, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalKeys != 8*2048 || res.Ranks != 8 {
+		t.Fatalf("result = %+v", res)
+	}
+}
+
+func TestRunHybridOMP(t *testing.T) {
+	res, err := RunHybridOMP(Config{PEs: 8, Threads: 4, KeysPerPE: 2048, Cost: testCost, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ranks != 2 || res.TotalKeys != 8*2048 {
+		t.Fatalf("result = %+v", res)
+	}
+}
+
+func TestRunHiPER(t *testing.T) {
+	res, err := RunHiPER(Config{PEs: 8, Threads: 4, KeysPerPE: 2048, Cost: testCost, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ranks != 2 || res.TotalKeys != 8*2048 {
+		t.Fatalf("result = %+v", res)
+	}
+}
+
+func TestAllVariantsAgreeOnTotals(t *testing.T) {
+	cfg := Config{PEs: 4, Threads: 2, KeysPerPE: 1024, Cost: simnet.CostModel{}, Seed: 7}
+	a, err := RunFlat(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunHybridOMP(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := RunHiPER(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalKeys != b.TotalKeys || b.TotalKeys != c.TotalKeys {
+		t.Fatalf("totals differ: %d %d %d", a.TotalKeys, b.TotalKeys, c.TotalKeys)
+	}
+}
+
+func TestSinglePEDegenerate(t *testing.T) {
+	if _, err := RunFlat(Config{PEs: 1, KeysPerPE: 512, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunHiPER(Config{PEs: 1, Threads: 2, KeysPerPE: 512, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+}

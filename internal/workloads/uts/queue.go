@@ -1,0 +1,182 @@
+package uts
+
+import (
+	"fmt"
+
+	"repro/internal/shmem"
+)
+
+// distQueue is the manual, application-level distributed load-balancing
+// structure shared by all three parallel UTS variants (the paper notes the
+// OpenSHMEM+OpenMP and AsyncSHMEM versions are identical in parallel
+// structure): each PE owns a shared work queue in symmetric memory that
+// thieves access remotely under a symmetric lock, plus a global in-flight
+// node counter on PE 0 used for termination detection.
+//
+// Contention on the queue locks and the global counter grows with scale —
+// the effect the paper identifies as limiting the hand-coded version.
+type distQueue struct {
+	world *shmem.World
+	cfg   TreeConfig
+
+	queues *shmem.ByteArray  // per-PE node storage, cap*nodeBytes
+	meta   *shmem.Int64Array // per-PE [head, tail]
+	locks  []*shmem.Lock     // per-PE queue lock
+
+	inflight *shmem.Int64Array // PE 0, slot 0: outstanding (unprocessed) nodes
+	counted  *shmem.Int64Array // per-PE processed-node count
+
+	cap int
+}
+
+const (
+	metaHead = 0
+	metaTail = 1
+)
+
+func newDistQueue(world *shmem.World, cfg TreeConfig, capacity int) *distQueue {
+	dq := &distQueue{
+		world:    world,
+		cfg:      cfg,
+		queues:   world.AllocBytes(capacity * nodeBytes),
+		meta:     world.AllocInt64(2),
+		locks:    make([]*shmem.Lock, world.Size()),
+		inflight: world.AllocInt64(1),
+		counted:  world.AllocInt64(1),
+		cap:      capacity,
+	}
+	for i := range dq.locks {
+		dq.locks[i] = world.AllocLock()
+	}
+	return dq
+}
+
+// seed installs the root node at PE 0 and primes the in-flight counter.
+func (dq *distQueue) seed() {
+	var buf [nodeBytes]byte
+	encodeNode(rootNode(dq.cfg), buf[:])
+	copy(dq.queues.Local(0), buf[:])
+	dq.meta.Local(0)[metaTail] = 1
+	dq.inflight.Local(0)[0] = 1
+}
+
+// release appends nodes to PE me's own shared queue (owner-side, under the
+// lock so concurrent thieves stay consistent). Compacts when the tail
+// would overflow.
+func (dq *distQueue) release(pe *shmem.PE, nodes []node) error {
+	if len(nodes) == 0 {
+		return nil
+	}
+	me := pe.Rank()
+	pe.SetLock(dq.locks[me])
+	defer pe.ClearLock(dq.locks[me])
+	m := dq.meta.Local(me)
+	head, tail := int(m[metaHead]), int(m[metaTail])
+	q := dq.queues.Local(me)
+	if tail+len(nodes) > dq.cap {
+		// Compact [head, tail) to the front.
+		copy(q, q[head*nodeBytes:tail*nodeBytes])
+		tail -= head
+		head = 0
+		if tail+len(nodes) > dq.cap {
+			return fmt.Errorf("uts: PE %d queue overflow (%d + %d > %d)", me, tail, len(nodes), dq.cap)
+		}
+	}
+	for i, n := range nodes {
+		encodeNode(n, q[(tail+i)*nodeBytes:])
+	}
+	m[metaHead] = int64(head)
+	m[metaTail] = int64(tail + len(nodes))
+	return nil
+}
+
+// takeLocal pops up to max nodes from PE me's own queue (from the tail:
+// depth-first locally, like the UTS reference).
+func (dq *distQueue) takeLocal(pe *shmem.PE, max int) []node {
+	me := pe.Rank()
+	pe.SetLock(dq.locks[me])
+	defer pe.ClearLock(dq.locks[me])
+	m := dq.meta.Local(me)
+	head, tail := int(m[metaHead]), int(m[metaTail])
+	avail := tail - head
+	if avail <= 0 {
+		return nil
+	}
+	take := max
+	if take > avail {
+		take = avail
+	}
+	q := dq.queues.Local(me)
+	out := make([]node, take)
+	for i := 0; i < take; i++ {
+		out[i] = decodeNode(q[(tail-take+i)*nodeBytes:])
+	}
+	m[metaTail] = int64(tail - take)
+	return out
+}
+
+// steal grabs up to half of victim's queue (from the head: breadth-first
+// remotely, maximizing stolen subtree size, as in UTS work-stealing).
+func (dq *distQueue) steal(pe *shmem.PE, victim int) []node {
+	pe.SetLock(dq.locks[victim])
+	defer pe.ClearLock(dq.locks[victim])
+	m := pe.Get(dq.meta, victim, 0, 2)
+	head, tail := int(m[metaHead]), int(m[metaTail])
+	avail := tail - head
+	if avail <= 0 {
+		return nil
+	}
+	take := (avail + 1) / 2
+	raw := pe.GetBytes(dq.queues, victim, head*nodeBytes, take*nodeBytes)
+	out := make([]node, take)
+	for i := range out {
+		out[i] = decodeNode(raw[i*nodeBytes:])
+	}
+	pe.Put(dq.meta, victim, metaHead, []int64{int64(head + take)})
+	pe.Quiet() // head update must be visible before the lock releases
+	return out
+}
+
+// updateInflight applies the net node-count delta for a processed batch:
+// +children enqueued, -nodes consumed. The children must already be
+// visible (released) before the delta lands, so a zero reading proves
+// global quiescence.
+func (dq *distQueue) updateInflight(pe *shmem.PE, delta int64) {
+	if delta == 0 {
+		return
+	}
+	pe.Quiet()
+	pe.Add(dq.inflight, 0, 0, delta)
+}
+
+// done polls the global in-flight counter.
+func (dq *distQueue) done(pe *shmem.PE) bool {
+	return pe.GetValue(dq.inflight, 0, 0) == 0
+}
+
+// totalCounted sums every PE's processed-node count (call after the run).
+func (dq *distQueue) totalCounted() int64 {
+	var sum int64
+	for r := 0; r < dq.world.Size(); r++ {
+		sum += dq.counted.Local(r)[0]
+	}
+	return sum
+}
+
+// victimSeq deterministically cycles steal victims for PE me.
+func victimSeq(me, npes int, state *uint64) int {
+	*state = splitmix(*state)
+	v := int(*state % uint64(npes))
+	if v == me {
+		v = (v + 1) % npes
+	}
+	return v
+}
+
+func splitmix(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	z := x
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}

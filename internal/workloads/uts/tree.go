@@ -1,0 +1,123 @@
+// Package uts implements the Unbalanced Tree Search benchmark (Olivier et
+// al., LCPC 2006), the paper's Figure 7 workload.
+//
+// UTS counts the nodes of an implicitly defined, highly unbalanced tree.
+// Each node's child count is derived deterministically from a SHA-1 hash
+// of the node's descriptor (the original uses SHA-1 exactly the same way),
+// with a geometric branching law whose expectation tapers linearly to zero
+// at GenMax — the "linear shape" geometric trees of the UTS suite, scaled
+// down from the paper's T1XXL dataset.
+//
+// Because the tree is defined by hashes, every variant — sequential,
+// OpenSHMEM+OpenMP, OpenSHMEM+OpenMP Tasks, and HiPER AsyncSHMEM — must
+// report exactly the same node count, which is the cross-variant oracle.
+package uts
+
+import (
+	"crypto/sha1"
+	"encoding/binary"
+	"math"
+)
+
+// TreeConfig defines the implicit tree.
+type TreeConfig struct {
+	B0     int   // root branching factor
+	GenMax int   // depth at which expected branching reaches zero
+	Seed   int64 // root descriptor seed
+}
+
+// DefaultTree is a laptop-scale stand-in for T1XXL (geometric, linear
+// taper): a few hundred thousand nodes with heavy imbalance.
+var DefaultTree = TreeConfig{B0: 4, GenMax: 13, Seed: 19}
+
+// node is a tree-node descriptor: the SHA-1 state plus its depth.
+type node struct {
+	digest [20]byte
+	depth  int32
+}
+
+// nodeBytes is the wire size of an encoded node.
+const nodeBytes = 24
+
+func encodeNode(n node, out []byte) {
+	copy(out[:20], n.digest[:])
+	binary.LittleEndian.PutUint32(out[20:], uint32(n.depth))
+}
+
+func decodeNode(in []byte) node {
+	var n node
+	copy(n.digest[:], in[:20])
+	n.depth = int32(binary.LittleEndian.Uint32(in[20:]))
+	return n
+}
+
+// Root derives the root node from the seed.
+func rootNode(cfg TreeConfig) node {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(cfg.Seed))
+	return node{digest: sha1.Sum(buf[:]), depth: 0}
+}
+
+// numChildren computes the node's branching factor: B0 at the root, and a
+// stochastic rounding of the linearly tapered expectation below it.
+func numChildren(cfg TreeConfig, n node) int {
+	if n.depth == 0 {
+		return cfg.B0
+	}
+	m := float64(cfg.B0) * (1 - float64(n.depth)/float64(cfg.GenMax))
+	if m <= 0 {
+		return 0
+	}
+	u := float64(binary.BigEndian.Uint64(n.digest[:8])) / math.MaxUint64
+	nc := int(math.Floor(m))
+	if u < m-math.Floor(m) {
+		nc++
+	}
+	return nc
+}
+
+// childNode derives child i of n.
+func childNode(n node, i int) node {
+	var buf [24]byte
+	copy(buf[:20], n.digest[:])
+	binary.LittleEndian.PutUint32(buf[20:], uint32(i))
+	return node{digest: sha1.Sum(buf[:]), depth: n.depth + 1}
+}
+
+// expand appends n's children to out and returns the extended slice.
+func expand(cfg TreeConfig, n node, out []node) []node {
+	nc := numChildren(cfg, n)
+	for i := 0; i < nc; i++ {
+		out = append(out, childNode(n, i))
+	}
+	return out
+}
+
+// CountSequential walks the whole tree depth-first on one goroutine and
+// returns the node count — the oracle for all parallel variants.
+func CountSequential(cfg TreeConfig) int64 {
+	stack := []node{rootNode(cfg)}
+	var count int64
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		count++
+		stack = expand(cfg, n, stack)
+	}
+	return count
+}
+
+// MaxDepthSequential returns the deepest level reached (diagnostics).
+func MaxDepthSequential(cfg TreeConfig) int32 {
+	stack := []node{rootNode(cfg)}
+	var deepest int32
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if n.depth > deepest {
+			deepest = n.depth
+		}
+		stack = expand(cfg, n, stack)
+	}
+	return deepest
+}

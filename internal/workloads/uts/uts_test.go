@@ -1,0 +1,170 @@
+package uts
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/shmem"
+	"repro/internal/simnet"
+)
+
+// tinyTree keeps unit tests fast (a few thousand nodes).
+var tinyTree = TreeConfig{B0: 4, GenMax: 9, Seed: 19}
+
+var testCost = simnet.CostModel{Alpha: 20 * time.Microsecond}
+
+func TestTreeDeterministic(t *testing.T) {
+	a := CountSequential(tinyTree)
+	b := CountSequential(tinyTree)
+	if a != b {
+		t.Fatalf("tree not deterministic: %d vs %d", a, b)
+	}
+	if a < 100 {
+		t.Fatalf("tiny tree suspiciously small: %d nodes", a)
+	}
+	other := tinyTree
+	other.Seed = 20
+	if CountSequential(other) == a {
+		t.Fatal("different seeds gave identical counts")
+	}
+}
+
+func TestRootBranching(t *testing.T) {
+	r := rootNode(tinyTree)
+	if got := numChildren(tinyTree, r); got != tinyTree.B0 {
+		t.Fatalf("root children = %d, want %d", got, tinyTree.B0)
+	}
+	// Beyond GenMax the expectation is <= 0: no children.
+	deep := node{depth: int32(tinyTree.GenMax)}
+	if got := numChildren(tinyTree, deep); got != 0 {
+		t.Fatalf("children at GenMax = %d, want 0", got)
+	}
+}
+
+func TestNodeCodecRoundTrip(t *testing.T) {
+	n := childNode(rootNode(tinyTree), 2)
+	var buf [nodeBytes]byte
+	encodeNode(n, buf[:])
+	got := decodeNode(buf[:])
+	if got != n {
+		t.Fatalf("codec mismatch: %+v vs %+v", got, n)
+	}
+}
+
+func TestMaxDepthWithinGenMax(t *testing.T) {
+	if d := MaxDepthSequential(tinyTree); d > int32(tinyTree.GenMax) {
+		t.Fatalf("depth %d exceeds GenMax %d", d, tinyTree.GenMax)
+	}
+}
+
+func TestDistQueueLocalOps(t *testing.T) {
+	world := shmemWorld(1)
+	dq := newDistQueue(world, tinyTree, 128)
+	dq.seed()
+	pe := world.PE(0)
+	batch := dq.takeLocal(pe, 10)
+	if len(batch) != 1 || batch[0] != rootNode(tinyTree) {
+		t.Fatalf("seeded queue take = %v", batch)
+	}
+	kids := expand(tinyTree, batch[0], nil)
+	if err := dq.release(pe, kids); err != nil {
+		t.Fatal(err)
+	}
+	got := dq.takeLocal(pe, 100)
+	if len(got) != len(kids) {
+		t.Fatalf("took %d, want %d", len(got), len(kids))
+	}
+}
+
+func TestDistQueueCompaction(t *testing.T) {
+	world := shmemWorld(1)
+	dq := newDistQueue(world, tinyTree, 8)
+	pe := world.PE(0)
+	n := rootNode(tinyTree)
+	// Fill, drain from head via steal, refill: must compact, not overflow.
+	for round := 0; round < 10; round++ {
+		if err := dq.release(pe, []node{n, n, n, n}); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if got := dq.steal(pe, 0); len(got) == 0 {
+			t.Fatal("steal got nothing")
+		}
+		dq.takeLocal(pe, 8)
+	}
+	// A genuine overflow must error.
+	big := make([]node, 9)
+	if err := dq.release(pe, big); err == nil {
+		t.Fatal("expected overflow error")
+	}
+}
+
+func TestStealTakesHalfFromHead(t *testing.T) {
+	world := shmemWorld(2)
+	dq := newDistQueue(world, tinyTree, 64)
+	owner := world.PE(0)
+	thief := world.PE(1)
+	nodes := make([]node, 8)
+	for i := range nodes {
+		nodes[i] = childNode(rootNode(tinyTree), i%4)
+	}
+	if err := dq.release(owner, nodes); err != nil {
+		t.Fatal(err)
+	}
+	got := dq.steal(thief, 0)
+	if len(got) != 4 {
+		t.Fatalf("stole %d, want half (4)", len(got))
+	}
+	for i := range got {
+		if got[i] != nodes[i] {
+			t.Fatal("steal must take from the head in order")
+		}
+	}
+	rest := dq.takeLocal(owner, 64)
+	if len(rest) != 4 {
+		t.Fatalf("owner left with %d", len(rest))
+	}
+}
+
+func TestRunSHMEMOMP(t *testing.T) {
+	res, err := RunSHMEMOMP(RunConfig{Tree: tinyTree, Ranks: 4, Threads: 2, Cost: testCost})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Nodes != CountSequential(tinyTree) {
+		t.Fatalf("nodes = %d", res.Nodes)
+	}
+}
+
+func TestRunSHMEMOMPTasks(t *testing.T) {
+	res, err := RunSHMEMOMPTasks(RunConfig{Tree: tinyTree, Ranks: 4, Threads: 2, Cost: testCost})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Nodes != CountSequential(tinyTree) {
+		t.Fatalf("nodes = %d", res.Nodes)
+	}
+}
+
+func TestRunHiPER(t *testing.T) {
+	res, err := RunHiPER(RunConfig{Tree: tinyTree, Ranks: 4, Threads: 2, Cost: testCost})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Nodes != CountSequential(tinyTree) {
+		t.Fatalf("nodes = %d", res.Nodes)
+	}
+}
+
+func TestSingleRankDegenerate(t *testing.T) {
+	for _, run := range []func(RunConfig) (Result, error){RunSHMEMOMP, RunSHMEMOMPTasks, RunHiPER} {
+		res, err := run(RunConfig{Tree: tinyTree, Ranks: 1, Threads: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Nodes != CountSequential(tinyTree) {
+			t.Fatalf("single-rank count = %d", res.Nodes)
+		}
+	}
+}
+
+func shmemWorld(n int) *shmem.World { return shmem.NewWorld(n, simnet.CostModel{}) }

@@ -1,0 +1,372 @@
+package uts
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/hipershmem"
+	"repro/internal/job"
+	"repro/internal/modules"
+	"repro/internal/omp"
+	"repro/internal/shmem"
+	"repro/internal/simnet"
+	"repro/internal/spin"
+)
+
+// RunConfig parameterizes a distributed UTS run (strong scaling: the tree
+// is fixed, ranks vary).
+type RunConfig struct {
+	Tree    TreeConfig
+	Ranks   int
+	Threads int // intra-rank parallelism
+	Cost    simnet.CostModel
+
+	BatchSize int // nodes processed per expansion round (default 256)
+	QueueCap  int // shared-queue capacity in nodes (default 1<<17)
+
+	// LocalMax bounds the private pool of the SHMEM+OMP and HiPER
+	// variants; surplus children beyond it are released to the shared
+	// queue for thieves (default 4*BatchSize).
+	LocalMax int
+
+	// TaskRegionBudget caps how many nodes one OpenMP-Tasks region may
+	// expand recursively before overflowing to the shared queue (default
+	// 2*BatchSize). The Tasks variant has no private pool: every surviving
+	// child crosses the shared queue, because communication can only
+	// happen between fully-drained task regions.
+	TaskRegionBudget int
+}
+
+func (c RunConfig) withDefaults() RunConfig {
+	if c.Threads <= 0 {
+		c.Threads = 1
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 256
+	}
+	if c.QueueCap <= 0 {
+		c.QueueCap = 1 << 17
+	}
+	if c.LocalMax <= 0 {
+		c.LocalMax = 4 * c.BatchSize
+	}
+	if c.TaskRegionBudget <= 0 {
+		c.TaskRegionBudget = 2 * c.BatchSize
+	}
+	return c
+}
+
+// Result reports one distributed run.
+type Result struct {
+	Variant string
+	Ranks   int
+	Nodes   int64
+	Elapsed time.Duration
+}
+
+// idleBackoff is how long a rank sleeps after a fruitless steal round.
+const idleBackoff = 30 * time.Microsecond
+
+// expandBatchOMP expands batch fork-join style on the team.
+func expandBatchOMP(cfg RunConfig, team *omp.Team, batch []node) []node {
+	buckets := make([][]node, cfg.Threads)
+	team.Parallel(func(tid int) {
+		var local []node
+		for i := tid; i < len(batch); i += cfg.Threads {
+			local = expand(cfg.Tree, batch[i], local)
+		}
+		buckets[tid] = local
+	})
+	var children []node
+	for _, b := range buckets {
+		children = append(children, b...)
+	}
+	return children
+}
+
+// popBatch removes up to n nodes from the tail of pool.
+func popBatch(pool *[]node, n int) []node {
+	p := *pool
+	if len(p) == 0 {
+		return nil
+	}
+	if n > len(p) {
+		n = len(p)
+	}
+	batch := make([]node, n)
+	copy(batch, p[len(p)-n:])
+	*pool = p[:len(p)-n]
+	return batch
+}
+
+// RunSHMEMOMP is the hand-coded OpenSHMEM+OpenMP variant: per rank, an
+// OpenMP team expands batches fork-join style from a private pool; the
+// master thread performs all SHMEM communication (releasing surplus work,
+// stealing, termination checks) between regions. This is the structure the
+// paper reports scaling similarly to HiPER until load-balancing contention
+// grows.
+func RunSHMEMOMP(cfg RunConfig) (Result, error) {
+	cfg = cfg.withDefaults()
+	world := shmem.NewWorld(cfg.Ranks, cfg.Cost)
+	dq := newDistQueue(world, cfg.Tree, cfg.QueueCap)
+	dq.seed()
+	errs := make([]error, cfg.Ranks)
+
+	start := time.Now()
+	job.RunFlat(cfg.Ranks, func(r int) {
+		pe := world.PE(r)
+		team := omp.NewTeam(cfg.Threads)
+		rng := uint64(r + 1)
+		var processed int64
+		var pool []node
+		for {
+			batch := popBatch(&pool, cfg.BatchSize)
+			if batch == nil {
+				batch = dq.takeLocal(pe, cfg.BatchSize)
+			}
+			if len(batch) == 0 {
+				if dq.done(pe) {
+					break
+				}
+				victim := victimSeq(r, cfg.Ranks, &rng)
+				batch = dq.steal(pe, victim)
+				if len(batch) == 0 {
+					spin.Sleep(idleBackoff)
+					continue
+				}
+			}
+			children := expandBatchOMP(cfg, team, batch)
+			// Keep work private up to LocalMax; surplus goes to the shared
+			// queue for thieves.
+			pool = append(pool, children...)
+			if len(pool) > cfg.LocalMax {
+				surplus := popBatch(&pool, len(pool)-cfg.LocalMax/2)
+				if err := dq.release(pe, surplus); err != nil {
+					errs[r] = err
+					return
+				}
+			}
+			processed += int64(len(batch))
+			dq.updateInflight(pe, int64(len(children))-int64(len(batch)))
+		}
+		dq.counted.Local(r)[0] = processed
+	})
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return Result{}, err
+		}
+	}
+	return finish("shmem+omp", cfg, dq, elapsed)
+}
+
+// RunSHMEMOMPTasks is the OpenSHMEM+OpenMP Tasks variant. Tasks expand
+// nodes recursively inside a region up to a budget, but because OpenMP
+// tasking has no integration with OpenSHMEM, the rank must wait for ALL
+// pending tasks — coarse-grain synchronization, with stragglers — before
+// it can release work, steal, or check termination; every surviving child
+// therefore crosses the shared queue between regions. This is the
+// structural weakness the paper measures.
+func RunSHMEMOMPTasks(cfg RunConfig) (Result, error) {
+	cfg = cfg.withDefaults()
+	world := shmem.NewWorld(cfg.Ranks, cfg.Cost)
+	dq := newDistQueue(world, cfg.Tree, cfg.QueueCap)
+	dq.seed()
+	errs := make([]error, cfg.Ranks)
+
+	start := time.Now()
+	job.RunFlat(cfg.Ranks, func(r int) {
+		pe := world.PE(r)
+		team := omp.NewTeam(cfg.Threads)
+		rng := uint64(r + 1)
+		var processed int64
+		for {
+			batch := dq.takeLocal(pe, cfg.BatchSize)
+			if len(batch) == 0 {
+				if dq.done(pe) {
+					break
+				}
+				victim := victimSeq(r, cfg.Ranks, &rng)
+				batch = dq.steal(pe, victim)
+				if len(batch) == 0 {
+					spin.Sleep(idleBackoff)
+					continue
+				}
+			}
+			var mu sync.Mutex
+			var overflow []node
+			var regionProcessed int64
+			budget := int64(cfg.TaskRegionBudget)
+			var regionCount int64
+			team.Tasks(func(tg *omp.TaskGroup) {
+				var walk func(tg *omp.TaskGroup, n node)
+				walk = func(tg *omp.TaskGroup, n node) {
+					children := expand(cfg.Tree, n, nil)
+					mu.Lock()
+					regionProcessed++
+					for _, ch := range children {
+						if regionCount < budget {
+							regionCount++
+							ch := ch
+							mu.Unlock()
+							tg.Spawn(func(tg *omp.TaskGroup) { walk(tg, ch) })
+							mu.Lock()
+						} else {
+							overflow = append(overflow, ch)
+						}
+					}
+					mu.Unlock()
+				}
+				for _, n := range batch {
+					n := n
+					tg.Spawn(func(tg *omp.TaskGroup) { walk(tg, n) })
+				}
+			})
+			// Region fully drained (the coarse sync): only now may the
+			// rank talk to SHMEM again.
+			if err := dq.release(pe, overflow); err != nil {
+				errs[r] = err
+				return
+			}
+			processed += regionProcessed
+			// Net in-flight delta: overflow pushed minus batch consumed;
+			// in-region children never touch the counter.
+			dq.updateInflight(pe, int64(len(overflow))-int64(len(batch)))
+		}
+		dq.counted.Local(r)[0] = processed
+	})
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return Result{}, err
+		}
+	}
+	return finish("shmem+omp-tasks", cfg, dq, elapsed)
+}
+
+// RunHiPER is the AsyncSHMEM variant: identical parallel structure to
+// RunSHMEMOMP (private pool, batch expansion, manual distributed load
+// balancing), but expansion runs as HiPER tasks on the persistent pool and
+// all SHMEM operations are taskified futures — so when a rank goes idle it
+// overlaps the termination check with the steal attempt instead of paying
+// two round trips back to back, and lock waits deschedule tasks instead of
+// blocking threads.
+func RunHiPER(cfg RunConfig) (Result, error) {
+	cfg = cfg.withDefaults()
+	world := shmem.NewWorld(cfg.Ranks, cfg.Cost)
+	dq := newDistQueue(world, cfg.Tree, cfg.QueueCap)
+	dq.seed()
+	mods := make([]*hipershmem.Module, cfg.Ranks)
+	errs := make([]error, cfg.Ranks)
+
+	start := time.Now()
+	err := job.Run(job.Spec{Ranks: cfg.Ranks, WorkersPerRank: cfg.Threads,
+		OnStart: func() { start = time.Now() }},
+		func(p *job.Proc) error {
+			mods[p.Rank] = hipershmem.New(world.PE(p.Rank), nil)
+			return modules.Install(p.RT, mods[p.Rank])
+		},
+		func(p *job.Proc, c *core.Ctx) {
+			r := p.Rank
+			m := mods[r]
+			pe := m.PE()
+			rng := uint64(r + 1)
+			var processed int64
+			var pool []node
+			for {
+				batch := popBatch(&pool, cfg.BatchSize)
+				if batch == nil {
+					batch = dq.takeLocal(pe, cfg.BatchSize)
+				}
+				if len(batch) == 0 {
+					// Idle: overlap the global termination check with a
+					// steal attempt — both are futures.
+					doneF := m.GetFuture(c, dq.inflight, 0, 0, 1)
+					victim := victimSeq(r, cfg.Ranks, &rng)
+					stolenF := c.AsyncFuture(func(cc *core.Ctx) any {
+						return stealHiPER(cc, m, dq, victim)
+					})
+					inflight := c.Get(doneF).([]int64)[0]
+					stolen := c.Get(stolenF).([]node)
+					if len(stolen) > 0 {
+						pool = append(pool, stolen...)
+						continue
+					}
+					if inflight == 0 {
+						break
+					}
+					spin.Sleep(idleBackoff)
+					continue
+				}
+				// Persistent-pool parallel expansion: chunked forasync, no
+				// fork-join thread churn.
+				buckets := make([][]node, cfg.Threads)
+				c.ForasyncSync(core.Range{Lo: 0, Hi: cfg.Threads, Grain: 1}, func(_ *core.Ctx, tid int) {
+					var local []node
+					for i := tid; i < len(batch); i += cfg.Threads {
+						local = expand(cfg.Tree, batch[i], local)
+					}
+					buckets[tid] = local
+				})
+				var children []node
+				for _, b := range buckets {
+					children = append(children, b...)
+				}
+				pool = append(pool, children...)
+				if len(pool) > cfg.LocalMax {
+					surplus := popBatch(&pool, len(pool)-cfg.LocalMax/2)
+					if err := dq.release(pe, surplus); err != nil {
+						errs[r] = err
+						return
+					}
+				}
+				processed += int64(len(batch))
+				dq.updateInflight(pe, int64(len(children))-int64(len(batch)))
+			}
+			dq.counted.Local(r)[0] = processed
+		})
+	elapsed := time.Since(start)
+	if err != nil {
+		return Result{}, err
+	}
+	for _, e := range errs {
+		if e != nil {
+			return Result{}, e
+		}
+	}
+	return finish("hiper-asyncshmem", cfg, dq, elapsed)
+}
+
+// stealHiPER mirrors distQueue.steal with taskified SHMEM calls: the lock
+// wait and remote gets deschedule the calling task.
+func stealHiPER(c *core.Ctx, m *hipershmem.Module, dq *distQueue, victim int) []node {
+	m.SetLock(c, dq.locks[victim])
+	defer m.ClearLock(c, dq.locks[victim])
+	meta := m.Get(c, dq.meta, victim, 0, 2)
+	head, tail := int(meta[metaHead]), int(meta[metaTail])
+	avail := tail - head
+	if avail <= 0 {
+		return []node(nil)
+	}
+	take := (avail + 1) / 2
+	raw := m.GetBytes(c, dq.queues, victim, head*nodeBytes, take*nodeBytes)
+	out := make([]node, take)
+	for i := range out {
+		out[i] = decodeNode(raw[i*nodeBytes:])
+	}
+	m.Put(c, dq.meta, victim, metaHead, []int64{int64(head + take)})
+	m.Quiet(c)
+	return out
+}
+
+// finish validates the distributed count against the sequential oracle.
+func finish(variant string, cfg RunConfig, dq *distQueue, elapsed time.Duration) (Result, error) {
+	nodes := dq.totalCounted()
+	want := CountSequential(cfg.Tree)
+	if nodes != want {
+		return Result{}, fmt.Errorf("uts: %s counted %d nodes, sequential oracle says %d", variant, nodes, want)
+	}
+	return Result{Variant: variant, Ranks: cfg.Ranks, Nodes: nodes, Elapsed: elapsed}, nil
+}
