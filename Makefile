@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: check race bench-smoke bench-sched
+
+## check: the tier-1 gate — vet, build, and run the full test suite.
+check:
+	$(GO) vet ./...
+	$(GO) build ./...
+	$(GO) test ./...
+
+## race: race-detector pass over the concurrency-heavy packages, including
+## the deque StealBatch stress and the worker-substitution retire stress.
+race:
+	$(GO) test -race ./internal/deque/ ./internal/core/ ./internal/simnet/
+
+## bench-smoke: quick-scale scheduler microbenchmarks; exercises the whole
+## hiper-bench -sched path without overwriting the committed report.
+bench-smoke:
+	$(GO) run ./cmd/hiper-bench -sched -schedout /tmp/BENCH_scheduler.smoke.json
+
+## bench-sched: regenerate the committed BENCH_scheduler.json (full scale,
+## 16 workers — the configuration recorded in EXPERIMENTS.md).
+bench-sched:
+	$(GO) run ./cmd/hiper-bench -sched -full -workers 16 -schedout BENCH_scheduler.json

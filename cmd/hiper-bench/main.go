@@ -1,9 +1,12 @@
 // Command hiper-bench regenerates every table and figure of the paper's
-// evaluation section in one run: Figures 4-7 and the Graph500 study.
+// evaluation section in one run: Figures 4-7 and the Graph500 study. It can
+// also run the scheduler hot-path microbenchmarks and emit them as
+// machine-readable JSON for cross-PR perf tracking.
 //
 // Usage:
 //
 //	hiper-bench [-full] [-only fig4|fig5|fig6|fig7|graph500]
+//	hiper-bench -sched [-full] [-workers N] [-schedout BENCH_scheduler.json]
 package main
 
 import (
@@ -22,11 +25,23 @@ func main() {
 	full := flag.Bool("full", false, "run the full-size sweeps (slower)")
 	only := flag.String("only", "", "run a single experiment: fig4|fig5|fig6|fig7|graph500")
 	showStats := flag.Bool("stats", false, "print per-module API time statistics afterwards")
+	sched := flag.Bool("sched", false, "run the scheduler hot-path microbenchmarks instead of the paper figures")
+	schedOut := flag.String("schedout", "BENCH_scheduler.json", "path for the scheduler benchmark JSON report")
+	workers := flag.Int("workers", 0, "worker count for -sched (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	scale := bench.Quick
 	if *full {
 		scale = bench.Full
+	}
+	if *sched {
+		rep := bench.SchedulerSuite(*workers, scale)
+		fmt.Print(rep.Render())
+		if err := rep.WriteJSON(*schedOut); err != nil {
+			log.Fatalf("writing %s: %v", *schedOut, err)
+		}
+		fmt.Printf("wrote %s\n", *schedOut)
+		return
 	}
 	type exp struct {
 		name     string

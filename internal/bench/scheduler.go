@@ -1,0 +1,219 @@
+// Scheduler hot-path microbenchmarks.
+//
+// These measure the constant factors the paper's runtime chapter optimizes —
+// task spawn cost, steal-path throughput, and idle-worker wake-up latency —
+// independent of any particular workload. cmd/hiper-bench emits them as
+// machine-readable JSON (BENCH_scheduler.json) so every PR that touches
+// internal/core or internal/deque has a perf trajectory to compare against.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+)
+
+// SchedResult is one microbenchmark measurement.
+type SchedResult struct {
+	Name      string  `json:"name"`
+	Workers   int     `json:"workers"`
+	Ops       int     `json:"ops_per_run"`
+	NsPerOp   float64 `json:"ns_per_op"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+	CI95NsOp  float64 `json:"ci95_ns_per_op"`
+	AllocsOp  float64 `json:"allocs_per_op"`
+}
+
+// SchedReport is the machine-readable scheduler benchmark report.
+type SchedReport struct {
+	GoMaxProcs int           `json:"gomaxprocs"`
+	Repeats    int           `json:"repeats"`
+	Results    []SchedResult `json:"benchmarks"`
+}
+
+// schedBench describes one microbenchmark: run executes ops operations on
+// runtime r and reports only the time spent in the measured region.
+type schedBench struct {
+	name string
+	ops  int
+	run  func(r *core.Runtime, ops int) time.Duration
+}
+
+// allocsDuring returns heap allocations performed while fn runs. It is
+// approximate under concurrency (other goroutines' allocations count too),
+// which is fine for trajectory tracking.
+func allocsDuring(fn func()) uint64 {
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	fn()
+	runtime.ReadMemStats(&after)
+	return after.Mallocs - before.Mallocs
+}
+
+// spawnLatency measures the per-task cost of the steady-state
+// spawn→run→retire cycle: repeated Finish{ 64 × Async(noop) } batches, the
+// shape of a fine-grained taskified library call. Small batches keep the
+// system in steady state (tasks retire between spawns) rather than
+// measuring one giant burst allocation.
+func spawnLatency(r *core.Runtime, ops int) time.Duration {
+	const batch = 64
+	var elapsed time.Duration
+	r.Launch(func(c *core.Ctx) {
+		t0 := time.Now()
+		for done := 0; done < ops; done += batch {
+			c.Finish(func(c *core.Ctx) {
+				for i := 0; i < batch; i++ {
+					c.Async(func(*core.Ctx) {})
+				}
+			})
+		}
+		elapsed = time.Since(t0)
+	})
+	return elapsed
+}
+
+// stealThroughput measures fine-grained load-balancing throughput: every
+// task originates in the root worker's deque column, so all other workers
+// obtain work exclusively through the steal path.
+func stealThroughput(r *core.Runtime, ops int) time.Duration {
+	var elapsed time.Duration
+	r.Launch(func(c *core.Ctx) {
+		t0 := time.Now()
+		c.Finish(func(c *core.Ctx) {
+			for i := 0; i < ops; i++ {
+				c.Async(func(*core.Ctx) {
+					// ~100ns of work so thieves contend on the deque, not
+					// on a single cache line of the loop counter.
+					x := 1
+					for k := 0; k < 32; k++ {
+						x = x*2654435761 + k
+					}
+					_ = x
+				})
+			}
+		})
+		elapsed = time.Since(t0)
+	})
+	return elapsed
+}
+
+// wakeRoundtrip measures idle-worker wake-up latency: the pool is quiescent
+// (all workers parked) when an external goroutine injects one task; the
+// measured region is inject → task runs → promise satisfied → waiter woken.
+func wakeRoundtrip(r *core.Runtime, ops int) time.Duration {
+	r.Start()
+	place := r.Model().Place(0)
+	// Let the pool park before the first measured round trip.
+	time.Sleep(time.Millisecond)
+	var elapsed time.Duration
+	for i := 0; i < ops; i++ {
+		p := core.NewPromise(r)
+		t0 := time.Now()
+		r.SpawnDetachedAt(place, func(c *core.Ctx) { c.Put(p, nil) })
+		p.Future().Wait()
+		elapsed += time.Since(t0)
+	}
+	return elapsed
+}
+
+// fanOutWake measures wake-up latency under fan-out: from a quiescent pool,
+// one burst of workers×8 tasks is released and the measured region ends when
+// every task has completed. This is the thundering-herd case: with a
+// broadcast wake policy every parked worker wakes for every enqueue.
+func fanOutWake(r *core.Runtime, ops int) time.Duration {
+	r.Start()
+	nw := r.NumWorkers()
+	var elapsed time.Duration
+	for i := 0; i < ops; i++ {
+		time.Sleep(200 * time.Microsecond) // let the pool park again
+		r.Launch(func(c *core.Ctx) {
+			t0 := time.Now()
+			c.ForasyncSync(core.Range{Lo: 0, Hi: nw * 8, Grain: 1}, func(*core.Ctx, int) {
+				x := 1
+				for k := 0; k < 64; k++ {
+					x = x*2654435761 + k
+				}
+				_ = x
+			})
+			elapsed += time.Since(t0)
+		})
+	}
+	return elapsed
+}
+
+// SchedulerSuite runs the scheduler microbenchmarks on a fresh runtime per
+// benchmark and returns the report. quick shrinks op counts for smoke runs.
+func SchedulerSuite(workers int, scale Scale) *SchedReport {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	// Benchmark a W-worker pool on W scheduling contexts: wake-up and steal
+	// behavior is unobservable if every worker shares one OS thread.
+	if prev := runtime.GOMAXPROCS(0); workers > prev {
+		runtime.GOMAXPROCS(workers)
+		defer runtime.GOMAXPROCS(prev)
+	}
+	repeats := 10
+	mul := 1
+	if scale == Quick {
+		repeats = 5
+	} else {
+		mul = 4
+	}
+	benches := []schedBench{
+		{"spawn-latency", 50000 * mul, spawnLatency},
+		{"steal-throughput", 50000 * mul, stealThroughput},
+		{"wake-roundtrip", 300 * mul, wakeRoundtrip},
+		{"fanout-wake", 50 * mul, fanOutWake},
+	}
+	rep := &SchedReport{GoMaxProcs: runtime.GOMAXPROCS(0), Repeats: repeats}
+	for _, b := range benches {
+		rt := core.NewDefault(workers)
+		var allocs uint64
+		sample := Measure(2, repeats, func() time.Duration {
+			var d time.Duration
+			allocs = allocsDuring(func() { d = b.run(rt, b.ops) })
+			return d / time.Duration(b.ops)
+		})
+		rt.Shutdown()
+		ns := float64(sample.Mean)
+		res := SchedResult{
+			Name:     b.name,
+			Workers:  workers,
+			Ops:      b.ops,
+			NsPerOp:  ns,
+			CI95NsOp: float64(sample.CI95),
+			AllocsOp: float64(allocs) / float64(b.ops), // last repeat's allocations
+		}
+		if ns > 0 {
+			res.OpsPerSec = 1e9 / ns
+		}
+		rep.Results = append(rep.Results, res)
+	}
+	return rep
+}
+
+// WriteJSON writes the report to path.
+func (r *SchedReport) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Render prints the report as an aligned table.
+func (r *SchedReport) Render() string {
+	out := fmt.Sprintf("== Scheduler hot-path microbenchmarks (workers=%d, repeats=%d) ==\n",
+		r.GoMaxProcs, r.Repeats)
+	out += fmt.Sprintf("%-18s %14s %14s %14s %12s\n", "benchmark", "ns/op", "±ci95", "ops/sec", "allocs/op")
+	for _, b := range r.Results {
+		out += fmt.Sprintf("%-18s %14.1f %14.1f %14.0f %12.2f\n",
+			b.Name, b.NsPerOp, b.CI95NsOp, b.OpsPerSec, b.AllocsOp)
+	}
+	return out
+}

@@ -1,0 +1,65 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// TestSchedulerBenchesSmoke runs every scheduler microbenchmark at toy sizes
+// so `make check` catches bit-rot in the measured regions without paying for
+// a real measurement run.
+func TestSchedulerBenchesSmoke(t *testing.T) {
+	cases := []struct {
+		name string
+		ops  int
+		run  func(*core.Runtime, int) time.Duration
+	}{
+		{"spawn-latency", 256, spawnLatency},
+		{"steal-throughput", 256, stealThroughput},
+		{"wake-roundtrip", 8, wakeRoundtrip},
+		{"fanout-wake", 2, fanOutWake},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := core.NewDefault(2)
+			defer r.Shutdown()
+			if d := tc.run(r, tc.ops); d < 0 {
+				t.Fatalf("negative duration %v", d)
+			}
+		})
+	}
+}
+
+func TestSchedReportJSONRoundTrip(t *testing.T) {
+	rep := &SchedReport{
+		GoMaxProcs: 2,
+		Repeats:    1,
+		Results: []SchedResult{{
+			Name: "spawn-latency", Workers: 2, Ops: 10,
+			NsPerOp: 123.4, OpsPerSec: 8103727.7, CI95NsOp: 5.6, AllocsOp: 1.0,
+		}},
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_scheduler.json")
+	if err := rep.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got SchedReport
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if len(got.Results) != 1 || got.Results[0].Name != "spawn-latency" {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	if rendered := rep.Render(); rendered == "" {
+		t.Fatal("empty render")
+	}
+}

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// injChunk is the number of task slots per injector ring chunk.
+const injChunk = 64
+
+// injNode is one fixed-size chunk of the injector's linked ring.
+type injNode struct {
+	next  *injNode
+	tasks [injChunk]*Task
+}
+
+// injector is a mutex-guarded MPSC queue per place for tasks released by
+// code running outside any worker (external goroutines, Promise.Put from
+// simulated hardware completion goroutines, ...). Workers check injectors
+// on their steal paths. The atomic count keeps the empty check lock-free.
+//
+// Storage is a chunked ring: a linked list of fixed-size arrays consumed
+// head-first. Unlike the earlier q = q[1:] slice-shift queue, taking a task
+// nils its slot immediately — a popped *Task (and the closure it carries) is
+// never pinned by the backing array — and neither push nor take ever shifts
+// or reallocates existing elements. One drained chunk is cached for reuse so
+// a steady produce/consume cycle allocates nothing.
+type injector struct {
+	n    atomic.Int64
+	mu   sync.Mutex
+	head *injNode // consume side: tasks[hoff] is the next task out
+	tail *injNode // produce side: tasks[toff] is the next free slot
+	hoff int
+	toff int
+	free *injNode // single drained chunk kept for reuse
+}
+
+func (in *injector) push(t *Task) {
+	in.mu.Lock()
+	if in.tail == nil {
+		nd := in.newNodeLocked()
+		in.head, in.tail = nd, nd
+		in.hoff, in.toff = 0, 0
+	} else if in.toff == injChunk {
+		nd := in.newNodeLocked()
+		in.tail.next = nd
+		in.tail = nd
+		in.toff = 0
+	}
+	in.tail.tasks[in.toff] = t
+	in.toff++
+	in.mu.Unlock()
+	in.n.Add(1)
+}
+
+func (in *injector) take() *Task {
+	if in.n.Load() == 0 {
+		return nil
+	}
+	in.mu.Lock()
+	if in.head == nil || (in.head == in.tail && in.hoff == in.toff) {
+		in.mu.Unlock()
+		return nil
+	}
+	t := in.head.tasks[in.hoff]
+	in.head.tasks[in.hoff] = nil // release the reference: nothing pins popped tasks
+	in.hoff++
+	if in.hoff == injChunk {
+		nd := in.head
+		in.head = nd.next
+		in.hoff = 0
+		if in.head == nil {
+			in.tail = nil
+			in.toff = 0
+		}
+		nd.next = nil
+		in.free = nd // slots already nil'd one by one above
+	}
+	in.mu.Unlock()
+	in.n.Add(-1)
+	return t
+}
+
+func (in *injector) newNodeLocked() *injNode {
+	if nd := in.free; nd != nil {
+		in.free = nil
+		return nd
+	}
+	return &injNode{}
+}

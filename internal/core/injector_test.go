@@ -1,0 +1,83 @@
+package core
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestInjectorFIFOAcrossChunks(t *testing.T) {
+	var in injector
+	const total = 3*injChunk + 7 // spans chunk boundaries
+	tasks := make([]*Task, total)
+	for i := range tasks {
+		tasks[i] = &Task{}
+		in.push(tasks[i])
+	}
+	if got := in.n.Load(); got != total {
+		t.Fatalf("count = %d, want %d", got, total)
+	}
+	for i := 0; i < total; i++ {
+		if got := in.take(); got != tasks[i] {
+			t.Fatalf("take %d: wrong task (FIFO order violated)", i)
+		}
+	}
+	if in.take() != nil {
+		t.Fatal("take on empty injector should return nil")
+	}
+}
+
+// TestInjectorSteadyStateAllocs checks the chunk-recycling path: a steady
+// produce/consume cycle reuses the one cached drained chunk instead of
+// allocating a new chunk per injChunk pushes.
+func TestInjectorSteadyStateAllocs(t *testing.T) {
+	var in injector
+	tk := &Task{}
+	// Prime: allocate the initial chunk and reach steady state.
+	for i := 0; i < 2*injChunk; i++ {
+		in.push(tk)
+		in.take()
+	}
+	avg := testing.AllocsPerRun(4*injChunk, func() {
+		in.push(tk)
+		in.take()
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state push/take allocates %.2f objects/op, want 0", avg)
+	}
+}
+
+// TestInjectorReleasesTakenTasks is the regression test for the injector
+// memory-retention bug: the old slice-shift queue (q = q[1:]) kept every
+// popped *Task — and the closure it carries — reachable through the backing
+// array until the whole slice was reallocated. The chunked ring must nil a
+// task's slot the moment it is taken, so a popped task becomes collectible
+// as soon as the runtime is done with it.
+func TestInjectorReleasesTakenTasks(t *testing.T) {
+	in := &injector{}
+	const total = 2 * injChunk // cover both in-use and recycled chunks
+	var finalized atomic.Int64
+	for i := 0; i < total; i++ {
+		tk := &Task{fn: func(*Ctx) {}}
+		runtime.SetFinalizer(tk, func(*Task) { finalized.Add(1) })
+		in.push(tk)
+	}
+	for i := 0; i < total; i++ {
+		if in.take() == nil {
+			t.Fatalf("take %d returned nil", i)
+		}
+	}
+	// All taken tasks are now unreferenced — unless the injector's storage
+	// still pins them.
+	deadline := time.Now().Add(5 * time.Second)
+	for finalized.Load() < total {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d of %d taken tasks were collected; injector storage still pins popped tasks",
+				finalized.Load(), total)
+		}
+		runtime.GC()
+		time.Sleep(time.Millisecond)
+	}
+	runtime.KeepAlive(in)
+}

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRetireStress hammers the worker-substitution retire path: every
+// iteration parks a worker on an unsatisfied future (forcing a substitute
+// runner to spawn), then satisfies the future only after the substitution is
+// observed, so the resume→retireGroup→wakeAll→releaseID cycle runs on every
+// single iteration. After 100 rounds the identity pool must have refilled
+// (no leaked runner keeps holding a substitution ID) and Shutdown's
+// runners.Wait must complete — a leaked runner would hang it.
+func TestRetireStress(t *testing.T) {
+	const iterations = 100
+	r := NewDefault(2)
+	r.Start()
+
+	for i := 0; i < iterations; i++ {
+		p := NewPromise(r)
+		before := r.Stats().Substitutions
+		go func() {
+			// Satisfy the future only once the blocked worker has handed its
+			// slot to a substitute, so each iteration exercises retirement.
+			deadline := time.Now().Add(5 * time.Second)
+			for r.Stats().Substitutions == before {
+				if time.Now().After(deadline) {
+					t.Error("no substitution observed within 5s")
+					break
+				}
+				time.Sleep(10 * time.Microsecond)
+			}
+			p.Put(nil)
+		}()
+		r.Launch(func(c *Ctx) {
+			c.Finish(func(c *Ctx) {
+				c.Async(func(c *Ctx) { c.Wait(p.Future()) })
+			})
+		})
+	}
+
+	st := r.Stats()
+	if st.Substitutions < iterations {
+		t.Errorf("substitutions = %d, want >= %d", st.Substitutions, iterations)
+	}
+	if st.MaxWorkerIDs <= r.nWorkers {
+		t.Errorf("MaxWorkerIDs = %d, want > %d (no substitute identity ever activated)",
+			st.MaxWorkerIDs, r.nWorkers)
+	}
+
+	// Every retire request must eventually be consumed by a surplus runner
+	// releasing its identity. A group's single surviving runner may be a
+	// substitute (a permanent worker may have consumed the retire request
+	// instead), so up to nWorkers substitution IDs may legitimately remain
+	// outstanding — but a retire-path leak across 100 iterations would leave
+	// far more unreturned.
+	minFree := r.maxIDs - 2*r.nWorkers
+	deadline := time.Now().Add(5 * time.Second)
+	for len(r.freeIDs) < minFree {
+		if time.Now().After(deadline) {
+			t.Fatalf("freeIDs = %d after quiescence, want >= %d (substitution IDs leaked)",
+				len(r.freeIDs), minFree)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	done := make(chan struct{})
+	go func() {
+		r.Shutdown() // runs runners.Wait: hangs if any runner leaked
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Shutdown did not complete: leaked runner goroutine")
+	}
+}

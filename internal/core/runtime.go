@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/deque"
 	"repro/internal/platform"
@@ -37,37 +38,13 @@ func (o *Options) withDefaults() Options {
 	return out
 }
 
-// injector is a mutex-guarded MPSC queue per place for tasks released by
-// code running outside any worker (external goroutines, Promise.Put from
-// simulated hardware completion goroutines, ...). Workers check injectors
-// on their steal paths. The atomic count keeps the empty check lock-free.
-type injector struct {
-	n  atomic.Int64
-	mu sync.Mutex
-	q  []*Task
-}
-
-func (in *injector) push(t *Task) {
-	in.mu.Lock()
-	in.q = append(in.q, t)
-	in.mu.Unlock()
-	in.n.Add(1)
-}
-
-func (in *injector) take() *Task {
-	if in.n.Load() == 0 {
-		return nil
-	}
-	in.mu.Lock()
-	defer in.mu.Unlock()
-	if len(in.q) == 0 {
-		return nil
-	}
-	t := in.q[0]
-	in.q = in.q[1:]
-	in.n.Add(-1)
-	return t
-}
+const (
+	// taskPoolCap bounds each worker's Task free-list; beyond it, retired
+	// tasks are left for the garbage collector.
+	taskPoolCap = 256
+	// stealBatchMax caps how many tasks one StealBatch visit migrates.
+	stealBatchMax = 16
+)
 
 // worker is a worker identity: the owner of one deque column across all
 // places. Identities 0..N-1 are the configured workers; higher identities
@@ -80,11 +57,32 @@ type worker struct {
 	steal []*platform.Place
 	rng   uint64
 
+	// covers[placeID] reports whether the place is on this worker's pop or
+	// steal path; popCover restricts to the pop path. Targeted wake-ups
+	// consult covers, steal batching consults popCover. Shared per path
+	// group (substitutes inherit the blocked worker's slices).
+	covers   []bool
+	popCover []bool
+
+	// park is the worker's private parking slot: a one-token channel a
+	// waker signals to unpark exactly this worker.
+	park chan struct{}
+
+	// taskPool is a free-list of retired Task structs, pushed by execute
+	// and popped by spawn. Single-goroutine access only (the worker that
+	// owns this identity), so steady-state spawn→run→retire cycles
+	// allocate zero tasks with zero synchronization.
+	taskPool []*Task
+
+	// stealBuf is scratch space for StealBatch visits.
+	stealBuf [stealBatchMax]*Task
+
 	// statistics (atomics so Stats can read them live)
-	tasks  atomic.Uint64
-	pops   atomic.Uint64
-	steals atomic.Uint64
-	parks  atomic.Uint64
+	tasks   atomic.Uint64
+	pops    atomic.Uint64
+	steals  atomic.Uint64
+	parks   atomic.Uint64
+	batched atomic.Uint64
 }
 
 // Runtime is the generalized work-stealing runtime: a persistent pool of
@@ -106,9 +104,12 @@ type Runtime struct {
 	freeIDs chan int  // identities available for substitution workers
 	maxUsed atomic.Int64
 
-	parkMu   sync.Mutex
-	parkCond *sync.Cond
-	parked   atomic.Int64
+	// idle is a stack of parked workers. Enqueues wake at most one idle
+	// worker covering the task's place (targeted wake-up); the broadcast
+	// path (wakeAll) is reserved for shutdown and retire requests.
+	idleMu    sync.Mutex
+	idle      []*worker
+	idleCount atomic.Int64
 
 	// retireGroup[g] counts surplus runners that should retire from path
 	// group g. Retirement is group-aware: when a blocked worker resumes,
@@ -166,16 +167,41 @@ func New(model *platform.Model, opts *Options) (*Runtime, error) {
 		}
 		return out
 	}
+	// One coverage pair per path group, shared by every identity (and
+	// substitute) running that group's paths.
+	groupPop := make([][]*platform.Place, n)
+	groupSteal := make([][]*platform.Place, n)
+	groupCovers := make([][]bool, n)
+	groupPopCover := make([][]bool, n)
+	for g := 0; g < n; g++ {
+		spec := model.Workers()[g]
+		groupPop[g] = resolve(spec.Pop)
+		groupSteal[g] = resolve(spec.Steal)
+		cov := make([]bool, np)
+		pc := make([]bool, np)
+		for _, p := range groupPop[g] {
+			cov[p.ID] = true
+			pc[p.ID] = true
+		}
+		for _, p := range groupSteal[g] {
+			cov[p.ID] = true
+		}
+		groupCovers[g] = cov
+		groupPopCover[g] = pc
+	}
 	r.workers = make([]*worker, r.maxIDs)
 	for id := 0; id < r.maxIDs; id++ {
-		spec := model.Workers()[id%n]
+		g := id % n
 		r.workers[id] = &worker{
-			id:    id,
-			rt:    r,
-			group: id % n,
-			pop:   resolve(spec.Pop),
-			steal: resolve(spec.Steal),
-			rng:   uint64(id)*0x9E3779B97F4A7C15 + 0x1234567,
+			id:       id,
+			rt:       r,
+			group:    g,
+			pop:      groupPop[g],
+			steal:    groupSteal[g],
+			covers:   groupCovers[g],
+			popCover: groupPopCover[g],
+			park:     make(chan struct{}, 1),
+			rng:      uint64(id)*0x9E3779B97F4A7C15 + 0x1234567,
 		}
 	}
 	r.retireGroup = make([]atomic.Int64, n)
@@ -184,7 +210,6 @@ func New(model *platform.Model, opts *Options) (*Runtime, error) {
 		r.freeIDs <- id
 	}
 	r.maxUsed.Store(int64(n))
-	r.parkCond = sync.NewCond(&r.parkMu)
 	return r, nil
 }
 
@@ -233,9 +258,7 @@ func (r *Runtime) Shutdown() {
 	for i := len(fins) - 1; i >= 0; i-- {
 		fins[i]()
 	}
-	r.parkMu.Lock()
-	r.parkCond.Broadcast()
-	r.parkMu.Unlock()
+	r.wakeAll()
 	r.runners.Wait()
 }
 
@@ -273,6 +296,36 @@ func (r *Runtime) defaultPlace() *platform.Place {
 	return r.workers[0].pop[0]
 }
 
+// newTask obtains a Task struct, recycling from w's free-list when possible.
+// Only the goroutine owning identity w may call this (the pool is
+// unsynchronized by design).
+func (r *Runtime) newTask(w *worker, fn func(*Ctx), p *platform.Place, fs *finishScope) *Task {
+	var t *Task
+	if w != nil {
+		if n := len(w.taskPool); n > 0 {
+			t = w.taskPool[n-1]
+			w.taskPool[n-1] = nil
+			w.taskPool = w.taskPool[:n-1]
+		}
+	}
+	if t == nil {
+		t = &Task{}
+	}
+	t.fn, t.place, t.finish = fn, p, fs
+	return t
+}
+
+// freeTask returns a retired Task to w's free-list. The caller must
+// guarantee no live references remain (see execute for why that holds).
+func (w *worker) freeTask(t *Task) {
+	if len(w.taskPool) >= taskPoolCap {
+		return
+	}
+	t.fn, t.place, t.finish = nil, nil, nil
+	t.deps.set(0)
+	w.taskPool = append(w.taskPool, t)
+}
+
 // spawn creates an eligible task at place p registered with finish scope
 // fs, pushed through worker w's own deque column (or the place's injector
 // when w is nil).
@@ -281,8 +334,7 @@ func (r *Runtime) spawn(w *worker, p *platform.Place, fs *finishScope, fn func(*
 	if fs != nil {
 		fs.inc()
 	}
-	t := &Task{fn: fn, place: p, finish: fs}
-	r.enqueue(w, t)
+	r.enqueue(w, r.newTask(w, fn, p, fs))
 }
 
 // spawnAwait creates a task predicated on the given futures.
@@ -291,7 +343,7 @@ func (r *Runtime) spawnAwait(w *worker, p *platform.Place, fs *finishScope, fn f
 	if fs != nil {
 		fs.inc()
 	}
-	t := &Task{fn: fn, place: p, finish: fs}
+	t := r.newTask(w, fn, p, fs)
 	if len(futures) == 0 {
 		r.enqueue(w, t)
 		return
@@ -322,7 +374,8 @@ func (r *Runtime) checkCovered(p *platform.Place) {
 	}
 }
 
-// enqueue makes t visible to the scheduler.
+// enqueue makes t visible to the scheduler and wakes at most one parked
+// worker able to service it.
 func (r *Runtime) enqueue(w *worker, t *Task) {
 	pid := t.place.ID
 	r.pendingPerPlace[pid].Add(1)
@@ -331,30 +384,117 @@ func (r *Runtime) enqueue(w *worker, t *Task) {
 	} else {
 		r.inject[pid].push(t)
 	}
-	r.wake()
+	r.wake(pid)
 }
 
-// wake unparks workers so they rescan their paths.
-func (r *Runtime) wake() {
-	if r.parked.Load() > 0 {
-		r.parkMu.Lock()
-		r.parkCond.Broadcast()
-		r.parkMu.Unlock()
+// wake unparks at most one idle worker whose paths cover place pid. Unlike
+// a broadcast, an enqueue never causes a thundering herd of wake-ups: the
+// woken worker that finds the task keeps running, and every other worker
+// stays parked. Lost-wakeup safety comes from park's publish-then-recheck
+// protocol: a parking worker registers itself in the idle list before
+// re-checking its places' pending counters, so an enqueue either sees the
+// worker in the list (and wakes it) or the worker's recheck sees the
+// pending count (and it does not sleep).
+func (r *Runtime) wake(pid int) {
+	if r.idleCount.Load() == 0 {
+		return
+	}
+	var w *worker
+	r.idleMu.Lock()
+	for i := len(r.idle) - 1; i >= 0; i-- {
+		if r.idle[i].covers[pid] {
+			w = r.idle[i]
+			r.idle = append(r.idle[:i], r.idle[i+1:]...)
+			r.idleCount.Add(-1)
+			break
+		}
+	}
+	r.idleMu.Unlock()
+	if w != nil {
+		select {
+		case w.park <- struct{}{}:
+		default:
+		}
 	}
 }
 
-// execute runs t on worker w, then settles its finish scope.
+// wakeAll unparks every idle worker. Reserved for events a targeted wake
+// cannot express: shutdown and retire requests, which park does not observe
+// via pending counters.
+func (r *Runtime) wakeAll() {
+	r.idleMu.Lock()
+	ws := r.idle
+	r.idle = nil
+	r.idleCount.Store(0)
+	r.idleMu.Unlock()
+	for _, w := range ws {
+		select {
+		case w.park <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// park blocks w on its private parking slot until a waker signals it. The
+// publish-then-recheck ordering makes the wait safe against concurrent
+// enqueues (see wake).
+func (r *Runtime) park(w *worker) {
+	w.parks.Add(1)
+	r.idleMu.Lock()
+	r.idle = append(r.idle, w)
+	r.idleCount.Add(1)
+	r.idleMu.Unlock()
+	if r.stopped.Load() || r.retireGroup[w.group].Load() > 0 || w.anyPending() {
+		r.unpark(w)
+		return
+	}
+	<-w.park
+}
+
+// unpark removes w from the idle list if still present. If absent, a waker
+// has already claimed w and sent (or is about to send) a token into w.park;
+// drain it opportunistically so it does not spuriously cut short the next
+// park. A token that arrives after the drain attempt is harmless: the next
+// park consumes it, rescans, and parks again.
+func (r *Runtime) unpark(w *worker) {
+	r.idleMu.Lock()
+	for i, x := range r.idle {
+		if x == w {
+			r.idle = append(r.idle[:i], r.idle[i+1:]...)
+			r.idleCount.Add(-1)
+			r.idleMu.Unlock()
+			return
+		}
+	}
+	r.idleMu.Unlock()
+	select {
+	case <-w.park:
+	default:
+	}
+}
+
+// execute runs t on worker w, then settles its finish scope. The Task
+// struct is recycled into w's free-list *before* the body runs: every field
+// is captured first, and by eligibility time no other component holds a
+// reference (deque slots below top are never re-read once top has passed
+// them, and promise waiter lists drop the task when its dependency count
+// drains — which necessarily happened before enqueue).
 func (r *Runtime) execute(w *worker, t *Task) {
 	w.tasks.Add(1)
-	c := Ctx{rt: r, w: w, place: t.place, fin: t.finish}
-	t.fn(&c)
-	if t.finish != nil {
-		t.finish.dec(&c)
+	fn, place, fin := t.fn, t.place, t.finish
+	w.freeTask(t)
+	c := Ctx{rt: r, w: w, place: place, fin: fin}
+	fn(&c)
+	if fin != nil {
+		fin.dec(&c)
 	}
 }
 
 // findWork performs one full scan: pop path first (own work, LIFO), then
-// steal path (others' work and injected work, FIFO).
+// steal path (others' work and injected work, FIFO). Steals from victims at
+// places on w's own pop path are batched: up to half the victim's run
+// migrates into w's deque column in one visit, so fine-grained fan-outs
+// re-balance in O(log n) visits instead of one visit per task.
 func (w *worker) findWork() *Task {
 	r := w.rt
 	for _, p := range w.pop {
@@ -376,6 +516,7 @@ func (w *worker) findWork() *Task {
 		}
 		// Start at a pseudo-random victim to spread contention.
 		start := int(w.nextRand() % uint64(maxUsed))
+		batch := w.popCover[p.ID] // surplus must land where our pop path finds it
 		for k := 0; k < maxUsed; k++ {
 			vid := start + k
 			if vid >= maxUsed {
@@ -385,6 +526,19 @@ func (w *worker) findWork() *Task {
 				continue
 			}
 			for {
+				if batch {
+					n, retry := r.deques[p.ID][vid].StealBatch(w.stealBuf[:])
+					if n > 0 {
+						t := w.takeBatch(p.ID, n)
+						r.pendingPerPlace[p.ID].Add(-1)
+						w.steals.Add(1)
+						return t
+					}
+					if !retry {
+						break
+					}
+					continue
+				}
 				t, retry := r.deques[p.ID][vid].Steal()
 				if t != nil {
 					r.pendingPerPlace[p.ID].Add(-1)
@@ -398,6 +552,24 @@ func (w *worker) findWork() *Task {
 		}
 	}
 	return nil
+}
+
+// takeBatch consumes a StealBatch result: the oldest task is returned for
+// immediate execution and the surplus is re-queued into w's own deque
+// column at the same place. The surplus stays pending at pid, so the
+// place's pending counter is unchanged for all but the returned task.
+func (w *worker) takeBatch(pid, n int) *Task {
+	t := w.stealBuf[0]
+	w.stealBuf[0] = nil
+	if n > 1 {
+		own := &w.rt.deques[pid][w.id]
+		for i := 1; i < n; i++ {
+			own.PushBottom(w.stealBuf[i])
+			w.stealBuf[i] = nil
+		}
+		w.batched.Add(uint64(n - 1))
+	}
+	return t
 }
 
 // anyPending reports whether any place on w's paths has pending tasks.
@@ -461,19 +633,6 @@ func (r *Runtime) runner(w *worker) {
 	}
 }
 
-// park blocks w until new work may be available, the runtime shuts down, or
-// a retire request arrives.
-func (r *Runtime) park(w *worker) {
-	w.parks.Add(1)
-	r.parkMu.Lock()
-	r.parked.Add(1)
-	for !r.stopped.Load() && r.retireGroup[w.group].Load() == 0 && !w.anyPending() {
-		r.parkCond.Wait()
-	}
-	r.parked.Add(-1)
-	r.parkMu.Unlock()
-}
-
 // releaseID returns a substitution identity to the free pool. Identities
 // below nWorkers are permanent and never released.
 func (r *Runtime) releaseID(w *worker) {
@@ -508,6 +667,8 @@ func (r *Runtime) waitOn(w *worker, f *Future) {
 			sub.group = w.group
 			sub.pop = w.pop
 			sub.steal = w.steal
+			sub.covers = w.covers
+			sub.popCover = w.popCover
 			for {
 				cur := r.maxUsed.Load()
 				if int64(id) < cur || r.maxUsed.CompareAndSwap(cur, int64(id)+1) {
@@ -524,34 +685,41 @@ func (r *Runtime) waitOn(w *worker, f *Future) {
 		<-ch
 		if substituted {
 			// We are back: ask one surplus runner of our group to retire.
+			// Retirement needs a broadcast: parked workers cannot observe
+			// retire requests through pending counters.
 			r.retireGroup[w.group].Add(1)
 			r.wakeAll()
 		}
 	}
 }
 
-// helpUntil keeps the worker executing eligible tasks until pred holds,
-// napping briefly when no work is available. Unlike waitOn there is no
-// future to park on — the predicate is satisfied by an external event the
-// scheduler cannot observe (e.g. a remote one-sided write) — so the worker
-// stays live and keeps servicing its places, which is exactly what
-// counter-polling synchronization protocols need.
+// helpUntil keeps the worker executing eligible tasks until pred holds.
+// Unlike waitOn there is no future to park on — the predicate is satisfied
+// by an external event the scheduler cannot observe (e.g. a remote
+// one-sided write) — so the worker stays live and keeps servicing its
+// places, which is exactly what counter-polling synchronization protocols
+// need. Like the runner loop it spins (yielding) for SpinRounds empty scans
+// and then backs off, napping with capped exponential sleeps so a slow
+// fabric does not burn a core.
 func (r *Runtime) helpUntil(w *worker, pred func() bool) {
+	idle := 0
 	for !pred() {
 		if t := w.findWork(); t != nil {
 			r.execute(w, t)
+			idle = 0
 			continue
 		}
-		runtime.Gosched()
+		idle++
+		if idle <= r.opts.SpinRounds {
+			runtime.Gosched()
+			continue
+		}
+		shift := idle - r.opts.SpinRounds
+		if shift > 6 {
+			shift = 6 // cap the nap at 64µs: pred must stay responsive
+		}
+		time.Sleep(time.Duration(1<<uint(shift)) * time.Microsecond)
 	}
-}
-
-// wakeAll broadcasts unconditionally (used for retire requests, which park
-// does not observe via pending counters).
-func (r *Runtime) wakeAll() {
-	r.parkMu.Lock()
-	r.parkCond.Broadcast()
-	r.parkMu.Unlock()
 }
 
 // Stats is a snapshot of scheduler activity, usable for the tooling hooks
@@ -561,6 +729,7 @@ type Stats struct {
 	TasksExecuted uint64
 	Pops          uint64 // tasks taken from own deques (pop path)
 	Steals        uint64 // tasks taken from other workers or injectors
+	BatchStolen   uint64 // surplus tasks migrated by batched steals
 	Parks         uint64
 	Substitutions uint64 // replacement workers spawned for blocked peers
 	MaxWorkerIDs  int    // identity columns ever activated
@@ -573,6 +742,7 @@ func (r *Runtime) Stats() Stats {
 		s.TasksExecuted += w.tasks.Load()
 		s.Pops += w.pops.Load()
 		s.Steals += w.steals.Load()
+		s.BatchStolen += w.batched.Load()
 		s.Parks += w.parks.Load()
 	}
 	s.Substitutions = r.substitutions.Load()

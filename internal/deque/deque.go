@@ -121,6 +121,48 @@ func (d *Deque[T]) Steal() (v *T, retry bool) {
 	return v, false
 }
 
+// StealBatch steals up to half of the victim's current run — capped at
+// len(buf) — in one visit, storing the stolen values oldest-first into buf.
+// It returns the number stolen, and retry=true when nothing was stolen only
+// because a race was lost (the caller may retry this victim).
+//
+// Each item is claimed with its own CAS on top. A single CAS advancing top
+// by n>1 would be unsound in a Chase-Lev deque: the owner consumes from
+// bottom and synchronizes on top only when taking the *last* element, so a
+// range claim can overlap concurrent owner pops and double-execute tasks.
+// Per-item claims preserve the deque's linearizability proof unchanged,
+// while visit-level batching still amortizes victim selection and migrates
+// half the run in one trip — which is where the steal-path savings for
+// fine-grained workloads actually come from (fewer victim scans and fewer
+// deque cache-line ping-pongs, not fewer uncontended CASes).
+func (d *Deque[T]) StealBatch(buf []*T) (n int, retry bool) {
+	if len(buf) == 0 {
+		return 0, false
+	}
+	t := d.top.Load()
+	b := d.bottom.Load()
+	size := b - t
+	if size <= 0 {
+		return 0, false
+	}
+	want := (size + 1) / 2
+	if want > int64(len(buf)) {
+		want = int64(len(buf))
+	}
+	for int64(n) < want {
+		v, r := d.Steal()
+		if v == nil {
+			if n == 0 {
+				return 0, r
+			}
+			return n, false
+		}
+		buf[n] = v
+		n++
+	}
+	return n, false
+}
+
 // Size reports the approximate number of elements. It is only exact when the
 // deque is quiescent; concurrent callers get a snapshot.
 func (d *Deque[T]) Size() int {

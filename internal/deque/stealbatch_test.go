@@ -1,0 +1,114 @@
+package deque
+
+import "testing"
+
+func TestStealBatchEmpty(t *testing.T) {
+	d := New[int]()
+	buf := make([]*int, 8)
+	if n, retry := d.StealBatch(buf); n != 0 || retry {
+		t.Fatalf("StealBatch on empty deque = (%d, %v), want (0, false)", n, retry)
+	}
+	x := 1
+	d.PushBottom(&x)
+	if n, retry := d.StealBatch(nil); n != 0 || retry {
+		t.Fatalf("StealBatch with empty buf = (%d, %v), want (0, false)", n, retry)
+	}
+}
+
+func TestStealBatchSingle(t *testing.T) {
+	d := New[int]()
+	x := 42
+	d.PushBottom(&x)
+	buf := make([]*int, 8)
+	n, retry := d.StealBatch(buf)
+	if n != 1 || retry {
+		t.Fatalf("StealBatch = (%d, %v), want (1, false)", n, retry)
+	}
+	if buf[0] != &x {
+		t.Fatal("stole the wrong element")
+	}
+	if !d.Empty() {
+		t.Fatal("deque should be empty after stealing its only element")
+	}
+}
+
+// TestStealBatchTakesHalf checks the batch size policy (half the run, rounded
+// up) and that stolen elements come out oldest-first while the victim keeps
+// the newest half for its own LIFO pops.
+func TestStealBatchTakesHalf(t *testing.T) {
+	d := New[int]()
+	vals := make([]int, 10)
+	for i := range vals {
+		vals[i] = i
+		d.PushBottom(&vals[i])
+	}
+	buf := make([]*int, 16)
+	n, retry := d.StealBatch(buf)
+	if n != 5 || retry {
+		t.Fatalf("StealBatch = (%d, %v), want (5, false)", n, retry)
+	}
+	for i := 0; i < n; i++ {
+		if *buf[i] != i {
+			t.Fatalf("buf[%d] = %d, want %d (oldest-first order)", i, *buf[i], i)
+		}
+	}
+	// Owner still pops its newest work LIFO.
+	for i := 9; i >= 5; i-- {
+		v := d.PopBottom()
+		if v == nil || *v != i {
+			t.Fatalf("owner pop: got %v, want %d", v, i)
+		}
+	}
+	if !d.Empty() {
+		t.Fatal("deque should be empty")
+	}
+}
+
+func TestStealBatchCappedByBuf(t *testing.T) {
+	d := New[int]()
+	vals := make([]int, 100)
+	for i := range vals {
+		vals[i] = i
+		d.PushBottom(&vals[i])
+	}
+	buf := make([]*int, 8)
+	n, retry := d.StealBatch(buf)
+	if n != 8 || retry {
+		t.Fatalf("StealBatch = (%d, %v), want (8, false)", n, retry)
+	}
+	if d.Size() != 92 {
+		t.Fatalf("victim size = %d, want 92", d.Size())
+	}
+}
+
+// TestStealBatchDrain steals repeatedly until the deque is empty and checks
+// every element is surfaced exactly once, in FIFO order across batches.
+func TestStealBatchDrain(t *testing.T) {
+	d := New[int]()
+	const total = 1000
+	vals := make([]int, total)
+	for i := range vals {
+		vals[i] = i
+		d.PushBottom(&vals[i])
+	}
+	buf := make([]*int, 16)
+	next := 0
+	for {
+		n, retry := d.StealBatch(buf)
+		if retry {
+			t.Fatal("unexpected retry on uncontended batch steal")
+		}
+		if n == 0 {
+			break
+		}
+		for i := 0; i < n; i++ {
+			if *buf[i] != next {
+				t.Fatalf("got %d, want %d", *buf[i], next)
+			}
+			next++
+		}
+	}
+	if next != total {
+		t.Fatalf("drained %d elements, want %d", next, total)
+	}
+}

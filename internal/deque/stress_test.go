@@ -1,0 +1,96 @@
+package deque
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestStealBatchConcurrentExactlyOnce is the hot-path stress test for batched
+// stealing: one owner pushes (with occasional LIFO pops) while 8 thieves pull
+// with StealBatch. The owner pushes in bursts so the ring grows from its
+// minimum capacity to thousands of slots *while* thieves are mid-steal,
+// exercising the grow-during-steal window. Every element must be consumed
+// exactly once — the property a multi-item top claim would violate (see the
+// StealBatch doc comment).
+func TestStealBatchConcurrentExactlyOnce(t *testing.T) {
+	const (
+		total   = 100000
+		thieves = 8
+		burst   = 500 // push bursts outpace thieves, forcing ring growth
+	)
+	d := New[int64]()
+	seen := make([]atomic.Int32, total)
+	record := func(v *int64) {
+		if n := seen[*v].Add(1); n != 1 {
+			t.Errorf("element %d consumed %d times", *v, n)
+		}
+	}
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for s := 0; s < thieves; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			buf := make([]*int64, 16)
+			for {
+				n, retry := d.StealBatch(buf)
+				for i := 0; i < n; i++ {
+					record(buf[i])
+					buf[i] = nil
+				}
+				if n > 0 || retry {
+					continue
+				}
+				select {
+				case <-done:
+					for {
+						n, retry := d.StealBatch(buf)
+						if n == 0 && !retry {
+							return
+						}
+						for i := 0; i < n; i++ {
+							record(buf[i])
+							buf[i] = nil
+						}
+					}
+				default:
+				}
+			}
+		}()
+	}
+
+	vals := make([]int64, total)
+	for i := 0; i < total; i++ {
+		vals[i] = int64(i)
+		d.PushBottom(&vals[i])
+		if i%burst == burst-1 {
+			// Owner takes a few back LIFO, racing thieves for the tail.
+			for k := 0; k < 8; k++ {
+				if v := d.PopBottom(); v != nil {
+					record(v)
+				}
+			}
+		}
+	}
+	for {
+		v := d.PopBottom()
+		if v == nil {
+			break
+		}
+		record(v)
+	}
+	close(done)
+	wg.Wait()
+
+	missing := 0
+	for i := range seen {
+		if seen[i].Load() != 1 {
+			missing++
+		}
+	}
+	if missing != 0 {
+		t.Fatalf("%d of %d elements not consumed exactly once", missing, total)
+	}
+}
