@@ -349,15 +349,14 @@ func (r *Runtime) spawnAwait(w *worker, p *platform.Place, fs *finishScope, fn f
 		return
 	}
 	// +1 guard reference so the task cannot launch until registration of
-	// every future has been attempted (avoids double-enqueue races).
+	// every future has been attempted (avoids double-enqueue races). The
+	// guard keeps the counter >= 1 for the whole loop, so only the final
+	// dec below can ever enqueue — decs inside the loop never reach zero.
 	t.deps.set(len(futures) + 1)
 	for _, f := range futures {
 		if !f.addTaskWaiter(t) {
 			// Already satisfied: account for it immediately.
-			if t.deps.dec() {
-				r.enqueue(w, t)
-				return
-			}
+			t.deps.dec()
 		}
 	}
 	if t.deps.dec() {
@@ -399,23 +398,37 @@ func (r *Runtime) wake(pid int) {
 	if r.idleCount.Load() == 0 {
 		return
 	}
-	var w *worker
 	r.idleMu.Lock()
 	for i := len(r.idle) - 1; i >= 0; i-- {
-		if r.idle[i].covers[pid] {
-			w = r.idle[i]
-			r.idle = append(r.idle[:i], r.idle[i+1:]...)
-			r.idleCount.Add(-1)
+		w := r.idle[i]
+		if w.covers[pid] {
+			r.removeIdleAt(i)
+			// The token must be sent while idleMu is still held: unpark's
+			// drain runs only after it observes w delisted under the same
+			// mutex, so the send is then guaranteed to have landed and the
+			// drain cannot miss it. Sending after unlock would let a stale
+			// token leak into w's next park cycle, leaving a dangling idle
+			// entry that could absorb a later wake meant for a truly parked
+			// worker (lost wake-up).
+			select {
+			case w.park <- struct{}{}:
+			default:
+			}
 			break
 		}
 	}
 	r.idleMu.Unlock()
-	if w != nil {
-		select {
-		case w.park <- struct{}{}:
-		default:
-		}
-	}
+}
+
+// removeIdleAt deletes the idle entry at index i by swap-remove (O(1), and
+// the vacated tail slot is nil-ed so no stale *worker lingers in the backing
+// array). Caller must hold idleMu.
+func (r *Runtime) removeIdleAt(i int) {
+	last := len(r.idle) - 1
+	r.idle[i] = r.idle[last]
+	r.idle[last] = nil
+	r.idle = r.idle[:last]
+	r.idleCount.Add(-1)
 }
 
 // wakeAll unparks every idle worker. Reserved for events a targeted wake
@@ -426,13 +439,16 @@ func (r *Runtime) wakeAll() {
 	ws := r.idle
 	r.idle = nil
 	r.idleCount.Store(0)
-	r.idleMu.Unlock()
+	// Tokens are sent under idleMu for the same reason as in wake: a
+	// delisted worker's unpark drain must be able to rely on the token
+	// already being present.
 	for _, w := range ws {
 		select {
 		case w.park <- struct{}{}:
 		default:
 		}
 	}
+	r.idleMu.Unlock()
 }
 
 // park blocks w on its private parking slot until a waker signals it. The
@@ -449,19 +465,30 @@ func (r *Runtime) park(w *worker) {
 		return
 	}
 	<-w.park
+	// The waker that sent the token normally delisted us first, so this
+	// scan finds nothing. It exists as self-cleanup: should a token ever
+	// reach us while our entry is still listed, leaving the entry behind
+	// would let it absorb a future targeted wake while we are running or
+	// blocked elsewhere — a lost wake-up.
+	r.idleMu.Lock()
+	for i, x := range r.idle {
+		if x == w {
+			r.removeIdleAt(i)
+			break
+		}
+	}
+	r.idleMu.Unlock()
 }
 
 // unpark removes w from the idle list if still present. If absent, a waker
-// has already claimed w and sent (or is about to send) a token into w.park;
-// drain it opportunistically so it does not spuriously cut short the next
-// park. A token that arrives after the drain attempt is harmless: the next
-// park consumes it, rescans, and parks again.
+// claimed w and — because tokens are sent while idleMu is held — its token
+// was already in w.park before we acquired the mutex, so the drain below is
+// guaranteed to consume it and no stale token can cut short the next park.
 func (r *Runtime) unpark(w *worker) {
 	r.idleMu.Lock()
 	for i, x := range r.idle {
 		if x == w {
-			r.idle = append(r.idle[:i], r.idle[i+1:]...)
-			r.idleCount.Add(-1)
+			r.removeIdleAt(i)
 			r.idleMu.Unlock()
 			return
 		}
