@@ -1,17 +1,23 @@
 GO ?= go
 
-.PHONY: check race bench-smoke bench-sched
+.PHONY: check lint race bench-smoke bench-sched
 
-## check: the tier-1 gate — vet, build, and run the full test suite.
+## check: the tier-1 gate — vet, then the project linter, then build and
+## the full test suite.
 check:
 	$(GO) vet ./...
+	$(GO) run ./cmd/hiper-lint ./...
 	$(GO) build ./...
 	$(GO) test ./...
 
-## race: race-detector pass over the concurrency-heavy packages, including
-## the deque StealBatch stress and the worker-substitution retire stress.
+## lint: run hiper-lint (the stdlib static analyzer enforcing the
+## runtime's concurrency invariants) over the whole module.
+lint:
+	$(GO) run ./cmd/hiper-lint ./...
+
+## race: race-detector pass over the full module.
 race:
-	$(GO) test -race ./internal/deque/ ./internal/core/ ./internal/simnet/
+	$(GO) test -race ./...
 
 ## bench-smoke: quick-scale scheduler microbenchmarks; exercises the whole
 ## hiper-bench -sched path without overwriting the committed report.

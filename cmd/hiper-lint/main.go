@@ -1,0 +1,104 @@
+// Command hiper-lint statically enforces the runtime's concurrency
+// invariants over this module. It is pure stdlib (go/ast, go/parser,
+// go/types): no analysis framework, no toolchain export data.
+//
+// Usage:
+//
+//	hiper-lint [flags] [packages]
+//
+// Packages are directory paths or module import paths; "./..." (the
+// default) analyzes the whole module. Exit status: 0 when clean, 1 when
+// findings were reported, 2 on usage or load errors — suitable for CI
+// gating (make check runs it).
+//
+// Flags:
+//
+//	-json           emit findings as a JSON array instead of text
+//	-enable  a,b    run only the named checkers
+//	-disable a,b    run all but the named checkers
+//	-list           print registered checkers and exit
+//	-C dir          locate the module from dir instead of the cwd
+//
+// Findings are suppressed at the site with a justified directive:
+//
+//	//hiperlint:ignore <checker> <reason>
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	var (
+		jsonOut = flag.Bool("json", false, "emit findings as JSON")
+		enable  = flag.String("enable", "", "comma-separated checkers to run (default: all)")
+		disable = flag.String("disable", "", "comma-separated checkers to skip")
+		list    = flag.Bool("list", false, "list registered checkers and exit")
+		chdir   = flag.String("C", ".", "locate the enclosing module from this directory")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, c := range lint.Checkers() {
+			fmt.Printf("%-22s %s\n", c.Name(), c.Doc())
+		}
+		return
+	}
+
+	mod, err := lint.FindModule(*chdir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cfg := lint.Config{Enable: splitList(*enable), Disable: splitList(*disable)}
+
+	findings, err := lint.Run(mod, patterns, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if findings == nil {
+			findings = []lint.Finding{}
+		}
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
+	}
+	if len(findings) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "hiper-lint: %d finding(s)\n", len(findings))
+		}
+		os.Exit(1)
+	}
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}

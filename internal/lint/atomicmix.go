@@ -1,0 +1,129 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// MixedAtomicAccess flags variables and struct fields that are accessed
+// through sync/atomic functions in one place and with plain loads or
+// stores in another, within the same package. Mixing the two invalidates
+// the atomic protocol: the plain access races with the atomic one, and
+// the race detector only catches it when the schedule cooperates. The
+// repository convention (see internal/core) is to use the typed atomics
+// (atomic.Int64 & co.), which make mixing impossible; this checker
+// guards the raw-function escape hatch.
+type MixedAtomicAccess struct{}
+
+// Name implements Checker.
+func (*MixedAtomicAccess) Name() string { return "mixed-atomic-access" }
+
+// Doc implements Checker.
+func (*MixedAtomicAccess) Doc() string {
+	return "fields passed to sync/atomic functions must never be read or written with plain accesses in the same package"
+}
+
+// atomicFn reports whether name is a sync/atomic function that accesses
+// its pointer argument's referent.
+func atomicFn(name string) bool {
+	for _, prefix := range []string{"Load", "Store", "Add", "Swap", "CompareAndSwap", "And", "Or"} {
+		if strings.HasPrefix(name, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+// Check implements Checker.
+func (*MixedAtomicAccess) Check(p *Package, r *Reporter) {
+	// Pass 1: every object (field or variable) whose address is taken as
+	// the pointer argument of a sync/atomic call, plus the exact operand
+	// nodes so pass 2 does not flag the atomic sites themselves.
+	atomicObjs := make(map[types.Object]token.Pos) // object -> first atomic site
+	operand := make(map[ast.Node]bool)
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !atomicFn(sel.Sel.Name) || !isPkgIdent(p, sel.X, "sync/atomic") {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := arg.(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				if obj := accessedObject(p, un.X); obj != nil {
+					if _, seen := atomicObjs[obj]; !seen {
+						atomicObjs[obj] = call.Pos()
+					}
+					operand[un.X] = true
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicObjs) == 0 {
+		return
+	}
+
+	// Pass 2: any other use of those objects is a plain access.
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if operand[n] {
+				return false
+			}
+			var obj types.Object
+			switch x := n.(type) {
+			case *ast.SelectorExpr:
+				if s, ok := p.Info.Selections[x]; ok {
+					obj = s.Obj()
+				}
+			case *ast.Ident:
+				// Skip the Sel half of a selector (covered above) by only
+				// accepting idents that resolve to a package-level var.
+				if o, ok := p.Info.Uses[x]; ok {
+					if v, isVar := o.(*types.Var); isVar && !v.IsField() {
+						obj = o
+					}
+				}
+			default:
+				return true
+			}
+			if obj == nil {
+				return true
+			}
+			if at, ok := atomicObjs[obj]; ok {
+				r.Reportf(n.Pos(), "plain access to %s, which is accessed atomically at %s; mixing plain and sync/atomic access races — use the typed atomics (e.g. atomic.Int64) or go through sync/atomic everywhere",
+					obj.Name(), p.Fset.Position(at))
+			}
+			return true
+		})
+	}
+}
+
+// accessedObject resolves the field or variable object an atomic operand
+// expression refers to.
+func accessedObject(p *Package, e ast.Expr) types.Object {
+	switch x := e.(type) {
+	case *ast.SelectorExpr:
+		if s, ok := p.Info.Selections[x]; ok {
+			return s.Obj()
+		}
+		if obj, ok := p.Info.Uses[x.Sel]; ok {
+			return obj
+		}
+	case *ast.Ident:
+		if obj, ok := p.Info.Uses[x]; ok {
+			return obj
+		}
+	case *ast.IndexExpr:
+		return accessedObject(p, x.X)
+	}
+	return nil
+}

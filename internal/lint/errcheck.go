@@ -1,0 +1,86 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// UncheckedError flags calls whose error result is silently discarded in
+// the runtime and communication packages (internal/core, simnet, mpi,
+// shmem) — the layers where a dropped error is a dropped message or a
+// corrupted schedule. Explicitly assigning to the blank identifier
+// (`_ = f()`) is treated as a deliberate, reviewable discard and is not
+// flagged; fmt's Print family is exempt.
+type UncheckedError struct{}
+
+// Name implements Checker.
+func (*UncheckedError) Name() string { return "unchecked-error" }
+
+// Doc implements Checker.
+func (*UncheckedError) Doc() string {
+	return "error-returning calls in internal/{core,simnet,mpi,shmem} must not discard their error result"
+}
+
+// AppliesTo implements scoped.
+func (*UncheckedError) AppliesTo(importPath string) bool {
+	for _, suffix := range []string{"internal/core", "internal/simnet", "internal/mpi", "internal/shmem"} {
+		if strings.HasSuffix(importPath, suffix) {
+			return true
+		}
+	}
+	return false
+}
+
+// Check implements Checker.
+func (*UncheckedError) Check(p *Package, r *Reporter) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			switch s := n.(type) {
+			case *ast.ExprStmt:
+				call, _ = s.X.(*ast.CallExpr)
+			case *ast.GoStmt:
+				call = s.Call
+			case *ast.DeferStmt:
+				call = s.Call
+			}
+			if call == nil || !returnsError(p, call) || isPrintCall(p, call) {
+				return true
+			}
+			r.Reportf(call.Pos(), "result of %s includes an error that is discarded; handle it or assign it to _ to mark the discard deliberate", types.ExprString(call.Fun))
+			return true
+		})
+	}
+}
+
+// returnsError reports whether the call's sole or final result is error.
+func returnsError(p *Package, call *ast.CallExpr) bool {
+	tv, ok := p.Info.Types[call]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	t := tv.Type
+	if tuple, ok := t.(*types.Tuple); ok {
+		if tuple.Len() == 0 {
+			return false
+		}
+		t = tuple.At(tuple.Len() - 1).Type()
+	}
+	return isErrorType(t)
+}
+
+// isErrorType reports whether t is the predeclared error type.
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// isPrintCall exempts fmt's Print family, whose error results are
+// discarded by near-universal convention.
+func isPrintCall(p *Package, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !strings.Contains(sel.Sel.Name, "rint") {
+		return false
+	}
+	return isPkgIdent(p, sel.X, "fmt")
+}

@@ -1,0 +1,94 @@
+package lint
+
+import (
+	"go/token"
+	"path/filepath"
+	"strings"
+)
+
+// ignorePrefix introduces a suppression directive. The full syntax is
+//
+//	//hiperlint:ignore <checker> <reason>
+//
+// where <checker> is a registered checker name or "all" and <reason> is
+// free text explaining why the invariant is deliberately not upheld at
+// this site. The directive suppresses matching findings on its own line
+// (trailing comment) and on the line directly below it (comment above
+// the statement).
+const ignorePrefix = "//hiperlint:ignore"
+
+// directive is one parsed suppression comment.
+type directive struct {
+	pos     token.Pos
+	file    string // fset-resolved filename
+	line    int
+	checker string
+	reason  string
+	bad     bool
+}
+
+// collectDirectives parses every suppression directive in the package.
+func collectDirectives(p *Package) []directive {
+	var out []directive
+	known := make(map[string]bool)
+	for _, name := range CheckerNames() {
+		known[name] = true
+	}
+	known["all"] = true
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, ignorePrefix)
+				pos := p.Fset.Position(c.Pos())
+				d := directive{pos: c.Pos(), file: pos.Filename, line: pos.Line}
+				fields := strings.Fields(rest)
+				if len(fields) >= 2 && known[fields[0]] {
+					d.checker = fields[0]
+					d.reason = strings.Join(fields[1:], " ")
+				} else {
+					d.bad = true
+				}
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}
+
+// filterSuppressed drops findings covered by a well-formed directive on
+// the same line or the line above. bad-directive findings are never
+// suppressed.
+func filterSuppressed(findings []Finding, dirs []directive) []Finding {
+	if len(dirs) == 0 {
+		return findings
+	}
+	var kept []Finding
+	for _, f := range findings {
+		if f.Checker == "bad-directive" {
+			kept = append(kept, f)
+			continue
+		}
+		suppressed := false
+		for _, d := range dirs {
+			if d.bad {
+				continue
+			}
+			// Directive files are absolute fset paths; finding files are
+			// module-relative. Compare by path suffix.
+			if !strings.HasSuffix(filepath.ToSlash(d.file), f.File) {
+				continue
+			}
+			if (d.line == f.Line || d.line == f.Line-1) && (d.checker == "all" || d.checker == f.Checker) {
+				suppressed = true
+				break
+			}
+		}
+		if !suppressed {
+			kept = append(kept, f)
+		}
+	}
+	return kept
+}

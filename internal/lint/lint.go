@@ -1,0 +1,206 @@
+// Package lint is hiper-lint's analysis engine: a pure-stdlib (go/ast,
+// go/parser, go/types, go/token) driver with project-specific checkers
+// that enforce the runtime's concurrency invariants statically. The
+// rules it encodes are the ones DESIGN.md documents as load-bearing —
+// tasks suspend instead of blocking worker threads, park tokens are
+// sent under the idle lock, atomically-accessed fields are never mixed
+// with plain access — plus plain error-discipline for the runtime and
+// communication packages.
+//
+// Findings can be suppressed at the site with a justification:
+//
+//	//hiperlint:ignore <checker> <reason>
+//
+// placed on the offending line or the line directly above it. The
+// checker name may be "all". Directives missing a checker or a reason
+// are themselves reported (checker "bad-directive"), so suppressions
+// stay auditable.
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Finding is one diagnostic, positioned at a source line.
+type Finding struct {
+	Checker string `json:"checker"`
+	File    string `json:"file"` // module-root-relative, slash-separated
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Message string `json:"message"`
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.File, f.Line, f.Col, f.Checker, f.Message)
+}
+
+// Checker is one analysis. Check walks a loaded package and reports
+// findings through r.
+type Checker interface {
+	Name() string
+	Doc() string
+	Check(p *Package, r *Reporter)
+}
+
+// scoped is implemented by checkers that only apply to particular
+// packages (testdata fixtures always pass, so fixtures can exercise
+// scoped checkers regardless of where they live).
+type scoped interface {
+	AppliesTo(importPath string) bool
+}
+
+// Checkers returns the full checker registry, in reporting order.
+func Checkers() []Checker {
+	return []Checker{
+		&BlockingInTask{},
+		&MixedAtomicAccess{},
+		&SendOutsideLock{},
+		&UncheckedError{},
+	}
+}
+
+// CheckerNames lists the registered checker names.
+func CheckerNames() []string {
+	var names []string
+	for _, c := range Checkers() {
+		names = append(names, c.Name())
+	}
+	return names
+}
+
+// Reporter collects findings for one package, relativizing file paths to
+// the module root.
+type Reporter struct {
+	pkg      *Package
+	modRoot  string
+	findings []Finding
+	current  string // name of the checker currently running
+}
+
+// Reportf records a finding at pos.
+func (r *Reporter) Reportf(pos token.Pos, format string, args ...any) {
+	p := r.pkg.Fset.Position(pos)
+	file := p.Filename
+	if rel, err := filepath.Rel(r.modRoot, file); err == nil && !strings.HasPrefix(rel, "..") {
+		file = filepath.ToSlash(rel)
+	}
+	r.findings = append(r.findings, Finding{
+		Checker: r.current,
+		File:    file,
+		Line:    p.Line,
+		Col:     p.Column,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// Config selects which checkers run. Empty Enable means all registered
+// checkers; Disable is subtracted afterwards.
+type Config struct {
+	Enable  []string
+	Disable []string
+}
+
+func (c Config) active() ([]Checker, error) {
+	all := Checkers()
+	byName := make(map[string]Checker, len(all))
+	for _, ch := range all {
+		byName[ch.Name()] = ch
+	}
+	var picked []Checker
+	if len(c.Enable) == 0 {
+		picked = all
+	} else {
+		for _, name := range c.Enable {
+			ch, ok := byName[name]
+			if !ok {
+				return nil, fmt.Errorf("lint: unknown checker %q (have %s)", name, strings.Join(CheckerNames(), ", "))
+			}
+			picked = append(picked, ch)
+		}
+	}
+	if len(c.Disable) > 0 {
+		off := make(map[string]bool)
+		for _, name := range c.Disable {
+			if _, ok := byName[name]; !ok {
+				return nil, fmt.Errorf("lint: unknown checker %q (have %s)", name, strings.Join(CheckerNames(), ", "))
+			}
+			off[name] = true
+		}
+		var kept []Checker
+		for _, ch := range picked {
+			if !off[ch.Name()] {
+				kept = append(kept, ch)
+			}
+		}
+		picked = kept
+	}
+	return picked, nil
+}
+
+// Run loads every package matched by patterns (relative to mod) and runs
+// the configured checkers over each, returning unsuppressed findings
+// sorted by position. Type-check failures in analyzed packages are
+// returned as errors: the analysis is only trustworthy on a tree that
+// compiles.
+func Run(mod *Module, patterns []string, cfg Config) ([]Finding, error) {
+	loader := NewLoader(mod)
+	dirs, err := loader.Expand(patterns)
+	if err != nil {
+		return nil, err
+	}
+	checkers, err := cfg.active()
+	if err != nil {
+		return nil, err
+	}
+	var all []Finding
+	for _, dir := range dirs {
+		pkg, err := loader.LoadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		if len(pkg.TypeErrors) > 0 {
+			return nil, fmt.Errorf("lint: type-checking %s: %v (and %d more)",
+				pkg.ImportPath, pkg.TypeErrors[0], len(pkg.TypeErrors)-1)
+		}
+		all = append(all, checkPackage(mod, pkg, checkers)...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Checker < b.Checker
+	})
+	return all, nil
+}
+
+// checkPackage runs the given checkers over one package and applies
+// suppression directives.
+func checkPackage(mod *Module, pkg *Package, checkers []Checker) []Finding {
+	r := &Reporter{pkg: pkg, modRoot: mod.Root}
+	dirs := collectDirectives(pkg)
+	r.current = "bad-directive"
+	for _, d := range dirs {
+		if d.bad {
+			r.Reportf(d.pos, "malformed //hiperlint:ignore directive: want \"//hiperlint:ignore <checker> <reason>\"")
+		}
+	}
+	for _, ch := range checkers {
+		if sc, ok := ch.(scoped); ok && !pkg.IsFixture() && !sc.AppliesTo(pkg.ImportPath) {
+			continue
+		}
+		r.current = ch.Name()
+		ch.Check(pkg, r)
+	}
+	return filterSuppressed(r.findings, dirs)
+}

@@ -1,0 +1,150 @@
+package lint
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the fixtures' findings.golden files")
+
+func testModule(t *testing.T) *Module {
+	t.Helper()
+	mod, err := FindModule(".")
+	if err != nil {
+		t.Fatalf("FindModule: %v", err)
+	}
+	return mod
+}
+
+// golden renders findings in the stable form the fixtures' golden files
+// record: file:line checker, one per line.
+func golden(findings []Finding) string {
+	var b strings.Builder
+	for _, f := range findings {
+		fmt.Fprintf(&b, "%s:%d %s\n", filepath.Base(f.File), f.Line, f.Checker)
+	}
+	return b.String()
+}
+
+// TestCheckerGolden runs the full driver over each fixture package and
+// compares the findings against the package's findings.golden. Each
+// fixture holds a minimal positive corpus (pos.go, or suppress.go for
+// the suppression fixture) and a negative corpus (neg.go) that must stay
+// finding-free.
+func TestCheckerGolden(t *testing.T) {
+	mod := testModule(t)
+	for _, name := range []string{
+		"blockingintask",
+		"mixedatomic",
+		"sendoutsidelock",
+		"uncheckederror",
+		"suppress",
+	} {
+		t.Run(name, func(t *testing.T) {
+			dir := filepath.Join("testdata", name)
+			findings, err := Run(mod, []string{"./" + dir}, Config{})
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			for _, f := range findings {
+				if filepath.Base(f.File) == "neg.go" {
+					t.Errorf("negative corpus flagged: %s", f)
+				}
+			}
+			got := golden(findings)
+			goldenPath := filepath.Join(dir, "findings.golden")
+			if *update {
+				if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+					t.Fatalf("update golden: %v", err)
+				}
+				return
+			}
+			want, err := os.ReadFile(goldenPath)
+			if err != nil {
+				t.Fatalf("read golden (run `go test -run TestCheckerGolden -update ./internal/lint` to create): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("findings mismatch\n--- got ---\n%s--- want ---\n%s", got, want)
+			}
+			if name != "suppress" && len(findings) == 0 {
+				t.Errorf("positive corpus produced no findings")
+			}
+		})
+	}
+}
+
+// TestSuppressionDirectives pins the suppression semantics beyond the
+// golden comparison: every directive-covered violation in the suppress
+// fixture is silenced, the deliberately mismatched directive is not, and
+// the malformed directive is reported.
+func TestSuppressionDirectives(t *testing.T) {
+	mod := testModule(t)
+	findings, err := Run(mod, []string{"./testdata/suppress"}, Config{})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	var blocking, badDirective int
+	for _, f := range findings {
+		switch f.Checker {
+		case "blocking-in-task":
+			blocking++
+		case "bad-directive":
+			badDirective++
+		default:
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	if blocking != 1 {
+		t.Errorf("want exactly 1 unsuppressed blocking-in-task finding (mismatched checker name), got %d", blocking)
+	}
+	if badDirective != 1 {
+		t.Errorf("want exactly 1 bad-directive finding, got %d", badDirective)
+	}
+}
+
+// TestEnableDisable covers the per-checker selection flags end to end.
+func TestEnableDisable(t *testing.T) {
+	mod := testModule(t)
+
+	findings, err := Run(mod, []string{"./testdata/blockingintask"}, Config{Enable: []string{"unchecked-error"}})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(findings) != 0 {
+		t.Errorf("enable=unchecked-error should silence the blocking fixture, got %v", findings)
+	}
+
+	findings, err = Run(mod, []string{"./testdata/blockingintask"}, Config{Disable: []string{"blocking-in-task"}})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(findings) != 0 {
+		t.Errorf("disable=blocking-in-task should silence the blocking fixture, got %v", findings)
+	}
+
+	if _, err := Run(mod, []string{"./testdata/blockingintask"}, Config{Enable: []string{"no-such-checker"}}); err == nil {
+		t.Errorf("unknown checker name should be an error")
+	}
+}
+
+// TestLintCleanTree is the regression gate: the real repository packages
+// must stay lint-clean (no unsuppressed findings) under the default
+// checker set, in-process — the same analysis `make check` runs via
+// cmd/hiper-lint.
+func TestLintCleanTree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-module analysis in -short mode")
+	}
+	mod := testModule(t)
+	findings, err := Run(mod, []string{mod.Root + "/..."}, Config{})
+	if err != nil {
+		t.Fatalf("Run over module: %v", err)
+	}
+	for _, f := range findings {
+		t.Errorf("unsuppressed finding: %s", f)
+	}
+}

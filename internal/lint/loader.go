@@ -1,0 +1,280 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Module identifies the Go module under analysis.
+type Module struct {
+	Root string // absolute directory containing go.mod
+	Path string // module path declared by go.mod
+}
+
+// FindModule walks upward from dir to the nearest go.mod and parses the
+// module path out of it.
+func FindModule(dir string) (*Module, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		gomod := filepath.Join(abs, "go.mod")
+		if data, err := os.ReadFile(gomod); err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module"); ok {
+					path := strings.TrimSpace(rest)
+					if path == "" {
+						break
+					}
+					return &Module{Root: abs, Path: path}, nil
+				}
+			}
+			return nil, fmt.Errorf("lint: %s has no module line", gomod)
+		}
+		parent := filepath.Dir(abs)
+		if parent == abs {
+			return nil, fmt.Errorf("lint: no go.mod found above %s", dir)
+		}
+		abs = parent
+	}
+}
+
+// Package is one loaded, type-checked package: the unit checkers operate on.
+type Package struct {
+	ImportPath string // module-relative import path, or a testdata pseudo-path
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+	TypeErrors []error
+}
+
+// IsFixture reports whether the package lives under a testdata directory.
+// Checkers that are normally scoped to specific runtime packages apply
+// unconditionally to fixtures, so their own test cases exercise them.
+func (p *Package) IsFixture() bool {
+	return strings.Contains(filepath.ToSlash(p.Dir), "/testdata/")
+}
+
+// Loader parses and type-checks module packages from source, resolving
+// stdlib imports through go/importer's source importer — no toolchain
+// export data and no third-party loader involved.
+type Loader struct {
+	Mod  *Module
+	Fset *token.FileSet
+
+	std     types.Importer
+	byDir   map[string]*Package
+	loading map[string]bool
+}
+
+// NewLoader creates a loader rooted at mod.
+func NewLoader(mod *Module) *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		Mod:     mod,
+		Fset:    fset,
+		std:     importer.ForCompiler(fset, "source", nil),
+		byDir:   make(map[string]*Package),
+		loading: make(map[string]bool),
+	}
+}
+
+// Import implements types.Importer: module-internal paths are loaded from
+// source within this module; everything else is delegated to the stdlib
+// source importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if rel, ok := l.moduleRel(path); ok {
+		p, err := l.LoadDir(filepath.Join(l.Mod.Root, filepath.FromSlash(rel)))
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// moduleRel maps an import path inside the module to a root-relative slash
+// path.
+func (l *Loader) moduleRel(path string) (string, bool) {
+	if path == l.Mod.Path {
+		return ".", true
+	}
+	if rel, ok := strings.CutPrefix(path, l.Mod.Path+"/"); ok {
+		return rel, true
+	}
+	return "", false
+}
+
+// LoadDir parses and type-checks the package in dir (non-test files only).
+// Results are memoized; import cycles are reported rather than recursed
+// into.
+func (l *Loader) LoadDir(dir string) (*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	if p, ok := l.byDir[abs]; ok {
+		return p, nil
+	}
+	if l.loading[abs] {
+		return nil, fmt.Errorf("lint: import cycle through %s", abs)
+	}
+	l.loading[abs] = true
+	defer func() { delete(l.loading, abs) }()
+
+	names, err := goFilesIn(abs)
+	if err != nil {
+		return nil, err
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("lint: no non-test Go files in %s", abs)
+	}
+
+	p := &Package{Dir: abs, Fset: l.Fset, ImportPath: l.importPathFor(abs)}
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(abs, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		p.Files = append(p.Files, f)
+	}
+
+	p.Info = &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{
+		Importer: l,
+		Error:    func(err error) { p.TypeErrors = append(p.TypeErrors, err) },
+	}
+	// Check returns a usable (if incomplete) package even when it also
+	// reports errors; TypeErrors carries them to the driver, which treats
+	// them as fatal for real packages.
+	p.Types, _ = conf.Check(p.ImportPath, l.Fset, p.Files, p.Info)
+	l.byDir[abs] = p
+	return p, nil
+}
+
+// importPathFor derives the import path for a module directory; directories
+// that are not importable (e.g. under testdata) get their root-relative
+// path as a stable pseudo-path.
+func (l *Loader) importPathFor(abs string) string {
+	rel, err := filepath.Rel(l.Mod.Root, abs)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(abs)
+	}
+	rel = filepath.ToSlash(rel)
+	if rel == "." {
+		return l.Mod.Path
+	}
+	if strings.Contains(rel, "testdata/") || strings.HasPrefix(rel, "testdata") {
+		return rel
+	}
+	return l.Mod.Path + "/" + rel
+}
+
+// goFilesIn lists the buildable non-test Go files in dir, sorted.
+func goFilesIn(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		if strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Expand resolves command-line package patterns to package directories.
+// Supported forms: "./..." (every package under the module root, testdata
+// excluded), a directory path (absolute or module-root-relative), and a
+// module import path with or without a trailing "/...".
+func (l *Loader) Expand(patterns []string) ([]string, error) {
+	var dirs []string
+	seen := make(map[string]bool)
+	add := func(d string) {
+		if abs, err := filepath.Abs(d); err == nil && !seen[abs] {
+			seen[abs] = true
+			dirs = append(dirs, abs)
+		}
+	}
+	for _, pat := range patterns {
+		recursive := pat == "..." || strings.HasSuffix(pat, "/...")
+		base := strings.TrimSuffix(strings.TrimSuffix(pat, "..."), "/")
+		if base == "" {
+			base = "."
+		}
+		if rel, ok := l.moduleRel(base); ok {
+			base = filepath.Join(l.Mod.Root, filepath.FromSlash(rel))
+		}
+		st, err := os.Stat(base)
+		if err != nil || !st.IsDir() {
+			return nil, fmt.Errorf("lint: cannot resolve package pattern %q", pat)
+		}
+		if recursive {
+			walked, err := walkPackages(base)
+			if err != nil {
+				return nil, err
+			}
+			for _, d := range walked {
+				add(d)
+			}
+		} else {
+			add(base)
+		}
+	}
+	return dirs, nil
+}
+
+// walkPackages lists directories under root that contain non-test Go
+// files, skipping testdata, hidden, and underscore-prefixed directories.
+func walkPackages(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		names, err := goFilesIn(path)
+		if err != nil {
+			return err
+		}
+		if len(names) > 0 {
+			dirs = append(dirs, path)
+		}
+		return nil
+	})
+	return dirs, err
+}

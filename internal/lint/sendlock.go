@@ -1,0 +1,121 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// SendOutsideLock enforces the wake-policy invariant PR 1's review fix
+// documented in DESIGN.md: a token sent on a worker's park channel must
+// be sent while the runtime's idleMu is held. The unpark/park drains
+// rely on delisting-under-the-mutex ordering — a token sent outside the
+// lock can leak into the worker's next park cycle, leave a dangling
+// idle entry, and absorb a wake-up meant for a truly parked worker (a
+// lost wake-up).
+//
+// The analysis is lexical and per-function: a send on a ".park" channel
+// field is legal only if, earlier in the same function body (function
+// literals are separate bodies), ".idleMu.Lock()" was called with no
+// intervening non-deferred ".idleMu.Unlock()".
+type SendOutsideLock struct{}
+
+// Name implements Checker.
+func (*SendOutsideLock) Name() string { return "send-outside-lock" }
+
+// Doc implements Checker.
+func (*SendOutsideLock) Doc() string {
+	return "sends on worker park channels must happen while idleMu is held (internal/core wake policy)"
+}
+
+// AppliesTo implements scoped: the invariant belongs to the core
+// scheduler package.
+func (*SendOutsideLock) AppliesTo(importPath string) bool {
+	return strings.HasSuffix(importPath, "internal/core")
+}
+
+const (
+	parkChanField  = "park"
+	idleMutexField = "idleMu"
+)
+
+// Check implements Checker.
+func (c *SendOutsideLock) Check(p *Package, r *Reporter) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					c.checkBody(p, r, fn.Body)
+				}
+			case *ast.FuncLit:
+				c.checkBody(p, r, fn.Body)
+			}
+			return true
+		})
+	}
+}
+
+// event is one lock-relevant occurrence in a function body, ordered by
+// position.
+type event struct {
+	pos  token.Pos
+	kind int // 0 lock, 1 unlock, 2 park send
+}
+
+// checkBody linearizes one function body (excluding nested function
+// literals) into lock/unlock/send events and verifies every send is
+// covered by a lock.
+func (c *SendOutsideLock) checkBody(p *Package, r *Reporter, body *ast.BlockStmt) {
+	var events []event
+	var visit func(n ast.Node) bool
+	visit = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // separate body, checked on its own
+		case *ast.DeferStmt:
+			// A deferred Unlock holds until function exit: it never ends
+			// the critical section before a later send. Deferred Locks or
+			// park sends would be bizarre; ignore the subtree either way.
+			return false
+		case *ast.SendStmt:
+			if isFieldSelector(n.Chan, parkChanField) {
+				events = append(events, event{n.Pos(), 2})
+			}
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				if sel.Sel.Name == "Lock" && isFieldSelector(sel.X, idleMutexField) {
+					events = append(events, event{n.Pos(), 0})
+				}
+				if sel.Sel.Name == "Unlock" && isFieldSelector(sel.X, idleMutexField) {
+					events = append(events, event{n.Pos(), 1})
+				}
+			}
+		}
+		return true
+	}
+	ast.Inspect(body, visit)
+	sort.Slice(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+	held := false
+	for _, e := range events {
+		switch e.kind {
+		case 0:
+			held = true
+		case 1:
+			held = false
+		case 2:
+			if !held {
+				r.Reportf(e.pos, "send on a worker's %s channel outside the %s critical section: the wake policy (DESIGN.md) requires park tokens to be sent while %s is held, or a stale token can cause a lost wake-up",
+					parkChanField, idleMutexField, idleMutexField)
+			}
+		}
+	}
+}
+
+// isFieldSelector reports whether e is a selector expression whose final
+// component is the given field name (w.park, r.idleMu, ...).
+func isFieldSelector(e ast.Expr, field string) bool {
+	sel, ok := e.(*ast.SelectorExpr)
+	return ok && sel.Sel.Name == field
+}

@@ -1,0 +1,27 @@
+package fixture
+
+import "sync/atomic"
+
+type counterGood struct {
+	hits  atomic.Int64 // typed atomic: mixing is impossible
+	plain int64        // never touched atomically: plain access is fine
+}
+
+func (c *counterGood) incr() {
+	c.hits.Add(1)
+	c.plain++
+}
+
+func (c *counterGood) read() (int64, int64) {
+	return c.hits.Load(), c.plain
+}
+
+var globalGood int64
+
+func bumpGlobalGood() {
+	atomic.AddInt64(&globalGood, 1)
+}
+
+func readGlobalGood() int64 {
+	return atomic.LoadInt64(&globalGood) // consistently atomic
+}

@@ -1,0 +1,27 @@
+// Package fixture is the positive/negative corpus for the
+// mixed-atomic-access checker.
+package fixture
+
+import "sync/atomic"
+
+type counterBad struct {
+	hits int64
+}
+
+func (c *counterBad) incr() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+func (c *counterBad) read() int64 {
+	return c.hits // want mixed-atomic-access (plain read of atomically-updated field)
+}
+
+var globalHits int64
+
+func bumpGlobal() {
+	atomic.AddInt64(&globalHits, 1)
+}
+
+func resetGlobal() {
+	globalHits = 0 // want mixed-atomic-access (plain write of atomically-updated var)
+}

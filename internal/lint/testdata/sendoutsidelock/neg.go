@@ -1,0 +1,26 @@
+package fixture
+
+func (r *runtime) wakeHeld(w *worker) {
+	r.idleMu.Lock()
+	select {
+	case w.park <- struct{}{}: // lock held: conforms to the wake policy
+	default:
+	}
+	r.idleMu.Unlock()
+}
+
+func (r *runtime) wakeAllHeld() {
+	r.idleMu.Lock()
+	for _, w := range r.idle {
+		w.park <- struct{}{} // lock held across the loop
+	}
+	r.idleMu.Unlock()
+}
+
+func (r *runtime) drain(w *worker) {
+	// Receives are not sends; the drain side has its own protocol.
+	select {
+	case <-w.park:
+	default:
+	}
+}

@@ -1,0 +1,29 @@
+// Package fixture is the positive/negative corpus for the
+// send-outside-lock checker: it mirrors the shape of internal/core's
+// park/wake protocol (worker.park guarded by Runtime.idleMu).
+package fixture
+
+import "sync"
+
+type worker struct {
+	park chan struct{}
+}
+
+type runtime struct {
+	idleMu sync.Mutex
+	idle   []*worker
+}
+
+func (r *runtime) wakeUnlocked(w *worker) {
+	select {
+	case w.park <- struct{}{}: // want send-outside-lock (no lock held)
+	default:
+	}
+}
+
+func (r *runtime) wakeReleasedTooEarly(w *worker) {
+	r.idleMu.Lock()
+	r.idle = nil
+	r.idleMu.Unlock()
+	w.park <- struct{}{} // want send-outside-lock (lock already released)
+}

@@ -1,0 +1,32 @@
+// Package fixture verifies that //hiperlint:ignore directives suppress
+// findings on their own line and on the line below, and that malformed
+// directives are themselves reported.
+package fixture
+
+import "time"
+
+// Ctx stands in for core.Ctx.
+type Ctx struct{}
+
+// Async mirrors core.Ctx.Async.
+func (c *Ctx) Async(fn func(*Ctx)) {}
+
+func suppressed(c *Ctx, ch chan int) {
+	c.Async(func(c *Ctx) {
+		time.Sleep(time.Millisecond) //hiperlint:ignore blocking-in-task fixture: trailing-comment suppression
+		//hiperlint:ignore blocking-in-task fixture: line-above suppression
+		<-ch
+		//hiperlint:ignore all fixture: "all" matches any checker
+		ch <- 1
+	})
+}
+
+func unsuppressed(c *Ctx) {
+	c.Async(func(c *Ctx) {
+		//hiperlint:ignore unchecked-error wrong checker name does not suppress
+		time.Sleep(time.Millisecond) // want blocking-in-task (directive names another checker)
+	})
+}
+
+//hiperlint:ignore
+// ^ want bad-directive (missing checker and reason)

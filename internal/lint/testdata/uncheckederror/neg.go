@@ -1,0 +1,16 @@
+package fixture
+
+import "fmt"
+
+func good() error {
+	if err := mayFail(); err != nil {
+		return err
+	}
+	_ = mayFail() // explicit blank assignment: deliberate discard
+	n, err := multi()
+	if err != nil {
+		return err
+	}
+	fmt.Println(n) // fmt Print family: exempt
+	return nil
+}

@@ -1,0 +1,14 @@
+// Package fixture is the positive/negative corpus for the
+// unchecked-error checker.
+package fixture
+
+import "errors"
+
+func mayFail() error { return errors.New("boom") }
+
+func multi() (int, error) { return 0, errors.New("boom") }
+
+func bad() {
+	mayFail()       // want unchecked-error (statement discard)
+	defer mayFail() // want unchecked-error (deferred discard)
+}
