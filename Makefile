@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check lint race bench-smoke bench-sched
+.PHONY: check lint race bench-smoke bench-sched bench-trace
 
 ## check: the tier-1 gate — vet, then the project linter, then build and
 ## the full test suite.
@@ -28,3 +28,9 @@ bench-smoke:
 ## 16 workers — the configuration recorded in EXPERIMENTS.md).
 bench-sched:
 	$(GO) run ./cmd/hiper-bench -sched -full -workers 16 -schedout BENCH_scheduler.json
+
+## bench-trace: regenerate the committed BENCH_trace.json — tracing
+## overhead (untraced vs armed-disabled vs enabled) on the spawn-latency
+## and fanout-wake microbenchmarks.
+bench-trace:
+	$(GO) run ./cmd/hiper-bench -tracebench BENCH_trace.json -full -workers 16

@@ -7,6 +7,8 @@
 //
 //	hiper-bench [-full] [-only fig4|fig5|fig6|fig7|graph500]
 //	hiper-bench -sched [-full] [-workers N] [-schedout BENCH_scheduler.json]
+//	hiper-bench -trace out.json [-workers N]
+//	hiper-bench -tracebench BENCH_trace.json [-full] [-workers N]
 package main
 
 import (
@@ -17,8 +19,8 @@ import (
 	"os"
 	"time"
 
+	"repro/hiper"
 	"repro/internal/bench"
-	"repro/internal/stats"
 )
 
 func main() {
@@ -27,7 +29,9 @@ func main() {
 	showStats := flag.Bool("stats", false, "print per-module API time statistics afterwards")
 	sched := flag.Bool("sched", false, "run the scheduler hot-path microbenchmarks instead of the paper figures")
 	schedOut := flag.String("schedout", "BENCH_scheduler.json", "path for the scheduler benchmark JSON report")
-	workers := flag.Int("workers", 0, "worker count for -sched (0 = GOMAXPROCS)")
+	tracePath := flag.String("trace", "", "run a traced demo workload and write its Chrome trace JSON here (load at ui.perfetto.dev)")
+	traceBench := flag.String("tracebench", "", "run the tracing overhead microbenchmarks and write the JSON report here")
+	workers := flag.Int("workers", 0, "worker count for -sched/-trace/-tracebench (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	scale := bench.Quick
@@ -41,6 +45,21 @@ func main() {
 			log.Fatalf("writing %s: %v", *schedOut, err)
 		}
 		fmt.Printf("wrote %s\n", *schedOut)
+		return
+	}
+	if *traceBench != "" {
+		rep := bench.TraceSuite(*workers, scale)
+		fmt.Print(rep.Render())
+		if err := rep.WriteJSON(*traceBench); err != nil {
+			log.Fatalf("writing %s: %v", *traceBench, err)
+		}
+		fmt.Printf("wrote %s\n", *traceBench)
+		return
+	}
+	if *tracePath != "" {
+		if err := runTraced(*tracePath, *workers); err != nil {
+			log.Fatal(err)
+		}
 		return
 	}
 	type exp struct {
@@ -71,6 +90,49 @@ func main() {
 	}
 	if *showStats {
 		fmt.Println()
-		fmt.Print(stats.Report())
+		fmt.Print(hiper.StatsReport())
 	}
+}
+
+// runTraced executes a representative ~100k-task workload — spawn bursts,
+// future suspensions, steal-heavy fan-outs from a single origin — with
+// tracing enabled, writes the Chrome trace JSON to path, and prints the
+// text summary.
+func runTraced(path string, workers int) error {
+	rt, err := hiper.New(
+		hiper.WithWorkers(workers),
+		hiper.WithTracing(hiper.TraceConfig{OutPath: path, PprofLabels: true}),
+	)
+	if err != nil {
+		return err
+	}
+	const (
+		rounds = 100
+		batch  = 1000 // rounds × batch ≈ 100k tasks
+	)
+	rt.Launch(func(c *hiper.Ctx) {
+		for r := 0; r < rounds; r++ {
+			c.Finish(func(c *hiper.Ctx) {
+				// Steal-heavy: the whole burst originates in one deque column.
+				for i := 0; i < batch; i++ {
+					c.Async(func(*hiper.Ctx) {
+						x := 1
+						for k := 0; k < 64; k++ {
+							x = x*2654435761 + k
+						}
+						_ = x
+					})
+				}
+			})
+			// One suspension per round exercises the async-span track.
+			f := c.AsyncFuture(func(*hiper.Ctx) any { return r })
+			c.Wait(f)
+		}
+	})
+	fmt.Print(rt.TraceSummary(8))
+	if err := rt.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (load it at https://ui.perfetto.dev)\n", path)
+	return nil
 }

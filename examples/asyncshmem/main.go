@@ -35,14 +35,17 @@ func main() {
 
 	var wg sync.WaitGroup
 	for r := 0; r < pes; r++ {
-		rt := hiper.NewDefault(2)
+		rt, err := hiper.New(hiper.WithWorkers(2))
+		if err != nil {
+			panic(err)
+		}
 		m := hipershmem.New(world.PE(r), nil)
 		hiper.MustInstall(rt, m)
 
 		wg.Add(1)
 		go func(r int, rt *hiper.Runtime, m *hipershmem.Module) {
 			defer wg.Done()
-			defer rt.Shutdown()
+			defer rt.Close()
 			rt.Launch(func(c *hiper.Ctx) {
 				finalVal := int64(laps*pes + 1)
 				done := core.NewPromise(rt)

@@ -33,7 +33,7 @@ func newRuntime(store *hiperckpt.Store) (*hiper.Runtime, *hiperckpt.Module) {
 	if err != nil {
 		panic(err)
 	}
-	rt, err := hiper.New(model, nil)
+	rt, err := hiper.New(hiper.WithModel(model))
 	if err != nil {
 		panic(err)
 	}
@@ -73,12 +73,12 @@ func main() {
 		}
 		c.Wait(pendingCkpt) // make the last checkpoint durable before "crashing"
 	})
-	rt.Shutdown()
+	rt.Close()
 	fmt.Println("-- simulated failure: losing in-memory state --")
 
 	// ---- Phase 2: a fresh runtime restores the last durable snapshot. ----
 	rt2, km2 := newRuntime(store)
-	defer rt2.Shutdown()
+	defer rt2.Close()
 	rt2.Launch(func(c *hiper.Ctx) {
 		last := fmt.Sprintf("step-%03d", (steps/checkEvery)*checkEvery)
 		restored, ok := km2.Restore(c, last)

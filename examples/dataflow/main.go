@@ -33,11 +33,11 @@ func main() {
 	if err != nil {
 		panic(err)
 	}
-	rt, err := hiper.New(model, nil)
+	rt, err := hiper.New(hiper.WithModel(model))
 	if err != nil {
 		panic(err)
 	}
-	defer rt.Shutdown()
+	defer rt.Close()
 
 	cm := hipercuda.New(cuda.NewDevice(cuda.Config{SMs: 4}), nil)
 	hiper.MustInstall(rt, cm)

@@ -14,8 +14,11 @@ func main() {
 	// A runtime over the default platform model: one sysmem place every
 	// worker services, plus an interconnect place for communication
 	// modules. Workers <= 0 selects GOMAXPROCS.
-	rt := hiper.NewDefault(0)
-	defer rt.Shutdown()
+	rt, err := hiper.New()
+	if err != nil {
+		panic(err)
+	}
+	defer rt.Close()
 
 	rt.Launch(func(c *hiper.Ctx) {
 		// --- async + finish: bulk-synchronous task parallelism ---------

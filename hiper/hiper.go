@@ -5,8 +5,8 @@
 // HiPER unifies computation, communication, and accelerator work as tasks
 // on one generalized work-stealing runtime:
 //
-//	rt := hiper.NewDefault(0) // workers = GOMAXPROCS
-//	defer rt.Shutdown()
+//	rt, _ := hiper.New() // workers = GOMAXPROCS; see WithWorkers, WithModel
+//	defer rt.Close()
 //	rt.Launch(func(c *hiper.Ctx) {
 //	    c.Finish(func(c *hiper.Ctx) {
 //	        fut := c.AsyncFuture(func(*hiper.Ctx) any { return compute() })
@@ -82,11 +82,19 @@ const (
 	KindDisk         = platform.KindDisk
 )
 
-// New builds a runtime over a platform model.
-func New(m *Model, opts *Options) (*Runtime, error) { return core.New(m, opts) }
+// NewFromModel builds a runtime over a platform model with a raw options
+// struct.
+//
+// Deprecated: use New with functional options — New(WithModel(m), ...) —
+// which validates option combinations and covers tracing and stats
+// configuration. NewFromModel remains for callers written against the old
+// two-argument New.
+func NewFromModel(m *Model, opts *Options) (*Runtime, error) { return core.New(m, opts) }
 
 // NewDefault builds a runtime over a default single-socket model with the
 // given worker count (<= 0 selects GOMAXPROCS).
+//
+// Deprecated: use New() for GOMAXPROCS workers or New(WithWorkers(n)).
 func NewDefault(workers int) *Runtime { return core.NewDefault(workers) }
 
 // NewPromise creates an unsatisfied promise bound to rt.

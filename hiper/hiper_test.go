@@ -10,8 +10,11 @@ import (
 // The facade tests double as API usage examples.
 
 func TestQuickstartShape(t *testing.T) {
-	rt := hiper.NewDefault(2)
-	defer rt.Shutdown()
+	rt, err := hiper.New(hiper.WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
 	var sum atomic.Int64
 	rt.Launch(func(c *hiper.Ctx) {
 		c.Finish(func(c *hiper.Ctx) {
@@ -26,8 +29,11 @@ func TestQuickstartShape(t *testing.T) {
 }
 
 func TestFuturesThroughFacade(t *testing.T) {
-	rt := hiper.NewDefault(2)
-	defer rt.Shutdown()
+	rt, err := hiper.New(hiper.WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
 	rt.Launch(func(c *hiper.Ctx) {
 		p := hiper.NewPromise(rt)
 		c.Async(func(c *hiper.Ctx) { c.Put(p, 21) })
@@ -47,11 +53,11 @@ func TestGenerateAndRunModel(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rt, err := hiper.New(m, nil)
+	rt, err := hiper.New(hiper.WithModel(m))
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer rt.Shutdown()
+	defer rt.Close()
 	nic := m.FirstByKind(hiper.KindInterconnect)
 	rt.Launch(func(c *hiper.Ctx) {
 		c.Finish(func(c *hiper.Ctx) {

@@ -1,0 +1,195 @@
+package hiper
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+
+	"repro/internal/core"
+	"repro/internal/platform"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// TraceConfig configures the runtime's tracing layer (see WithTracing):
+// ring sizing, pprof labelling, and the Chrome trace output path flushed
+// by Runtime.Close.
+type TraceConfig = trace.Config
+
+// config accumulates the effect of the functional options handed to New.
+type config struct {
+	// Exactly one platform-shape source may be set: an explicit model, a
+	// machine spec to generate one from, or a worker count for the default
+	// single-socket model. `shape` remembers which option claimed it so a
+	// conflict error can name both sides.
+	shape string
+	model *Model
+	spec  *MachineSpec
+
+	workers    int
+	traceCfg   *TraceConfig
+	statsSet   bool
+	statsOn    bool
+	maxBlocked int
+	spinRounds int
+}
+
+// Option configures a runtime under construction; see New.
+type Option func(*config) error
+
+// claimShape enforces the one-platform-shape rule.
+func (c *config) claimShape(opt string) error {
+	if c.shape != "" {
+		return fmt.Errorf("hiper: %s conflicts with %s: a runtime has exactly one platform shape", opt, c.shape)
+	}
+	c.shape = opt
+	return nil
+}
+
+// WithModel runs the runtime over an explicit platform model (built by
+// GenerateModel, LoadModel, or by hand). Conflicts with WithWorkers and
+// WithMachineSpec.
+func WithModel(m *Model) Option {
+	return func(c *config) error {
+		if m == nil {
+			return fmt.Errorf("hiper: WithModel(nil)")
+		}
+		if err := c.claimShape("WithModel"); err != nil {
+			return err
+		}
+		c.model = m
+		return nil
+	}
+}
+
+// WithWorkers runs the runtime over the default single-socket model with n
+// workers; n == 0 selects GOMAXPROCS. Conflicts with WithModel and
+// WithMachineSpec (an explicit model fixes its own worker count).
+func WithWorkers(n int) Option {
+	return func(c *config) error {
+		if n < 0 {
+			return fmt.Errorf("hiper: WithWorkers(%d): worker count cannot be negative", n)
+		}
+		if err := c.claimShape("WithWorkers"); err != nil {
+			return err
+		}
+		c.workers = n
+		return nil
+	}
+}
+
+// WithMachineSpec generates the platform model from a machine description.
+// Conflicts with WithModel and WithWorkers.
+func WithMachineSpec(spec MachineSpec) Option {
+	return func(c *config) error {
+		if err := c.claimShape("WithMachineSpec"); err != nil {
+			return err
+		}
+		c.spec = &spec
+		return nil
+	}
+}
+
+// WithTracing arms the runtime-wide tracing layer: per-worker lock-free
+// event rings recording the full task lifecycle, exportable as Chrome
+// trace JSON (TraceDump, Runtime.Close with cfg.OutPath) and summarized
+// into derived scheduler metrics. Tracing left un-armed costs the task hot
+// path a single pointer check.
+func WithTracing(cfg TraceConfig) Option {
+	return func(c *config) error {
+		c.traceCfg = &cfg
+		return nil
+	}
+}
+
+// WithStats toggles the process-wide internal/stats collection layer
+// (module API call counts and derived trace gauges). It is on by default;
+// WithStats(false) reduces every stats hook to one atomic load.
+func WithStats(enabled bool) Option {
+	return func(c *config) error {
+		c.statsSet, c.statsOn = true, enabled
+		return nil
+	}
+}
+
+// WithMaxBlockedWorkers bounds how many workers may block with substitutes
+// running in their stead; n must be positive. Default 256.
+func WithMaxBlockedWorkers(n int) Option {
+	return func(c *config) error {
+		if n <= 0 {
+			return fmt.Errorf("hiper: WithMaxBlockedWorkers(%d): bound must be positive", n)
+		}
+		c.maxBlocked = n
+		return nil
+	}
+}
+
+// WithSpinRounds sets how many full pop+steal scans a worker performs
+// before parking; n must be positive. Default 2.
+func WithSpinRounds(n int) Option {
+	return func(c *config) error {
+		if n <= 0 {
+			return fmt.Errorf("hiper: WithSpinRounds(%d): rounds must be positive", n)
+		}
+		c.spinRounds = n
+		return nil
+	}
+}
+
+// New builds a runtime from functional options:
+//
+//	rt, err := hiper.New()                          // GOMAXPROCS workers, default model
+//	rt, err := hiper.New(hiper.WithWorkers(8))      // fixed worker count
+//	rt, err := hiper.New(hiper.WithModel(m),        // explicit platform model,
+//	    hiper.WithTracing(hiper.TraceConfig{}))     // ... with tracing armed
+//
+// Options conflict (two platform shapes) or carry invalid values → New
+// returns an error and no runtime. Pair every New with Runtime.Close.
+func New(opts ...Option) (*Runtime, error) {
+	var c config
+	for _, opt := range opts {
+		if err := opt(&c); err != nil {
+			return nil, err
+		}
+	}
+	if c.statsSet {
+		stats.Enabled.Store(c.statsOn)
+	}
+	model := c.model
+	switch {
+	case c.spec != nil:
+		m, err := platform.Generate(*c.spec)
+		if err != nil {
+			return nil, fmt.Errorf("hiper: generating model: %w", err)
+		}
+		model = m
+	case model == nil:
+		workers := c.workers
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		model = platform.Default(workers)
+	}
+	coreOpts := core.Options{
+		MaxBlockedWorkers: c.maxBlocked,
+		SpinRounds:        c.spinRounds,
+		Trace:             c.traceCfg,
+	}
+	return core.New(model, &coreOpts)
+}
+
+// StatsReport renders the process-wide stats snapshot — per-module API
+// call counts plus the derived trace gauges published by Runtime.Close —
+// as a deterministic plain-text table.
+func StatsReport() string { return stats.Report() }
+
+// TraceDump writes rt's collected trace as Chrome trace-event JSON to w
+// (load it at https://ui.perfetto.dev). It errors when rt was built
+// without WithTracing.
+func TraceDump(rt *Runtime, w io.Writer) error { return rt.TraceDump(w) }
+
+// SummarizeTrace renders a previously dumped Chrome trace JSON as the
+// plain-text top-N summary.
+func SummarizeTrace(data []byte, topN int) (string, error) {
+	return trace.Summarize(data, topN)
+}

@@ -1,0 +1,207 @@
+package hiper_test
+
+import (
+	"bytes"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/hiper"
+	"repro/internal/platform"
+	"repro/internal/stats"
+)
+
+// TestNewDefaults: zero options give a working GOMAXPROCS-wide runtime.
+func TestNewDefaults(t *testing.T) {
+	rt, err := hiper.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	if got, want := rt.NumWorkers(), runtime.GOMAXPROCS(0); got != want {
+		t.Fatalf("default runtime has %d workers, want GOMAXPROCS=%d", got, want)
+	}
+	var ran atomic.Int64
+	rt.Launch(func(c *hiper.Ctx) {
+		c.Finish(func(c *hiper.Ctx) {
+			for i := 0; i < 100; i++ {
+				c.Async(func(*hiper.Ctx) { ran.Add(1) })
+			}
+		})
+	})
+	if ran.Load() != 100 {
+		t.Fatalf("ran %d tasks, want 100", ran.Load())
+	}
+}
+
+// TestWithWorkersZeroMeansGOMAXPROCS: explicit 0 is "auto", not an error.
+func TestWithWorkersZeroMeansGOMAXPROCS(t *testing.T) {
+	rt, err := hiper.New(hiper.WithWorkers(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	if got, want := rt.NumWorkers(), runtime.GOMAXPROCS(0); got != want {
+		t.Fatalf("WithWorkers(0) gave %d workers, want %d", got, want)
+	}
+}
+
+// TestShapeConflictsError: at most one of WithModel / WithWorkers /
+// WithMachineSpec may pick the platform shape, and the error names both
+// offending options.
+func TestShapeConflictsError(t *testing.T) {
+	m := platform.Default(2)
+	cases := []struct {
+		name string
+		opts []hiper.Option
+		want []string
+	}{
+		{"model+workers", []hiper.Option{hiper.WithModel(m), hiper.WithWorkers(2)},
+			[]string{"WithWorkers", "WithModel"}},
+		{"workers+spec", []hiper.Option{hiper.WithWorkers(2), hiper.WithMachineSpec(hiper.MachineSpec{Sockets: 1, CoresPerSocket: 2})},
+			[]string{"WithMachineSpec", "WithWorkers"}},
+		{"model+model", []hiper.Option{hiper.WithModel(m), hiper.WithModel(m)},
+			[]string{"WithModel", "WithModel"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rt, err := hiper.New(tc.opts...)
+			if err == nil {
+				rt.Close()
+				t.Fatal("conflicting shape options did not error")
+			}
+			for _, frag := range tc.want {
+				if !strings.Contains(err.Error(), frag) {
+					t.Fatalf("error %q does not name %s", err, frag)
+				}
+			}
+		})
+	}
+}
+
+// TestInvalidOptionValuesError covers per-option validation.
+func TestInvalidOptionValuesError(t *testing.T) {
+	cases := map[string]hiper.Option{
+		"WithWorkers(-1)":          hiper.WithWorkers(-1),
+		"WithModel(nil)":           hiper.WithModel(nil),
+		"WithMaxBlockedWorkers(0)": hiper.WithMaxBlockedWorkers(0),
+		"WithSpinRounds(-3)":       hiper.WithSpinRounds(-3),
+	}
+	for name, opt := range cases {
+		t.Run(name, func(t *testing.T) {
+			rt, err := hiper.New(opt)
+			if err == nil {
+				rt.Close()
+				t.Fatal("invalid option value did not error")
+			}
+		})
+	}
+}
+
+// TestWithTracingArmsTracer: WithTracing gives a runtime whose trace can
+// be dumped through the facade and summarized from the dumped bytes.
+func TestWithTracingArmsTracer(t *testing.T) {
+	rt, err := hiper.New(hiper.WithWorkers(2), hiper.WithTracing(hiper.TraceConfig{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	rt.Launch(func(c *hiper.Ctx) {
+		c.Finish(func(c *hiper.Ctx) {
+			for i := 0; i < 50; i++ {
+				c.Async(func(*hiper.Ctx) {})
+			}
+		})
+	})
+	var buf bytes.Buffer
+	if err := hiper.TraceDump(rt, &buf); err != nil {
+		t.Fatalf("TraceDump: %v", err)
+	}
+	sum, err := hiper.SummarizeTrace(buf.Bytes(), 4)
+	if err != nil {
+		t.Fatalf("SummarizeTrace: %v", err)
+	}
+	if !strings.Contains(sum, "tasks") {
+		t.Fatalf("summary looks empty:\n%s", sum)
+	}
+}
+
+// TestTraceDumpWithoutTracingErrors: un-armed runtimes reject dumps.
+func TestTraceDumpWithoutTracingErrors(t *testing.T) {
+	rt, err := hiper.New(hiper.WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	if err := hiper.TraceDump(rt, &bytes.Buffer{}); err == nil {
+		t.Fatal("TraceDump on an un-armed runtime should error")
+	}
+}
+
+// TestWithStatsToggle: WithStats flips the global collection gate.
+func TestWithStatsToggle(t *testing.T) {
+	defer stats.Enabled.Store(true)
+	rt, err := hiper.New(hiper.WithWorkers(1), hiper.WithStats(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Enabled.Load() {
+		t.Fatal("WithStats(false) left collection enabled")
+	}
+	rt.Close()
+	rt2, err := hiper.New(hiper.WithWorkers(1), hiper.WithStats(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt2.Close()
+	if !stats.Enabled.Load() {
+		t.Fatal("WithStats(true) left collection disabled")
+	}
+}
+
+// TestCloseIdempotentThroughFacade: double Close is safe and error-free.
+func TestCloseIdempotentThroughFacade(t *testing.T) {
+	rt, err := hiper.New(hiper.WithWorkers(2), hiper.WithTracing(hiper.TraceConfig{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Launch(func(c *hiper.Ctx) { c.Async(func(*hiper.Ctx) {}) })
+	if err := rt.Close(); err != nil {
+		t.Fatalf("first Close: %v", err)
+	}
+	if err := rt.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+// TestDeprecatedShims: the pre-functional-options constructors still work.
+func TestDeprecatedShims(t *testing.T) {
+	rt, err := hiper.NewFromModel(platform.Default(2), &hiper.Options{SpinRounds: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ran atomic.Int64
+	rt.Launch(func(c *hiper.Ctx) { c.Finish(func(c *hiper.Ctx) { c.Async(func(*hiper.Ctx) { ran.Add(1) }) }) })
+	if err := rt.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if ran.Load() != 1 {
+		t.Fatal("NewFromModel runtime did not run tasks")
+	}
+	rt2 := hiper.NewDefault(1)
+	defer rt2.Close()
+	if rt2.NumWorkers() != 1 {
+		t.Fatal("NewDefault(1) did not build a 1-worker runtime")
+	}
+}
+
+// TestStatsReportThroughFacade: the facade exposes the stats report.
+func TestStatsReportThroughFacade(t *testing.T) {
+	stats.Reset()
+	defer stats.Reset()
+	stats.SetGauge("facade", "probe", 1)
+	if rep := hiper.StatsReport(); !strings.Contains(rep, "probe") {
+		t.Fatalf("StatsReport missing gauge:\n%s", rep)
+	}
+}

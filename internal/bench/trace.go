@@ -1,0 +1,131 @@
+// Tracing overhead microbenchmarks.
+//
+// The tracing layer promises two numbers: a runtime built without tracing
+// pays nothing (one nil check on the task hot path), and a runtime with
+// tracing armed-but-disabled pays a single atomic load. This suite measures
+// both against the traced (enabled) configuration on the two benchmarks the
+// acceptance gate tracks — spawn-latency and fanout-wake — and emits
+// BENCH_trace.json so the overhead has a cross-PR trajectory.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/platform"
+	"repro/internal/trace"
+)
+
+// TraceBenchResult is one benchmark measured under the three tracing modes.
+type TraceBenchResult struct {
+	Name    string `json:"name"`
+	Workers int    `json:"workers"`
+	Ops     int    `json:"ops_per_run"`
+	// UntracedNsOp is the baseline: Options.Trace == nil.
+	UntracedNsOp float64 `json:"untraced_ns_per_op"`
+	// DisabledNsOp has tracing armed but the enable gate off.
+	DisabledNsOp float64 `json:"disabled_ns_per_op"`
+	// EnabledNsOp records every event.
+	EnabledNsOp float64 `json:"enabled_ns_per_op"`
+	// Overheads are relative to the untraced baseline.
+	DisabledOverheadPct float64 `json:"disabled_overhead_pct"`
+	EnabledOverheadPct  float64 `json:"enabled_overhead_pct"`
+	// Events/Dropped describe the enabled run's final ring contents.
+	Events  int    `json:"events_retained"`
+	Dropped uint64 `json:"events_dropped"`
+}
+
+// TraceReport is the machine-readable tracing benchmark report.
+type TraceReport struct {
+	GoMaxProcs int                `json:"gomaxprocs"`
+	Repeats    int                `json:"repeats"`
+	Results    []TraceBenchResult `json:"benchmarks"`
+}
+
+// TraceSuite measures spawn-latency and fanout-wake under untraced,
+// armed-disabled, and enabled tracing. quick shrinks op counts.
+func TraceSuite(workers int, scale Scale) *TraceReport {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if prev := runtime.GOMAXPROCS(0); workers > prev {
+		runtime.GOMAXPROCS(workers)
+		defer runtime.GOMAXPROCS(prev)
+	}
+	repeats := 10
+	mul := 1
+	if scale == Quick {
+		repeats = 5
+	} else {
+		mul = 4
+	}
+	benches := []schedBench{
+		{"spawn-latency", 50000 * mul, spawnLatency},
+		{"fanout-wake", 50 * mul, fanOutWake},
+	}
+	rep := &TraceReport{GoMaxProcs: runtime.GOMAXPROCS(0), Repeats: repeats}
+	for _, b := range benches {
+		res := TraceBenchResult{Name: b.name, Workers: workers, Ops: b.ops}
+		run := func(rt *core.Runtime) float64 {
+			sample := Measure(2, repeats, func() time.Duration {
+				return b.run(rt, b.ops) / time.Duration(b.ops)
+			})
+			return float64(sample.Mean)
+		}
+
+		rt := core.NewDefault(workers)
+		res.UntracedNsOp = run(rt)
+		rt.Shutdown()
+
+		rt, err := core.New(platform.Default(workers), &core.Options{Trace: &trace.Config{}})
+		if err != nil {
+			panic(err)
+		}
+		rt.Tracer().Disable()
+		res.DisabledNsOp = run(rt)
+		rt.Shutdown()
+
+		rt, err = core.New(platform.Default(workers), &core.Options{Trace: &trace.Config{}})
+		if err != nil {
+			panic(err)
+		}
+		res.EnabledNsOp = run(rt)
+		res.Events = len(rt.Tracer().Events())
+		res.Dropped = rt.Tracer().Dropped()
+		rt.Shutdown()
+
+		if res.UntracedNsOp > 0 {
+			res.DisabledOverheadPct = (res.DisabledNsOp/res.UntracedNsOp - 1) * 100
+			res.EnabledOverheadPct = (res.EnabledNsOp/res.UntracedNsOp - 1) * 100
+		}
+		rep.Results = append(rep.Results, res)
+	}
+	return rep
+}
+
+// WriteJSON writes the report to path.
+func (r *TraceReport) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Render prints the report as an aligned table.
+func (r *TraceReport) Render() string {
+	out := fmt.Sprintf("== Tracing overhead microbenchmarks (workers=%d, repeats=%d) ==\n",
+		r.GoMaxProcs, r.Repeats)
+	out += fmt.Sprintf("%-16s %12s %12s %12s %10s %10s %10s %9s\n",
+		"benchmark", "untraced", "disabled", "enabled", "dis-ovh%", "en-ovh%", "events", "dropped")
+	for _, b := range r.Results {
+		out += fmt.Sprintf("%-16s %12.1f %12.1f %12.1f %10.2f %10.2f %10d %9d\n",
+			b.Name, b.UntracedNsOp, b.DisabledNsOp, b.EnabledNsOp,
+			b.DisabledOverheadPct, b.EnabledOverheadPct, b.Events, b.Dropped)
+	}
+	return out
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"runtime/pprof"
+	"strconv"
+
+	"repro/internal/platform"
+	"repro/internal/trace"
+)
+
+// This file is the runtime's observability surface: the unified Close
+// lifecycle exit, trace exporting, and the pprof label plumbing that tags
+// CPU profile samples with the worker and place they executed on.
+
+// Tracer returns the runtime's tracer, or nil when tracing was not armed
+// via Options.Trace.
+func (r *Runtime) Tracer() *trace.Tracer { return r.tracer }
+
+// Close is the runtime's single shutdown path: it shuts the worker pool
+// down (idempotently, like Shutdown), then — exactly once — flushes the
+// observability state: derived trace counters are published into
+// internal/stats, and if the trace configuration names an output path the
+// Chrome trace JSON is written there. The error is the flush error;
+// pool shutdown itself cannot fail.
+//
+// Close supersedes Shutdown on the public facade; Shutdown remains for
+// callers that want pool teardown without observability flushing.
+func (r *Runtime) Close() error {
+	r.Shutdown()
+	if r.tracer == nil || r.closed.Swap(true) {
+		return nil
+	}
+	// The pool is down and Launch callers have returned: recording is
+	// quiescent, so this snapshot is exact.
+	r.tracer.Disable()
+	r.tracer.Derived().Publish()
+	if path := r.opts.Trace.OutPath; path != "" {
+		f, err := os.Create(path)
+		if err != nil {
+			return fmt.Errorf("core: writing trace: %w", err)
+		}
+		werr := r.tracer.WriteChrome(f)
+		cerr := f.Close()
+		if werr != nil {
+			return fmt.Errorf("core: writing trace: %w", werr)
+		}
+		if cerr != nil {
+			return fmt.Errorf("core: writing trace: %w", cerr)
+		}
+	}
+	return nil
+}
+
+// TraceDump writes the Chrome trace-event JSON collected so far to w.
+// Recording is paused for the duration of the dump and restored after,
+// so a dump taken at quiescence (e.g. between Launch calls) is exact; a
+// dump raced by live workers is safe but may clip in-flight events.
+// It errors when tracing was not armed.
+func (r *Runtime) TraceDump(w io.Writer) error {
+	if r.tracer == nil {
+		return fmt.Errorf("core: tracing not enabled on this runtime (arm it with Options.Trace)")
+	}
+	wasEnabled := r.tracer.Enabled()
+	r.tracer.Disable()
+	err := r.tracer.WriteChrome(w)
+	if wasEnabled {
+		r.tracer.Enable()
+	}
+	return err
+}
+
+// TraceSummary renders the tracer's plain-text top-N summary, or a note
+// when tracing was not armed.
+func (r *Runtime) TraceSummary(topN int) string {
+	if r.tracer == nil {
+		return "trace: tracing not enabled on this runtime\n"
+	}
+	return r.tracer.Summary(topN)
+}
+
+// runLabeled executes fn under pprof labels identifying the worker and
+// place, so CPU profiles captured alongside a trace slice by scheduler
+// context. Label sets are cached per (worker, place): pprof.Do itself
+// still allocates, which is why labels are opt-in via Config.PprofLabels.
+func (w *worker) runLabeled(p *platform.Place, fn func(*Ctx), c *Ctx) {
+	if w.labelSets == nil {
+		w.labelSets = make([]labelSet, len(w.rt.deques))
+	}
+	ls := &w.labelSets[p.ID]
+	if !ls.set {
+		ls.labels = pprof.Labels("worker", strconv.Itoa(w.id), "place", p.Name)
+		ls.set = true
+	}
+	pprof.Do(context.Background(), ls.labels, func(context.Context) { fn(c) })
+}
+
+// labelSet caches one place's pprof label set for a worker.
+type labelSet struct {
+	labels pprof.LabelSet
+	set    bool
+}

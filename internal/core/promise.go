@@ -184,12 +184,13 @@ func WhenAll(rt *Runtime, futures ...*Future) *Future {
 
 // depCounter tracks a task's outstanding dependencies. A task with zero
 // dependencies is eligible immediately; otherwise the last dependency to
-// drain enqueues it.
+// drain enqueues it. 32 bits keep Task at 32 bytes (the size class the
+// task pool and allocator are tuned around); no task awaits 2^31 futures.
 type depCounter struct {
-	n atomic.Int64
+	n atomic.Int32
 }
 
-func (d *depCounter) set(n int) { d.n.Store(int64(n)) }
+func (d *depCounter) set(n int) { d.n.Store(int32(n)) }
 
 // dec decrements and reports whether the count reached zero (i.e. the
 // caller must enqueue the task).

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/deque"
 	"repro/internal/platform"
+	"repro/internal/trace"
 )
 
 // Options tunes runtime construction. The zero value gives sensible
@@ -23,6 +24,11 @@ type Options struct {
 	// SpinRounds is how many full pop+steal scans a worker performs
 	// (yielding between rounds) before parking. Default 2.
 	SpinRounds int
+	// Trace, when non-nil, arms runtime-wide tracing with the given
+	// configuration: per-worker event rings recording the full task
+	// lifecycle, exportable as Chrome trace JSON via Runtime.TraceDump.
+	// A nil Trace costs the hot path one pointer check.
+	Trace *trace.Config
 }
 
 func (o *Options) withDefaults() Options {
@@ -34,6 +40,7 @@ func (o *Options) withDefaults() Options {
 		if o.SpinRounds > 0 {
 			out.SpinRounds = o.SpinRounds
 		}
+		out.Trace = o.Trace
 	}
 	return out
 }
@@ -73,6 +80,15 @@ type worker struct {
 	// owns this identity), so steady-state spawn→run→retire cycles
 	// allocate zero tasks with zero synchronization.
 	taskPool []*Task
+
+	// tr/ring are the tracing hooks: nil tr means tracing was never armed
+	// and every instrumentation site costs one pointer check. ring is this
+	// identity's single-writer event buffer. spawnTick drives periodic
+	// queue-depth sampling; labelSets caches per-place pprof label sets.
+	tr        *trace.Tracer
+	ring      *trace.Ring
+	spawnTick uint32
+	labelSets []labelSet
 
 	// stealBuf is scratch space for StealBatch visits.
 	stealBuf [stealBatchMax]*Task
@@ -123,6 +139,11 @@ type Runtime struct {
 	runners       sync.WaitGroup
 
 	copyHandlers map[[2]platform.Kind]CopyHandler
+
+	// tracer is non-nil iff Options.Trace armed tracing; closed latches
+	// the one-shot flush work Close performs after Shutdown.
+	tracer *trace.Tracer
+	closed atomic.Bool
 
 	// finalizers registered by modules, run during Shutdown.
 	finalizeMu sync.Mutex
@@ -189,6 +210,14 @@ func New(model *platform.Model, opts *Options) (*Runtime, error) {
 		groupCovers[g] = cov
 		groupPopCover[g] = pc
 	}
+	if o.Trace != nil {
+		r.tracer = trace.New(r.maxIDs, *o.Trace)
+		names := make([]string, np)
+		for p := 0; p < np; p++ {
+			names[p] = model.Place(p).Name
+		}
+		r.tracer.SetPlaceNames(names)
+	}
 	r.workers = make([]*worker, r.maxIDs)
 	for id := 0; id < r.maxIDs; id++ {
 		g := id % n
@@ -202,6 +231,15 @@ func New(model *platform.Model, opts *Options) (*Runtime, error) {
 			popCover: groupPopCover[g],
 			park:     make(chan struct{}, 1),
 			rng:      uint64(id)*0x9E3779B97F4A7C15 + 0x1234567,
+		}
+		if r.tracer != nil {
+			r.workers[id].tr = r.tracer
+			// Configured workers get their ring now; substitution
+			// identities allocate theirs on first activation (waitOn) —
+			// most of the substitution slots never run.
+			if id < n {
+				r.workers[id].ring = r.tracer.Ring(id)
+			}
 		}
 	}
 	r.retireGroup = make([]atomic.Int64, n)
@@ -322,6 +360,7 @@ func (w *worker) freeTask(t *Task) {
 		return
 	}
 	t.fn, t.place, t.finish = nil, nil, nil
+	t.tid = 0
 	t.deps.set(0)
 	w.taskPool = append(w.taskPool, t)
 }
@@ -377,13 +416,39 @@ func (r *Runtime) checkCovered(p *platform.Place) {
 // worker able to service it.
 func (r *Runtime) enqueue(w *worker, t *Task) {
 	pid := t.place.ID
-	r.pendingPerPlace[pid].Add(1)
+	depth := r.pendingPerPlace[pid].Add(1)
+	if tr := r.tracer; tr != nil && tr.Enabled() {
+		r.traceSpawn(tr, w, t, pid, depth)
+	}
 	if w != nil {
 		r.deques[pid][w.id].PushBottom(t)
 	} else {
 		r.inject[pid].push(t)
 	}
 	r.wake(pid)
+}
+
+// queueSampleEvery is how many traced spawns a worker records between
+// queue-depth samples: dense enough to chart load, sparse enough to keep
+// fan-outs from flooding the ring with counter events.
+const queueSampleEvery = 64
+
+// traceSpawn records a task's eligibility (and, periodically, a
+// place-tagged queue-depth sample). The task ID is allocated here — at
+// the task's single enqueue — so pooled Task structs never carry a stale
+// identity into a new lifecycle.
+func (r *Runtime) traceSpawn(tr *trace.Tracer, w *worker, t *Task, pid int, depth int64) {
+	if t.tid == 0 {
+		t.tid = uint32(tr.NextTaskID())
+	}
+	if w == nil {
+		tr.RecordExternal(trace.EvSpawn, int32(pid), uint64(t.tid), 0)
+		return
+	}
+	w.ring.Record(trace.EvSpawn, int32(pid), uint64(t.tid), 0)
+	if w.spawnTick++; w.spawnTick%queueSampleEvery == 0 {
+		w.ring.Record(trace.EvQueueDepth, int32(pid), 0, uint64(depth))
+	}
 }
 
 // wake unparks at most one idle worker whose paths cover place pid. Unlike
@@ -464,7 +529,14 @@ func (r *Runtime) park(w *worker) {
 		r.unpark(w)
 		return
 	}
+	traced := w.tr != nil && w.tr.Enabled()
+	if traced {
+		w.ring.Record(trace.EvPark, trace.NoPlace, 0, 0)
+	}
 	<-w.park
+	if traced {
+		w.ring.Record(trace.EvUnpark, trace.NoPlace, 0, 0)
+	}
 	// The waker that sent the token normally delisted us first, so this
 	// scan finds nothing. It exists as self-cleanup: should a token ever
 	// reach us while our entry is still listed, leaving the entry behind
@@ -508,10 +580,21 @@ func (r *Runtime) unpark(w *worker) {
 // drains — which necessarily happened before enqueue).
 func (r *Runtime) execute(w *worker, t *Task) {
 	w.tasks.Add(1)
-	fn, place, fin := t.fn, t.place, t.finish
+	fn, place, fin, tid := t.fn, t.place, t.finish, t.tid
 	w.freeTask(t)
-	c := Ctx{rt: r, w: w, place: place, fin: fin}
-	fn(&c)
+	c := Ctx{rt: r, w: w, place: place, fin: fin, tid: uint64(tid)}
+	if tr := w.tr; tr != nil && tr.Enabled() {
+		pid := int32(place.ID)
+		w.ring.Record(trace.EvStart, pid, uint64(tid), 0)
+		if tr.Config().PprofLabels {
+			w.runLabeled(place, fn, &c)
+		} else {
+			fn(&c)
+		}
+		w.ring.Record(trace.EvFinish, pid, uint64(tid), 0)
+	} else {
+		fn(&c)
+	}
 	if fin != nil {
 		fin.dec(&c)
 	}
@@ -532,13 +615,20 @@ func (w *worker) findWork() *Task {
 		}
 	}
 	maxUsed := int(r.maxUsed.Load())
+	traced := w.tr != nil && w.tr.Enabled()
 	for _, p := range w.steal {
 		if r.pendingPerPlace[p.ID].Load() == 0 {
 			continue
 		}
+		if traced {
+			w.ring.Record(trace.EvStealAttempt, int32(p.ID), 0, 0)
+		}
 		if t := r.inject[p.ID].take(); t != nil {
 			r.pendingPerPlace[p.ID].Add(-1)
 			w.steals.Add(1)
+			if traced {
+				w.ring.Record(trace.EvStealSuccess, int32(p.ID), uint64(t.tid), 0)
+			}
 			return t
 		}
 		// Start at a pseudo-random victim to spread contention.
@@ -559,6 +649,9 @@ func (w *worker) findWork() *Task {
 						t := w.takeBatch(p.ID, n)
 						r.pendingPerPlace[p.ID].Add(-1)
 						w.steals.Add(1)
+						if traced {
+							w.ring.Record(trace.EvStealSuccess, int32(p.ID), uint64(t.tid), uint64(n-1))
+						}
 						return t
 					}
 					if !retry {
@@ -570,6 +663,9 @@ func (w *worker) findWork() *Task {
 				if t != nil {
 					r.pendingPerPlace[p.ID].Add(-1)
 					w.steals.Add(1)
+					if traced {
+						w.ring.Record(trace.EvStealSuccess, int32(p.ID), uint64(t.tid), 0)
+					}
 					return t
 				}
 				if !retry {
@@ -668,9 +764,11 @@ func (r *Runtime) releaseID(w *worker) {
 	}
 }
 
-// waitOn blocks the current task until f is satisfied, helping with other
-// eligible work and substituting the worker if it must truly park.
-func (r *Runtime) waitOn(w *worker, f *Future) {
+// waitOn blocks the task tid until f is satisfied, helping with other
+// eligible work and substituting the worker if it must truly park. The
+// suspension is traced as an async span on tid: the worker's own track
+// keeps showing the tasks it helps with meanwhile.
+func (r *Runtime) waitOn(w *worker, tid uint64, f *Future) {
 	for !f.Done() {
 		if t := w.findWork(); t != nil {
 			r.execute(w, t)
@@ -683,6 +781,10 @@ func (r *Runtime) waitOn(w *worker, f *Future) {
 		if !f.addChanWaiter(ch) {
 			return
 		}
+		suspendTraced := w.tr != nil && w.tr.Enabled()
+		if suspendTraced {
+			w.ring.Record(trace.EvSuspend, trace.NoPlace, tid, 0)
+		}
 		// Hand our concurrency slot to a substitute, if one is available.
 		// The substitute inherits OUR paths and group: it must service
 		// exactly the places we would have, or special-purpose places
@@ -691,6 +793,9 @@ func (r *Runtime) waitOn(w *worker, f *Future) {
 		select {
 		case id := <-r.freeIDs:
 			sub := r.workers[id]
+			if sub.tr != nil && sub.ring == nil {
+				sub.ring = sub.tr.Ring(id)
+			}
 			sub.group = w.group
 			sub.pop = w.pop
 			sub.steal = w.steal
@@ -710,6 +815,9 @@ func (r *Runtime) waitOn(w *worker, f *Future) {
 			// Substitution budget exhausted; park without a substitute.
 		}
 		<-ch
+		if suspendTraced {
+			w.ring.Record(trace.EvResume, trace.NoPlace, tid, 0)
+		}
 		if substituted {
 			// We are back: ask one surplus runner of our group to retire.
 			// Retirement needs a broadcast: parked workers cannot observe

@@ -41,6 +41,11 @@ type Task struct {
 	place  *platform.Place
 	finish *finishScope
 	deps   depCounter
+	// tid is the task's trace identity, allocated at enqueue when tracing
+	// is enabled (0 otherwise) and cleared on recycle. 32 bits: it packs
+	// beside deps so Task stays exactly 32 bytes; IDs only disambiguate
+	// overlapping spans, so wrap-around on >4G-task runs is harmless.
+	tid uint32
 }
 
 // Ctx is the execution context threaded through every task body. It
@@ -52,6 +57,7 @@ type Ctx struct {
 	w     *worker
 	place *platform.Place // place the current task was scheduled at
 	fin   *finishScope    // innermost finish scope
+	tid   uint64          // trace identity of the current task (0 untraced)
 }
 
 // Runtime returns the runtime this context belongs to.
@@ -160,7 +166,7 @@ func (c *Ctx) FinishFuture(fn func(*Ctx)) *Future {
 // worker executes other eligible tasks; if none are available the worker's
 // concurrency slot is handed to a substitute so no CPU sits idle.
 func (c *Ctx) Wait(f *Future) {
-	c.rt.waitOn(c.w, f)
+	c.rt.waitOn(c.w, c.tid, f)
 }
 
 // HelpUntil keeps the current worker executing eligible tasks until pred

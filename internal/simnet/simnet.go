@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"repro/internal/spin"
+	"repro/internal/trace"
 )
 
 // CostModel parameterizes simulated communication timing. The zero value
@@ -187,6 +188,11 @@ type Fabric struct {
 	// statistics
 	sent      atomic.Int64
 	sentBytes atomic.Int64
+
+	// tracer, when set, receives a message event per send and per delivery.
+	// Sends run on arbitrary goroutines (runtime workers, drain goroutines,
+	// user code), so events go through the tracer's external ring.
+	tracer atomic.Pointer[trace.Tracer]
 }
 
 // NewFabric creates a fabric with n ranks and the given cost model.
@@ -202,6 +208,18 @@ func NewFabric(n int, cost CostModel) *Fabric {
 	f.links = make([]pairLink, n*n)
 	f.inflight = make([]atomic.Int64, n)
 	return f
+}
+
+// SetTracer attaches (or, with nil, detaches) a tracer whose external ring
+// records one EvMsgSend per Send and one EvMsgRecv per mailbox delivery.
+// Safe to call concurrently with traffic.
+func (f *Fabric) SetTracer(tr *trace.Tracer) { f.tracer.Store(tr) }
+
+// traceMsg records a message event: Task packs src<<32|dst, Arg is bytes.
+func (f *Fabric) traceMsg(k trace.Kind, src, dst, bytes int) {
+	if tr := f.tracer.Load(); tr != nil && tr.Enabled() {
+		tr.RecordExternal(k, trace.NoPlace, uint64(uint32(src))<<32|uint64(uint32(dst)), uint64(bytes))
+	}
 }
 
 // Size returns the number of ranks.
@@ -229,8 +247,10 @@ func (f *Fabric) Send(src, dst, tag int, data []byte) {
 	m := Message{Src: src, Dst: dst, Tag: tag, Data: buf}
 	f.sent.Add(1)
 	f.sentBytes.Add(int64(len(data)))
+	f.traceMsg(trace.EvMsgSend, src, dst, len(data))
 	if f.cost.Zero() {
 		f.boxes[dst].deliver(m)
+		f.traceMsg(trace.EvMsgRecv, src, dst, len(data))
 		return
 	}
 	delay := f.cost.DelayBetween(src, dst, len(data))
@@ -271,6 +291,7 @@ func (f *Fabric) drainLink(link *pairLink, dst int) {
 
 		spin.Until(sm.arrival)
 		f.boxes[dst].deliver(sm.m)
+		f.traceMsg(trace.EvMsgRecv, sm.m.Src, dst, len(sm.m.Data))
 		if f.cost.CongestWindow > 0 && !f.cost.SameNode(sm.m.Src, dst) {
 			f.inflight[dst].Add(-1)
 		}

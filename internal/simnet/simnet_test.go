@@ -6,6 +6,8 @@ import (
 	"testing"
 	"testing/quick"
 	"time"
+
+	"repro/internal/trace"
 )
 
 func TestSendRecvZeroCost(t *testing.T) {
@@ -287,5 +289,50 @@ func TestOrderingUnderLatency(t *testing.T) {
 		if m.Data[0] != byte(i) {
 			t.Fatalf("message %d overtaken by %d under latency model", i, m.Data[0])
 		}
+	}
+}
+
+// TestFabricTracing checks that an attached tracer sees one send and one
+// recv event per message on both delivery paths (inline zero-cost and the
+// delayed drain-goroutine path), with ranks and sizes intact.
+func TestFabricTracing(t *testing.T) {
+	tr := trace.New(0, trace.Config{})
+
+	// Inline path: zero cost model delivers synchronously.
+	zf := NewFabric(3, CostModel{})
+	zf.SetTracer(tr)
+	zf.Send(0, 1, 7, make([]byte, 100))
+	zf.Send(2, 1, 7, make([]byte, 28))
+	zf.Recv(1, AnySource, 7)
+	zf.Recv(1, AnySource, 7)
+
+	// Delayed path: drain goroutines deliver after the modelled latency.
+	df := NewFabric(2, CostModel{Alpha: time.Microsecond})
+	df.SetTracer(tr)
+	df.Send(0, 1, 0, make([]byte, 64))
+	df.Recv(1, 0, 0)
+
+	d := tr.Derived()
+	if d.MsgsSent != 3 || d.MsgsRecvd != 3 {
+		t.Fatalf("traced %d sends / %d recvs, want 3 / 3", d.MsgsSent, d.MsgsRecvd)
+	}
+	if d.MsgBytes != 192 {
+		t.Fatalf("traced %d sent bytes, want 192", d.MsgBytes)
+	}
+	for _, ev := range tr.Events() {
+		if ev.Kind != trace.EvMsgSend && ev.Kind != trace.EvMsgRecv {
+			t.Fatalf("unexpected event kind %v from fabric", ev.Kind)
+		}
+		src, dst := int(ev.Task>>32), int(uint32(ev.Task))
+		if src < 0 || src > 2 || dst != 1 {
+			t.Fatalf("event carries ranks %d->%d, want *->1", src, dst)
+		}
+	}
+
+	// Detaching stops recording.
+	zf.SetTracer(nil)
+	zf.Send(0, 1, 7, make([]byte, 5))
+	if got := tr.Derived().MsgsSent; got != 3 {
+		t.Fatalf("detached fabric still recorded: %d sends", got)
 	}
 }

@@ -32,6 +32,9 @@ type cell struct {
 var (
 	mu    sync.RWMutex
 	cells = make(map[key]*cell)
+
+	gaugeMu sync.Mutex
+	gauges  = make(map[key]float64)
 )
 
 // Enabled globally toggles collection. Disabled tracking costs one atomic
@@ -83,6 +86,43 @@ func Add(module, api string, d time.Duration, calls int64) {
 	c.nanos.Add(int64(d))
 }
 
+// SetGauge records a named scalar value for one module — derived metrics
+// (rates, latencies, throughput) that are not call-duration shaped. The
+// trace layer publishes scheduler health gauges here so one Report shows
+// module API time next to steal success rate and park latency.
+func SetGauge(module, name string, value float64) {
+	if !Enabled.Load() {
+		return
+	}
+	gaugeMu.Lock()
+	gauges[key{module, name}] = value
+	gaugeMu.Unlock()
+}
+
+// GaugeEntry is one named scalar from a statistics snapshot.
+type GaugeEntry struct {
+	Module string
+	Name   string
+	Value  float64
+}
+
+// Gauges returns all gauges sorted by module then name (deterministic).
+func Gauges() []GaugeEntry {
+	gaugeMu.Lock()
+	defer gaugeMu.Unlock()
+	out := make([]GaugeEntry, 0, len(gauges))
+	for k, v := range gauges {
+		out = append(out, GaugeEntry{Module: k.module, Name: k.api, Value: v})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Module != out[j].Module {
+			return out[i].Module < out[j].Module
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
 // Entry is one row of a statistics snapshot.
 type Entry struct {
 	Module string
@@ -125,23 +165,37 @@ func ModuleTotals() map[string]time.Duration {
 	return totals
 }
 
-// Report formats a snapshot as an aligned table.
+// Report formats a snapshot as an aligned table. Output is deterministic
+// for a given set of cells and gauges: entries sort by time descending
+// with a stable module/api tie-break, gauges by module/name.
 func Report() string {
 	entries := Snapshot()
-	if len(entries) == 0 {
+	gs := Gauges()
+	if len(entries) == 0 && len(gs) == 0 {
 		return "stats: no module activity recorded\n"
 	}
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-12s %-28s %12s %14s\n", "MODULE", "API", "CALLS", "TIME")
-	for _, e := range entries {
-		fmt.Fprintf(&b, "%-12s %-28s %12d %14s\n", e.Module, e.API, e.Calls, e.Time)
+	if len(entries) > 0 {
+		fmt.Fprintf(&b, "%-12s %-28s %12s %14s\n", "MODULE", "API", "CALLS", "TIME")
+		for _, e := range entries {
+			fmt.Fprintf(&b, "%-12s %-28s %12d %14s\n", e.Module, e.API, e.Calls, e.Time)
+		}
+	}
+	if len(gs) > 0 {
+		fmt.Fprintf(&b, "%-12s %-28s %27s\n", "MODULE", "GAUGE", "VALUE")
+		for _, g := range gs {
+			fmt.Fprintf(&b, "%-12s %-28s %27.3f\n", g.Module, g.Name, g.Value)
+		}
 	}
 	return b.String()
 }
 
-// Reset clears all collected statistics.
+// Reset clears all collected statistics and gauges.
 func Reset() {
 	mu.Lock()
-	defer mu.Unlock()
 	cells = make(map[key]*cell)
+	mu.Unlock()
+	gaugeMu.Lock()
+	gauges = make(map[key]float64)
+	gaugeMu.Unlock()
 }

@@ -84,3 +84,66 @@ func TestConcurrentTracking(t *testing.T) {
 		t.Fatalf("calls = %d", got)
 	}
 }
+
+// TestReportDeterministic pins Report's ordering guarantees: repeated
+// renders of one state are byte-identical, time-tied entries fall back to
+// module/api order, and the gauge section sorts by module then name
+// regardless of insertion order.
+func TestReportDeterministic(t *testing.T) {
+	Reset()
+	defer Reset()
+	// Three entries tied at the same total time, inserted out of order.
+	Add("zeta", "put", time.Millisecond, 4)
+	Add("alpha", "get", time.Millisecond, 2)
+	Add("alpha", "barrier", time.Millisecond, 1)
+	// Gauges inserted out of order, including one mid-module tie.
+	SetGauge("trace", "steal_success_rate", 0.5)
+	SetGauge("omega", "depth", 3)
+	SetGauge("trace", "mean_park_latency_us", 120)
+
+	first := Report()
+	for i := 0; i < 10; i++ {
+		if got := Report(); got != first {
+			t.Fatalf("Report diverged between renders:\n-- first --\n%s\n-- now --\n%s", first, got)
+		}
+	}
+	wantOrder := []string{
+		"alpha        barrier",
+		"alpha        get",
+		"zeta         put",
+		"omega        depth",
+		"trace        mean_park_latency_us",
+		"trace        steal_success_rate",
+	}
+	pos := -1
+	for _, frag := range wantOrder {
+		i := strings.Index(first, frag)
+		if i < 0 {
+			t.Fatalf("report missing %q:\n%s", frag, first)
+		}
+		if i < pos {
+			t.Fatalf("report orders %q before its predecessors:\n%s", frag, first)
+		}
+		pos = i
+	}
+}
+
+// TestGaugesDisabledAndReset: gauges honour the collection gate and Reset.
+func TestGaugesDisabledAndReset(t *testing.T) {
+	Reset()
+	defer Reset()
+	Enabled.Store(false)
+	SetGauge("m", "g", 1)
+	Enabled.Store(true)
+	if len(Gauges()) != 0 {
+		t.Fatal("disabled SetGauge still recorded")
+	}
+	SetGauge("m", "g", 2)
+	if gs := Gauges(); len(gs) != 1 || gs[0].Value != 2 {
+		t.Fatalf("gauges = %+v, want one entry of 2", gs)
+	}
+	Reset()
+	if len(Gauges()) != 0 {
+		t.Fatal("Reset left gauges behind")
+	}
+}

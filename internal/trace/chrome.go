@@ -1,0 +1,336 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Chrome trace-event JSON export (the "JSON Array Format" object form
+// understood by Perfetto and chrome://tracing):
+//
+//   - one track (tid) per worker identity, plus an "external" track for
+//     events recorded outside any worker;
+//   - task executions as nested B/E duration slices named after their
+//     place (nesting is exact: a task that waits on a future executes
+//     other tasks on the same worker, which appear as child slices);
+//   - suspended tasks as async spans (ph "b"/"e", id = task ID), so a
+//     task blocked on a future renders as a bar spanning its suspension
+//     even while its worker runs other slices;
+//   - scheduler edges (spawn, steal, park/unpark) as thread-scoped
+//     instants;
+//   - queue-depth samples as counter tracks ("queue <place>");
+//   - simnet messages as instants carrying src/dst/bytes args.
+//
+// Timestamps are microseconds (the trace-event unit) with nanosecond
+// precision retained in the fraction.
+
+const chromePID = 1
+
+// chromeEvent is one trace-event record. Args is a map so json.Marshal
+// emits keys in sorted (deterministic) order.
+type chromeEvent struct {
+	Name  string         `json:"name,omitempty"`
+	Cat   string         `json:"cat,omitempty"`
+	Ph    string         `json:"ph"`
+	TS    float64        `json:"ts"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	ID    string         `json:"id,omitempty"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+type chromeFile struct {
+	TraceEvents []chromeEvent `json:"traceEvents"`
+}
+
+// chromeTID maps a recording worker identity to its track.
+func (t *Tracer) chromeTID(worker int32) int {
+	if worker == ExternalWorker {
+		return len(t.rings)
+	}
+	return int(worker)
+}
+
+// chromeFor converts one event; ok=false means the event has no chrome
+// representation (never the case today, kept for forward compatibility).
+func (t *Tracer) chromeFor(e Event) (chromeEvent, bool) {
+	c := chromeEvent{
+		TS:  float64(e.TS) / 1e3,
+		PID: chromePID,
+		TID: t.chromeTID(e.Worker),
+	}
+	switch e.Kind {
+	case EvStart:
+		c.Ph, c.Cat = "B", "task"
+		c.Name = t.PlaceName(e.Place)
+		c.Args = map[string]any{"task": e.Task}
+	case EvFinish:
+		c.Ph, c.Cat = "E", "task"
+	case EvSuspend, EvResume:
+		c.Cat, c.Name = "suspend", "suspended"
+		c.ID = fmt.Sprintf("0x%x", e.Task)
+		if e.Kind == EvSuspend {
+			c.Ph = "b"
+		} else {
+			c.Ph = "e"
+		}
+	case EvQueueDepth:
+		c.Ph = "C"
+		c.Name = "queue " + t.PlaceName(e.Place)
+		c.Args = map[string]any{"depth": e.Arg}
+	case EvMsgSend, EvMsgRecv:
+		c.Ph, c.Scope = "i", "t"
+		c.Name = e.Kind.String()
+		c.Args = map[string]any{
+			"src":   e.Task >> 32,
+			"dst":   e.Task & 0xffffffff,
+			"bytes": e.Arg,
+		}
+	case EvSpawn, EvStealAttempt, EvStealSuccess, EvPark, EvUnpark:
+		c.Ph, c.Scope = "i", "t"
+		c.Name = e.Kind.String()
+		args := map[string]any{}
+		if e.Place != NoPlace {
+			args["place"] = t.PlaceName(e.Place)
+		}
+		if e.Task != 0 {
+			args["task"] = e.Task
+		}
+		if len(args) > 0 {
+			c.Args = args
+		}
+	default:
+		return c, false
+	}
+	return c, true
+}
+
+// WriteChrome writes the full trace as Chrome trace-event JSON. For an
+// exact dump, pause recording (Disable) and reach quiescence first;
+// Runtime.TraceDump does both.
+func (t *Tracer) WriteChrome(w io.Writer) error {
+	evs := t.Events()
+	rings := t.activeRings()
+	out := make([]chromeEvent, 0, len(evs)+len(rings)+3)
+	meta := func(name string, tid int, args map[string]any) {
+		out = append(out, chromeEvent{Name: name, Ph: "M", PID: chromePID, TID: tid, Args: args})
+	}
+	meta("process_name", 0, map[string]any{"name": "hiper"})
+	meta("hiper_dropped", 0, map[string]any{"dropped": t.Dropped()})
+	// Only identities that actually recorded get a named track; idle
+	// substitution slots would otherwise bury the real workers in
+	// hundreds of empty tracks.
+	for _, g := range rings {
+		meta("thread_name", int(g.id), map[string]any{"name": fmt.Sprintf("worker %d", g.id)})
+	}
+	meta("thread_name", len(t.rings), map[string]any{"name": "external"})
+	for _, e := range evs {
+		if c, ok := t.chromeFor(e); ok {
+			out = append(out, c)
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeFile{TraceEvents: out})
+}
+
+// ParseChrome decodes Chrome trace-event JSON produced by WriteChrome
+// back into events plus the worker-count and place-name context needed to
+// analyze them. This is the round-trip path: any tool downstream of the
+// JSON artifact (the text summarizer, regression diffing) reconstructs
+// the same event stream the tracer recorded, minus torn/overwritten
+// history.
+func ParseChrome(data []byte) ([]Event, *Meta, error) {
+	var f chromeFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, nil, fmt.Errorf("trace: parsing chrome JSON: %w", err)
+	}
+	m := &Meta{placeIDs: map[string]int32{}}
+	kindByName := map[string]Kind{}
+	for k := Kind(0); k < numKinds; k++ {
+		kindByName[k.String()] = k
+	}
+	externalTID := -1
+	for _, c := range f.TraceEvents {
+		if c.Ph == "M" && c.Name == "thread_name" {
+			if name, _ := c.Args["name"].(string); name == "external" {
+				externalTID = c.TID
+			} else if c.TID+1 > m.Workers {
+				m.Workers = c.TID + 1
+			}
+		}
+	}
+	placeID := func(name string) int32 {
+		id, ok := m.placeIDs[name]
+		if !ok {
+			id = int32(len(m.PlaceNames))
+			m.placeIDs[name] = id
+			m.PlaceNames = append(m.PlaceNames, name)
+		}
+		return id
+	}
+	worker := func(tid int) int32 {
+		if tid == externalTID {
+			return ExternalWorker
+		}
+		return int32(tid)
+	}
+	num := func(v any) uint64 {
+		f, _ := v.(float64)
+		return uint64(f)
+	}
+	var evs []Event
+	for _, c := range f.TraceEvents {
+		e := Event{TS: int64(c.TS * 1e3), Worker: worker(c.TID), Place: NoPlace}
+		switch {
+		case c.Ph == "M":
+			continue
+		case c.Ph == "B":
+			e.Kind = EvStart
+			e.Place = placeID(c.Name)
+			e.Task = num(c.Args["task"])
+		case c.Ph == "E":
+			e.Kind = EvFinish
+		case c.Ph == "b":
+			e.Kind = EvSuspend
+		case c.Ph == "e":
+			e.Kind = EvResume
+		case c.Ph == "C":
+			e.Kind = EvQueueDepth
+			name := c.Name
+			if len(name) > 6 && name[:6] == "queue " {
+				name = name[6:]
+			}
+			e.Place = placeID(name)
+			e.Arg = num(c.Args["depth"])
+		case c.Ph == "i":
+			k, ok := kindByName[c.Name]
+			if !ok {
+				continue
+			}
+			e.Kind = k
+			if k == EvMsgSend || k == EvMsgRecv {
+				e.Task = num(c.Args["src"])<<32 | num(c.Args["dst"])
+				e.Arg = num(c.Args["bytes"])
+			} else {
+				if p, ok := c.Args["place"].(string); ok {
+					e.Place = placeID(p)
+				}
+				e.Task = num(c.Args["task"])
+			}
+		default:
+			continue
+		}
+		evs = append(evs, e)
+	}
+	return evs, m, nil
+}
+
+// Meta is the context recovered from a parsed Chrome trace.
+type Meta struct {
+	Workers    int
+	PlaceNames []string
+	placeIDs   map[string]int32
+}
+
+// PlaceName resolves a reconstructed place ID.
+func (m *Meta) PlaceName(id int32) string {
+	if id >= 0 && int(id) < len(m.PlaceNames) {
+		return m.PlaceNames[id]
+	}
+	return fmt.Sprintf("place%d", id)
+}
+
+// validPhases is the set of trace-event phase codes WriteChrome emits.
+var validPhases = map[string]bool{
+	"M": true, "B": true, "E": true, "b": true, "e": true, "i": true, "C": true,
+}
+
+// ValidateChrome checks that data conforms to the Chrome trace-event JSON
+// schema subset WriteChrome produces: a traceEvents array whose records
+// carry a known phase, a non-negative timestamp, and pid/tid tracks; B/E
+// slices balance per track (unless the hiper_dropped metadata records
+// overwritten history — rings keep recent events, so a drop can orphan an
+// E whose B was overwritten); async spans carry ids; counters carry
+// numeric samples; and thread-name metadata names every referenced track.
+func ValidateChrome(data []byte) error {
+	var f chromeFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return fmt.Errorf("trace: chrome JSON does not parse: %w", err)
+	}
+	if len(f.TraceEvents) == 0 {
+		return fmt.Errorf("trace: chrome JSON has no traceEvents")
+	}
+	var dropped float64
+	for _, c := range f.TraceEvents {
+		if c.Ph == "M" && c.Name == "hiper_dropped" {
+			dropped, _ = c.Args["dropped"].(float64)
+		}
+	}
+	named := map[int]bool{}
+	depth := map[int]int{}
+	for i, c := range f.TraceEvents {
+		if !validPhases[c.Ph] {
+			return fmt.Errorf("trace: event %d has unknown phase %q", i, c.Ph)
+		}
+		if c.TS < 0 {
+			return fmt.Errorf("trace: event %d has negative ts %v", i, c.TS)
+		}
+		if c.Ph != "M" && c.PID != chromePID {
+			return fmt.Errorf("trace: event %d has pid %d, want %d", i, c.PID, chromePID)
+		}
+		switch c.Ph {
+		case "M":
+			if c.Name == "thread_name" {
+				named[c.TID] = true
+			}
+		case "B":
+			if c.Name == "" {
+				return fmt.Errorf("trace: duration slice %d has no name", i)
+			}
+			depth[c.TID]++
+		case "E":
+			depth[c.TID]--
+			if depth[c.TID] < 0 {
+				if dropped == 0 {
+					return fmt.Errorf("trace: track %d closes a slice it never opened and no drops are recorded", c.TID)
+				}
+				depth[c.TID] = 0 // the B was overwritten at a ring wrap
+			}
+		case "b", "e":
+			if c.ID == "" {
+				return fmt.Errorf("trace: async event %d has no id", i)
+			}
+		case "C":
+			if c.Name == "" {
+				return fmt.Errorf("trace: counter event %d has no name", i)
+			}
+			if _, ok := c.Args["depth"].(float64); !ok {
+				return fmt.Errorf("trace: counter event %d has no numeric depth", i)
+			}
+		case "i":
+			if c.Name == "" {
+				return fmt.Errorf("trace: instant event %d has no name", i)
+			}
+		}
+	}
+	for tid := range depth {
+		if !named[tid] {
+			return fmt.Errorf("trace: track %d has events but no thread_name metadata", tid)
+		}
+	}
+	return nil
+}
+
+// Summarize parses Chrome trace JSON (as written by WriteChrome) and
+// renders the plain-text top-N summary — the round-trip guarantee that
+// the JSON artifact carries everything the summarizer needs.
+func Summarize(data []byte, topN int) (string, error) {
+	evs, m, err := ParseChrome(data)
+	if err != nil {
+		return "", err
+	}
+	d := Analyze(evs, m.PlaceName)
+	return d.Format(topN), nil
+}

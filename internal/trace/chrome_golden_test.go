@@ -1,0 +1,47 @@
+package trace
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata golden files")
+
+// TestChromeGolden pins the exact Chrome trace-event JSON the exporter
+// emits for a scripted, fixed-clock trace. Any schema change — field
+// renames, phase mapping, metadata shape — shows up as a diff here and
+// must be deliberate (Perfetto and downstream tooling consume this
+// format). Regenerate with: go test ./internal/trace -run Golden -update-golden
+func TestChromeGolden(t *testing.T) {
+	tr := scriptedTracer()
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatalf("WriteChrome: %v", err)
+	}
+	if err := ValidateChrome(buf.Bytes()); err != nil {
+		t.Fatalf("generated trace fails schema validation: %v", err)
+	}
+	golden := filepath.Join("testdata", "chrome_golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden file (regenerate with -update-golden): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("chrome JSON diverges from golden file.\n-- got --\n%s\n-- want --\n%s", buf.Bytes(), want)
+	}
+	// The golden artifact itself must stay schema-valid.
+	if err := ValidateChrome(want); err != nil {
+		t.Fatalf("golden file fails schema validation: %v", err)
+	}
+}

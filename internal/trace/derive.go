@@ -1,0 +1,247 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// WorkerStats is one worker's derived activity.
+type WorkerStats struct {
+	Worker int32
+	Tasks  uint64 // executions finished on this worker
+	Steals uint64
+	Parks  uint64
+	Busy   time.Duration // time with at least one task slice open
+}
+
+// PlaceStats is one place's derived activity.
+type PlaceStats struct {
+	Place         string
+	TasksStarted  uint64
+	MaxQueueDepth uint64
+}
+
+// Derived is the counter set computed from an event stream. It is what
+// the text summary renders and what Publish merges into internal/stats.
+type Derived struct {
+	Wall time.Duration // last event TS - first event TS
+
+	Spawns        uint64
+	TasksStarted  uint64
+	TasksFinished uint64
+	Suspends      uint64
+
+	StealAttempts    uint64
+	Steals           uint64
+	StealSuccessRate float64 // Steals / StealAttempts (0 when no attempts)
+
+	Parks           uint64
+	Unparks         uint64
+	MeanParkLatency time.Duration // mean park→unpark gap per worker
+
+	MsgsSent  uint64
+	MsgsRecvd uint64
+	MsgBytes  uint64 // sent bytes
+
+	Workers []WorkerStats // sorted by Tasks descending, worker ascending
+	Places  []PlaceStats  // sorted by place name
+}
+
+// Analyze computes derived counters from an event stream (sorted or not;
+// per-worker pairing relies only on per-worker order, which ring
+// snapshots and stable sorting preserve). placeName resolves place IDs
+// for per-place aggregation; Tracer.PlaceName and Meta.PlaceName both
+// fit.
+func Analyze(evs []Event, placeName func(int32) string) Derived {
+	var d Derived
+	type wstate struct {
+		WorkerStats
+		depth     int
+		openSince int64
+		parkSince int64
+	}
+	workers := map[int32]*wstate{}
+	wsOf := func(id int32) *wstate {
+		ws, ok := workers[id]
+		if !ok {
+			ws = &wstate{WorkerStats: WorkerStats{Worker: id}, parkSince: -1}
+			workers[id] = ws
+		}
+		return ws
+	}
+	places := map[string]*PlaceStats{}
+	plOf := func(id int32) *PlaceStats {
+		name := placeName(id)
+		ps, ok := places[name]
+		if !ok {
+			ps = &PlaceStats{Place: name}
+			places[name] = ps
+		}
+		return ps
+	}
+	var first, last int64 = -1, -1
+	var parkGapTotal int64
+	var parkPairTotal uint64
+	for _, e := range evs {
+		if first < 0 || e.TS < first {
+			first = e.TS
+		}
+		if e.TS > last {
+			last = e.TS
+		}
+		ws := wsOf(e.Worker)
+		switch e.Kind {
+		case EvSpawn:
+			d.Spawns++
+		case EvStart:
+			d.TasksStarted++
+			if e.Place != NoPlace {
+				plOf(e.Place).TasksStarted++
+			}
+			if ws.depth == 0 {
+				ws.openSince = e.TS
+			}
+			ws.depth++
+		case EvFinish:
+			d.TasksFinished++
+			ws.Tasks++
+			if ws.depth > 0 {
+				ws.depth--
+				if ws.depth == 0 {
+					ws.Busy += time.Duration(e.TS - ws.openSince)
+				}
+			}
+		case EvSuspend:
+			d.Suspends++
+		case EvStealAttempt:
+			d.StealAttempts++
+		case EvStealSuccess:
+			d.Steals++
+			ws.Steals++
+		case EvPark:
+			d.Parks++
+			ws.Parks++
+			ws.parkSince = e.TS
+		case EvUnpark:
+			d.Unparks++
+			if ws.parkSince >= 0 {
+				parkGapTotal += e.TS - ws.parkSince
+				parkPairTotal++
+				ws.parkSince = -1
+			}
+		case EvQueueDepth:
+			if e.Place != NoPlace {
+				ps := plOf(e.Place)
+				if e.Arg > ps.MaxQueueDepth {
+					ps.MaxQueueDepth = e.Arg
+				}
+			}
+		case EvMsgSend:
+			d.MsgsSent++
+			d.MsgBytes += e.Arg
+		case EvMsgRecv:
+			d.MsgsRecvd++
+		}
+	}
+	if first >= 0 {
+		d.Wall = time.Duration(last - first)
+	}
+	if d.StealAttempts > 0 {
+		d.StealSuccessRate = float64(d.Steals) / float64(d.StealAttempts)
+	}
+	if parkPairTotal > 0 {
+		d.MeanParkLatency = time.Duration(parkGapTotal / int64(parkPairTotal))
+	}
+	for _, ws := range workers {
+		// A worker whose only events are external bookkeeping still shows.
+		d.Workers = append(d.Workers, ws.WorkerStats)
+	}
+	sort.Slice(d.Workers, func(i, j int) bool {
+		if d.Workers[i].Tasks != d.Workers[j].Tasks {
+			return d.Workers[i].Tasks > d.Workers[j].Tasks
+		}
+		return d.Workers[i].Worker < d.Workers[j].Worker
+	})
+	for _, ps := range places {
+		d.Places = append(d.Places, *ps)
+	}
+	sort.Slice(d.Places, func(i, j int) bool { return d.Places[i].Place < d.Places[j].Place })
+	return d
+}
+
+// Format renders the derived counters as the plain-text top-N summary.
+func (d Derived) Format(topN int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== hiper-trace summary ==\n")
+	fmt.Fprintf(&b, "wall time      %v\n", d.Wall.Round(time.Microsecond))
+	fmt.Fprintf(&b, "tasks          %d started / %d finished (%d spawn events, %d suspensions)\n",
+		d.TasksStarted, d.TasksFinished, d.Spawns, d.Suspends)
+	fmt.Fprintf(&b, "steals         %d of %d attempts (%.1f%% success)\n",
+		d.Steals, d.StealAttempts, d.StealSuccessRate*100)
+	fmt.Fprintf(&b, "parks          %d (mean park latency %v)\n",
+		d.Parks, d.MeanParkLatency.Round(time.Microsecond))
+	fmt.Fprintf(&b, "messages       %d sent / %d received (%d bytes)\n",
+		d.MsgsSent, d.MsgsRecvd, d.MsgBytes)
+	if len(d.Places) > 0 {
+		fmt.Fprintf(&b, "places:\n")
+		secs := d.Wall.Seconds()
+		for _, p := range d.Places {
+			rate := "-"
+			if secs > 0 {
+				rate = fmt.Sprintf("%.0f/s", float64(p.TasksStarted)/secs)
+			}
+			fmt.Fprintf(&b, "  %-20s %8d tasks  %10s  max queue %d\n",
+				p.Place, p.TasksStarted, rate, p.MaxQueueDepth)
+		}
+	}
+	rows := d.Workers
+	if topN > 0 && len(rows) > topN {
+		rows = rows[:topN]
+	}
+	if len(rows) > 0 {
+		fmt.Fprintf(&b, "top %d workers by tasks executed:\n", len(rows))
+		fmt.Fprintf(&b, "  %-8s %10s %8s %6s %12s\n", "worker", "tasks", "steals", "parks", "busy")
+		for _, w := range rows {
+			id := fmt.Sprintf("%d", w.Worker)
+			if w.Worker == ExternalWorker {
+				id = "ext"
+			}
+			fmt.Fprintf(&b, "  %-8s %10d %8d %6d %12v\n",
+				id, w.Tasks, w.Steals, w.Parks, w.Busy.Round(time.Microsecond))
+		}
+	}
+	return b.String()
+}
+
+// Derived snapshots the tracer and computes its derived counters.
+func (t *Tracer) Derived() Derived {
+	return Analyze(t.Events(), t.PlaceName)
+}
+
+// Summary snapshots the tracer and renders the top-N text summary.
+func (t *Tracer) Summary(topN int) string {
+	return t.Derived().Format(topN)
+}
+
+// Publish merges the derived counters into internal/stats as gauges, so
+// one stats.Report() shows per-module API time next to scheduler health:
+// steal success rate, mean park latency, and per-place task throughput.
+func (d Derived) Publish() {
+	stats.SetGauge("trace", "steal_success_rate", d.StealSuccessRate)
+	stats.SetGauge("trace", "mean_park_latency_us", float64(d.MeanParkLatency)/1e3)
+	stats.SetGauge("trace", "tasks_finished", float64(d.TasksFinished))
+	if secs := d.Wall.Seconds(); secs > 0 {
+		stats.SetGauge("trace", "tasks_per_sec", float64(d.TasksStarted)/secs)
+		for _, p := range d.Places {
+			stats.SetGauge("trace", "tasks_per_sec["+p.Place+"]", float64(p.TasksStarted)/secs)
+		}
+	}
+	if d.MsgsSent > 0 {
+		stats.SetGauge("trace", "msgs_sent", float64(d.MsgsSent))
+		stats.SetGauge("trace", "msg_bytes_sent", float64(d.MsgBytes))
+	}
+}

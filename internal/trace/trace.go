@@ -1,0 +1,340 @@
+// Package trace is the runtime-wide tracing layer: per-worker,
+// fixed-capacity event ring buffers recording the full task lifecycle —
+// spawn, steal-attempt/steal-success, start, suspend-on-future, resume,
+// finish, park/unpark — plus place-tagged queue-depth samples and simnet
+// message send/recv.
+//
+// Design constraints, in order:
+//
+//  1. Disabled tracing must cost (almost) nothing: the runtime checks one
+//     pointer, and an armed-but-paused tracer adds one atomic load. No
+//     event machinery runs until both gates pass.
+//  2. The enabled hot path takes no locks: each worker identity owns one
+//     single-writer ring; only code running outside any worker (module
+//     completion goroutines, simnet delivery goroutines) shares a
+//     mutex-guarded external ring.
+//  3. Memory is bounded: rings have fixed capacity and overwrite their
+//     oldest events (the drop policy — recent history wins). Dropped()
+//     reports how much history was lost.
+//
+// Ring slots are stored through atomics so that an exporter may snapshot
+// concurrently with live writers without data races; a snapshot taken
+// while workers are actively recording may contain a torn event at the
+// wrap boundary, so exporters that need exactness (Runtime.TraceDump)
+// pause recording first. Exporters: Chrome trace-event JSON (loadable in
+// Perfetto / chrome://tracing, one track per worker, async spans for
+// suspended tasks), a plain-text top-N summary, and derived counters
+// merged into internal/stats.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Kind enumerates the event taxonomy.
+type Kind uint8
+
+const (
+	// EvSpawn: a task became eligible and was enqueued at a place.
+	EvSpawn Kind = iota
+	// EvStealAttempt: a worker scanned a non-empty place on its steal path.
+	EvStealAttempt
+	// EvStealSuccess: the scan obtained a task (from a victim deque or the
+	// place's injector).
+	EvStealSuccess
+	// EvStart / EvFinish bracket one task execution on a worker.
+	EvStart
+	EvFinish
+	// EvSuspend / EvResume bracket a task blocked on an unsatisfied future
+	// (exported as an async span: the worker runs other tasks meanwhile).
+	EvSuspend
+	EvResume
+	// EvPark / EvUnpark bracket a worker sleeping in its parking slot.
+	EvPark
+	EvUnpark
+	// EvQueueDepth is a place-tagged queue-depth sample (Arg = depth).
+	EvQueueDepth
+	// EvMsgSend / EvMsgRecv are simnet message events (Task packs
+	// src<<32|dst, Arg = payload bytes).
+	EvMsgSend
+	EvMsgRecv
+
+	numKinds
+)
+
+var kindNames = [numKinds]string{
+	"spawn", "steal-attempt", "steal", "start", "finish",
+	"suspend", "resume", "park", "unpark", "queue-depth",
+	"msg-send", "msg-recv",
+}
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// ExternalWorker is the Worker value of events recorded outside any
+// worker identity (injector spawns, simnet goroutines).
+const ExternalWorker int32 = -1
+
+// NoPlace is the Place value of events not tagged with a place.
+const NoPlace int32 = -1
+
+// Event is one decoded trace record.
+type Event struct {
+	TS     int64 // nanoseconds since the tracer epoch
+	Kind   Kind
+	Worker int32  // recording worker identity, or ExternalWorker
+	Place  int32  // place ID, or NoPlace
+	Task   uint64 // task ID (0 = none), or packed src<<32|dst for messages
+	Arg    uint64 // kind-specific payload (queue depth, message bytes)
+}
+
+// Config tunes a Tracer. The zero value gives usable defaults.
+type Config struct {
+	// RingSize is the per-worker event capacity, rounded up to a power of
+	// two. Default 65536. When a ring fills, the oldest events are
+	// overwritten (recent history wins).
+	RingSize int
+	// PprofLabels attaches runtime/pprof labels ("worker", "place") around
+	// task execution so CPU profiles slice by scheduler context.
+	PprofLabels bool
+	// OutPath, if non-empty, makes Runtime.Close write the Chrome trace
+	// JSON there during shutdown.
+	OutPath string
+}
+
+const defaultRingSize = 1 << 16
+
+func (c Config) ringSize() int {
+	n := c.RingSize
+	if n <= 0 {
+		n = defaultRingSize
+	}
+	// Round up to a power of two for mask indexing.
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// slot is one ring entry. Fields are atomics so exporters may read
+// concurrently with the (single) writer without data races; meta packs
+// kind<<32 | uint32(place).
+type slot struct {
+	ts   atomic.Int64
+	meta atomic.Uint64
+	task atomic.Uint64
+	arg  atomic.Uint64
+}
+
+// Ring is one fixed-capacity event buffer with a single designated
+// writer (the owning worker identity). Record takes no locks.
+type Ring struct {
+	tr   *Tracer
+	id   int32
+	mask uint64
+	pos  atomic.Uint64 // total events ever recorded; slot index = pos & mask
+	buf  []slot
+}
+
+// Record appends one event. Only the ring's owning goroutine may call it
+// (single-writer by design); concurrent readers are safe.
+func (g *Ring) Record(k Kind, place int32, task, arg uint64) {
+	p := g.pos.Load()
+	s := &g.buf[p&g.mask]
+	s.ts.Store(g.tr.now())
+	s.meta.Store(uint64(k)<<32 | uint64(uint32(place)))
+	s.task.Store(task)
+	s.arg.Store(arg)
+	g.pos.Store(p + 1)
+}
+
+// len reports how many events are currently held (capped at capacity).
+func (g *Ring) len() int {
+	n := g.pos.Load()
+	if n > uint64(len(g.buf)) {
+		return len(g.buf)
+	}
+	return int(n)
+}
+
+// dropped reports how many events were overwritten.
+func (g *Ring) dropped() uint64 {
+	n := g.pos.Load()
+	if n > uint64(len(g.buf)) {
+		return n - uint64(len(g.buf))
+	}
+	return 0
+}
+
+// snapshot appends the ring's events, oldest first, to dst.
+func (g *Ring) snapshot(dst []Event) []Event {
+	end := g.pos.Load()
+	start := uint64(0)
+	if end > uint64(len(g.buf)) {
+		start = end - uint64(len(g.buf))
+	}
+	for p := start; p < end; p++ {
+		s := &g.buf[p&g.mask]
+		meta := s.meta.Load()
+		dst = append(dst, Event{
+			TS:     s.ts.Load(),
+			Kind:   Kind(meta >> 32),
+			Worker: g.id,
+			Place:  int32(uint32(meta)),
+			Task:   s.task.Load(),
+			Arg:    s.arg.Load(),
+		})
+	}
+	return dst
+}
+
+// Tracer owns one ring per worker identity plus a shared external ring,
+// a task-ID allocator, and the recording gate.
+type Tracer struct {
+	cfg     Config
+	enabled atomic.Bool
+	epoch   time.Time
+	clock   func() int64 // nanoseconds since epoch; injectable for tests
+
+	// rings is indexed by worker identity. Slots fill lazily on first
+	// Ring call: the identity space includes hundreds of substitution
+	// slots that mostly never run, and a ring is ringSize×32 bytes —
+	// eager allocation would cost hundreds of megabytes up front.
+	rings []atomic.Pointer[Ring]
+	ext   *Ring
+	extMu sync.Mutex
+
+	nextTask   atomic.Uint64
+	placeNames []string
+}
+
+// New creates a tracer covering worker identities 0..workers-1 plus the
+// external ring. Per-identity rings allocate on first use (see Ring).
+// The tracer starts enabled.
+func New(workers int, cfg Config) *Tracer {
+	t := &Tracer{cfg: cfg, epoch: time.Now()}
+	t.clock = func() int64 { return int64(time.Since(t.epoch)) }
+	t.rings = make([]atomic.Pointer[Ring], workers)
+	t.ext = t.newRing(ExternalWorker)
+	t.enabled.Store(true)
+	return t
+}
+
+func (t *Tracer) newRing(id int32) *Ring {
+	size := t.cfg.ringSize()
+	return &Ring{tr: t, id: id, mask: uint64(size - 1), buf: make([]slot, size)}
+}
+
+// Config returns the tracer's configuration.
+func (t *Tracer) Config() Config { return t.cfg }
+
+// Enabled reports whether recording is on. This is the hot-path gate:
+// one atomic load.
+func (t *Tracer) Enabled() bool { return t.enabled.Load() }
+
+// Enable resumes recording.
+func (t *Tracer) Enable() { t.enabled.Store(true) }
+
+// Disable pauses recording. In-flight Record calls on other goroutines
+// may still land (the gate is advisory, not a barrier); exporters that
+// need exactness should reach quiescence first.
+func (t *Tracer) Disable() { t.enabled.Store(false) }
+
+// SetClock replaces the tracer's clock (nanoseconds since an arbitrary
+// epoch, must be monotonic non-decreasing). Test hook for deterministic
+// golden output; call before any recording.
+func (t *Tracer) SetClock(fn func() int64) { t.clock = fn }
+
+func (t *Tracer) now() int64 { return t.clock() }
+
+// SetPlaceNames installs the place-ID → name table used by exporters.
+func (t *Tracer) SetPlaceNames(names []string) { t.placeNames = names }
+
+// PlaceName resolves a place ID to its display name.
+func (t *Tracer) PlaceName(id int32) string {
+	if id >= 0 && int(id) < len(t.placeNames) {
+		return t.placeNames[id]
+	}
+	return fmt.Sprintf("place%d", id)
+}
+
+// NextTaskID allocates a fresh nonzero task ID.
+func (t *Tracer) NextTaskID() uint64 { return t.nextTask.Add(1) }
+
+// Workers returns the size of the worker identity space.
+func (t *Tracer) Workers() int { return len(t.rings) }
+
+// Ring returns worker identity w's ring, allocating it on first call.
+// Callers cache the result (the runtime wires it into the worker), so
+// the CAS race on concurrent first calls resolves to one winner and the
+// loser's ring is garbage before any event lands in it.
+func (t *Tracer) Ring(w int) *Ring {
+	if g := t.rings[w].Load(); g != nil {
+		return g
+	}
+	g := t.newRing(int32(w))
+	if t.rings[w].CompareAndSwap(nil, g) {
+		return g
+	}
+	return t.rings[w].Load()
+}
+
+// activeRings returns the rings allocated so far, in identity order.
+func (t *Tracer) activeRings() []*Ring {
+	out := make([]*Ring, 0, len(t.rings))
+	for i := range t.rings {
+		if g := t.rings[i].Load(); g != nil {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// RecordExternal records an event from code running outside any worker
+// identity. Unlike worker rings this path takes a mutex: external
+// recorders (module completion callbacks, simnet delivery goroutines)
+// are many and unregistered.
+func (t *Tracer) RecordExternal(k Kind, place int32, task, arg uint64) {
+	if !t.Enabled() {
+		return
+	}
+	t.extMu.Lock()
+	t.ext.Record(k, place, task, arg)
+	t.extMu.Unlock()
+}
+
+// Dropped reports the total number of overwritten events across all rings.
+func (t *Tracer) Dropped() uint64 {
+	var n uint64
+	for _, g := range t.activeRings() {
+		n += g.dropped()
+	}
+	return n + t.ext.dropped()
+}
+
+// Events snapshots every ring and returns all events sorted by timestamp
+// (stable, so each ring's internal order is preserved on ties).
+func (t *Tracer) Events() []Event {
+	rings := t.activeRings()
+	total := t.ext.len()
+	for _, g := range rings {
+		total += g.len()
+	}
+	out := make([]Event, 0, total)
+	for _, g := range rings {
+		out = g.snapshot(out)
+	}
+	out = t.ext.snapshot(out)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].TS < out[j].TS })
+	return out
+}

@@ -1,0 +1,216 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// scriptClock returns a clock yielding t0, t0+step, t0+2*step, ...
+func scriptClock(t0, step int64) func() int64 {
+	n := int64(0)
+	return func() int64 {
+		v := t0 + n*step
+		n++
+		return v
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	seen := map[string]bool{}
+	for k := Kind(0); k < numKinds; k++ {
+		s := k.String()
+		if s == "" || strings.HasPrefix(s, "kind(") {
+			t.Fatalf("kind %d has no name", k)
+		}
+		if seen[s] {
+			t.Fatalf("duplicate kind name %q", s)
+		}
+		seen[s] = true
+	}
+	if got := Kind(200).String(); got != "kind(200)" {
+		t.Fatalf("out-of-range kind: %q", got)
+	}
+}
+
+func TestRingWrapAndDrop(t *testing.T) {
+	tr := New(1, Config{RingSize: 4})
+	tr.SetClock(scriptClock(0, 1))
+	g := tr.Ring(0)
+	for i := 0; i < 10; i++ {
+		g.Record(EvSpawn, 0, uint64(i+1), 0)
+	}
+	evs := tr.Events()
+	if len(evs) != 4 {
+		t.Fatalf("ring of 4 holds %d events", len(evs))
+	}
+	// Oldest first, most recent history retained.
+	for i, e := range evs {
+		if want := uint64(7 + i); e.Task != want {
+			t.Fatalf("event %d: task %d, want %d", i, e.Task, want)
+		}
+	}
+	if d := tr.Dropped(); d != 6 {
+		t.Fatalf("dropped = %d, want 6", d)
+	}
+}
+
+func TestRingSizeRounding(t *testing.T) {
+	if got := (Config{RingSize: 5}).ringSize(); got != 8 {
+		t.Fatalf("ringSize(5) = %d, want 8", got)
+	}
+	if got := (Config{}).ringSize(); got != defaultRingSize {
+		t.Fatalf("default ringSize = %d, want %d", got, defaultRingSize)
+	}
+}
+
+func TestEnableGate(t *testing.T) {
+	tr := New(1, Config{RingSize: 8})
+	tr.Disable()
+	tr.RecordExternal(EvMsgSend, NoPlace, 1, 1)
+	if n := len(tr.Events()); n != 0 {
+		t.Fatalf("disabled tracer recorded %d external events", n)
+	}
+	tr.Enable()
+	tr.RecordExternal(EvMsgSend, NoPlace, 1, 1)
+	if n := len(tr.Events()); n != 1 {
+		t.Fatalf("enabled tracer recorded %d external events, want 1", n)
+	}
+}
+
+func TestTaskIDsMonotonic(t *testing.T) {
+	tr := New(1, Config{})
+	a, b := tr.NextTaskID(), tr.NextTaskID()
+	if a == 0 || b != a+1 {
+		t.Fatalf("task ids %d, %d", a, b)
+	}
+}
+
+// script records a small, fully deterministic two-worker trace with
+// external simnet events; shared by the analyze, golden, and round-trip
+// tests.
+func scriptedTracer() *Tracer {
+	tr := New(2, Config{RingSize: 64})
+	tr.SetClock(scriptClock(1000, 1000)) // 1µs epoch, 1µs apart
+	tr.SetPlaceNames([]string{"sysmem0", "interconnect0"})
+	w0, w1 := tr.Ring(0), tr.Ring(1)
+	w0.Record(EvSpawn, 0, 1, 0)        // ts 1000
+	w0.Record(EvQueueDepth, 0, 0, 3)   // ts 2000
+	w0.Record(EvStart, 0, 1, 0)        // ts 3000
+	w0.Record(EvSpawn, 0, 2, 0)        // ts 4000
+	w1.Record(EvStealAttempt, 0, 0, 0) // ts 5000
+	w1.Record(EvStealSuccess, 0, 2, 0) // ts 6000
+	w1.Record(EvStart, 0, 2, 0)        // ts 7000
+	w0.Record(EvSuspend, NoPlace, 1, 0)
+	w1.Record(EvFinish, 0, 2, 0)
+	w0.Record(EvResume, NoPlace, 1, 0)
+	w0.Record(EvFinish, 0, 1, 0)
+	w1.Record(EvPark, NoPlace, 0, 0)
+	w1.Record(EvUnpark, NoPlace, 0, 0)
+	tr.RecordExternal(EvMsgSend, NoPlace, 0<<32|1, 128)
+	tr.RecordExternal(EvMsgRecv, NoPlace, 0<<32|1, 128)
+	return tr
+}
+
+func TestAnalyzeDerived(t *testing.T) {
+	tr := scriptedTracer()
+	d := tr.Derived()
+	if d.Spawns != 2 || d.TasksStarted != 2 || d.TasksFinished != 2 {
+		t.Fatalf("task counts: %+v", d)
+	}
+	if d.StealAttempts != 1 || d.Steals != 1 || d.StealSuccessRate != 1.0 {
+		t.Fatalf("steal counts: %+v", d)
+	}
+	if d.Parks != 1 || d.Unparks != 1 {
+		t.Fatalf("park counts: %+v", d)
+	}
+	if d.MeanParkLatency != 1*time.Microsecond {
+		t.Fatalf("park latency %v, want 1µs", d.MeanParkLatency)
+	}
+	if d.Suspends != 1 {
+		t.Fatalf("suspends %d, want 1", d.Suspends)
+	}
+	if d.MsgsSent != 1 || d.MsgsRecvd != 1 || d.MsgBytes != 128 {
+		t.Fatalf("msg counts: %+v", d)
+	}
+	if len(d.Places) != 1 || d.Places[0].Place != "sysmem0" {
+		t.Fatalf("places: %+v", d.Places)
+	}
+	if d.Places[0].TasksStarted != 2 || d.Places[0].MaxQueueDepth != 3 {
+		t.Fatalf("place stats: %+v", d.Places[0])
+	}
+	// Busy time: w0 ran task 1 from ts 3000 to finish; w1 from 7000 to 9000.
+	if len(d.Workers) < 2 {
+		t.Fatalf("worker rows: %+v", d.Workers)
+	}
+	for _, w := range d.Workers {
+		if (w.Worker == 0 || w.Worker == 1) && w.Tasks != 1 {
+			t.Fatalf("worker %d tasks = %d, want 1", w.Worker, w.Tasks)
+		}
+	}
+}
+
+func TestSummaryRoundTripThroughChrome(t *testing.T) {
+	tr := scriptedTracer()
+	direct := tr.Summary(4)
+
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatalf("WriteChrome: %v", err)
+	}
+	viaJSON, err := Summarize(buf.Bytes(), 4)
+	if err != nil {
+		t.Fatalf("Summarize: %v", err)
+	}
+	if direct != viaJSON {
+		t.Fatalf("summary diverges after Chrome JSON round-trip:\n-- direct --\n%s\n-- via JSON --\n%s", direct, viaJSON)
+	}
+	for _, want := range []string{"tasks", "steals", "parks", "messages", "sysmem0"} {
+		if !strings.Contains(direct, want) {
+			t.Fatalf("summary missing %q:\n%s", want, direct)
+		}
+	}
+}
+
+func TestPublishGauges(t *testing.T) {
+	stats.Reset()
+	defer stats.Reset()
+	tr := scriptedTracer()
+	tr.Derived().Publish()
+	rep := stats.Report()
+	for _, want := range []string{"steal_success_rate", "mean_park_latency_us", "tasks_per_sec[sysmem0]"} {
+		if !strings.Contains(rep, want) {
+			t.Fatalf("stats report missing gauge %q:\n%s", want, rep)
+		}
+	}
+}
+
+func TestConcurrentRecordAndSnapshot(t *testing.T) {
+	// Exercised under -race by `make race`: single-writer rings plus the
+	// external ring recorded from several goroutines while Events() and
+	// WriteChrome run concurrently must be data-race free.
+	tr := New(2, Config{RingSize: 256})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 2000; i++ {
+			tr.Ring(0).Record(EvSpawn, 0, uint64(i), 0)
+		}
+	}()
+	go func() {
+		for i := 0; i < 2000; i++ {
+			tr.RecordExternal(EvMsgSend, NoPlace, uint64(i)<<32|1, 8)
+		}
+	}()
+	for i := 0; i < 50; i++ {
+		_ = tr.Events()
+		var buf bytes.Buffer
+		if err := tr.WriteChrome(&buf); err != nil {
+			t.Fatalf("WriteChrome during recording: %v", err)
+		}
+	}
+	<-done
+}
