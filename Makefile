@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check lint race bench-smoke bench-sched bench-trace
+.PHONY: check lint race bench-smoke bench-sched bench-trace bench-comm
 
 ## check: the tier-1 gate — vet, then the project linter, then build and
 ## the full test suite.
@@ -23,6 +23,7 @@ race:
 ## hiper-bench -sched path without overwriting the committed report.
 bench-smoke:
 	$(GO) run ./cmd/hiper-bench -sched -schedout /tmp/BENCH_scheduler.smoke.json
+	$(GO) run ./cmd/hiper-bench -comm -commout /tmp/BENCH_comm.smoke.json
 
 ## bench-sched: regenerate the committed BENCH_scheduler.json (full scale,
 ## 16 workers — the configuration recorded in EXPERIMENTS.md).
@@ -34,3 +35,9 @@ bench-sched:
 ## and fanout-wake microbenchmarks.
 bench-trace:
 	$(GO) run ./cmd/hiper-bench -tracebench BENCH_trace.json -full -workers 16
+
+## bench-comm: regenerate the committed BENCH_comm.json — transport-layer
+## ping-pong latency, the N-to-1 congestion-collapse curve, and the
+## shared-vs-separate-fabric A/B for mixed MPI+SHMEM traffic.
+bench-comm:
+	$(GO) run ./cmd/hiper-bench -comm -full -commout BENCH_comm.json

@@ -7,6 +7,7 @@
 //
 //	hiper-bench [-full] [-only fig4|fig5|fig6|fig7|graph500]
 //	hiper-bench -sched [-full] [-workers N] [-schedout BENCH_scheduler.json]
+//	hiper-bench -comm [-full] [-commout BENCH_comm.json]
 //	hiper-bench -trace out.json [-workers N]
 //	hiper-bench -tracebench BENCH_trace.json [-full] [-workers N]
 package main
@@ -29,6 +30,8 @@ func main() {
 	showStats := flag.Bool("stats", false, "print per-module API time statistics afterwards")
 	sched := flag.Bool("sched", false, "run the scheduler hot-path microbenchmarks instead of the paper figures")
 	schedOut := flag.String("schedout", "BENCH_scheduler.json", "path for the scheduler benchmark JSON report")
+	comm := flag.Bool("comm", false, "run the transport-layer communication microbenchmarks instead of the paper figures")
+	commOut := flag.String("commout", "BENCH_comm.json", "path for the communication benchmark JSON report")
 	tracePath := flag.String("trace", "", "run a traced demo workload and write its Chrome trace JSON here (load at ui.perfetto.dev)")
 	traceBench := flag.String("tracebench", "", "run the tracing overhead microbenchmarks and write the JSON report here")
 	workers := flag.Int("workers", 0, "worker count for -sched/-trace/-tracebench (0 = GOMAXPROCS)")
@@ -45,6 +48,15 @@ func main() {
 			log.Fatalf("writing %s: %v", *schedOut, err)
 		}
 		fmt.Printf("wrote %s\n", *schedOut)
+		return
+	}
+	if *comm {
+		rep := bench.CommSuite(scale)
+		fmt.Print(rep.Render())
+		if err := rep.WriteJSON(*commOut); err != nil {
+			log.Fatalf("writing %s: %v", *commOut, err)
+		}
+		fmt.Printf("wrote %s\n", *commOut)
 		return
 	}
 	if *traceBench != "" {

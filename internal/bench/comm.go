@@ -1,0 +1,226 @@
+// Communication microbenchmarks over the pluggable transport layer.
+//
+// Three families, mirroring what the transport refactor is supposed to
+// guarantee: (1) ping-pong latency across the backends, separating
+// interface overhead (Inline, zero-cost Sim) from modelled cost
+// (network Sim); (2) the congestion-collapse curve — per-message cost
+// of an N→1 fan-in as N grows, the effect behind flat ISx's collapse at
+// scale; (3) an A/B of the same mixed MPI+SHMEM fan-in on private
+// fabrics versus one shared fabric, the cross-library coupling a single
+// endpoint per rank buys. cmd/hiper-bench -comm emits the report as
+// BENCH_comm.json for cross-PR tracking.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/fabric"
+	"repro/internal/mpi"
+	"repro/internal/shmem"
+)
+
+// CommResult is one communication benchmark measurement.
+type CommResult struct {
+	Name     string  `json:"name"`
+	Ranks    int     `json:"ranks"`
+	Ops      int     `json:"ops_per_run"` // messages (fan-in) or round trips (ping-pong)
+	NsPerOp  float64 `json:"ns_per_op"`
+	CI95NsOp float64 `json:"ci95_ns_per_op"`
+}
+
+// CommReport is the machine-readable communication benchmark report.
+type CommReport struct {
+	GoMaxProcs int          `json:"gomaxprocs"`
+	Repeats    int          `json:"repeats"`
+	Results    []CommResult `json:"benchmarks"`
+}
+
+// pingPong measures ops round trips of a bytes-sized payload between
+// ranks 0 and 1 on tr, returning total elapsed time.
+func pingPong(tr fabric.Transport, ops, bytes int) time.Duration {
+	payload := make([]byte, bytes)
+	echoed := make(chan struct{})
+	go func() {
+		defer close(echoed)
+		for i := 0; i < ops; i++ {
+			m := tr.Recv(1, 0, 1)
+			tr.Send(1, 0, 2, m.Data)
+		}
+	}()
+	t0 := time.Now()
+	for i := 0; i < ops; i++ {
+		tr.Send(0, 1, 1, payload)
+		tr.Recv(0, 1, 2)
+	}
+	<-echoed
+	return time.Since(t0)
+}
+
+// transportFanIn drives senders ranks to each send msgsPer bytes-sized
+// messages at rank 0, which receives them all.
+func transportFanIn(tr fabric.Transport, senders, msgsPer, bytes int) time.Duration {
+	payload := make([]byte, bytes)
+	t0 := time.Now()
+	var wg sync.WaitGroup
+	for s := 1; s <= senders; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for i := 0; i < msgsPer; i++ {
+				tr.Send(s, 0, 1, payload)
+			}
+		}(s)
+	}
+	for i := 0; i < senders*msgsPer; i++ {
+		tr.Recv(0, fabric.AnySource, fabric.AnyTag)
+	}
+	wg.Wait()
+	return time.Since(t0)
+}
+
+// mixedFanIn runs an MPI fan-in and a SHMEM fan-in concurrently — each
+// non-zero rank sends msgs messages/puts toward rank 0 through its
+// library — and returns the elapsed wall time. The two worlds may sit
+// on one shared transport or on two private ones; the caller chooses.
+func mixedFanIn(mw *mpi.World, sw *shmem.World, msgs int) time.Duration {
+	n := mw.Size()
+	arr := sw.AllocInt64(n)
+	payload := make([]byte, 64)
+	t0 := time.Now()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var senders sync.WaitGroup
+		for r := 1; r < n; r++ {
+			senders.Add(1)
+			go func(r int) {
+				defer senders.Done()
+				comm := mw.Comm(r)
+				for i := 0; i < msgs; i++ {
+					comm.Send(payload, 0, 7)
+				}
+			}(r)
+		}
+		buf := make([]byte, len(payload))
+		root := mw.Comm(0)
+		for i := 0; i < (n-1)*msgs; i++ {
+			root.Recv(buf, mpi.AnySource, mpi.AnyTag)
+		}
+		senders.Wait()
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var pes sync.WaitGroup
+		for r := 1; r < n; r++ {
+			pes.Add(1)
+			go func(r int) {
+				defer pes.Done()
+				pe := sw.PE(r)
+				for i := 0; i < msgs; i++ {
+					pe.PutValue(arr, 0, r, int64(i))
+				}
+				pe.Quiet()
+			}(r)
+		}
+		pes.Wait()
+	}()
+	wg.Wait()
+	return time.Since(t0)
+}
+
+// CommSuite runs the communication benchmarks and returns the report.
+func CommSuite(scale Scale) *CommReport {
+	repeats := 5
+	ppOps, fanMsgs, abMsgs := 200, 6, 8
+	if scale == Full {
+		repeats = 10
+		ppOps, fanMsgs, abMsgs = 1000, 12, 16
+	}
+	rep := &CommReport{GoMaxProcs: runtime.GOMAXPROCS(0), Repeats: repeats}
+	record := func(name string, ranks, ops int, s Sample) {
+		ns := float64(s.Mean)
+		rep.Results = append(rep.Results, CommResult{
+			Name: name, Ranks: ranks, Ops: ops,
+			NsPerOp: ns, CI95NsOp: float64(s.CI95),
+		})
+	}
+
+	// Ping-pong latency: backend overhead vs modelled cost.
+	backends := []struct {
+		name string
+		mk   func() fabric.Transport
+	}{
+		{"pingpong-inline", func() fabric.Transport { return fabric.NewInline(2) }},
+		{"pingpong-sim-zero", func() fabric.Transport { return fabric.NewSim(2, fabric.CostModel{}) }},
+		{"pingpong-sim-network", func() fabric.Transport { return fabric.NewSim(2, Network()) }},
+	}
+	for _, b := range backends {
+		tr := b.mk()
+		s := Measure(1, repeats, func() time.Duration {
+			return pingPong(tr, ppOps, 64) / time.Duration(ppOps)
+		})
+		record(b.name, 2, ppOps, s)
+	}
+
+	// Congestion collapse: per-message cost of the N→1 fan-in under the
+	// standard congested network as the fan-in deepens.
+	for _, n := range []int{1, 2, 4, 8, 16} {
+		total := n * fanMsgs
+		s := Measure(1, repeats, func() time.Duration {
+			tr := fabric.NewSim(n+1, Network())
+			return transportFanIn(tr, n, fanMsgs, 256) / time.Duration(total)
+		})
+		record("fanin-"+strconv.Itoa(n)+"to1", n+1, total, s)
+	}
+
+	// Shared-fabric A/B: identical mixed MPI+SHMEM traffic, private
+	// fabrics vs one shared fabric. The per-message gap is the
+	// cross-library congestion coupling.
+	const abRanks = 4
+	abOps := 2 * (abRanks - 1) * abMsgs
+	s := Measure(1, repeats, func() time.Duration {
+		return mixedFanIn(
+			mpi.NewWorld(abRanks, Network()),
+			shmem.NewWorld(abRanks, Network()),
+			abMsgs,
+		) / time.Duration(abOps)
+	})
+	record("mixed-separate-fabrics", abRanks, abOps, s)
+	s = Measure(1, repeats, func() time.Duration {
+		tr := fabric.NewSim(abRanks, Network())
+		return mixedFanIn(mpi.NewWorldOver(tr), shmem.NewWorldOver(tr), abMsgs) / time.Duration(abOps)
+	})
+	record("mixed-shared-fabric", abRanks, abOps, s)
+	return rep
+}
+
+// WriteJSON writes the report to path.
+func (r *CommReport) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Render prints the report as an aligned table.
+func (r *CommReport) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== communication microbenchmarks (GOMAXPROCS=%d, %d repeats) ==\n",
+		r.GoMaxProcs, r.Repeats)
+	fmt.Fprintf(&b, "%-26s %6s %10s %14s %12s\n", "benchmark", "ranks", "ops/run", "ns/op", "±ci95")
+	for _, res := range r.Results {
+		fmt.Fprintf(&b, "%-26s %6d %10d %14.0f %12.0f\n",
+			res.Name, res.Ranks, res.Ops, res.NsPerOp, res.CI95NsOp)
+	}
+	return b.String()
+}

@@ -1,0 +1,57 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/fabric"
+	"repro/internal/mpi"
+	"repro/internal/shmem"
+)
+
+// TestCommBenchesSmoke runs each measured region once at toy sizes so
+// `make check` catches bit-rot without paying for a measurement run.
+func TestCommBenchesSmoke(t *testing.T) {
+	if d := pingPong(fabric.NewInline(2), 16, 64); d <= 0 {
+		t.Fatalf("pingPong elapsed %v", d)
+	}
+	if d := pingPong(fabric.NewSim(2, fabric.CostModel{}), 16, 64); d <= 0 {
+		t.Fatalf("pingPong sim elapsed %v", d)
+	}
+	if d := transportFanIn(fabric.NewSim(5, fabric.CostModel{}), 4, 4, 64); d <= 0 {
+		t.Fatalf("transportFanIn elapsed %v", d)
+	}
+	tr := fabric.NewSim(3, fabric.CostModel{})
+	if d := mixedFanIn(mpi.NewWorldOver(tr), shmem.NewWorldOver(tr), 4); d <= 0 {
+		t.Fatalf("mixedFanIn elapsed %v", d)
+	}
+}
+
+// TestCommReportJSON pins the report wire format consumed by cross-PR
+// tooling.
+func TestCommReportJSON(t *testing.T) {
+	rep := &CommReport{
+		GoMaxProcs: 4, Repeats: 5,
+		Results: []CommResult{{Name: "pingpong-inline", Ranks: 2, Ops: 16, NsPerOp: 120, CI95NsOp: 4}},
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_comm.json")
+	if err := rep.WriteJSON(path); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back CommReport
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	if len(back.Results) != 1 || back.Results[0].Name != "pingpong-inline" || back.Results[0].NsPerOp != 120 {
+		t.Fatalf("round trip mismatch: %+v", back)
+	}
+	if out := rep.Render(); out == "" {
+		t.Fatal("empty render")
+	}
+}

@@ -12,7 +12,10 @@
 //
 // Kernels are Go functions over a 1D grid; they really execute (on SM-pool
 // goroutines), so numerical results are real, while launch overhead and
-// transfer costs follow the configured model.
+// transfer costs follow the configured model. The PCIe link is a
+// two-endpoint transport from package fabric (host and device), so
+// transfer cost, ordering, statistics, and trace events come from the
+// same machinery as the network modules.
 package cuda
 
 import (
@@ -21,7 +24,15 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/fabric"
 	"repro/internal/spin"
+	"repro/internal/trace"
+)
+
+// PCIe link endpoints on the device's transport.
+const (
+	epHost = 0
+	epDev  = 1
 )
 
 // Config parameterizes a simulated device. Zero values disable the
@@ -44,8 +55,9 @@ type Config struct {
 // Device is one simulated GPU.
 type Device struct {
 	cfg  Config
-	sms  chan struct{} // SM tokens
-	used atomic.Int64  // allocated device memory
+	link fabric.Transport // PCIe: epHost <-> epDev
+	sms  chan struct{}    // SM tokens
+	used atomic.Int64     // allocated device memory
 
 	outstanding sync.WaitGroup // all enqueued ops, for Synchronize
 
@@ -62,6 +74,15 @@ func NewDevice(cfg Config) *Device {
 		cfg.SMs = 4
 	}
 	d := &Device{cfg: cfg}
+	// Host<->device transfers pay MemcpyAlpha + bytes/PCIeBytesPerSec;
+	// on-device (epDev->epDev) copies are "same node" and pay only the
+	// fixed latency, with no bandwidth term.
+	d.link = fabric.NewSim(2, fabric.CostModel{
+		Alpha:        cfg.MemcpyAlpha,
+		BytesPerSec:  cfg.PCIeBytesPerSec,
+		RanksPerNode: 1,
+		LocalAlpha:   cfg.MemcpyAlpha,
+	})
 	d.sms = make(chan struct{}, cfg.SMs)
 	for i := 0; i < cfg.SMs; i++ {
 		d.sms <- struct{}{}
@@ -71,6 +92,10 @@ func NewDevice(cfg Config) *Device {
 
 // Config returns the device configuration.
 func (d *Device) Config() Config { return d.cfg }
+
+// SetTracer attaches a tracer to the device's PCIe link: every transfer
+// records msg-send/msg-recv events (host is endpoint 0, device endpoint 1).
+func (d *Device) SetTracer(tr *trace.Tracer) { d.link.SetTracer(tr) }
 
 // Buffer is a device-memory allocation of float64 elements. Host code must
 // not touch its contents directly; use Memcpy APIs (kernels, which "run on
@@ -203,15 +228,14 @@ func (s *Stream) Record() *Event {
 	return e
 }
 
-// transferSleep models PCIe cost for a transfer of the given size.
-func (d *Device) transferSleep(bytes int) {
-	delay := d.cfg.MemcpyAlpha
-	if d.cfg.PCIeBytesPerSec > 0 {
-		delay += time.Duration(float64(bytes) / d.cfg.PCIeBytesPerSec * float64(time.Second))
-	}
-	if delay > 0 {
-		spin.Sleep(delay)
-	}
+// transfer issues one transfer on the PCIe link and blocks until it
+// lands: apply runs (with the copy effect) after the modelled delay.
+// Blocking is correct here — transfers run on a stream's drain goroutine,
+// where in-order execution is exactly the stream contract.
+func (d *Device) transfer(src, dst, bytes int, apply func()) {
+	done := make(chan struct{})
+	d.link.Put(src, dst, bytes, apply, func() { close(done) })
+	<-done
 }
 
 // MemcpyH2DAsync copies host src into dst at dstOff, asynchronously on the
@@ -221,8 +245,9 @@ func (s *Stream) MemcpyH2DAsync(dst *Buffer, dstOff int, src []float64) *Event {
 	copy(cp, src)
 	e := newEvent()
 	s.enqueue(func() {
-		s.dev.transferSleep(8 * len(cp))
-		copy(dst.data[dstOff:], cp)
+		s.dev.transfer(epHost, epDev, 8*len(cp), func() {
+			copy(dst.data[dstOff:], cp)
+		})
 		s.dev.h2dBytes.Add(int64(8 * len(cp)))
 		e.complete()
 	})
@@ -235,8 +260,9 @@ func (s *Stream) MemcpyH2DAsync(dst *Buffer, dstOff int, src []float64) *Event {
 func (s *Stream) MemcpyD2HAsync(dst []float64, src *Buffer, srcOff, n int) *Event {
 	e := newEvent()
 	s.enqueue(func() {
-		s.dev.transferSleep(8 * n)
-		copy(dst, src.data[srcOff:srcOff+n])
+		s.dev.transfer(epDev, epHost, 8*n, func() {
+			copy(dst, src.data[srcOff:srcOff+n])
+		})
 		s.dev.d2hBytes.Add(int64(8 * n))
 		e.complete()
 	})
@@ -247,11 +273,11 @@ func (s *Stream) MemcpyD2HAsync(dst []float64, src *Buffer, srcOff, n int) *Even
 func (s *Stream) MemcpyD2DAsync(dst *Buffer, dstOff int, src *Buffer, srcOff, n int) *Event {
 	e := newEvent()
 	s.enqueue(func() {
-		// On-device copies are cheap; charge only the fixed latency.
-		if s.dev.cfg.MemcpyAlpha > 0 {
-			spin.Sleep(s.dev.cfg.MemcpyAlpha)
-		}
-		copy(dst.data[dstOff:dstOff+n], src.data[srcOff:srcOff+n])
+		// On-device copies stay on the device endpoint: the cost model's
+		// local parameters charge only the fixed latency.
+		s.dev.transfer(epDev, epDev, 8*n, func() {
+			copy(dst.data[dstOff:dstOff+n], src.data[srcOff:srcOff+n])
+		})
 		e.complete()
 	})
 	return e
@@ -276,7 +302,10 @@ func (s *Stream) LaunchAsync(grid int, k Kernel) *Event {
 // runKernel executes the grid with SM-bounded parallelism.
 func (d *Device) runKernel(grid int, k Kernel) {
 	if d.cfg.LaunchOverhead > 0 {
-		spin.Sleep(d.cfg.LaunchOverhead)
+		// Launch overhead is execution-model timing (driver + hardware
+		// dispatch), not interconnect traffic, so it stays a plain sleep
+		// rather than a fabric transfer.
+		spin.Sleep(d.cfg.LaunchOverhead) //hiperlint:ignore raw-delay-outside-fabric kernel launch overhead is not communication
 	}
 	d.kernels.Add(1)
 	if grid <= 0 {
@@ -325,15 +354,17 @@ func (d *Device) Stats() (kernels, h2dBytes, d2hBytes int64) {
 
 // MemcpyH2D is a blocking host-to-device copy.
 func (d *Device) MemcpyH2D(dst *Buffer, dstOff int, src []float64) {
-	d.transferSleep(8 * len(src))
-	copy(dst.data[dstOff:], src)
+	d.transfer(epHost, epDev, 8*len(src), func() {
+		copy(dst.data[dstOff:], src)
+	})
 	d.h2dBytes.Add(int64(8 * len(src)))
 }
 
 // MemcpyD2H is a blocking device-to-host copy.
 func (d *Device) MemcpyD2H(dst []float64, src *Buffer, srcOff, n int) {
-	d.transferSleep(8 * n)
-	copy(dst, src.data[srcOff:srcOff+n])
+	d.transfer(epDev, epHost, 8*n, func() {
+		copy(dst, src.data[srcOff:srcOff+n])
+	})
 	d.d2hBytes.Add(int64(8 * n))
 }
 

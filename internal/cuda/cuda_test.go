@@ -5,6 +5,8 @@ import (
 	"testing"
 	"testing/quick"
 	"time"
+
+	"repro/internal/trace"
 )
 
 func TestMallocFreeAccounting(t *testing.T) {
@@ -242,5 +244,22 @@ func BenchmarkAsyncPipeline(b *testing.B) {
 		s.MemcpyH2DAsync(buf, 0, host)
 		s.LaunchAsync(1024, func(j int) { buf.Data()[j]++ })
 		s.MemcpyD2HAsync(host, buf, 0, 1024).Wait()
+	}
+}
+
+func TestTransfersTraced(t *testing.T) {
+	d := NewDevice(Config{})
+	tr := trace.New(1, trace.Config{RingSize: 64})
+	d.SetTracer(tr)
+	b := d.MustMalloc(4)
+	d.MemcpyH2D(b, 0, []float64{1, 2, 3, 4})
+	out := make([]float64, 4)
+	d.MemcpyD2H(out, b, 0, 4)
+	der := tr.Derived()
+	if der.MsgsSent != 2 || der.MsgsRecvd != 2 {
+		t.Fatalf("msg events: %+v", der)
+	}
+	if der.MsgBytes != 64 || der.MsgBytesRecvd != 64 {
+		t.Fatalf("msg bytes: %+v", der)
 	}
 }

@@ -1,0 +1,51 @@
+package fabric
+
+import "sync"
+
+// Barrier is a reusable (generation-counted) barrier for n participants.
+// Participants may arrive blocking (Await) or asynchronously (Arrive with
+// a completion callback); the two styles compose within one generation.
+type Barrier struct {
+	mu    sync.Mutex
+	n     int
+	count int
+	gen   uint64
+	cbs   []func()
+}
+
+// NewBarrier creates a barrier for n participants.
+func NewBarrier(n int) *Barrier {
+	return &Barrier{n: n}
+}
+
+// Await blocks until n participants have entered the current generation.
+func (b *Barrier) Await() {
+	done := make(chan struct{})
+	b.Arrive(func() { close(done) })
+	<-done
+}
+
+// Arrive registers one arrival in the current generation and invokes fn
+// (if non-nil) when the generation completes. The last arriver runs all
+// callbacks on its own goroutine. Arrive never blocks, which lets runtime
+// schedulers keep their workers busy while a barrier is pending — the
+// deadlock-avoidance property the HiPER modules rely on.
+func (b *Barrier) Arrive(fn func()) {
+	b.mu.Lock()
+	if fn != nil {
+		b.cbs = append(b.cbs, fn)
+	}
+	b.count++
+	if b.count == b.n {
+		b.count = 0
+		b.gen++
+		cbs := b.cbs
+		b.cbs = nil
+		b.mu.Unlock()
+		for _, cb := range cbs {
+			cb()
+		}
+		return
+	}
+	b.mu.Unlock()
+}

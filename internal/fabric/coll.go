@@ -1,0 +1,242 @@
+package fabric
+
+import "fmt"
+
+// ReduceOp combines two equal-length byte buffers element-wise (the
+// interpretation — int64 sum, float64 max, ... — belongs to the caller's
+// codec).
+type ReduceOp func(acc, in []byte)
+
+// Coll is the shared collectives layer: barrier, broadcast, reductions,
+// gathers, all-to-all, and scan, implemented once over any Transport.
+// Both the MPI and SHMEM libraries delegate here, so collective traffic
+// from every module flows through the same fabric — real messages on
+// reserved tags, contending with everything else in flight.
+//
+// One Coll serves one "world" of Size() participants; each participant
+// calls each collective exactly once per invocation, passing its rank.
+// Tags come from the transport's reserved space, so several Colls (one
+// per library world) coexist on a shared transport without collisions.
+// The per-(source,tag) FIFO guarantee keeps back-to-back collectives of
+// the same kind correctly matched without sequence numbers, because
+// every receive names its exact source.
+type Coll struct {
+	tr  Transport
+	bar *Barrier
+
+	tagBcast     int
+	tagReduce    int
+	tagGather    int
+	tagAllgather int
+	tagAlltoall  int
+	tagScan      int
+}
+
+// NewColl creates a collectives layer over tr covering all of its
+// endpoints, reserving the tag block it needs.
+func NewColl(tr Transport) *Coll {
+	base := tr.AllocTags(6)
+	return &Coll{
+		tr:  tr,
+		bar: NewBarrier(tr.Size()),
+
+		tagBcast:     base,
+		tagReduce:    base - 1,
+		tagGather:    base - 2,
+		tagAllgather: base - 3,
+		tagAlltoall:  base - 4,
+		tagScan:      base - 5,
+	}
+}
+
+// Transport returns the underlying transport.
+func (cl *Coll) Transport() Transport { return cl.tr }
+
+// Size returns the number of participants.
+func (cl *Coll) Size() int { return cl.tr.Size() }
+
+// Barrier blocks until every participant has entered.
+func (cl *Coll) Barrier() { cl.bar.Await() }
+
+// BarrierAsync registers a barrier arrival and invokes fn (if non-nil)
+// when all participants have arrived, without blocking the caller.
+func (cl *Coll) BarrierAsync(fn func()) { cl.bar.Arrive(fn) }
+
+// recvInto receives a matching message into buf and returns the byte
+// count, panicking on overflow (a protocol bug, not a user error).
+func (cl *Coll) recvInto(buf []byte, rank, src, tag int) (recvSrc, n int) {
+	m := cl.tr.Recv(rank, src, tag)
+	if len(m.Data) > len(buf) {
+		panic(fmt.Sprintf("fabric: collective message of %d bytes overflows %d-byte buffer at rank %d",
+			len(m.Data), len(buf), rank))
+	}
+	copy(buf, m.Data)
+	return m.Src, len(m.Data)
+}
+
+// Bcast broadcasts root's buf to all participants along a binomial tree
+// (so the critical path is O(log n) messages, as in real MPI
+// implementations). Non-root ranks receive into buf.
+func (cl *Coll) Bcast(rank int, buf []byte, root int) {
+	n := cl.Size()
+	// Rotate ranks so the root is virtual rank 0.
+	vr := (rank - root + n) % n
+	// Receive from parent (unless root).
+	if vr != 0 {
+		mask := 1
+		for mask < n {
+			if vr&mask != 0 {
+				parent := ((vr - mask) + root) % n
+				cl.recvInto(buf, rank, parent, cl.tagBcast)
+				break
+			}
+			mask <<= 1
+		}
+		// Forward to children above our lowest set bit.
+		low := vr & (-vr)
+		for mask = low >> 1; mask > 0; mask >>= 1 {
+			child := vr + mask
+			if child < n {
+				cl.tr.Send(rank, (child+root)%n, cl.tagBcast, buf)
+			}
+		}
+		return
+	}
+	// Root: send to each power-of-two child.
+	for mask := nextPow2(n) >> 1; mask > 0; mask >>= 1 {
+		child := mask
+		if child < n {
+			cl.tr.Send(rank, (child+root)%n, cl.tagBcast, buf)
+		}
+	}
+}
+
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// Reduce combines every participant's contribution with op; the result
+// lands in recv on root only (recv may be nil elsewhere). contrib and
+// recv must have equal length on ranks where present. Binomial-tree
+// reduction toward the root.
+func (cl *Coll) Reduce(rank int, recv, contrib []byte, op ReduceOp, root int) {
+	n := cl.Size()
+	vr := (rank - root + n) % n
+	acc := make([]byte, len(contrib))
+	copy(acc, contrib)
+	tmp := make([]byte, len(contrib))
+	for mask := 1; mask < n; mask <<= 1 {
+		if vr&mask != 0 {
+			parent := ((vr - mask) + root) % n
+			cl.tr.Send(rank, parent, cl.tagReduce, acc)
+			return
+		}
+		childV := vr + mask
+		if childV < n {
+			child := (childV + root) % n
+			_, cnt := cl.recvInto(tmp, rank, child, cl.tagReduce)
+			if cnt != len(acc) {
+				panic(fmt.Sprintf("fabric: Reduce size mismatch: %d vs %d", cnt, len(acc)))
+			}
+			op(acc, tmp[:cnt])
+		}
+	}
+	if recv == nil {
+		panic("fabric: Reduce root requires a receive buffer")
+	}
+	copy(recv, acc)
+}
+
+// Allreduce is Reduce to rank 0 followed by Bcast; every participant
+// receives the combined result in recv (used as scratch on non-roots).
+func (cl *Coll) Allreduce(rank int, recv, contrib []byte, op ReduceOp) {
+	cl.Reduce(rank, recv, contrib, op, 0)
+	cl.Bcast(rank, recv, 0)
+}
+
+// Gather collects every participant's contribution at root; the result
+// (indexed by rank) is returned on root, nil elsewhere. Contributions
+// may vary in size.
+func (cl *Coll) Gather(rank int, contrib []byte, root int) [][]byte {
+	if rank != root {
+		cl.tr.Send(rank, root, cl.tagGather, contrib)
+		return nil
+	}
+	n := cl.Size()
+	out := make([][]byte, n)
+	out[root] = append([]byte(nil), contrib...)
+	for i := 0; i < n-1; i++ {
+		m := cl.tr.Recv(rank, AnySource, cl.tagGather)
+		out[m.Src] = m.Data
+	}
+	return out
+}
+
+// Allgather collects every participant's contribution on every
+// participant, indexed by rank. Implemented as a ring exchange: n-1
+// steps, each forwarding the piece received in the previous step.
+func (cl *Coll) Allgather(rank int, contrib []byte) [][]byte {
+	n := cl.Size()
+	out := make([][]byte, n)
+	out[rank] = append([]byte(nil), contrib...)
+	right := (rank + 1) % n
+	left := (rank - 1 + n) % n
+	cur := rank
+	for step := 0; step < n-1; step++ {
+		cl.tr.Send(rank, right, cl.tagAllgather, out[cur])
+		m := cl.tr.Recv(rank, left, cl.tagAllgather)
+		cur = (cur - 1 + n) % n
+		out[cur] = m.Data
+	}
+	return out
+}
+
+// Alltoallv sends chunks[i] to participant i and returns the chunks
+// received, indexed by source rank (chunks may vary in size — the "v"
+// variant). All sends post eagerly, then n-1 receives collect.
+func (cl *Coll) Alltoallv(rank int, chunks [][]byte) [][]byte {
+	n := cl.Size()
+	if len(chunks) != n {
+		panic(fmt.Sprintf("fabric: Alltoallv needs %d chunks, got %d", n, len(chunks)))
+	}
+	out := make([][]byte, n)
+	out[rank] = append([]byte(nil), chunks[rank]...)
+	for d := 0; d < n; d++ {
+		if d != rank {
+			cl.tr.Send(rank, d, cl.tagAlltoall, chunks[d])
+		}
+	}
+	for i := 0; i < n-1; i++ {
+		m := cl.tr.Recv(rank, AnySource, cl.tagAlltoall)
+		if out[m.Src] != nil && m.Src != rank {
+			panic(fmt.Sprintf("fabric: Alltoallv duplicate chunk from %d", m.Src))
+		}
+		out[m.Src] = m.Data
+	}
+	return out
+}
+
+// Scan computes the inclusive prefix reduction over ranks: rank i
+// receives op(contrib_0, ..., contrib_i). Linear pipeline.
+func (cl *Coll) Scan(rank int, recv, contrib []byte, op ReduceOp) {
+	acc := make([]byte, len(contrib))
+	copy(acc, contrib)
+	if rank > 0 {
+		tmp := make([]byte, len(contrib))
+		_, cnt := cl.recvInto(tmp, rank, rank-1, cl.tagScan)
+		prev := tmp[:cnt]
+		// acc = prev op acc: apply op with prev as the left operand.
+		combined := make([]byte, len(prev))
+		copy(combined, prev)
+		op(combined, acc)
+		acc = combined
+	}
+	if rank < cl.Size()-1 {
+		cl.tr.Send(rank, rank+1, cl.tagScan, acc)
+	}
+	copy(recv, acc)
+}

@@ -1,0 +1,220 @@
+package fabric
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func sumInt64(acc, in []byte) {
+	for i := 0; i+8 <= len(in); i += 8 {
+		a := int64(binary.LittleEndian.Uint64(acc[i:]))
+		b := int64(binary.LittleEndian.Uint64(in[i:]))
+		binary.LittleEndian.PutUint64(acc[i:], uint64(a+b))
+	}
+}
+
+func i64(v int64) []byte {
+	b := make([]byte, 8)
+	binary.LittleEndian.PutUint64(b, uint64(v))
+	return b
+}
+
+func geti64(b []byte) int64 { return int64(binary.LittleEndian.Uint64(b)) }
+
+// runWorld runs fn once per rank on its own goroutine and waits.
+func runWorld(n int, fn func(rank int)) {
+	var wg sync.WaitGroup
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			fn(r)
+		}(r)
+	}
+	wg.Wait()
+}
+
+// transports returns both backends at size n, labelled.
+func transports(n int) map[string]Transport {
+	return map[string]Transport{
+		"sim-zero": NewSim(n, CostModel{}),
+		"sim-cost": NewSim(n, CostModel{Alpha: 50 * time.Microsecond}),
+		"inline":   NewInline(n),
+	}
+}
+
+func TestCollBcast(t *testing.T) {
+	const n = 7
+	for name, tr := range transports(n) {
+		t.Run(name, func(t *testing.T) {
+			cl := NewColl(tr)
+			for root := 0; root < n; root++ {
+				runWorld(n, func(rank int) {
+					buf := make([]byte, 8)
+					if rank == root {
+						copy(buf, i64(int64(1000+root)))
+					}
+					cl.Bcast(rank, buf, root)
+					if got := geti64(buf); got != int64(1000+root) {
+						t.Errorf("root %d rank %d: got %d", root, rank, got)
+					}
+				})
+			}
+		})
+	}
+}
+
+func TestCollReduceAllreduce(t *testing.T) {
+	const n = 6
+	want := int64(n * (n - 1) / 2)
+	for name, tr := range transports(n) {
+		t.Run(name, func(t *testing.T) {
+			cl := NewColl(tr)
+			runWorld(n, func(rank int) {
+				var recv []byte
+				if rank == 3 {
+					recv = make([]byte, 8)
+				}
+				cl.Reduce(rank, recv, i64(int64(rank)), sumInt64, 3)
+				if rank == 3 && geti64(recv) != want {
+					t.Errorf("Reduce at root: got %d want %d", geti64(recv), want)
+				}
+			})
+			runWorld(n, func(rank int) {
+				recv := make([]byte, 8)
+				cl.Allreduce(rank, recv, i64(int64(rank)), sumInt64)
+				if geti64(recv) != want {
+					t.Errorf("Allreduce rank %d: got %d want %d", rank, geti64(recv), want)
+				}
+			})
+		})
+	}
+}
+
+func TestCollGatherAllgather(t *testing.T) {
+	const n = 5
+	for name, tr := range transports(n) {
+		t.Run(name, func(t *testing.T) {
+			cl := NewColl(tr)
+			runWorld(n, func(rank int) {
+				out := cl.Gather(rank, []byte(fmt.Sprintf("r%d", rank)), 2)
+				if rank != 2 {
+					if out != nil {
+						t.Errorf("non-root rank %d got %v", rank, out)
+					}
+					return
+				}
+				for i, chunk := range out {
+					if string(chunk) != fmt.Sprintf("r%d", i) {
+						t.Errorf("Gather slot %d = %q", i, chunk)
+					}
+				}
+			})
+			runWorld(n, func(rank int) {
+				out := cl.Allgather(rank, []byte(fmt.Sprintf("r%d", rank)))
+				for i, chunk := range out {
+					if string(chunk) != fmt.Sprintf("r%d", i) {
+						t.Errorf("Allgather rank %d slot %d = %q", rank, i, chunk)
+					}
+				}
+			})
+		})
+	}
+}
+
+func TestCollAlltoallvScan(t *testing.T) {
+	const n = 4
+	for name, tr := range transports(n) {
+		t.Run(name, func(t *testing.T) {
+			cl := NewColl(tr)
+			runWorld(n, func(rank int) {
+				chunks := make([][]byte, n)
+				for d := range chunks {
+					chunks[d] = []byte(fmt.Sprintf("%d->%d", rank, d))
+				}
+				out := cl.Alltoallv(rank, chunks)
+				for s, chunk := range out {
+					if want := fmt.Sprintf("%d->%d", s, rank); string(chunk) != want {
+						t.Errorf("rank %d from %d: %q want %q", rank, s, chunk, want)
+					}
+				}
+			})
+			runWorld(n, func(rank int) {
+				recv := make([]byte, 8)
+				cl.Scan(rank, recv, i64(int64(rank+1)), sumInt64)
+				want := int64((rank + 1) * (rank + 2) / 2)
+				if geti64(recv) != want {
+					t.Errorf("Scan rank %d: got %d want %d", rank, geti64(recv), want)
+				}
+			})
+		})
+	}
+}
+
+func TestCollBarrier(t *testing.T) {
+	const n = 5
+	cl := NewColl(NewInline(n))
+	var mu sync.Mutex
+	entered := 0
+	runWorld(n, func(rank int) {
+		mu.Lock()
+		entered++
+		mu.Unlock()
+		cl.Barrier()
+		mu.Lock()
+		if entered != n {
+			t.Errorf("barrier released rank %d with %d/%d entered", rank, entered, n)
+		}
+		mu.Unlock()
+	})
+}
+
+// Two Colls on one shared transport (two library worlds composed on one
+// fabric) must not cross-match each other's collective traffic.
+func TestTwoCollsShareTransport(t *testing.T) {
+	const n = 4
+	tr := NewSim(n, CostModel{})
+	clA, clB := NewColl(tr), NewColl(tr)
+	runWorld(n, func(rank int) {
+		bufA := make([]byte, 8)
+		bufB := make([]byte, 8)
+		if rank == 0 {
+			copy(bufA, i64(111))
+			copy(bufB, i64(222))
+		}
+		// Interleave the two worlds' broadcasts on the same ranks.
+		clA.Bcast(rank, bufA, 0)
+		clB.Bcast(rank, bufB, 0)
+		if geti64(bufA) != 111 || geti64(bufB) != 222 {
+			t.Errorf("rank %d: worlds cross-matched: A=%d B=%d", rank, geti64(bufA), geti64(bufB))
+		}
+	})
+}
+
+func TestCollReduceRootNeedsBuffer(t *testing.T) {
+	cl := NewColl(NewInline(1))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for nil root buffer")
+		}
+	}()
+	cl.Reduce(0, nil, i64(1), sumInt64, 0)
+}
+
+func TestCollVariableSizes(t *testing.T) {
+	const n = 3
+	cl := NewColl(NewInline(n))
+	runWorld(n, func(rank int) {
+		contrib := bytes.Repeat([]byte{byte(rank + 1)}, rank+1)
+		out := cl.Allgather(rank, contrib)
+		for i, chunk := range out {
+			if len(chunk) != i+1 || (len(chunk) > 0 && chunk[0] != byte(i+1)) {
+				t.Errorf("rank %d slot %d: %v", rank, i, chunk)
+			}
+		}
+	})
+}

@@ -1,0 +1,65 @@
+package fabric
+
+import "time"
+
+// CostModel parameterizes simulated communication timing. The zero value
+// is a zero-cost network with synchronous in-line delivery — deterministic
+// and fast, ideal for unit tests.
+type CostModel struct {
+	// Alpha is the fixed per-message latency.
+	Alpha time.Duration
+	// BytesPerSec is the link bandwidth; zero means infinite.
+	BytesPerSec float64
+	// CongestWindow is how many in-flight messages a destination absorbs
+	// at full speed; beyond it each additional message pays CongestPenalty.
+	// Zero disables congestion modelling.
+	CongestWindow int
+	// CongestPenalty is the extra delay per excess in-flight message.
+	CongestPenalty time.Duration
+
+	// RanksPerNode groups consecutive ranks onto "nodes": traffic between
+	// ranks of the same node uses the (cheap) local parameters and is
+	// exempt from congestion, like shared-memory transports in real
+	// communication runtimes. Zero means every rank is its own node.
+	RanksPerNode int
+	// LocalAlpha is the fixed latency for same-node messages.
+	LocalAlpha time.Duration
+	// LocalBytesPerSec is the same-node bandwidth; zero means infinite.
+	LocalBytesPerSec float64
+}
+
+// SameNode reports whether two ranks share a node under this model.
+func (c CostModel) SameNode(a, b int) bool {
+	if a == b {
+		return true
+	}
+	return c.RanksPerNode > 1 && a/c.RanksPerNode == b/c.RanksPerNode
+}
+
+// DelayBetween computes the transfer delay from src to dst for a message
+// of the given size, honouring node locality.
+func (c CostModel) DelayBetween(src, dst, bytes int) time.Duration {
+	if c.SameNode(src, dst) {
+		d := c.LocalAlpha
+		if c.LocalBytesPerSec > 0 {
+			d += time.Duration(float64(bytes) / c.LocalBytesPerSec * float64(time.Second))
+		}
+		return d
+	}
+	return c.Delay(bytes)
+}
+
+// Delay computes the base transfer delay for a message of the given size
+// (excluding congestion, which depends on instantaneous load).
+func (c CostModel) Delay(bytes int) time.Duration {
+	d := c.Alpha
+	if c.BytesPerSec > 0 {
+		d += time.Duration(float64(bytes) / c.BytesPerSec * float64(time.Second))
+	}
+	return d
+}
+
+// Zero reports whether the model is free (messages deliver inline).
+func (c CostModel) Zero() bool {
+	return c.Alpha == 0 && c.BytesPerSec == 0 && c.CongestWindow == 0
+}

@@ -1,0 +1,109 @@
+// Package fabric is the pluggable communication substrate every
+// simulated library in this repository routes through. It owns all
+// interconnect delay math: the cost model, the congestion and
+// node-locality accounting, the per-pair FIFO delivery machinery, and
+// the msg-send/msg-recv trace events. Communication modules (MPI,
+// OpenSHMEM, UPC++, the CUDA PCIe link) never sleep on their own —
+// hiper-lint's raw-delay-outside-fabric checker enforces that — they
+// describe transfers to a Transport and get completion callbacks.
+//
+// Two backends ship:
+//
+//   - Inline: a zero-cost transport that delivers synchronously on the
+//     caller's goroutine. Fully deterministic, no goroutines, for unit
+//     tests.
+//   - Sim: the cost-modeled interconnect (latency/bandwidth/congestion/
+//     locality) that substitutes for the Cray Aries network in the
+//     paper's evaluation. A Sim with a zero CostModel also delivers
+//     inline.
+//
+// The composability property the paper's evaluation hinges on falls out
+// of the design: each simulated rank is ONE endpoint on its transport,
+// so when an MPI world and a SHMEM world are created over the same Sim,
+// their traffic shares per-destination in-flight counters — congestion
+// and RanksPerNode locality apply across modules, not per library.
+package fabric
+
+import "repro/internal/trace"
+
+// Message is a delivered two-sided envelope.
+type Message struct {
+	Src, Dst, Tag int
+	Data          []byte
+}
+
+// Wildcards for matching receives.
+const (
+	AnySource = -1
+	AnyTag    = -1
+)
+
+// Transport is the pluggable communication substrate. One Transport
+// joins n endpoints ("ranks"); any number of library worlds may share
+// it, each rank of each world mapping onto the same endpoint.
+//
+// Two-sided operations follow MPI matching rules: messages are matched
+// by (source, tag) with AnySource/AnyTag wildcards, per-(src,dst) pairs
+// deliver in FIFO order, and sends are eager (the payload is captured
+// before Send returns).
+//
+// One-sided operations (Put, Get) carry no payload through the
+// transport; they model the *transfer* of bytes and run caller-supplied
+// closures at the right moments: apply executes when the transfer
+// arrives (the remote memory effect — a symmetric-heap store, an RPC
+// enqueue), onDone directly after apply (completion: resolve a future,
+// decrement a pending counter). Neither Put nor Get ever blocks the
+// caller; callers that need blocking semantics wait on a channel closed
+// from onDone. Implementations run apply and onDone on a delivery
+// goroutine (or inline for zero-cost transports), so they must not
+// block.
+//
+// Get models a round trip whose reply payload is `bytes` long. Like the
+// prior per-module implementations, the Sim backend charges it as one
+// delivery on the src→dst link (request plus returning payload as a
+// single modelled delay), congesting the data's owner — the natural
+// hot-spot under fan-in Gets.
+type Transport interface {
+	// Size returns the number of endpoints.
+	Size() int
+	// Cost returns the transport's cost model (zero for Inline).
+	Cost() CostModel
+
+	// Send transmits data from src to dst under tag (eager; the buffer is
+	// reusable on return). Delivery is asynchronous unless zero-cost.
+	Send(src, dst, tag int, data []byte)
+	// Recv blocks until a message matching (src, tag) arrives at dst.
+	Recv(dst, src, tag int) Message
+	// RecvAsync registers fn to be invoked exactly once with the next
+	// matching message at dst. fn runs on the delivering goroutine (or
+	// inline if a message is queued); it must not block.
+	RecvAsync(dst, src, tag int, fn func(Message))
+	// TryRecv returns a matching queued message if one is available.
+	TryRecv(dst, src, tag int) (Message, bool)
+	// Probe reports whether a matching message is queued at dst without
+	// consuming it.
+	Probe(dst, src, tag int) (Message, bool)
+
+	// Put issues a one-sided transfer of `bytes` from src to dst. apply
+	// (may be nil) runs at arrival, onDone (may be nil) directly after.
+	Put(src, dst, bytes int, apply, onDone func())
+	// Get issues a one-sided round trip fetching `bytes` from dst to src.
+	// apply (may be nil) reads the remote memory at arrival, onDone (may
+	// be nil) completes the caller's future.
+	Get(src, dst, bytes int, apply, onDone func())
+
+	// AllocTags reserves a block of n negative tags for a layered
+	// protocol (collectives, module-internal control traffic) and returns
+	// the block's base; the block is base, base-1, ..., base-n+1. User
+	// tags are >= 0, so reserved traffic never collides with user
+	// traffic, and separate allocations never collide with each other —
+	// that is what lets several library worlds share one transport.
+	AllocTags(n int) int
+
+	// SetTracer attaches (or, with nil, detaches) a tracer whose external
+	// ring records one EvMsgSend per transfer issued and one EvMsgRecv
+	// per delivery. Safe to call concurrently with traffic.
+	SetTracer(tr *trace.Tracer)
+	// Stats returns cumulative transfer and byte counts.
+	Stats() (msgs, bytes int64)
+}

@@ -1,0 +1,114 @@
+package fabric
+
+import (
+	"fmt"
+
+	"repro/internal/trace"
+)
+
+// Inline is the zero-cost transport: every transfer delivers
+// synchronously on the caller's goroutine before the issuing call
+// returns. It spawns no goroutines and models no time, which makes it
+// fully deterministic — the backend unit tests plug in when they want
+// communication semantics without timing. Matching/ordering semantics
+// are identical to Sim's.
+type Inline struct {
+	meter
+	tagSpace
+	n     int
+	boxes []*mailbox
+}
+
+var _ Transport = (*Inline)(nil)
+
+// NewInline creates a zero-cost transport with n endpoints.
+func NewInline(n int) *Inline {
+	if n <= 0 {
+		panic(fmt.Sprintf("fabric: transport needs at least 1 rank, got %d", n))
+	}
+	t := &Inline{n: n}
+	t.boxes = make([]*mailbox, n)
+	for i := range t.boxes {
+		t.boxes[i] = &mailbox{}
+	}
+	return t
+}
+
+// Size implements Transport.
+func (t *Inline) Size() int { return t.n }
+
+// Cost implements Transport: Inline is always free.
+func (t *Inline) Cost() CostModel { return CostModel{} }
+
+func (t *Inline) checkRank(r int) {
+	if r < 0 || r >= t.n {
+		panic(fmt.Sprintf("fabric: rank %d out of range [0,%d)", r, t.n))
+	}
+}
+
+// finish performs one synchronous transfer: statistics, send event,
+// arrival effect, recv event, completion — all on the caller.
+func (t *Inline) finish(src, dst, bytes int, deliver, onDone func()) {
+	t.sent.Add(1)
+	t.sentBytes.Add(int64(bytes))
+	t.traceMsg(trace.EvMsgSend, src, dst, bytes)
+	if deliver != nil {
+		deliver()
+	}
+	t.traceMsg(trace.EvMsgRecv, src, dst, bytes)
+	if onDone != nil {
+		onDone()
+	}
+}
+
+// Send implements Transport: synchronous eager delivery.
+func (t *Inline) Send(src, dst, tag int, data []byte) {
+	t.checkRank(src)
+	t.checkRank(dst)
+	buf := make([]byte, len(data))
+	copy(buf, data)
+	t.finish(src, dst, len(data), func() {
+		t.boxes[dst].deliver(Message{Src: src, Dst: dst, Tag: tag, Data: buf})
+	}, nil)
+}
+
+// Put implements Transport: apply and onDone run before Put returns.
+func (t *Inline) Put(src, dst, bytes int, apply, onDone func()) {
+	t.checkRank(src)
+	t.checkRank(dst)
+	t.finish(src, dst, bytes, apply, onDone)
+}
+
+// Get implements Transport: apply and onDone run before Get returns.
+func (t *Inline) Get(src, dst, bytes int, apply, onDone func()) {
+	t.checkRank(src)
+	t.checkRank(dst)
+	t.finish(src, dst, bytes, apply, onDone)
+}
+
+// Recv implements Transport. With inline delivery a matching message is
+// either already queued or arrives from another goroutine's Send.
+func (t *Inline) Recv(dst, src, tag int) Message {
+	t.checkRank(dst)
+	ch := make(chan Message, 1)
+	t.boxes[dst].post(&recvReq{src: src, tag: tag, deliver: func(m Message) { ch <- m }})
+	return <-ch
+}
+
+// RecvAsync implements Transport.
+func (t *Inline) RecvAsync(dst, src, tag int, fn func(Message)) {
+	t.checkRank(dst)
+	t.boxes[dst].post(&recvReq{src: src, tag: tag, deliver: fn})
+}
+
+// TryRecv implements Transport.
+func (t *Inline) TryRecv(dst, src, tag int) (Message, bool) {
+	t.checkRank(dst)
+	return t.boxes[dst].take(src, tag)
+}
+
+// Probe implements Transport.
+func (t *Inline) Probe(dst, src, tag int) (Message, bool) {
+	t.checkRank(dst)
+	return t.boxes[dst].probe(src, tag)
+}

@@ -1,0 +1,77 @@
+package fabric
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestInlineSendRecv(t *testing.T) {
+	f := NewInline(2)
+	f.Send(0, 1, 7, []byte("hi"))
+	m := f.Recv(1, 0, 7)
+	if string(m.Data) != "hi" || m.Src != 0 || m.Tag != 7 {
+		t.Fatalf("got %+v", m)
+	}
+	if _, ok := f.TryRecv(1, AnySource, AnyTag); ok {
+		t.Fatal("mailbox not empty after Recv")
+	}
+}
+
+func TestInlinePutGetSynchronous(t *testing.T) {
+	f := NewInline(2)
+	var order []string
+	f.Put(0, 1, 8, func() { order = append(order, "apply") }, func() { order = append(order, "done") })
+	order = append(order, "after")
+	if len(order) != 3 || order[0] != "apply" || order[1] != "done" || order[2] != "after" {
+		t.Fatalf("Put was not synchronous: %v", order)
+	}
+	fired := false
+	f.Get(1, 0, 4, nil, func() { fired = true })
+	if !fired {
+		t.Fatal("Get onDone did not run before return")
+	}
+}
+
+func TestInlineMatchingSemantics(t *testing.T) {
+	f := NewInline(3)
+	f.Send(0, 2, 10, []byte("a"))
+	f.Send(1, 2, 20, []byte("b"))
+	if m := f.Recv(2, AnySource, 20); string(m.Data) != "b" {
+		t.Fatalf("tag match failed: %+v", m)
+	}
+	if m := f.Recv(2, 0, AnyTag); string(m.Data) != "a" {
+		t.Fatalf("source match failed: %+v", m)
+	}
+	// Probe does not consume.
+	f.Send(0, 2, 1, []byte("z"))
+	if _, ok := f.Probe(2, 0, 1); !ok {
+		t.Fatal("Probe missed queued message")
+	}
+	if _, ok := f.TryRecv(2, 0, 1); !ok {
+		t.Fatal("Probe consumed the message")
+	}
+}
+
+func TestInlineStatsAndTracing(t *testing.T) {
+	tr := trace.New(0, trace.Config{})
+	f := NewInline(2)
+	f.SetTracer(tr)
+	f.Send(0, 1, 0, make([]byte, 100))
+	f.Put(0, 1, 28, nil, nil)
+	f.Recv(1, 0, 0)
+	msgs, bytes := f.Stats()
+	if msgs != 2 || bytes != 128 {
+		t.Fatalf("stats = %d msgs %d bytes", msgs, bytes)
+	}
+	d := tr.Derived()
+	if d.MsgsSent != 2 || d.MsgsRecvd != 2 || d.MsgBytes != 128 {
+		t.Fatalf("traced %d/%d msgs, %d bytes", d.MsgsSent, d.MsgsRecvd, d.MsgBytes)
+	}
+}
+
+func TestInlineCostIsZero(t *testing.T) {
+	if !NewInline(1).Cost().Zero() {
+		t.Fatal("Inline must report a zero cost model")
+	}
+}

@@ -1,0 +1,79 @@
+package fabric
+
+import "sync"
+
+// recvReq is a posted receive awaiting a matching message.
+type recvReq struct {
+	src, tag int
+	deliver  func(Message) // invoked exactly once, outside the mailbox lock
+}
+
+func (r *recvReq) matches(m Message) bool {
+	return (r.src == AnySource || r.src == m.Src) && (r.tag == AnyTag || r.tag == m.Tag)
+}
+
+// mailbox holds one rank's undelivered messages and posted receives.
+// Matching follows MPI rules: messages from one (src, tag) pair are matched
+// in arrival order against receives in post order.
+type mailbox struct {
+	mu   sync.Mutex
+	msgs []Message
+	reqs []*recvReq
+}
+
+// deliver matches m against posted receives or queues it.
+func (b *mailbox) deliver(m Message) {
+	b.mu.Lock()
+	for i, r := range b.reqs {
+		if r.matches(m) {
+			b.reqs = append(b.reqs[:i], b.reqs[i+1:]...)
+			b.mu.Unlock()
+			r.deliver(m)
+			return
+		}
+	}
+	b.msgs = append(b.msgs, m)
+	b.mu.Unlock()
+}
+
+// post matches a receive against queued messages or queues it.
+func (b *mailbox) post(r *recvReq) {
+	b.mu.Lock()
+	for i, m := range b.msgs {
+		if r.matches(m) {
+			b.msgs = append(b.msgs[:i], b.msgs[i+1:]...)
+			b.mu.Unlock()
+			r.deliver(m)
+			return
+		}
+	}
+	b.reqs = append(b.reqs, r)
+	b.mu.Unlock()
+}
+
+// take removes and returns a matching queued message, if any.
+func (b *mailbox) take(src, tag int) (Message, bool) {
+	r := recvReq{src: src, tag: tag}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for i, m := range b.msgs {
+		if r.matches(m) {
+			b.msgs = append(b.msgs[:i], b.msgs[i+1:]...)
+			return m, true
+		}
+	}
+	return Message{}, false
+}
+
+// probe reports whether a matching message is queued, without removing it.
+func (b *mailbox) probe(src, tag int) (Message, bool) {
+	r := recvReq{src: src, tag: tag}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, m := range b.msgs {
+		if r.matches(m) {
+			return m, true
+		}
+	}
+	return Message{}, false
+}

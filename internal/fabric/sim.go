@@ -1,0 +1,250 @@
+package fabric
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/spin"
+	"repro/internal/trace"
+)
+
+// meter is the shared accounting/observability state of a transport:
+// cumulative transfer counts and the attached tracer. Embedded by both
+// backends so every implementation reports uniformly.
+type meter struct {
+	sent      atomic.Int64
+	sentBytes atomic.Int64
+	tracer    atomic.Pointer[trace.Tracer]
+}
+
+// SetTracer implements Transport. The tracer's external ring records one
+// EvMsgSend per transfer issued and one EvMsgRecv per delivery.
+func (m *meter) SetTracer(tr *trace.Tracer) { m.tracer.Store(tr) }
+
+// Stats implements Transport.
+func (m *meter) Stats() (msgs, bytes int64) {
+	return m.sent.Load(), m.sentBytes.Load()
+}
+
+// traceMsg records a message event: Task packs src<<32|dst, Arg is bytes.
+func (m *meter) traceMsg(k trace.Kind, src, dst, bytes int) {
+	if tr := m.tracer.Load(); tr != nil && tr.Enabled() {
+		tr.RecordExternal(k, trace.NoPlace, uint64(uint32(src))<<32|uint64(uint32(dst)), uint64(bytes))
+	}
+}
+
+// tagSpace allocates disjoint blocks of reserved (negative) tags.
+type tagSpace struct {
+	next atomic.Int64
+}
+
+// AllocTags implements Transport: blocks grow downward from -2 (below
+// AnyTag) so reserved traffic never collides with user tags or with
+// other allocations.
+func (a *tagSpace) AllocTags(n int) int {
+	if n <= 0 {
+		panic(fmt.Sprintf("fabric: AllocTags(%d): block size must be positive", n))
+	}
+	end := a.next.Add(int64(n))
+	return -int(end-int64(n)) - 2
+}
+
+// pairLink serializes deliveries for one (src, dst) pair so that per-pair
+// FIFO ordering — an MPI guarantee, and the visibility order SHMEM codes
+// lean on — holds even under the latency model. Transfers pipeline: a
+// transfer's arrival time is max(previous arrival, issue time + delay),
+// matching a network that keeps packets in order while overlapping
+// transfers.
+type pairLink struct {
+	mu          sync.Mutex
+	q           []scheduled
+	running     bool
+	lastArrival time.Time
+}
+
+// scheduled is one in-flight transfer: an arrival deadline plus the
+// closures to run when it lands. Two-sided sends and one-sided RMA go
+// through the same queue, which is what makes congestion and ordering
+// apply across modules sharing the fabric.
+type scheduled struct {
+	deliver   func() // the arrival effect (mailbox delivery, remote store)
+	onDone    func() // completion callback, after deliver and accounting
+	arrival   time.Time
+	src, dst  int
+	bytes     int
+	congested bool // holds a slot in inflight[dst] until delivery
+}
+
+// Sim is the cost-modeled interconnect backend: latency, bandwidth,
+// per-destination congestion, and node locality per CostModel. It
+// substitutes for the Cray Aries network plus vendor communication
+// runtimes used in the paper's evaluation. With a zero CostModel it
+// delivers inline (deterministic, no goroutines), so it doubles as the
+// default transport for unit-test worlds.
+type Sim struct {
+	meter
+	tagSpace
+	n        int
+	cost     CostModel
+	boxes    []*mailbox
+	links    []pairLink     // [src*n+dst]
+	inflight []atomic.Int64 // per destination, shared by every world on this fabric
+}
+
+var _ Transport = (*Sim)(nil)
+
+// NewSim creates a simulated interconnect with n endpoints and the given
+// cost model.
+func NewSim(n int, cost CostModel) *Sim {
+	if n <= 0 {
+		panic(fmt.Sprintf("fabric: transport needs at least 1 rank, got %d", n))
+	}
+	f := &Sim{n: n, cost: cost}
+	f.boxes = make([]*mailbox, n)
+	for i := range f.boxes {
+		f.boxes[i] = &mailbox{}
+	}
+	f.links = make([]pairLink, n*n)
+	f.inflight = make([]atomic.Int64, n)
+	return f
+}
+
+// Size implements Transport.
+func (f *Sim) Size() int { return f.n }
+
+// Cost implements Transport.
+func (f *Sim) Cost() CostModel { return f.cost }
+
+// checkRank panics on out-of-range ranks (programming error).
+func (f *Sim) checkRank(r int) {
+	if r < 0 || r >= f.n {
+		panic(fmt.Sprintf("fabric: rank %d out of range [0,%d)", r, f.n))
+	}
+}
+
+// transmit schedules one transfer of `bytes` from src to dst: deliver
+// runs at arrival, onDone directly after. This is the single path every
+// operation — Send, Put, Get — funnels through, so congestion
+// accounting, FIFO pipelining, statistics, and trace events are uniform.
+func (f *Sim) transmit(src, dst, bytes int, deliver, onDone func()) {
+	f.sent.Add(1)
+	f.sentBytes.Add(int64(bytes))
+	f.traceMsg(trace.EvMsgSend, src, dst, bytes)
+	if f.cost.Zero() {
+		if deliver != nil {
+			deliver()
+		}
+		f.traceMsg(trace.EvMsgRecv, src, dst, bytes)
+		if onDone != nil {
+			onDone()
+		}
+		return
+	}
+	delay := f.cost.DelayBetween(src, dst, bytes)
+	congest := f.cost.CongestWindow > 0 && !f.cost.SameNode(src, dst)
+	if congest {
+		excess := f.inflight[dst].Add(1) - int64(f.cost.CongestWindow)
+		if excess > 0 {
+			delay += time.Duration(excess) * f.cost.CongestPenalty
+		}
+	}
+	link := &f.links[src*f.n+dst]
+	link.mu.Lock()
+	arrival := time.Now().Add(delay)
+	if arrival.Before(link.lastArrival) {
+		arrival = link.lastArrival
+	}
+	link.lastArrival = arrival
+	link.q = append(link.q, scheduled{
+		deliver: deliver, onDone: onDone, arrival: arrival,
+		src: src, dst: dst, bytes: bytes, congested: congest,
+	})
+	if !link.running {
+		link.running = true
+		go f.drainLink(link, dst)
+	}
+	link.mu.Unlock()
+}
+
+// drainLink lands one pair's transfers in order at their arrival times.
+func (f *Sim) drainLink(link *pairLink, dst int) {
+	for {
+		link.mu.Lock()
+		if len(link.q) == 0 {
+			link.running = false
+			link.mu.Unlock()
+			return
+		}
+		sm := link.q[0]
+		link.q = link.q[1:]
+		link.mu.Unlock()
+
+		spin.Until(sm.arrival)
+		if sm.deliver != nil {
+			sm.deliver()
+		}
+		f.traceMsg(trace.EvMsgRecv, sm.src, dst, sm.bytes)
+		if sm.congested {
+			f.inflight[dst].Add(-1)
+		}
+		if sm.onDone != nil {
+			sm.onDone()
+		}
+	}
+}
+
+// Send implements Transport: eager two-sided send (the buffer is copied
+// before Send returns).
+func (f *Sim) Send(src, dst, tag int, data []byte) {
+	f.checkRank(src)
+	f.checkRank(dst)
+	buf := make([]byte, len(data))
+	copy(buf, data)
+	m := Message{Src: src, Dst: dst, Tag: tag, Data: buf}
+	f.transmit(src, dst, len(data), func() { f.boxes[dst].deliver(m) }, nil)
+}
+
+// Put implements Transport: one-sided transfer of `bytes`, apply at
+// arrival, onDone after.
+func (f *Sim) Put(src, dst, bytes int, apply, onDone func()) {
+	f.checkRank(src)
+	f.checkRank(dst)
+	f.transmit(src, dst, bytes, apply, onDone)
+}
+
+// Get implements Transport: one-sided round trip fetching `bytes` from
+// dst, charged as a single delivery on the src→dst link (request plus
+// returning payload as one modelled delay, congesting the data's owner).
+func (f *Sim) Get(src, dst, bytes int, apply, onDone func()) {
+	f.checkRank(src)
+	f.checkRank(dst)
+	f.transmit(src, dst, bytes, apply, onDone)
+}
+
+// Recv implements Transport: blocks until a matching message arrives.
+func (f *Sim) Recv(dst, src, tag int) Message {
+	f.checkRank(dst)
+	ch := make(chan Message, 1)
+	f.boxes[dst].post(&recvReq{src: src, tag: tag, deliver: func(m Message) { ch <- m }})
+	return <-ch
+}
+
+// RecvAsync implements Transport.
+func (f *Sim) RecvAsync(dst, src, tag int, fn func(Message)) {
+	f.checkRank(dst)
+	f.boxes[dst].post(&recvReq{src: src, tag: tag, deliver: fn})
+}
+
+// TryRecv implements Transport.
+func (f *Sim) TryRecv(dst, src, tag int) (Message, bool) {
+	f.checkRank(dst)
+	return f.boxes[dst].take(src, tag)
+}
+
+// Probe implements Transport.
+func (f *Sim) Probe(dst, src, tag int) (Message, bool) {
+	f.checkRank(dst)
+	return f.boxes[dst].probe(src, tag)
+}

@@ -178,7 +178,7 @@ func (m *Module) poll(c *core.Ctx) {
 	}
 	if remaining > 0 {
 		if len(done) == 0 {
-			spin.Sleep(m.opts.PollInterval)
+			spin.Sleep(m.opts.PollInterval) //hiperlint:ignore raw-delay-outside-fabric poller back-off pacing, not a modelled transfer
 		}
 		c.Yield(m.poll)
 	}

@@ -237,7 +237,7 @@ func (m *Module) poll(c *core.Ctx) {
 		if len(done) == 0 {
 			// Nothing completed: back off briefly before the next round so
 			// an otherwise-idle worker does not spin.
-			spin.Sleep(m.opts.PollInterval)
+			spin.Sleep(m.opts.PollInterval) //hiperlint:ignore raw-delay-outside-fabric poller back-off pacing, not a modelled transfer
 		}
 		c.Yield(m.poll)
 	}

@@ -138,7 +138,7 @@ func (m *Module) poll(c *core.Ctx) {
 	}
 	if again {
 		if ran == 0 {
-			spin.Sleep(m.opts.PollInterval)
+			spin.Sleep(m.opts.PollInterval) //hiperlint:ignore raw-delay-outside-fabric poller back-off pacing, not a modelled transfer
 		}
 		c.Yield(m.poll)
 	}

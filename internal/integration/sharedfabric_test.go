@@ -1,0 +1,167 @@
+package integration
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/fabric"
+	"repro/internal/mpi"
+	"repro/internal/shmem"
+)
+
+// These tests pin the tentpole property of the transport layer: library
+// worlds composed over ONE fabric share its links, per-destination
+// congestion windows, and locality domains, so traffic from one
+// library slows another — exactly what co-scheduled libraries do on a
+// real machine, and what three separate simulations can never show.
+
+// TestWorldsShareOneFabric composes an MPI world and a SHMEM world over
+// a single transport and moves data through both, checking that their
+// traffic streams stay correctly demultiplexed (disjoint tag blocks)
+// and that the shared transport's statistics see both libraries.
+func TestWorldsShareOneFabric(t *testing.T) {
+	const ranks = 4
+	tr := fabric.NewSim(ranks, fabric.CostModel{Alpha: 5 * time.Microsecond})
+	mworld := mpi.NewWorldOver(tr)
+	sworld := shmem.NewWorldOver(tr)
+	arr := sworld.AllocInt64(ranks)
+
+	var wg sync.WaitGroup
+	for r := 0; r < ranks; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			comm := mworld.Comm(r)
+			pe := sworld.PE(r)
+			// SHMEM publishes r+1 to every PE; MPI allreduces the local
+			// row sum. Both streams ride the same links concurrently.
+			for dst := 0; dst < ranks; dst++ {
+				pe.PutValue(arr, dst, r, int64(r+1))
+			}
+			pe.BarrierAll()
+			var sum int64
+			for _, v := range arr.Local(r) {
+				sum += v
+			}
+			out := make([]byte, 8)
+			comm.Allreduce(out, mpi.EncodeInt64s([]int64{sum}), mpi.SumInt64)
+			const want = (1 + 2 + 3 + 4) * ranks
+			if got := mpi.DecodeInt64s(out)[0]; got != want {
+				t.Errorf("rank %d: cross-library reduce over shared fabric = %d, want %d", r, got, want)
+			}
+		}(r)
+	}
+	wg.Wait()
+
+	if msgs, bytes := tr.Stats(); msgs == 0 || bytes == 0 {
+		t.Errorf("shared transport stats empty: msgs=%d bytes=%d", msgs, bytes)
+	}
+}
+
+// fanInCost is a deliberately congestion-dominated model: every message
+// into an oversubscribed destination pays a steep per-excess penalty.
+var fanInCost = fabric.CostModel{
+	Alpha:          20 * time.Microsecond,
+	CongestWindow:  1,
+	CongestPenalty: 300 * time.Microsecond,
+}
+
+const (
+	fanInRanks = 4
+	fanInMsgs  = 8 // messages per non-root sender
+)
+
+// mpiFanIn drives every non-zero rank to send fanInMsgs messages to
+// rank 0, which receives them all.
+func mpiFanIn(w *mpi.World) {
+	var wg sync.WaitGroup
+	payload := make([]byte, 64)
+	for r := 1; r < fanInRanks; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			comm := w.Comm(r)
+			for i := 0; i < fanInMsgs; i++ {
+				comm.Send(payload, 0, 7)
+			}
+		}(r)
+	}
+	root := w.Comm(0)
+	buf := make([]byte, 64)
+	for i := 0; i < (fanInRanks-1)*fanInMsgs; i++ {
+		root.Recv(buf, mpi.AnySource, mpi.AnyTag)
+	}
+	wg.Wait()
+}
+
+// shmemFanIn drives every non-zero PE to put fanInMsgs values into PE
+// 0's symmetric array, then fence with Quiet.
+func shmemFanIn(w *shmem.World, arr *shmem.Int64Array) {
+	var wg sync.WaitGroup
+	for r := 1; r < fanInRanks; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			pe := w.PE(r)
+			for i := 0; i < fanInMsgs; i++ {
+				pe.PutValue(arr, 0, r, int64(i))
+			}
+			pe.Quiet()
+		}(r)
+	}
+	wg.Wait()
+}
+
+// TestSharedFabricCongestionCouplesLibraries runs the same mixed
+// MPI+SHMEM fan-in twice: once with each library on its own private
+// fabric, and once with both composed over a single shared fabric. The
+// traffic is identical; only the sharing differs. On the shared fabric
+// the two libraries' messages land in the same per-destination
+// congestion window, so each library's fan-in sees roughly twice the
+// inflight excess — the mixed run must be measurably slower. This is
+// the observable guarantee behind "one endpoint per rank".
+func TestSharedFabricCongestionCouplesLibraries(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive congestion measurement")
+	}
+
+	run := func(mw *mpi.World, sw *shmem.World) time.Duration {
+		arr := sw.AllocInt64(fanInRanks)
+		start := time.Now()
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() { defer wg.Done(); mpiFanIn(mw) }()
+		go func() { defer wg.Done(); shmemFanIn(sw, arr) }()
+		wg.Wait()
+		return time.Since(start)
+	}
+
+	// Best of a few trials on each side filters scheduler noise: the
+	// congestion penalty is mechanical, so the fastest observed run is
+	// the cleanest measurement of it.
+	const trials = 3
+	separate, shared := time.Duration(1<<62), time.Duration(1<<62)
+	for i := 0; i < trials; i++ {
+		if d := run(
+			mpi.NewWorld(fanInRanks, fanInCost),
+			shmem.NewWorld(fanInRanks, fanInCost),
+		); d < separate {
+			separate = d
+		}
+	}
+	for i := 0; i < trials; i++ {
+		tr := fabric.NewSim(fanInRanks, fanInCost)
+		if d := run(mpi.NewWorldOver(tr), shmem.NewWorldOver(tr)); d < shared {
+			shared = d
+		}
+	}
+
+	t.Logf("fan-in elapsed: separate fabrics %v, shared fabric %v", separate, shared)
+	// Steady-state inflight roughly doubles on the shared fabric, so the
+	// congestion excess per message roughly doubles too. Demand only a
+	// 1.2x separation to stay robust under -race and loaded CI machines.
+	if shared < separate*6/5 {
+		t.Errorf("shared-fabric fan-in (%v) not slower than separate fabrics (%v); cross-library congestion is not coupling", shared, separate)
+	}
+}

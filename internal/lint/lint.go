@@ -60,6 +60,7 @@ func Checkers() []Checker {
 		&MixedAtomicAccess{},
 		&SendOutsideLock{},
 		&UncheckedError{},
+		&RawDelayOutsideFabric{},
 	}
 }
 

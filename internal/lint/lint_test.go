@@ -42,6 +42,7 @@ func TestCheckerGolden(t *testing.T) {
 		"mixedatomic",
 		"sendoutsidelock",
 		"uncheckederror",
+		"rawdelay",
 		"suppress",
 	} {
 		t.Run(name, func(t *testing.T) {

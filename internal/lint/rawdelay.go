@@ -1,0 +1,112 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// RawDelayOutsideFabric flags hand-rolled communication timing in the
+// library modules: calls to CostModel.Delay/DelayBetween and to
+// spin.Sleep/spin.Until in the communication packages (simnet, mpi,
+// shmem, upcxx, cuda, and their HiPER module layers). The transport
+// layer (internal/fabric) is the single owner of delay math and of the
+// goroutines that realize it — that is what makes congestion, locality,
+// and FIFO link ordering apply uniformly across every module sharing a
+// fabric, and what keeps msg-send/msg-recv trace events complete. A
+// module that sleeps out the cost model privately reintroduces the
+// drift this refactor removed: its traffic is invisible to the shared
+// per-destination congestion windows and to the tracer.
+//
+// Modules move data by issuing Transport.Send/Put/Get and reacting to
+// the delivery callbacks. Genuinely non-communication latencies (e.g. a
+// kernel launch overhead) can be suppressed at the site with
+// //hiperlint:ignore and a justification.
+type RawDelayOutsideFabric struct{}
+
+// Name implements Checker.
+func (*RawDelayOutsideFabric) Name() string { return "raw-delay-outside-fabric" }
+
+// Doc implements Checker.
+func (*RawDelayOutsideFabric) Doc() string {
+	return "communication modules must not compute or sleep out transfer delays themselves (CostModel.Delay/DelayBetween, spin.Sleep/Until); issue transport operations instead"
+}
+
+// commPackages are the module-root-relative package suffixes whose data
+// paths must route through the transport. internal/fabric itself is the
+// one place delay math belongs, so it is absent.
+var commPackages = []string{
+	"internal/simnet",
+	"internal/mpi",
+	"internal/shmem",
+	"internal/upcxx",
+	"internal/cuda",
+	"internal/hipermpi",
+	"internal/hipershmem",
+	"internal/hiperupcxx",
+	"internal/hipercuda",
+}
+
+// AppliesTo implements scoped.
+func (*RawDelayOutsideFabric) AppliesTo(importPath string) bool {
+	for _, suffix := range commPackages {
+		if strings.HasSuffix(importPath, suffix) {
+			return true
+		}
+	}
+	return false
+}
+
+// Check implements Checker.
+func (c *RawDelayOutsideFabric) Check(p *Package, r *Reporter) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			switch sel.Sel.Name {
+			case "Delay", "DelayBetween":
+				if isCostModelRecv(p, sel.X) {
+					r.Reportf(call.Pos(), "CostModel.%s computed outside internal/fabric; the transport owns delay math — issue Send/Put/Get and use the delivery callbacks", sel.Sel.Name)
+				}
+			case "Sleep", "Until":
+				if isSpinPkg(p, sel.X) {
+					r.Reportf(call.Pos(), "spin.%s on a communication data path; modelled transfer time belongs to the transport (internal/fabric), not a private sleep", sel.Sel.Name)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isCostModelRecv reports whether e's type (possibly behind a pointer)
+// is a named type called CostModel. Matching by bare name rather than
+// full path keeps the checker exercisable from fixtures, which declare
+// their own CostModel stand-in.
+func isCostModelRecv(p *Package, e ast.Expr) bool {
+	tv, ok := p.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	return namedTypeName(tv.Type) == "CostModel"
+}
+
+// isSpinPkg reports whether e names an imported package whose path ends
+// in /spin (the runtime's calibrated spin-wait package, or a fixture's
+// local stand-in).
+func isSpinPkg(p *Package, e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if obj, ok := p.Info.Uses[id]; ok {
+		pn, ok := obj.(*types.PkgName)
+		return ok && (strings.HasSuffix(pn.Imported().Path(), "/spin") || pn.Imported().Path() == "spin")
+	}
+	return id.Name == "spin" // untyped fallback
+}

@@ -1,0 +1,25 @@
+package fixture
+
+import "time"
+
+// transport stands in for fabric.Transport: the sanctioned way to move
+// data, with delivery callbacks instead of private sleeps.
+type transport struct{}
+
+func (transport) Put(src, dst, bytes int, apply, onDone func()) {}
+
+// good routes the transfer through the transport; no delay math here.
+func good(tr transport, bytes int, apply func()) {
+	tr.Put(0, 1, bytes, apply, nil)
+}
+
+// clock is not a CostModel; a Delay method on some other type is fine.
+type clock struct{}
+
+func (clock) Delay(bytes int) time.Duration { return 0 }
+
+func alsoFine(k clock) time.Duration { return k.Delay(4) }
+
+// time.Sleep is outside this checker's scope (blocking-in-task owns the
+// task-body cases); here it is plain non-communication latency.
+func unrelated() { time.Sleep(time.Nanosecond) }

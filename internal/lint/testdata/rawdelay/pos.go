@@ -1,0 +1,42 @@
+// Package fixture is the positive/negative corpus for the
+// raw-delay-outside-fabric checker. The local CostModel stands in for
+// fabric.CostModel (the checker matches the type name); spin is the
+// real calibrated-wait package, since the checker matches its import
+// path.
+package fixture
+
+import (
+	"time"
+
+	"repro/internal/spin"
+)
+
+// CostModel stands in for fabric.CostModel.
+type CostModel struct{ Alpha time.Duration }
+
+// Delay mirrors fabric.CostModel.Delay.
+func (c CostModel) Delay(bytes int) time.Duration { return c.Alpha }
+
+// DelayBetween mirrors fabric.CostModel.DelayBetween.
+func (c CostModel) DelayBetween(src, dst, bytes int) time.Duration { return c.Alpha }
+
+// put is the pre-refactor module idiom: compute the transfer delay from
+// the cost model, sleep it out on a private goroutine, then apply.
+func put(c CostModel, bytes int, apply func()) {
+	d := c.DelayBetween(0, 1, bytes) // want raw-delay-outside-fabric
+	go func() {
+		spin.Sleep(d) // want raw-delay-outside-fabric
+		apply()
+	}()
+}
+
+// get charges a symmetric round trip by hand.
+func get(c CostModel, bytes int) {
+	spin.Sleep(2 * c.Delay(bytes)) // want raw-delay-outside-fabric (twice: Delay and Sleep)
+}
+
+// waitDeadline spins to an absolute deadline, the drain-loop idiom that
+// also belongs inside the transport.
+func waitDeadline() {
+	spin.Until(time.Now().Add(time.Microsecond)) // want raw-delay-outside-fabric
+}

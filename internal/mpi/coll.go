@@ -1,17 +1,24 @@
 package mpi
 
-import "fmt"
+import "repro/internal/fabric"
 
-// Collectives. Each is called once per rank per collective invocation; the
-// per-(source,tag) FIFO guarantee of the fabric keeps back-to-back
-// collectives of the same kind correctly matched without sequence numbers,
-// because every receive names its exact source.
+// Collectives. Each is called once per rank per collective invocation.
+// The algorithms (binomial-tree broadcast and reduce, ring allgather,
+// eager all-to-all, linear scan) live in the shared collectives layer
+// fabric.Coll, which SHMEM's collectives delegate to as well — one
+// implementation, every module's collective traffic on the same fabric.
+// The wrappers here add MPI's thread-mode enforcement.
+
+// ReduceOp combines two equal-length byte buffers element-wise (the
+// interpretation — int64 sum, float64 max, ... — belongs to the codec
+// helpers in this package).
+type ReduceOp = fabric.ReduceOp
 
 // Barrier blocks until every rank in the communicator has entered.
 func (c *Comm) Barrier() {
 	c.enter()
 	defer c.exit()
-	c.world.fabric.Barrier()
+	c.world.coll.Barrier()
 }
 
 // Ibarrier is the nonblocking barrier (MPI_Ibarrier): the returned request
@@ -20,63 +27,18 @@ func (c *Comm) Ibarrier() *Request {
 	c.enter()
 	defer c.exit()
 	req := newRequest()
-	c.world.fabric.BarrierAsync(func() {
-		req.complete(Status{Source: c.rank, Tag: tagBarrier})
+	c.world.coll.BarrierAsync(func() {
+		req.complete(Status{Source: c.rank, Tag: barrierTag})
 	})
 	return req
 }
 
-// Bcast broadcasts root's buf to all ranks along a binomial tree (so the
-// critical path is O(log n) messages, as in real MPI implementations).
-// Non-root ranks receive into buf.
+// Bcast broadcasts root's buf to all ranks; non-root ranks receive into buf.
 func (c *Comm) Bcast(buf []byte, root int) {
 	c.enter()
 	defer c.exit()
-	n := c.size
-	// Rotate ranks so the root is virtual rank 0.
-	vr := (c.rank - root + n) % n
-	// Receive from parent (unless root).
-	if vr != 0 {
-		mask := 1
-		for mask < n {
-			if vr&mask != 0 {
-				parent := ((vr - mask) + root) % n
-				c.recvInto(buf, parent, tagBcast)
-				break
-			}
-			mask <<= 1
-		}
-		// Forward to children above our lowest set bit.
-		low := vr & (-vr)
-		for mask = low >> 1; mask > 0; mask >>= 1 {
-			child := vr + mask
-			if child < n {
-				c.world.fabric.Send(c.rank, (child+root)%n, tagBcast, buf)
-			}
-		}
-		return
-	}
-	// Root: send to each power-of-two child.
-	for mask := nextPow2(n) >> 1; mask > 0; mask >>= 1 {
-		child := mask
-		if child < n {
-			c.world.fabric.Send(c.rank, (child+root)%n, tagBcast, buf)
-		}
-	}
+	c.world.coll.Bcast(c.rank, buf, root)
 }
-
-func nextPow2(n int) int {
-	p := 1
-	for p < n {
-		p <<= 1
-	}
-	return p
-}
-
-// ReduceOp combines two equal-length byte buffers element-wise (the
-// interpretation — int64 sum, float64 max, ... — belongs to the codec
-// helpers in this package).
-type ReduceOp func(acc, in []byte)
 
 // Reduce combines every rank's contribution with op; the result lands in
 // recv on root only (recv may be nil elsewhere). contrib and recv must have
@@ -84,43 +46,15 @@ type ReduceOp func(acc, in []byte)
 func (c *Comm) Reduce(recv, contrib []byte, op ReduceOp, root int) {
 	c.enter()
 	defer c.exit()
-	n := c.size
-	vr := (c.rank - root + n) % n
-	acc := make([]byte, len(contrib))
-	copy(acc, contrib)
-	tmp := make([]byte, len(contrib))
-	// Binomial-tree reduction toward virtual rank 0.
-	for mask := 1; mask < n; mask <<= 1 {
-		if vr&mask != 0 {
-			parent := ((vr - mask) + root) % n
-			c.world.fabric.Send(c.rank, parent, tagReduce, acc)
-			return
-		}
-		childV := vr + mask
-		if childV < n {
-			child := (childV + root) % n
-			st := c.recvInto(tmp, child, tagReduce)
-			if st.Count != len(acc) {
-				panic(fmt.Sprintf("mpi: Reduce size mismatch: %d vs %d", st.Count, len(acc)))
-			}
-			op(acc, tmp[:st.Count])
-		}
-	}
-	if recv == nil {
-		panic("mpi: Reduce root requires a receive buffer")
-	}
-	copy(recv, acc)
+	c.world.coll.Reduce(c.rank, recv, contrib, op, root)
 }
 
 // Allreduce is Reduce to rank 0 followed by Bcast; every rank receives the
 // combined result in recv.
 func (c *Comm) Allreduce(recv, contrib []byte, op ReduceOp) {
-	if c.rank == 0 {
-		c.Reduce(recv, contrib, op, 0)
-	} else {
-		c.Reduce(recv, contrib, op, 0) // recv used as scratch target on non-roots
-	}
-	c.Bcast(recv, 0)
+	c.enter()
+	defer c.exit()
+	c.world.coll.Allreduce(c.rank, recv, contrib, op)
 }
 
 // Gather collects every rank's contribution at root; the result (indexed by
@@ -128,38 +62,15 @@ func (c *Comm) Allreduce(recv, contrib []byte, op ReduceOp) {
 func (c *Comm) Gather(contrib []byte, root int) [][]byte {
 	c.enter()
 	defer c.exit()
-	if c.rank != root {
-		c.world.fabric.Send(c.rank, root, tagGather, contrib)
-		return nil
-	}
-	out := make([][]byte, c.size)
-	out[root] = append([]byte(nil), contrib...)
-	for i := 0; i < c.size-1; i++ {
-		m := c.world.fabric.Recv(c.rank, AnySource, tagGather)
-		out[m.Src] = m.Data
-	}
-	return out
+	return c.world.coll.Gather(c.rank, contrib, root)
 }
 
 // Allgather collects every rank's contribution on every rank, indexed by
-// rank. Implemented as a ring exchange: n-1 steps, each forwarding the
-// piece received in the previous step.
+// rank.
 func (c *Comm) Allgather(contrib []byte) [][]byte {
 	c.enter()
 	defer c.exit()
-	n := c.size
-	out := make([][]byte, n)
-	out[c.rank] = append([]byte(nil), contrib...)
-	right := (c.rank + 1) % n
-	left := (c.rank - 1 + n) % n
-	cur := c.rank
-	for step := 0; step < n-1; step++ {
-		c.world.fabric.Send(c.rank, right, tagAllgather, out[cur])
-		m := c.world.fabric.Recv(c.rank, left, tagAllgather)
-		cur = (cur - 1 + n) % n
-		out[cur] = m.Data
-	}
-	return out
+	return c.world.coll.Allgather(c.rank, contrib)
 }
 
 // Alltoallv sends chunks[i] to rank i and returns the chunks received,
@@ -169,47 +80,13 @@ func (c *Comm) Allgather(contrib []byte) [][]byte {
 func (c *Comm) Alltoallv(chunks [][]byte) [][]byte {
 	c.enter()
 	defer c.exit()
-	n := c.size
-	if len(chunks) != n {
-		panic(fmt.Sprintf("mpi: Alltoallv needs %d chunks, got %d", n, len(chunks)))
-	}
-	out := make([][]byte, n)
-	out[c.rank] = append([]byte(nil), chunks[c.rank]...)
-	// Post all sends (eager), then collect n-1 receives.
-	for d := 0; d < n; d++ {
-		if d != c.rank {
-			c.world.fabric.Send(c.rank, d, tagAlltoall, chunks[d])
-		}
-	}
-	for i := 0; i < n-1; i++ {
-		m := c.world.fabric.Recv(c.rank, AnySource, tagAlltoall)
-		if out[m.Src] != nil && m.Src != c.rank {
-			panic(fmt.Sprintf("mpi: Alltoallv duplicate chunk from %d", m.Src))
-		}
-		out[m.Src] = m.Data
-	}
-	return out
+	return c.world.coll.Alltoallv(c.rank, chunks)
 }
 
 // Scan computes the inclusive prefix reduction over ranks: rank i receives
-// op(contrib_0, ..., contrib_i). Linear pipeline implementation.
+// op(contrib_0, ..., contrib_i).
 func (c *Comm) Scan(recv, contrib []byte, op ReduceOp) {
 	c.enter()
 	defer c.exit()
-	acc := make([]byte, len(contrib))
-	copy(acc, contrib)
-	if c.rank > 0 {
-		tmp := make([]byte, len(contrib))
-		st := c.recvInto(tmp, c.rank-1, tagScan)
-		prev := tmp[:st.Count]
-		// acc = prev op acc: apply op with prev as the left operand.
-		combined := make([]byte, len(prev))
-		copy(combined, prev)
-		op(combined, acc)
-		acc = combined
-	}
-	if c.rank < c.size-1 {
-		c.world.fabric.Send(c.rank, c.rank+1, tagScan, acc)
-	}
-	copy(recv, acc)
+	c.world.coll.Scan(c.rank, recv, contrib, op)
 }

@@ -1,5 +1,5 @@
 // Package mpi implements the subset of the MPI standard that the HiPER MPI
-// module wraps, over the simulated interconnect in package simnet. It
+// module wraps, over the pluggable transport layer in package fabric. It
 // stands in for a full MPI library (OpenMPI, MVAPICH, Cray MPI): the HiPER
 // module "taskifies" these APIs exactly as it would a real library's.
 //
@@ -10,6 +10,10 @@
 //
 // Each simulated process holds one *Comm per communicator; a World bundles
 // the per-rank handles of MPI_COMM_WORLD for in-process job construction.
+// A World built with NewWorldOver shares its transport endpoints with any
+// other library world constructed over the same transport — SHMEM puts and
+// MPI sends then contend for the same per-destination congestion windows,
+// the composition behaviour the paper measures.
 package mpi
 
 import (
@@ -17,6 +21,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/fabric"
 	"repro/internal/simnet"
 )
 
@@ -37,26 +42,26 @@ const (
 	ThreadMultiple
 )
 
-// Reserved internal tag space for collectives (user tags must be >= 0).
-const (
-	tagBarrier = -(iota + 2)
-	tagBcast
-	tagReduce
-	tagAllgather
-	tagAlltoall
-	tagScan
-	tagGather
-)
-
-// World is an in-process MPI job: n ranks over one fabric.
+// World is an in-process MPI job: n ranks over one transport.
 type World struct {
-	fabric *simnet.Fabric
-	comms  []*Comm
+	tr    fabric.Transport
+	coll  *fabric.Coll
+	comms []*Comm
 }
 
-// NewWorld creates an n-rank job over a fabric with the given cost model.
+// NewWorld creates an n-rank job over a simulated interconnect with the
+// given cost model.
 func NewWorld(n int, cost simnet.CostModel) *World {
-	w := &World{fabric: simnet.NewFabric(n, cost)}
+	return NewWorldOver(fabric.NewSim(n, cost))
+}
+
+// NewWorldOver creates a job over an existing transport, one rank per
+// endpoint. Several library worlds (MPI, SHMEM, UPC++) may share one
+// transport; their traffic then shares links, congestion windows, and
+// locality domains.
+func NewWorldOver(tr fabric.Transport) *World {
+	n := tr.Size()
+	w := &World{tr: tr, coll: fabric.NewColl(tr)}
 	w.comms = make([]*Comm, n)
 	for r := 0; r < n; r++ {
 		w.comms[r] = &Comm{world: w, rank: r, size: n, mode: ThreadMultiple}
@@ -65,10 +70,11 @@ func NewWorld(n int, cost simnet.CostModel) *World {
 }
 
 // Size returns the number of ranks.
-func (w *World) Size() int { return w.fabric.Size() }
+func (w *World) Size() int { return w.tr.Size() }
 
-// Fabric exposes the underlying interconnect (for diagnostics).
-func (w *World) Fabric() *simnet.Fabric { return w.fabric }
+// Transport exposes the underlying transport (for diagnostics and for
+// composing further library worlds over the same endpoints).
+func (w *World) Transport() fabric.Transport { return w.tr }
 
 // Comm returns rank r's MPI_COMM_WORLD handle.
 func (w *World) Comm(r int) *Comm { return w.comms[r] }
@@ -119,9 +125,12 @@ type Status struct {
 
 // Wildcards, mirroring MPI_ANY_SOURCE and MPI_ANY_TAG.
 const (
-	AnySource = simnet.AnySource
-	AnyTag    = simnet.AnyTag
+	AnySource = fabric.AnySource
+	AnyTag    = fabric.AnyTag
 )
+
+// barrierTag is the pseudo-tag reported in Ibarrier completion statuses.
+const barrierTag = -2
 
 // Send performs a blocking standard-mode send. The payload is buffered
 // eagerly, so Send returns once the data is captured.
@@ -131,7 +140,7 @@ func (c *Comm) Send(buf []byte, dest, tag int) {
 	if tag < 0 {
 		panic("mpi: user tags must be non-negative")
 	}
-	c.world.fabric.Send(c.rank, dest, tag, buf)
+	c.world.tr.Send(c.rank, dest, tag, buf)
 }
 
 // Recv blocks until a matching message arrives and copies it into buf,
@@ -143,7 +152,7 @@ func (c *Comm) Recv(buf []byte, source, tag int) Status {
 }
 
 func (c *Comm) recvInto(buf []byte, source, tag int) Status {
-	m := c.world.fabric.Recv(c.rank, source, tag)
+	m := c.world.tr.Recv(c.rank, source, tag)
 	if len(m.Data) > len(buf) {
 		panic(fmt.Sprintf("mpi: rank %d: message of %d bytes overflows %d-byte receive buffer",
 			c.rank, len(m.Data), len(buf)))
@@ -216,7 +225,7 @@ func (c *Comm) Isend(buf []byte, dest, tag int) *Request {
 		panic("mpi: user tags must be non-negative")
 	}
 	req := newRequest()
-	c.world.fabric.Send(c.rank, dest, tag, buf)
+	c.world.tr.Send(c.rank, dest, tag, buf)
 	req.complete(Status{Source: c.rank, Tag: tag, Count: len(buf)})
 	return req
 }
@@ -228,7 +237,7 @@ func (c *Comm) Irecv(buf []byte, source, tag int) *Request {
 	defer c.exit()
 	req := newRequest()
 	c.pending.Add(1)
-	c.world.fabric.RecvAsync(c.rank, source, tag, func(m simnet.Message) {
+	c.world.tr.RecvAsync(c.rank, source, tag, func(m fabric.Message) {
 		defer c.pending.Done()
 		if len(m.Data) > len(buf) {
 			panic(fmt.Sprintf("mpi: rank %d: message of %d bytes overflows %d-byte Irecv buffer",
@@ -264,7 +273,7 @@ func Testall(reqs ...*Request) bool {
 func (c *Comm) Iprobe(source, tag int) (Status, bool) {
 	c.enter()
 	defer c.exit()
-	m, ok := c.world.fabric.Probe(c.rank, source, tag)
+	m, ok := c.world.tr.Probe(c.rank, source, tag)
 	if !ok {
 		return Status{}, false
 	}

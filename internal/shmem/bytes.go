@@ -34,34 +34,25 @@ func (a *ByteArray) Local(rank int) []byte { return a.data[rank] }
 // PutBytes copies vals into dst's instance at offset off; source reusable
 // immediately, remote visibility after the modelled delay.
 func (p *PE) PutBytes(a *ByteArray, dst, off int, vals []byte) {
-	if dst == p.rank {
-		a.mus[dst].Lock()
-		copy(a.data[dst][off:], vals)
-		a.cond[dst].Broadcast()
-		a.mus[dst].Unlock()
-		return
-	}
 	cp := make([]byte, len(vals))
 	copy(cp, vals)
-	p.pending.Add(1)
-	go func() {
-		defer p.pending.Done()
-		p.remoteSleep(dst, len(cp))
+	p.put(dst, len(cp), func() {
 		a.mus[dst].Lock()
 		copy(a.data[dst][off:], cp)
 		a.cond[dst].Broadcast()
 		a.mus[dst].Unlock()
-	}()
+	})
 }
 
 // GetBytes copies n bytes from src's instance at offset off. Blocks for
 // the round trip.
 func (p *PE) GetBytes(a *ByteArray, src, off, n int) []byte {
-	p.remoteSleep(src, n)
 	out := make([]byte, n)
-	a.mus[src].Lock()
-	copy(out, a.data[src][off:off+n])
-	a.mus[src].Unlock()
+	p.roundTrip(src, n, func() {
+		a.mus[src].Lock()
+		copy(out, a.data[src][off:off+n])
+		a.mus[src].Unlock()
+	})
 	return out
 }
 
@@ -95,32 +86,23 @@ func (a *Float64Array) Local(rank int) []float64 { return a.data[rank] }
 
 // PutFloat64 copies vals into dst's instance at offset off.
 func (p *PE) PutFloat64(a *Float64Array, dst, off int, vals []float64) {
-	if dst == p.rank {
-		a.mus[dst].Lock()
-		copy(a.data[dst][off:], vals)
-		a.cond[dst].Broadcast()
-		a.mus[dst].Unlock()
-		return
-	}
 	cp := make([]float64, len(vals))
 	copy(cp, vals)
-	p.pending.Add(1)
-	go func() {
-		defer p.pending.Done()
-		p.remoteSleep(dst, 8*len(cp))
+	p.put(dst, 8*len(cp), func() {
 		a.mus[dst].Lock()
 		copy(a.data[dst][off:], cp)
 		a.cond[dst].Broadcast()
 		a.mus[dst].Unlock()
-	}()
+	})
 }
 
 // GetFloat64 copies n elements from src's instance at offset off.
 func (p *PE) GetFloat64(a *Float64Array, src, off, n int) []float64 {
-	p.remoteSleep(src, 8*n)
 	out := make([]float64, n)
-	a.mus[src].Lock()
-	copy(out, a.data[src][off:off+n])
-	a.mus[src].Unlock()
+	p.roundTrip(src, 8*n, func() {
+		a.mus[src].Lock()
+		copy(out, a.data[src][off:off+n])
+		a.mus[src].Unlock()
+	})
 	return out
 }

@@ -1,24 +1,31 @@
 package shmem
 
-import "sync"
+import (
+	"encoding/binary"
+	"sync"
 
-// Collectives. All PEs must call each collective; the implementation
-// synchronizes internally (SHMEM collectives have barrier-like semantics
-// when using the default sync arrays). A log(n)-scaled delay models the
-// tree cost of real implementations.
+	"repro/internal/fabric"
+)
 
-// collDelay models the critical path of a tree collective.
-func (p *PE) collDelay(bytes int) {
-	n := p.w.n
-	hops := 0
-	for v := 1; v < n; v <<= 1 {
-		hops++
+// Collectives. All PEs must call each collective; entry and exit barriers
+// give them the usual SHMEM sync-array semantics. The data movement runs
+// through the shared collectives layer (fabric.Coll) — the same
+// binomial-tree and ring algorithms MPI's collectives use, as real
+// messages on the World's transport — so collective cost emerges from the
+// fabric's latency, bandwidth, and congestion model rather than a
+// separate formula.
+
+// encodeInt64s writes vals little-endian into dst (len(dst) >= 8*len(vals)).
+func encodeInt64s(dst []byte, vals []int64) {
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(dst[8*i:], uint64(v))
 	}
-	if hops == 0 {
-		hops = 1
-	}
-	for i := 0; i < hops; i++ {
-		p.delaySleep(bytes)
+}
+
+// decodeInt64s reads len(vals) little-endian int64s from src into vals.
+func decodeInt64s(vals []int64, src []byte) {
+	for i := range vals {
+		vals[i] = int64(binary.LittleEndian.Uint64(src[8*i:]))
 	}
 }
 
@@ -26,48 +33,42 @@ func (p *PE) collDelay(bytes int) {
 // dst instance (shmem_broadcast64). Root's dst is untouched, per the spec.
 func (p *PE) Broadcast(dst, src *Int64Array, nelems, root int) {
 	p.Quiet()
-	p.w.barrier.Await()
+	p.w.coll.Barrier()
+	buf := make([]byte, 8*nelems)
 	if p.rank == root {
-		p.collDelay(8 * nelems)
 		src.mus[root].Lock()
-		vals := make([]int64, nelems)
-		copy(vals, src.data[root][:nelems])
+		encodeInt64s(buf, src.data[root][:nelems])
 		src.mus[root].Unlock()
-		for r := 0; r < p.w.n; r++ {
-			if r == root {
-				continue
-			}
-			dst.mus[r].Lock()
-			copy(dst.data[r][:nelems], vals)
-			dst.cond[r].Broadcast()
-			dst.mus[r].Unlock()
-		}
 	}
-	p.w.barrier.Await()
+	p.w.coll.Bcast(p.rank, buf, root)
+	if p.rank != root {
+		me := p.rank
+		dst.mus[me].Lock()
+		decodeInt64s(dst.data[me][:nelems], buf)
+		dst.cond[me].Broadcast()
+		dst.mus[me].Unlock()
+	}
+	p.w.coll.Barrier()
 }
 
 // FCollect concatenates nelems from every PE's src into every PE's dst,
 // ordered by PE (shmem_fcollect64). dst must have length >= n*nelems.
 func (p *PE) FCollect(dst, src *Int64Array, nelems int) {
 	p.Quiet()
-	p.w.barrier.Await()
-	if p.rank == 0 {
-		n := p.w.n
-		p.collDelay(8 * nelems * n)
-		gathered := make([]int64, n*nelems)
-		for r := 0; r < n; r++ {
-			src.mus[r].Lock()
-			copy(gathered[r*nelems:], src.data[r][:nelems])
-			src.mus[r].Unlock()
-		}
-		for r := 0; r < n; r++ {
-			dst.mus[r].Lock()
-			copy(dst.data[r][:n*nelems], gathered)
-			dst.cond[r].Broadcast()
-			dst.mus[r].Unlock()
-		}
+	p.w.coll.Barrier()
+	me := p.rank
+	contrib := make([]byte, 8*nelems)
+	src.mus[me].Lock()
+	encodeInt64s(contrib, src.data[me][:nelems])
+	src.mus[me].Unlock()
+	chunks := p.w.coll.Allgather(me, contrib)
+	dst.mus[me].Lock()
+	for r, chunk := range chunks {
+		decodeInt64s(dst.data[me][r*nelems:(r+1)*nelems], chunk)
 	}
-	p.w.barrier.Await()
+	dst.cond[me].Broadcast()
+	dst.mus[me].Unlock()
+	p.w.coll.Barrier()
 }
 
 // ReduceKind selects the reduction operator.
@@ -98,39 +99,43 @@ func (k ReduceKind) apply(a, b int64) int64 {
 	panic("shmem: unknown reduction")
 }
 
+// byteOp lifts the int64 operator to the byte-buffer form the shared
+// collectives layer reduces with.
+func (k ReduceKind) byteOp() fabric.ReduceOp {
+	return func(acc, in []byte) {
+		for i := 0; i+8 <= len(in); i += 8 {
+			a := int64(binary.LittleEndian.Uint64(acc[i:]))
+			b := int64(binary.LittleEndian.Uint64(in[i:]))
+			binary.LittleEndian.PutUint64(acc[i:], uint64(k.apply(a, b)))
+		}
+	}
+}
+
 // ToAll reduces nelems elements of src element-wise across all PEs with
 // the given operator and stores the result in every PE's dst.
 func (p *PE) ToAll(dst, src *Int64Array, nelems int, kind ReduceKind) {
 	p.Quiet()
-	p.w.barrier.Await()
-	if p.rank == 0 {
-		n := p.w.n
-		p.collDelay(8 * nelems)
-		acc := make([]int64, nelems)
-		src.mus[0].Lock()
-		copy(acc, src.data[0][:nelems])
-		src.mus[0].Unlock()
-		for r := 1; r < n; r++ {
-			src.mus[r].Lock()
-			for i := 0; i < nelems; i++ {
-				acc[i] = kind.apply(acc[i], src.data[r][i])
-			}
-			src.mus[r].Unlock()
-		}
-		for r := 0; r < n; r++ {
-			dst.mus[r].Lock()
-			copy(dst.data[r][:nelems], acc)
-			dst.cond[r].Broadcast()
-			dst.mus[r].Unlock()
-		}
-	}
-	p.w.barrier.Await()
+	p.w.coll.Barrier()
+	me := p.rank
+	contrib := make([]byte, 8*nelems)
+	src.mus[me].Lock()
+	encodeInt64s(contrib, src.data[me][:nelems])
+	src.mus[me].Unlock()
+	recv := make([]byte, 8*nelems)
+	p.w.coll.Allreduce(me, recv, contrib, kind.byteOp())
+	dst.mus[me].Lock()
+	decodeInt64s(dst.data[me][:nelems], recv)
+	dst.cond[me].Broadcast()
+	dst.mus[me].Unlock()
+	p.w.coll.Barrier()
 }
 
 // Lock provides shmem_set_lock / shmem_clear_lock semantics over a
 // symmetric lock variable, identified by an opaque handle allocated with
 // AllocLock. The in-process implementation serializes through one mutex,
 // which preserves the contention behaviour distributed locks exhibit.
+// The lock variable lives in PE 0's symmetric memory (the spec hosts
+// locks at a fixed PE), so acquiring it costs one round trip to PE 0.
 type Lock struct {
 	mu sync.Mutex
 }
@@ -138,9 +143,9 @@ type Lock struct {
 // AllocLock allocates a symmetric lock.
 func (w *World) AllocLock() *Lock { return &Lock{} }
 
-// SetLock acquires the lock, blocking, after the modelled remote latency.
+// SetLock acquires the lock, blocking (shmem_set_lock).
 func (p *PE) SetLock(l *Lock) {
-	p.delaySleep(8)
+	p.roundTrip(0, 8, nil)
 	l.mu.Lock()
 }
 

@@ -1,6 +1,7 @@
 // Package shmem implements the subset of the OpenSHMEM 1.3 specification
 // that the HiPER AsyncSHMEM module wraps, over an in-process symmetric
-// heap with a simulated remote-access cost model.
+// heap whose remote accesses travel the pluggable transport layer in
+// package fabric.
 //
 // OpenSHMEM is a PGAS library: every PE (processing element) allocates the
 // same symmetric objects, and any PE may Put/Get/atomically-update the
@@ -14,14 +15,19 @@
 // until all of the calling PE's outstanding puts are remotely visible,
 // BarrierAll implies Quiet, and WaitUntil blocks until a local symmetric
 // location satisfies a comparison — typically made true by a remote put.
+//
+// Every remote access is issued as a one-sided transfer on the World's
+// transport, so a SHMEM world built with NewWorldOver on a shared fabric
+// contends with MPI or UPC++ traffic from other worlds on the same
+// endpoints — congestion windows and node locality apply across modules.
 package shmem
 
 import (
 	"fmt"
 	"sync"
 
+	"repro/internal/fabric"
 	"repro/internal/simnet"
-	"repro/internal/spin"
 )
 
 // Cmp is a comparison operator for WaitUntil, mirroring SHMEM_CMP_*.
@@ -58,19 +64,27 @@ func (c Cmp) Eval(a, b int64) bool {
 
 // World is an in-process SHMEM job: n PEs sharing a symmetric heap.
 type World struct {
-	n       int
-	cost    simnet.CostModel
-	barrier *simnet.Barrier
-	pes     []*PE
+	n    int
+	tr   fabric.Transport
+	coll *fabric.Coll
+	pes  []*PE
 }
 
-// NewWorld creates an n-PE job with the given remote-access cost model.
+// NewWorld creates an n-PE job over a simulated interconnect with the
+// given remote-access cost model.
 func NewWorld(n int, cost simnet.CostModel) *World {
 	if n <= 0 {
 		panic("shmem: world needs at least one PE")
 	}
-	w := &World{n: n, cost: cost, barrier: simnet.NewBarrier(n)}
-	w.pes = make([]*PE, n)
+	return NewWorldOver(fabric.NewSim(n, cost))
+}
+
+// NewWorldOver creates a job over an existing transport, one PE per
+// endpoint. Several library worlds may share one transport; their traffic
+// then shares links, congestion windows, and locality domains.
+func NewWorldOver(tr fabric.Transport) *World {
+	w := &World{n: tr.Size(), tr: tr, coll: fabric.NewColl(tr)}
+	w.pes = make([]*PE, w.n)
 	for i := range w.pes {
 		w.pes[i] = &PE{w: w, rank: i}
 	}
@@ -79,6 +93,10 @@ func NewWorld(n int, cost simnet.CostModel) *World {
 
 // Size returns the number of PEs (shmem_n_pes).
 func (w *World) Size() int { return w.n }
+
+// Transport exposes the underlying transport (for diagnostics and for
+// composing further library worlds over the same endpoints).
+func (w *World) Transport() fabric.Transport { return w.tr }
 
 // PE returns rank r's handle (each simulated process holds one).
 func (w *World) PE(r int) *PE { return w.pes[r] }
@@ -99,25 +117,33 @@ func (p *PE) Size() int { return p.w.n }
 // World returns the underlying job.
 func (p *PE) World() *World { return p.w }
 
-// delaySleep models one-way remote-access latency for an op of the given
-// payload size.
-func (p *PE) delaySleep(bytes int) {
-	if d := p.w.cost.Delay(bytes); d > 0 {
-		spin.Sleep(d)
-	}
-}
-
-// remoteSleep models latency only for genuinely remote accesses: a PE's
-// loads, stores, and atomics on its own symmetric memory cost nothing
-// extra, and same-node peers use the cost model's cheap local parameters,
-// exactly as on real PGAS hardware with a shared-memory transport.
-func (p *PE) remoteSleep(dst, bytes int) {
+// put issues one asynchronous one-sided update toward dst: apply runs at
+// the remote side when the transfer lands, and the PE's pending count
+// covers it until then. A PE's stores to its own symmetric memory apply
+// immediately without touching the transport, as on real PGAS hardware.
+func (p *PE) put(dst, bytes int, apply func()) {
 	if dst == p.rank {
+		apply()
 		return
 	}
-	if d := p.w.cost.DelayBetween(p.rank, dst, bytes); d > 0 {
-		spin.Sleep(d)
+	p.pending.Add(1)
+	p.w.tr.Put(p.rank, dst, bytes, apply, p.pending.Done)
+}
+
+// roundTrip issues one blocking one-sided access toward dst (a get or an
+// atomic), returning after apply has run at the remote side and the
+// modelled round trip has elapsed. Accesses to the calling PE's own
+// memory apply immediately.
+func (p *PE) roundTrip(dst, bytes int, apply func()) {
+	if dst == p.rank {
+		if apply != nil {
+			apply()
+		}
+		return
 	}
+	done := make(chan struct{})
+	p.w.tr.Get(p.rank, dst, bytes, apply, func() { close(done) })
+	<-done
 }
 
 // Quiet blocks until all outstanding puts and atomic updates issued by
@@ -131,7 +157,7 @@ func (p *PE) Fence() { p.Quiet() }
 // BarrierAll synchronizes all PEs and implies Quiet (shmem_barrier_all).
 func (p *PE) BarrierAll() {
 	p.Quiet()
-	p.w.barrier.Await()
+	p.w.coll.Barrier()
 }
 
 // BarrierAllAsync arrives at the barrier once this PE's outstanding
@@ -141,7 +167,7 @@ func (p *PE) BarrierAll() {
 func (p *PE) BarrierAllAsync(onDone func()) {
 	go func() {
 		p.pending.Wait()
-		p.w.barrier.Arrive(onDone)
+		p.w.coll.BarrierAsync(onDone)
 	}()
 }
 
@@ -181,63 +207,46 @@ func (a *Int64Array) Local(rank int) []int64 { return a.data[rank] }
 // returns once the source values are captured; remote visibility completes
 // asynchronously after the modelled delay. Use Quiet or BarrierAll to wait.
 func (p *PE) Put(a *Int64Array, dst, off int, vals []int64) {
-	if dst == p.rank {
-		a.mus[dst].Lock()
-		copy(a.data[dst][off:], vals)
-		a.cond[dst].Broadcast()
-		a.mus[dst].Unlock()
-		return
-	}
 	cp := make([]int64, len(vals))
 	copy(cp, vals)
-	p.pending.Add(1)
-	go func() {
-		defer p.pending.Done()
-		p.remoteSleep(dst, 8*len(cp))
+	p.put(dst, 8*len(cp), func() {
 		a.mus[dst].Lock()
 		copy(a.data[dst][off:], cp)
 		a.cond[dst].Broadcast()
 		a.mus[dst].Unlock()
-	}()
+	})
 }
 
 // PutValue is Put of a single element (shmem_int64_p).
 func (p *PE) PutValue(a *Int64Array, dst, off int, val int64) {
-	if dst == p.rank {
+	p.put(dst, 8, func() {
 		a.mus[dst].Lock()
 		a.data[dst][off] = val
 		a.cond[dst].Broadcast()
 		a.mus[dst].Unlock()
-		return
-	}
-	p.pending.Add(1)
-	go func() {
-		defer p.pending.Done()
-		p.remoteSleep(dst, 8)
-		a.mus[dst].Lock()
-		a.data[dst][off] = val
-		a.cond[dst].Broadcast()
-		a.mus[dst].Unlock()
-	}()
+	})
 }
 
 // Get copies n elements from src's instance at offset off into a fresh
 // slice (shmem_get64). Get blocks for the full round trip.
 func (p *PE) Get(a *Int64Array, src, off, n int) []int64 {
-	p.remoteSleep(src, 8*n) // request + payload return, modelled as one delay
 	out := make([]int64, n)
-	a.mus[src].Lock()
-	copy(out, a.data[src][off:off+n])
-	a.mus[src].Unlock()
+	p.roundTrip(src, 8*n, func() {
+		a.mus[src].Lock()
+		copy(out, a.data[src][off:off+n])
+		a.mus[src].Unlock()
+	})
 	return out
 }
 
 // GetValue is Get of a single element (shmem_int64_g).
 func (p *PE) GetValue(a *Int64Array, src, off int) int64 {
-	p.remoteSleep(src, 8)
-	a.mus[src].Lock()
-	v := a.data[src][off]
-	a.mus[src].Unlock()
+	var v int64
+	p.roundTrip(src, 8, func() {
+		a.mus[src].Lock()
+		v = a.data[src][off]
+		a.mus[src].Unlock()
+	})
 	return v
 }
 
@@ -254,59 +263,55 @@ func (a *Int64Array) Peek(rank, off int) int64 {
 // FetchAdd atomically adds delta to dst's element and returns the prior
 // value (shmem_int64_atomic_fetch_add). Blocks for the round trip.
 func (p *PE) FetchAdd(a *Int64Array, dst, off int, delta int64) int64 {
-	p.remoteSleep(dst, 8)
-	a.mus[dst].Lock()
-	old := a.data[dst][off]
-	a.data[dst][off] = old + delta
-	a.cond[dst].Broadcast()
-	a.mus[dst].Unlock()
+	var old int64
+	p.roundTrip(dst, 8, func() {
+		a.mus[dst].Lock()
+		old = a.data[dst][off]
+		a.data[dst][off] = old + delta
+		a.cond[dst].Broadcast()
+		a.mus[dst].Unlock()
+	})
 	return old
 }
 
 // Add atomically adds delta without fetching (shmem_int64_atomic_add);
 // returns immediately, completing asynchronously.
 func (p *PE) Add(a *Int64Array, dst, off int, delta int64) {
-	if dst == p.rank {
+	p.put(dst, 8, func() {
 		a.mus[dst].Lock()
 		a.data[dst][off] += delta
 		a.cond[dst].Broadcast()
 		a.mus[dst].Unlock()
-		return
-	}
-	p.pending.Add(1)
-	go func() {
-		defer p.pending.Done()
-		p.remoteSleep(dst, 8)
-		a.mus[dst].Lock()
-		a.data[dst][off] += delta
-		a.cond[dst].Broadcast()
-		a.mus[dst].Unlock()
-	}()
+	})
 }
 
 // CompareSwap atomically replaces dst's element with val if it equals
 // cond, returning the prior value (shmem_int64_atomic_compare_swap).
 func (p *PE) CompareSwap(a *Int64Array, dst, off int, cond, val int64) int64 {
-	p.remoteSleep(dst, 8)
-	a.mus[dst].Lock()
-	old := a.data[dst][off]
-	if old == cond {
-		a.data[dst][off] = val
-	}
-	a.cond[dst].Broadcast()
-	a.mus[dst].Unlock()
+	var old int64
+	p.roundTrip(dst, 8, func() {
+		a.mus[dst].Lock()
+		old = a.data[dst][off]
+		if old == cond {
+			a.data[dst][off] = val
+		}
+		a.cond[dst].Broadcast()
+		a.mus[dst].Unlock()
+	})
 	return old
 }
 
 // Swap atomically replaces dst's element, returning the prior value
 // (shmem_int64_atomic_swap).
 func (p *PE) Swap(a *Int64Array, dst, off int, val int64) int64 {
-	p.remoteSleep(dst, 8)
-	a.mus[dst].Lock()
-	old := a.data[dst][off]
-	a.data[dst][off] = val
-	a.cond[dst].Broadcast()
-	a.mus[dst].Unlock()
+	var old int64
+	p.roundTrip(dst, 8, func() {
+		a.mus[dst].Lock()
+		old = a.data[dst][off]
+		a.data[dst][off] = val
+		a.cond[dst].Broadcast()
+		a.mus[dst].Unlock()
+	})
 	return old
 }
 

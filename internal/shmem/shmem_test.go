@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/simnet"
+	"repro/internal/trace"
 )
 
 // runJob executes fn once per PE, concurrently, and waits for all.
@@ -424,5 +425,25 @@ func TestLocalOpsSkipCostModel(t *testing.T) {
 	p.Quiet()
 	if time.Since(start) > 20*time.Millisecond {
 		t.Fatal("same-PE operations paid the network cost model")
+	}
+}
+
+func TestPutGetTraced(t *testing.T) {
+	w := NewWorld(2, simnet.CostModel{})
+	tr := trace.New(1, trace.Config{RingSize: 64})
+	w.Transport().SetTracer(tr)
+	a := w.AllocInt64(2)
+	p := w.PE(0)
+	p.PutValue(a, 1, 0, 7)
+	p.Quiet()
+	if got := p.GetValue(a, 1, 0); got != 7 {
+		t.Fatalf("GetValue = %d", got)
+	}
+	d := tr.Derived()
+	if d.MsgsSent != 2 || d.MsgsRecvd != 2 {
+		t.Fatalf("msg events: %+v", d)
+	}
+	if d.MsgBytes != 16 || d.MsgBytesRecvd != 16 {
+		t.Fatalf("msg bytes: %+v", d)
 	}
 }

@@ -1,399 +1,44 @@
-// Package simnet simulates a multi-node HPC interconnect inside one
-// process. It substitutes for the Cray Aries network plus vendor
-// communication runtimes used in the paper's evaluation: each simulated
-// "rank" is an in-process entity, and messages between ranks traverse a
-// configurable latency/bandwidth/congestion cost model.
+// Package simnet is the compatibility facade over the pluggable
+// transport layer in internal/fabric. Historically it owned the
+// cost-modeled interconnect simulation; that machinery now lives in
+// fabric (as the Sim backend of the Transport interface) so that
+// library modules can also run over other backends — notably the
+// zero-cost Inline transport for deterministic tests. The aliases here
+// keep the original simnet API (CostModel, Fabric, Barrier, wildcard
+// constants) working for existing workloads and benchmarks.
 //
-// The simulation preserves the behaviours the paper's results hinge on:
-// message transfer takes wall-clock time proportional to alpha + bytes/beta,
-// many concurrent messages to one destination contend (modelling NIC and
-// network congestion — the effect that makes flat all-to-alls collapse at
-// scale), and delivery is asynchronous with respect to the sender, so
-// schedulers that overlap communication with computation really do hide
-// latency.
+// New code that needs a transport should import internal/fabric
+// directly; simnet remains the convenient name for "a simulated
+// network with this cost model".
 package simnet
 
-import (
-	"fmt"
-	"sync"
-	"sync/atomic"
-	"time"
+import "repro/internal/fabric"
 
-	"repro/internal/spin"
-	"repro/internal/trace"
-)
+// CostModel parameterizes the simulated interconnect. See
+// fabric.CostModel for the field semantics (alpha/beta terms,
+// congestion window and penalty, node locality).
+type CostModel = fabric.CostModel
 
-// CostModel parameterizes simulated communication timing. The zero value
-// is a zero-cost network with synchronous in-line delivery — deterministic
-// and fast, ideal for unit tests.
-type CostModel struct {
-	// Alpha is the fixed per-message latency.
-	Alpha time.Duration
-	// BytesPerSec is the link bandwidth; zero means infinite.
-	BytesPerSec float64
-	// CongestWindow is how many in-flight messages a destination absorbs
-	// at full speed; beyond it each additional message pays CongestPenalty.
-	// Zero disables congestion modelling.
-	CongestWindow int
-	// CongestPenalty is the extra delay per excess in-flight message.
-	CongestPenalty time.Duration
+// Message is a delivered two-sided message.
+type Message = fabric.Message
 
-	// RanksPerNode groups consecutive ranks onto "nodes": traffic between
-	// ranks of the same node uses the (cheap) local parameters and is
-	// exempt from congestion, like shared-memory transports in real
-	// communication runtimes. Zero means every rank is its own node.
-	RanksPerNode int
-	// LocalAlpha is the fixed latency for same-node messages.
-	LocalAlpha time.Duration
-	// LocalBytesPerSec is the same-node bandwidth; zero means infinite.
-	LocalBytesPerSec float64
-}
+// Fabric is the cost-modeled transport backend (fabric.Sim). All of the
+// Transport interface — Send/Recv with tag and source matching,
+// one-sided Put/Get, tracing, statistics — is available on it.
+type Fabric = fabric.Sim
 
-// SameNode reports whether two ranks share a node under this model.
-func (c CostModel) SameNode(a, b int) bool {
-	if a == b {
-		return true
-	}
-	return c.RanksPerNode > 1 && a/c.RanksPerNode == b/c.RanksPerNode
-}
+// Barrier is a reusable generation-counted barrier.
+type Barrier = fabric.Barrier
 
-// DelayBetween computes the transfer delay from src to dst for a message
-// of the given size, honouring node locality.
-func (c CostModel) DelayBetween(src, dst, bytes int) time.Duration {
-	if c.SameNode(src, dst) {
-		d := c.LocalAlpha
-		if c.LocalBytesPerSec > 0 {
-			d += time.Duration(float64(bytes) / c.LocalBytesPerSec * float64(time.Second))
-		}
-		return d
-	}
-	return c.Delay(bytes)
-}
-
-// Delay computes the base transfer delay for a message of the given size
-// (excluding congestion, which depends on instantaneous load).
-func (c CostModel) Delay(bytes int) time.Duration {
-	d := c.Alpha
-	if c.BytesPerSec > 0 {
-		d += time.Duration(float64(bytes) / c.BytesPerSec * float64(time.Second))
-	}
-	return d
-}
-
-// Zero reports whether the model is free (messages deliver inline).
-func (c CostModel) Zero() bool {
-	return c.Alpha == 0 && c.BytesPerSec == 0 && c.CongestWindow == 0
-}
-
-// Message is a delivered envelope.
-type Message struct {
-	Src, Dst, Tag int
-	Data          []byte
-}
-
-// Wildcards for matching receives.
+// Wildcards for Recv matching.
 const (
-	AnySource = -1
-	AnyTag    = -1
+	AnySource = fabric.AnySource
+	AnyTag    = fabric.AnyTag
 )
 
-// recvReq is a posted receive awaiting a matching message.
-type recvReq struct {
-	src, tag int
-	deliver  func(Message) // invoked exactly once, outside the mailbox lock
-}
-
-func (r *recvReq) matches(m Message) bool {
-	return (r.src == AnySource || r.src == m.Src) && (r.tag == AnyTag || r.tag == m.Tag)
-}
-
-// mailbox holds one rank's undelivered messages and posted receives.
-// Matching follows MPI rules: messages from one (src, tag) pair are matched
-// in arrival order against receives in post order.
-type mailbox struct {
-	mu   sync.Mutex
-	msgs []Message
-	reqs []*recvReq
-}
-
-// deliver matches m against posted receives or queues it.
-func (b *mailbox) deliver(m Message) {
-	b.mu.Lock()
-	for i, r := range b.reqs {
-		if r.matches(m) {
-			b.reqs = append(b.reqs[:i], b.reqs[i+1:]...)
-			b.mu.Unlock()
-			r.deliver(m)
-			return
-		}
-	}
-	b.msgs = append(b.msgs, m)
-	b.mu.Unlock()
-}
-
-// post matches a receive against queued messages or queues it.
-func (b *mailbox) post(r *recvReq) {
-	b.mu.Lock()
-	for i, m := range b.msgs {
-		if r.matches(m) {
-			b.msgs = append(b.msgs[:i], b.msgs[i+1:]...)
-			b.mu.Unlock()
-			r.deliver(m)
-			return
-		}
-	}
-	b.reqs = append(b.reqs, r)
-	b.mu.Unlock()
-}
-
-// probe reports whether a matching message is queued, without removing it.
-func (b *mailbox) probe(src, tag int) (Message, bool) {
-	r := recvReq{src: src, tag: tag}
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	for _, m := range b.msgs {
-		if r.matches(m) {
-			return m, true
-		}
-	}
-	return Message{}, false
-}
-
-// pairLink serializes deliveries for one (src, dst) pair so that per-pair
-// FIFO ordering — an MPI guarantee — holds even under the latency model.
-// Messages pipeline: a message's arrival time is max(previous arrival,
-// send time + delay), matching a network that keeps packets in order while
-// overlapping transfers.
-type pairLink struct {
-	mu          sync.Mutex
-	q           []scheduledMsg
-	running     bool
-	lastArrival time.Time
-}
-
-type scheduledMsg struct {
-	m       Message
-	arrival time.Time
-}
-
-// Fabric is a simulated interconnect joining n ranks.
-type Fabric struct {
-	n        int
-	cost     CostModel
-	boxes    []*mailbox
-	links    []pairLink     // [src*n+dst]
-	inflight []atomic.Int64 // per destination
-	barrier  *Barrier
-
-	// statistics
-	sent      atomic.Int64
-	sentBytes atomic.Int64
-
-	// tracer, when set, receives a message event per send and per delivery.
-	// Sends run on arbitrary goroutines (runtime workers, drain goroutines,
-	// user code), so events go through the tracer's external ring.
-	tracer atomic.Pointer[trace.Tracer]
-}
-
-// NewFabric creates a fabric with n ranks and the given cost model.
-func NewFabric(n int, cost CostModel) *Fabric {
-	if n <= 0 {
-		panic(fmt.Sprintf("simnet: fabric needs at least 1 rank, got %d", n))
-	}
-	f := &Fabric{n: n, cost: cost, barrier: NewBarrier(n)}
-	f.boxes = make([]*mailbox, n)
-	for i := range f.boxes {
-		f.boxes[i] = &mailbox{}
-	}
-	f.links = make([]pairLink, n*n)
-	f.inflight = make([]atomic.Int64, n)
-	return f
-}
-
-// SetTracer attaches (or, with nil, detaches) a tracer whose external ring
-// records one EvMsgSend per Send and one EvMsgRecv per mailbox delivery.
-// Safe to call concurrently with traffic.
-func (f *Fabric) SetTracer(tr *trace.Tracer) { f.tracer.Store(tr) }
-
-// traceMsg records a message event: Task packs src<<32|dst, Arg is bytes.
-func (f *Fabric) traceMsg(k trace.Kind, src, dst, bytes int) {
-	if tr := f.tracer.Load(); tr != nil && tr.Enabled() {
-		tr.RecordExternal(k, trace.NoPlace, uint64(uint32(src))<<32|uint64(uint32(dst)), uint64(bytes))
-	}
-}
-
-// Size returns the number of ranks.
-func (f *Fabric) Size() int { return f.n }
-
-// Cost returns the fabric's cost model.
-func (f *Fabric) Cost() CostModel { return f.cost }
-
-// checkRank panics on out-of-range ranks (programming error).
-func (f *Fabric) checkRank(r int) {
-	if r < 0 || r >= f.n {
-		panic(fmt.Sprintf("simnet: rank %d out of range [0,%d)", r, f.n))
-	}
-}
-
-// Send transmits data from src to dst with the given tag. The data is
-// copied before Send returns, so the caller may immediately reuse the
-// buffer (eager-send semantics). Delivery happens after the modelled
-// delay, asynchronously unless the cost model is zero.
-func (f *Fabric) Send(src, dst, tag int, data []byte) {
-	f.checkRank(src)
-	f.checkRank(dst)
-	buf := make([]byte, len(data))
-	copy(buf, data)
-	m := Message{Src: src, Dst: dst, Tag: tag, Data: buf}
-	f.sent.Add(1)
-	f.sentBytes.Add(int64(len(data)))
-	f.traceMsg(trace.EvMsgSend, src, dst, len(data))
-	if f.cost.Zero() {
-		f.boxes[dst].deliver(m)
-		f.traceMsg(trace.EvMsgRecv, src, dst, len(data))
-		return
-	}
-	delay := f.cost.DelayBetween(src, dst, len(data))
-	congest := f.cost.CongestWindow > 0 && !f.cost.SameNode(src, dst)
-	if congest {
-		excess := f.inflight[dst].Add(1) - int64(f.cost.CongestWindow)
-		if excess > 0 {
-			delay += time.Duration(excess) * f.cost.CongestPenalty
-		}
-	}
-	link := &f.links[src*f.n+dst]
-	link.mu.Lock()
-	arrival := time.Now().Add(delay)
-	if arrival.Before(link.lastArrival) {
-		arrival = link.lastArrival
-	}
-	link.lastArrival = arrival
-	link.q = append(link.q, scheduledMsg{m: m, arrival: arrival})
-	if !link.running {
-		link.running = true
-		go f.drainLink(link, dst)
-	}
-	link.mu.Unlock()
-}
-
-// drainLink delivers one pair's messages in order at their arrival times.
-func (f *Fabric) drainLink(link *pairLink, dst int) {
-	for {
-		link.mu.Lock()
-		if len(link.q) == 0 {
-			link.running = false
-			link.mu.Unlock()
-			return
-		}
-		sm := link.q[0]
-		link.q = link.q[1:]
-		link.mu.Unlock()
-
-		spin.Until(sm.arrival)
-		f.boxes[dst].deliver(sm.m)
-		f.traceMsg(trace.EvMsgRecv, sm.m.Src, dst, len(sm.m.Data))
-		if f.cost.CongestWindow > 0 && !f.cost.SameNode(sm.m.Src, dst) {
-			f.inflight[dst].Add(-1)
-		}
-	}
-}
-
-// Recv blocks until a message matching (src, tag) — with AnySource/AnyTag
-// wildcards — arrives at dst, and returns it.
-func (f *Fabric) Recv(dst, src, tag int) Message {
-	f.checkRank(dst)
-	ch := make(chan Message, 1)
-	f.boxes[dst].post(&recvReq{src: src, tag: tag, deliver: func(m Message) { ch <- m }})
-	return <-ch
-}
-
-// RecvAsync registers fn to be invoked exactly once with the next message
-// matching (src, tag) at dst. fn runs on the delivering goroutine (or
-// inline if a message is already queued); it must not block.
-func (f *Fabric) RecvAsync(dst, src, tag int, fn func(Message)) {
-	f.checkRank(dst)
-	f.boxes[dst].post(&recvReq{src: src, tag: tag, deliver: fn})
-}
-
-// TryRecv returns a matching queued message if one is available.
-func (f *Fabric) TryRecv(dst, src, tag int) (Message, bool) {
-	f.checkRank(dst)
-	b := f.boxes[dst]
-	r := recvReq{src: src, tag: tag}
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	for i, m := range b.msgs {
-		if r.matches(m) {
-			b.msgs = append(b.msgs[:i], b.msgs[i+1:]...)
-			return m, true
-		}
-	}
-	return Message{}, false
-}
-
-// Probe reports whether a matching message is queued at dst without
-// consuming it.
-func (f *Fabric) Probe(dst, src, tag int) (Message, bool) {
-	f.checkRank(dst)
-	return f.boxes[dst].probe(src, tag)
-}
-
-// Barrier blocks until all n ranks have entered the barrier.
-func (f *Fabric) Barrier() { f.barrier.Await() }
-
-// BarrierAsync registers a barrier arrival and invokes fn when all ranks
-// have arrived, without blocking the caller.
-func (f *Fabric) BarrierAsync(fn func()) { f.barrier.Arrive(fn) }
-
-// Stats returns cumulative message and byte counts.
-func (f *Fabric) Stats() (messages, bytes int64) {
-	return f.sent.Load(), f.sentBytes.Load()
-}
-
-// Barrier is a reusable (generation-counted) barrier for n participants.
-// Participants may arrive blocking (Await) or asynchronously (Arrive with
-// a completion callback); the two styles compose within one generation.
-type Barrier struct {
-	mu    sync.Mutex
-	n     int
-	count int
-	gen   uint64
-	cbs   []func()
-}
+// NewFabric creates a simulated interconnect with n ranks and the given
+// cost model.
+func NewFabric(n int, cost CostModel) *Fabric { return fabric.NewSim(n, cost) }
 
 // NewBarrier creates a barrier for n participants.
-func NewBarrier(n int) *Barrier {
-	return &Barrier{n: n}
-}
-
-// Await blocks until n participants have entered the current generation.
-func (b *Barrier) Await() {
-	done := make(chan struct{})
-	b.Arrive(func() { close(done) })
-	<-done
-}
-
-// Arrive registers one arrival in the current generation and invokes fn
-// (if non-nil) when the generation completes. The last arriver runs all
-// callbacks on its own goroutine. Arrive never blocks, which lets runtime
-// schedulers keep their workers busy while a barrier is pending — the
-// deadlock-avoidance property the HiPER modules rely on.
-func (b *Barrier) Arrive(fn func()) {
-	b.mu.Lock()
-	if fn != nil {
-		b.cbs = append(b.cbs, fn)
-	}
-	b.count++
-	if b.count == b.n {
-		b.count = 0
-		b.gen++
-		cbs := b.cbs
-		b.cbs = nil
-		b.mu.Unlock()
-		for _, cb := range cbs {
-			cb()
-		}
-		return
-	}
-	b.mu.Unlock()
-}
+func NewBarrier(n int) *Barrier { return fabric.NewBarrier(n) }

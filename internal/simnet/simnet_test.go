@@ -1,338 +1,39 @@
 package simnet
 
 import (
-	"sync"
-	"sync/atomic"
 	"testing"
-	"testing/quick"
-	"time"
 
-	"repro/internal/trace"
+	"repro/internal/fabric"
 )
 
-func TestSendRecvZeroCost(t *testing.T) {
+// The full behavioural suite for the simulated interconnect lives with
+// the implementation in internal/fabric. These tests only pin the facade:
+// the aliases resolve to the fabric types and the constructors work.
+
+func TestFacadeSendRecv(t *testing.T) {
 	f := NewFabric(2, CostModel{})
 	f.Send(0, 1, 7, []byte("hi"))
-	m := f.Recv(1, 0, 7)
+	m := f.Recv(1, AnySource, AnyTag)
 	if string(m.Data) != "hi" || m.Src != 0 || m.Tag != 7 {
 		t.Fatalf("got %+v", m)
 	}
 }
 
-func TestRecvBeforeSend(t *testing.T) {
-	f := NewFabric(2, CostModel{})
-	done := make(chan Message, 1)
-	go func() { done <- f.Recv(1, AnySource, AnyTag) }()
-	time.Sleep(time.Millisecond)
-	f.Send(0, 1, 3, []byte("x"))
-	select {
-	case m := <-done:
-		if m.Tag != 3 {
-			t.Fatalf("tag = %d", m.Tag)
-		}
-	case <-time.After(5 * time.Second):
-		t.Fatal("posted receive never matched")
+func TestFacadeAliases(t *testing.T) {
+	var tr fabric.Transport = NewFabric(1, CostModel{})
+	if tr.Size() != 1 {
+		t.Fatal("Fabric does not satisfy fabric.Transport")
 	}
+	if AnySource != fabric.AnySource || AnyTag != fabric.AnyTag {
+		t.Fatal("wildcard constants diverged from fabric")
+	}
+	var _ *fabric.Barrier = NewBarrier(2)
 }
 
-func TestSenderBufferReusable(t *testing.T) {
-	f := NewFabric(2, CostModel{})
-	buf := []byte{1, 2, 3}
-	f.Send(0, 1, 0, buf)
-	buf[0] = 99 // eager send copied the data
-	m := f.Recv(1, 0, 0)
-	if m.Data[0] != 1 {
-		t.Fatal("send did not copy the payload")
-	}
-}
-
-func TestTagAndSourceMatching(t *testing.T) {
-	f := NewFabric(3, CostModel{})
-	f.Send(0, 2, 10, []byte("a"))
-	f.Send(1, 2, 20, []byte("b"))
-	// Receive tag 20 first even though it arrived second.
-	if m := f.Recv(2, AnySource, 20); string(m.Data) != "b" {
-		t.Fatalf("tag match failed: %+v", m)
-	}
-	if m := f.Recv(2, 0, AnyTag); string(m.Data) != "a" {
-		t.Fatalf("source match failed: %+v", m)
-	}
-}
-
-func TestOrderingPerPair(t *testing.T) {
-	f := NewFabric(2, CostModel{})
-	for i := 0; i < 100; i++ {
-		f.Send(0, 1, 5, []byte{byte(i)})
-	}
-	for i := 0; i < 100; i++ {
-		m := f.Recv(1, 0, 5)
-		if m.Data[0] != byte(i) {
-			t.Fatalf("message %d arrived out of order: %d", i, m.Data[0])
-		}
-	}
-}
-
-func TestTryRecvAndProbe(t *testing.T) {
-	f := NewFabric(2, CostModel{})
-	if _, ok := f.TryRecv(1, AnySource, AnyTag); ok {
-		t.Fatal("TryRecv on empty mailbox")
-	}
-	if _, ok := f.Probe(1, AnySource, AnyTag); ok {
-		t.Fatal("Probe on empty mailbox")
-	}
-	f.Send(0, 1, 1, []byte("z"))
-	if m, ok := f.Probe(1, 0, 1); !ok || string(m.Data) != "z" {
-		t.Fatal("Probe failed")
-	}
-	// Probe must not consume.
-	if _, ok := f.TryRecv(1, 0, 1); !ok {
-		t.Fatal("TryRecv after Probe failed")
-	}
-	if _, ok := f.TryRecv(1, 0, 1); ok {
-		t.Fatal("message not consumed by TryRecv")
-	}
-}
-
-func TestRecvAsync(t *testing.T) {
-	f := NewFabric(2, CostModel{})
-	got := make(chan Message, 1)
-	f.RecvAsync(1, 0, 9, func(m Message) { got <- m })
-	f.Send(0, 1, 9, []byte("async"))
-	select {
-	case m := <-got:
-		if string(m.Data) != "async" {
-			t.Fatalf("got %q", m.Data)
-		}
-	case <-time.After(5 * time.Second):
-		t.Fatal("async receive never fired")
-	}
-	// Already-queued message delivers inline.
-	f.Send(0, 1, 9, []byte("queued"))
-	fired := false
-	f.RecvAsync(1, 0, 9, func(m Message) { fired = true })
-	if !fired {
-		t.Fatal("RecvAsync did not match queued message inline")
-	}
-}
-
-func TestDelayedDelivery(t *testing.T) {
-	cost := CostModel{Alpha: 20 * time.Millisecond}
-	f := NewFabric(2, cost)
-	start := time.Now()
-	f.Send(0, 1, 0, []byte("slow"))
-	f.Recv(1, 0, 0)
-	if d := time.Since(start); d < 15*time.Millisecond {
-		t.Fatalf("message arrived after %v, want >= ~20ms", d)
-	}
-}
-
-func TestBandwidthDelay(t *testing.T) {
-	c := CostModel{Alpha: time.Millisecond, BytesPerSec: 1e6}
-	if d := c.Delay(1000); d != time.Millisecond+time.Millisecond {
-		t.Fatalf("Delay = %v", d)
-	}
-	if !(CostModel{}).Zero() {
-		t.Fatal("zero model not detected")
-	}
-	if c.Zero() {
-		t.Fatal("non-zero model detected as zero")
-	}
-}
-
-func TestCongestionSlowsFanIn(t *testing.T) {
-	if testing.Short() {
-		t.Skip("timing test")
-	}
-	// With a window of 1 and a 3ms penalty, 8 concurrent messages to one
-	// destination must take noticeably longer than 8 sequential ones.
-	f := NewFabric(9, CostModel{Alpha: time.Millisecond, CongestWindow: 1, CongestPenalty: 3 * time.Millisecond})
-	start := time.Now()
-	for s := 0; s < 8; s++ {
-		f.Send(s, 8, 0, []byte("x"))
-	}
-	for i := 0; i < 8; i++ {
-		f.Recv(8, AnySource, 0)
-	}
-	elapsed := time.Since(start)
-	if elapsed < 10*time.Millisecond {
-		t.Fatalf("fan-in of 8 finished in %v; congestion model inactive", elapsed)
-	}
-}
-
-func TestBarrier(t *testing.T) {
-	const n = 8
-	f := NewFabric(n, CostModel{})
-	var phase atomic.Int64
-	var wg sync.WaitGroup
-	errs := make(chan string, n)
-	for r := 0; r < n; r++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for it := 0; it < 50; it++ {
-				phase.Add(1)
-				f.Barrier()
-				if got := phase.Load(); got != int64(n*(it+1)) {
-					errs <- "barrier let a rank through early"
-					return
-				}
-				f.Barrier()
-			}
-		}()
-	}
-	wg.Wait()
-	select {
-	case e := <-errs:
-		t.Fatal(e)
-	default:
-	}
-}
-
-func TestFabricStats(t *testing.T) {
-	f := NewFabric(2, CostModel{})
-	f.Send(0, 1, 0, make([]byte, 100))
-	f.Send(1, 0, 0, make([]byte, 50))
-	msgs, bytes := f.Stats()
-	if msgs != 2 || bytes != 150 {
-		t.Fatalf("stats = %d msgs %d bytes", msgs, bytes)
-	}
-}
-
-func TestBadRankPanics(t *testing.T) {
-	f := NewFabric(2, CostModel{})
-	for _, fn := range []func(){
-		func() { f.Send(0, 2, 0, nil) },
-		func() { f.Send(-1, 0, 0, nil) },
-		func() { f.Recv(5, 0, 0) },
-	} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Error("expected panic for out-of-range rank")
-				}
-			}()
-			fn()
-		}()
-	}
-	if func() (panicked bool) {
-		defer func() { panicked = recover() != nil }()
-		NewFabric(0, CostModel{})
-		return
-	}(); !func() bool { return true }() {
-		t.Fatal("unreachable")
-	}
-}
-
-// Property: any interleaving of sends from multiple sources is received
-// exactly once, with per-(src,tag) FIFO order preserved.
-func TestQuickExactlyOnceDelivery(t *testing.T) {
-	fn := func(counts []uint8) bool {
-		if len(counts) == 0 {
-			return true
-		}
-		if len(counts) > 6 {
-			counts = counts[:6]
-		}
-		srcs := len(counts)
-		f := NewFabric(srcs+1, CostModel{})
-		dst := srcs
-		total := 0
-		var wg sync.WaitGroup
-		for s := 0; s < srcs; s++ {
-			n := int(counts[s] % 20)
-			total += n
-			wg.Add(1)
-			go func(s, n int) {
-				defer wg.Done()
-				for i := 0; i < n; i++ {
-					f.Send(s, dst, s, []byte{byte(i)})
-				}
-			}(s, n)
-		}
-		wg.Wait()
-		next := make([]int, srcs)
-		for i := 0; i < total; i++ {
-			m := f.Recv(dst, AnySource, AnyTag)
-			if int(m.Data[0]) != next[m.Src] {
-				return false // per-source order violated
-			}
-			next[m.Src]++
-		}
-		_, ok := f.TryRecv(dst, AnySource, AnyTag)
-		return !ok // nothing left over
-	}
-	if err := quick.Check(fn, &quick.Config{MaxCount: 40}); err != nil {
-		t.Fatal(err)
-	}
-}
-
-func BenchmarkSendRecvZeroCost(b *testing.B) {
-	f := NewFabric(2, CostModel{})
-	payload := make([]byte, 64)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		f.Send(0, 1, 0, payload)
-		f.Recv(1, 0, 0)
-	}
-}
-
-// Per-pair FIFO ordering must survive the latency model: MPI guarantees
-// non-overtaking between one (src, dst) pair.
-func TestOrderingUnderLatency(t *testing.T) {
-	f := NewFabric(2, CostModel{Alpha: 500 * time.Microsecond})
-	const n = 50
-	for i := 0; i < n; i++ {
-		f.Send(0, 1, 5, []byte{byte(i)})
-	}
-	for i := 0; i < n; i++ {
-		m := f.Recv(1, 0, 5)
-		if m.Data[0] != byte(i) {
-			t.Fatalf("message %d overtaken by %d under latency model", i, m.Data[0])
-		}
-	}
-}
-
-// TestFabricTracing checks that an attached tracer sees one send and one
-// recv event per message on both delivery paths (inline zero-cost and the
-// delayed drain-goroutine path), with ranks and sizes intact.
-func TestFabricTracing(t *testing.T) {
-	tr := trace.New(0, trace.Config{})
-
-	// Inline path: zero cost model delivers synchronously.
-	zf := NewFabric(3, CostModel{})
-	zf.SetTracer(tr)
-	zf.Send(0, 1, 7, make([]byte, 100))
-	zf.Send(2, 1, 7, make([]byte, 28))
-	zf.Recv(1, AnySource, 7)
-	zf.Recv(1, AnySource, 7)
-
-	// Delayed path: drain goroutines deliver after the modelled latency.
-	df := NewFabric(2, CostModel{Alpha: time.Microsecond})
-	df.SetTracer(tr)
-	df.Send(0, 1, 0, make([]byte, 64))
-	df.Recv(1, 0, 0)
-
-	d := tr.Derived()
-	if d.MsgsSent != 3 || d.MsgsRecvd != 3 {
-		t.Fatalf("traced %d sends / %d recvs, want 3 / 3", d.MsgsSent, d.MsgsRecvd)
-	}
-	if d.MsgBytes != 192 {
-		t.Fatalf("traced %d sent bytes, want 192", d.MsgBytes)
-	}
-	for _, ev := range tr.Events() {
-		if ev.Kind != trace.EvMsgSend && ev.Kind != trace.EvMsgRecv {
-			t.Fatalf("unexpected event kind %v from fabric", ev.Kind)
-		}
-		src, dst := int(ev.Task>>32), int(uint32(ev.Task))
-		if src < 0 || src > 2 || dst != 1 {
-			t.Fatalf("event carries ranks %d->%d, want *->1", src, dst)
-		}
-	}
-
-	// Detaching stops recording.
-	zf.SetTracer(nil)
-	zf.Send(0, 1, 7, make([]byte, 5))
-	if got := tr.Derived().MsgsSent; got != 3 {
-		t.Fatalf("detached fabric still recorded: %d sends", got)
-	}
+func TestFacadeBarrier(t *testing.T) {
+	b := NewBarrier(2)
+	done := make(chan struct{})
+	b.Arrive(func() { close(done) })
+	b.Await()
+	<-done
 }

@@ -43,9 +43,10 @@ type Derived struct {
 	Unparks         uint64
 	MeanParkLatency time.Duration // mean park→unpark gap per worker
 
-	MsgsSent  uint64
-	MsgsRecvd uint64
-	MsgBytes  uint64 // sent bytes
+	MsgsSent      uint64
+	MsgsRecvd     uint64
+	MsgBytes      uint64 // sent bytes
+	MsgBytesRecvd uint64 // delivered bytes (trails MsgBytes while transfers are in flight)
 
 	Workers []WorkerStats // sorted by Tasks descending, worker ascending
 	Places  []PlaceStats  // sorted by place name
@@ -145,6 +146,7 @@ func Analyze(evs []Event, placeName func(int32) string) Derived {
 			d.MsgBytes += e.Arg
 		case EvMsgRecv:
 			d.MsgsRecvd++
+			d.MsgBytesRecvd += e.Arg
 		}
 	}
 	if first >= 0 {
@@ -184,8 +186,8 @@ func (d Derived) Format(topN int) string {
 		d.Steals, d.StealAttempts, d.StealSuccessRate*100)
 	fmt.Fprintf(&b, "parks          %d (mean park latency %v)\n",
 		d.Parks, d.MeanParkLatency.Round(time.Microsecond))
-	fmt.Fprintf(&b, "messages       %d sent / %d received (%d bytes)\n",
-		d.MsgsSent, d.MsgsRecvd, d.MsgBytes)
+	fmt.Fprintf(&b, "messages       %d sent / %d received (%d bytes out, %d in)\n",
+		d.MsgsSent, d.MsgsRecvd, d.MsgBytes, d.MsgBytesRecvd)
 	if len(d.Places) > 0 {
 		fmt.Fprintf(&b, "places:\n")
 		secs := d.Wall.Seconds()
@@ -243,5 +245,9 @@ func (d Derived) Publish() {
 	if d.MsgsSent > 0 {
 		stats.SetGauge("trace", "msgs_sent", float64(d.MsgsSent))
 		stats.SetGauge("trace", "msg_bytes_sent", float64(d.MsgBytes))
+	}
+	if d.MsgsRecvd > 0 {
+		stats.SetGauge("trace", "msgs_recvd", float64(d.MsgsRecvd))
+		stats.SetGauge("trace", "msg_bytes_recvd", float64(d.MsgBytesRecvd))
 	}
 }

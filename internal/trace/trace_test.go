@@ -112,6 +112,9 @@ func scriptedTracer() *Tracer {
 	w1.Record(EvUnpark, NoPlace, 0, 0)
 	tr.RecordExternal(EvMsgSend, NoPlace, 0<<32|1, 128)
 	tr.RecordExternal(EvMsgRecv, NoPlace, 0<<32|1, 128)
+	// A one-sided put from rank 1 to rank 2, still in flight at snapshot
+	// time: sent bytes lead delivered bytes.
+	tr.RecordExternal(EvMsgSend, NoPlace, 1<<32|2, 64)
 	return tr
 }
 
@@ -133,7 +136,7 @@ func TestAnalyzeDerived(t *testing.T) {
 	if d.Suspends != 1 {
 		t.Fatalf("suspends %d, want 1", d.Suspends)
 	}
-	if d.MsgsSent != 1 || d.MsgsRecvd != 1 || d.MsgBytes != 128 {
+	if d.MsgsSent != 2 || d.MsgsRecvd != 1 || d.MsgBytes != 192 || d.MsgBytesRecvd != 128 {
 		t.Fatalf("msg counts: %+v", d)
 	}
 	if len(d.Places) != 1 || d.Places[0].Place != "sysmem0" {
@@ -181,7 +184,7 @@ func TestPublishGauges(t *testing.T) {
 	tr := scriptedTracer()
 	tr.Derived().Publish()
 	rep := stats.Report()
-	for _, want := range []string{"steal_success_rate", "mean_park_latency_us", "tasks_per_sec[sysmem0]"} {
+	for _, want := range []string{"steal_success_rate", "mean_park_latency_us", "tasks_per_sec[sysmem0]", "msgs_recvd", "msg_bytes_recvd"} {
 		if !strings.Contains(rep, want) {
 			t.Fatalf("stats report missing gauge %q:\n%s", want, rep)
 		}

@@ -7,29 +7,43 @@
 // HPGMG-FV's ghost-zone exchange is the paper's consumer: boxes rput face
 // data into neighbours' shared arrays and chain dependent work on the
 // completions.
+//
+// All remote operations — rput, rget, RPC control messages and their
+// acknowledgements — are one-sided transfers on the World's transport
+// (package fabric), so a UPC++ world composed over a shared fabric
+// contends with MPI and SHMEM traffic for the same congestion windows.
 package upcxx
 
 import (
 	"sync"
 
+	"repro/internal/fabric"
 	"repro/internal/simnet"
 )
 
 // World is an in-process UPC++ job of n ranks.
 type World struct {
-	n       int
-	cost    simnet.CostModel
-	barrier *simnet.Barrier
-	ranks   []*Rank
+	n     int
+	tr    fabric.Transport
+	coll  *fabric.Coll
+	ranks []*Rank
 }
 
-// NewWorld creates an n-rank job with the given remote-access cost model.
+// NewWorld creates an n-rank job over a simulated interconnect with the
+// given remote-access cost model.
 func NewWorld(n int, cost simnet.CostModel) *World {
 	if n <= 0 {
 		panic("upcxx: world needs at least one rank")
 	}
-	w := &World{n: n, cost: cost, barrier: simnet.NewBarrier(n)}
-	w.ranks = make([]*Rank, n)
+	return NewWorldOver(fabric.NewSim(n, cost))
+}
+
+// NewWorldOver creates a job over an existing transport, one rank per
+// endpoint. Several library worlds may share one transport; their traffic
+// then shares links, congestion windows, and locality domains.
+func NewWorldOver(tr fabric.Transport) *World {
+	w := &World{n: tr.Size(), tr: tr, coll: fabric.NewColl(tr)}
+	w.ranks = make([]*Rank, w.n)
 	for i := range w.ranks {
 		w.ranks[i] = &Rank{w: w, id: i}
 	}
@@ -38,6 +52,10 @@ func NewWorld(n int, cost simnet.CostModel) *World {
 
 // Size returns the number of ranks.
 func (w *World) Size() int { return w.n }
+
+// Transport exposes the underlying transport (for diagnostics and for
+// composing further library worlds over the same endpoints).
+func (w *World) Transport() fabric.Transport { return w.tr }
 
 // Rank returns rank r's handle.
 func (w *World) Rank(r int) *Rank { return w.ranks[r] }
@@ -73,7 +91,7 @@ func (r *Rank) Size() int { return r.w.n }
 // one-sided operations (upcxx::barrier).
 func (r *Rank) Barrier() {
 	r.pending.Wait()
-	r.w.barrier.Await()
+	r.w.coll.Barrier()
 }
 
 // BarrierAsync arrives at the barrier once this rank's outstanding
@@ -83,7 +101,7 @@ func (r *Rank) Barrier() {
 func (r *Rank) BarrierAsync(onDone func()) {
 	go func() {
 		r.pending.Wait()
-		r.w.barrier.Arrive(onDone)
+		r.w.coll.BarrierAsync(onDone)
 	}()
 }
 
@@ -135,31 +153,31 @@ func (r *Rank) RPut(a *SharedArray, dst, off int, vals []float64, onRemote func(
 	cp := make([]float64, len(vals))
 	copy(cp, vals)
 	r.pending.Add(1)
-	go func() {
-		defer r.pending.Done()
-		r.sleepTo(dst, 8*len(cp))
+	r.w.tr.Put(r.id, dst, 8*len(cp), func() {
 		a.mus[dst].Lock()
 		copy(a.data[dst][off:], cp)
 		a.mus[dst].Unlock()
+	}, func() {
 		if onRemote != nil {
 			onRemote()
 		}
-	}()
+		r.pending.Done()
+	})
 }
 
 // RGet asynchronously copies n elements from src's block at off and
 // delivers them to cb — UPC++'s operation completion.
 func (r *Rank) RGet(a *SharedArray, src, off, n int, cb func([]float64)) {
+	out := make([]float64, n)
 	r.pending.Add(1)
-	go func() {
-		defer r.pending.Done()
-		r.sleepTo(src, 8*n)
-		out := make([]float64, n)
+	r.w.tr.Get(r.id, src, 8*n, func() {
 		a.mus[src].Lock()
 		copy(out, a.data[src][off:off+n])
 		a.mus[src].Unlock()
+	}, func() {
 		cb(out)
-	}()
+		r.pending.Done()
+	})
 }
 
 // RPC enqueues fn to execute on rank dst the next time dst calls Progress
@@ -169,17 +187,14 @@ func (r *Rank) RGet(a *SharedArray, src, off, n int, cb func([]float64)) {
 func (r *Rank) RPC(dst int, fn func(target *Rank), onDone func()) {
 	target := r.w.ranks[dst]
 	r.pending.Add(1)
-	go func() {
-		defer r.pending.Done()
-		r.sleepTo(dst, 64) // control message
+	// The request travels as a 64-byte control message; the acknowledgement
+	// (when requested) as an 8-byte return transfer issued after fn runs.
+	r.w.tr.Put(r.id, dst, 64, func() {
 		target.rpcMu.Lock()
 		target.rpcQ = append(target.rpcQ, func() {
 			fn(target)
 			if onDone != nil {
-				go func() {
-					r.sleep(8) // ack
-					onDone()
-				}()
+				r.w.tr.Put(dst, r.id, 8, nil, onDone)
 			}
 		})
 		notify := target.rpcNotify
@@ -187,7 +202,7 @@ func (r *Rank) RPC(dst int, fn func(target *Rank), onDone func()) {
 		if notify != nil {
 			notify()
 		}
-	}()
+	}, r.pending.Done)
 }
 
 // Progress drains and executes this rank's pending RPCs, returning how
@@ -210,20 +225,4 @@ func (r *Rank) PendingRPCs() bool {
 	r.rpcMu.Lock()
 	defer r.rpcMu.Unlock()
 	return len(r.rpcQ) > 0
-}
-
-func (r *Rank) sleep(bytes int) {
-	if d := r.w.cost.Delay(bytes); d > 0 {
-		sleepFor(d)
-	}
-}
-
-// sleepTo is sleep with node-locality awareness.
-func (r *Rank) sleepTo(peer, bytes int) {
-	if peer == r.id {
-		return
-	}
-	if d := r.w.cost.DelayBetween(r.id, peer, bytes); d > 0 {
-		sleepFor(d)
-	}
 }

@@ -117,19 +117,22 @@ func (s *sender) flush() {
 
 // receiver tracks one rank's inbound drain positions.
 type receiver struct {
-	cs   *comms
-	me   int
-	mu   sync.Mutex
-	read []int64 // claims consumed per source channel
+	cs     *comms
+	me     int
+	mu     sync.Mutex
+	read   []int64 // claims consumed per source channel
+	sealed []bool  // per source: end-of-stream sentinel consumed
 }
 
 func newReceiver(cs *comms, me int) *receiver {
-	return &receiver{cs: cs, me: me, read: make([]int64, cs.ranks)}
+	return &receiver{cs: cs, me: me,
+		read: make([]int64, cs.ranks), sealed: make([]bool, cs.ranks)}
 }
 
 // drain processes all currently visible claims on every channel, invoking
-// handle(v, parent, depth) for each. Safe for concurrent callers (the
-// HiPER variant's when-handlers and level-end flush).
+// handle(v, parent, depth) for each. A negative vertex is the sender's
+// end-of-stream sentinel and seals that channel. Safe for concurrent
+// callers (the HiPER variant's when-handlers and level-end flush).
 func (r *receiver) drain(handle func(v, parent, depth int64)) int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -139,12 +142,23 @@ func (r *receiver) drain(handle func(v, parent, depth int64)) int {
 		avail := r.cs.counters.Peek(r.me, src)
 		for r.read[src] < avail {
 			off := src*3*r.cs.cap + int(3*r.read[src])
+			if loc[off] < 0 {
+				r.sealed[src] = true
+			}
 			handle(loc[off], loc[off+1], loc[off+2])
 			r.read[src]++
 			total++
 		}
 	}
 	return total
+}
+
+// srcSealed reports whether src's end-of-stream sentinel has been
+// consumed — src is guaranteed to send nothing further.
+func (r *receiver) srcSealed(src int) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.sealed[src]
 }
 
 // totalRead reports claims consumed so far across channels.

@@ -130,6 +130,31 @@ func TestVariantsVisitSameSet(t *testing.T) {
 	}
 }
 
+// TestRunsUnderCongestedCost drives both variants with the benchmark
+// network's congestion model active. Congestion spreads deliveries out
+// enough that one rank's quiesce sentinels routinely land while its peers
+// are still looping — the schedule that once left a re-armed when-handler
+// waiting on a sealed channel and hung the job (the handlers must disarm
+// on the sender's sentinel, not on local completion).
+func TestRunsUnderCongestedCost(t *testing.T) {
+	cost := simnet.CostModel{
+		Alpha: 15 * time.Microsecond, BytesPerSec: 2e9,
+		CongestWindow: 2, CongestPenalty: 150 * time.Microsecond,
+	}
+	cfg := RunConfig{Graph: tinyGraph, Root: 1, Ranks: 4, Workers: 2, Cost: cost}
+	a, err := RunReference(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunHiPER(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Visited != b.Visited || a.Levels != b.Levels {
+		t.Fatalf("variants disagree: %+v vs %+v", a, b)
+	}
+}
+
 func TestSingleRankDegenerate(t *testing.T) {
 	if _, err := RunReference(RunConfig{Graph: tinyGraph, Root: 1, Ranks: 1}); err != nil {
 		t.Fatal(err)

@@ -1,7 +1,6 @@
 package graph500
 
 import (
-	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -103,11 +102,16 @@ func RunReference(cfg RunConfig) (Result, error) {
 			expandFrontier(st, snd, func() { rcv.drain(handle) })
 			pe.BarrierAll() // all claims for this level are visible
 			rcv.drain(handle)
+			// Swap while no claims are in flight: every rank is between the
+			// two barriers, so nothing can land in st.next until after the
+			// second barrier — by which point the swap is already done.
+			// (Swapping after that barrier races with fast ranks whose
+			// next-level claims would leak into this level's frontier.)
+			st.frontier, st.next = st.next, nil
 			// Global level termination: per-level accumulation slot.
-			pe.Add(cs.levelSum, 0, lvl%levelSlots, int64(len(st.next)))
+			pe.Add(cs.levelSum, 0, lvl%levelSlots, int64(len(st.frontier)))
 			pe.BarrierAll()
 			total := pe.GetValue(cs.levelSum, 0, lvl%levelSlots)
-			st.frontier, st.next = st.next, nil
 			if r == 0 {
 				levels = lvl + 1
 			}
@@ -153,7 +157,6 @@ func RunHiPER(cfg RunConfig) (Result, error) {
 			states[r] = st
 			snd := newSender(cs, pe)
 			rcv := newReceiver(cs, r)
-			var done atomic.Bool
 			handle := func(v, parent, depth int64) {
 				if v < 0 {
 					return
@@ -163,6 +166,13 @@ func RunHiPER(cfg RunConfig) (Result, error) {
 
 			// Arm one shmem_async_when handler per inbound channel: fire
 			// when the counter passes what we've consumed, drain, re-arm.
+			// Re-arming stops when the channel is sealed — its sender's
+			// end-of-stream sentinel has been consumed. Disarming must key
+			// off the *sender's* sentinel, not this rank's own progress: a
+			// fast peer's sentinel can arrive while this rank is still
+			// looping, and a handler that re-arms past it would wait on a
+			// counter that never advances again, keeping the finish scope
+			// (and the whole job) open forever.
 			var arm func(cc *core.Ctx, src int)
 			arm = func(cc *core.Ctx, src int) {
 				rcv.mu.Lock()
@@ -170,7 +180,7 @@ func RunHiPER(cfg RunConfig) (Result, error) {
 				rcv.mu.Unlock()
 				m.AsyncWhen(cc, cs.counters, src, shmem.CmpGE, threshold, func(hc *core.Ctx) {
 					rcv.drain(handle)
-					if !done.Load() {
+					if !rcv.srcSealed(src) {
 						arm(hc, src)
 					}
 				})
@@ -193,10 +203,15 @@ func RunHiPER(cfg RunConfig) (Result, error) {
 				expandFrontier(st, snd, nil) // no polling hook: handlers do it
 				m.BarrierAll(c)
 				rcv.drain(handle) // catch anything the handlers haven't reached yet
-				m.Add(c, cs.levelSum, 0, lvl%levelSlots, int64(len(st.next)))
+				// Swap between the barriers, while no claims are in flight:
+				// once any rank passes the second barrier and starts the next
+				// level, its claims must find st.next already emptied, or a
+				// depth-L+2 vertex would ride into this rank's depth-L+1
+				// frontier via a when-handler firing before the swap.
+				st.frontier, st.next = st.next, nil
+				m.Add(c, cs.levelSum, 0, lvl%levelSlots, int64(len(st.frontier)))
 				m.BarrierAll(c)
 				total := pe.GetValue(cs.levelSum, 0, lvl%levelSlots)
-				st.frontier, st.next = st.next, nil
 				if r == 0 {
 					levels = lvl + 1
 				}
@@ -205,10 +220,10 @@ func RunHiPER(cfg RunConfig) (Result, error) {
 				}
 			}
 
-			// Quiesce the handlers: after done is set, a sentinel claim on
-			// every channel fires any still-armed condition; handlers see
-			// done and stop re-arming, letting the root finish drain.
-			done.Store(true)
+			// Quiesce the handlers: a sentinel claim closes every outbound
+			// channel. Each channel's last message is its sentinel, so every
+			// still-armed condition eventually fires, sees the channel
+			// sealed, and stops re-arming — the finish scope then drains.
 			for dst := 0; dst < cfg.Ranks; dst++ {
 				if dst != r {
 					snd.claim(dst, -1, -1, -1)
