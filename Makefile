@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check lint race bench-smoke bench-sched bench-trace bench-comm
+.PHONY: check lint race chaos bench-smoke bench-sched bench-trace bench-comm
 
 ## check: the tier-1 gate — vet, then the project linter, then build and
 ## the full test suite.
@@ -41,3 +41,10 @@ bench-trace:
 ## shared-vs-separate-fabric A/B for mixed MPI+SHMEM traffic.
 bench-comm:
 	$(GO) run ./cmd/hiper-bench -comm -full -commout BENCH_comm.json
+
+## chaos: fault-injection gate — every chaos/resilience test (deterministic
+## seeded fault plans over the Reliable layer) plus a quick resilience
+## benchmark pass that certifies the fan-out completes correctly under loss.
+chaos:
+	$(GO) test -count=1 -run 'Chaos|Resilience|Reliable|Watchdog|Stall' ./...
+	$(GO) run ./cmd/hiper-bench -chaos -chaosout /tmp/BENCH_resilience.smoke.json

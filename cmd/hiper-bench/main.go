@@ -8,6 +8,7 @@
 //	hiper-bench [-full] [-only fig4|fig5|fig6|fig7|graph500]
 //	hiper-bench -sched [-full] [-workers N] [-schedout BENCH_scheduler.json]
 //	hiper-bench -comm [-full] [-commout BENCH_comm.json]
+//	hiper-bench -chaos [-full] [-chaosout BENCH_resilience.json]
 //	hiper-bench -trace out.json [-workers N]
 //	hiper-bench -tracebench BENCH_trace.json [-full] [-workers N]
 package main
@@ -32,6 +33,8 @@ func main() {
 	schedOut := flag.String("schedout", "BENCH_scheduler.json", "path for the scheduler benchmark JSON report")
 	comm := flag.Bool("comm", false, "run the transport-layer communication microbenchmarks instead of the paper figures")
 	commOut := flag.String("commout", "BENCH_comm.json", "path for the communication benchmark JSON report")
+	chaos := flag.Bool("chaos", false, "run the fault-injection resilience benchmarks instead of the paper figures")
+	chaosOut := flag.String("chaosout", "BENCH_resilience.json", "path for the resilience benchmark JSON report")
 	tracePath := flag.String("trace", "", "run a traced demo workload and write its Chrome trace JSON here (load at ui.perfetto.dev)")
 	traceBench := flag.String("tracebench", "", "run the tracing overhead microbenchmarks and write the JSON report here")
 	workers := flag.Int("workers", 0, "worker count for -sched/-trace/-tracebench (0 = GOMAXPROCS)")
@@ -57,6 +60,18 @@ func main() {
 			log.Fatalf("writing %s: %v", *commOut, err)
 		}
 		fmt.Printf("wrote %s\n", *commOut)
+		return
+	}
+	if *chaos {
+		rep, err := bench.ResilienceSuite(scale)
+		if err != nil {
+			log.Fatalf("resilience suite: %v", err)
+		}
+		fmt.Print(rep.Render())
+		if err := rep.WriteJSON(*chaosOut); err != nil {
+			log.Fatalf("writing %s: %v", *chaosOut, err)
+		}
+		fmt.Printf("wrote %s\n", *chaosOut)
 		return
 	}
 	if *traceBench != "" {

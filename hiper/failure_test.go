@@ -1,0 +1,129 @@
+package hiper_test
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/hiper"
+)
+
+// TestPanicIsolationThroughFacade: a task panic fails only its own finish
+// scope; sibling work and later scopes on the same runtime are untouched.
+func TestPanicIsolationThroughFacade(t *testing.T) {
+	rt, err := hiper.New(hiper.WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	var sibling, after bool
+	launchErr := rt.Launch(func(c *hiper.Ctx) {
+		if ferr := c.FinishErr(func(c *hiper.Ctx) {
+			c.Async(func(*hiper.Ctx) { sibling = true })
+			c.Async(func(*hiper.Ctx) { panic("task exploded") })
+		}); ferr == nil {
+			t.Error("FinishErr swallowed the task panic")
+		} else {
+			var pe *hiper.PanicError
+			if !errors.As(ferr, &pe) {
+				t.Errorf("scope error is not a PanicError: %v", ferr)
+			} else if pe.Value != "task exploded" || !strings.Contains(string(pe.Stack), "failure_test") {
+				t.Errorf("PanicError lost the panic site: value=%v", pe.Value)
+			}
+		}
+		// The runtime is still healthy: a clean scope after the failed one.
+		c.Finish(func(c *hiper.Ctx) {
+			c.Async(func(*hiper.Ctx) { after = true })
+		})
+	})
+	if launchErr != nil {
+		t.Fatalf("isolated panic escaped to Launch: %v", launchErr)
+	}
+	if !sibling || !after {
+		t.Fatalf("sibling=%v after=%v: healthy tasks were collateral damage", sibling, after)
+	}
+}
+
+// TestErrorFuturesThroughFacade: PutErr / Err / AsyncErr round-trip
+// through the facade aliases.
+func TestErrorFuturesThroughFacade(t *testing.T) {
+	rt, err := hiper.New(hiper.WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	sentinel := errors.New("device lost")
+	rt.Launch(func(c *hiper.Ctx) {
+		p := hiper.NewPromise(rt)
+		c.AsyncErr(func(*hiper.Ctx) error { return nil }) // clean path
+		p.PutErr(sentinel)
+		c.Wait(p.Future())
+		if got := p.Future().Err(); !errors.Is(got, sentinel) {
+			t.Errorf("Future.Err = %v, want %v", got, sentinel)
+		}
+	})
+}
+
+// TestWithWatchdogThroughFacade: a wedged wait trips the watchdog within
+// the deadline, the report names the stalled scope, and Abort surfaces
+// ErrStalled from Launch. The OnStall hook doubles as the release valve
+// so the runtime can still shut down.
+func TestWithWatchdogThroughFacade(t *testing.T) {
+	var mu sync.Mutex
+	var wedged *hiper.Promise
+	var report *hiper.StallReport
+	rt, err := hiper.New(
+		hiper.WithWorkers(1),
+		hiper.WithWatchdog(hiper.WatchdogConfig{
+			Deadline: 150 * time.Millisecond,
+			Abort:    true,
+			OnStall: func(r *hiper.StallReport) {
+				mu.Lock()
+				defer mu.Unlock()
+				report = r
+				if wedged != nil && !wedged.Future().Done() {
+					wedged.Put(nil)
+				}
+			},
+		}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	start := time.Now()
+	launchErr := rt.Launch(func(c *hiper.Ctx) {
+		p := hiper.NewPromise(rt)
+		mu.Lock()
+		wedged = p
+		mu.Unlock()
+		c.Wait(p.Future())
+	})
+	if !errors.Is(launchErr, hiper.ErrStalled) {
+		t.Fatalf("wedged Launch did not abort with ErrStalled: %v", launchErr)
+	}
+	if waited := time.Since(start); waited > 5*time.Second {
+		t.Fatalf("watchdog took %v to trip a 150ms deadline", waited)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if report == nil {
+		t.Fatal("OnStall never received a report")
+	}
+	if report.Op != "Launch" {
+		t.Errorf("report.Op = %q, want Launch", report.Op)
+	}
+	if s := report.String(); !strings.Contains(s, "open finish scopes") {
+		t.Errorf("report rendering lost its scope section:\n%s", s)
+	}
+}
+
+// TestWithWatchdogValidation: a non-positive deadline is a construction
+// error, not a silently unarmed watchdog.
+func TestWithWatchdogValidation(t *testing.T) {
+	if _, err := hiper.New(hiper.WithWatchdog(hiper.WatchdogConfig{})); err == nil {
+		t.Fatal("WithWatchdog with zero deadline must error")
+	}
+}

@@ -55,6 +55,25 @@ type (
 	Stats = core.Stats
 )
 
+// Failure-model types (see WithWatchdog and the error-propagating
+// future/finish APIs: Promise.PutErr, Future.Err, Ctx.AsyncErr,
+// Ctx.FinishErr).
+type (
+	// PanicError wraps a task panic isolated by the worker barrier: the
+	// recovered value plus the goroutine stack at the panic site.
+	PanicError = core.PanicError
+	// WatchdogConfig configures the quiesce watchdog (see WithWatchdog).
+	WatchdogConfig = core.WatchdogConfig
+	// StallReport is the watchdog's structured diagnostic of a runtime
+	// that failed to quiesce: open finish scopes, queue depths, worker
+	// states, and the recent trace tail.
+	StallReport = core.StallReport
+)
+
+// ErrStalled marks a wait the quiesce watchdog aborted; test with
+// errors.Is.
+var ErrStalled = core.ErrStalled
+
 // Platform model types.
 type (
 	// Model is the platform model: an undirected graph of places plus the

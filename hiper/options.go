@@ -32,6 +32,7 @@ type config struct {
 	statsOn    bool
 	maxBlocked int
 	spinRounds int
+	watchdog   *WatchdogConfig
 }
 
 // Option configures a runtime under construction; see New.
@@ -136,6 +137,22 @@ func WithSpinRounds(n int) Option {
 	}
 }
 
+// WithWatchdog arms the quiesce watchdog: any Launch, Finish drain, or
+// Close that fails to quiesce within cfg.Deadline produces a structured
+// StallReport (open finish scopes with labels, per-place queue depths,
+// blocked and parked workers, the trace ring tail when tracing is armed)
+// via cfg.OnStall, and — when cfg.Abort is set — fails the stalled wait
+// with ErrStalled instead of hanging forever.
+func WithWatchdog(cfg WatchdogConfig) Option {
+	return func(c *config) error {
+		if cfg.Deadline <= 0 {
+			return fmt.Errorf("hiper: WithWatchdog: deadline must be positive, got %v", cfg.Deadline)
+		}
+		c.watchdog = &cfg
+		return nil
+	}
+}
+
 // New builds a runtime from functional options:
 //
 //	rt, err := hiper.New()                          // GOMAXPROCS workers, default model
@@ -174,6 +191,7 @@ func New(opts ...Option) (*Runtime, error) {
 		MaxBlockedWorkers: c.maxBlocked,
 		SpinRounds:        c.spinRounds,
 		Trace:             c.traceCfg,
+		Watchdog:          c.watchdog,
 	}
 	return core.New(model, &coreOpts)
 }

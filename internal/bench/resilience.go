@@ -1,0 +1,169 @@
+// Resilience benchmark: the cost of surviving a misbehaving fabric.
+//
+// One workload — a scatter/echo fan-out over an MPI world — runs over a
+// Reliable layer on a Chaos-wrapped simulated fabric at increasing
+// injected drop+duplication rates (0, 1, 5, 10%). Every run verifies
+// the echoed payloads bit-for-bit, so a row in the report certifies the
+// workload COMPLETED CORRECTLY at that loss rate; the columns are what
+// that correctness cost: wall time per message and retransmit volume.
+// cmd/hiper-bench -chaos emits the report as BENCH_resilience.json.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/fabric"
+	"repro/internal/mpi"
+)
+
+// ResilienceResult is one loss-rate point on the curve.
+type ResilienceResult struct {
+	DropPct  float64 `json:"drop_pct"`
+	DupPct   float64 `json:"dup_pct"`
+	Ranks    int     `json:"ranks"`
+	Msgs     int     `json:"msgs_per_run"`
+	NsPerMsg float64 `json:"ns_per_msg"`
+	CI95NsMs float64 `json:"ci95_ns_per_msg"`
+	Retries  int64   `json:"retries"`
+	Drops    int64   `json:"drops"`
+	Dups     int64   `json:"dups"`
+}
+
+// ResilienceReport is the machine-readable resilience report.
+type ResilienceReport struct {
+	Ranks   int                `json:"ranks"`
+	Repeats int                `json:"repeats"`
+	Results []ResilienceResult `json:"benchmarks"`
+}
+
+// resilienceFanOut scatters msgsPer stamped messages from rank 0 to
+// every other rank; each rank echoes them back; rank 0 verifies every
+// echo byte-for-byte. Returns the elapsed wall time.
+func resilienceFanOut(w *mpi.World, msgsPer int) (time.Duration, error) {
+	n := w.Size()
+	t0 := time.Now()
+	var wg sync.WaitGroup
+	for r := 1; r < n; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			comm := w.Comm(r)
+			buf := make([]byte, 16)
+			for i := 0; i < msgsPer; i++ {
+				comm.Recv(buf, 0, 1)
+				comm.Send(buf, 0, 2)
+			}
+		}(r)
+	}
+	var sendWg sync.WaitGroup
+	sendWg.Add(1)
+	go func() {
+		defer sendWg.Done()
+		root := w.Comm(0)
+		payload := make([]byte, 16)
+		for i := 0; i < msgsPer; i++ {
+			for r := 1; r < n; r++ {
+				stamp(payload, r, i)
+				root.Send(payload, r, 1)
+			}
+		}
+	}()
+	root := w.Comm(0)
+	echo := make([]byte, 16)
+	want := make([]byte, 16)
+	seen := make([]int, n)
+	var verr error
+	for i := 0; i < (n-1)*msgsPer; i++ {
+		st := root.Recv(echo, mpi.AnySource, 2)
+		r := st.Source
+		stamp(want, r, seen[r])
+		seen[r]++
+		if verr == nil && string(echo) != string(want) {
+			verr = fmt.Errorf("rank %d echo %d corrupted: got %x want %x", r, seen[r]-1, echo, want)
+		}
+	}
+	sendWg.Wait()
+	wg.Wait()
+	if verr != nil {
+		return 0, verr
+	}
+	return time.Since(t0), nil
+}
+
+// stamp writes a recognizable (rank, index) pattern into p.
+func stamp(p []byte, rank, i int) {
+	for j := range p {
+		p[j] = byte(rank*31 + i*7 + j)
+	}
+}
+
+// ResilienceSuite runs the fan-out at each loss rate and returns the
+// report. Any correctness failure aborts the suite — a resilience
+// number for a workload that corrupted data would be worse than no
+// number.
+func ResilienceSuite(scale Scale) (*ResilienceReport, error) {
+	const ranks = 4
+	repeats, msgsPer := 3, 50
+	if scale == Full {
+		repeats, msgsPer = 5, 200
+	}
+	totalMsgs := (ranks - 1) * msgsPer
+	rep := &ResilienceReport{Ranks: ranks, Repeats: repeats}
+	for _, rate := range []float64{0, 0.01, 0.05, 0.10} {
+		var retries, drops, dups int64
+		var runErr error
+		s := Measure(1, repeats, func() time.Duration {
+			chaos := fabric.NewChaos(fabric.NewSim(ranks, fabric.CostModel{}),
+				fabric.FaultPlan{Seed: 1 + uint64(rate*1000), Drop: rate, Dup: rate})
+			rel := fabric.NewReliable(chaos, fabric.RelConfig{})
+			elapsed, err := resilienceFanOut(mpi.NewWorldOver(rel), msgsPer)
+			if err != nil && runErr == nil {
+				runErr = fmt.Errorf("drop/dup %.0f%%: %w", rate*100, err)
+			}
+			retries += rel.Retries()
+			drops += chaos.Drops()
+			dups += chaos.Dups()
+			return elapsed / time.Duration(totalMsgs)
+		})
+		if runErr != nil {
+			return nil, runErr
+		}
+		runs := int64(repeats + 1) // Measure's warmup run also counts traffic
+		rep.Results = append(rep.Results, ResilienceResult{
+			DropPct: rate * 100, DupPct: rate * 100,
+			Ranks: ranks, Msgs: totalMsgs,
+			NsPerMsg: float64(s.Mean), CI95NsMs: float64(s.CI95),
+			Retries: retries / runs, Drops: drops / runs, Dups: dups / runs,
+		})
+	}
+	return rep, nil
+}
+
+// WriteJSON writes the report to path.
+func (r *ResilienceReport) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Render prints the report as an aligned table.
+func (r *ResilienceReport) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== resilience: fan-out over Reliable(Chaos(Sim)), %d ranks, %d repeats ==\n",
+		r.Ranks, r.Repeats)
+	fmt.Fprintf(&b, "%-10s %-8s %10s %14s %12s %10s %10s %10s\n",
+		"drop%", "dup%", "msgs/run", "ns/msg", "±ci95", "retries", "drops", "dups")
+	for _, res := range r.Results {
+		fmt.Fprintf(&b, "%-10.1f %-8.1f %10d %14.0f %12.0f %10d %10d %10d\n",
+			res.DropPct, res.DupPct, res.Msgs, res.NsPerMsg, res.CI95NsMs,
+			res.Retries, res.Drops, res.Dups)
+	}
+	return b.String()
+}

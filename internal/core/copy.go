@@ -48,31 +48,101 @@ func (c *Ctx) AsyncCopy(dst, src Buf, n int) *Future {
 	if h, ok := c.rt.copyHandlers[[2]platform.Kind{src.Place.Kind, dst.Place.Kind}]; ok {
 		return h(c, dst, src, n)
 	}
+	// Built-in host path: types and bounds are validated eagerly at the
+	// call site, where the mistake is. A bad request fails the returned
+	// future immediately instead of panicking later on the copy task's
+	// worker, where the stack no longer names the caller.
+	if err := checkSlices(dst, src, n); err != nil {
+		return FailedFuture(c.rt, err)
+	}
 	return hostCopy(c, dst, src, n)
 }
 
 // AsyncCopyAwait is AsyncCopy predicated on the given futures: the transfer
-// begins only once all of them are satisfied.
+// begins only once all of them are satisfied. A failure of the copy (or
+// of any predicate future) fails the returned future.
 func (c *Ctx) AsyncCopyAwait(dst, src Buf, n int, futures ...*Future) *Future {
-	return c.AsyncFutureAwait(func(cc *Ctx) any {
-		cc.Wait(cc.AsyncCopy(dst, src, n))
-		return nil
-	}, futures...)
+	prom := NewPromise(c.rt)
+	c.rt.spawnAwait(c.w, c.place, c.fin, func(cc *Ctx) {
+		defer settlePanic(prom, cc)
+		if err := cc.GetErr(cc.AsyncCopy(dst, src, n)); err != nil {
+			cc.PutErr(prom, err)
+			return
+		}
+		prom.put(cc, nil)
+	}, futures)
+	return prom.Future()
 }
 
 // hostCopy is the built-in handler for host-side transfers: it runs the
-// copy as a task at the destination place.
+// copy as a task at the destination place. A failure detected during the
+// copy (possible only for handler-bypassing races; AsyncCopy validated
+// eagerly) fails the future and the enclosing finish scope rather than
+// panicking the worker.
 func hostCopy(c *Ctx, dst, src Buf, n int) *Future {
-	return c.AsyncFutureAt(dst.Place, func(*Ctx) any {
+	prom := NewPromise(c.rt)
+	c.rt.spawn(c.w, dst.Place, c.fin, func(cc *Ctx) {
 		if err := copySlices(dst, src, n); err != nil {
-			panic(err)
+			cc.PutErr(prom, err)
+			cc.Fail(err)
+			return
 		}
-		return nil
+		prom.put(cc, nil)
 	})
+	return prom.Future()
 }
 
-// copySlices copies n elements between like-typed slices.
+// checkSlices validates a host-side copy request — matching slice
+// types and in-range [Off, Off+n) windows on both sides — without
+// performing it.
+func checkSlices(dst, src Buf, n int) error {
+	dl, sl, err := sliceLens(dst, src)
+	if err != nil {
+		return err
+	}
+	if n < 0 || dst.Off < 0 || src.Off < 0 || dst.Off+n > dl || src.Off+n > sl {
+		return fmt.Errorf("core: AsyncCopy out of range: n=%d, dst[%d:%d] of len %d, src[%d:%d] of len %d",
+			n, dst.Off, dst.Off+n, dl, src.Off, src.Off+n, sl)
+	}
+	return nil
+}
+
+// sliceLens type-checks the pair and returns both slice lengths.
+func sliceLens(dst, src Buf) (int, int, error) {
+	switch d := dst.Data.(type) {
+	case []byte:
+		if s, ok := src.Data.([]byte); ok {
+			return len(d), len(s), nil
+		}
+	case []float64:
+		if s, ok := src.Data.([]float64); ok {
+			return len(d), len(s), nil
+		}
+	case []float32:
+		if s, ok := src.Data.([]float32); ok {
+			return len(d), len(s), nil
+		}
+	case []int64:
+		if s, ok := src.Data.([]int64); ok {
+			return len(d), len(s), nil
+		}
+	case []int:
+		if s, ok := src.Data.([]int); ok {
+			return len(d), len(s), nil
+		}
+	default:
+		return 0, 0, fmt.Errorf("core: no copy handler for %T -> %T between %v and %v",
+			src.Data, dst.Data, src.Place, dst.Place)
+	}
+	return 0, 0, typeMismatch(dst, src)
+}
+
+// copySlices copies n elements between like-typed slices, re-validating
+// so a direct caller cannot turn a bad request into a bounds panic.
 func copySlices(dst, src Buf, n int) error {
+	if err := checkSlices(dst, src, n); err != nil {
+		return err
+	}
 	switch d := dst.Data.(type) {
 	case []byte:
 		s, ok := src.Data.([]byte)

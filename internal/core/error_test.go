@@ -1,0 +1,203 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"unsafe"
+
+	"repro/internal/platform"
+)
+
+// TestTaskStays32Bytes pins the Task size class the pool and allocator
+// are tuned around: the error-propagation layer must not grow it.
+func TestTaskStays32Bytes(t *testing.T) {
+	if s := unsafe.Sizeof(Task{}); s != 32 {
+		t.Fatalf("Task is %d bytes, want 32", s)
+	}
+}
+
+// TestPanicFailsOnlyItsFuture is the panic-isolation contract: a
+// panicking task fails its own future and finish scope, sibling work
+// completes, the runtime stays schedulable afterwards, and Close
+// succeeds.
+func TestPanicFailsOnlyItsFuture(t *testing.T) {
+	r := newTestRuntime(t, 4)
+	var sibling atomic.Int64
+	err := r.Launch(func(c *Ctx) {
+		ferr := c.FinishErr(func(c *Ctx) {
+			bad := c.AsyncFuture(func(*Ctx) any {
+				panic("kaboom")
+			})
+			for i := 0; i < 8; i++ {
+				c.Async(func(*Ctx) { sibling.Add(1) })
+			}
+			if e := c.GetErr(bad); e == nil {
+				t.Error("panicked task's future did not fail")
+			} else {
+				var pe *PanicError
+				if !errors.As(e, &pe) {
+					t.Errorf("future error is %T, want *PanicError", e)
+				} else if fmt.Sprint(pe.Value) != "kaboom" {
+					t.Errorf("panic value = %v", pe.Value)
+				} else if len(pe.Stack) == 0 {
+					t.Error("panic error carries no stack")
+				}
+			}
+		})
+		if ferr == nil {
+			t.Error("finish scope containing the panic did not fail")
+		}
+		// The error was consumed by FinishErr; the scope around us is
+		// clean and the runtime must still schedule new work.
+		done := c.AsyncFuture(func(*Ctx) any { return 42 })
+		if v := c.Get(done); v != 42 {
+			t.Errorf("post-panic task returned %v", v)
+		}
+	})
+	if err != nil {
+		t.Fatalf("Launch after isolated panic: %v", err)
+	}
+	if sibling.Load() != 8 {
+		t.Errorf("sibling tasks ran %d times, want 8", sibling.Load())
+	}
+}
+
+// TestPanicPropagatesToLaunch: an unconsumed failure surfaces from
+// Launch as a *PanicError.
+func TestPanicPropagatesToLaunch(t *testing.T) {
+	r := newTestRuntime(t, 2)
+	err := r.Launch(func(c *Ctx) {
+		c.Async(func(*Ctx) { panic(errors.New("root failure")) })
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("Launch error = %v (%T), want *PanicError", err, err)
+	}
+	if e, ok := pe.Value.(error); !ok || e.Error() != "root failure" {
+		t.Errorf("panic value = %v", pe.Value)
+	}
+}
+
+// TestFinishPropagatesToParentScope: plain Finish forwards the scope
+// error outward instead of swallowing it.
+func TestFinishPropagatesToParentScope(t *testing.T) {
+	r := newTestRuntime(t, 2)
+	err := r.Launch(func(c *Ctx) {
+		c.Finish(func(c *Ctx) {
+			c.Async(func(*Ctx) { panic("inner") })
+		})
+	})
+	if err == nil {
+		t.Fatal("Finish swallowed the scope failure")
+	}
+}
+
+// TestAsyncErrFailsScope: an error-returning task body fails the scope
+// without a panic, first error wins.
+func TestAsyncErrFailsScope(t *testing.T) {
+	r := newTestRuntime(t, 2)
+	want := errors.New("task failed politely")
+	err := r.Launch(func(c *Ctx) {
+		ferr := c.FinishErr(func(c *Ctx) {
+			c.AsyncErr(func(*Ctx) error { return want })
+			c.AsyncErr(func(*Ctx) error { return nil })
+		})
+		if !errors.Is(ferr, want) {
+			t.Errorf("FinishErr = %v, want %v", ferr, want)
+		}
+	})
+	if err != nil {
+		t.Fatalf("Launch: %v", err)
+	}
+}
+
+// TestCtxFail: Ctx.Fail marks the innermost scope without aborting the
+// task.
+func TestCtxFail(t *testing.T) {
+	r := newTestRuntime(t, 2)
+	want := errors.New("flagged")
+	var after atomic.Bool
+	err := r.Launch(func(c *Ctx) {
+		ferr := c.FinishErr(func(c *Ctx) {
+			c.Async(func(cc *Ctx) {
+				cc.Fail(want)
+				after.Store(true) // body continues past Fail
+			})
+		})
+		if !errors.Is(ferr, want) {
+			t.Errorf("FinishErr = %v, want %v", ferr, want)
+		}
+	})
+	if err != nil {
+		t.Fatalf("Launch: %v", err)
+	}
+	if !after.Load() {
+		t.Error("Fail aborted the task body")
+	}
+}
+
+// TestFuturePutErrAndWhenAll covers the promise-level error surface.
+func TestFuturePutErrAndWhenAll(t *testing.T) {
+	r := newTestRuntime(t, 2)
+	want := errors.New("settled as failed")
+	err := r.Launch(func(c *Ctx) {
+		p := NewPromise(r)
+		go p.PutErr(want)
+		if e := c.GetErr(p.Future()); !errors.Is(e, want) {
+			t.Errorf("GetErr = %v, want %v", e, want)
+		}
+		if !p.Future().Failed() {
+			t.Error("Failed() false after PutErr")
+		}
+
+		ok := Satisfied(r, 1)
+		bad := FailedFuture(r, want)
+		all := WhenAll(r, ok, bad)
+		if e := c.GetErr(all); !errors.Is(e, want) {
+			t.Errorf("WhenAll error = %v, want %v", e, want)
+		}
+		clean := WhenAll(r, ok, Satisfied(r, 2))
+		if e := c.GetErr(clean); e != nil {
+			t.Errorf("clean WhenAll errored: %v", e)
+		}
+	})
+	if err != nil {
+		t.Fatalf("Launch: %v", err)
+	}
+}
+
+// TestAsyncFutureAwaitPanicSettles: the await variant's future fails on
+// panic too, releasing waiters instead of hanging them.
+func TestAsyncFutureAwaitPanicSettles(t *testing.T) {
+	r := newTestRuntime(t, 2)
+	err := r.Launch(func(c *Ctx) {
+		gate := NewPromise(r)
+		f := c.AsyncFutureAwait(func(*Ctx) any { panic("after gate") }, gate.Future())
+		c.Async(func(cc *Ctx) { cc.Put(gate, nil) })
+		if e := c.GetErr(f); e == nil {
+			t.Error("awaited future did not fail on panic")
+		}
+	})
+	if err == nil {
+		t.Fatal("scope failure from awaited panic did not reach Launch")
+	}
+}
+
+// TestAsyncCopyAwaitPropagatesError: a failing copy fails the composed
+// future from AsyncCopyAwait.
+func TestAsyncCopyAwaitPropagatesError(t *testing.T) {
+	r := newTestRuntime(t, 2)
+	mem := r.Model().FirstByKind(platform.KindSysMem)
+	err := r.Launch(func(c *Ctx) {
+		gate := Satisfied(r, nil)
+		f := c.AsyncCopyAwait(At(mem, make([]float64, 2)), At(mem, make([]int, 2)), 2, gate)
+		if e := c.GetErr(f); e == nil {
+			t.Error("AsyncCopyAwait did not propagate the copy failure")
+		}
+	})
+	if err != nil {
+		t.Fatalf("Launch: %v", err)
+	}
+}

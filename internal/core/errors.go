@@ -1,0 +1,41 @@
+package core
+
+import (
+	"fmt"
+	"runtime/debug"
+)
+
+// This file defines the runtime's failure-domain vocabulary. HiPER's
+// design principle is that a failing task takes down its own failure
+// domain — its future and its enclosing finish scope — and nothing else:
+// the worker that ran it stays schedulable, sibling scopes are
+// untouched, and the error surfaces at the point that waits on the
+// domain (Future.Err, Ctx.FinishErr, Runtime.Launch). Containment is
+// centralized in the worker execute path; task bodies and modules never
+// call recover themselves (hiper-lint's recover-outside-worker checker
+// enforces that).
+
+// PanicError is a task-body panic converted into an error by the worker
+// execute barrier. It preserves the panic value and the stack captured
+// at the panic site, so the diagnostic is as good as the crash would
+// have been — without losing the process.
+type PanicError struct {
+	Value any    // the value passed to panic
+	Stack []byte // stack captured at the panic site
+}
+
+// Error implements error.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("core: task panicked: %v", e.Value)
+}
+
+// wrapPanic converts a recovered panic value into a *PanicError. A value
+// that already is one (re-raised by an AsyncFuture wrapper so the
+// execute barrier also observes it) passes through unchanged, keeping
+// the original panic site's stack.
+func wrapPanic(v any) *PanicError {
+	if pe, ok := v.(*PanicError); ok {
+		return pe
+	}
+	return &PanicError{Value: v, Stack: debug.Stack()}
+}

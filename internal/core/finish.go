@@ -1,6 +1,9 @@
 package core
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+	"time"
+)
 
 // finishScope implements bulk task synchronization: a finish waits for all
 // tasks created in its body before returning, including transitively
@@ -12,14 +15,33 @@ import "sync/atomic"
 // Tasks inherit the finish scope that was innermost at their spawn point,
 // which is what makes the count transitive: a child task spawning a
 // grandchild registers the grandchild with the same scope.
+//
+// A scope is also a failure domain: the first error recorded against it
+// (a task-body panic converted by the execute barrier, an AsyncErr body
+// returning non-nil, an explicit fail) settles the scope's future as
+// failed once the count drains. Later errors are dropped — like
+// errgroup, the first failure is the one that names the bug; the scope
+// still waits for every task, so no work is left running when the error
+// surfaces.
 type finishScope struct {
 	count atomic.Int64
 	prom  *Promise
+	err   atomic.Pointer[error] // first recorded failure, nil while clean
+
+	// Watchdog registration, populated only when the runtime's quiesce
+	// watchdog is armed (wd non-nil): creation site and time for the
+	// stall report's open-scope listing.
+	wd    *watchdogState
+	label string
+	born  time.Time
 }
 
 func newFinishScope(rt *Runtime) *finishScope {
 	fs := &finishScope{prom: NewPromise(rt)}
 	fs.count.Store(1) // the scope body's own reference
+	if rt.watch != nil {
+		rt.watch.register(fs)
+	}
 	return fs
 }
 
@@ -32,8 +54,28 @@ func (fs *finishScope) inc() {
 // non-worker goroutine) routes released waiters efficiently.
 func (fs *finishScope) dec(c *Ctx) {
 	if fs.count.Add(-1) == 0 {
-		fs.prom.put(c, nil)
+		if fs.wd != nil {
+			fs.wd.unregister(fs)
+		}
+		fs.prom.putResult(c, nil, fs.firstErr())
 	}
+}
+
+// fail records err against the scope; the first recorded error wins.
+// Safe from any goroutine, any number of times.
+func (fs *finishScope) fail(err error) {
+	if err == nil {
+		return
+	}
+	fs.err.CompareAndSwap(nil, &err)
+}
+
+// firstErr returns the first recorded failure, or nil.
+func (fs *finishScope) firstErr() error {
+	if p := fs.err.Load(); p != nil {
+		return *p
+	}
+	return nil
 }
 
 // future returns the future satisfied when the scope fully drains.

@@ -29,8 +29,16 @@ func (r *Runtime) Tracer() *trace.Tracer { return r.tracer }
 //
 // Close supersedes Shutdown on the public facade; Shutdown remains for
 // callers that want pool teardown without observability flushing.
+//
+// When the quiesce watchdog is armed, pool teardown runs under its
+// deadline: a shutdown that wedges (a worker stuck in a task body that
+// never yields) produces a StallReport, and with Abort set Close
+// returns ErrStalled instead of hanging — the pool goroutines are
+// abandoned, not reclaimed, since Go cannot preempt them.
 func (r *Runtime) Close() error {
-	r.Shutdown()
+	if err := r.shutdownWatched(); err != nil {
+		return err
+	}
 	if r.tracer == nil || r.closed.Swap(true) {
 		return nil
 	}

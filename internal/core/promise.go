@@ -16,11 +16,12 @@ type Promise struct {
 	mu   sync.Mutex
 	done atomic.Bool
 	val  any
+	err  error // non-nil iff settled by PutErr (a failed future)
 
 	// waiters registered before satisfaction.
-	taskWaiters []*Task         // eligible once their dep counters drain
-	chanWaiters []chan struct{} // parked goroutines / substituted workers
-	callbacks   []func(any)     // module-internal completion hooks
+	taskWaiters []*Task               // eligible once their dep counters drain
+	chanWaiters []chan struct{}       // parked goroutines / substituted workers
+	callbacks   []func(v any, err error) // module-internal completion hooks
 	fut         Future
 }
 
@@ -49,13 +50,21 @@ func (p *Promise) Future() *Future { return &p.fut }
 // worker's own deques instead of the slower shared injector.
 func (p *Promise) Put(v any) { p.put(nil, v) }
 
-func (p *Promise) put(c *Ctx, v any) {
+// PutErr settles the promise as failed: waiters are released exactly as
+// by Put (with a nil value), and the error is retrievable via
+// Future.Err. Like Put it is single-assignment.
+func (p *Promise) PutErr(err error) { p.putResult(nil, nil, err) }
+
+func (p *Promise) put(c *Ctx, v any) { p.putResult(c, v, nil) }
+
+func (p *Promise) putResult(c *Ctx, v any, err error) {
 	p.mu.Lock()
 	if p.done.Load() {
 		p.mu.Unlock()
 		panic("core: promise satisfied twice")
 	}
 	p.val = v
+	p.err = err
 	p.done.Store(true)
 	tasks := p.taskWaiters
 	chans := p.chanWaiters
@@ -64,7 +73,7 @@ func (p *Promise) put(c *Ctx, v any) {
 	p.mu.Unlock()
 
 	for _, cb := range cbs {
-		cb(v)
+		cb(v, err)
 	}
 	for _, t := range tasks {
 		if t.deps.dec() {
@@ -107,8 +116,24 @@ func (f *Future) Wait() {
 	<-ch
 }
 
+// Err blocks until the future settles and returns its error: nil for a
+// future satisfied by Put, the failure for one settled by PutErr or by
+// the execute barrier converting a task-body panic. Inside a task,
+// prefer Ctx.GetErr, which keeps the worker busy while waiting.
+func (f *Future) Err() error {
+	f.Wait()
+	return f.p.err
+}
+
+// Failed reports whether the future has settled with an error.
+func (f *Future) Failed() bool { return f.p.done.Load() && f.p.err != nil }
+
 // valueLocked returns the satisfied value; callers must ensure Done.
 func (f *Future) valueLocked() any { return f.p.val }
+
+// errSettled returns the settled error without blocking; callers must
+// ensure Done.
+func (f *Future) errSettled() error { return f.p.err }
 
 // addChanWaiter registers ch to be closed on satisfaction. It returns false
 // if the future is already satisfied (ch is not registered).
@@ -140,14 +165,22 @@ func (f *Future) addTaskWaiter(t *Task) bool {
 // OnDone registers fn to run when the future is satisfied (immediately, in
 // the caller's goroutine, if it already is). Modules use this to bridge
 // completion events into their own bookkeeping; application code should
-// prefer AsyncAwait.
+// prefer AsyncAwait. A failed future invokes fn with a nil value; use
+// OnSettled when the error matters.
 func (f *Future) OnDone(fn func(any)) {
+	f.OnSettled(func(v any, _ error) { fn(v) })
+}
+
+// OnSettled registers fn to run when the future settles, receiving both
+// the value and the error (nil for success). Like OnDone it runs
+// immediately in the caller's goroutine if the future already settled.
+func (f *Future) OnSettled(fn func(v any, err error)) {
 	p := f.p
 	p.mu.Lock()
 	if p.done.Load() {
-		v := p.val
+		v, err := p.val, p.err
 		p.mu.Unlock()
-		fn(v)
+		fn(v, err)
 		return
 	}
 	p.callbacks = append(p.callbacks, fn)
@@ -162,8 +195,18 @@ func Satisfied(rt *Runtime, v any) *Future {
 	return p.Future()
 }
 
-// WhenAll returns a future satisfied (with nil) once all the given futures
-// are satisfied. With no arguments the result is already satisfied.
+// FailedFuture returns a pre-failed future carrying err: the uniform way
+// for an asynchronous API to report a call-site validation error without
+// introducing a second (synchronous) error path for its callers.
+func FailedFuture(rt *Runtime, err error) *Future {
+	p := NewPromise(rt)
+	p.PutErr(err)
+	return p.Future()
+}
+
+// WhenAll returns a future settled once all the given futures are. It
+// fails with the first (by settlement order) input error, else is
+// satisfied with nil. With no arguments the result is already satisfied.
 func WhenAll(rt *Runtime, futures ...*Future) *Future {
 	out := NewPromise(rt)
 	if len(futures) == 0 {
@@ -171,11 +214,19 @@ func WhenAll(rt *Runtime, futures ...*Future) *Future {
 		return out.Future()
 	}
 	var remaining atomic.Int64
+	var firstErr atomic.Pointer[error]
 	remaining.Store(int64(len(futures)))
 	for _, f := range futures {
-		f.OnDone(func(any) {
+		f.OnSettled(func(_ any, err error) {
+			if err != nil {
+				firstErr.CompareAndSwap(nil, &err)
+			}
 			if remaining.Add(-1) == 0 {
-				out.Put(nil)
+				if ep := firstErr.Load(); ep != nil {
+					out.PutErr(*ep)
+				} else {
+					out.Put(nil)
+				}
 			}
 		})
 	}

@@ -29,6 +29,12 @@ type Options struct {
 	// lifecycle, exportable as Chrome trace JSON via Runtime.TraceDump.
 	// A nil Trace costs the hot path one pointer check.
 	Trace *trace.Config
+	// Watchdog, when non-nil with a positive Deadline, arms the quiesce
+	// watchdog: a monitored wait (Launch's root scope, a Finish drain,
+	// Close) that outlives the deadline produces a structured StallReport
+	// instead of hanging silently. A nil Watchdog costs the hot path one
+	// pointer check.
+	Watchdog *WatchdogConfig
 }
 
 func (o *Options) withDefaults() Options {
@@ -41,6 +47,10 @@ func (o *Options) withDefaults() Options {
 			out.SpinRounds = o.SpinRounds
 		}
 		out.Trace = o.Trace
+		if o.Watchdog != nil && o.Watchdog.Deadline > 0 {
+			cfg := *o.Watchdog
+			out.Watchdog = &cfg
+		}
 	}
 	return out
 }
@@ -93,6 +103,12 @@ type worker struct {
 	// stealBuf is scratch space for StealBatch visits.
 	stealBuf [stealBatchMax]*Task
 
+	// wdState/wdPlace publish the worker's activity class for the quiesce
+	// watchdog's stall report. Written only when the watchdog is armed
+	// (rt.watch non-nil); otherwise each site costs one pointer check.
+	wdState atomic.Int32
+	wdPlace atomic.Int32
+
 	// statistics (atomics so Stats can read them live)
 	tasks   atomic.Uint64
 	pops    atomic.Uint64
@@ -144,6 +160,9 @@ type Runtime struct {
 	// the one-shot flush work Close performs after Shutdown.
 	tracer *trace.Tracer
 	closed atomic.Bool
+
+	// watch is non-nil iff Options.Watchdog armed the quiesce watchdog.
+	watch *watchdogState
 
 	// finalizers registered by modules, run during Shutdown.
 	finalizeMu sync.Mutex
@@ -242,6 +261,9 @@ func New(model *platform.Model, opts *Options) (*Runtime, error) {
 			}
 		}
 	}
+	if o.Watchdog != nil {
+		r.watch = newWatchdogState(r, *o.Watchdog)
+	}
 	r.retireGroup = make([]atomic.Int64, n)
 	r.freeIDs = make(chan int, r.maxIDs)
 	for id := n; id < r.maxIDs; id++ {
@@ -311,14 +333,26 @@ func (r *Runtime) RegisterFinalizer(fn func()) {
 // Launch runs fn as a root task inside an implicit finish scope and blocks
 // the calling goroutine until fn and every task it transitively spawned
 // have completed. The runtime is started if necessary.
-func (r *Runtime) Launch(fn func(*Ctx)) {
+//
+// Launch returns the root scope's error: the first task-body panic
+// (converted to a *PanicError by the execute barrier) or AsyncErr
+// failure recorded against any scope that propagated to the root. A
+// failing task fails only its own futures and finish-scope chain — the
+// runtime stays schedulable and later Launch calls run normally. With
+// the quiesce watchdog armed in Abort mode, a root scope that outlives
+// the deadline returns ErrStalled wrapped with the stall diagnostic.
+func (r *Runtime) Launch(fn func(*Ctx)) error {
 	r.Start()
 	fs := newFinishScope(r)
 	root := &Task{fn: fn, place: r.defaultPlace(), finish: fs}
 	fs.inc()
 	r.enqueue(nil, root)
 	fs.dec(nil)
-	fs.future().Wait()
+	f := fs.future()
+	if err := r.rootWait(f); err != nil {
+		return err
+	}
+	return f.errSettled()
 }
 
 // SpawnDetachedAt enqueues a task at place p from outside any task context
@@ -533,7 +567,13 @@ func (r *Runtime) park(w *worker) {
 	if traced {
 		w.ring.Record(trace.EvPark, trace.NoPlace, 0, 0)
 	}
+	if r.watch != nil {
+		w.wdState.Store(wsParked)
+	}
 	<-w.park
+	if r.watch != nil {
+		w.wdState.Store(wsScanning)
+	}
 	if traced {
 		w.ring.Record(trace.EvUnpark, trace.NoPlace, 0, 0)
 	}
@@ -578,26 +618,55 @@ func (r *Runtime) unpark(w *worker) {
 // reference (deque slots below top are never re-read once top has passed
 // them, and promise waiter lists drop the task when its dependency count
 // drains — which necessarily happened before enqueue).
+//
+// The body runs under the panic containment barrier (runBody): a panic
+// is converted to a *PanicError and recorded against the enclosing
+// finish scope — the task's failure domain — and the worker continues
+// scheduling. This is the ONE recover in the runtime; task bodies and
+// modules must not install their own (hiper-lint: recover-outside-worker).
 func (r *Runtime) execute(w *worker, t *Task) {
 	w.tasks.Add(1)
 	fn, place, fin, tid := t.fn, t.place, t.finish, t.tid
 	w.freeTask(t)
 	c := Ctx{rt: r, w: w, place: place, fin: fin, tid: uint64(tid)}
-	if tr := w.tr; tr != nil && tr.Enabled() {
-		pid := int32(place.ID)
-		w.ring.Record(trace.EvStart, pid, uint64(tid), 0)
-		if tr.Config().PprofLabels {
-			w.runLabeled(place, fn, &c)
-		} else {
-			fn(&c)
-		}
-		w.ring.Record(trace.EvFinish, pid, uint64(tid), 0)
-	} else {
-		fn(&c)
+	if r.watch != nil {
+		w.wdPlace.Store(int32(place.ID))
+		w.wdState.Store(wsRunning)
+	}
+	err := r.runBody(w, fn, &c)
+	if r.watch != nil {
+		w.wdState.Store(wsScanning)
+	}
+	if err != nil && fin != nil {
+		fin.fail(err)
 	}
 	if fin != nil {
 		fin.dec(&c)
 	}
+}
+
+// runBody executes one task body under the recover barrier, returning
+// the body's panic (if any) converted to a *PanicError. The zero-error
+// fast path costs one deferred call and no allocation.
+func (r *Runtime) runBody(w *worker, fn func(*Ctx), c *Ctx) (err error) {
+	defer func() {
+		if pv := recover(); pv != nil {
+			err = wrapPanic(pv)
+		}
+	}()
+	if tr := w.tr; tr != nil && tr.Enabled() {
+		pid := int32(c.place.ID)
+		w.ring.Record(trace.EvStart, pid, c.tid, 0)
+		if tr.Config().PprofLabels {
+			w.runLabeled(c.place, fn, c)
+		} else {
+			fn(c)
+		}
+		w.ring.Record(trace.EvFinish, pid, c.tid, 0)
+	} else {
+		fn(c)
+	}
+	return nil
 }
 
 // findWork performs one full scan: pop path first (own work, LIFO), then
@@ -814,7 +883,13 @@ func (r *Runtime) waitOn(w *worker, tid uint64, f *Future) {
 		default:
 			// Substitution budget exhausted; park without a substitute.
 		}
+		if r.watch != nil {
+			w.wdState.Store(wsBlocked)
+		}
 		<-ch
+		if r.watch != nil {
+			w.wdState.Store(wsScanning)
+		}
 		if suspendTraced {
 			w.ring.Record(trace.EvResume, trace.NoPlace, tid, 0)
 		}

@@ -348,19 +348,30 @@ func TestAsyncCopyHostToHost(t *testing.T) {
 	})
 }
 
-func TestAsyncCopyTypeMismatchPanics(t *testing.T) {
+func TestAsyncCopyTypeMismatchFailsFuture(t *testing.T) {
 	r := newTestRuntime(t, 2)
 	mem := r.Model().FirstByKind(platform.KindSysMem)
-	r.Launch(func(c *Ctx) {
-		defer func() {
-			if recover() == nil {
-				t.Error("mismatched copy should panic")
-			}
-		}()
-		c.Finish(func(c *Ctx) {
-			c.AsyncCopy(At(mem, make([]float64, 3)), At(mem, make([]int, 3)), 3)
-		})
-	})
+	if err := r.Launch(func(c *Ctx) {
+		f := c.AsyncCopy(At(mem, make([]float64, 3)), At(mem, make([]int, 3)), 3)
+		if err := c.GetErr(f); err == nil {
+			t.Error("mismatched copy should fail its future")
+		}
+	}); err != nil {
+		t.Fatalf("Launch: %v", err)
+	}
+}
+
+func TestAsyncCopyOutOfRangeFailsFuture(t *testing.T) {
+	r := newTestRuntime(t, 2)
+	mem := r.Model().FirstByKind(platform.KindSysMem)
+	if err := r.Launch(func(c *Ctx) {
+		f := c.AsyncCopy(At(mem, make([]float64, 3)), At(mem, make([]float64, 3)), 5)
+		if err := c.GetErr(f); err == nil {
+			t.Error("out-of-range copy should fail its future")
+		}
+	}); err != nil {
+		t.Fatalf("Launch: %v", err)
+	}
 }
 
 func TestRegisteredCopyHandler(t *testing.T) {

@@ -92,7 +92,10 @@ func (c *Ctx) AsyncDetachedAt(p *platform.Place, fn func(*Ctx)) {
 }
 
 // AsyncFuture creates a task and returns a future that is satisfied with
-// fn's return value when the task completes.
+// fn's return value when the task completes. If fn panics, the future
+// fails with the *PanicError instead of never settling, and the panic
+// continues to the execute barrier so the enclosing finish scope fails
+// too.
 func (c *Ctx) AsyncFuture(fn func(*Ctx) any) *Future {
 	return c.AsyncFutureAt(c.place, fn)
 }
@@ -101,9 +104,43 @@ func (c *Ctx) AsyncFuture(fn func(*Ctx) any) *Future {
 func (c *Ctx) AsyncFutureAt(p *platform.Place, fn func(*Ctx) any) *Future {
 	prom := NewPromise(c.rt)
 	c.rt.spawn(c.w, p, c.fin, func(cc *Ctx) {
+		defer settlePanic(prom, cc)
 		prom.put(cc, fn(cc))
 	})
 	return prom.Future()
+}
+
+// AsyncErr creates a task whose body reports failure by returning an
+// error: a non-nil return is recorded against the enclosing finish scope
+// (first error wins), surfacing from FinishErr or Launch — the
+// recoverable-error counterpart of the panic barrier.
+func (c *Ctx) AsyncErr(fn func(*Ctx) error) {
+	c.AsyncErrAt(c.place, fn)
+}
+
+// AsyncErrAt is AsyncErr at a specific place.
+func (c *Ctx) AsyncErrAt(p *platform.Place, fn func(*Ctx) error) {
+	c.rt.spawn(c.w, p, c.fin, func(cc *Ctx) {
+		if err := fn(cc); err != nil && cc.fin != nil {
+			cc.fin.fail(err)
+		}
+	})
+}
+
+// settlePanic is the deferred barrier shared by the future-returning
+// spawn variants: it fails the result future with the in-flight panic so
+// waiters are released, then re-raises the wrapped error for the execute
+// barrier to record against the finish scope.
+func settlePanic(prom *Promise, cc *Ctx) {
+	pv := recover()
+	if pv == nil {
+		return
+	}
+	pe := wrapPanic(pv)
+	if !prom.done.Load() {
+		prom.putResult(cc, nil, pe)
+	}
+	panic(pe)
 }
 
 // AsyncAwait creates a task whose execution is predicated on the
@@ -128,24 +165,50 @@ func (c *Ctx) AsyncFutureAwait(fn func(*Ctx) any, futures ...*Future) *Future {
 func (c *Ctx) AsyncFutureAwaitAt(p *platform.Place, fn func(*Ctx) any, futures ...*Future) *Future {
 	prom := NewPromise(c.rt)
 	c.rt.spawnAwait(c.w, p, c.fin, func(cc *Ctx) {
+		defer settlePanic(prom, cc)
 		prom.put(cc, fn(cc))
 	}, futures)
 	return prom.Future()
 }
 
-// Finish executes fn and then waits for every task created within it —
-// including transitively spawned tasks — to complete before returning.
-// The wait helps execute eligible work and never idles the worker.
-func (c *Ctx) Finish(fn func(*Ctx)) {
+// finishRun is the shared body of Finish/FinishErr: open a scope, run fn
+// inside it, drain. The drain runs in a defer so a panicking fn still
+// waits for its spawned tasks; err is computed after the drain, when the
+// scope's first failure (if any) has settled.
+func (c *Ctx) finishRun(fn func(*Ctx)) (err error) {
 	fs := newFinishScope(c.rt)
 	prev := c.fin
 	c.fin = fs
 	defer func() {
 		c.fin = prev
 		fs.dec(c) // drop the scope's own reference
+		stop := c.rt.armStallTimer("Finish")
 		c.Wait(fs.future())
+		stop()
+		err = fs.future().errSettled()
 	}()
 	fn(c)
+	return nil
+}
+
+// Finish executes fn and then waits for every task created within it —
+// including transitively spawned tasks — to complete before returning.
+// The wait helps execute eligible work and never idles the worker.
+// A failure inside the scope (task panic, AsyncErr body error) is
+// propagated to the enclosing scope after the drain; use FinishErr to
+// handle it locally instead.
+func (c *Ctx) Finish(fn func(*Ctx)) {
+	if err := c.finishRun(fn); err != nil && c.fin != nil {
+		c.fin.fail(err)
+	}
+}
+
+// FinishErr is Finish returning the scope's first failure — a task-body
+// panic (as *PanicError), an AsyncErr body error, or a Ctx.Fail — after
+// every task in the scope has completed. The error is consumed: it does
+// not propagate to the enclosing scope.
+func (c *Ctx) FinishErr(fn func(*Ctx)) error {
+	return c.finishRun(fn)
 }
 
 // FinishFuture executes fn like Finish but does not block: it returns a
@@ -184,11 +247,34 @@ func (c *Ctx) Get(f *Future) any {
 	return f.valueLocked()
 }
 
+// GetErr waits for f and returns its error: nil for a future satisfied
+// by Put, the failure for one settled by PutErr or the panic barrier.
+// Like Get, the wait helps execute eligible work.
+func (c *Ctx) GetErr(f *Future) error {
+	c.Wait(f)
+	return f.errSettled()
+}
+
 // Put satisfies promise p with v from inside a task. Tasks released by the
 // satisfaction are enqueued through the current worker's deques, which is
 // cheaper than the injector path taken by Promise.Put.
 func (c *Ctx) Put(p *Promise, v any) {
 	p.put(c, v)
+}
+
+// PutErr settles promise p as failed from inside a task; released
+// waiters are enqueued through the current worker's deques.
+func (c *Ctx) PutErr(p *Promise, err error) {
+	p.putResult(c, nil, err)
+}
+
+// Fail records err against the innermost finish scope (first error
+// wins) without aborting the current task. The error surfaces from the
+// scope's FinishErr / Launch once the scope drains.
+func (c *Ctx) Fail(err error) {
+	if c.fin != nil {
+		c.fin.fail(err)
+	}
 }
 
 // Yield re-enqueues the remainder of the current task's work expressed as a

@@ -1,0 +1,334 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// stderr is where stall reports land when no OnStall hook is installed;
+// a variable so tests can capture it.
+var stderr io.Writer = os.Stderr
+
+// The quiesce watchdog turns the worst failure mode a task runtime has —
+// a finish scope that never drains, hanging Launch or Close forever with
+// no diagnostic — into a structured report. It is opt-in (Options.
+// Watchdog); when armed, finish scopes register their creation site, and
+// workers publish a coarse state (running / parked / blocked) that the
+// report snapshots. When a monitored wait (the Launch root scope, a
+// Finish body's drain, Close's pool teardown) outlives the deadline, the
+// watchdog assembles a StallReport — open scopes, per-place queue
+// depths, worker states, and the tail of the trace rings when tracing is
+// armed — and hands it to OnStall instead of silently hanging.
+
+// ErrStalled is returned (wrapped, with the report's rendering) by
+// Launch and Close when the watchdog deadline expires and Abort is set.
+var ErrStalled = errors.New("core: quiesce watchdog deadline exceeded")
+
+// WatchdogConfig arms the quiesce watchdog (see Options.Watchdog).
+type WatchdogConfig struct {
+	// Deadline is how long a monitored wait (Launch's root finish scope,
+	// a Finish drain, Close) may remain unsatisfied before the watchdog
+	// trips. Required: a zero deadline leaves the watchdog unarmed.
+	Deadline time.Duration
+	// OnStall, if non-nil, receives the diagnostic when the watchdog
+	// trips. When nil the report is written to stderr.
+	OnStall func(*StallReport)
+	// Abort makes Launch and Close return ErrStalled (wrapped with the
+	// report) instead of resuming the wait after reporting. The stalled
+	// task tree is abandoned, not cancelled: Go cannot preempt a wedged
+	// task body, so Abort trades a clean hang for a live caller.
+	Abort bool
+}
+
+// ScopeInfo describes one open finish scope in a stall report.
+type ScopeInfo struct {
+	Label   string        // creation site, file:line outside the runtime
+	Age     time.Duration // time since the scope was opened
+	Pending int64         // unreleased references (body + live tasks)
+}
+
+// PlaceDepth is one place's pending-task count in a stall report.
+type PlaceDepth struct {
+	Place   string
+	Pending int64
+}
+
+// WorkerInfo is one worker's state in a stall report.
+type WorkerInfo struct {
+	ID    int
+	State string // "running", "parked", "blocked", "scanning"
+	Place string // place of the task being run, when running
+}
+
+// StallReport is the structured diagnostic a tripped watchdog produces.
+type StallReport struct {
+	Op         string        // the wait that stalled ("Launch", "Finish", "Close")
+	Deadline   time.Duration // the configured deadline that expired
+	OpenScopes []ScopeInfo   // registered finish scopes still undrained
+	Places     []PlaceDepth  // places with pending tasks
+	Workers    []WorkerInfo  // per-worker states (active identities only)
+	TraceTail  []trace.Event // last events from the trace rings, if armed
+}
+
+// String renders the report as the multi-line diagnostic logged on
+// stall.
+func (s *StallReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "core: %s stalled: quiesce watchdog deadline (%v) exceeded\n", s.Op, s.Deadline)
+	fmt.Fprintf(&b, "  open finish scopes (%d):\n", len(s.OpenScopes))
+	for _, sc := range s.OpenScopes {
+		fmt.Fprintf(&b, "    %s: %d pending refs, open %v\n", sc.Label, sc.Pending, sc.Age.Round(time.Millisecond))
+	}
+	fmt.Fprintf(&b, "  queue depths:\n")
+	if len(s.Places) == 0 {
+		fmt.Fprintf(&b, "    (all places drained)\n")
+	}
+	for _, p := range s.Places {
+		fmt.Fprintf(&b, "    %s: %d pending\n", p.Place, p.Pending)
+	}
+	fmt.Fprintf(&b, "  workers:\n")
+	for _, w := range s.Workers {
+		if w.Place != "" {
+			fmt.Fprintf(&b, "    worker %d: %s at %s\n", w.ID, w.State, w.Place)
+		} else {
+			fmt.Fprintf(&b, "    worker %d: %s\n", w.ID, w.State)
+		}
+	}
+	if len(s.TraceTail) > 0 {
+		fmt.Fprintf(&b, "  last %d trace events:\n", len(s.TraceTail))
+		for _, ev := range s.TraceTail {
+			fmt.Fprintf(&b, "    %v\n", ev)
+		}
+	}
+	return b.String()
+}
+
+// Worker watchdog states, published (only while armed) at the few points
+// a worker's activity class changes.
+const (
+	wsScanning int32 = iota // looking for work / spinning
+	wsRunning               // executing a task body
+	wsParked                // parked on the idle list
+	wsBlocked               // suspended in waitOn on an unsatisfied future
+)
+
+func wsName(s int32) string {
+	switch s {
+	case wsRunning:
+		return "running"
+	case wsParked:
+		return "parked"
+	case wsBlocked:
+		return "blocked"
+	default:
+		return "scanning"
+	}
+}
+
+// watchdogState is the armed watchdog's runtime-side bookkeeping: the
+// configuration plus the registry of open finish scopes.
+type watchdogState struct {
+	cfg WatchdogConfig
+	rt  *Runtime
+
+	mu     sync.Mutex
+	scopes map[*finishScope]struct{}
+
+	stalls atomic.Int64 // reports produced (observability/testing)
+}
+
+func newWatchdogState(rt *Runtime, cfg WatchdogConfig) *watchdogState {
+	return &watchdogState{cfg: cfg, rt: rt, scopes: make(map[*finishScope]struct{})}
+}
+
+// register adds a freshly created scope to the open-scope registry,
+// stamping its creation site and time.
+func (wd *watchdogState) register(fs *finishScope) {
+	fs.wd = wd
+	fs.label = callerOutsideCore()
+	fs.born = time.Now()
+	wd.mu.Lock()
+	wd.scopes[fs] = struct{}{}
+	wd.mu.Unlock()
+}
+
+// unregister removes a drained scope.
+func (wd *watchdogState) unregister(fs *finishScope) {
+	wd.mu.Lock()
+	delete(wd.scopes, fs)
+	wd.mu.Unlock()
+}
+
+// callerOutsideCore walks the stack for the first frame outside
+// internal/core — the application line that opened the scope.
+func callerOutsideCore() string {
+	var pcs [16]uintptr
+	n := runtime.Callers(2, pcs[:])
+	frames := runtime.CallersFrames(pcs[:n])
+	for {
+		fr, more := frames.Next()
+		// The package's own tests share the import path; their frames
+		// are application code for labeling purposes.
+		if !strings.Contains(fr.Function, "repro/internal/core.") ||
+			strings.HasSuffix(fr.File, "_test.go") {
+			return fmt.Sprintf("%s:%d", fr.File, fr.Line)
+		}
+		if !more {
+			return fmt.Sprintf("%s:%d", fr.File, fr.Line)
+		}
+	}
+}
+
+// report assembles the stall diagnostic for a wait on op.
+func (wd *watchdogState) report(op string) *StallReport {
+	r := wd.rt
+	rep := &StallReport{Op: op, Deadline: wd.cfg.Deadline}
+
+	wd.mu.Lock()
+	now := time.Now()
+	for fs := range wd.scopes {
+		rep.OpenScopes = append(rep.OpenScopes, ScopeInfo{
+			Label:   fs.label,
+			Age:     now.Sub(fs.born),
+			Pending: fs.count.Load(),
+		})
+	}
+	wd.mu.Unlock()
+	sort.Slice(rep.OpenScopes, func(i, j int) bool {
+		if rep.OpenScopes[i].Age != rep.OpenScopes[j].Age {
+			return rep.OpenScopes[i].Age > rep.OpenScopes[j].Age
+		}
+		return rep.OpenScopes[i].Label < rep.OpenScopes[j].Label
+	})
+
+	for pid := range r.pendingPerPlace {
+		if n := r.pendingPerPlace[pid].Load(); n > 0 {
+			rep.Places = append(rep.Places, PlaceDepth{Place: r.model.Place(pid).Name, Pending: n})
+		}
+	}
+
+	active := int(r.maxUsed.Load())
+	for id := 0; id < active && id < len(r.workers); id++ {
+		w := r.workers[id]
+		wi := WorkerInfo{ID: id, State: wsName(w.wdState.Load())}
+		if wi.State == "running" {
+			if pid := w.wdPlace.Load(); pid >= 0 && int(pid) < r.model.NumPlaces() {
+				wi.Place = r.model.Place(int(pid)).Name
+			}
+		}
+		rep.Workers = append(rep.Workers, wi)
+	}
+
+	if r.tracer != nil {
+		evs := r.tracer.Events()
+		const tail = 16
+		if len(evs) > tail {
+			evs = evs[len(evs)-tail:]
+		}
+		rep.TraceTail = evs
+	}
+	wd.stalls.Add(1)
+	return rep
+}
+
+// fire produces and delivers the report for op.
+func (wd *watchdogState) fire(op string) *StallReport {
+	rep := wd.report(op)
+	if wd.cfg.OnStall != nil {
+		wd.cfg.OnStall(rep)
+	} else {
+		fmt.Fprint(stderr, rep.String())
+	}
+	return rep
+}
+
+// rootWait waits for the Launch root scope's future under the watchdog
+// deadline. With Abort set, an expired deadline abandons the wait and
+// returns ErrStalled wrapped with the report; otherwise the stall is
+// reported once and the wait resumes indefinitely.
+func (r *Runtime) rootWait(f *Future) error {
+	wd := r.watch
+	if wd == nil {
+		f.Wait()
+		return nil
+	}
+	ch := make(chan struct{})
+	if !f.addChanWaiter(ch) {
+		return nil
+	}
+	timer := time.NewTimer(wd.cfg.Deadline)
+	defer timer.Stop()
+	select {
+	case <-ch:
+		return nil
+	case <-timer.C:
+		rep := wd.fire("Launch")
+		if wd.cfg.Abort {
+			return fmt.Errorf("%w\n%s", ErrStalled, rep)
+		}
+		<-ch
+		return nil
+	}
+}
+
+// armStallTimer starts a one-shot stall report for a Finish drain,
+// returning the cancel func the caller runs once the wait completes.
+// Report-only: a worker-helping wait inside a task cannot be abandoned
+// the way Launch's root wait can.
+func (r *Runtime) armStallTimer(op string) func() {
+	wd := r.watch
+	if wd == nil {
+		return func() {}
+	}
+	t := time.AfterFunc(wd.cfg.Deadline, func() { wd.fire(op) })
+	return func() { t.Stop() }
+}
+
+// shutdownWatched runs pool teardown under the watchdog deadline (plain
+// Shutdown when unarmed). On Abort the Shutdown goroutine is abandoned,
+// still blocked on whatever wedged the pool; the report is the caller's
+// only recourse.
+func (r *Runtime) shutdownWatched() error {
+	wd := r.watch
+	if wd == nil {
+		r.Shutdown()
+		return nil
+	}
+	done := make(chan struct{})
+	go func() {
+		r.Shutdown()
+		close(done)
+	}()
+	timer := time.NewTimer(wd.cfg.Deadline)
+	defer timer.Stop()
+	select {
+	case <-done:
+		return nil
+	case <-timer.C:
+		rep := wd.fire("Close")
+		if wd.cfg.Abort {
+			return fmt.Errorf("%w\n%s", ErrStalled, rep)
+		}
+		<-done
+		return nil
+	}
+}
+
+// Stalls reports how many stall diagnostics the watchdog has produced
+// (0 when unarmed).
+func (r *Runtime) Stalls() int64 {
+	if r.watch == nil {
+		return 0
+	}
+	return r.watch.stalls.Load()
+}

@@ -1,0 +1,182 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/platform"
+)
+
+func newWatchdogRuntime(t *testing.T, workers int, cfg WatchdogConfig) *Runtime {
+	t.Helper()
+	r, err := New(platform.Default(workers), &Options{Watchdog: &cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestWatchdogReportsWedgedScope wedges a finish scope on a future that
+// is never satisfied and asserts the watchdog trips within the deadline
+// with a diagnostic naming the open scope's creation site and the
+// blocked workers. The OnStall hook then releases the gate, so the run
+// finishes cleanly — proving report-only stalls resume.
+func TestWatchdogReportsWedgedScope(t *testing.T) {
+	var (
+		mu      sync.Mutex
+		rep     *StallReport
+		release sync.Once
+	)
+	var r *Runtime
+	var gate *Promise
+	r = newWatchdogRuntime(t, 2, WatchdogConfig{
+		Deadline: 50 * time.Millisecond,
+		OnStall: func(s *StallReport) {
+			mu.Lock()
+			if rep == nil {
+				rep = s
+			}
+			mu.Unlock()
+			// Both the Launch and Finish stall timers may trip on the
+			// same wedge; the gate is single-assignment.
+			release.Do(func() { gate.Put(nil) })
+		},
+	})
+	defer r.Shutdown()
+	gate = NewPromise(r)
+
+	start := time.Now()
+	err := r.Launch(func(c *Ctx) {
+		c.Finish(func(c *Ctx) { // the scope the report must name
+			c.Async(func(cc *Ctx) { cc.Wait(gate.Future()) })
+		})
+	})
+	if err != nil {
+		t.Fatalf("Launch: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("stall resolution took %v", elapsed)
+	}
+
+	mu.Lock()
+	got := rep
+	mu.Unlock()
+	if got == nil {
+		t.Fatal("watchdog never fired")
+	}
+	if len(got.OpenScopes) == 0 {
+		t.Fatal("report lists no open scopes")
+	}
+	var namedHere bool
+	for _, sc := range got.OpenScopes {
+		if strings.Contains(sc.Label, "watchdog_test.go") {
+			namedHere = true
+		}
+	}
+	if !namedHere {
+		t.Errorf("no open scope names this file: %+v", got.OpenScopes)
+	}
+	var blocked bool
+	for _, w := range got.Workers {
+		if w.State == "blocked" || w.State == "parked" {
+			blocked = true
+		}
+	}
+	if !blocked {
+		t.Errorf("report shows no blocked/parked workers: %+v", got.Workers)
+	}
+	if !strings.Contains(got.String(), "quiesce watchdog deadline") {
+		t.Errorf("rendering lacks the stall banner:\n%s", got)
+	}
+	if r.Stalls() == 0 {
+		t.Error("Stalls() counter not incremented")
+	}
+}
+
+// TestWatchdogAbortLaunch: with Abort set, a stalled Launch returns
+// ErrStalled instead of hanging.
+func TestWatchdogAbortLaunch(t *testing.T) {
+	r := newWatchdogRuntime(t, 2, WatchdogConfig{
+		Deadline: 50 * time.Millisecond,
+		OnStall:  func(*StallReport) {}, // keep stderr quiet
+		Abort:    true,
+	})
+	gate := NewPromise(r)
+	errc := make(chan error, 1)
+	go func() {
+		errc <- r.Launch(func(c *Ctx) {
+			c.Async(func(cc *Ctx) { cc.Wait(gate.Future()) })
+		})
+	}()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, ErrStalled) {
+			t.Fatalf("Launch = %v, want ErrStalled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("aborting Launch still hung")
+	}
+	gate.Put(nil) // release the abandoned tree so Shutdown can drain
+	r.Shutdown()
+}
+
+// TestWatchdogAbortClose: a task body that never yields wedges pool
+// teardown; Close trips the watchdog and returns ErrStalled.
+func TestWatchdogAbortClose(t *testing.T) {
+	r := newWatchdogRuntime(t, 2, WatchdogConfig{
+		Deadline: 50 * time.Millisecond,
+		OnStall:  func(*StallReport) {},
+		Abort:    true,
+	})
+	var stop atomic.Bool
+	var entered atomic.Bool
+	r.Launch(func(c *Ctx) {
+		c.AsyncDetachedAt(c.Place(), func(*Ctx) {
+			entered.Store(true)
+			for !stop.Load() {
+				time.Sleep(time.Millisecond)
+			}
+		})
+		for !entered.Load() {
+			time.Sleep(time.Millisecond)
+		}
+	})
+	err := r.Close()
+	if !errors.Is(err, ErrStalled) {
+		t.Fatalf("Close = %v, want ErrStalled", err)
+	}
+	stop.Store(true) // let the abandoned Shutdown goroutine finish
+}
+
+// TestWatchdogQuietWhenHealthy: an armed watchdog on a healthy run never
+// fires.
+func TestWatchdogQuietWhenHealthy(t *testing.T) {
+	fired := atomic.Int64{}
+	r := newWatchdogRuntime(t, 2, WatchdogConfig{
+		Deadline: time.Second,
+		OnStall:  func(*StallReport) { fired.Add(1) },
+	})
+	var n atomic.Int64
+	if err := r.Launch(func(c *Ctx) {
+		c.Finish(func(c *Ctx) {
+			for i := 0; i < 64; i++ {
+				c.Async(func(*Ctx) { n.Add(1) })
+			}
+		})
+	}); err != nil {
+		t.Fatalf("Launch: %v", err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if fired.Load() != 0 {
+		t.Errorf("watchdog fired %d times on a healthy run", fired.Load())
+	}
+	if n.Load() != 64 {
+		t.Errorf("ran %d tasks, want 64", n.Load())
+	}
+}

@@ -1,0 +1,312 @@
+package fabric
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// Chaos wraps any Transport with a seeded, fully deterministic fault
+// plan: per-link message drop, duplication, delay spikes, transient
+// partitions, and permanent rank crashes. It is the failure half of the
+// failure-domain story — the Reliable sublayer is the recovery half —
+// and composes over either backend: Chaos(Sim) injects faults into the
+// cost-modeled interconnect, Chaos(Inline) into the deterministic
+// unit-test transport.
+//
+// Determinism is the design center. Whether op k on link (src,dst)
+// faults, and how, is a pure function of (Seed, link, k): a counter per
+// link indexes sends, and a splitmix64-style hash of the triple yields
+// the decision. Two runs issuing the same per-link send sequences under
+// the same plan produce byte-identical fault sequences — no global
+// RNG, no time-based state. Transient partitions are therefore counted
+// in operations (PartitionOps), not wall time, and rank crashes happen
+// only by explicit Kill.
+//
+// Faults apply to two-sided Send traffic. A delay spike re-issues the
+// send from a timer goroutine, which can reorder it past younger
+// traffic on the same link — exactly the reordering the Reliable
+// layer's sequence numbers exist to absorb. One-sided Put/Get pass
+// through un-faulted except when an endpoint is dead, in which case
+// both callbacks are dropped (the raw contract offers nowhere to report
+// the loss — route one-sided traffic through Reliable, which converts
+// it into a completed op plus a recorded link error).
+type Chaos struct {
+	inner Transport
+	plan  FaultPlan
+	n     int
+	links []chaosLink
+	dead  []atomic.Bool
+
+	drops  atomic.Int64
+	dups   atomic.Int64
+	spikes atomic.Int64
+	parts  atomic.Int64
+
+	recMu     sync.Mutex
+	recording bool
+	events    []FaultEvent
+}
+
+var _ Transport = (*Chaos)(nil)
+
+// FaultPlan is a Chaos wrapper's seeded fault schedule. The probability
+// fields are per-send rates in [0,1]; their sum must not exceed 1.
+type FaultPlan struct {
+	// Seed keys every fault decision. Same seed + same traffic = same
+	// faults, byte for byte.
+	Seed uint64
+	// Drop is the probability a send is silently discarded.
+	Drop float64
+	// Dup is the probability a send is delivered twice.
+	Dup float64
+	// DelaySpike is the probability a send is held for SpikeLatency
+	// before entering the inner transport (possibly reordering it).
+	DelaySpike float64
+	// Partition is the probability a send opens a transient partition:
+	// it and the next PartitionOps-1 sends on the same link are dropped.
+	Partition float64
+	// SpikeLatency is the extra delay a spiked send suffers (default
+	// 500µs when DelaySpike > 0).
+	SpikeLatency time.Duration
+	// PartitionOps is how many consecutive sends a partition eats
+	// (default 8 when Partition > 0).
+	PartitionOps int
+}
+
+func (p FaultPlan) withDefaults() FaultPlan {
+	if p.DelaySpike > 0 && p.SpikeLatency == 0 {
+		p.SpikeLatency = 500 * time.Microsecond
+	}
+	if p.Partition > 0 && p.PartitionOps == 0 {
+		p.PartitionOps = 8
+	}
+	return p
+}
+
+func (p FaultPlan) validate() error {
+	for _, v := range []float64{p.Drop, p.Dup, p.DelaySpike, p.Partition} {
+		if v < 0 || v > 1 {
+			return fmt.Errorf("fabric: chaos: fault rate %v outside [0,1]", v)
+		}
+	}
+	if s := p.Drop + p.Dup + p.DelaySpike + p.Partition; s > 1 {
+		return fmt.Errorf("fabric: chaos: fault rates sum to %v > 1", s)
+	}
+	return nil
+}
+
+// FaultEvent is one injected fault, recorded when SetRecording is on.
+// The (Src, Dst, Op) triple identifies the faulted send; replaying the
+// same traffic under the same seed reproduces the identical sequence.
+type FaultEvent struct {
+	Src, Dst int
+	Op       uint64 // per-link send index
+	Kind     string // "drop", "dup", "spike", "partition", "partition-drop", "dead"
+}
+
+// chaosLink is one (src,dst) pair's fault state: the send counter that
+// indexes decisions and the remaining width of an open partition.
+type chaosLink struct {
+	mu       sync.Mutex
+	op       uint64
+	partLeft int
+}
+
+// NewChaos wraps inner with the given fault plan.
+func NewChaos(inner Transport, plan FaultPlan) *Chaos {
+	if err := plan.validate(); err != nil {
+		panic(err)
+	}
+	n := inner.Size()
+	return &Chaos{
+		inner: inner,
+		plan:  plan.withDefaults(),
+		n:     n,
+		links: make([]chaosLink, n*n),
+		dead:  make([]atomic.Bool, n),
+	}
+}
+
+// chaosHash maps (seed, link, op) to a uniform float64 in [0,1) via a
+// splitmix64-style finalizer. Pure, so fault decisions replay exactly.
+func chaosHash(seed, link, op uint64) float64 {
+	x := seed ^ (link+1)*0x9E3779B97F4A7C15 ^ (op+1)*0xD1B54A32D192ED03
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return float64(x>>11) / (1 << 53)
+}
+
+// Kill permanently crashes a rank: every subsequent send touching it —
+// either side — is discarded, as are one-sided ops. Deterministic by
+// construction (faults derive from explicit calls, not clocks).
+func (c *Chaos) Kill(rank int) { c.dead[rank].Store(true) }
+
+// Alive reports whether rank has not been killed. The Reliable layer
+// detects this interface to fast-fail sends to crashed ranks.
+func (c *Chaos) Alive(rank int) bool { return !c.dead[rank].Load() }
+
+// Drops returns how many sends chaos discarded (including partition
+// and dead-rank discards).
+func (c *Chaos) Drops() int64 { return c.drops.Load() }
+
+// Dups returns how many sends were duplicated.
+func (c *Chaos) Dups() int64 { return c.dups.Load() }
+
+// Spikes returns how many sends suffered a delay spike.
+func (c *Chaos) Spikes() int64 { return c.spikes.Load() }
+
+// Partitions returns how many transient partitions opened.
+func (c *Chaos) Partitions() int64 { return c.parts.Load() }
+
+// SetRecording toggles the fault-event log (off by default; recording
+// every event costs a lock per fault).
+func (c *Chaos) SetRecording(on bool) {
+	c.recMu.Lock()
+	c.recording = on
+	c.recMu.Unlock()
+}
+
+// Events returns a copy of the recorded fault log.
+func (c *Chaos) Events() []FaultEvent {
+	c.recMu.Lock()
+	defer c.recMu.Unlock()
+	return append([]FaultEvent(nil), c.events...)
+}
+
+func (c *Chaos) record(src, dst int, op uint64, kind string) {
+	c.recMu.Lock()
+	if c.recording {
+		c.events = append(c.events, FaultEvent{Src: src, Dst: dst, Op: op, Kind: kind})
+	}
+	c.recMu.Unlock()
+}
+
+// decide consumes one send slot on (src,dst) and returns the fault kind
+// for it: "" for clean delivery.
+func (c *Chaos) decide(src, dst int) (uint64, string) {
+	link := uint64(src*c.n + dst)
+	l := &c.links[src*c.n+dst]
+	l.mu.Lock()
+	op := l.op
+	l.op++
+	if l.partLeft > 0 {
+		l.partLeft--
+		l.mu.Unlock()
+		return op, "partition-drop"
+	}
+	r := chaosHash(c.plan.Seed, link, op)
+	var kind string
+	switch p := c.plan; {
+	case r < p.Drop:
+		kind = "drop"
+	case r < p.Drop+p.Dup:
+		kind = "dup"
+	case r < p.Drop+p.Dup+p.DelaySpike:
+		kind = "spike"
+	case r < p.Drop+p.Dup+p.DelaySpike+p.Partition:
+		kind = "partition"
+		l.partLeft = c.plan.PartitionOps - 1 // this send is the first casualty
+	}
+	l.mu.Unlock()
+	return op, kind
+}
+
+// Send implements Transport, applying the fault plan.
+func (c *Chaos) Send(src, dst, tag int, data []byte) {
+	if c.dead[src].Load() || c.dead[dst].Load() {
+		c.drops.Add(1)
+		l := &c.links[src*c.n+dst]
+		l.mu.Lock()
+		op := l.op
+		l.op++
+		l.mu.Unlock()
+		c.record(src, dst, op, "dead")
+		return
+	}
+	op, kind := c.decide(src, dst)
+	switch kind {
+	case "drop", "partition-drop":
+		c.drops.Add(1)
+		c.record(src, dst, op, kind)
+	case "partition":
+		c.parts.Add(1)
+		c.drops.Add(1)
+		c.record(src, dst, op, kind)
+	case "dup":
+		c.dups.Add(1)
+		c.record(src, dst, op, kind)
+		c.inner.Send(src, dst, tag, data)
+		c.inner.Send(src, dst, tag, data)
+	case "spike":
+		c.spikes.Add(1)
+		c.record(src, dst, op, kind)
+		// The caller may reuse data on return (eager contract), and the
+		// inner Send happens later: copy now.
+		buf := make([]byte, len(data))
+		copy(buf, data)
+		time.AfterFunc(c.plan.SpikeLatency, func() {
+			if c.dead[src].Load() || c.dead[dst].Load() {
+				c.drops.Add(1)
+				return
+			}
+			c.inner.Send(src, dst, tag, buf)
+		})
+	default:
+		c.inner.Send(src, dst, tag, data)
+	}
+}
+
+// Put implements Transport. One-sided ops pass through un-faulted
+// unless an endpoint is dead, in which case both callbacks are dropped
+// — see the type comment for why Reliable is the answer.
+func (c *Chaos) Put(src, dst, bytes int, apply, onDone func()) {
+	if c.dead[src].Load() || c.dead[dst].Load() {
+		c.drops.Add(1)
+		return
+	}
+	c.inner.Put(src, dst, bytes, apply, onDone)
+}
+
+// Get implements Transport; same dead-rank semantics as Put.
+func (c *Chaos) Get(src, dst, bytes int, apply, onDone func()) {
+	if c.dead[src].Load() || c.dead[dst].Load() {
+		c.drops.Add(1)
+		return
+	}
+	c.inner.Get(src, dst, bytes, apply, onDone)
+}
+
+// Size implements Transport.
+func (c *Chaos) Size() int { return c.inner.Size() }
+
+// Cost implements Transport.
+func (c *Chaos) Cost() CostModel { return c.inner.Cost() }
+
+// Recv implements Transport.
+func (c *Chaos) Recv(dst, src, tag int) Message { return c.inner.Recv(dst, src, tag) }
+
+// RecvAsync implements Transport.
+func (c *Chaos) RecvAsync(dst, src, tag int, fn func(Message)) { c.inner.RecvAsync(dst, src, tag, fn) }
+
+// TryRecv implements Transport.
+func (c *Chaos) TryRecv(dst, src, tag int) (Message, bool) { return c.inner.TryRecv(dst, src, tag) }
+
+// Probe implements Transport.
+func (c *Chaos) Probe(dst, src, tag int) (Message, bool) { return c.inner.Probe(dst, src, tag) }
+
+// AllocTags implements Transport, delegating so layered protocols above
+// and below the chaos wrapper share one reservation space.
+func (c *Chaos) AllocTags(n int) int { return c.inner.AllocTags(n) }
+
+// SetTracer implements Transport.
+func (c *Chaos) SetTracer(tr *trace.Tracer) { c.inner.SetTracer(tr) }
+
+// Stats implements Transport.
+func (c *Chaos) Stats() (msgs, bytes int64) { return c.inner.Stats() }

@@ -1,0 +1,152 @@
+package fabric
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// scriptedTraffic issues a fixed single-goroutine send pattern so two
+// runs present identical per-link op sequences to the fault plan.
+func scriptedTraffic(t *Chaos) {
+	for round := 0; round < 50; round++ {
+		for src := 0; src < t.Size(); src++ {
+			for dst := 0; dst < t.Size(); dst++ {
+				if src == dst {
+					continue
+				}
+				t.Send(src, dst, round, []byte{byte(round)})
+			}
+		}
+	}
+}
+
+// TestChaosDeterministicReplay: same seed + same traffic = the
+// byte-identical fault sequence; a different seed diverges.
+func TestChaosDeterministicReplay(t *testing.T) {
+	plan := FaultPlan{Seed: 42, Drop: 0.1, Dup: 0.05, DelaySpike: 0.05, Partition: 0.02, PartitionOps: 3}
+	run := func(seed uint64) []FaultEvent {
+		p := plan
+		p.Seed = seed
+		// Spikes re-send from a timer; give them a zero-ish latency so
+		// the run finishes fast. Event recording happens at decision
+		// time, so timing cannot perturb the log.
+		p.SpikeLatency = time.Microsecond
+		c := NewChaos(NewInline(4), p)
+		c.SetRecording(true)
+		scriptedTraffic(c)
+		return c.Events()
+	}
+	a, b := run(42), run(42)
+	if len(a) == 0 {
+		t.Fatal("fault plan injected nothing — rates too low for the script?")
+	}
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Fatalf("same seed diverged:\n%v\nvs\n%v", a, b)
+	}
+	c := run(43)
+	if fmt.Sprint(a) == fmt.Sprint(c) {
+		t.Fatal("different seeds produced identical fault sequences")
+	}
+}
+
+// TestChaosPartitionWidth: a partition decision eats exactly
+// PartitionOps consecutive sends on its link.
+func TestChaosPartitionWidth(t *testing.T) {
+	// Partition=1 makes the very first clean decision open a partition.
+	c := NewChaos(NewInline(2), FaultPlan{Seed: 7, Partition: 1, PartitionOps: 4})
+	c.SetRecording(true)
+	for i := 0; i < 4; i++ {
+		c.Send(0, 1, 0, []byte{1})
+	}
+	evs := c.Events()
+	if len(evs) != 4 {
+		t.Fatalf("recorded %d events, want 4: %v", len(evs), evs)
+	}
+	if evs[0].Kind != "partition" {
+		t.Errorf("first event %v, want partition", evs[0])
+	}
+	for _, ev := range evs[1:] {
+		if ev.Kind != "partition-drop" {
+			t.Errorf("in-partition event %v, want partition-drop", ev)
+		}
+	}
+	if got := c.Drops(); got != 4 {
+		t.Errorf("Drops = %d, want 4", got)
+	}
+	// The partition is spent: the next decision is fresh (and with
+	// Partition=1, opens another one rather than delivering).
+	c.Send(0, 1, 0, []byte{1})
+	if evs := c.Events(); evs[len(evs)-1].Kind != "partition" {
+		t.Errorf("post-partition send = %v, want a fresh partition", evs[len(evs)-1])
+	}
+}
+
+// TestChaosKill: sends touching a crashed rank are discarded in either
+// direction, one-sided ops drop both callbacks, and Alive reflects it.
+func TestChaosKill(t *testing.T) {
+	inner := NewInline(3)
+	c := NewChaos(inner, FaultPlan{Seed: 1})
+	c.Send(0, 1, 5, []byte("pre"))
+	if m, ok := c.TryRecv(1, 0, 5); !ok || string(m.Data) != "pre" {
+		t.Fatalf("clean chaos did not deliver: %v %v", m, ok)
+	}
+	c.Kill(1)
+	if c.Alive(1) || !c.Alive(0) {
+		t.Fatal("Alive wrong after Kill")
+	}
+	c.Send(0, 1, 5, []byte("to-dead"))
+	c.Send(1, 0, 5, []byte("from-dead"))
+	if _, ok := c.TryRecv(1, 0, 5); ok {
+		t.Error("send to dead rank delivered")
+	}
+	if _, ok := c.TryRecv(0, 1, 5); ok {
+		t.Error("send from dead rank delivered")
+	}
+	applied, done := false, false
+	c.Put(0, 1, 8, func() { applied = true }, func() { done = true })
+	if applied || done {
+		t.Error("one-sided op to dead rank ran callbacks")
+	}
+	if c.Drops() != 3 {
+		t.Errorf("Drops = %d, want 3", c.Drops())
+	}
+	// Unaffected pair still works.
+	c.Send(0, 2, 9, []byte("alive"))
+	if m, ok := c.TryRecv(2, 0, 9); !ok || string(m.Data) != "alive" {
+		t.Errorf("0->2 traffic broken by unrelated kill: %v %v", m, ok)
+	}
+}
+
+// TestChaosZeroPlanIsTransparent: an all-zero plan never perturbs
+// traffic.
+func TestChaosZeroPlanIsTransparent(t *testing.T) {
+	c := NewChaos(NewInline(2), FaultPlan{Seed: 99})
+	for i := 0; i < 100; i++ {
+		c.Send(0, 1, i, []byte{byte(i)})
+		if m, ok := c.TryRecv(1, 0, i); !ok || m.Data[0] != byte(i) {
+			t.Fatalf("zero plan dropped message %d", i)
+		}
+	}
+	if c.Drops()+c.Dups()+c.Spikes()+c.Partitions() != 0 {
+		t.Fatal("zero plan injected faults")
+	}
+}
+
+// TestChaosRateValidation: invalid plans are rejected at construction.
+func TestChaosRateValidation(t *testing.T) {
+	for _, plan := range []FaultPlan{
+		{Drop: 0.8, Dup: 0.3},
+		{Drop: -0.1},
+		{Partition: 1.5},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("plan %+v accepted", plan)
+				}
+			}()
+			NewChaos(NewInline(2), plan)
+		}()
+	}
+}

@@ -1,0 +1,616 @@
+package fabric
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// Reliable is the recovery half of the failure-domain story: a
+// Transport implemented over any other Transport that restores exactly-
+// once, per-link FIFO delivery on top of a lossy, duplicating,
+// reordering substrate (in this repository, a Chaos wrapper — on a
+// clean transport Reliable is a low-overhead pass-through). MPI and
+// SHMEM worlds opt in simply by being constructed over a Reliable;
+// nothing in the modules changes.
+//
+// The protocol is classic go-back-N built entirely from the public
+// Transport API:
+//
+//   - Every application operation — two-sided sends AND one-sided
+//     Put/Get — is framed with a per-(src,dst) sequence number and sent
+//     on one reserved data tag (AllocTags on the inner transport).
+//   - Receivers deliver in sequence order, park out-of-order frames,
+//     drop duplicates, and return cumulative acks on a second reserved
+//     tag. Every arrival is (re-)acked, so lost acks self-heal.
+//   - Senders hold unacked frames and retransmit the OLDEST one on a
+//     capped exponential-backoff timer. Because the receiver parks
+//     out-of-order frames, refilling the head gap is enough for the
+//     cumulative ack to jump; resending the whole window would turn
+//     loss recovery into a bandwidth storm that outruns the receiver.
+//   - A link is declared dead only on sustained total silence: at least
+//     MaxAttempts fruitless retransmit rounds AND no ack of any kind
+//     (even a duplicate) for DeathSilence. Then pending one-sided ops
+//     complete (onDone fires — errors, not hangs) and the failure is
+//     recorded, retrievable via LinkErr and pushed to the OnLinkError
+//     hook.
+//
+// One-sided ops ride the same machinery as frames carrying an op id
+// into a process-global registry: the frame's arrival runs apply at the
+// destination and sends a completion frame back (itself reliable), whose
+// arrival pops the registry and runs onDone. A frame padded to the op's
+// modelled byte count keeps the inner cost model honest.
+//
+// Sends to a rank the substrate reports crashed (the Alive interface
+// Chaos implements) fail fast instead of burning the full retry
+// schedule.
+//
+// Reliable has its own tag space and mailboxes: a world layered on it
+// must route all its traffic through it (mixing raw-inner and reliable
+// traffic on one link would race the sequence numbers).
+type Reliable struct {
+	inner Transport
+	tagSpace
+	cfg   RelConfig
+	n     int
+	boxes []*mailbox
+
+	dataTag int
+	ackTag  int
+
+	sendSt []relSender
+	recvSt []relReceiver
+
+	opMu   sync.Mutex
+	ops    map[uint64]*relOp
+	nextOp uint64
+
+	retries atomic.Int64
+
+	linkMu   sync.Mutex
+	linkErrs map[[2]int]error
+	onLink   atomic.Pointer[func(src, dst int, err error)]
+}
+
+var _ Transport = (*Reliable)(nil)
+
+// RelConfig tunes the retry schedule. The zero value selects defaults
+// suited to the simulated fabrics (base 200µs, cap 5ms, 12 attempts,
+// silence window MaxAttempts×RetryCap).
+type RelConfig struct {
+	RetryBase   time.Duration // first retransmit delay
+	RetryCap    time.Duration // backoff ceiling
+	MaxAttempts int           // minimum retransmit rounds before the link may be declared dead
+	// DeathSilence is how long a link must hear no ack at all — not even
+	// a duplicate — before retransmit-round exhaustion is allowed to kill
+	// it. Rounds alone are not evidence of death: a loaded scheduler can
+	// lap a slow-but-live receiver through the whole round budget.
+	DeathSilence time.Duration
+}
+
+func (c RelConfig) withDefaults() RelConfig {
+	if c.RetryBase <= 0 {
+		c.RetryBase = 200 * time.Microsecond
+	}
+	if c.RetryCap <= 0 {
+		c.RetryCap = 5 * time.Millisecond
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 12
+	}
+	if c.DeathSilence <= 0 {
+		c.DeathSilence = time.Duration(c.MaxAttempts) * c.RetryCap
+	}
+	return c
+}
+
+// Frame kinds.
+const (
+	frMsg  byte = iota // two-sided message; a = tag
+	frPut              // one-sided put; a = op id, b = bytes
+	frGet              // one-sided get; a = op id, b = bytes
+	frDone             // one-sided completion; a = op id
+)
+
+// frameHeader is [seq u64][kind u8][a u64][b u64].
+const frameHeader = 8 + 1 + 8 + 8
+
+func encodeFrame(seq uint64, kind byte, a, b uint64, payload []byte) []byte {
+	buf := make([]byte, frameHeader+len(payload))
+	binary.LittleEndian.PutUint64(buf, seq)
+	buf[8] = kind
+	binary.LittleEndian.PutUint64(buf[9:], a)
+	binary.LittleEndian.PutUint64(buf[17:], b)
+	copy(buf[frameHeader:], payload)
+	return buf
+}
+
+func decodeFrame(buf []byte) (seq uint64, kind byte, a, b uint64, payload []byte) {
+	seq = binary.LittleEndian.Uint64(buf)
+	kind = buf[8]
+	a = binary.LittleEndian.Uint64(buf[9:])
+	b = binary.LittleEndian.Uint64(buf[17:])
+	payload = buf[frameHeader:]
+	return
+}
+
+// relFrame is one unacked in-flight frame at a sender.
+type relFrame struct {
+	seq uint64
+	buf []byte
+}
+
+// relSender is one (src,dst) link's sender state.
+type relSender struct {
+	mu        sync.Mutex
+	nextSeq   uint64 // last assigned (first frame is 1)
+	ackedTo   uint64 // cumulative: all seq <= ackedTo delivered
+	unacked   []relFrame
+	timer     *time.Timer
+	timerGen  uint64    // invalidates stale AfterFunc firings
+	attempts  int       // retransmit rounds since the last ack heard
+	lastHeard time.Time // when the last ack (any ack) arrived
+	dead      bool
+}
+
+// pendFrame is a decoded frame awaiting in-order delivery at a receiver.
+type pendFrame struct {
+	kind    byte
+	a, b    uint64
+	payload []byte
+}
+
+// relReceiver is one (src,dst) link's receiver state.
+type relReceiver struct {
+	mu         sync.Mutex
+	expected   uint64 // next in-order seq (first frame is 1)
+	ooo        map[uint64]pendFrame
+	queue      []pendFrame
+	delivering bool
+}
+
+// relOp is a registered one-sided operation awaiting completion.
+type relOp struct {
+	apply, onDone func()
+}
+
+// aliver is the optional substrate interface (implemented by Chaos)
+// that lets Reliable fast-fail traffic to crashed ranks.
+type aliver interface{ Alive(rank int) bool }
+
+// NewReliable layers the reliability protocol over inner.
+func NewReliable(inner Transport, cfg RelConfig) *Reliable {
+	n := inner.Size()
+	r := &Reliable{
+		inner:    inner,
+		cfg:      cfg.withDefaults(),
+		n:        n,
+		boxes:    make([]*mailbox, n),
+		sendSt:   make([]relSender, n*n),
+		recvSt:   make([]relReceiver, n*n),
+		ops:      make(map[uint64]*relOp),
+		linkErrs: make(map[[2]int]error),
+	}
+	for i := range r.boxes {
+		r.boxes[i] = &mailbox{}
+	}
+	base := inner.AllocTags(2)
+	r.dataTag, r.ackTag = base, base-1
+	for rank := 0; rank < n; rank++ {
+		r.armData(rank)
+		r.armAck(rank)
+	}
+	return r
+}
+
+// armData (re-)posts the per-rank data-frame receive loop on the inner
+// transport. The handler drains everything queued before re-arming so
+// an inline substrate cannot recurse one level per message.
+func (r *Reliable) armData(rank int) {
+	r.inner.RecvAsync(rank, AnySource, r.dataTag, func(m Message) {
+		r.handleData(rank, m)
+		for {
+			m2, ok := r.inner.TryRecv(rank, AnySource, r.dataTag)
+			if !ok {
+				break
+			}
+			r.handleData(rank, m2)
+		}
+		r.armData(rank)
+	})
+}
+
+func (r *Reliable) armAck(rank int) {
+	r.inner.RecvAsync(rank, AnySource, r.ackTag, func(m Message) {
+		r.handleAck(rank, m)
+		for {
+			m2, ok := r.inner.TryRecv(rank, AnySource, r.ackTag)
+			if !ok {
+				break
+			}
+			r.handleAck(rank, m2)
+		}
+		r.armAck(rank)
+	})
+}
+
+func (r *Reliable) alive(rank int) bool {
+	if a, ok := r.inner.(aliver); ok {
+		return a.Alive(rank)
+	}
+	return true
+}
+
+// Retries returns how many frames have been retransmitted.
+func (r *Reliable) Retries() int64 { return r.retries.Load() }
+
+// LinkErr returns the recorded failure of link src→dst, or nil while it
+// is healthy.
+func (r *Reliable) LinkErr(src, dst int) error {
+	r.linkMu.Lock()
+	defer r.linkMu.Unlock()
+	return r.linkErrs[[2]int{src, dst}]
+}
+
+// SetOnLinkError installs fn to be called (outside all protocol locks)
+// when a link is declared dead.
+func (r *Reliable) SetOnLinkError(fn func(src, dst int, err error)) {
+	if fn == nil {
+		r.onLink.Store(nil)
+		return
+	}
+	r.onLink.Store(&fn)
+}
+
+func (r *Reliable) recordLinkErr(src, dst int, err error) {
+	r.linkMu.Lock()
+	if _, dup := r.linkErrs[[2]int{src, dst}]; !dup {
+		r.linkErrs[[2]int{src, dst}] = err
+	}
+	r.linkMu.Unlock()
+}
+
+// registerOp files a one-sided op and returns its id.
+func (r *Reliable) registerOp(apply, onDone func()) uint64 {
+	r.opMu.Lock()
+	r.nextOp++
+	id := r.nextOp
+	r.ops[id] = &relOp{apply: apply, onDone: onDone}
+	r.opMu.Unlock()
+	return id
+}
+
+// opApply runs a registered op's arrival effect (without completing it).
+func (r *Reliable) opApply(id uint64) {
+	r.opMu.Lock()
+	op := r.ops[id]
+	r.opMu.Unlock()
+	if op != nil && op.apply != nil {
+		op.apply()
+	}
+}
+
+// completeOp pops a registered op and fires its completion callback.
+// Idempotent: a dead-link completion followed by a late frDone is a
+// no-op the second time.
+func (r *Reliable) completeOp(id uint64) {
+	r.opMu.Lock()
+	op := r.ops[id]
+	delete(r.ops, id)
+	r.opMu.Unlock()
+	if op != nil && op.onDone != nil {
+		op.onDone()
+	}
+}
+
+// failFrame completes whatever operation a frame that will never be
+// delivered was carrying. Two-sided payloads are simply lost (the link
+// error is the record); one-sided ops must still complete.
+func (r *Reliable) failFrame(kind byte, a uint64) {
+	switch kind {
+	case frPut, frGet, frDone:
+		r.completeOp(a)
+	}
+}
+
+// backoff returns the retransmit delay after `attempts` fruitless
+// rounds: capped exponential.
+func (r *Reliable) backoff(attempts int) time.Duration {
+	d := r.cfg.RetryBase
+	for i := 0; i < attempts && d < r.cfg.RetryCap; i++ {
+		d *= 2
+	}
+	if d > r.cfg.RetryCap {
+		d = r.cfg.RetryCap
+	}
+	return d
+}
+
+// armTimerLocked (re)arms the sender's retransmit timer; s.mu held.
+func (r *Reliable) armTimerLocked(s *relSender, src, dst int) {
+	s.timerGen++
+	gen := s.timerGen
+	if s.timer != nil {
+		s.timer.Stop()
+	}
+	s.timer = time.AfterFunc(r.backoff(s.attempts), func() { r.onTimer(src, dst, gen) })
+}
+
+// dieLocked declares the link dead and returns the frames to fail;
+// s.mu held. The caller unlocks before completing them.
+func (r *Reliable) dieLocked(s *relSender) []relFrame {
+	pending := s.unacked
+	s.unacked = nil
+	s.dead = true
+	s.timerGen++
+	if s.timer != nil {
+		s.timer.Stop()
+		s.timer = nil
+	}
+	return pending
+}
+
+// finishDie records the failure, completes stranded ops, and notifies
+// the hook — all outside protocol locks.
+func (r *Reliable) finishDie(src, dst int, err error, pending []relFrame) {
+	r.recordLinkErr(src, dst, err)
+	for _, f := range pending {
+		_, kind, a, _, _ := decodeFrame(f.buf)
+		r.failFrame(kind, a)
+	}
+	if cb := r.onLink.Load(); cb != nil {
+		(*cb)(src, dst, err)
+	}
+}
+
+// onTimer is the retransmit path: resend the oldest unacked frame or,
+// once the attempt budget AND the silence window are both spent,
+// declare the link dead. Only the head frame is resent — the receiver
+// parks out-of-order arrivals, so filling the head gap lets the
+// cumulative ack jump past everything it already holds, and resending
+// the full window would amplify one lost frame into a storm that
+// outruns the receiver's drain rate.
+func (r *Reliable) onTimer(src, dst int, gen uint64) {
+	s := &r.sendSt[src*r.n+dst]
+	s.mu.Lock()
+	if s.dead || s.timerGen != gen || len(s.unacked) == 0 {
+		s.mu.Unlock()
+		return
+	}
+	s.attempts++
+	silence := time.Since(s.lastHeard)
+	if (s.attempts >= r.cfg.MaxAttempts && silence >= r.cfg.DeathSilence) ||
+		!r.alive(dst) || !r.alive(src) {
+		attempts := s.attempts
+		pending := r.dieLocked(s)
+		s.mu.Unlock()
+		r.finishDie(src, dst,
+			fmt.Errorf("fabric: reliable: link %d->%d dead after %d retransmit rounds (%v silent)",
+				src, dst, attempts, silence.Round(time.Millisecond)),
+			pending)
+		return
+	}
+	head := s.unacked[0]
+	r.armTimerLocked(s, src, dst)
+	s.mu.Unlock()
+	r.retries.Add(1)
+	r.inner.Send(src, dst, r.dataTag, head.buf)
+}
+
+// sendFrame runs one frame through the sender machinery. Every
+// application operation funnels through here.
+func (r *Reliable) sendFrame(src, dst int, kind byte, a, b uint64, payload []byte) {
+	s := &r.sendSt[src*r.n+dst]
+	s.mu.Lock()
+	if !s.dead && (!r.alive(dst) || !r.alive(src)) {
+		pending := r.dieLocked(s)
+		s.mu.Unlock()
+		r.finishDie(src, dst,
+			fmt.Errorf("fabric: reliable: rank %d is dead", deadOf(r, src, dst)), pending)
+		s.mu.Lock()
+	}
+	if s.dead {
+		s.mu.Unlock()
+		r.failFrame(kind, a)
+		return
+	}
+	s.nextSeq++
+	buf := encodeFrame(s.nextSeq, kind, a, b, payload)
+	s.unacked = append(s.unacked, relFrame{seq: s.nextSeq, buf: buf})
+	if len(s.unacked) == 1 {
+		s.attempts = 0
+		s.lastHeard = time.Now()
+		r.armTimerLocked(s, src, dst)
+	}
+	s.mu.Unlock()
+	// Outside s.mu: an inline substrate delivers synchronously, and the
+	// resulting ack re-enters handleAck on this goroutine.
+	r.inner.Send(src, dst, r.dataTag, buf)
+}
+
+func deadOf(r *Reliable, src, dst int) int {
+	if !r.alive(dst) {
+		return dst
+	}
+	return src
+}
+
+// handleAck processes a cumulative ack arriving at `rank` (the original
+// sender) from m.Src (the receiver).
+func (r *Reliable) handleAck(rank int, m Message) {
+	if len(m.Data) < 8 {
+		return
+	}
+	cum := binary.LittleEndian.Uint64(m.Data)
+	s := &r.sendSt[rank*r.n+m.Src]
+	s.mu.Lock()
+	if s.dead {
+		s.mu.Unlock()
+		return
+	}
+	// Any ack — even a duplicate carrying no new progress — is proof of
+	// life: the peer is up and the path works in both directions. Death
+	// detection counts rounds of total silence, not rounds without
+	// forward progress; otherwise a scheduler stall under load lets the
+	// retransmit timer lap a healthy but slow receiver into a false
+	// positive.
+	s.attempts = 0
+	s.lastHeard = time.Now()
+	if cum > s.ackedTo {
+		s.ackedTo = cum
+		i := 0
+		for i < len(s.unacked) && s.unacked[i].seq <= cum {
+			i++
+		}
+		s.unacked = s.unacked[i:]
+	}
+	if len(s.unacked) == 0 {
+		s.timerGen++
+		if s.timer != nil {
+			s.timer.Stop()
+			s.timer = nil
+		}
+	} else {
+		r.armTimerLocked(s, rank, m.Src)
+	}
+	s.mu.Unlock()
+}
+
+func (r *Reliable) sendAck(from, to int, cum uint64) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], cum)
+	r.inner.Send(from, to, r.ackTag, buf[:])
+}
+
+// handleData processes one data frame arriving at dst. Sequencing
+// happens under the receiver lock; delivery happens outside it through
+// a per-link queue drained by a single logical consumer (the
+// `delivering` flag), so an application callback that triggers a nested
+// same-link arrival on an inline substrate appends and returns instead
+// of deadlocking.
+func (r *Reliable) handleData(dst int, m Message) {
+	src := m.Src
+	if len(m.Data) < frameHeader {
+		return
+	}
+	seq, kind, a, b, payload := decodeFrame(m.Data)
+	rc := &r.recvSt[src*r.n+dst]
+	rc.mu.Lock()
+	if rc.expected == 0 {
+		rc.expected = 1
+	}
+	switch {
+	case seq == rc.expected:
+		rc.expected++
+		rc.queue = append(rc.queue, pendFrame{kind: kind, a: a, b: b, payload: payload})
+		for {
+			nf, ok := rc.ooo[rc.expected]
+			if !ok {
+				break
+			}
+			delete(rc.ooo, rc.expected)
+			rc.queue = append(rc.queue, nf)
+			rc.expected++
+		}
+	case seq > rc.expected:
+		if rc.ooo == nil {
+			rc.ooo = make(map[uint64]pendFrame)
+		}
+		rc.ooo[seq] = pendFrame{kind: kind, a: a, b: b, payload: payload}
+	default:
+		// Duplicate of an already-delivered frame; the re-ack below
+		// heals the sender.
+	}
+	if rc.delivering {
+		ack := rc.expected - 1
+		rc.mu.Unlock()
+		r.sendAck(dst, src, ack)
+		return
+	}
+	rc.delivering = true
+	for len(rc.queue) > 0 {
+		f := rc.queue[0]
+		rc.queue = rc.queue[1:]
+		rc.mu.Unlock()
+		r.deliverFrame(src, dst, f)
+		rc.mu.Lock()
+	}
+	rc.delivering = false
+	ack := rc.expected - 1
+	rc.mu.Unlock()
+	r.sendAck(dst, src, ack)
+}
+
+// deliverFrame lands one in-order frame at dst.
+func (r *Reliable) deliverFrame(src, dst int, f pendFrame) {
+	switch f.kind {
+	case frMsg:
+		r.boxes[dst].deliver(Message{Src: src, Dst: dst, Tag: int(int64(f.a)), Data: f.payload})
+	case frPut, frGet:
+		r.opApply(f.a)
+		r.sendFrame(dst, src, frDone, f.a, 0, nil)
+	case frDone:
+		r.completeOp(f.a)
+	}
+}
+
+// Size implements Transport.
+func (r *Reliable) Size() int { return r.n }
+
+// Cost implements Transport.
+func (r *Reliable) Cost() CostModel { return r.inner.Cost() }
+
+// Send implements Transport: eager, reliable, per-link FIFO.
+func (r *Reliable) Send(src, dst, tag int, data []byte) {
+	r.sendFrame(src, dst, frMsg, uint64(int64(tag)), 0, data)
+}
+
+// Put implements Transport: the transfer is framed and retried like any
+// send; apply runs at the destination on in-order arrival, onDone when
+// the completion frame returns. If either direction's link dies first,
+// onDone still fires and the failure is recorded (LinkErr /
+// OnLinkError) — one-sided ops error, they do not hang.
+func (r *Reliable) Put(src, dst, bytes int, apply, onDone func()) {
+	id := r.registerOp(apply, onDone)
+	r.sendFrame(src, dst, frPut, id, uint64(bytes), make([]byte, bytes))
+}
+
+// Get implements Transport; modelled like Sim's Get as one src→dst
+// transfer of the reply size.
+func (r *Reliable) Get(src, dst, bytes int, apply, onDone func()) {
+	id := r.registerOp(apply, onDone)
+	r.sendFrame(src, dst, frGet, id, uint64(bytes), make([]byte, bytes))
+}
+
+// Recv implements Transport against Reliable's own mailboxes.
+func (r *Reliable) Recv(dst, src, tag int) Message {
+	ch := make(chan Message, 1)
+	r.boxes[dst].post(&recvReq{src: src, tag: tag, deliver: func(m Message) { ch <- m }})
+	return <-ch
+}
+
+// RecvAsync implements Transport.
+func (r *Reliable) RecvAsync(dst, src, tag int, fn func(Message)) {
+	r.boxes[dst].post(&recvReq{src: src, tag: tag, deliver: fn})
+}
+
+// TryRecv implements Transport.
+func (r *Reliable) TryRecv(dst, src, tag int) (Message, bool) {
+	return r.boxes[dst].take(src, tag)
+}
+
+// Probe implements Transport.
+func (r *Reliable) Probe(dst, src, tag int) (Message, bool) {
+	return r.boxes[dst].probe(src, tag)
+}
+
+// SetTracer implements Transport, delegating so the trace reflects real
+// wire traffic (frames, acks, and retransmits included).
+func (r *Reliable) SetTracer(tr *trace.Tracer) { r.inner.SetTracer(tr) }
+
+// Stats implements Transport: wire-level counts from the substrate.
+func (r *Reliable) Stats() (msgs, bytes int64) { return r.inner.Stats() }

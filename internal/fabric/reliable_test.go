@@ -1,0 +1,281 @@
+package fabric
+
+import (
+	"encoding/binary"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// relTestConfig keeps retransmit rounds fast so lossy tests converge in
+// milliseconds, with a silence window long enough that a race-detector
+// scheduling stall can never fake a dead link.
+var relTestConfig = RelConfig{
+	RetryBase:    100 * time.Microsecond,
+	RetryCap:     time.Millisecond,
+	MaxAttempts:  20,
+	DeathSilence: 2 * time.Second,
+}
+
+// TestReliablePassThrough: over a clean inline transport the layer is
+// a transparent FIFO transport.
+func TestReliablePassThrough(t *testing.T) {
+	r := NewReliable(NewInline(2), relTestConfig)
+	for i := 0; i < 10; i++ {
+		r.Send(0, 1, 7, []byte{byte(i)})
+	}
+	for i := 0; i < 10; i++ {
+		m, ok := r.TryRecv(1, 0, 7)
+		if !ok || m.Data[0] != byte(i) || m.Src != 0 || m.Tag != 7 {
+			t.Fatalf("message %d: %v %v", i, m, ok)
+		}
+	}
+	if r.Retries() != 0 {
+		t.Errorf("clean link retried %d frames", r.Retries())
+	}
+}
+
+// TestReliableSurvivesDropAndDup is the core recovery property: at 10%
+// drop + 10% dup every message still arrives exactly once, in per-link
+// FIFO order, with Retries > 0 proving the protocol (not luck) did it.
+func TestReliableSurvivesDropAndDup(t *testing.T) {
+	chaos := NewChaos(NewInline(4), FaultPlan{Seed: 7, Drop: 0.10, Dup: 0.10})
+	r := NewReliable(chaos, relTestConfig)
+
+	const perLink = 200
+	var wg sync.WaitGroup
+	for src := 0; src < 4; src++ {
+		wg.Add(1)
+		go func(src int) {
+			defer wg.Done()
+			for i := 0; i < perLink; i++ {
+				for dst := 0; dst < 4; dst++ {
+					if dst == src {
+						continue
+					}
+					r.Send(src, dst, src, []byte{byte(i), byte(i >> 8)})
+				}
+			}
+		}(src)
+	}
+	wg.Wait()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for dst := 0; dst < 4; dst++ {
+		for src := 0; src < 4; src++ {
+			if src == dst {
+				continue
+			}
+			for i := 0; i < perLink; {
+				m, ok := r.TryRecv(dst, src, src)
+				if !ok {
+					if time.Now().After(deadline) {
+						t.Fatalf("link %d->%d stuck at message %d (drops=%d retries=%d)",
+							src, dst, i, chaos.Drops(), r.Retries())
+					}
+					time.Sleep(100 * time.Microsecond)
+					continue
+				}
+				if got := int(m.Data[0]) | int(m.Data[1])<<8; got != i {
+					t.Fatalf("link %d->%d FIFO broken: got %d want %d", src, dst, got, i)
+				}
+				i++
+			}
+			// Exactly once: nothing extra behind the last message.
+			if m, ok := r.TryRecv(dst, src, src); ok {
+				t.Fatalf("link %d->%d delivered a duplicate: %v", src, dst, m)
+			}
+		}
+	}
+	if chaos.Drops() == 0 || chaos.Dups() == 0 {
+		t.Fatalf("chaos injected nothing (drops=%d dups=%d) — test proves nothing", chaos.Drops(), chaos.Dups())
+	}
+	if r.Retries() == 0 {
+		t.Fatal("messages survived loss without retransmits?")
+	}
+}
+
+// TestReliableOneSidedOverLoss: Put/Get complete (apply then onDone)
+// despite drops, and a blocking quiet-style wait built on onDone
+// terminates.
+func TestReliableOneSidedOverLoss(t *testing.T) {
+	chaos := NewChaos(NewInline(2), FaultPlan{Seed: 3, Drop: 0.2})
+	r := NewReliable(chaos, relTestConfig)
+
+	const ops = 100
+	var applied atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(2 * ops)
+	for i := 0; i < ops; i++ {
+		r.Put(0, 1, 8, func() { applied.Add(1) }, wg.Done)
+		r.Get(1, 0, 16, func() { applied.Add(1) }, wg.Done)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatalf("one-sided ops hung under loss (applied=%d drops=%d retries=%d)",
+			applied.Load(), chaos.Drops(), r.Retries())
+	}
+	if applied.Load() != 2*ops {
+		t.Fatalf("applied %d effects, want %d", applied.Load(), 2*ops)
+	}
+	if err := r.LinkErr(0, 1); err != nil {
+		t.Errorf("healthy link recorded error: %v", err)
+	}
+}
+
+// TestReliableCrashedRankErrorsNotHangs: after Kill, two-sided sends
+// record a link error, one-sided ops still fire onDone, and the
+// OnLinkError hook sees the failure — nothing blocks forever.
+func TestReliableCrashedRankErrorsNotHangs(t *testing.T) {
+	chaos := NewChaos(NewInline(3), FaultPlan{Seed: 5})
+	r := NewReliable(chaos, relTestConfig)
+
+	var hookMu sync.Mutex
+	hooked := map[[2]int]error{}
+	r.SetOnLinkError(func(src, dst int, err error) {
+		hookMu.Lock()
+		hooked[[2]int{src, dst}] = err
+		hookMu.Unlock()
+	})
+
+	chaos.Kill(2)
+	// Two-sided send to the corpse: recorded, not hung.
+	r.Send(0, 2, 1, []byte("hello?"))
+	if err := r.LinkErr(0, 2); err == nil {
+		t.Fatal("send to crashed rank recorded no link error")
+	}
+	// One-sided op: onDone fires (synchronously here — the link is
+	// already known dead).
+	doneCh := make(chan struct{})
+	r.Put(1, 2, 8, func() { t.Error("apply ran at a crashed rank") }, func() { close(doneCh) })
+	select {
+	case <-doneCh:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Put to crashed rank never completed")
+	}
+	if err := r.LinkErr(1, 2); err == nil {
+		t.Fatal("Put to crashed rank recorded no link error")
+	}
+	hookMu.Lock()
+	if hooked[[2]int{0, 2}] == nil || hooked[[2]int{1, 2}] == nil {
+		t.Errorf("OnLinkError hook missed failures: %v", hooked)
+	}
+	hookMu.Unlock()
+	// The survivors' link is untouched.
+	r.Send(0, 1, 9, []byte("still here"))
+	if m, ok := r.TryRecv(1, 0, 9); !ok || string(m.Data) != "still here" {
+		t.Errorf("survivor link broken: %v %v", m, ok)
+	}
+}
+
+// TestReliableLinkDeathByExhaustion: a 100% lossy link (permanent
+// partition wider than the retry budget) is declared dead after
+// MaxAttempts, completing pending ops with errors instead of retrying
+// forever.
+func TestReliableLinkDeathByExhaustion(t *testing.T) {
+	chaos := NewChaos(NewInline(2), FaultPlan{Seed: 11, Drop: 1})
+	cfg := relTestConfig
+	cfg.MaxAttempts = 4
+	r := NewReliable(chaos, cfg)
+
+	errCh := make(chan error, 1)
+	r.SetOnLinkError(func(src, dst int, err error) {
+		if src == 0 && dst == 1 {
+			select {
+			case errCh <- err:
+			default:
+			}
+		}
+	})
+	doneCh := make(chan struct{})
+	r.Put(0, 1, 8, nil, func() { close(doneCh) })
+	select {
+	case err := <-errCh:
+		if err == nil {
+			t.Fatal("nil link error")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatalf("black-hole link never died (retries=%d)", r.Retries())
+	}
+	select {
+	case <-doneCh:
+	case <-time.After(5 * time.Second):
+		t.Fatal("pending op not completed by link death")
+	}
+	if r.LinkErr(0, 1) == nil {
+		t.Fatal("dead link not recorded")
+	}
+	// Later traffic on the dead link fails fast.
+	done2 := make(chan struct{})
+	r.Put(0, 1, 8, nil, func() { close(done2) })
+	select {
+	case <-done2:
+	case <-time.After(5 * time.Second):
+		t.Fatal("op on known-dead link hung")
+	}
+}
+
+// TestReliableCollectivesOverLoss: the stock collectives layer works
+// unchanged over Reliable(Chaos) — the "worlds opt in by layering"
+// property.
+func TestReliableCollectivesOverLoss(t *testing.T) {
+	const n = 4
+	chaos := NewChaos(NewInline(n), FaultPlan{Seed: 13, Drop: 0.1, Dup: 0.05})
+	r := NewReliable(chaos, relTestConfig)
+	coll := NewColl(r)
+
+	sum := func(acc, in []byte) {
+		binary.LittleEndian.PutUint64(acc,
+			binary.LittleEndian.Uint64(acc)+binary.LittleEndian.Uint64(in))
+	}
+	var wg sync.WaitGroup
+	results := make([]int64, n)
+	for rank := 0; rank < n; rank++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			recv, contrib := make([]byte, 8), make([]byte, 8)
+			binary.LittleEndian.PutUint64(contrib, uint64(rank+1))
+			coll.Allreduce(rank, recv, contrib, sum)
+			results[rank] = int64(binary.LittleEndian.Uint64(recv))
+		}(rank)
+	}
+	ok := make(chan struct{})
+	go func() { wg.Wait(); close(ok) }()
+	select {
+	case <-ok:
+	case <-time.After(10 * time.Second):
+		t.Fatalf("allreduce hung under loss (drops=%d retries=%d)", chaos.Drops(), r.Retries())
+	}
+	for rank, v := range results {
+		if v != 10 { // 1+2+3+4
+			t.Errorf("rank %d allreduce = %d, want 10", rank, v)
+		}
+	}
+}
+
+// TestReliableWildcardRecv: wildcard matching works against Reliable's
+// own mailboxes.
+func TestReliableWildcardRecv(t *testing.T) {
+	r := NewReliable(NewInline(3), relTestConfig)
+	r.Send(1, 0, 4, []byte("a"))
+	r.Send(2, 0, 9, []byte("b"))
+	got := map[string]bool{}
+	for i := 0; i < 2; i++ {
+		m, ok := r.TryRecv(0, AnySource, AnyTag)
+		if !ok {
+			t.Fatalf("wildcard recv %d found nothing", i)
+		}
+		got[string(m.Data)] = true
+	}
+	if !got["a"] || !got["b"] {
+		t.Errorf("wildcard recv missed messages: %v", got)
+	}
+	if _, ok := r.Probe(0, AnySource, AnyTag); ok {
+		t.Error("mailbox should be empty")
+	}
+}

@@ -1,0 +1,225 @@
+package fabric
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// These tests exist to run under `go test -race`: they hammer the
+// wildcard matching paths (AnySource / AnyTag) of the Sim transport
+// from many goroutines at once, while receive modes (RecvAsync,
+// TryRecv, Probe) and tracer swaps race each other. Correctness
+// assertions are deliberately coarse — exact totals and no losses —
+// because the point is that the race detector sees every interleaving
+// the mailbox allows.
+
+// TestSimWildcardConcurrentTryRecv: many senders on distinct
+// (src,tag) pairs against one rank, drained concurrently by several
+// TryRecv(AnySource, AnyTag) pollers. Every message must be claimed
+// exactly once.
+func TestSimWildcardConcurrentTryRecv(t *testing.T) {
+	const (
+		ranks    = 4
+		perLink  = 100
+		drainers = 3
+	)
+	f := NewSim(ranks, CostModel{})
+
+	var sent atomic.Int64
+	var wgSend sync.WaitGroup
+	for src := 1; src < ranks; src++ {
+		wgSend.Add(1)
+		go func(src int) {
+			defer wgSend.Done()
+			for i := 0; i < perLink; i++ {
+				f.Send(src, 0, src*1000+i%7, []byte{byte(i)})
+				sent.Add(1)
+			}
+		}(src)
+	}
+
+	var got atomic.Int64
+	done := make(chan struct{})
+	var wgDrain sync.WaitGroup
+	for d := 0; d < drainers; d++ {
+		wgDrain.Add(1)
+		go func() {
+			defer wgDrain.Done()
+			for {
+				if _, ok := f.TryRecv(0, AnySource, AnyTag); ok {
+					got.Add(1)
+					continue
+				}
+				select {
+				case <-done:
+					// One last sweep after senders finished.
+					for {
+						if _, ok := f.TryRecv(0, AnySource, AnyTag); !ok {
+							return
+						}
+						got.Add(1)
+					}
+				default:
+					time.Sleep(10 * time.Microsecond)
+				}
+			}
+		}()
+	}
+
+	wgSend.Wait()
+	// Senders done; wait for the pipe to drain fully before releasing
+	// the drainers for their final sweep.
+	deadline := time.Now().Add(10 * time.Second)
+	for got.Load() < int64((ranks-1)*perLink) {
+		if time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	close(done)
+	wgDrain.Wait()
+
+	if got.Load() != sent.Load() {
+		t.Fatalf("wildcard TryRecv claimed %d of %d messages", got.Load(), sent.Load())
+	}
+}
+
+// TestSimWildcardProbeRacesRecv: Probe(AnySource, AnyTag) runs
+// concurrently with a competing TryRecv drainer and live senders.
+// Probe must never remove a message: everything it sees is still
+// claimable, and the final count balances.
+func TestSimWildcardProbeRacesRecv(t *testing.T) {
+	const total = 300
+	f := NewSim(2, CostModel{})
+
+	stop := make(chan struct{})
+	var probes atomic.Int64
+	var wgProbe sync.WaitGroup
+	wgProbe.Add(1)
+	go func() {
+		defer wgProbe.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if m, ok := f.Probe(0, AnySource, AnyTag); ok {
+				if m.Src != 1 {
+					t.Errorf("probe saw impossible src %d", m.Src)
+					return
+				}
+				probes.Add(1)
+			}
+		}
+	}()
+
+	go func() {
+		for i := 0; i < total; i++ {
+			f.Send(1, 0, i%5, []byte{byte(i)})
+		}
+	}()
+
+	got := 0
+	deadline := time.Now().Add(10 * time.Second)
+	for got < total {
+		if _, ok := f.TryRecv(0, AnySource, AnyTag); ok {
+			got++
+			continue
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("drained only %d of %d with a prober racing", got, total)
+		}
+		time.Sleep(10 * time.Microsecond)
+	}
+	close(stop)
+	wgProbe.Wait()
+	if _, ok := f.TryRecv(0, AnySource, AnyTag); ok {
+		t.Fatal("probe duplicated a message into the mailbox")
+	}
+}
+
+// TestSimWildcardRecvAsyncRacesPollers: wildcard RecvAsync handlers
+// compete with wildcard TryRecv pollers for the same stream while the
+// tracer is swapped in and out mid-flight. Every message is consumed by
+// exactly one party.
+func TestSimWildcardRecvAsyncRacesPollers(t *testing.T) {
+	const total = 400
+	f := NewSim(3, CostModel{})
+
+	var consumed atomic.Int64
+	var rearm func(m Message)
+	rearm = func(m Message) {
+		consumed.Add(1)
+		f.RecvAsync(0, AnySource, AnyTag, rearm)
+	}
+	f.RecvAsync(0, AnySource, AnyTag, rearm)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// A competing poller.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			if _, ok := f.TryRecv(0, AnySource, AnyTag); ok {
+				consumed.Add(1)
+				continue
+			}
+			select {
+			case <-stop:
+				return
+			default:
+				time.Sleep(10 * time.Microsecond)
+			}
+		}
+	}()
+
+	// Tracer churn while traffic flows.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				f.SetTracer(nil)
+				return
+			default:
+			}
+			if i%2 == 0 {
+				f.SetTracer(trace.New(1, trace.Config{}))
+			} else {
+				f.SetTracer(nil)
+			}
+			time.Sleep(50 * time.Microsecond)
+		}
+	}()
+
+	for src := 1; src < 3; src++ {
+		wg.Add(1)
+		go func(src int) {
+			defer wg.Done()
+			for i := 0; i < total/2; i++ {
+				f.Send(src, 0, i%3, []byte{byte(i)})
+			}
+		}(src)
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for consumed.Load() < total {
+		if time.Now().After(deadline) {
+			t.Fatalf("consumed %d of %d", consumed.Load(), total)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	close(stop)
+	wg.Wait()
+	if consumed.Load() != total {
+		t.Fatalf("consumed %d, want exactly %d", consumed.Load(), total)
+	}
+}

@@ -42,9 +42,10 @@ type StoreConfig struct {
 // One Store may be shared by many ranks' modules, like a node-local
 // device shared by the processes on the node.
 type Store struct {
-	cfg   StoreConfig
-	mu    sync.Mutex
-	blobs map[string][]float64
+	cfg      StoreConfig
+	mu       sync.Mutex
+	blobs    map[string][]float64
+	writeErr error
 
 	writes sync.WaitGroup
 }
@@ -65,16 +66,29 @@ func (s *Store) delay(bytes int) {
 	}
 }
 
-// write persists a snapshot asynchronously; done runs when durable.
-func (s *Store) write(key string, snapshot []float64, done func()) {
+// FailWrites makes every subsequent write complete with err instead of
+// persisting (a full or failed device); FailWrites(nil) heals it.
+func (s *Store) FailWrites(err error) {
+	s.mu.Lock()
+	s.writeErr = err
+	s.mu.Unlock()
+}
+
+// write persists a snapshot asynchronously; done runs when the write is
+// durable — or has durably failed. A failed write persists nothing: the
+// previous checkpoint under key, if any, is untouched (no torn state).
+func (s *Store) write(key string, snapshot []float64, done func(error)) {
 	s.writes.Add(1)
 	go func() {
 		defer s.writes.Done()
 		s.delay(8 * len(snapshot))
 		s.mu.Lock()
-		s.blobs[key] = snapshot
+		err := s.writeErr
+		if err == nil {
+			s.blobs[key] = snapshot
+		}
 		s.mu.Unlock()
-		done()
+		done(err)
 	}()
 }
 
@@ -137,15 +151,23 @@ func (m *Module) StoragePlace() *platform.Place { return m.place }
 
 // CheckpointAsync snapshots data (eagerly — the caller may mutate it
 // immediately) and persists it under key, returning a future satisfied
-// when the write is durable. The snapshot-and-initiate step runs as a
-// task at the storage place.
+// when the write is durable. A device failure fails the future (Err /
+// GetErr see it) rather than hanging or panicking — checkpointing is
+// exactly the code that must keep working when hardware does not. The
+// snapshot-and-initiate step runs as a task at the storage place.
 func (m *Module) CheckpointAsync(c *core.Ctx, key string, data []float64) *core.Future {
 	defer stats.Track(ModuleName, "checkpoint_async")()
 	snapshot := make([]float64, len(data))
 	copy(snapshot, data)
 	prom := core.NewPromise(m.rt)
 	c.AsyncAt(m.place, func(*core.Ctx) {
-		m.store.write(key, snapshot, func() { prom.Put(nil) })
+		m.store.write(key, snapshot, func(err error) {
+			if err != nil {
+				prom.PutErr(fmt.Errorf("hiperckpt: checkpoint %q: %w", key, err))
+				return
+			}
+			prom.Put(nil)
+		})
 	})
 	return prom.Future()
 }
@@ -155,7 +177,13 @@ func (m *Module) CheckpointAsync(c *core.Ctx, key string, data []float64) *core.
 func (m *Module) CheckpointAwait(c *core.Ctx, key string, data []float64, deps ...*core.Future) *core.Future {
 	out := core.NewPromise(m.rt)
 	c.AsyncAwaitAt(m.place, func(cc *core.Ctx) {
-		m.CheckpointAsync(cc, key, data).OnDone(func(any) { out.Put(nil) })
+		m.CheckpointAsync(cc, key, data).OnSettled(func(_ any, err error) {
+			if err != nil {
+				out.PutErr(err)
+				return
+			}
+			out.Put(nil)
+		})
 	}, deps...)
 	return out.Future()
 }

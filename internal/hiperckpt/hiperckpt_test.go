@@ -1,10 +1,12 @@
 package hiperckpt
 
 import (
+	"errors"
 	"testing"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/fabric"
 	"repro/internal/modules"
 	"repro/internal/platform"
 )
@@ -155,3 +157,103 @@ func TestSharedStoreAcrossRanks(t *testing.T) {
 }
 
 func key(r int) string { return string(rune('a' + r)) }
+
+func TestCheckpointWriteErrorFailsFuture(t *testing.T) {
+	rt, m := boot(t, StoreConfig{})
+	deviceErr := errors.New("device full")
+	m.store.FailWrites(deviceErr)
+	rt.Launch(func(c *core.Ctx) {
+		f := m.CheckpointAsync(c, "x", []float64{1})
+		if err := c.GetErr(f); err == nil || !errors.Is(err, deviceErr) {
+			t.Errorf("checkpoint on a failed device: err = %v, want wrapped %v", err, deviceErr)
+		}
+		if _, ok := m.Restore(c, "x"); ok {
+			t.Error("failed write persisted data")
+		}
+		// The dependency-chained variant fails the same way.
+		if err := c.GetErr(m.CheckpointAwait(c, "y", []float64{2})); err == nil {
+			t.Error("CheckpointAwait swallowed the device error")
+		}
+		// Heal the device: the same runtime checkpoints fine afterwards —
+		// a failed write is an error value, not a poisoned module.
+		m.store.FailWrites(nil)
+		if err := c.GetErr(m.CheckpointAsync(c, "x", []float64{7})); err != nil {
+			t.Errorf("healed device still failing: %v", err)
+		}
+		if got, ok := m.Restore(c, "x"); !ok || got[0] != 7 {
+			t.Errorf("restore after heal = %v %v", got, ok)
+		}
+	})
+}
+
+func TestRestoreMissingReturnsPromptly(t *testing.T) {
+	// Restore of a key that was never written must report absence, not
+	// hang waiting for data that will never arrive.
+	rt, m := boot(t, StoreConfig{Alpha: time.Millisecond})
+	start := time.Now()
+	rt.Launch(func(c *core.Ctx) {
+		if _, ok := m.Restore(c, "never-written"); ok {
+			t.Error("restored a key that was never checkpointed")
+		}
+	})
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("missing-key restore took %v", elapsed)
+	}
+}
+
+// TestChaosCrashRestore is the full failure-domain round trip: rank 1
+// checkpoints to the shared store and crashes (Chaos.Kill); rank 0
+// discovers the crash as a link ERROR (not a hang) on its next reliable
+// send, restores rank 1's state from the store, and finishes the job.
+func TestChaosCrashRestore(t *testing.T) {
+	store := NewStore(StoreConfig{})
+	chaos := fabric.NewChaos(fabric.NewInline(2), fabric.FaultPlan{Seed: 21})
+	rel := fabric.NewReliable(chaos, fabric.RelConfig{
+		RetryBase: 100 * time.Microsecond, RetryCap: time.Millisecond, MaxAttempts: 8,
+	})
+
+	model, err := platform.Generate(platform.MachineSpec{
+		Sockets: 1, CoresPerSocket: 2, NVM: true, Interconnect: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Rank 1: compute, checkpoint, announce, crash.
+	rt1, err := core.New(model, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1 := New(store)
+	modules.MustInstall(rt1, m1)
+	rt1.Launch(func(c *core.Ctx) {
+		c.Wait(m1.CheckpointAsync(c, "rank1-state", []float64{10, 20, 30}))
+		rel.Send(1, 0, 1, []byte("checkpointed"))
+	})
+	if _, ok := rel.TryRecv(0, 1, 1); !ok {
+		t.Fatal("rank 0 never heard rank 1's checkpoint announcement")
+	}
+	chaos.Kill(1)
+	rt1.Shutdown()
+
+	// Rank 0: the next send surfaces the crash as an error immediately.
+	rel.Send(0, 1, 2, []byte("more work"))
+	if rel.LinkErr(0, 1) == nil {
+		t.Fatal("send to crashed rank recorded no link error")
+	}
+	rt0, err := core.New(model, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt0.Shutdown()
+	m0 := New(store)
+	modules.MustInstall(rt0, m0)
+	if err := rt0.Launch(func(c *core.Ctx) {
+		got, ok := m0.Restore(c, "rank1-state")
+		if !ok || len(got) != 3 || got[1] != 20 {
+			t.Errorf("restore of crashed rank's state = %v %v", got, ok)
+		}
+	}); err != nil {
+		t.Fatalf("recovery job failed: %v", err)
+	}
+}

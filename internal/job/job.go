@@ -5,6 +5,7 @@
 package job
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
@@ -28,18 +29,30 @@ type Spec struct {
 	// start their clocks after process/runtime boot, which a real job's
 	// measured region would not include either.
 	OnStart func()
+	// Watchdog, if non-nil, arms every rank's quiesce watchdog: a rank
+	// that cannot drain its root finish scope within the deadline reports
+	// (or aborts, per the config) instead of wedging the whole job
+	// silently.
+	Watchdog *core.WatchdogConfig
 }
 
 // Run boots spec.Ranks runtimes, calls setup for each (module
 // installation), then runs body once per rank concurrently inside
 // Launch, and finally shuts all runtimes down. The first setup error
-// aborts the job; panics inside bodies propagate.
+// aborts the job. A rank body that fails — a task panic isolated by the
+// worker barrier, a failed scope, a tripped watchdog abort — fails the
+// job: every rank still runs to completion, then the per-rank errors
+// come back joined, each tagged with its rank.
 func Run(spec Spec, setup func(p *Proc) error, body func(p *Proc, c *core.Ctx)) error {
 	if spec.Ranks <= 0 {
 		return fmt.Errorf("job: need at least 1 rank, got %d", spec.Ranks)
 	}
 	if spec.WorkersPerRank <= 0 {
 		spec.WorkersPerRank = 1
+	}
+	var opts *core.Options
+	if spec.Watchdog != nil {
+		opts = &core.Options{Watchdog: spec.Watchdog}
 	}
 	procs := make([]*Proc, spec.Ranks)
 	for r := 0; r < spec.Ranks; r++ {
@@ -49,7 +62,7 @@ func Run(spec Spec, setup func(p *Proc) error, body func(p *Proc, c *core.Ctx)) 
 		} else {
 			model = platform.Default(spec.WorkersPerRank)
 		}
-		rt, err := core.New(model, nil)
+		rt, err := core.New(model, opts)
 		if err != nil {
 			return fmt.Errorf("job: rank %d: %w", r, err)
 		}
@@ -63,19 +76,22 @@ func Run(spec Spec, setup func(p *Proc) error, body func(p *Proc, c *core.Ctx)) 
 	if spec.OnStart != nil {
 		spec.OnStart()
 	}
+	rankErrs := make([]error, spec.Ranks)
 	var wg sync.WaitGroup
 	for _, p := range procs {
 		wg.Add(1)
 		go func(p *Proc) {
 			defer wg.Done()
-			p.RT.Launch(func(c *core.Ctx) { body(p, c) })
+			if err := p.RT.Launch(func(c *core.Ctx) { body(p, c) }); err != nil {
+				rankErrs[p.Rank] = fmt.Errorf("job: rank %d: %w", p.Rank, err)
+			}
 		}(p)
 	}
 	wg.Wait()
 	for _, p := range procs {
 		p.RT.Shutdown()
 	}
-	return nil
+	return errors.Join(rankErrs...)
 }
 
 // RunFlat runs a non-HiPER SPMD job: body once per rank on a plain

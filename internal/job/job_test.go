@@ -2,8 +2,11 @@ package job
 
 import (
 	"errors"
+	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 )
@@ -72,5 +75,64 @@ func TestRunFlat(t *testing.T) {
 	RunFlat(8, func(r int) { n.Add(int64(r)) })
 	if n.Load() != 28 {
 		t.Fatalf("sum of ranks = %d", n.Load())
+	}
+}
+
+func TestRunCollectsRankErrors(t *testing.T) {
+	err := Run(Spec{Ranks: 3, WorkersPerRank: 1}, nil,
+		func(p *Proc, c *core.Ctx) {
+			if p.Rank == 1 {
+				panic("rank 1 exploded")
+			}
+		})
+	if err == nil {
+		t.Fatal("job with a panicking rank returned nil")
+	}
+	var pe *core.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("rank panic not surfaced as PanicError: %v", err)
+	}
+	if !strings.Contains(err.Error(), "rank 1") {
+		t.Errorf("error does not name the failing rank: %v", err)
+	}
+	if strings.Contains(err.Error(), "rank 0:") || strings.Contains(err.Error(), "rank 2:") {
+		t.Errorf("healthy ranks blamed: %v", err)
+	}
+}
+
+func TestRunWatchdogAbortsWedgedRank(t *testing.T) {
+	// Rank 0 waits on a promise nobody satisfies. The watchdog's OnStall
+	// hook doubles as the release valve: once the stall is diagnosed the
+	// promise is satisfied so the job can still shut down cleanly — the
+	// abort error has already been decided by then.
+	var mu sync.Mutex
+	var wedged *core.Promise
+	err := Run(Spec{
+		Ranks: 2, WorkersPerRank: 1,
+		Watchdog: &core.WatchdogConfig{
+			Deadline: 200 * time.Millisecond,
+			Abort:    true,
+			OnStall: func(*core.StallReport) {
+				mu.Lock()
+				defer mu.Unlock()
+				if wedged != nil && !wedged.Future().Done() {
+					wedged.Put(nil)
+				}
+			},
+		},
+	}, nil, func(p *Proc, c *core.Ctx) {
+		if p.Rank == 0 {
+			prom := core.NewPromise(p.RT)
+			mu.Lock()
+			wedged = prom
+			mu.Unlock()
+			c.Wait(prom.Future())
+		}
+	})
+	if !errors.Is(err, core.ErrStalled) {
+		t.Fatalf("wedged rank did not trip the watchdog: %v", err)
+	}
+	if !strings.Contains(err.Error(), "rank 0") {
+		t.Errorf("stall not attributed to rank 0: %v", err)
 	}
 }

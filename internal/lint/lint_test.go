@@ -43,6 +43,7 @@ func TestCheckerGolden(t *testing.T) {
 		"sendoutsidelock",
 		"uncheckederror",
 		"rawdelay",
+		"recoveroutsideworker",
 		"suppress",
 	} {
 		t.Run(name, func(t *testing.T) {

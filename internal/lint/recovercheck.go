@@ -1,0 +1,51 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// RecoverOutsideWorker flags calls to the builtin recover() anywhere
+// outside internal/core. The runtime has exactly one sanctioned panic
+// barrier — the worker execute path — which converts a task panic into
+// a *core.PanicError on the task's future and finish scope. A recover
+// anywhere else swallows the panic before that machinery sees it,
+// turning a diagnosable task failure into silent state corruption.
+// Code that wants to observe failures should consume future/scope
+// errors (Future.Err, Ctx.GetErr, FinishErr), not catch panics.
+type RecoverOutsideWorker struct{}
+
+// Name implements Checker.
+func (*RecoverOutsideWorker) Name() string { return "recover-outside-worker" }
+
+// Doc implements Checker.
+func (*RecoverOutsideWorker) Doc() string {
+	return "recover() is reserved for internal/core's worker panic barrier; elsewhere it hides task failures from the error-propagation layer"
+}
+
+// AppliesTo implements scoped: every package except the one holding the
+// sanctioned barrier.
+func (*RecoverOutsideWorker) AppliesTo(importPath string) bool {
+	return !strings.HasSuffix(importPath, "internal/core")
+}
+
+// Check implements Checker.
+func (*RecoverOutsideWorker) Check(p *Package, r *Reporter) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if b, ok := p.Info.Uses[id].(*types.Builtin); ok && b.Name() == "recover" {
+				r.Reportf(call.Pos(), "recover() outside the core worker barrier swallows task panics before error propagation sees them; let the panic reach the scheduler and consume the future/scope error instead")
+			}
+			return true
+		})
+	}
+}

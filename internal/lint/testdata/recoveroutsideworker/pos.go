@@ -1,0 +1,30 @@
+// Package fixture is the positive/negative corpus for the
+// recover-outside-worker checker: module code catching panics itself
+// instead of letting the core worker barrier convert them into future
+// and scope errors.
+package fixture
+
+import "fmt"
+
+// runStep is the classic offender: a module wrapping its callback in a
+// private recover, so a panic never reaches the task's future.
+func runStep(step func()) (err error) {
+	defer func() {
+		if v := recover(); v != nil { // want recover-outside-worker
+			err = fmt.Errorf("step failed: %v", v)
+		}
+	}()
+	step()
+	return nil
+}
+
+// drainQuietly swallows panics wholesale — not even converted to an
+// error.
+func drainQuietly(fns []func()) {
+	for _, fn := range fns {
+		func() {
+			defer recover() // want recover-outside-worker
+			fn()
+		}()
+	}
+}

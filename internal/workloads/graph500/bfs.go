@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/fabric"
 	"repro/internal/shmem"
 	"repro/internal/simnet"
 )
@@ -20,6 +21,19 @@ type RunConfig struct {
 	// ChanCap is the per-(src,dst) channel capacity in claims (default
 	// enough for the whole graph: 2*EdgeFactor*N/Ranks, generously).
 	ChanCap int
+	// Transport, when non-nil, carries all symmetric-heap traffic instead
+	// of a fresh Sim — e.g. a Reliable over a Chaos for fault-injection
+	// runs. Its Size must equal Ranks.
+	Transport fabric.Transport
+}
+
+// world builds the SHMEM world both variants run over: the supplied
+// transport when one is given, else a fresh simulated fabric.
+func (c RunConfig) world() *shmem.World {
+	if c.Transport != nil {
+		return shmem.NewWorldOver(c.Transport)
+	}
+	return shmem.NewWorld(c.Ranks, c.Cost)
 }
 
 func (c RunConfig) withDefaults() RunConfig {

@@ -4,6 +4,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/fabric"
 	"repro/internal/simnet"
 )
 
@@ -185,4 +186,35 @@ func TestIsolatedRootVisitsOnlyItself(t *testing.T) {
 	if res.Visited != 1 {
 		t.Fatalf("isolated root visited %d vertices", res.Visited)
 	}
+}
+
+// TestChaosGraph500 runs BOTH variants over a Reliable layer on a
+// fabric injecting 10% drop + 10% dup. Correctness is ValidateTree
+// (inside Run*); the drop/retry counters prove the fabric actually
+// misbehaved and the protocol actually recovered — a clean pass with
+// zero drops would prove nothing.
+func TestChaosGraph500(t *testing.T) {
+	if testing.Short() {
+		t.Skip("lossy-fabric BFS is a second-long soak")
+	}
+	run := func(t *testing.T, name string, f func(RunConfig) (Result, error)) {
+		chaos := fabric.NewChaos(fabric.NewSim(4, simnet.CostModel{Alpha: time.Microsecond}),
+			fabric.FaultPlan{Seed: 42, Drop: 0.10, Dup: 0.10})
+		rel := fabric.NewReliable(chaos, fabric.RelConfig{})
+		res, err := f(RunConfig{Graph: tinyGraph, Root: 1, Ranks: 4, Workers: 2, Transport: rel})
+		if err != nil {
+			t.Fatalf("%s over lossy fabric: %v", name, err)
+		}
+		if res.Visited < 2 {
+			t.Fatalf("%s visited only %d vertices", name, res.Visited)
+		}
+		if chaos.Drops() == 0 || chaos.Dups() == 0 {
+			t.Fatalf("%s: chaos injected nothing (drops=%d dups=%d)", name, chaos.Drops(), chaos.Dups())
+		}
+		if rel.Retries() == 0 {
+			t.Fatalf("%s: survived loss with zero retransmits?", name)
+		}
+	}
+	t.Run("reference", func(t *testing.T) { run(t, "reference", RunReference) })
+	t.Run("hiper", func(t *testing.T) { run(t, "hiper", RunHiPER) })
 }

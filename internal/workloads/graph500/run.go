@@ -71,7 +71,7 @@ func expandFrontier(st *bfsState, snd *sender, poll func()) {
 // after each level barrier.
 func RunReference(cfg RunConfig) (Result, error) {
 	cfg = cfg.withDefaults()
-	world := shmem.NewWorld(cfg.Ranks, cfg.Cost)
+	world := cfg.world()
 	cs := newComms(world, cfg.ChanCap)
 	states := make([]*bfsState, cfg.Ranks)
 	levels := 0
@@ -136,7 +136,7 @@ func RunReference(cfg RunConfig) (Result, error) {
 // Graph500 uses exactly this offload.
 func RunHiPER(cfg RunConfig) (Result, error) {
 	cfg = cfg.withDefaults()
-	world := shmem.NewWorld(cfg.Ranks, cfg.Cost)
+	world := cfg.world()
 	cs := newComms(world, cfg.ChanCap)
 	states := make([]*bfsState, cfg.Ranks)
 	mods := make([]*hipershmem.Module, cfg.Ranks)
