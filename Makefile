@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check lint race chaos bench-smoke bench-sched bench-trace bench-comm
+.PHONY: check lint race chaos bench-smoke bench-sched bench-trace bench-comm bench-comm-gate
 
 ## check: the tier-1 gate — vet, then the project linter, then build and
 ## the full test suite.
@@ -24,6 +24,13 @@ race:
 bench-smoke:
 	$(GO) run ./cmd/hiper-bench -sched -schedout /tmp/BENCH_scheduler.smoke.json
 	$(GO) run ./cmd/hiper-bench -comm -commout /tmp/BENCH_comm.smoke.json
+	$(GO) run ./cmd/hiper-bench -commgate BENCH_comm.json
+
+## bench-comm-gate: rerun ping-pong + fanin-4to1 at quick scale and fail
+## if any ns/op regresses >3x vs the committed BENCH_comm.json — loose
+## enough to ignore noise, tight enough to catch data-plane collapse.
+bench-comm-gate:
+	$(GO) run ./cmd/hiper-bench -commgate BENCH_comm.json
 
 ## bench-sched: regenerate the committed BENCH_scheduler.json (full scale,
 ## 16 workers — the configuration recorded in EXPERIMENTS.md).

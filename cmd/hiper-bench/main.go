@@ -8,6 +8,7 @@
 //	hiper-bench [-full] [-only fig4|fig5|fig6|fig7|graph500]
 //	hiper-bench -sched [-full] [-workers N] [-schedout BENCH_scheduler.json]
 //	hiper-bench -comm [-full] [-commout BENCH_comm.json]
+//	hiper-bench -commgate BENCH_comm.json
 //	hiper-bench -chaos [-full] [-chaosout BENCH_resilience.json]
 //	hiper-bench -trace out.json [-workers N]
 //	hiper-bench -tracebench BENCH_trace.json [-full] [-workers N]
@@ -33,6 +34,7 @@ func main() {
 	schedOut := flag.String("schedout", "BENCH_scheduler.json", "path for the scheduler benchmark JSON report")
 	comm := flag.Bool("comm", false, "run the transport-layer communication microbenchmarks instead of the paper figures")
 	commOut := flag.String("commout", "BENCH_comm.json", "path for the communication benchmark JSON report")
+	commGate := flag.String("commgate", "", "rerun the quick communication subset and fail on >3x ns/op regression vs the committed report at this path")
 	chaos := flag.Bool("chaos", false, "run the fault-injection resilience benchmarks instead of the paper figures")
 	chaosOut := flag.String("chaosout", "BENCH_resilience.json", "path for the resilience benchmark JSON report")
 	tracePath := flag.String("trace", "", "run a traced demo workload and write its Chrome trace JSON here (load at ui.perfetto.dev)")
@@ -51,6 +53,13 @@ func main() {
 			log.Fatalf("writing %s: %v", *schedOut, err)
 		}
 		fmt.Printf("wrote %s\n", *schedOut)
+		return
+	}
+	if *commGate != "" {
+		if err := bench.CommGate(*commGate); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("commgate ok vs %s\n", *commGate)
 		return
 	}
 	if *comm {

@@ -19,6 +19,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/fabric"
@@ -85,6 +86,74 @@ func transportFanIn(tr fabric.Transport, senders, msgsPer, bytes int) time.Durat
 	return time.Since(t0)
 }
 
+// transportAlltoall drives an n-rank exchange: every rank sends one
+// bytes-sized message to each of `degree` stride neighbours, with a
+// small fixed pool of driver goroutines standing in for the ranks.
+// Receivers count deliveries through re-arming async receives, so the
+// returned wall time covers the landing of all n×degree messages, not
+// just their issue. This is the benchmark the eager O(ranks²) link
+// array and per-pair drain goroutines made impossible: at 1k ranks the
+// full exchange activates ~10⁶ links, and at 10k ranks the old layout
+// alone was 100M link structs.
+func transportAlltoall(tr fabric.Transport, n, degree, bytes int) time.Duration {
+	const tag = 9
+	payload := make([]byte, bytes)
+	total := int64(n) * int64(degree)
+	var got atomic.Int64
+	done := make(chan struct{})
+	t0 := time.Now()
+	for dst := 0; dst < n; dst++ {
+		dst := dst
+		var arm func(fabric.Message)
+		arm = func(fabric.Message) {
+			c := got.Add(1)
+			for {
+				if _, ok := tr.TryRecv(dst, fabric.AnySource, tag); !ok {
+					break
+				}
+				c = got.Add(1)
+			}
+			if c == total {
+				close(done)
+				return
+			}
+			tr.RecvAsync(dst, fabric.AnySource, tag, arm)
+		}
+		tr.RecvAsync(dst, fabric.AnySource, tag, arm)
+	}
+	const drivers = 8
+	var wg sync.WaitGroup
+	per := n / drivers
+	for d := 0; d < drivers; d++ {
+		lo, hi := d*per, (d+1)*per
+		if d == drivers-1 {
+			hi = n
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for src := lo; src < hi; src++ {
+				for k := 1; k <= degree; k++ {
+					tr.Send(src, (src+k)%n, tag, payload)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	<-done
+	return time.Since(t0)
+}
+
+// alltoallCost is the model the alltoall family runs under: real latency
+// (so every transfer goes through the link heap and poller, not the
+// inline path) but no congestion — at full alltoall fan-in the
+// congestion penalties would dominate the wall time and the benchmark
+// would measure the cost model instead of the data plane it exists to
+// size.
+func alltoallCost() fabric.CostModel {
+	return fabric.CostModel{Alpha: time.Microsecond}
+}
+
 // mixedFanIn runs an MPI fan-in and a SHMEM fan-in concurrently — each
 // non-zero rank sends msgs messages/puts toward rank 0 through its
 // library — and returns the elapsed wall time. The two worlds may sit
@@ -143,7 +212,10 @@ func CommSuite(scale Scale) *CommReport {
 	ppOps, fanMsgs, abMsgs := 200, 6, 8
 	if scale == Full {
 		repeats = 10
-		ppOps, fanMsgs, abMsgs = 1000, 12, 16
+		// Sub-microsecond latencies need a long timed window: at a few
+		// hundred ops a single hypervisor-steal tick or GC pause lands
+		// inside the window and doubles the repeat.
+		ppOps, fanMsgs, abMsgs = 4000, 12, 16
 	}
 	rep := &CommReport{GoMaxProcs: runtime.GOMAXPROCS(0), Repeats: repeats}
 	record := func(name string, ranks, ops int, s Sample) {
@@ -165,21 +237,69 @@ func CommSuite(scale Scale) *CommReport {
 	}
 	for _, b := range backends {
 		tr := b.mk()
+		runtime.GC() // keep earlier benchmarks' garbage out of the timed window
 		s := Measure(1, repeats, func() time.Duration {
 			return pingPong(tr, ppOps, 64) / time.Duration(ppOps)
 		})
 		record(b.name, 2, ppOps, s)
 	}
 
+	// Transport hot-path cost without the scheduler: send and receive on
+	// one goroutine, so no rendezvous context switches are measured. The
+	// gap between this and pingpong-sim-zero is the Go scheduler's
+	// per-round-trip share (two goroutine switches), not fabric overhead
+	// — see EXPERIMENTS.md for the substrate-floor analysis.
+	{
+		tr := fabric.NewSim(2, fabric.CostModel{})
+		payload := make([]byte, 64)
+		runtime.GC()
+		s := Measure(1, repeats, func() time.Duration {
+			t0 := time.Now()
+			for i := 0; i < ppOps; i++ {
+				tr.Send(0, 1, 1, payload)
+				tr.Recv(1, 0, 1)
+			}
+			return time.Since(t0) / time.Duration(ppOps)
+		})
+		record("sendrecv-sim-zero-1g", 2, ppOps, s)
+	}
+
 	// Congestion collapse: per-message cost of the N→1 fan-in under the
-	// standard congested network as the fan-in deepens.
-	for _, n := range []int{1, 2, 4, 8, 16} {
+	// standard congested network as the fan-in deepens. 32 and 64
+	// senders sit well beyond the knee, making the collapse slope
+	// visible.
+	for _, n := range []int{1, 2, 4, 8, 16, 32, 64} {
 		total := n * fanMsgs
 		s := Measure(1, repeats, func() time.Duration {
 			tr := fabric.NewSim(n+1, Network())
 			return transportFanIn(tr, n, fanMsgs, 256) / time.Duration(total)
 		})
 		record("fanin-"+strconv.Itoa(n)+"to1", n+1, total, s)
+	}
+
+	// Data-plane scale: alltoall exchanges at 1k and 10k ranks. The 1k
+	// full run is the complete n×(n-1) exchange (~10⁶ messages), so it
+	// takes fewer repeats; the 10k world runs a reduced degree — the
+	// point at that scale is that the lazy link table and bounded poller
+	// pool make the world constructible and the exchange complete at
+	// all.
+	a2a1kDeg, a2a10kDeg, a2aRepeats := 16, 2, repeats
+	if scale == Full {
+		a2a1kDeg, a2a10kDeg, a2aRepeats = 999, 4, 3
+	}
+	for _, cfg := range []struct {
+		name      string
+		n, degree int
+	}{
+		{"alltoall-1k", 1000, a2a1kDeg},
+		{"alltoall-10k", 10000, a2a10kDeg},
+	} {
+		total := cfg.n * cfg.degree
+		s := Measure(1, a2aRepeats, func() time.Duration {
+			tr := fabric.NewSim(cfg.n, alltoallCost())
+			return transportAlltoall(tr, cfg.n, cfg.degree, 64) / time.Duration(total)
+		})
+		record(cfg.name, cfg.n, total, s)
 	}
 
 	// Shared-fabric A/B: identical mixed MPI+SHMEM traffic, private
@@ -201,6 +321,69 @@ func CommSuite(scale Scale) *CommReport {
 	})
 	record("mixed-shared-fabric", abRanks, abOps, s)
 	return rep
+}
+
+// gateFactor is the regression bound CommGate enforces: deliberately
+// loose, so it catches data-plane collapse (a lost wakeup, a goroutine
+// leak, an accidental O(n²) path), not scheduler noise.
+const gateFactor = 3.0
+
+// CommGate is the bench-comm smoke gate: rerun the cheap, stable subset
+// of the communication suite at quick scale and fail if any ns/op
+// regresses more than gateFactor× against the committed report at path.
+func CommGate(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("commgate: reading committed report: %w", err)
+	}
+	var committed CommReport
+	if err := json.Unmarshal(data, &committed); err != nil {
+		return fmt.Errorf("commgate: parsing %s: %w", path, err)
+	}
+	baseline := make(map[string]float64, len(committed.Results))
+	for _, r := range committed.Results {
+		baseline[r.Name] = r.NsPerOp
+	}
+	const repeats, ppOps, fanMsgs = 5, 200, 6
+	checks := []struct {
+		name string
+		run  func() Sample
+	}{
+		{"pingpong-inline", func() Sample {
+			tr := fabric.NewInline(2)
+			return Measure(1, repeats, func() time.Duration {
+				return pingPong(tr, ppOps, 64) / time.Duration(ppOps)
+			})
+		}},
+		{"pingpong-sim-zero", func() Sample {
+			tr := fabric.NewSim(2, fabric.CostModel{})
+			return Measure(1, repeats, func() time.Duration {
+				return pingPong(tr, ppOps, 64) / time.Duration(ppOps)
+			})
+		}},
+		{"fanin-4to1", func() Sample {
+			return Measure(1, repeats, func() time.Duration {
+				tr := fabric.NewSim(5, Network())
+				return transportFanIn(tr, 4, fanMsgs, 256) / time.Duration(4*fanMsgs)
+			})
+		}},
+	}
+	var failures []string
+	for _, c := range checks {
+		want, ok := baseline[c.name]
+		if !ok {
+			return fmt.Errorf("commgate: %s missing from %s (regenerate with make bench-comm)", c.name, path)
+		}
+		got := float64(c.run().Mean)
+		if got > want*gateFactor {
+			failures = append(failures,
+				fmt.Sprintf("%s: %.0f ns/op vs committed %.0f (> %.0fx)", c.name, got, want, gateFactor))
+		}
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("commgate: regression vs %s:\n  %s", path, strings.Join(failures, "\n  "))
+	}
+	return nil
 }
 
 // WriteJSON writes the report to path.

@@ -25,12 +25,16 @@ const (
 
 // Network stands in for the Cray Aries fabrics of Edison/Titan: a few
 // microseconds of latency, finite bandwidth, and congestion that punishes
-// deep fan-in (the effect behind flat ISx's collapse at scale).
+// deep fan-in (the effect behind flat ISx's collapse at scale). The
+// window models a NIC absorbing a credit window of in-flight messages
+// per service cycle: backlog is charged per excess *window* (see
+// CostModel.CongestPenalty), so a single sender's pipelined burst rides
+// the window while deep incast still pays the full queueing collapse.
 func Network() simnet.CostModel {
 	return simnet.CostModel{
 		Alpha:          15 * time.Microsecond,
 		BytesPerSec:    2e9,
-		CongestWindow:  2,
+		CongestWindow:  8,
 		CongestPenalty: 150 * time.Microsecond,
 	}
 }

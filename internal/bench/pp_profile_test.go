@@ -1,0 +1,31 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/fabric"
+)
+
+// BenchmarkHarnessPingPongZero mirrors the pingpong-sim-zero benchmark
+// of CommSuite as a `go test -bench` target, so the hot path can be
+// profiled with -cpuprofile without running the whole suite:
+//
+//	go test -run xxx -bench HarnessPingPongZero -cpuprofile pp.prof ./internal/bench/
+func BenchmarkHarnessPingPongZero(b *testing.B) {
+	var tr fabric.Transport = fabric.NewSim(2, fabric.CostModel{})
+	payload := make([]byte, 64)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < b.N; i++ {
+			m := tr.Recv(1, 0, 1)
+			tr.Send(1, 0, 2, m.Data)
+		}
+	}()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Send(0, 1, 1, payload)
+		tr.Recv(0, 1, 2)
+	}
+	<-done
+}

@@ -1,0 +1,49 @@
+package fabric
+
+import "sync/atomic"
+
+// arenaChunkSize is the allocation granule of byteArena. Chunks are
+// handed out by atomic bump, so a chunk is retained until every payload
+// carved from it is dropped; 16 KiB keeps that pinning bounded while
+// amortizing one garbage-collected allocation over hundreds of small
+// messages.
+const arenaChunkSize = 16 << 10
+
+// arenaBlock is one bump-allocated chunk.
+type arenaBlock struct {
+	buf []byte
+	off atomic.Int64
+}
+
+// byteArena batches the payload copies Send makes (the transport owns a
+// snapshot of the caller's buffer; the receiver owns the snapshot
+// forever) into chunk-granular allocations: the hot path is one atomic
+// add instead of a malloc, and the chunk is never redundantly zeroed
+// before the payload lands in it. Returned slices are capacity-clamped
+// so an appending receiver cannot scribble over a neighbouring payload.
+type byteArena struct {
+	cur atomic.Pointer[arenaBlock]
+}
+
+// alloc returns an uninitialized n-byte slice. Oversized requests fall
+// through to the regular allocator; losing racers on chunk turnover
+// abandon the stale chunk's tail, which is fine — the next bump serves
+// from the fresh one.
+func (a *byteArena) alloc(n int) []byte {
+	if n == 0 {
+		return nil
+	}
+	if n > arenaChunkSize {
+		return make([]byte, n)
+	}
+	for {
+		b := a.cur.Load()
+		if b != nil {
+			if off := b.off.Add(int64(n)); off <= int64(len(b.buf)) {
+				return b.buf[off-int64(n) : off : off]
+			}
+		}
+		nb := &arenaBlock{buf: make([]byte, arenaChunkSize)}
+		a.cur.CompareAndSwap(b, nb)
+	}
+}

@@ -1,0 +1,60 @@
+package fabric
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// frameBuf is a reference-counted, size-classed pooled byte buffer for
+// Reliable's wire frames. Frames need refcounts because two goroutines
+// can hold the same buffer at once: the retransmit timer resends the
+// head-of-window frame outside the sender lock while an arriving
+// cumulative ack pops — and would otherwise recycle — that same frame.
+// Every reader retains before touching b and releases after; the buffer
+// returns to its pool only when the last reference drops.
+//
+// Substrate Send calls copy the frame before returning (Sim, Inline, and
+// Chaos all do), so references never outlive the Send that uses them.
+type frameBuf struct {
+	b     []byte
+	refs  atomic.Int32
+	class int8 // index into framePools; -1 = oversized, not recycled
+}
+
+// frameClasses are the pooled capacity classes. Requests above the
+// largest class get one-shot allocations — recycling rare huge buffers
+// would pin their memory for the life of the pool.
+var frameClasses = [...]int{64, 256, 1024, 4096, 16384, 65536}
+
+var framePools [len(frameClasses)]sync.Pool
+
+// getFrameBuf returns a buffer of length n with one reference held.
+func getFrameBuf(n int) *frameBuf {
+	for i, c := range frameClasses {
+		if n <= c {
+			fb, _ := framePools[i].Get().(*frameBuf)
+			if fb == nil {
+				fb = &frameBuf{b: make([]byte, c), class: int8(i)}
+			}
+			fb.b = fb.b[:n]
+			fb.refs.Store(1)
+			return fb
+		}
+	}
+	fb := &frameBuf{b: make([]byte, n), class: -1}
+	fb.refs.Store(1)
+	return fb
+}
+
+func (fb *frameBuf) retain() { fb.refs.Add(1) }
+
+// release drops one reference, recycling the buffer when none remain.
+func (fb *frameBuf) release() {
+	if fb.refs.Add(-1) != 0 {
+		return
+	}
+	if fb.class >= 0 {
+		fb.b = fb.b[:cap(fb.b)]
+		framePools[fb.class].Put(fb)
+	}
+}

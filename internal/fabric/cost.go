@@ -11,10 +11,18 @@ type CostModel struct {
 	// BytesPerSec is the link bandwidth; zero means infinite.
 	BytesPerSec float64
 	// CongestWindow is how many in-flight messages a destination absorbs
-	// at full speed; beyond it each additional message pays CongestPenalty.
-	// Zero disables congestion modelling.
+	// at full speed; beyond it transfers pay a queueing penalty that
+	// grows with the backlog. Zero disables congestion modelling.
 	CongestWindow int
-	// CongestPenalty is the extra delay per excess in-flight message.
+	// CongestPenalty is the extra delay per full *window* of excess
+	// in-flight messages: a transfer that finds the destination
+	// oversubscribed by k messages is delayed k/CongestWindow penalty
+	// units. Normalizing by the window models a destination that drains
+	// one window's worth of backlog per penalty period — a NIC that
+	// absorbs its credit window per service cycle — instead of one
+	// message per period, which made a single sender's pipelined burst
+	// as expensive as a deep incast. With CongestWindow == 1 the two
+	// formulations coincide.
 	CongestPenalty time.Duration
 
 	// RanksPerNode groups consecutive ranks onto "nodes": traffic between
@@ -57,6 +65,18 @@ func (c CostModel) Delay(bytes int) time.Duration {
 		d += time.Duration(float64(bytes) / c.BytesPerSec * float64(time.Second))
 	}
 	return d
+}
+
+// CongestDelay returns the queueing penalty for a transfer that finds
+// `inflight` messages (itself included) bound for its destination: one
+// CongestPenalty per full window of excess backlog, pro-rated. Zero when
+// the destination is within its window.
+func (c CostModel) CongestDelay(inflight int64) time.Duration {
+	excess := inflight - int64(c.CongestWindow)
+	if excess <= 0 || c.CongestWindow <= 0 {
+		return 0
+	}
+	return time.Duration(float64(excess) / float64(c.CongestWindow) * float64(c.CongestPenalty))
 }
 
 // Zero reports whether the model is free (messages deliver inline).

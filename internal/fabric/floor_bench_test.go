@@ -1,0 +1,52 @@
+package fabric
+
+import (
+	"runtime"
+	"testing"
+)
+
+// These benchmarks measure the scheduler substrate under the zero-cost
+// rendezvous path, not fabric code. A blocking ping-pong between two
+// goroutines on a single P needs exactly two goroutine switches per
+// round trip, no matter how cheap the transport is, so the numbers here
+// bound what pingpong-sim-zero in BENCH_comm.json can ever report on a
+// given machine. See the data-plane scaling notes in EXPERIMENTS.md.
+
+// BenchmarkGoschedPair is the cost of one round trip of cooperative
+// yields between two goroutines — the switch substrate recvBlocking's
+// poll loop rides on.
+func BenchmarkGoschedPair(b *testing.B) {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < b.N; i++ {
+			runtime.Gosched()
+		}
+	}()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runtime.Gosched()
+	}
+	<-done
+}
+
+// BenchmarkChanRendezvousRT is the alternative substrate: a full
+// park/unpark round trip through two unbuffered channels. Measured
+// ~2.4x slower than the Gosched pair on a 1-vCPU host, which is why
+// recvBlocking polls with yields before falling back to a parked
+// waiter.
+func BenchmarkChanRendezvousRT(b *testing.B) {
+	ping := make(chan int)
+	pong := make(chan int)
+	go func() {
+		for i := 0; i < b.N; i++ {
+			v := <-ping
+			pong <- v
+		}
+	}()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ping <- 1
+		<-pong
+	}
+}

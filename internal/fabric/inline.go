@@ -15,8 +15,9 @@ import (
 type Inline struct {
 	meter
 	tagSpace
-	n     int
-	boxes []*mailbox
+	n        int
+	boxes    []mailbox
+	payloads byteArena // batches Send's payload snapshots
 }
 
 var _ Transport = (*Inline)(nil)
@@ -26,12 +27,7 @@ func NewInline(n int) *Inline {
 	if n <= 0 {
 		panic(fmt.Sprintf("fabric: transport needs at least 1 rank, got %d", n))
 	}
-	t := &Inline{n: n}
-	t.boxes = make([]*mailbox, n)
-	for i := range t.boxes {
-		t.boxes[i] = &mailbox{}
-	}
-	return t
+	return &Inline{n: n, boxes: make([]mailbox, n)}
 }
 
 // Size implements Transport.
@@ -49,8 +45,7 @@ func (t *Inline) checkRank(r int) {
 // finish performs one synchronous transfer: statistics, send event,
 // arrival effect, recv event, completion — all on the caller.
 func (t *Inline) finish(src, dst, bytes int, deliver, onDone func()) {
-	t.sent.Add(1)
-	t.sentBytes.Add(int64(bytes))
+	t.count(src, bytes)
 	t.traceMsg(trace.EvMsgSend, src, dst, bytes)
 	if deliver != nil {
 		deliver()
@@ -63,13 +58,24 @@ func (t *Inline) finish(src, dst, bytes int, deliver, onDone func()) {
 
 // Send implements Transport: synchronous eager delivery.
 func (t *Inline) Send(src, dst, tag int, data []byte) {
-	t.checkRank(src)
-	t.checkRank(dst)
-	buf := make([]byte, len(data))
+	if uint(src) >= uint(t.n) || uint(dst) >= uint(t.n) {
+		t.checkRank(src)
+		t.checkRank(dst)
+	}
+	n := len(data)
+	buf := t.payloads.alloc(n)
 	copy(buf, data)
-	t.finish(src, dst, len(data), func() {
-		t.boxes[dst].deliver(Message{Src: src, Dst: dst, Tag: tag, Data: buf})
-	}, nil)
+	t.count(src, n)
+	// One tracer load covers both events on the hot path.
+	m := Message{Src: src, Dst: dst, Tag: tag, Data: buf}
+	if tr := t.tracer.Load(); tr != nil && tr.Enabled() {
+		key := uint64(uint32(src))<<32 | uint64(uint32(dst))
+		tr.RecordExternal(trace.EvMsgSend, trace.NoPlace, key, uint64(n))
+		t.boxes[dst].deliver(m)
+		tr.RecordExternal(trace.EvMsgRecv, trace.NoPlace, key, uint64(n))
+		return
+	}
+	t.boxes[dst].deliver(m)
 }
 
 // Put implements Transport: apply and onDone run before Put returns.
@@ -90,9 +96,7 @@ func (t *Inline) Get(src, dst, bytes int, apply, onDone func()) {
 // either already queued or arrives from another goroutine's Send.
 func (t *Inline) Recv(dst, src, tag int) Message {
 	t.checkRank(dst)
-	ch := make(chan Message, 1)
-	t.boxes[dst].post(&recvReq{src: src, tag: tag, deliver: func(m Message) { ch <- m }})
-	return <-ch
+	return t.boxes[dst].recvBlocking(src, tag)
 }
 
 // RecvAsync implements Transport.

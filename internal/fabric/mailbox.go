@@ -1,6 +1,10 @@
 package fabric
 
-import "sync"
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
 
 // recvReq is a posted receive awaiting a matching message.
 type recvReq struct {
@@ -12,54 +16,144 @@ func (r *recvReq) matches(m Message) bool {
 	return (r.src == AnySource || r.src == m.Src) && (r.tag == AnyTag || r.tag == m.Tag)
 }
 
+// spinLock is a minimal CAS lock for the mailbox's tens-of-nanosecond
+// critical sections: acquire and release are one uncontended atomic
+// each, roughly halving what a sync.Mutex pair costs on the delivery
+// hot path. Contention yields to the scheduler instead of spinning hot,
+// so a holder preempted mid-section cannot starve its waiters.
+type spinLock struct{ v atomic.Int32 }
+
+func (l *spinLock) lock() {
+	for !l.v.CompareAndSwap(0, 1) {
+		runtime.Gosched()
+	}
+}
+
+func (l *spinLock) unlock() { l.v.Store(0) }
+
 // mailbox holds one rank's undelivered messages and posted receives.
 // Matching follows MPI rules: messages from one (src, tag) pair are matched
 // in arrival order against receives in post order.
+//
+// Both queues are head-indexed rings: pops advance a head index instead
+// of re-slicing (which would keep popped Messages — and their payloads —
+// reachable through the backing array), and middle removals shift the
+// short prefix up rather than the arbitrarily long suffix down.
 type mailbox struct {
-	mu   sync.Mutex
-	msgs []Message
-	reqs []*recvReq
+	mu      spinLock
+	msgs    []Message
+	msgHead int
+	reqs    []*recvReq
+	reqHead int
+
+	// size mirrors len(msgs)-msgHead (maintained under mu, read without
+	// it). recvBlocking's poll loop uses it as a lock-free gate: when it
+	// reads zero there is nothing a scan could match, so the loop skips
+	// the lock entirely. The gate is only a heuristic — a stale read
+	// costs one extra poll round at worst, and the blocking fallback
+	// re-scans under the lock, so no arrival can be missed for good.
+	size atomic.Int32
+}
+
+// removeMsg deletes msgs[i] (i >= msgHead) preserving order, by shifting
+// the prefix right one slot and advancing the head. The vacated slot is
+// zeroed so the popped payload is collectable.
+func (b *mailbox) removeMsg(i int) Message {
+	m := b.msgs[i]
+	copy(b.msgs[b.msgHead+1:i+1], b.msgs[b.msgHead:i])
+	// Only Data retains anything; nilling just the pointer keeps the
+	// write-barrier work off the scalar fields.
+	b.msgs[b.msgHead].Data = nil
+	b.msgHead++
+	b.size.Add(-1)
+	if b.msgHead == len(b.msgs) {
+		b.msgs = b.msgs[:0]
+		b.msgHead = 0
+	}
+	return m
+}
+
+// removeReq deletes reqs[i] (i >= reqHead) preserving order.
+func (b *mailbox) removeReq(i int) *recvReq {
+	r := b.reqs[i]
+	copy(b.reqs[b.reqHead+1:i+1], b.reqs[b.reqHead:i])
+	b.reqs[b.reqHead] = nil
+	b.reqHead++
+	if b.reqHead == len(b.reqs) {
+		b.reqs = b.reqs[:0]
+		b.reqHead = 0
+	}
+	return r
+}
+
+// pushMsg appends m, sliding live entries down first if the ring's dead
+// prefix would otherwise force the backing array to grow.
+func (b *mailbox) pushMsg(m Message) {
+	if b.msgHead > 0 && len(b.msgs) == cap(b.msgs) {
+		n := copy(b.msgs, b.msgs[b.msgHead:])
+		tail := b.msgs[n:]
+		for i := range tail {
+			tail[i] = Message{}
+		}
+		b.msgs = b.msgs[:n]
+		b.msgHead = 0
+	}
+	b.msgs = append(b.msgs, m)
+}
+
+// pushReq appends r, compacting like pushMsg.
+func (b *mailbox) pushReq(r *recvReq) {
+	if b.reqHead > 0 && len(b.reqs) == cap(b.reqs) {
+		n := copy(b.reqs, b.reqs[b.reqHead:])
+		tail := b.reqs[n:]
+		for i := range tail {
+			tail[i] = nil
+		}
+		b.reqs = b.reqs[:n]
+		b.reqHead = 0
+	}
+	b.reqs = append(b.reqs, r)
 }
 
 // deliver matches m against posted receives or queues it.
 func (b *mailbox) deliver(m Message) {
-	b.mu.Lock()
-	for i, r := range b.reqs {
-		if r.matches(m) {
-			b.reqs = append(b.reqs[:i], b.reqs[i+1:]...)
-			b.mu.Unlock()
+	b.mu.lock()
+	for i := b.reqHead; i < len(b.reqs); i++ {
+		if b.reqs[i].matches(m) {
+			r := b.removeReq(i)
+			b.mu.unlock()
 			r.deliver(m)
 			return
 		}
 	}
-	b.msgs = append(b.msgs, m)
-	b.mu.Unlock()
+	b.pushMsg(m)
+	b.size.Add(1)
+	b.mu.unlock()
 }
 
 // post matches a receive against queued messages or queues it.
 func (b *mailbox) post(r *recvReq) {
-	b.mu.Lock()
-	for i, m := range b.msgs {
-		if r.matches(m) {
-			b.msgs = append(b.msgs[:i], b.msgs[i+1:]...)
-			b.mu.Unlock()
+	b.mu.lock()
+	for i := b.msgHead; i < len(b.msgs); i++ {
+		if r.matches(b.msgs[i]) {
+			m := b.removeMsg(i)
+			b.mu.unlock()
 			r.deliver(m)
 			return
 		}
 	}
-	b.reqs = append(b.reqs, r)
-	b.mu.Unlock()
+	b.pushReq(r)
+	b.mu.unlock()
 }
 
 // take removes and returns a matching queued message, if any.
 func (b *mailbox) take(src, tag int) (Message, bool) {
 	r := recvReq{src: src, tag: tag}
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	for i, m := range b.msgs {
-		if r.matches(m) {
-			b.msgs = append(b.msgs[:i], b.msgs[i+1:]...)
-			return m, true
+	b.mu.lock()
+	defer b.mu.unlock()
+	for i := b.msgHead; i < len(b.msgs); i++ {
+		if r.matches(b.msgs[i]) {
+			return b.removeMsg(i), true
 		}
 	}
 	return Message{}, false
@@ -68,12 +162,70 @@ func (b *mailbox) take(src, tag int) (Message, bool) {
 // probe reports whether a matching message is queued, without removing it.
 func (b *mailbox) probe(src, tag int) (Message, bool) {
 	r := recvReq{src: src, tag: tag}
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	for _, m := range b.msgs {
-		if r.matches(m) {
-			return m, true
+	b.mu.lock()
+	defer b.mu.unlock()
+	for i := b.msgHead; i < len(b.msgs); i++ {
+		if r.matches(b.msgs[i]) {
+			return b.msgs[i], true
 		}
 	}
 	return Message{}, false
+}
+
+// recvWaiter is a pooled one-shot rendezvous for blocking receives: the
+// request, the channel, and the delivery closure are built once and
+// reused, so a ping-pong loop allocates nothing per Recv. Reuse is safe
+// because the mailbox unlinks a request before invoking deliver, and
+// deliver's channel send is its final touch of the waiter — once the
+// receiver has the message, nothing else references it.
+type recvWaiter struct {
+	ch  chan Message
+	req recvReq
+}
+
+var waiterPool = sync.Pool{New: func() any {
+	w := &recvWaiter{ch: make(chan Message, 1)}
+	w.req.deliver = func(m Message) { w.ch <- m }
+	return w
+}}
+
+// recvSpinRounds bounds the poll-and-yield fast path recvBlocking tries
+// before parking on a waiter channel. For rendezvous patterns on the
+// zero-cost path (ping-pong, tight request/reply loops) the peer's
+// message lands in the mailbox within a scheduler yield, so the steady
+// state never pays a park/unpark; when the match is genuinely far away
+// (a modelled network delay), the loop gives up after a few cheap
+// rounds and blocks as before.
+const recvSpinRounds = 4
+
+// recvBlocking posts a (src, tag) receive and blocks until it matches.
+//
+// The initial take-poll is linearizable as an immediate post-and-match:
+// the mailbox maintains the invariant that queued messages and queued
+// requests never match each other (deliver and post each cross-check
+// the opposite queue before queueing), so any message take finds is one
+// no earlier-posted receive was waiting for, and take consumes the
+// first match from the head exactly as post would.
+func (b *mailbox) recvBlocking(src, tag int) Message {
+	for i := 0; ; i++ {
+		// The size gate keeps the empty-mailbox rounds lock-free: a
+		// match delivered while we poll is always an enqueue (our
+		// request is not posted yet, so deliver cannot hand it to us
+		// directly), and every enqueue raises size.
+		if b.size.Load() > 0 {
+			if m, ok := b.take(src, tag); ok {
+				return m
+			}
+		}
+		if i == recvSpinRounds {
+			break
+		}
+		runtime.Gosched()
+	}
+	w := waiterPool.Get().(*recvWaiter)
+	w.req.src, w.req.tag = src, tag
+	b.post(&w.req)
+	m := <-w.ch
+	waiterPool.Put(w)
+	return m
 }

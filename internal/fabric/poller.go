@@ -1,0 +1,213 @@
+package fabric
+
+import (
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/spin"
+)
+
+// poller is Sim's delivery engine: a min-heap of links keyed by their
+// head arrival deadline, served by a small, lazily-grown pool of worker
+// goroutines. Each wakeup lands a *batch* of due deliveries (every due
+// head across every due link) instead of spin-waiting once per message,
+// and the pool is bounded by maxWorkers regardless of how many (src,dst)
+// pairs are active — the property that lets a 10k-rank world run.
+//
+// Worker roles at any instant: some workers drain due links, and at most
+// one worker is the "timekeeper", sleeping until the earliest future
+// deadline. Workers exit when the heap is empty (an idle fabric holds no
+// goroutines) and when a timekeeper already exists, so the pool breathes
+// with load but never exceeds maxWorkers.
+//
+// Waiting is interruptible: the timekeeper publishes its target in
+// sleepNs and parks on a reusable timer (long waits) or spins in short
+// chunks (the sub-2ms tail, where OS timers are too coarse). A transmit
+// that creates an earlier deadline lowers sleepNs under the poller lock
+// and nudges the wake channel; the timekeeper re-reads its target at
+// every wake and chunk boundary.
+type poller struct {
+	mu         sync.Mutex
+	heap       []*pairLink // min-heap on pairLink.nextNs
+	workers    int         // live pollLoop goroutines
+	drainers   int         // workers currently inside drain()
+	sleeping   bool        // a timekeeper exists
+	maxWorkers int
+
+	sleepNs atomic.Int64  // timekeeper's current target (MaxInt64 when none)
+	wake    chan struct{} // capacity 1; nudges the timekeeper
+	timer   *time.Timer   // reusable long-wait timer, owned by the timekeeper
+}
+
+const (
+	// sleepSpinChunk bounds how long the timekeeper spins before
+	// re-checking for a lowered target.
+	sleepSpinChunk = 100 * time.Microsecond
+	// sleepTimerTail is the slack left to the spin loop after an OS
+	// timer wait, covering the timer's scheduling skew.
+	sleepTimerTail = 2 * time.Millisecond
+)
+
+func (p *poller) init() {
+	p.maxWorkers = runtime.GOMAXPROCS(0)
+	if p.maxWorkers > 8 {
+		p.maxWorkers = 8
+	}
+	if p.maxWorkers < 2 {
+		p.maxWorkers = 2
+	}
+	p.wake = make(chan struct{}, 1)
+	p.sleepNs.Store(math.MaxInt64)
+}
+
+// enqueue registers l (in linkQueued state, nextNs == ns) with the heap,
+// growing the worker pool if every live worker is occupied and alerting
+// the timekeeper if the new deadline beats its target.
+func (p *poller) enqueue(f *Sim, l *pairLink, ns int64) {
+	p.mu.Lock()
+	p.push(l)
+	busy := p.drainers
+	if p.sleeping {
+		busy++
+	}
+	if p.workers < p.maxWorkers && p.workers == busy {
+		p.workers++
+		go f.pollLoop()
+	}
+	if p.sleeping && ns < p.sleepNs.Load() {
+		p.sleepNs.Store(ns)
+		select {
+		case p.wake <- struct{}{}:
+		default:
+		}
+	}
+	p.mu.Unlock()
+}
+
+// pollLoop is one worker: pop due links and drain them; when the earliest
+// deadline is in the future, become the timekeeper (or exit if one
+// exists); exit when the heap is empty.
+func (f *Sim) pollLoop() {
+	p := &f.poll
+	for {
+		p.mu.Lock()
+		if len(p.heap) == 0 {
+			p.workers--
+			p.mu.Unlock()
+			return
+		}
+		l := p.heap[0]
+		if l.nextNs > f.nowNs() {
+			if p.sleeping {
+				p.workers--
+				p.mu.Unlock()
+				return
+			}
+			p.sleeping = true
+			p.sleepNs.Store(l.nextNs)
+			p.mu.Unlock()
+			f.sleepUntilTarget()
+			p.mu.Lock()
+			p.sleeping = false
+			p.sleepNs.Store(math.MaxInt64)
+			p.mu.Unlock()
+			continue
+		}
+		p.pop()
+		p.drainers++
+		p.mu.Unlock()
+		f.drain(l)
+		p.mu.Lock()
+		p.drainers--
+		p.mu.Unlock()
+	}
+}
+
+// sleepUntilTarget parks the timekeeper until poll.sleepNs (which
+// enqueue may lower mid-wait). Long waits park on the OS timer with a
+// tail of slack; the tail is spun in interruptible chunks for
+// sub-millisecond precision. This is the one place in the fabric that
+// spin-waits — every modelled delay in the process funnels through it.
+func (f *Sim) sleepUntilTarget() {
+	p := &f.poll
+	for {
+		remain := time.Duration(p.sleepNs.Load() - f.nowNs())
+		if remain <= 0 {
+			return
+		}
+		if remain > 2*sleepTimerTail {
+			if p.timer == nil {
+				p.timer = time.NewTimer(remain - sleepTimerTail)
+			} else {
+				p.timer.Reset(remain - sleepTimerTail)
+			}
+			select {
+			case <-p.timer.C:
+			case <-p.wake:
+				if !p.timer.Stop() {
+					select {
+					case <-p.timer.C:
+					default:
+					}
+				}
+			}
+			continue
+		}
+		chunk := remain
+		if chunk > sleepSpinChunk {
+			chunk = sleepSpinChunk
+		}
+		spin.Until(time.Now().Add(chunk))
+		select {
+		case <-p.wake:
+		default:
+		}
+	}
+}
+
+// push inserts l into the deadline heap. Caller holds p.mu.
+func (p *poller) push(l *pairLink) {
+	h := append(p.heap, l)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h[parent].nextNs <= h[i].nextNs {
+			break
+		}
+		h[parent], h[i] = h[i], h[parent]
+		i = parent
+	}
+	p.heap = h
+}
+
+// pop removes and returns the link with the earliest deadline. Caller
+// holds p.mu and has checked the heap is non-empty.
+func (p *poller) pop() *pairLink {
+	h := p.heap
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	h[last] = nil
+	h = h[:last]
+	p.heap = h
+	i := 0
+	for {
+		left := 2*i + 1
+		if left >= len(h) {
+			break
+		}
+		min := left
+		if right := left + 1; right < len(h) && h[right].nextNs < h[left].nextNs {
+			min = right
+		}
+		if h[i].nextNs <= h[min].nextNs {
+			break
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
+	}
+	return top
+}

@@ -42,8 +42,15 @@ import (
 // One-sided ops ride the same machinery as frames carrying an op id
 // into a process-global registry: the frame's arrival runs apply at the
 // destination and sends a completion frame back (itself reliable), whose
-// arrival pops the registry and runs onDone. A frame padded to the op's
-// modelled byte count keeps the inner cost model honest.
+// arrival pops the registry and runs onDone. The frame is padded to the
+// op's modelled byte count (carved directly in the pooled frame buffer,
+// never a separate allocation — receivers ignore RMA payload bytes) to
+// keep the inner cost model honest.
+//
+// Per-link protocol state lives in sharded lazy tables, so worlds only
+// pay for the links they use — an n-rank Reliable is O(active links),
+// not O(n²). Wire frames come from a reference-counted size-classed
+// pool (see bufpool.go) and recycle once the cumulative ack passes them.
 //
 // Sends to a rank the substrate reports crashed (the Alive interface
 // Chaos implements) fail fast instead of burning the full retry
@@ -57,13 +64,13 @@ type Reliable struct {
 	tagSpace
 	cfg   RelConfig
 	n     int
-	boxes []*mailbox
+	boxes []mailbox
 
 	dataTag int
 	ackTag  int
 
-	sendSt []relSender
-	recvSt []relReceiver
+	sendSt relTable[relSender]
+	recvSt relTable[relReceiver]
 
 	opMu   sync.Mutex
 	ops    map[uint64]*relOp
@@ -77,6 +84,35 @@ type Reliable struct {
 }
 
 var _ Transport = (*Reliable)(nil)
+
+// relShards is the shard count of the lazy per-link state tables.
+const relShards = 64
+
+// relTable is a sharded, lazily-populated map from (src,dst) to per-link
+// protocol state. Shard locks only guard the lookup; the returned state
+// carries its own mutex.
+type relTable[T any] struct {
+	shards [relShards]struct {
+		mu sync.Mutex
+		m  map[uint64]*T
+	}
+}
+
+func (t *relTable[T]) get(src, dst int) *T {
+	key := uint64(uint32(src))<<32 | uint64(uint32(dst))
+	sh := &t.shards[splitmix64(key)&(relShards-1)]
+	sh.mu.Lock()
+	v := sh.m[key]
+	if v == nil {
+		if sh.m == nil {
+			sh.m = make(map[uint64]*T)
+		}
+		v = new(T)
+		sh.m[key] = v
+	}
+	sh.mu.Unlock()
+	return v
+}
 
 // RelConfig tunes the retry schedule. The zero value selects defaults
 // suited to the simulated fabrics (base 200µs, cap 5ms, 12 attempts,
@@ -119,14 +155,20 @@ const (
 // frameHeader is [seq u64][kind u8][a u64][b u64].
 const frameHeader = 8 + 1 + 8 + 8
 
-func encodeFrame(seq uint64, kind byte, a, b uint64, payload []byte) []byte {
-	buf := make([]byte, frameHeader+len(payload))
+// encodeFrame builds a pooled wire frame: header, payload copy, then
+// `pad` uninitialized bytes. Padding models an RMA transfer's size for
+// the inner cost model; its contents are never read (receivers ignore
+// the payload of frPut/frGet frames), so it costs no allocation and no
+// memset. The returned buffer has one reference held.
+func encodeFrame(seq uint64, kind byte, a, b uint64, payload []byte, pad int) *frameBuf {
+	fb := getFrameBuf(frameHeader + len(payload) + pad)
+	buf := fb.b
 	binary.LittleEndian.PutUint64(buf, seq)
 	buf[8] = kind
 	binary.LittleEndian.PutUint64(buf[9:], a)
 	binary.LittleEndian.PutUint64(buf[17:], b)
 	copy(buf[frameHeader:], payload)
-	return buf
+	return fb
 }
 
 func decodeFrame(buf []byte) (seq uint64, kind byte, a, b uint64, payload []byte) {
@@ -138,10 +180,11 @@ func decodeFrame(buf []byte) (seq uint64, kind byte, a, b uint64, payload []byte
 	return
 }
 
-// relFrame is one unacked in-flight frame at a sender.
+// relFrame is one unacked in-flight frame at a sender. buf holds the
+// unacked list's reference until the frame is acked or the link dies.
 type relFrame struct {
 	seq uint64
-	buf []byte
+	buf *frameBuf
 }
 
 // relSender is one (src,dst) link's sender state.
@@ -164,12 +207,15 @@ type pendFrame struct {
 	payload []byte
 }
 
-// relReceiver is one (src,dst) link's receiver state.
+// relReceiver is one (src,dst) link's receiver state. queue is a
+// head-indexed ring: the delivery loop advances qHead and zeroes popped
+// slots so delivered payloads don't linger in the backing array.
 type relReceiver struct {
 	mu         sync.Mutex
 	expected   uint64 // next in-order seq (first frame is 1)
 	ooo        map[uint64]pendFrame
 	queue      []pendFrame
+	qHead      int
 	delivering bool
 }
 
@@ -189,14 +235,9 @@ func NewReliable(inner Transport, cfg RelConfig) *Reliable {
 		inner:    inner,
 		cfg:      cfg.withDefaults(),
 		n:        n,
-		boxes:    make([]*mailbox, n),
-		sendSt:   make([]relSender, n*n),
-		recvSt:   make([]relReceiver, n*n),
+		boxes:    make([]mailbox, n),
 		ops:      make(map[uint64]*relOp),
 		linkErrs: make(map[[2]int]error),
-	}
-	for i := range r.boxes {
-		r.boxes[i] = &mailbox{}
 	}
 	base := inner.AllocTags(2)
 	r.dataTag, r.ackTag = base, base-1
@@ -341,7 +382,8 @@ func (r *Reliable) armTimerLocked(s *relSender, src, dst int) {
 }
 
 // dieLocked declares the link dead and returns the frames to fail;
-// s.mu held. The caller unlocks before completing them.
+// s.mu held. The caller unlocks before completing them. Ownership of
+// the frames' list references transfers to the caller.
 func (r *Reliable) dieLocked(s *relSender) []relFrame {
 	pending := s.unacked
 	s.unacked = nil
@@ -358,9 +400,11 @@ func (r *Reliable) dieLocked(s *relSender) []relFrame {
 // the hook — all outside protocol locks.
 func (r *Reliable) finishDie(src, dst int, err error, pending []relFrame) {
 	r.recordLinkErr(src, dst, err)
-	for _, f := range pending {
-		_, kind, a, _, _ := decodeFrame(f.buf)
+	for i := range pending {
+		_, kind, a, _, _ := decodeFrame(pending[i].buf.b)
 		r.failFrame(kind, a)
+		pending[i].buf.release()
+		pending[i].buf = nil
 	}
 	if cb := r.onLink.Load(); cb != nil {
 		(*cb)(src, dst, err)
@@ -375,7 +419,7 @@ func (r *Reliable) finishDie(src, dst int, err error, pending []relFrame) {
 // the full window would amplify one lost frame into a storm that
 // outruns the receiver's drain rate.
 func (r *Reliable) onTimer(src, dst int, gen uint64) {
-	s := &r.sendSt[src*r.n+dst]
+	s := r.sendSt.get(src, dst)
 	s.mu.Lock()
 	if s.dead || s.timerGen != gen || len(s.unacked) == 0 {
 		s.mu.Unlock()
@@ -394,17 +438,22 @@ func (r *Reliable) onTimer(src, dst int, gen uint64) {
 			pending)
 		return
 	}
-	head := s.unacked[0]
+	// Retain the head buffer so a concurrent ack popping it cannot
+	// recycle it out from under the resend below.
+	head := s.unacked[0].buf
+	head.retain()
 	r.armTimerLocked(s, src, dst)
 	s.mu.Unlock()
 	r.retries.Add(1)
-	r.inner.Send(src, dst, r.dataTag, head.buf)
+	r.inner.Send(src, dst, r.dataTag, head.b)
+	head.release()
 }
 
 // sendFrame runs one frame through the sender machinery. Every
-// application operation funnels through here.
-func (r *Reliable) sendFrame(src, dst int, kind byte, a, b uint64, payload []byte) {
-	s := &r.sendSt[src*r.n+dst]
+// application operation funnels through here. The wire frame carries
+// payload followed by `pad` modelled-size bytes (see encodeFrame).
+func (r *Reliable) sendFrame(src, dst int, kind byte, a, b uint64, payload []byte, pad int) {
+	s := r.sendSt.get(src, dst)
 	s.mu.Lock()
 	if !s.dead && (!r.alive(dst) || !r.alive(src)) {
 		pending := r.dieLocked(s)
@@ -419,8 +468,9 @@ func (r *Reliable) sendFrame(src, dst int, kind byte, a, b uint64, payload []byt
 		return
 	}
 	s.nextSeq++
-	buf := encodeFrame(s.nextSeq, kind, a, b, payload)
-	s.unacked = append(s.unacked, relFrame{seq: s.nextSeq, buf: buf})
+	fb := encodeFrame(s.nextSeq, kind, a, b, payload, pad)
+	fb.retain() // for the Send below; the list reference stays with unacked
+	s.unacked = append(s.unacked, relFrame{seq: s.nextSeq, buf: fb})
 	if len(s.unacked) == 1 {
 		s.attempts = 0
 		s.lastHeard = time.Now()
@@ -429,7 +479,8 @@ func (r *Reliable) sendFrame(src, dst int, kind byte, a, b uint64, payload []byt
 	s.mu.Unlock()
 	// Outside s.mu: an inline substrate delivers synchronously, and the
 	// resulting ack re-enters handleAck on this goroutine.
-	r.inner.Send(src, dst, r.dataTag, buf)
+	r.inner.Send(src, dst, r.dataTag, fb.b)
+	fb.release()
 }
 
 func deadOf(r *Reliable, src, dst int) int {
@@ -446,7 +497,7 @@ func (r *Reliable) handleAck(rank int, m Message) {
 		return
 	}
 	cum := binary.LittleEndian.Uint64(m.Data)
-	s := &r.sendSt[rank*r.n+m.Src]
+	s := r.sendSt.get(rank, m.Src)
 	s.mu.Lock()
 	if s.dead {
 		s.mu.Unlock()
@@ -464,9 +515,17 @@ func (r *Reliable) handleAck(rank int, m Message) {
 		s.ackedTo = cum
 		i := 0
 		for i < len(s.unacked) && s.unacked[i].seq <= cum {
+			s.unacked[i].buf.release()
 			i++
 		}
-		s.unacked = s.unacked[i:]
+		// Copy live frames down and zero the vacated tail so acked
+		// buffers don't stay pinned through the backing array.
+		n := copy(s.unacked, s.unacked[i:])
+		tail := s.unacked[n:]
+		for j := range tail {
+			tail[j] = relFrame{}
+		}
+		s.unacked = s.unacked[:n]
 	}
 	if len(s.unacked) == 0 {
 		s.timerGen++
@@ -498,7 +557,7 @@ func (r *Reliable) handleData(dst int, m Message) {
 		return
 	}
 	seq, kind, a, b, payload := decodeFrame(m.Data)
-	rc := &r.recvSt[src*r.n+dst]
+	rc := r.recvSt.get(src, dst)
 	rc.mu.Lock()
 	if rc.expected == 0 {
 		rc.expected = 1
@@ -532,13 +591,16 @@ func (r *Reliable) handleData(dst int, m Message) {
 		return
 	}
 	rc.delivering = true
-	for len(rc.queue) > 0 {
-		f := rc.queue[0]
-		rc.queue = rc.queue[1:]
+	for rc.qHead < len(rc.queue) {
+		f := rc.queue[rc.qHead]
+		rc.queue[rc.qHead] = pendFrame{}
+		rc.qHead++
 		rc.mu.Unlock()
 		r.deliverFrame(src, dst, f)
 		rc.mu.Lock()
 	}
+	rc.queue = rc.queue[:0]
+	rc.qHead = 0
 	rc.delivering = false
 	ack := rc.expected - 1
 	rc.mu.Unlock()
@@ -552,7 +614,7 @@ func (r *Reliable) deliverFrame(src, dst int, f pendFrame) {
 		r.boxes[dst].deliver(Message{Src: src, Dst: dst, Tag: int(int64(f.a)), Data: f.payload})
 	case frPut, frGet:
 		r.opApply(f.a)
-		r.sendFrame(dst, src, frDone, f.a, 0, nil)
+		r.sendFrame(dst, src, frDone, f.a, 0, nil, 0)
 	case frDone:
 		r.completeOp(f.a)
 	}
@@ -566,7 +628,7 @@ func (r *Reliable) Cost() CostModel { return r.inner.Cost() }
 
 // Send implements Transport: eager, reliable, per-link FIFO.
 func (r *Reliable) Send(src, dst, tag int, data []byte) {
-	r.sendFrame(src, dst, frMsg, uint64(int64(tag)), 0, data)
+	r.sendFrame(src, dst, frMsg, uint64(int64(tag)), 0, data, 0)
 }
 
 // Put implements Transport: the transfer is framed and retried like any
@@ -576,21 +638,19 @@ func (r *Reliable) Send(src, dst, tag int, data []byte) {
 // OnLinkError) — one-sided ops error, they do not hang.
 func (r *Reliable) Put(src, dst, bytes int, apply, onDone func()) {
 	id := r.registerOp(apply, onDone)
-	r.sendFrame(src, dst, frPut, id, uint64(bytes), make([]byte, bytes))
+	r.sendFrame(src, dst, frPut, id, uint64(bytes), nil, bytes)
 }
 
 // Get implements Transport; modelled like Sim's Get as one src→dst
 // transfer of the reply size.
 func (r *Reliable) Get(src, dst, bytes int, apply, onDone func()) {
 	id := r.registerOp(apply, onDone)
-	r.sendFrame(src, dst, frGet, id, uint64(bytes), make([]byte, bytes))
+	r.sendFrame(src, dst, frGet, id, uint64(bytes), nil, bytes)
 }
 
 // Recv implements Transport against Reliable's own mailboxes.
 func (r *Reliable) Recv(dst, src, tag int) Message {
-	ch := make(chan Message, 1)
-	r.boxes[dst].post(&recvReq{src: src, tag: tag, deliver: func(m Message) { ch <- m }})
-	return <-ch
+	return r.boxes[dst].recvBlocking(src, tag)
 }
 
 // RecvAsync implements Transport.

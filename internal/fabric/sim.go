@@ -6,17 +6,44 @@ import (
 	"sync/atomic"
 	"time"
 
-	"repro/internal/spin"
 	"repro/internal/trace"
 )
 
+// meterStripes is the number of counter stripes in a meter. Power of two
+// so striping is a mask, sized so that worlds with many concurrently
+// sending ranks spread their accounting over many cache lines.
+const meterStripes = 32
+
+// meterStripe is one cache line of transfer counters. The padding keeps
+// adjacent stripes from false-sharing: at 10k ranks every rank bumps a
+// counter per send, and a single shared pair of atomics becomes the
+// hottest line in the process.
+//
+// Message count and payload bytes share one packed word so the hot path
+// is a single atomic add: the count lives above meterBytesBits, bytes
+// below. The split supports 16 TiB of cumulative modelled payload and
+// one million billion messages per stripe before either field saturates
+// — far beyond any simulated workload's lifetime.
+type meterStripe struct {
+	packed atomic.Int64
+	_      [56]byte
+}
+
+// meterBytesBits is the width of the byte-count field in a stripe.
+const meterBytesBits = 44
+
 // meter is the shared accounting/observability state of a transport:
-// cumulative transfer counts and the attached tracer. Embedded by both
-// backends so every implementation reports uniformly.
+// cumulative transfer counts (striped by source rank) and the attached
+// tracer. Embedded by both backends so every implementation reports
+// uniformly.
 type meter struct {
-	sent      atomic.Int64
-	sentBytes atomic.Int64
-	tracer    atomic.Pointer[trace.Tracer]
+	stripes [meterStripes]meterStripe
+	tracer  atomic.Pointer[trace.Tracer]
+}
+
+// count records one transfer issued by src.
+func (m *meter) count(src, bytes int) {
+	m.stripes[uint(src)&(meterStripes-1)].packed.Add(1<<meterBytesBits | int64(bytes))
 }
 
 // SetTracer implements Transport. The tracer's external ring records one
@@ -25,7 +52,12 @@ func (m *meter) SetTracer(tr *trace.Tracer) { m.tracer.Store(tr) }
 
 // Stats implements Transport.
 func (m *meter) Stats() (msgs, bytes int64) {
-	return m.sent.Load(), m.sentBytes.Load()
+	for i := range m.stripes {
+		v := m.stripes[i].packed.Load()
+		msgs += v >> meterBytesBits
+		bytes += v & (1<<meterBytesBits - 1)
+	}
+	return msgs, bytes
 }
 
 // traceMsg records a message event: Task packs src<<32|dst, Arg is bytes.
@@ -51,30 +83,88 @@ func (a *tagSpace) AllocTags(n int) int {
 	return -int(end-int64(n)) - 2
 }
 
+// Link-drain states. A link is idle (empty queue, unknown to the
+// poller), queued (sitting in the poller heap keyed by its head arrival),
+// or draining (exactly one poller worker is landing its due transfers).
+// The three-state machine is what guarantees a single drainer per link —
+// the FIFO invariant — without a goroutine per link.
+const (
+	linkIdle = iota
+	linkQueued
+	linkDraining
+)
+
 // pairLink serializes deliveries for one (src, dst) pair so that per-pair
 // FIFO ordering — an MPI guarantee, and the visibility order SHMEM codes
 // lean on — holds even under the latency model. Transfers pipeline: a
 // transfer's arrival time is max(previous arrival, issue time + delay),
 // matching a network that keeps packets in order while overlapping
-// transfers.
+// transfers. Links are created lazily on first use, so a 10k-rank world
+// only pays for the pairs that actually talk.
 type pairLink struct {
-	mu          sync.Mutex
-	q           []scheduled
-	running     bool
-	lastArrival time.Time
+	mu            sync.Mutex
+	q             []scheduled // ring: live entries are q[head:]
+	head          int
+	state         int32
+	lastArrivalNs int64
+	src, dst      int32
+
+	// nextNs is the arrival deadline the poller heap orders this link
+	// by. It is written only on the idle→queued transition (before the
+	// link is pushed) and read by heap operations; per-link arrival
+	// monotonicity means it never needs to decrease while queued.
+	nextNs int64
 }
 
+// Transfer kinds: a two-sided message delivering into a mailbox, or a
+// one-sided RMA running its apply callback.
+const (
+	kindMsg = iota
+	kindRMA
+)
+
 // scheduled is one in-flight transfer: an arrival deadline plus the
-// closures to run when it lands. Two-sided sends and one-sided RMA go
-// through the same queue, which is what makes congestion and ordering
-// apply across modules sharing the fabric.
+// effect to run when it lands. Two-sided sends carry their Message
+// directly (no per-send closure); one-sided RMA carries apply/onDone.
+// Both go through the same queue, which is what makes congestion and
+// ordering apply across modules sharing the fabric.
 type scheduled struct {
-	deliver   func() // the arrival effect (mailbox delivery, remote store)
-	onDone    func() // completion callback, after deliver and accounting
-	arrival   time.Time
-	src, dst  int
+	apply     func() // kindRMA: the arrival effect (remote store / fetch)
+	onDone    func() // completion callback, after delivery and accounting
+	msg       Message
+	arrivalNs int64
 	bytes     int
+	kind      uint8
 	congested bool // holds a slot in inflight[dst] until delivery
+}
+
+// linkShards is the fixed shard count of the lazy link table. Power of
+// two; 128 shards keep lock contention negligible even with thousands of
+// ranks hashing (src,dst) pairs concurrently.
+const linkShards = 128
+
+// linkShard is one lock-protected slice of the link table.
+type linkShard struct {
+	mu    sync.Mutex
+	links map[uint64]*pairLink
+}
+
+// splitmix64 is the SplitMix64 finalizer — a cheap, well-mixed hash for
+// spreading (src,dst) keys over shards.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// padded is an atomic counter alone on its cache line. inflight[dst] is
+// bumped by every sender targeting dst; without padding, neighbouring
+// destinations' counters share lines and incast benchmarks measure cache
+// bouncing instead of the model.
+type padded struct {
+	v atomic.Int64
+	_ [56]byte
 }
 
 // Sim is the cost-modeled interconnect backend: latency, bandwidth,
@@ -83,14 +173,23 @@ type scheduled struct {
 // runtimes used in the paper's evaluation. With a zero CostModel it
 // delivers inline (deterministic, no goroutines), so it doubles as the
 // default transport for unit-test worlds.
+//
+// The delivery engine is built to scale to 10⁴ ranks: links are created
+// lazily in a sharded table (not an O(n²) array), and arrivals are landed
+// by a small fixed pool of poller goroutines multiplexed over a min-heap
+// of link deadlines (not a goroutine per active pair).
 type Sim struct {
 	meter
 	tagSpace
 	n        int
 	cost     CostModel
-	boxes    []*mailbox
-	links    []pairLink     // [src*n+dst]
-	inflight []atomic.Int64 // per destination, shared by every world on this fabric
+	zero     bool
+	base     time.Time // epoch for monotonic int64-ns arrival arithmetic
+	boxes    []mailbox
+	shards   [linkShards]linkShard
+	inflight []padded // per destination, shared by every world on this fabric
+	poll     poller
+	payloads byteArena // batches Send's payload snapshots
 }
 
 var _ Transport = (*Sim)(nil)
@@ -101,21 +200,30 @@ func NewSim(n int, cost CostModel) *Sim {
 	if n <= 0 {
 		panic(fmt.Sprintf("fabric: transport needs at least 1 rank, got %d", n))
 	}
-	f := &Sim{n: n, cost: cost}
-	f.boxes = make([]*mailbox, n)
-	for i := range f.boxes {
-		f.boxes[i] = &mailbox{}
+	f := &Sim{n: n, cost: cost, zero: cost.Zero(), base: time.Now()}
+	f.boxes = make([]mailbox, n)
+	if cost.CongestWindow > 0 {
+		f.inflight = make([]padded, n)
 	}
-	f.links = make([]pairLink, n*n)
-	f.inflight = make([]atomic.Int64, n)
+	f.poll.init()
 	return f
 }
+
+// nowNs is the simulator clock: nanoseconds since the fabric's epoch, on
+// the runtime's monotonic clock. Keeping arrivals as int64 makes heap
+// comparisons and pipelining arithmetic branch-free and allocation-free.
+func (f *Sim) nowNs() int64 { return int64(time.Since(f.base)) }
 
 // Size implements Transport.
 func (f *Sim) Size() int { return f.n }
 
 // Cost implements Transport.
 func (f *Sim) Cost() CostModel { return f.cost }
+
+// PollerCap reports the maximum number of poller goroutines this fabric
+// will ever run. The data plane's goroutine budget is O(PollerCap), not
+// O(active pairs).
+func (f *Sim) PollerCap() int { return f.poll.maxWorkers }
 
 // checkRank panics on out-of-range ranks (programming error).
 func (f *Sim) checkRank(r int) {
@@ -124,17 +232,175 @@ func (f *Sim) checkRank(r int) {
 	}
 }
 
-// transmit schedules one transfer of `bytes` from src to dst: deliver
-// runs at arrival, onDone directly after. This is the single path every
-// operation — Send, Put, Get — funnels through, so congestion
-// accounting, FIFO pipelining, statistics, and trace events are uniform.
-func (f *Sim) transmit(src, dst, bytes int, deliver, onDone func()) {
-	f.sent.Add(1)
-	f.sentBytes.Add(int64(bytes))
+// checkRank2 folds the common two-rank validation into one branch on
+// the hot path; the slow path re-runs checkRank for the exact message.
+func (f *Sim) checkRank2(a, b int) {
+	if uint(a) >= uint(f.n) || uint(b) >= uint(f.n) {
+		f.checkRank(a)
+		f.checkRank(b)
+	}
+}
+
+// link returns the pairLink for (src, dst), creating it on first use.
+func (f *Sim) link(src, dst int) *pairLink {
+	key := uint64(uint32(src))<<32 | uint64(uint32(dst))
+	sh := &f.shards[splitmix64(key)&(linkShards-1)]
+	sh.mu.Lock()
+	l := sh.links[key]
+	if l == nil {
+		if sh.links == nil {
+			sh.links = make(map[uint64]*pairLink)
+		}
+		l = &pairLink{src: int32(src), dst: int32(dst)}
+		sh.links[key] = l
+	}
+	sh.mu.Unlock()
+	return l
+}
+
+// schedule queues one costed transfer of `bytes` from src to dst. This is
+// the single funnel for every non-zero-cost operation — Send, Put, Get —
+// so congestion accounting, FIFO pipelining, statistics, and trace events
+// stay uniform. The caller has already recorded count + EvMsgSend.
+func (f *Sim) schedule(src, dst, bytes int, s scheduled) {
+	delay := f.cost.DelayBetween(src, dst, bytes)
+	if f.cost.CongestWindow > 0 && !f.cost.SameNode(src, dst) {
+		s.congested = true
+		delay += f.cost.CongestDelay(f.inflight[dst].v.Add(1))
+	}
+	s.bytes = bytes
+
+	l := f.link(src, dst)
+	l.mu.Lock()
+	arrival := f.nowNs() + int64(delay)
+	if arrival < l.lastArrivalNs {
+		arrival = l.lastArrivalNs
+	}
+	l.lastArrivalNs = arrival
+	s.arrivalNs = arrival
+	if l.head > 0 && len(l.q) == cap(l.q) {
+		// Slide live entries down instead of growing: keeps the ring's
+		// backing array bounded by the peak number of in-flight
+		// transfers on this link.
+		n := copy(l.q, l.q[l.head:])
+		clearTail := l.q[n:]
+		for i := range clearTail {
+			clearTail[i] = scheduled{}
+		}
+		l.q = l.q[:n]
+		l.head = 0
+	}
+	l.q = append(l.q, s)
+	enqueue := l.state == linkIdle
+	if enqueue {
+		l.state = linkQueued
+		l.nextNs = arrival // queue was empty: the new entry is the head
+	}
+	l.mu.Unlock()
+	if enqueue {
+		f.poll.enqueue(f, l, arrival)
+	}
+}
+
+// deliverOne lands one transfer: arrival effect, recv trace event,
+// congestion release, completion callback. Runs with no locks held —
+// callbacks are allowed to re-enter the transport (Reliable's ack path
+// does exactly that).
+func (f *Sim) deliverOne(l *pairLink, s *scheduled) {
+	if s.kind == kindMsg {
+		f.boxes[l.dst].deliver(s.msg)
+	} else if s.apply != nil {
+		s.apply()
+	}
+	f.traceMsg(trace.EvMsgRecv, int(l.src), int(l.dst), s.bytes)
+	if s.congested {
+		f.inflight[l.dst].v.Add(-1)
+	}
+	if s.onDone != nil {
+		s.onDone()
+	}
+}
+
+// drain lands l's due transfers in FIFO order, then either returns the
+// link to idle (queue empty) or re-queues it in the poller heap keyed by
+// the next head arrival. Exactly one worker runs drain for a given link
+// at a time (state machine: the poller popped it in linkQueued state).
+func (f *Sim) drain(l *pairLink) {
+	for {
+		l.mu.Lock()
+		l.state = linkDraining
+		if l.head == len(l.q) {
+			l.q = l.q[:0]
+			l.head = 0
+			l.state = linkIdle
+			l.mu.Unlock()
+			return
+		}
+		s := l.q[l.head]
+		if s.arrivalNs > f.nowNs() {
+			l.state = linkQueued
+			l.nextNs = s.arrivalNs
+			l.mu.Unlock()
+			f.poll.enqueue(f, l, s.arrivalNs)
+			return
+		}
+		// Zero the popped slot so landed transfers (and their callback
+		// captures) don't stay reachable through the ring's backing
+		// array.
+		l.q[l.head] = scheduled{}
+		l.head++
+		l.mu.Unlock()
+		f.deliverOne(l, &s)
+	}
+}
+
+// Send implements Transport: eager two-sided send (the buffer is copied
+// before Send returns).
+func (f *Sim) Send(src, dst, tag int, data []byte) {
+	f.checkRank2(src, dst)
+	n := len(data)
+	buf := f.payloads.alloc(n)
+	copy(buf, data)
+	m := Message{Src: src, Dst: dst, Tag: tag, Data: buf}
+	f.count(src, n)
+	if f.zero {
+		// One tracer load covers both events on the hot path.
+		if tr := f.tracer.Load(); tr != nil && tr.Enabled() {
+			key := uint64(uint32(src))<<32 | uint64(uint32(dst))
+			tr.RecordExternal(trace.EvMsgSend, trace.NoPlace, key, uint64(n))
+			f.boxes[dst].deliver(m)
+			tr.RecordExternal(trace.EvMsgRecv, trace.NoPlace, key, uint64(n))
+			return
+		}
+		f.boxes[dst].deliver(m)
+		return
+	}
+	f.traceMsg(trace.EvMsgSend, src, dst, n)
+	f.schedule(src, dst, n, scheduled{kind: kindMsg, msg: m})
+}
+
+// Put implements Transport: one-sided transfer of `bytes`, apply at
+// arrival, onDone after.
+func (f *Sim) Put(src, dst, bytes int, apply, onDone func()) {
+	f.checkRank2(src, dst)
+	f.rma(src, dst, bytes, apply, onDone)
+}
+
+// Get implements Transport: one-sided round trip fetching `bytes` from
+// dst, charged as a single delivery on the src→dst link (request plus
+// returning payload as one modelled delay, congesting the data's owner).
+func (f *Sim) Get(src, dst, bytes int, apply, onDone func()) {
+	f.checkRank2(src, dst)
+	f.rma(src, dst, bytes, apply, onDone)
+}
+
+// rma is the shared one-sided path.
+func (f *Sim) rma(src, dst, bytes int, apply, onDone func()) {
+	f.count(src, bytes)
 	f.traceMsg(trace.EvMsgSend, src, dst, bytes)
-	if f.cost.Zero() {
-		if deliver != nil {
-			deliver()
+	if f.zero {
+		if apply != nil {
+			apply()
 		}
 		f.traceMsg(trace.EvMsgRecv, src, dst, bytes)
 		if onDone != nil {
@@ -142,93 +408,13 @@ func (f *Sim) transmit(src, dst, bytes int, deliver, onDone func()) {
 		}
 		return
 	}
-	delay := f.cost.DelayBetween(src, dst, bytes)
-	congest := f.cost.CongestWindow > 0 && !f.cost.SameNode(src, dst)
-	if congest {
-		excess := f.inflight[dst].Add(1) - int64(f.cost.CongestWindow)
-		if excess > 0 {
-			delay += time.Duration(excess) * f.cost.CongestPenalty
-		}
-	}
-	link := &f.links[src*f.n+dst]
-	link.mu.Lock()
-	arrival := time.Now().Add(delay)
-	if arrival.Before(link.lastArrival) {
-		arrival = link.lastArrival
-	}
-	link.lastArrival = arrival
-	link.q = append(link.q, scheduled{
-		deliver: deliver, onDone: onDone, arrival: arrival,
-		src: src, dst: dst, bytes: bytes, congested: congest,
-	})
-	if !link.running {
-		link.running = true
-		go f.drainLink(link, dst)
-	}
-	link.mu.Unlock()
-}
-
-// drainLink lands one pair's transfers in order at their arrival times.
-func (f *Sim) drainLink(link *pairLink, dst int) {
-	for {
-		link.mu.Lock()
-		if len(link.q) == 0 {
-			link.running = false
-			link.mu.Unlock()
-			return
-		}
-		sm := link.q[0]
-		link.q = link.q[1:]
-		link.mu.Unlock()
-
-		spin.Until(sm.arrival)
-		if sm.deliver != nil {
-			sm.deliver()
-		}
-		f.traceMsg(trace.EvMsgRecv, sm.src, dst, sm.bytes)
-		if sm.congested {
-			f.inflight[dst].Add(-1)
-		}
-		if sm.onDone != nil {
-			sm.onDone()
-		}
-	}
-}
-
-// Send implements Transport: eager two-sided send (the buffer is copied
-// before Send returns).
-func (f *Sim) Send(src, dst, tag int, data []byte) {
-	f.checkRank(src)
-	f.checkRank(dst)
-	buf := make([]byte, len(data))
-	copy(buf, data)
-	m := Message{Src: src, Dst: dst, Tag: tag, Data: buf}
-	f.transmit(src, dst, len(data), func() { f.boxes[dst].deliver(m) }, nil)
-}
-
-// Put implements Transport: one-sided transfer of `bytes`, apply at
-// arrival, onDone after.
-func (f *Sim) Put(src, dst, bytes int, apply, onDone func()) {
-	f.checkRank(src)
-	f.checkRank(dst)
-	f.transmit(src, dst, bytes, apply, onDone)
-}
-
-// Get implements Transport: one-sided round trip fetching `bytes` from
-// dst, charged as a single delivery on the src→dst link (request plus
-// returning payload as one modelled delay, congesting the data's owner).
-func (f *Sim) Get(src, dst, bytes int, apply, onDone func()) {
-	f.checkRank(src)
-	f.checkRank(dst)
-	f.transmit(src, dst, bytes, apply, onDone)
+	f.schedule(src, dst, bytes, scheduled{kind: kindRMA, apply: apply, onDone: onDone})
 }
 
 // Recv implements Transport: blocks until a matching message arrives.
 func (f *Sim) Recv(dst, src, tag int) Message {
 	f.checkRank(dst)
-	ch := make(chan Message, 1)
-	f.boxes[dst].post(&recvReq{src: src, tag: tag, deliver: func(m Message) { ch <- m }})
-	return <-ch
+	return f.boxes[dst].recvBlocking(src, tag)
 }
 
 // RecvAsync implements Transport.

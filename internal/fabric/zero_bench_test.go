@@ -1,0 +1,39 @@
+package fabric
+
+import "testing"
+
+// BenchmarkZeroSendRecvSameG measures the zero-cost path with no
+// goroutine switch: the sender immediately receives its own delivery, so
+// this is the pure per-hop cost (copy, meter, trace hooks, mailbox).
+func BenchmarkZeroSendRecvSameG(b *testing.B) {
+	f := NewSim(2, CostModel{})
+	payload := make([]byte, 64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f.Send(0, 1, 1, payload)
+		f.Recv(1, 0, 1)
+	}
+}
+
+// BenchmarkZeroPingPong measures a full round trip between two
+// goroutines on the zero-cost path — per-hop cost plus the two
+// scheduler switches a rendezvous inherently needs.
+func BenchmarkZeroPingPong(b *testing.B) {
+	f := NewSim(2, CostModel{})
+	payload := make([]byte, 64)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < b.N; i++ {
+			m := f.Recv(1, 0, 1)
+			f.Send(1, 0, 2, m.Data)
+		}
+	}()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Send(0, 1, 1, payload)
+		f.Recv(0, 1, 2)
+	}
+	<-done
+}

@@ -61,6 +61,7 @@ func Checkers() []Checker {
 		&SendOutsideLock{},
 		&UncheckedError{},
 		&RawDelayOutsideFabric{},
+		&SpinWaitOutsidePoller{},
 		&RecoverOutsideWorker{},
 	}
 }

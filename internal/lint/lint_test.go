@@ -43,6 +43,7 @@ func TestCheckerGolden(t *testing.T) {
 		"sendoutsidelock",
 		"uncheckederror",
 		"rawdelay",
+		"spinwaitpoller",
 		"recoveroutsideworker",
 		"suppress",
 	} {

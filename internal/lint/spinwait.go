@@ -1,0 +1,60 @@
+package lint
+
+import (
+	"go/ast"
+	"path/filepath"
+	"strings"
+)
+
+// SpinWaitOutsidePoller flags spin.Until/spin.Sleep calls inside
+// internal/fabric anywhere but the poller file. The data-plane refactor
+// centralized every modelled wait in the poller's timekeeper
+// (sleepUntilTarget): exactly one goroutine spins, interruptibly, for
+// the earliest pending deadline. A stray spin call elsewhere in the
+// fabric quietly reintroduces the one-spin-wait-per-delivery pattern
+// that made goroutine count and CPU burn scale with active link pairs —
+// the failure mode the poller exists to remove. Code that needs a
+// modelled delay realized must schedule it through the link heap.
+type SpinWaitOutsidePoller struct{}
+
+// pollerFile is the one fabric file allowed to spin.
+const pollerFile = "poller.go"
+
+// Name implements Checker.
+func (*SpinWaitOutsidePoller) Name() string { return "spin-wait-outside-poller" }
+
+// Doc implements Checker.
+func (*SpinWaitOutsidePoller) Doc() string {
+	return "internal/fabric may only spin-wait (spin.Sleep/Until) in poller.go; deadlines elsewhere must be scheduled through the poller heap"
+}
+
+// AppliesTo implements scoped: only the transport package itself.
+func (*SpinWaitOutsidePoller) AppliesTo(importPath string) bool {
+	return strings.HasSuffix(importPath, "internal/fabric")
+}
+
+// Check implements Checker.
+func (c *SpinWaitOutsidePoller) Check(p *Package, r *Reporter) {
+	for _, f := range p.Files {
+		if filepath.Base(p.Fset.Position(f.Pos()).Filename) == pollerFile {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			switch sel.Sel.Name {
+			case "Sleep", "Until":
+				if isSpinPkg(p, sel.X) {
+					r.Reportf(call.Pos(), "spin.%s outside %s; the poller's timekeeper is the fabric's only sanctioned spin site — schedule the deadline through the link heap", sel.Sel.Name, pollerFile)
+				}
+			}
+			return true
+		})
+	}
+}

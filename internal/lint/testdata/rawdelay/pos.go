@@ -25,6 +25,7 @@ func (c CostModel) DelayBetween(src, dst, bytes int) time.Duration { return c.Al
 func put(c CostModel, bytes int, apply func()) {
 	d := c.DelayBetween(0, 1, bytes) // want raw-delay-outside-fabric
 	go func() {
+		//hiperlint:ignore spin-wait-outside-poller fixture exercises raw-delay only
 		spin.Sleep(d) // want raw-delay-outside-fabric
 		apply()
 	}()
@@ -32,11 +33,13 @@ func put(c CostModel, bytes int, apply func()) {
 
 // get charges a symmetric round trip by hand.
 func get(c CostModel, bytes int) {
+	//hiperlint:ignore spin-wait-outside-poller fixture exercises raw-delay only
 	spin.Sleep(2 * c.Delay(bytes)) // want raw-delay-outside-fabric (twice: Delay and Sleep)
 }
 
 // waitDeadline spins to an absolute deadline, the drain-loop idiom that
 // also belongs inside the transport.
 func waitDeadline() {
+	//hiperlint:ignore spin-wait-outside-poller fixture exercises raw-delay only
 	spin.Until(time.Now().Add(time.Microsecond)) // want raw-delay-outside-fabric
 }

@@ -1,0 +1,15 @@
+package fixture
+
+import "time"
+
+// backoff is not the spin package; Sleep/Until methods on other types
+// are out of scope.
+type backoff struct{}
+
+func (backoff) Sleep(d time.Duration) {}
+func (backoff) Until(t time.Time)     {}
+func fine(b backoff, t time.Time)     { b.Sleep(time.Microsecond); b.Until(t) }
+
+// time.Sleep is owned by other checkers (blocking-in-task); not a
+// fabric spin-wait.
+func alsoFine() { time.Sleep(time.Nanosecond) }

@@ -1,0 +1,19 @@
+// Package fixture is the positive/negative corpus for the
+// spin-wait-outside-poller checker. This file is named poller.go — the
+// one fabric file sanctioned to spin — so its waits must stay clean.
+package fixture
+
+import (
+	"time"
+
+	"repro/internal/spin"
+)
+
+// sleepUntilTarget mirrors the fabric timekeeper: the sanctioned spin
+// site.
+func sleepUntilTarget(deadline time.Time) {
+	//hiperlint:ignore raw-delay-outside-fabric fixture exercises spin-wait-outside-poller only
+	spin.Until(deadline)
+	//hiperlint:ignore raw-delay-outside-fabric fixture exercises spin-wait-outside-poller only
+	spin.Sleep(time.Microsecond)
+}

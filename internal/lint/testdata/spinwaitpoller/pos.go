@@ -1,0 +1,21 @@
+package fixture
+
+import (
+	"time"
+
+	"repro/internal/spin"
+)
+
+// drainLink is the pre-poller idiom: a private spin-wait per delivery
+// outside poller.go.
+func drainLink(arrival time.Time, deliver func()) {
+	//hiperlint:ignore raw-delay-outside-fabric fixture exercises spin-wait-outside-poller only
+	spin.Until(arrival) // want spin-wait-outside-poller
+	deliver()
+}
+
+// settle burns out a modelled delay by hand instead of scheduling it.
+func settle(d time.Duration) {
+	//hiperlint:ignore raw-delay-outside-fabric fixture exercises spin-wait-outside-poller only
+	spin.Sleep(d) // want spin-wait-outside-poller
+}
