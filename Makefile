@@ -6,14 +6,14 @@ GO ?= go
 ## the full test suite.
 check:
 	$(GO) vet ./...
-	$(GO) run ./cmd/hiper-lint ./...
+	$(GO) run ./cmd/hiper-lint -audit ./...
 	$(GO) build ./...
 	$(GO) test ./...
 
 ## lint: run hiper-lint (the stdlib static analyzer enforcing the
 ## runtime's concurrency invariants) over the whole module.
 lint:
-	$(GO) run ./cmd/hiper-lint ./...
+	$(GO) run ./cmd/hiper-lint -audit ./...
 
 ## race: race-detector pass over the full module.
 race:

@@ -16,12 +16,20 @@
 //	-json           emit findings as a JSON array instead of text
 //	-enable  a,b    run only the named checkers
 //	-disable a,b    run all but the named checkers
+//	-audit          also report stale //hiperlint:ignore directives
+//	-graph          dump the call graph and effect summaries, then exit
 //	-list           print registered checkers and exit
 //	-C dir          locate the module from dir instead of the cwd
 //
 // Findings are suppressed at the site with a justified directive:
 //
 //	//hiperlint:ignore <checker> <reason>
+//
+// In -audit mode a directive that suppresses nothing is itself a
+// finding (checker "stale-suppression"), so suppressions cannot outlive
+// the violation they excused. Under GitHub Actions (GITHUB_ACTIONS=true)
+// findings are additionally emitted as ::error workflow commands, which
+// the runner turns into inline PR annotations.
 package main
 
 import (
@@ -39,6 +47,8 @@ func main() {
 		jsonOut = flag.Bool("json", false, "emit findings as JSON")
 		enable  = flag.String("enable", "", "comma-separated checkers to run (default: all)")
 		disable = flag.String("disable", "", "comma-separated checkers to skip")
+		audit   = flag.Bool("audit", false, "also report stale //hiperlint:ignore directives")
+		graph   = flag.Bool("graph", false, "dump the call graph and effect summaries, then exit")
 		list    = flag.Bool("list", false, "list registered checkers and exit")
 		chdir   = flag.String("C", ".", "locate the enclosing module from this directory")
 	)
@@ -60,7 +70,16 @@ func main() {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	cfg := lint.Config{Enable: splitList(*enable), Disable: splitList(*disable)}
+	if *graph {
+		prog, _, err := lint.Load(mod, patterns)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		prog.DumpGraph(os.Stdout)
+		return
+	}
+	cfg := lint.Config{Enable: splitList(*enable), Disable: splitList(*disable), Audit: *audit}
 
 	findings, err := lint.Run(mod, patterns, cfg)
 	if err != nil {
@@ -82,12 +101,27 @@ func main() {
 			fmt.Println(f)
 		}
 	}
+	if os.Getenv("GITHUB_ACTIONS") == "true" {
+		for _, f := range findings {
+			fmt.Printf("::error file=%s,line=%d,col=%d::%s\n",
+				f.File, f.Line, f.Col, escapeWorkflow(fmt.Sprintf("[%s] %s", f.Checker, f.Message)))
+		}
+	}
 	if len(findings) > 0 {
 		if !*jsonOut {
 			fmt.Fprintf(os.Stderr, "hiper-lint: %d finding(s)\n", len(findings))
 		}
 		os.Exit(1)
 	}
+}
+
+// escapeWorkflow escapes a GitHub Actions workflow-command message: the
+// runner parses %, CR, and LF, so they travel URL-style encoded.
+func escapeWorkflow(s string) string {
+	s = strings.ReplaceAll(s, "%", "%25")
+	s = strings.ReplaceAll(s, "\r", "%0D")
+	s = strings.ReplaceAll(s, "\n", "%0A")
+	return s
 }
 
 func splitList(s string) []string {

@@ -75,6 +75,7 @@ func (p *poller) enqueue(f *Sim, l *pairLink, ns int64) {
 	}
 	if p.workers < p.maxWorkers && p.workers == busy {
 		p.workers++
+		//hiperlint:ignore goroutine-leak pollLoop self-terminates when the link heap drains or a timekeeper already exists; the pool is bounded by maxWorkers
 		go f.pollLoop()
 	}
 	if p.sleeping && ns < p.sleepNs.Load() {

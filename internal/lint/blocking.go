@@ -26,6 +26,14 @@ import (
 // fresh goroutine is not a worker thread. Function literals passed to
 // nested spawn calls are task bodies in their own right and are checked
 // at that nesting level, not twice.
+//
+// The check is interprocedural: beyond the direct operations above, any
+// call from a task body to a module function whose effect summary shows
+// it can block — no matter how many helper frames deep the primitive
+// sits — is flagged at the call site, with the witness chain in the
+// message. Chains are cut at internal/core and internal/fabric, the
+// sanctioned suspension and yield-polling layers: calling Ctx.Wait or
+// Transport.Recv is how a task is SUPPOSED to wait.
 type BlockingInTask struct{}
 
 // Name implements Checker.
@@ -64,7 +72,11 @@ func (c *BlockingInTask) Check(p *Package, r *Reporter) {
 			for _, arg := range call.Args {
 				if lit, ok := arg.(*ast.FuncLit); ok {
 					c.checkTaskBody(p, r, lit)
+					continue
 				}
+				// A named function passed as a task body is a task body
+				// too; its summary must be suspension-clean.
+				c.checkNamedTaskBody(p, r, arg)
 			}
 			return true
 		})
@@ -135,6 +147,7 @@ func (c *BlockingInTask) checkTaskBody(p *Package, r *Reporter, lit *ast.FuncLit
 				return false
 			}
 			c.checkCall(p, r, n)
+			c.checkTransitive(p, r, n)
 			return true
 		case *ast.SelectStmt:
 			hasDefault := false
@@ -167,6 +180,71 @@ func (c *BlockingInTask) checkTaskBody(p *Package, r *Reporter, lit *ast.FuncLit
 		return true
 	}
 	ast.Inspect(lit.Body, visit)
+}
+
+// checkTransitive flags calls (inside a task body) to module functions
+// whose summary shows they can block through an arbitrarily deep helper
+// chain. Direct primitives in the body itself are checkCall's job, so a
+// callee is only consulted here, never the call's own operator.
+func (c *BlockingInTask) checkTransitive(p *Package, r *Reporter, call *ast.CallExpr) {
+	if p.Prog == nil {
+		return
+	}
+	for _, callee := range p.Prog.resolveCallee(p, call) {
+		if callee.Lit != nil {
+			continue // a literal's body is lexically here and checked directly
+		}
+		if blocksCut(callee) {
+			continue // sanctioned suspension/polling layer
+		}
+		sum := p.Prog.Summary(callee)
+		if len(sum.Blocks) == 0 {
+			continue
+		}
+		e := sum.Blocks[0]
+		r.Reportf(call.Pos(), "calling %s inside a task reaches %s (via %s at %s), which blocks the worker thread; suspend with futures (Ctx.Wait/Get, AsyncAwait) or Ctx.HelpUntil instead",
+			callee.Name, e.What, chainOrSelf(callee, e), r.Position(e.Pos))
+		return // one witness per call site is enough
+	}
+}
+
+// checkNamedTaskBody applies the transitive blocking rule to a named
+// function used directly as a task body (c.Async(run) instead of a
+// literal).
+func (c *BlockingInTask) checkNamedTaskBody(p *Package, r *Reporter, arg ast.Expr) {
+	if p.Prog == nil {
+		return
+	}
+	var fn *FuncInfo
+	switch a := ast.Unparen(arg).(type) {
+	case *ast.Ident:
+		if obj, ok := p.Info.Uses[a].(*types.Func); ok {
+			fn = p.Prog.FuncOf(obj)
+		}
+	case *ast.SelectorExpr:
+		if obj, ok := p.Info.Uses[a.Sel].(*types.Func); ok {
+			fn = p.Prog.FuncOf(obj)
+		}
+	}
+	if fn == nil || blocksCut(fn) {
+		return
+	}
+	sum := p.Prog.Summary(fn)
+	if len(sum.Blocks) == 0 {
+		return
+	}
+	e := sum.Blocks[0]
+	r.Reportf(arg.Pos(), "task body %s reaches %s (via %s at %s), which blocks the worker thread; task bodies must suspend, not block",
+		fn.Name, e.What, chainOrSelf(fn, e), r.Position(e.Pos))
+}
+
+// chainOrSelf renders an effect's witness chain, falling back to the
+// callee's own name for direct effects.
+func chainOrSelf(callee *FuncInfo, e Effect) string {
+	if v := e.Via(); v != "" {
+		return callee.Name + " → " + v
+	}
+	return callee.Name
 }
 
 // checkCall flags blocking call expressions inside a task body.

@@ -1,0 +1,388 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// builder.go walks one function body collecting the node's call edges
+// and direct effects. The walk stops at nested function literals — each
+// literal is its own call-graph node and is walked on its own — but it
+// does record the edge into an immediately-invoked, `go`-launched,
+// deferred, or spawn-passed literal, because those are the forms whose
+// execution context the effect propagation rules care about.
+
+type builder struct {
+	prog *Program
+	pkg  *Package
+	fi   *FuncInfo
+
+	// kindOf pre-classifies CallExprs that sit under go/defer statements
+	// so the generic CallExpr case emits the right edge kind.
+	kindOf map[*ast.CallExpr]EdgeKind
+	// bases lazily maps locals assigned from AllocTags(const) to the size.
+	bases map[types.Object]int64
+}
+
+// pkgBase is the last element of an import path, for display and lock
+// keys.
+func pkgBase(importPath string) string {
+	if i := strings.LastIndexByte(importPath, '/'); i >= 0 {
+		return importPath[i+1:]
+	}
+	return importPath
+}
+
+func (b *builder) build() {
+	body := b.fi.Body()
+	if body == nil {
+		return
+	}
+	b.kindOf = make(map[*ast.CallExpr]EdgeKind)
+	b.fi.acquires = make(map[string]Effect)
+	b.fi.stopRecv = make(map[string]bool)
+	b.walk(body)
+}
+
+// walk is the effect/edge visitor. It returns into children except where
+// documented.
+func (b *builder) walk(n ast.Node) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// A nested literal's body belongs to its own node.
+			return false
+		case *ast.GoStmt:
+			b.kindOf[n.Call] = EdgeGo
+			b.spawnSite(n)
+			return true
+		case *ast.DeferStmt:
+			b.kindOf[n.Call] = EdgeDefer
+			return true
+		case *ast.CallExpr:
+			b.call(n)
+			return true
+		case *ast.SendStmt:
+			b.addBlock(n.Pos(), "raw channel send")
+			return true
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				b.addBlock(n.Pos(), "raw channel receive")
+				b.noteStopRecv(n.X)
+			}
+			return true
+		case *ast.SelectStmt:
+			hasDefault := false
+			for _, clause := range n.Body.List {
+				if cc, ok := clause.(*ast.CommClause); ok {
+					if cc.Comm == nil {
+						hasDefault = true
+					} else {
+						b.noteCommRecv(cc.Comm)
+					}
+				}
+			}
+			if !hasDefault {
+				b.addBlock(n.Pos(), "select without a default case")
+			}
+			return true
+		case *ast.RangeStmt:
+			if tv, ok := b.pkg.Info.Types[n.X]; ok && tv.Type != nil {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					b.addBlock(n.Pos(), "range over channel")
+					b.noteStopRecv(n.X)
+				}
+			}
+			return true
+		}
+		return true
+	})
+}
+
+// call classifies one call expression: effects first (they depend only on
+// the callee's identity), then graph edges.
+func (b *builder) call(call *ast.CallExpr) {
+	kind, preset := b.kindOf[call]
+	if !preset {
+		kind = EdgeCall
+	}
+
+	// Effects that only make sense for same-goroutine execution are still
+	// recorded for go-kind calls' *argument* expressions by the generic
+	// walk; the call itself is classified below.
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		b.selectorEffects(call, sel, kind)
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if bi, ok := b.pkg.Info.Uses[id].(*types.Builtin); ok && bi.Name() == "recover" {
+			b.fi.recovers = append(b.fi.recovers, Effect{Pos: call.Pos(), What: "recover()"})
+		}
+	}
+
+	// Spawn entry points: function-literal (or named-function) arguments
+	// are task bodies, linked with EdgeSpawn.
+	if isSpawnCall(b.pkg, call) {
+		for _, arg := range call.Args {
+			if lit, ok := arg.(*ast.FuncLit); ok {
+				if fi := b.prog.LitOf(lit); fi != nil {
+					b.edge(fi, arg.Pos(), EdgeSpawn)
+				}
+			}
+		}
+	}
+
+	for _, callee := range b.prog.resolveCallee(b.pkg, call) {
+		b.edge(callee, call.Pos(), kind)
+	}
+}
+
+// selectorEffects records the direct effects expressed as method or
+// package-function selector calls.
+func (b *builder) selectorEffects(call *ast.CallExpr, sel *ast.SelectorExpr, kind EdgeKind) {
+	if kind == EdgeGo {
+		return // runs on its own goroutine; not this body's effect
+	}
+	switch sel.Sel.Name {
+	case "Sleep":
+		if isPkgIdent(b.pkg, sel.X, "time") {
+			b.addBlock(call.Pos(), "time.Sleep")
+		}
+		if isSpinPkg(b.pkg, sel.X) {
+			b.fi.spins = append(b.fi.spins, Effect{Pos: call.Pos(), What: "spin.Sleep"})
+		}
+	case "Until":
+		if isSpinPkg(b.pkg, sel.X) {
+			b.fi.spins = append(b.fi.spins, Effect{Pos: call.Pos(), What: "spin.Until"})
+		}
+	case "Wait":
+		if isNamedType(b.pkg, sel.X, "sync", "WaitGroup") {
+			b.addBlock(call.Pos(), "sync.WaitGroup.Wait")
+		}
+	case "Lock", "RLock":
+		// Mutex locks feed Acquires (the lock-order graph) but are NOT a
+		// Blocks effect: a bounded critical section behind a helper (stats
+		// counters, registry reads) is normal, and propagating it would mark
+		// every instrumented API as blocking. The direct in-task rule for
+		// package-level mutexes stays intraprocedural in blocking.go.
+		if isNamedType(b.pkg, sel.X, "sync", "Mutex") || isNamedType(b.pkg, sel.X, "sync", "RWMutex") {
+			if key := b.lockKey(sel.X); key != "" {
+				if _, seen := b.fi.acquires[key]; !seen {
+					b.fi.acquires[key] = Effect{Pos: call.Pos(), What: key}
+				}
+			}
+		}
+	}
+	b.tagUse(call, sel)
+}
+
+// lockKey names a mutex for the lock-order graph. Struct-field mutexes
+// key by their owning named type and field ("pkg.Type.field"); package
+// -level mutexes key by their variable ("pkg.var"). Function-local
+// mutexes return "" — their ordering is visible to the intraprocedural
+// scan but they have no stable cross-function identity.
+func (b *builder) lockKey(e ast.Expr) string {
+	base := pkgBase(b.pkg.ImportPath)
+	switch e := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		if s, ok := b.pkg.Info.Selections[e]; ok {
+			if owner := namedTypeName(s.Recv()); owner != "" {
+				return base + "." + owner + "." + e.Sel.Name
+			}
+		}
+		// Package-qualified var (otherpkg.mu).
+		if obj, ok := b.pkg.Info.Uses[e.Sel]; ok {
+			if v, isVar := obj.(*types.Var); isVar && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+				return pkgBase(v.Pkg().Path()) + "." + v.Name()
+			}
+		}
+	case *ast.Ident:
+		obj := b.pkg.Info.Uses[e]
+		if obj == nil {
+			obj = b.pkg.Info.Defs[e]
+		}
+		if v, ok := obj.(*types.Var); ok && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return base + "." + v.Name()
+		}
+	}
+	return ""
+}
+
+// tagUse records a tag-position literal or alloc-derived expression on a
+// Transport-shaped call. Transport-shaped means the receiver's method
+// set contains AllocTags — true of every fabric backend and of fixture
+// stand-ins, without naming a concrete type.
+func (b *builder) tagUse(call *ast.CallExpr, sel *ast.SelectorExpr) {
+	const tagArg = 2 // Send(src,dst,tag,..), Recv(dst,src,tag), RecvAsync, TryRecv, Probe
+	switch sel.Sel.Name {
+	case "Send", "Recv", "RecvAsync", "TryRecv", "Probe":
+	default:
+		return
+	}
+	if len(call.Args) <= tagArg || !b.hasAllocTags(sel.X) {
+		return
+	}
+	arg := ast.Unparen(call.Args[tagArg])
+	use := TagUse{Pos: arg.Pos(), Method: sel.Sel.Name}
+	if tv, ok := b.pkg.Info.Types[arg]; ok && tv.Value != nil && tv.Value.Kind() == constant.Int {
+		if v, exact := constant.Int64Val(tv.Value); exact {
+			use.Val, use.IsConst = v, true
+		}
+	}
+	if base, off, ok := b.allocDerived(arg); ok {
+		use.FromAlloc = true
+		use.Offset = off
+		use.AllocN = base
+		use.IsConst = false
+	}
+	b.fi.tagUses = append(b.fi.tagUses, use)
+}
+
+// hasAllocTags reports whether e's type has an AllocTags method.
+func (b *builder) hasAllocTags(e ast.Expr) bool {
+	tv, ok := b.pkg.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	for _, t := range []types.Type{tv.Type, types.NewPointer(tv.Type)} {
+		ms := types.NewMethodSet(t)
+		for i := 0; i < ms.Len(); i++ {
+			if ms.At(i).Obj().Name() == "AllocTags" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// allocDerived recognizes `base` and `base - k` where base is a local
+// variable assigned from an AllocTags call with a constant size. Returns
+// (allocN, offset, true) on a match.
+func (b *builder) allocDerived(e ast.Expr) (int64, int64, bool) {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if n, ok := b.allocBases()[b.objOf(e)]; ok {
+			return n, 0, true
+		}
+	case *ast.BinaryExpr:
+		if e.Op != token.SUB {
+			return 0, 0, false
+		}
+		id, ok := ast.Unparen(e.X).(*ast.Ident)
+		if !ok {
+			return 0, 0, false
+		}
+		n, isBase := b.allocBases()[b.objOf(id)]
+		if !isBase {
+			return 0, 0, false
+		}
+		if tv, ok := b.pkg.Info.Types[e.Y]; ok && tv.Value != nil && tv.Value.Kind() == constant.Int {
+			if k, exact := constant.Int64Val(tv.Value); exact {
+				return n, k, true
+			}
+		}
+		return n, -1, true // dynamic offset: treated as in-range
+	}
+	return 0, 0, false
+}
+
+// allocBases scans the body (lazily, once) for `v := recv.AllocTags(n)`
+// with constant n, mapping v's object to n.
+func (b *builder) allocBases() map[types.Object]int64 {
+	if b.bases != nil {
+		return b.bases
+	}
+	b.bases = make(map[types.Object]int64)
+	ast.Inspect(b.fi.Body(), func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		id, ok := as.Lhs[0].(*ast.Ident)
+		if !ok {
+			return true
+		}
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "AllocTags" || len(call.Args) != 1 {
+			return true
+		}
+		if tv, ok := b.pkg.Info.Types[call.Args[0]]; ok && tv.Value != nil && tv.Value.Kind() == constant.Int {
+			if n, exact := constant.Int64Val(tv.Value); exact {
+				if obj := b.objOf(id); obj != nil {
+					b.bases[obj] = n
+				}
+			}
+		}
+		return true
+	})
+	return b.bases
+}
+
+// objOf resolves an identifier to its object (use or def).
+func (b *builder) objOf(id *ast.Ident) types.Object {
+	if obj, ok := b.pkg.Info.Uses[id]; ok {
+		return obj
+	}
+	return b.pkg.Info.Defs[id]
+}
+
+// spawnSite records a `go` statement and resolves what it launches.
+func (b *builder) spawnSite(g *ast.GoStmt) {
+	site := SpawnSite{Pos: g.Pos(), Stmt: g, Owner: b.fi}
+	if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+		site.Callee = b.prog.LitOf(lit)
+	} else if callees := b.prog.resolveCallee(b.pkg, g.Call); len(callees) == 1 {
+		site.Callee = callees[0]
+	}
+	b.fi.spawns = append(b.fi.spawns, site)
+}
+
+// noteStopRecv records the field/variable name a receive expression reads
+// from, feeding the goroutine-leak checker's stop-signal rule.
+func (b *builder) noteStopRecv(ch ast.Expr) {
+	switch ch := ast.Unparen(ch).(type) {
+	case *ast.SelectorExpr:
+		b.fi.stopRecv[ch.Sel.Name] = true
+	case *ast.Ident:
+		b.fi.stopRecv[ch.Name] = true
+	}
+}
+
+// noteCommRecv extracts the receive operand from a select comm clause.
+func (b *builder) noteCommRecv(s ast.Stmt) {
+	var x ast.Expr
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if u, ok := s.X.(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+			x = u.X
+		}
+	case *ast.AssignStmt:
+		if len(s.Rhs) == 1 {
+			if u, ok := s.Rhs[0].(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+				x = u.X
+			}
+		}
+	}
+	if x != nil {
+		b.noteStopRecv(x)
+	}
+}
+
+// addBlock appends one blocking effect.
+func (b *builder) addBlock(pos token.Pos, what string) {
+	b.fi.blocks = append(b.fi.blocks, Effect{Pos: pos, What: what})
+}
+
+// edge appends one call edge.
+func (b *builder) edge(callee *FuncInfo, pos token.Pos, kind EdgeKind) {
+	b.fi.Edges = append(b.fi.Edges, Edge{Callee: callee, Pos: pos, Kind: kind})
+}

@@ -1,0 +1,55 @@
+package lint
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// DumpGraph writes a human-readable rendering of the call graph and the
+// computed effect summaries — `hiper-lint -graph`'s output, the debug
+// view for "why did the checker think this blocks". One block per node:
+//
+//	pkg.Func (file:line) [blocks:time.Sleep spins acquires:{pkg.T.mu}]
+//	  call  pkg.helper
+//	  defer pkg.cleanup
+//	  go    func@file.go:12
+//
+// Nodes appear in load order (sorted package dirs, then source order);
+// the summary flags are the transitive facts, not just direct effects.
+func (p *Program) DumpGraph(w io.Writer) {
+	for _, fi := range p.nodes {
+		sum := p.Summary(fi)
+		var flags []string
+		if len(sum.Blocks) > 0 {
+			flags = append(flags, "blocks:"+sum.Blocks[0].What)
+		}
+		if len(sum.Spins) > 0 {
+			flags = append(flags, "spins:"+sum.Spins[0].What)
+		}
+		if len(sum.Recovers) > 0 {
+			flags = append(flags, "recovers")
+		}
+		if len(sum.Acquires) > 0 {
+			flags = append(flags, "acquires:{"+strings.Join(sortedKeys(sum.Acquires), ",")+"}")
+		}
+		if len(sum.StopRecv) > 0 {
+			var names []string
+			for k := range sum.StopRecv {
+				names = append(names, k)
+			}
+			sort.Strings(names)
+			flags = append(flags, "recv:{"+strings.Join(names, ",")+"}")
+		}
+		pos := p.Fset.Position(fi.Pos())
+		fmt.Fprintf(w, "%s (%s:%d)", fi.Name, pos.Filename, pos.Line)
+		if len(flags) > 0 {
+			fmt.Fprintf(w, " [%s]", strings.Join(flags, " "))
+		}
+		fmt.Fprintln(w)
+		for _, e := range fi.Edges {
+			fmt.Fprintf(w, "  %-5s %s\n", e.Kind, e.Callee.Name)
+		}
+	}
+}

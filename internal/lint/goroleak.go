@@ -1,0 +1,230 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// GoroutineLeak flags `go` statements in the runtime packages whose
+// goroutine has no structural way to be joined or stopped. A leaked
+// goroutine outlives its owner: it pins its stack and captures, keeps
+// polling dead state, and — in a runtime whose whole premise is that
+// Quiesce means *quiet* — turns shutdown into a race. Every spawn must
+// satisfy one of three join contracts, checked in order:
+//
+//  1. WaitGroup-counted: some WaitGroup sees Add() before the `go`
+//     statement in the launching body, and the same WaitGroup object is
+//     Wait()ed somewhere in the package.
+//  2. Channel-joined: the spawned body closes or sends on a channel the
+//     launching body receives from (including select cases), so the
+//     launcher observes completion.
+//  3. Stop-signalled: the spawned body (transitively, via effect
+//     summaries) receives on a channel that a Close/Stop/Shutdown/
+//     Quiesce path in the same package closes or sends on.
+//
+// Matching is name-based for channels (field or variable name) and
+// object-based for WaitGroups — deliberately permissive: the checker
+// exists to catch spawns with *no* visible lifecycle, not to prove the
+// lifecycle correct. A spawn that manages its lifetime some other way
+// earns an audited //hiperlint:ignore with the reason spelled out.
+type GoroutineLeak struct{}
+
+// Name implements Checker.
+func (*GoroutineLeak) Name() string { return "goroutine-leak" }
+
+// Doc implements Checker.
+func (*GoroutineLeak) Doc() string {
+	return "runtime goroutines must be WaitGroup-joined, channel-joined, or stoppable via a Close/Stop/Shutdown signal"
+}
+
+// AppliesTo implements scoped: the long-lived runtime packages, where an
+// unjoined goroutine survives into the next scheduler phase.
+func (*GoroutineLeak) AppliesTo(importPath string) bool {
+	for _, s := range []string{
+		"internal/core", "internal/fabric", "internal/trace",
+		"internal/job", "internal/cuda", "internal/shmem", "internal/omp",
+	} {
+		if strings.HasSuffix(importPath, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// Check implements Checker.
+func (c *GoroutineLeak) Check(p *Package, r *Reporter) {
+	if p.Prog == nil {
+		return
+	}
+	for _, fi := range p.Prog.nodesOf(p) {
+		for _, site := range fi.spawns {
+			if wgJoined(p, site) || chanJoined(site) || stopSignalled(p, site) {
+				continue
+			}
+			r.Reportf(site.Pos, "goroutine launched here has no join or stop path: count it on a WaitGroup that the package Wait()s, join it through a channel this body receives on, or have it select on a stop channel closed by a Close/Stop/Shutdown path")
+		}
+	}
+}
+
+// wgJoined reports whether a WaitGroup Add() precedes the spawn in the
+// launching body and the same WaitGroup object is Wait()ed anywhere in
+// the package.
+func wgJoined(p *Package, site SpawnSite) bool {
+	body := site.Owner.Body()
+	if body == nil {
+		return false
+	}
+	var counted []types.Object
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() >= site.Pos {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Add" {
+			return true
+		}
+		if !isNamedType(p, sel.X, "sync", "WaitGroup") {
+			return true
+		}
+		if obj := exprObj(p, sel.X); obj != nil {
+			counted = append(counted, obj)
+		}
+		return true
+	})
+	for _, obj := range counted {
+		if pkgWaitsOn(p, obj) {
+			return true
+		}
+	}
+	return false
+}
+
+// pkgWaitsOn reports whether any body in the package calls Wait() on the
+// given WaitGroup object.
+func pkgWaitsOn(p *Package, obj types.Object) bool {
+	found := false
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Wait" {
+				return true
+			}
+			if isNamedType(p, sel.X, "sync", "WaitGroup") && exprObj(p, sel.X) == obj {
+				found = true
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// chanJoined reports whether the spawned body closes or sends on a
+// channel name the launching body receives on.
+func chanJoined(site SpawnSite) bool {
+	if site.Callee == nil || len(site.Owner.stopRecv) == 0 {
+		return false
+	}
+	for name := range chanOutNames(site.Callee) {
+		if site.Owner.stopRecv[name] {
+			return true
+		}
+	}
+	return false
+}
+
+// stopSignalled reports whether the spawned body transitively receives on
+// a channel name that a shutdown-shaped function (Close/Stop/Shutdown/
+// Quiesce in its name) in the package closes or sends on.
+func stopSignalled(p *Package, site SpawnSite) bool {
+	if site.Callee == nil || p.Prog == nil {
+		return false
+	}
+	recv := p.Prog.Summary(site.Callee).StopRecv
+	if len(recv) == 0 {
+		return false
+	}
+	for _, fi := range p.Prog.nodesOf(p) {
+		if fi.Decl == nil || !shutdownShaped(fi.Decl.Name.Name) {
+			continue
+		}
+		for name := range chanOutNames(fi) {
+			if recv[name] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// shutdownShaped reports whether a function name marks a lifecycle
+// teardown path.
+func shutdownShaped(name string) bool {
+	l := strings.ToLower(name)
+	for _, s := range []string{"close", "stop", "shutdown", "quiesce"} {
+		if strings.Contains(l, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// chanOutNames collects the channel field/variable names a body closes
+// or sends on, descending into nested literals (a deferred close inside
+// a helper closure still signals).
+func chanOutNames(fi *FuncInfo) map[string]bool {
+	body := fi.Body()
+	if body == nil {
+		return nil
+	}
+	out := make(map[string]bool)
+	note := func(e ast.Expr) {
+		switch e := ast.Unparen(e).(type) {
+		case *ast.SelectorExpr:
+			out[e.Sel.Name] = true
+		case *ast.Ident:
+			out[e.Name] = true
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			note(n.Chan)
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "close" && len(n.Args) == 1 {
+				note(n.Args[0])
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// exprObj resolves a field-selector or identifier expression to its
+// types.Object, the stable identity used for WaitGroup matching.
+func exprObj(p *Package, e ast.Expr) types.Object {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		return p.Info.Uses[e.Sel]
+	case *ast.Ident:
+		if o, ok := p.Info.Uses[e]; ok {
+			return o
+		}
+		return p.Info.Defs[e]
+	}
+	return nil
+}

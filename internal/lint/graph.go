@@ -1,0 +1,343 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// graph.go builds the interprocedural half of the analyzer: a
+// whole-module call graph over go/types. Nodes are function bodies —
+// declared functions and methods plus function literals — and edges are
+// classified by how the callee runs relative to the caller:
+//
+//   - EdgeCall:  plain call; the callee runs synchronously on the
+//     caller's goroutine, so blocking/spinning/locking effects flow up.
+//   - EdgeDefer: deferred call; still the caller's goroutine, at exit.
+//   - EdgeGo:    `go` statement; a fresh goroutine, so caller-goroutine
+//     effects do NOT flow up, but the edge matters for spawn analysis.
+//   - EdgeSpawn: a function literal handed to a runtime spawn entry
+//     point (Async/Forasync/Finish/...); the body is a task in its own
+//     right and is checked at its call site, not inlined here.
+//
+// Call targets are resolved three ways: direct calls through the
+// identifier's types.Object, concrete method calls through the method
+// selection, and interface-method calls through a conservative
+// approximation — every module type whose method set satisfies the
+// interface contributes its method as a possible callee. Calls through
+// plain function values are the one hole the approximation leaves open;
+// the repository's invariant-bearing paths do not use them, and the
+// task-body literals that matter are handled by EdgeSpawn.
+type Program struct {
+	Mod  *Module
+	Fset *token.FileSet
+
+	// Pkgs is every module package the loader saw (targets plus their
+	// module-internal dependencies), in deterministic (sorted-dir) order.
+	Pkgs []*Package
+
+	funcs map[*types.Func]*FuncInfo
+	lits  map[*ast.FuncLit]*FuncInfo
+	nodes []*FuncInfo // deterministic order
+
+	// methodIndex maps a method name to every concrete module method with
+	// that name, for interface-dispatch resolution.
+	methodIndex map[string][]*FuncInfo
+
+	summaries map[*FuncInfo]*Summary
+	sccOf     map[*FuncInfo]int
+}
+
+// EdgeKind classifies how a callee executes relative to its caller.
+type EdgeKind int
+
+const (
+	EdgeCall EdgeKind = iota
+	EdgeDefer
+	EdgeGo
+	EdgeSpawn
+)
+
+func (k EdgeKind) String() string {
+	switch k {
+	case EdgeCall:
+		return "call"
+	case EdgeDefer:
+		return "defer"
+	case EdgeGo:
+		return "go"
+	case EdgeSpawn:
+		return "spawn"
+	}
+	return "?"
+}
+
+// Edge is one resolved call site.
+type Edge struct {
+	Callee *FuncInfo
+	Pos    token.Pos
+	Kind   EdgeKind
+}
+
+// FuncInfo is one call-graph node: a declared function/method or a
+// function literal, with its direct (intraprocedural) facts attached.
+type FuncInfo struct {
+	Obj  *types.Func   // nil for literals
+	Decl *ast.FuncDecl // nil for literals
+	Lit  *ast.FuncLit  // nil for declarations
+	Pkg  *Package
+	Name string // display name: pkg-relative, literals as func@file:line
+
+	Edges []Edge
+
+	// Direct effects, before summary propagation.
+	blocks   []Effect
+	spins    []Effect
+	recovers []Effect
+	acquires map[string]Effect
+	spawns   []SpawnSite
+	stopRecv map[string]bool // channel field/var names this body receives on
+	tagUses  []TagUse
+}
+
+// Body returns the node's block statement.
+func (fi *FuncInfo) Body() *ast.BlockStmt {
+	if fi.Decl != nil {
+		return fi.Decl.Body
+	}
+	return fi.Lit.Body
+}
+
+// Pos returns the node's declaration position.
+func (fi *FuncInfo) Pos() token.Pos {
+	if fi.Decl != nil {
+		return fi.Decl.Pos()
+	}
+	return fi.Lit.Pos()
+}
+
+// SpawnSite is one `go` statement.
+type SpawnSite struct {
+	Pos    token.Pos
+	Callee *FuncInfo // resolved spawned function or literal; nil if dynamic
+	Stmt   *ast.GoStmt
+	Owner  *FuncInfo // enclosing body
+}
+
+// TagUse is one tag-position argument on a Transport-shaped call
+// (Send/Recv/RecvAsync/TryRecv/Probe on a receiver that has AllocTags).
+type TagUse struct {
+	Pos     token.Pos
+	Method  string
+	Val     int64 // constant tag value, when IsConst
+	IsConst bool
+	// Alloc-derived offsets: `base - k` where base came from AllocTags(n).
+	FromAlloc bool
+	Offset    int64 // k (0 for a bare base)
+	AllocN    int64 // n from the AllocTags call
+}
+
+// NewProgram builds the call graph and direct effects over every package
+// the loader has loaded (targets and module-internal dependencies).
+func NewProgram(mod *Module, loader *Loader) *Program {
+	prog := &Program{
+		Mod:         mod,
+		Fset:        loader.Fset,
+		funcs:       make(map[*types.Func]*FuncInfo),
+		lits:        make(map[*ast.FuncLit]*FuncInfo),
+		methodIndex: make(map[string][]*FuncInfo),
+		summaries:   make(map[*FuncInfo]*Summary),
+	}
+	var dirs []string
+	for dir := range loader.byDir {
+		dirs = append(dirs, dir)
+	}
+	sort.Strings(dirs)
+	for _, dir := range dirs {
+		prog.Pkgs = append(prog.Pkgs, loader.byDir[dir])
+	}
+	// Pass 1: create a node per function body so cross-package edges can
+	// resolve regardless of build order.
+	for _, pkg := range prog.Pkgs {
+		prog.collectNodes(pkg)
+	}
+	// Pass 2: edges and direct effects.
+	for _, pkg := range prog.Pkgs {
+		for _, fi := range prog.nodesOf(pkg) {
+			b := &builder{prog: prog, pkg: pkg, fi: fi}
+			b.build()
+		}
+	}
+	prog.attach()
+	return prog
+}
+
+// attach records the program on each package so checkers reached through
+// the per-package interface can consult it.
+func (p *Program) attach() {
+	for _, pkg := range p.Pkgs {
+		pkg.Prog = p
+	}
+}
+
+// collectNodes registers a FuncInfo for every FuncDecl and FuncLit in pkg.
+func (p *Program) collectNodes(pkg *Package) {
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body == nil {
+					return false
+				}
+				obj, _ := pkg.Info.Defs[n.Name].(*types.Func)
+				fi := &FuncInfo{Obj: obj, Decl: n, Pkg: pkg, Name: declName(pkg, n)}
+				if obj != nil {
+					p.funcs[obj] = fi
+					if n.Recv != nil {
+						p.methodIndex[n.Name.Name] = append(p.methodIndex[n.Name.Name], fi)
+					}
+				}
+				p.nodes = append(p.nodes, fi)
+			case *ast.FuncLit:
+				pos := pkg.Fset.Position(n.Pos())
+				fi := &FuncInfo{Lit: n, Pkg: pkg,
+					Name: fmt.Sprintf("func@%s:%d", filepath.Base(pos.Filename), pos.Line)}
+				p.lits[n] = fi
+				p.nodes = append(p.nodes, fi)
+			}
+			return true
+		})
+	}
+}
+
+// nodesOf lists the nodes declared in pkg, in source order.
+func (p *Program) nodesOf(pkg *Package) []*FuncInfo {
+	var out []*FuncInfo
+	for _, fi := range p.nodes {
+		if fi.Pkg == pkg {
+			out = append(out, fi)
+		}
+	}
+	return out
+}
+
+// FuncOf resolves the node for a declared function object, if the
+// function was declared in a loaded module package.
+func (p *Program) FuncOf(obj *types.Func) *FuncInfo { return p.funcs[obj] }
+
+// LitOf resolves the node for a function literal.
+func (p *Program) LitOf(lit *ast.FuncLit) *FuncInfo { return p.lits[lit] }
+
+// declName renders a package-relative display name ("Recv.Method" or
+// "Func") prefixed with the package's base import path element.
+func declName(pkg *Package, d *ast.FuncDecl) string {
+	base := filepath.Base(filepath.ToSlash(pkg.ImportPath))
+	if d.Recv != nil && len(d.Recv.List) > 0 {
+		t := d.Recv.List[0].Type
+		if star, ok := t.(*ast.StarExpr); ok {
+			t = star.X
+		}
+		if id, ok := t.(*ast.Ident); ok {
+			return base + "." + id.Name + "." + d.Name.Name
+		}
+		if idx, ok := t.(*ast.IndexExpr); ok {
+			if id, ok := idx.X.(*ast.Ident); ok {
+				return base + "." + id.Name + "." + d.Name.Name
+			}
+		}
+	}
+	return base + "." + d.Name.Name
+}
+
+// resolveCallee maps a call expression to its callee node(s). Interface
+// calls return every module method that can satisfy the dispatch.
+func (p *Program) resolveCallee(pkg *Package, call *ast.CallExpr) []*FuncInfo {
+	fun := ast.Unparen(call.Fun)
+	switch fun := fun.(type) {
+	case *ast.FuncLit:
+		if fi := p.lits[fun]; fi != nil {
+			return []*FuncInfo{fi}
+		}
+	case *ast.Ident:
+		if fn, ok := pkg.Info.Uses[fun].(*types.Func); ok {
+			if fi := p.funcs[fn]; fi != nil {
+				return []*FuncInfo{fi}
+			}
+		}
+	case *ast.SelectorExpr:
+		// Qualified package function (pkg.Fn) or method value use.
+		if fn, ok := pkg.Info.Uses[fun.Sel].(*types.Func); ok {
+			if sel, isSel := pkg.Info.Selections[fun]; isSel {
+				if isInterfaceRecv(sel) {
+					return p.implementersOf(sel.Recv(), fun.Sel.Name)
+				}
+			}
+			if fi := p.funcs[fn]; fi != nil {
+				return []*FuncInfo{fi}
+			}
+		}
+	}
+	return nil
+}
+
+// isInterfaceRecv reports whether a method selection dispatches through
+// an interface value.
+func isInterfaceRecv(sel *types.Selection) bool {
+	t := sel.Recv()
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	_, ok := t.Underlying().(*types.Interface)
+	return ok
+}
+
+// implementersOf returns the module methods named name on types that
+// implement the interface recv — the conservative dispatch approximation.
+func (p *Program) implementersOf(recv types.Type, name string) []*FuncInfo {
+	iface, ok := recv.Underlying().(*types.Interface)
+	if !ok {
+		return nil
+	}
+	var out []*FuncInfo
+	for _, cand := range p.methodIndex[name] {
+		if cand.Obj == nil {
+			continue
+		}
+		rt := recvType(cand.Obj)
+		if rt == nil {
+			continue
+		}
+		if types.Implements(rt, iface) || types.Implements(types.NewPointer(rt), iface) {
+			out = append(out, cand)
+		}
+	}
+	return out
+}
+
+// recvType returns the non-pointer receiver type of a method object.
+func recvType(fn *types.Func) types.Type {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	return t
+}
+
+// pkgHasSuffix reports whether the node's package import path ends with
+// any of the given module-relative suffixes.
+func pkgHasSuffix(fi *FuncInfo, suffixes ...string) bool {
+	for _, s := range suffixes {
+		if strings.HasSuffix(fi.Pkg.ImportPath, s) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,6 +1,7 @@
 package lint
 
 import (
+	"fmt"
 	"go/token"
 	"path/filepath"
 	"strings"
@@ -59,20 +60,23 @@ func collectDirectives(p *Package) []directive {
 }
 
 // filterSuppressed drops findings covered by a well-formed directive on
-// the same line or the line above. bad-directive findings are never
+// the same line or the line above, and reports which directives (by
+// index into dirs) did suppress something — the -audit pass's raw
+// material. bad-directive and stale-suppression findings are never
 // suppressed.
-func filterSuppressed(findings []Finding, dirs []directive) []Finding {
+func filterSuppressed(findings []Finding, dirs []directive) ([]Finding, map[int]bool) {
+	used := make(map[int]bool)
 	if len(dirs) == 0 {
-		return findings
+		return findings, used
 	}
 	var kept []Finding
 	for _, f := range findings {
-		if f.Checker == "bad-directive" {
+		if f.Checker == "bad-directive" || f.Checker == "stale-suppression" {
 			kept = append(kept, f)
 			continue
 		}
 		suppressed := false
-		for _, d := range dirs {
+		for i, d := range dirs {
 			if d.bad {
 				continue
 			}
@@ -83,12 +87,55 @@ func filterSuppressed(findings []Finding, dirs []directive) []Finding {
 			}
 			if (d.line == f.Line || d.line == f.Line-1) && (d.checker == "all" || d.checker == f.Checker) {
 				suppressed = true
-				break
+				used[i] = true
+				// Keep scanning: other directives covering the same finding
+				// are genuinely redundant and SHOULD audit as stale, but a
+				// directive already credited stays credited.
 			}
 		}
 		if !suppressed {
 			kept = append(kept, f)
 		}
 	}
-	return kept
+	return kept, used
+}
+
+// staleDirectives turns unused, well-formed directives into findings.
+// A directive naming a checker that is not active this run is skipped —
+// a partial -enable/-disable run cannot prove a suppression stale — and
+// "all" directives are only audited when the full registry ran.
+func staleDirectives(mod *Module, dirs []directive, used map[int]bool, cfg Config) []Finding {
+	active, err := cfg.active()
+	if err != nil {
+		return nil
+	}
+	activeNames := make(map[string]bool, len(active))
+	for _, ch := range active {
+		activeNames[ch.Name()] = true
+	}
+	fullSet := len(cfg.Enable) == 0 && len(cfg.Disable) == 0
+	var out []Finding
+	for i, d := range dirs {
+		if d.bad || used[i] {
+			continue
+		}
+		if d.checker == "all" && !fullSet {
+			continue
+		}
+		if d.checker != "all" && !activeNames[d.checker] {
+			continue
+		}
+		file := d.file
+		if rel, err := filepath.Rel(mod.Root, file); err == nil && !strings.HasPrefix(rel, "..") {
+			file = filepath.ToSlash(rel)
+		}
+		out = append(out, Finding{
+			Checker: "stale-suppression",
+			File:    file,
+			Line:    d.line,
+			Col:     1,
+			Message: fmt.Sprintf("//hiperlint:ignore %s directive suppresses no finding; the violation it excused is gone — delete the directive (reason was: %s)", d.checker, d.reason),
+		})
+	}
+	return out
 }

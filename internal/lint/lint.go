@@ -7,14 +7,24 @@
 // with plain access — plus plain error-discipline for the runtime and
 // communication packages.
 //
+// Since the interprocedural rework, the driver also builds a whole-
+// module call graph (graph.go) and per-function effect summaries
+// (summary.go), so the invariant checkers see through helper chains:
+// a task body that reaches time.Sleep three calls down is flagged at
+// the call site with the witness chain, and whole-module checkers
+// (lock-order-cycle, goroutine-leak, tag-space) reason about the
+// acquires-while-holding graph, spawn joinability, and the fabric tag
+// space across every analyzed package at once.
+//
 // Findings can be suppressed at the site with a justification:
 //
 //	//hiperlint:ignore <checker> <reason>
 //
 // placed on the offending line or the line directly above it. The
 // checker name may be "all". Directives missing a checker or a reason
-// are themselves reported (checker "bad-directive"), so suppressions
-// stay auditable.
+// are themselves reported (checker "bad-directive"), and -audit mode
+// reports directives that no longer suppress anything (checker
+// "stale-suppression"), so suppressions stay auditable and cannot rot.
 package lint
 
 import (
@@ -46,11 +56,27 @@ type Checker interface {
 	Check(p *Package, r *Reporter)
 }
 
+// ModuleChecker is a checker that additionally runs one whole-module
+// pass after every package has been checked, seeing all analyzed
+// packages (and, through them, the shared Program) at once. Cross-
+// package analyses — the lock-order graph, tag-space overlap — live
+// here.
+type ModuleChecker interface {
+	Checker
+	CheckModule(pkgs []*Package, r *Reporter)
+}
+
 // scoped is implemented by checkers that only apply to particular
 // packages (testdata fixtures always pass, so fixtures can exercise
 // scoped checkers regardless of where they live).
 type scoped interface {
 	AppliesTo(importPath string) bool
+}
+
+// applies reports whether checker ch runs over pkg at all.
+func applies(ch Checker, pkg *Package) bool {
+	sc, ok := ch.(scoped)
+	return !ok || pkg.IsFixture() || sc.AppliesTo(pkg.ImportPath)
 }
 
 // Checkers returns the full checker registry, in reporting order.
@@ -63,6 +89,9 @@ func Checkers() []Checker {
 		&RawDelayOutsideFabric{},
 		&SpinWaitOutsidePoller{},
 		&RecoverOutsideWorker{},
+		&LockOrderCycle{},
+		&GoroutineLeak{},
+		&TagSpace{},
 	}
 }
 
@@ -75,10 +104,12 @@ func CheckerNames() []string {
 	return names
 }
 
-// Reporter collects findings for one package, relativizing file paths to
-// the module root.
+// Reporter collects findings, relativizing file paths to the module
+// root. One Reporter spans the whole run; pkg is rebound as the driver
+// moves between packages (and is nil during module passes, which span
+// packages but share the loader's FileSet).
 type Reporter struct {
-	pkg      *Package
+	fset     *token.FileSet
 	modRoot  string
 	findings []Finding
 	current  string // name of the checker currently running
@@ -86,7 +117,7 @@ type Reporter struct {
 
 // Reportf records a finding at pos.
 func (r *Reporter) Reportf(pos token.Pos, format string, args ...any) {
-	p := r.pkg.Fset.Position(pos)
+	p := r.fset.Position(pos)
 	file := p.Filename
 	if rel, err := filepath.Rel(r.modRoot, file); err == nil && !strings.HasPrefix(rel, "..") {
 		file = filepath.ToSlash(rel)
@@ -100,11 +131,25 @@ func (r *Reporter) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
+// Position resolves a token.Pos to a module-root-relative display
+// string, for checkers that embed a second location in a message.
+func (r *Reporter) Position(pos token.Pos) string {
+	p := r.fset.Position(pos)
+	file := p.Filename
+	if rel, err := filepath.Rel(r.modRoot, file); err == nil && !strings.HasPrefix(rel, "..") {
+		file = filepath.ToSlash(rel)
+	}
+	return fmt.Sprintf("%s:%d", file, p.Line)
+}
+
 // Config selects which checkers run. Empty Enable means all registered
-// checkers; Disable is subtracted afterwards.
+// checkers; Disable is subtracted afterwards. Audit additionally
+// reports stale suppression directives (well-formed //hiperlint:ignore
+// comments that suppressed no finding in this run) as findings.
 type Config struct {
 	Enable  []string
 	Disable []string
+	Audit   bool
 }
 
 func (c Config) active() ([]Checker, error) {
@@ -144,35 +189,91 @@ func (c Config) active() ([]Checker, error) {
 	return picked, nil
 }
 
-// Run loads every package matched by patterns (relative to mod) and runs
-// the configured checkers over each, returning unsuppressed findings
-// sorted by position. Type-check failures in analyzed packages are
+// Load expands patterns, loads and type-checks every matched package,
+// and builds the interprocedural Program over them (plus their module-
+// internal dependencies). Type-check failures in analyzed packages are
 // returned as errors: the analysis is only trustworthy on a tree that
 // compiles.
-func Run(mod *Module, patterns []string, cfg Config) ([]Finding, error) {
+func Load(mod *Module, patterns []string) (*Program, []*Package, error) {
 	loader := NewLoader(mod)
 	dirs, err := loader.Expand(patterns)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
+	var pkgs []*Package
+	for _, dir := range dirs {
+		pkg, err := loader.LoadDir(dir)
+		if err != nil {
+			return nil, nil, err
+		}
+		if len(pkg.TypeErrors) > 0 {
+			return nil, nil, fmt.Errorf("lint: type-checking %s: %v (and %d more)",
+				pkg.ImportPath, pkg.TypeErrors[0], len(pkg.TypeErrors)-1)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	prog := NewProgram(mod, loader)
+	return prog, pkgs, nil
+}
+
+// Run loads every package matched by patterns (relative to mod) and runs
+// the configured checkers over each — then the module checkers over the
+// whole set — returning unsuppressed, deduplicated findings sorted by
+// position.
+func Run(mod *Module, patterns []string, cfg Config) ([]Finding, error) {
 	checkers, err := cfg.active()
 	if err != nil {
 		return nil, err
 	}
-	var all []Finding
-	for _, dir := range dirs {
-		pkg, err := loader.LoadDir(dir)
-		if err != nil {
-			return nil, err
-		}
-		if len(pkg.TypeErrors) > 0 {
-			return nil, fmt.Errorf("lint: type-checking %s: %v (and %d more)",
-				pkg.ImportPath, pkg.TypeErrors[0], len(pkg.TypeErrors)-1)
-		}
-		all = append(all, checkPackage(mod, pkg, checkers)...)
+	_, pkgs, err := Load(mod, patterns)
+	if err != nil {
+		return nil, err
 	}
-	sort.Slice(all, func(i, j int) bool {
-		a, b := all[i], all[j]
+	return analyze(mod, pkgs, checkers, cfg), nil
+}
+
+// analyze is Run minus loading: the shared core the dedupe regression
+// test drives directly with hand-built package variants.
+func analyze(mod *Module, pkgs []*Package, checkers []Checker, cfg Config) []Finding {
+	r := &Reporter{modRoot: mod.Root}
+	var dirs []directive
+	for _, pkg := range pkgs {
+		r.fset = pkg.Fset
+		pkgDirs := collectDirectives(pkg)
+		dirs = append(dirs, pkgDirs...)
+		r.current = "bad-directive"
+		for _, d := range pkgDirs {
+			if d.bad {
+				r.Reportf(d.pos, "malformed //hiperlint:ignore directive: want \"//hiperlint:ignore <checker> <reason>\"")
+			}
+		}
+		for _, ch := range checkers {
+			if !applies(ch, pkg) {
+				continue
+			}
+			r.current = ch.Name()
+			ch.Check(pkg, r)
+		}
+	}
+	// Module passes: every analyzed package at once. All packages from
+	// one Run share the loader's FileSet; the dedupe test's variants
+	// carry their own, so rebind to the first package's.
+	if len(pkgs) > 0 {
+		r.fset = pkgs[0].Fset
+		for _, ch := range checkers {
+			if mc, ok := ch.(ModuleChecker); ok {
+				r.current = ch.Name()
+				mc.CheckModule(pkgs, r)
+			}
+		}
+	}
+	findings, used := filterSuppressed(r.findings, dirs)
+	if cfg.Audit {
+		findings = append(findings, staleDirectives(mod, dirs, used, cfg)...)
+	}
+	findings = dedupe(findings)
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
 		if a.File != b.File {
 			return a.File < b.File
 		}
@@ -184,26 +285,23 @@ func Run(mod *Module, patterns []string, cfg Config) ([]Finding, error) {
 		}
 		return a.Checker < b.Checker
 	})
-	return all, nil
+	return findings
 }
 
-// checkPackage runs the given checkers over one package and applies
-// suppression directives.
-func checkPackage(mod *Module, pkg *Package, checkers []Checker) []Finding {
-	r := &Reporter{pkg: pkg, modRoot: mod.Root}
-	dirs := collectDirectives(pkg)
-	r.current = "bad-directive"
-	for _, d := range dirs {
-		if d.bad {
-			r.Reportf(d.pos, "malformed //hiperlint:ignore directive: want \"//hiperlint:ignore <checker> <reason>\"")
-		}
-	}
-	for _, ch := range checkers {
-		if sc, ok := ch.(scoped); ok && !pkg.IsFixture() && !sc.AppliesTo(pkg.ImportPath) {
+// dedupe collapses findings that agree on (checker, file, line, col,
+// message). The same file can be type-checked under more than one
+// package variant — a fixture loaded both directly and as a dependency,
+// or a future test/non-test split of one directory — and each variant
+// re-reports identical positions; one copy is enough.
+func dedupe(findings []Finding) []Finding {
+	seen := make(map[Finding]bool, len(findings))
+	kept := findings[:0]
+	for _, f := range findings {
+		if seen[f] {
 			continue
 		}
-		r.current = ch.Name()
-		ch.Check(pkg, r)
+		seen[f] = true
+		kept = append(kept, f)
 	}
-	return filterSuppressed(r.findings, dirs)
+	return kept
 }

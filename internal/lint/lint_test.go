@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 var update = flag.Bool("update", false, "rewrite the fixtures' findings.golden files")
@@ -37,19 +38,32 @@ func golden(findings []Finding) string {
 // finding-free.
 func TestCheckerGolden(t *testing.T) {
 	mod := testModule(t)
-	for _, name := range []string{
-		"blockingintask",
-		"mixedatomic",
-		"sendoutsidelock",
-		"uncheckederror",
-		"rawdelay",
-		"spinwaitpoller",
-		"recoveroutsideworker",
-		"suppress",
+	for _, fx := range []struct {
+		name      string
+		recursive bool // multi-package corpus: load every package under the dir
+	}{
+		{name: "blockingintask"},
+		{name: "mixedatomic"},
+		{name: "sendoutsidelock"},
+		{name: "uncheckederror"},
+		{name: "rawdelay"},
+		{name: "spinwaitpoller"},
+		{name: "recoveroutsideworker"},
+		{name: "suppress"},
+		{name: "blockingdeep"},
+		{name: "lockorder"},
+		{name: "goroutineleak"},
+		{name: "tagspace", recursive: true},
 	} {
+		name := fx.name
+		recursive := fx.recursive
 		t.Run(name, func(t *testing.T) {
 			dir := filepath.Join("testdata", name)
-			findings, err := Run(mod, []string{"./" + dir}, Config{})
+			pattern := "./" + dir
+			if recursive {
+				pattern += "/..."
+			}
+			findings, err := Run(mod, []string{pattern}, Config{})
 			if err != nil {
 				t.Fatalf("Run: %v", err)
 			}
@@ -109,6 +123,43 @@ func TestSuppressionDirectives(t *testing.T) {
 	}
 }
 
+// TestSuppressionAudit covers -audit: the mismatched directive in the
+// suppress fixture (names a checker that never fires there) suppresses
+// nothing, so audit mode reports it as stale; the three credited
+// directives are not reported.
+func TestSuppressionAudit(t *testing.T) {
+	mod := testModule(t)
+	findings, err := Run(mod, []string{"./testdata/suppress"}, Config{Audit: true})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	var stale []Finding
+	for _, f := range findings {
+		if f.Checker == "stale-suppression" {
+			stale = append(stale, f)
+		}
+	}
+	if len(stale) != 1 {
+		t.Fatalf("want exactly 1 stale-suppression finding (the mismatched directive), got %d: %v", len(stale), stale)
+	}
+	if !strings.Contains(stale[0].Message, "unchecked-error") {
+		t.Errorf("stale finding should name the unused directive's checker: %s", stale[0])
+	}
+
+	// A partial run must not call suppressions stale: with only
+	// blocking-in-task enabled, the unchecked-error directive cannot be
+	// proven dead, and the "all" directive is skipped too.
+	findings, err = Run(mod, []string{"./testdata/suppress"}, Config{Audit: true, Enable: []string{"blocking-in-task"}})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for _, f := range findings {
+		if f.Checker == "stale-suppression" {
+			t.Errorf("partial run reported a stale suppression: %s", f)
+		}
+	}
+}
+
 // TestEnableDisable covers the per-checker selection flags end to end.
 func TestEnableDisable(t *testing.T) {
 	mod := testModule(t)
@@ -136,18 +187,70 @@ func TestEnableDisable(t *testing.T) {
 
 // TestLintCleanTree is the regression gate: the real repository packages
 // must stay lint-clean (no unsuppressed findings) under the default
-// checker set, in-process — the same analysis `make check` runs via
-// cmd/hiper-lint.
+// checker set with the suppression audit on — the same analysis
+// `make check` runs via cmd/hiper-lint -audit. Zero stale suppressions
+// is part of the invariant: every //hiperlint:ignore in the tree must
+// still be excusing a live violation.
 func TestLintCleanTree(t *testing.T) {
 	if testing.Short() {
 		t.Skip("whole-module analysis in -short mode")
 	}
 	mod := testModule(t)
-	findings, err := Run(mod, []string{mod.Root + "/..."}, Config{})
+	findings, err := Run(mod, []string{mod.Root + "/..."}, Config{Audit: true})
 	if err != nil {
 		t.Fatalf("Run over module: %v", err)
 	}
 	for _, f := range findings {
+		if f.Checker == "stale-suppression" {
+			t.Errorf("stale suppression directive: %s", f)
+			continue
+		}
 		t.Errorf("unsuppressed finding: %s", f)
+	}
+}
+
+// TestFindingDedupe pins the driver's dedupe: when the same file reaches
+// the analyzer under two package variants (two independent loads here),
+// findings that agree on (checker, file, line, col, message) are
+// reported once. Module checkers are excluded because the two variants
+// carry distinct FileSets, which only a single-loader run shares.
+func TestFindingDedupe(t *testing.T) {
+	mod := testModule(t)
+	_, once, err := Load(mod, []string{"./testdata/blockingintask"})
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	_, twice, err := Load(mod, []string{"./testdata/blockingintask"})
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	checkers := []Checker{&BlockingInTask{}}
+	single := analyze(mod, once, checkers, Config{})
+	if len(single) == 0 {
+		t.Fatalf("fixture produced no findings")
+	}
+	doubled := analyze(mod, append(append([]*Package{}, once...), twice...), checkers, Config{})
+	if got, want := golden(doubled), golden(single); got != want {
+		t.Errorf("dedupe failed: duplicated packages changed the findings\n--- doubled ---\n%s--- single ---\n%s", got, want)
+	}
+}
+
+// TestLintLatencyBudget guards the analysis cost: the interprocedural
+// rework (call graph + summaries) must keep whole-module linting inside
+// a CI-tolerable budget. The bound is deliberately loose — it catches
+// accidental exponential blowups (summary recomputation, dispatch
+// fan-out), not ordinary regressions.
+func TestLintLatencyBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-module analysis in -short mode")
+	}
+	mod := testModule(t)
+	start := time.Now()
+	if _, err := Run(mod, []string{mod.Root + "/..."}, Config{Audit: true}); err != nil {
+		t.Fatalf("Run over module: %v", err)
+	}
+	const budget = 150 * time.Second
+	if elapsed := time.Since(start); elapsed > budget {
+		t.Errorf("whole-module lint took %v, over the %v budget — the interprocedural core has likely regressed", elapsed, budget)
 	}
 }

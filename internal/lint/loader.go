@@ -58,6 +58,12 @@ type Package struct {
 	Types      *types.Package
 	Info       *types.Info
 	TypeErrors []error
+
+	// Prog is the interprocedural view over the whole run, attached by
+	// NewProgram. Checkers nil-check it: a package analyzed outside a
+	// full driver run (unit tests poking at one checker) simply loses
+	// the transitive findings.
+	Prog *Program
 }
 
 // IsFixture reports whether the package lives under a testdata directory.

@@ -1,0 +1,320 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// LockOrderCycle is static deadlock detection over the runtime's shared
+// locks. It builds the acquires-while-holding graph across the packages
+// that can share locks in one process — internal/core, internal/fabric,
+// internal/trace (and fixtures) — and reports every cycle.
+//
+// Nodes are named mutexes: struct-field mutexes keyed by their owning
+// type ("fabric.Sim.mu"), package-level mutexes by their variable
+// ("core.regMu"). An edge A → B means some goroutine can attempt to
+// lock B while holding A: either a direct Lock in the same function
+// body, or — via the call graph's effect summaries — a call made while
+// holding A to a function that (transitively) acquires B. Two locks of
+// the same key are a self-edge: distinct instances of one type locked
+// under each other deadlock the moment the instance order inverts.
+//
+// A cycle A → B → A means two goroutines can each hold one lock while
+// waiting for the other — the textbook deadlock the race detector only
+// finds when the schedule cooperates. The report carries both witness
+// paths (one per edge), so the fix — picking one order and sticking to
+// it — has its sites named.
+type LockOrderCycle struct{}
+
+// Name implements Checker.
+func (*LockOrderCycle) Name() string { return "lock-order-cycle" }
+
+// Doc implements Checker.
+func (*LockOrderCycle) Doc() string {
+	return "the acquires-while-holding graph across internal/{core,fabric,trace} must stay acyclic (static deadlock detection)"
+}
+
+// AppliesTo implements scoped: the packages whose locks can meet in one
+// process under the runtime's own control flow.
+func (*LockOrderCycle) AppliesTo(importPath string) bool {
+	for _, s := range []string{"internal/core", "internal/fabric", "internal/trace"} {
+		if strings.HasSuffix(importPath, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// Check implements Checker. The real analysis is the module pass.
+func (*LockOrderCycle) Check(p *Package, r *Reporter) {}
+
+// lockEdge is one acquires-while-holding observation.
+type lockEdge struct {
+	from, to string
+	pos      token.Pos // the acquisition (or call) site observed
+	viaCall  string    // callee chain when the acquisition is transitive
+	owner    string    // function the observation was made in
+}
+
+// CheckModule implements ModuleChecker.
+func (c *LockOrderCycle) CheckModule(pkgs []*Package, r *Reporter) {
+	var edges []lockEdge
+	for _, pkg := range pkgs {
+		if pkg.Prog == nil || !applies(c, pkg) {
+			continue
+		}
+		for _, fi := range pkg.Prog.nodesOf(pkg) {
+			edges = append(edges, lockEdgesOf(pkg, fi)...)
+		}
+	}
+	reportLockCycles(edges, r)
+}
+
+// lockEdgesOf linearizes one function body into lock/unlock/call events
+// (the sendlock.go discipline: deferred Unlocks hold to function exit,
+// nested literals are their own bodies) and emits an edge for every
+// acquisition attempted while something is held.
+func lockEdgesOf(pkg *Package, fi *FuncInfo) []lockEdge {
+	body := fi.Body()
+	if body == nil {
+		return nil
+	}
+	prog := pkg.Prog
+	b := &builder{prog: prog, pkg: pkg, fi: fi} // reuse lockKey resolution
+
+	type ev struct {
+		pos      token.Pos
+		kind     int    // 0 lock, 1 unlock, 2 call
+		key      string // lock/unlock key
+		call     *ast.CallExpr
+		deferred bool
+	}
+	var events []ev
+	goCalls := make(map[*ast.CallExpr]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.GoStmt:
+			// The spawned callee acquires on its own goroutine, not while
+			// holding this one's locks; argument expressions still walk.
+			goCalls[n.Call] = true
+			return true
+		case *ast.DeferStmt:
+			// A deferred Unlock holds the section open to function exit;
+			// a deferred call to a locking helper still acquires, at exit.
+			if sel, ok := ast.Unparen(n.Call.Fun).(*ast.SelectorExpr); ok {
+				if sel.Sel.Name == "Unlock" || sel.Sel.Name == "RUnlock" {
+					return false
+				}
+			}
+			events = append(events, ev{pos: n.Pos(), kind: 2, call: n.Call, deferred: true})
+			return false
+		case *ast.CallExpr:
+			if goCalls[n] {
+				return true
+			}
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok {
+				switch sel.Sel.Name {
+				case "Lock", "RLock":
+					if key := b.lockKey(sel.X); key != "" {
+						events = append(events, ev{pos: n.Pos(), kind: 0, key: key})
+						return true
+					}
+				case "Unlock", "RUnlock":
+					if key := b.lockKey(sel.X); key != "" {
+						events = append(events, ev{pos: n.Pos(), kind: 1, key: key})
+						return true
+					}
+				}
+			}
+			events = append(events, ev{pos: n.Pos(), kind: 2, call: n})
+			return true
+		}
+		return true
+	})
+	sort.SliceStable(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+
+	var edges []lockEdge
+	held := make(map[string]bool)
+	var order []string // stable iteration for deterministic output
+	holdAll := func(to string, pos token.Pos, via string) {
+		for _, h := range order {
+			if !held[h] {
+				continue
+			}
+			edges = append(edges, lockEdge{from: h, to: to, pos: pos, viaCall: via, owner: fi.Name})
+		}
+	}
+	anyHeld := func() bool {
+		for _, h := range order {
+			if held[h] {
+				return true
+			}
+		}
+		return false
+	}
+	for _, e := range events {
+		switch e.kind {
+		case 0:
+			holdAll(e.key, e.pos, "")
+			if !held[e.key] {
+				held[e.key] = true
+				order = append(order, e.key)
+			}
+		case 1:
+			held[e.key] = false
+		case 2:
+			if !anyHeld() {
+				continue
+			}
+			for _, callee := range prog.resolveCallee(pkg, e.call) {
+				sum := prog.Summary(callee)
+				for _, k := range sortedKeys(sum.Acquires) {
+					eff := sum.Acquires[k]
+					holdAll(k, e.call.Pos(), chainOrSelf(callee, eff))
+				}
+			}
+		}
+	}
+	return edges
+}
+
+// reportLockCycles finds strongly connected components in the edge set
+// and reports each cycle once, at its lexicographically first edge, with
+// every witness path in the message.
+func reportLockCycles(edges []lockEdge, r *Reporter) {
+	adj := make(map[string]map[string]lockEdge) // first witness per (from,to)
+	for _, e := range edges {
+		if adj[e.from] == nil {
+			adj[e.from] = make(map[string]lockEdge)
+		}
+		if _, ok := adj[e.from][e.to]; !ok {
+			adj[e.from][e.to] = e
+		}
+	}
+	comp := lockSCCs(adj)
+	reported := make(map[int]bool)
+	for _, e := range edges {
+		ci, ok := comp[e.from]
+		if !ok || comp[e.to] != ci || reported[ci] {
+			continue
+		}
+		// Self-edges are their own cycle; larger components need >1 node.
+		if e.from != e.to && !multiNode(comp, ci) {
+			continue
+		}
+		reported[ci] = true
+		var members []string
+		for k, c := range comp {
+			if c == ci {
+				members = append(members, k)
+			}
+		}
+		sort.Strings(members)
+		var wits []string
+		for _, from := range members {
+			for _, to := range sortedEdgeKeys(adj[from]) {
+				if comp[to] != ci {
+					continue
+				}
+				w := adj[from][to]
+				site := r.Position(w.pos)
+				if w.viaCall != "" {
+					wits = append(wits, from+" → "+to+" (in "+w.owner+" via "+w.viaCall+" at "+site+")")
+				} else {
+					wits = append(wits, from+" → "+to+" (in "+w.owner+" at "+site+")")
+				}
+			}
+		}
+		r.Reportf(e.pos, "lock-order cycle among {%s}: %s; pick one acquisition order and hold to it, or split the critical sections",
+			strings.Join(members, ", "), strings.Join(wits, "; "))
+	}
+}
+
+// multiNode reports whether component ci has more than one member.
+func multiNode(comp map[string]int, ci int) bool {
+	n := 0
+	for _, c := range comp {
+		if c == ci {
+			n++
+		}
+	}
+	return n > 1
+}
+
+// lockSCCs is Tarjan over the string-keyed lock graph, returning a
+// component index per node. Only nodes on a cycle matter to the caller;
+// singleton components without self-edges are filtered there.
+func lockSCCs(adj map[string]map[string]lockEdge) map[string]int {
+	index := make(map[string]int)
+	low := make(map[string]int)
+	on := make(map[string]bool)
+	comp := make(map[string]int)
+	var stack []string
+	next, nComp := 0, 0
+
+	var visit func(v string)
+	visit = func(v string) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		on[v] = true
+		for _, w := range sortedEdgeKeys(adj[v]) {
+			if _, seen := index[w]; !seen {
+				visit(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if on[w] {
+				if index[w] < low[v] {
+					low[v] = index[w]
+				}
+			}
+		}
+		if low[v] == index[v] {
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				on[w] = false
+				comp[w] = nComp
+				if w == v {
+					break
+				}
+			}
+			nComp++
+		}
+	}
+	var nodes []string
+	for v := range adj {
+		nodes = append(nodes, v)
+	}
+	sort.Strings(nodes)
+	for _, v := range nodes {
+		if _, seen := index[v]; !seen {
+			visit(v)
+		}
+	}
+	return comp
+}
+
+func sortedKeys(m map[string]Effect) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortedEdgeKeys(m map[string]lockEdge) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

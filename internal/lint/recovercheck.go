@@ -14,6 +14,12 @@ import (
 // turning a diagnosable task failure into silent state corruption.
 // Code that wants to observe failures should consume future/scope
 // errors (Future.Err, Ctx.GetErr, FinishErr), not catch panics.
+//
+// The check is interprocedural: a call to a module helper whose summary
+// transitively reaches recover() is flagged at the call site too, with
+// the witness chain — so the violation stays visible even when the
+// recover sits in a package outside the current lint run, one or many
+// frames away. Chains are cut at internal/core, the sanctioned barrier.
 type RecoverOutsideWorker struct{}
 
 // Name implements Checker.
@@ -30,21 +36,48 @@ func (*RecoverOutsideWorker) AppliesTo(importPath string) bool {
 	return !strings.HasSuffix(importPath, "internal/core")
 }
 
+// checkTransitive flags calls to module functions whose summary reaches
+// recover() outside the sanctioned barrier. Direct recover() calls in
+// the callee's own package are also flagged at their definition site
+// when that package is analyzed; the call-site finding is what keeps a
+// helper one package over from hiding the violation.
+func (c *RecoverOutsideWorker) checkTransitive(p *Package, r *Reporter, call *ast.CallExpr) {
+	if p.Prog == nil {
+		return
+	}
+	for _, callee := range p.Prog.resolveCallee(p, call) {
+		if callee.Lit != nil {
+			continue // a literal's body is lexically here and checked directly
+		}
+		if recoversCut(callee) {
+			continue // the sanctioned barrier package
+		}
+		sum := p.Prog.Summary(callee)
+		if len(sum.Recovers) == 0 {
+			continue
+		}
+		e := sum.Recovers[0]
+		r.Reportf(call.Pos(), "calling %s reaches recover() (via %s at %s) outside the core worker barrier; the panic is swallowed before error propagation sees it — consume the future/scope error instead",
+			callee.Name, chainOrSelf(callee, e), r.Position(e.Pos))
+		return
+	}
+}
+
 // Check implements Checker.
-func (*RecoverOutsideWorker) Check(p *Package, r *Reporter) {
+func (c *RecoverOutsideWorker) Check(p *Package, r *Reporter) {
 	for _, f := range p.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)
 			if !ok {
 				return true
 			}
-			id, ok := call.Fun.(*ast.Ident)
-			if !ok {
-				return true
+			if id, ok := call.Fun.(*ast.Ident); ok {
+				if b, ok := p.Info.Uses[id].(*types.Builtin); ok && b.Name() == "recover" {
+					r.Reportf(call.Pos(), "recover() outside the core worker barrier swallows task panics before error propagation sees them; let the panic reach the scheduler and consume the future/scope error instead")
+					return true
+				}
 			}
-			if b, ok := p.Info.Uses[id].(*types.Builtin); ok && b.Name() == "recover" {
-				r.Reportf(call.Pos(), "recover() outside the core worker barrier swallows task panics before error propagation sees them; let the panic reach the scheduler and consume the future/scope error instead")
-			}
+			c.checkTransitive(p, r, call)
 			return true
 		})
 	}

@@ -15,6 +15,12 @@ import (
 // that made goroutine count and CPU burn scale with active link pairs —
 // the failure mode the poller exists to remove. Code that needs a
 // modelled delay realized must schedule it through the link heap.
+//
+// The check is interprocedural: a call site outside poller.go whose
+// callee transitively reaches spin.Sleep/spin.Until — including a call
+// back into poller.go's own timekeeper helpers — reintroduces
+// distributed spinning just as surely as a literal spin call, and is
+// flagged with the witness chain.
 type SpinWaitOutsidePoller struct{}
 
 // pollerFile is the one fabric file allowed to spin.
@@ -44,17 +50,42 @@ func (c *SpinWaitOutsidePoller) Check(p *Package, r *Reporter) {
 			if !ok {
 				return true
 			}
-			sel, ok := call.Fun.(*ast.SelectorExpr)
-			if !ok {
-				return true
-			}
-			switch sel.Sel.Name {
-			case "Sleep", "Until":
-				if isSpinPkg(p, sel.X) {
-					r.Reportf(call.Pos(), "spin.%s outside %s; the poller's timekeeper is the fabric's only sanctioned spin site — schedule the deadline through the link heap", sel.Sel.Name, pollerFile)
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+				switch sel.Sel.Name {
+				case "Sleep", "Until":
+					if isSpinPkg(p, sel.X) {
+						r.Reportf(call.Pos(), "spin.%s outside %s; the poller's timekeeper is the fabric's only sanctioned spin site — schedule the deadline through the link heap", sel.Sel.Name, pollerFile)
+						return true
+					}
 				}
 			}
+			c.checkTransitive(p, r, call)
 			return true
 		})
+	}
+}
+
+// checkTransitive flags calls from non-poller fabric files to functions
+// whose summary reaches a spin primitive. Call sites inside poller.go
+// are exempt by construction (Check skips that file entirely).
+func (c *SpinWaitOutsidePoller) checkTransitive(p *Package, r *Reporter, call *ast.CallExpr) {
+	if p.Prog == nil {
+		return
+	}
+	for _, callee := range p.Prog.resolveCallee(p, call) {
+		if callee.Lit != nil {
+			continue // a literal's body is lexically here and checked directly
+		}
+		if spinsCut(callee) {
+			continue // the spin package itself: the direct check owns that form
+		}
+		sum := p.Prog.Summary(callee)
+		if len(sum.Spins) == 0 {
+			continue
+		}
+		e := sum.Spins[0]
+		r.Reportf(call.Pos(), "calling %s outside %s reaches %s (via %s at %s); the poller's timekeeper is the fabric's only sanctioned spin site — schedule the deadline through the link heap",
+			callee.Name, pollerFile, e.What, chainOrSelf(callee, e), r.Position(e.Pos))
+		return
 	}
 }

@@ -1,0 +1,290 @@
+package lint
+
+import (
+	"go/token"
+	"strings"
+)
+
+// summary.go computes per-function effect summaries bottom-up over the
+// call graph's strongly connected components. A summary answers, for a
+// single node, "what can happen on the caller's goroutine if this
+// function is called?" — the facts the interprocedural checkers consume:
+//
+//	Blocks    thread-blocking operations (time.Sleep, raw channel ops,
+//	          default-less select, WaitGroup.Wait), with the witness
+//	          chain down to the primitive
+//	Spins     spin.Sleep / spin.Until reachability
+//	Recovers  recover() reachability
+//	Acquires  the set of named mutexes the call may lock
+//	StopRecvs channel fields/vars the body (transitively) receives on
+//
+// Propagation is effect-specific. All effects flow over EdgeCall and
+// EdgeDefer (same goroutine); none flow over EdgeGo or EdgeSpawn — a
+// fresh goroutine or a task body is a different execution context and is
+// analyzed at its own site. Three sanctioned layers additionally cut
+// chains:
+//
+//   - internal/core, internal/fabric, and internal/spin terminate Blocks
+//     chains: core IS the suspension machinery, fabric's receives are
+//     yield-polling, and spin's calibrated waits are governed by the
+//     spin-specific checkers; a task that calls into them is using the
+//     sanctioned primitives.
+//   - internal/spin terminates Spins chains: the primitive call itself
+//     is the effect, recorded at the caller.
+//   - internal/core terminates Recovers chains: the worker barrier is
+//     the one sanctioned recover site.
+//
+// Acquires and StopRecvs propagate without package cuts.
+
+// Effect is one summarized fact with a witness position and the call
+// chain (callee display names, outermost first) that reaches it. An
+// empty chain means the effect is direct.
+type Effect struct {
+	Pos   token.Pos
+	What  string
+	Chain []string
+}
+
+// Via renders the chain for a diagnostic, or "" for direct effects.
+func (e Effect) Via() string {
+	if len(e.Chain) == 0 {
+		return ""
+	}
+	return strings.Join(e.Chain, " → ")
+}
+
+// Summary is the transitive effect set of one function node.
+type Summary struct {
+	Blocks   []Effect
+	Spins    []Effect
+	Recovers []Effect
+	Acquires map[string]Effect
+	StopRecv map[string]bool
+}
+
+// maxChain bounds witness chains so cyclic call structures cannot grow
+// them unboundedly; deeper chains keep the truncation marker.
+const maxChain = 8
+
+// Summary returns fi's memoized transitive summary, computing the SCC
+// condensation on first use.
+func (p *Program) Summary(fi *FuncInfo) *Summary {
+	if s, ok := p.summaries[fi]; ok {
+		return s
+	}
+	p.computeSCC(fi)
+	return p.summaries[fi]
+}
+
+// blocksCut reports whether Blocks effects must not propagate out of
+// callee (the sanctioned suspension/polling layers).
+func blocksCut(callee *FuncInfo) bool {
+	return pkgHasSuffix(callee, "internal/core", "internal/fabric", "internal/spin")
+}
+
+// spinsCut reports whether Spins effects must not propagate out of
+// callee (the spin package's own internals).
+func spinsCut(callee *FuncInfo) bool {
+	return pkgHasSuffix(callee, "internal/spin")
+}
+
+// recoversCut reports whether Recovers effects must not propagate out of
+// callee (the sanctioned worker barrier package).
+func recoversCut(callee *FuncInfo) bool {
+	return pkgHasSuffix(callee, "internal/core")
+}
+
+// computeSCC runs Tarjan's algorithm from root over call+defer edges and
+// computes summaries for every component reached, in reverse topological
+// order (callees before callers).
+func (p *Program) computeSCC(root *FuncInfo) {
+	t := &tarjan{
+		prog:  p,
+		index: make(map[*FuncInfo]int),
+		low:   make(map[*FuncInfo]int),
+		on:    make(map[*FuncInfo]bool),
+	}
+	t.visit(root)
+}
+
+type tarjan struct {
+	prog  *Program
+	next  int
+	index map[*FuncInfo]int
+	low   map[*FuncInfo]int
+	on    map[*FuncInfo]bool
+	stack []*FuncInfo
+}
+
+// propagatedEdges lists fi's same-goroutine out-edges.
+func propagatedEdges(fi *FuncInfo) []Edge {
+	var out []Edge
+	for _, e := range fi.Edges {
+		if e.Kind == EdgeCall || e.Kind == EdgeDefer {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func (t *tarjan) visit(v *FuncInfo) {
+	t.index[v] = t.next
+	t.low[v] = t.next
+	t.next++
+	t.stack = append(t.stack, v)
+	t.on[v] = true
+
+	for _, e := range propagatedEdges(v) {
+		w := e.Callee
+		if _, done := t.prog.summaries[w]; done {
+			continue // already summarized in an earlier component
+		}
+		if _, seen := t.index[w]; !seen {
+			t.visit(w)
+			if t.low[w] < t.low[v] {
+				t.low[v] = t.low[w]
+			}
+		} else if t.on[w] {
+			if t.index[w] < t.low[v] {
+				t.low[v] = t.index[w]
+			}
+		}
+	}
+
+	if t.low[v] == t.index[v] {
+		var comp []*FuncInfo
+		for {
+			w := t.stack[len(t.stack)-1]
+			t.stack = t.stack[:len(t.stack)-1]
+			t.on[w] = false
+			comp = append(comp, w)
+			if w == v {
+				break
+			}
+		}
+		t.prog.summarizeComponent(comp)
+	}
+}
+
+// summarizeComponent computes the shared fixpoint summary of one SCC.
+// Members of a cycle share one effect set (any member can reach any
+// other), seeded from direct effects plus already-summarized callees,
+// then iterated within the component until stable.
+func (p *Program) summarizeComponent(comp []*FuncInfo) {
+	inComp := make(map[*FuncInfo]bool, len(comp))
+	for _, fi := range comp {
+		inComp[fi] = true
+	}
+	sums := make(map[*FuncInfo]*Summary, len(comp))
+	for _, fi := range comp {
+		s := &Summary{Acquires: make(map[string]Effect), StopRecv: make(map[string]bool)}
+		s.Blocks = appendEffects(s.Blocks, fi.blocks, "")
+		s.Spins = appendEffects(s.Spins, fi.spins, "")
+		s.Recovers = appendEffects(s.Recovers, fi.recovers, "")
+		for k, e := range fi.acquires {
+			s.Acquires[k] = e
+		}
+		for k := range fi.stopRecv {
+			s.StopRecv[k] = true
+		}
+		sums[fi] = s
+	}
+	merge := func(dst *Summary, fi *FuncInfo, e Edge) bool {
+		var src *Summary
+		if inComp[e.Callee] {
+			src = sums[e.Callee]
+		} else {
+			src = p.summaries[e.Callee]
+		}
+		if src == nil {
+			return false
+		}
+		changed := false
+		if !blocksCut(e.Callee) {
+			changed = liftEffects(&dst.Blocks, src.Blocks, e.Callee.Name) || changed
+		}
+		if !spinsCut(e.Callee) {
+			changed = liftEffects(&dst.Spins, src.Spins, e.Callee.Name) || changed
+		}
+		if !recoversCut(e.Callee) {
+			changed = liftEffects(&dst.Recovers, src.Recovers, e.Callee.Name) || changed
+		}
+		for k, eff := range src.Acquires {
+			if _, ok := dst.Acquires[k]; !ok {
+				dst.Acquires[k] = lift(eff, e.Callee.Name)
+				changed = true
+			}
+		}
+		if e.Kind == EdgeCall {
+			for k := range src.StopRecv {
+				if !dst.StopRecv[k] {
+					dst.StopRecv[k] = true
+					changed = true
+				}
+			}
+		}
+		return changed
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fi := range comp {
+			for _, e := range propagatedEdges(fi) {
+				if merge(sums[fi], fi, e) {
+					changed = true
+				}
+			}
+		}
+	}
+	for _, fi := range comp {
+		p.summaries[fi] = sums[fi]
+	}
+}
+
+// appendEffects adds effects not yet represented (keyed by What), with
+// via prepended to their chains when non-empty.
+func appendEffects(dst []Effect, src []Effect, via string) []Effect {
+	for _, e := range src {
+		if hasWhat(dst, e.What) {
+			continue
+		}
+		if via != "" {
+			e = lift(e, via)
+		}
+		dst = append(dst, e)
+	}
+	return dst
+}
+
+// liftEffects merges src into *dst through a callee named via, reporting
+// whether anything new was added.
+func liftEffects(dst *[]Effect, src []Effect, via string) bool {
+	changed := false
+	for _, e := range src {
+		if hasWhat(*dst, e.What) {
+			continue
+		}
+		*dst = append(*dst, lift(e, via))
+		changed = true
+	}
+	return changed
+}
+
+// lift prepends via to an effect's witness chain, respecting maxChain.
+func lift(e Effect, via string) Effect {
+	chain := make([]string, 0, len(e.Chain)+1)
+	chain = append(chain, via)
+	chain = append(chain, e.Chain...)
+	if len(chain) > maxChain {
+		chain = append(chain[:maxChain], "…")
+	}
+	return Effect{Pos: e.Pos, What: e.What, Chain: chain}
+}
+
+func hasWhat(effects []Effect, what string) bool {
+	for _, e := range effects {
+		if e.What == what {
+			return true
+		}
+	}
+	return false
+}

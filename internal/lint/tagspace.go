@@ -1,0 +1,109 @@
+package lint
+
+import (
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// TagSpace polices the transport's reserved tag namespace. The fabric
+// hands out reserved tags (negative, from -2 downward; -1 is AnyTag)
+// exclusively through Transport.AllocTags, so composed scheduling
+// libraries — shmem, job, cuda, omp — can share one wire without their
+// control messages colliding. Two rules are per-package:
+//
+//   - A negative literal tag (other than AnyTag) on a Transport call
+//     bypasses AllocTags entirely: nothing stops another module from
+//     hardcoding the same value. Reserved tags must be AllocTags bases
+//     or offsets from one.
+//   - An offset from an AllocTags base must stay inside the allocated
+//     block: `base - k` with k ≥ n for AllocTags(n) silently reads a
+//     neighbouring module's allocation.
+//
+// The module pass adds the cross-cutting rule: the same negative literal
+// appearing in two different packages is a live collision, reported at
+// each later claimant with the first claimant named. (AllocTags-derived
+// tags cannot collide by construction, which is the point.)
+type TagSpace struct{}
+
+// anyTag mirrors fabric.AnyTag: the one negative tag that is a wildcard,
+// not a reservation.
+const anyTag = -1
+
+// Name implements Checker.
+func (*TagSpace) Name() string { return "tag-space" }
+
+// Doc implements Checker.
+func (*TagSpace) Doc() string {
+	return "reserved (negative) transport tags must come from AllocTags and stay inside their block; literal reservations collide across modules"
+}
+
+// AppliesTo implements scoped: every module package — any package
+// holding a Transport can misuse the namespace.
+func (*TagSpace) AppliesTo(importPath string) bool { return true }
+
+// Check implements Checker: the per-package rules.
+func (c *TagSpace) Check(p *Package, r *Reporter) {
+	if p.Prog == nil {
+		return
+	}
+	for _, fi := range p.Prog.nodesOf(p) {
+		for _, u := range fi.tagUses {
+			switch {
+			case u.FromAlloc:
+				if u.Offset >= 0 && u.AllocN > 0 && u.Offset >= u.AllocN {
+					r.Reportf(u.Pos, "tag offset %d walks off an AllocTags(%d) block (valid offsets 0..%d); the tag lands in a neighbouring module's allocation — allocate a larger block", u.Offset, u.AllocN, u.AllocN-1)
+				}
+			case u.IsConst && u.Val < 0 && u.Val != anyTag:
+				r.Reportf(u.Pos, "literal reserved tag %d on %s bypasses AllocTags; nothing stops another module from claiming the same value — reserve through tr.AllocTags(n) and offset from its base", u.Val, u.Method)
+			}
+		}
+	}
+}
+
+// tagClaim is one literal reservation site.
+type tagClaim struct {
+	pkg *Package
+	pos token.Pos
+}
+
+// CheckModule implements ModuleChecker: cross-package literal collisions.
+func (c *TagSpace) CheckModule(pkgs []*Package, r *Reporter) {
+	claims := make(map[int64][]tagClaim) // first claim per (value, package)
+	for _, p := range pkgs {
+		if p.Prog == nil || !applies(c, p) {
+			continue
+		}
+		seen := make(map[int64]bool)
+		for _, fi := range p.Prog.nodesOf(p) {
+			for _, u := range fi.tagUses {
+				if !u.IsConst || u.FromAlloc || u.Val >= 0 || u.Val == anyTag || seen[u.Val] {
+					continue
+				}
+				seen[u.Val] = true
+				claims[u.Val] = append(claims[u.Val], tagClaim{pkg: p, pos: u.Pos})
+			}
+		}
+	}
+	var vals []int64
+	for v, cs := range claims {
+		if len(cs) > 1 {
+			vals = append(vals, v)
+		}
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	for _, v := range vals {
+		cs := claims[v]
+		sort.Slice(cs, func(i, j int) bool { return cs[i].pkg.ImportPath < cs[j].pkg.ImportPath })
+		first := cs[0]
+		for _, dup := range cs[1:] {
+			r.Reportf(dup.pos, "reserved tag %d is also claimed by %s (%s); two modules hardcoding one tag share a mailbox by accident — both must reserve via AllocTags",
+				v, pkgDisplay(first.pkg), r.Position(first.pos))
+		}
+	}
+}
+
+// pkgDisplay renders a short package name for diagnostics.
+func pkgDisplay(p *Package) string {
+	return pkgBase(strings.TrimSuffix(p.ImportPath, "/"))
+}

@@ -1,0 +1,17 @@
+package fixture
+
+// compute and its helper never touch a blocking primitive, however deep
+// the chain; the summaries must stay clean.
+func compute() { helper() }
+
+func helper() int { return 1 + 1 }
+
+// ok passes both a literal and a named clean body.
+func ok(c *Ctx) {
+	c.Async(func(c *Ctx) {
+		compute()
+	})
+	c.Async(cleanRun)
+}
+
+func cleanRun(c *Ctx) { compute() }

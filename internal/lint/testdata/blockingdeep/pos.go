@@ -1,0 +1,33 @@
+// Package fixture is the interprocedural positive/negative corpus for
+// blocking-in-task: the blocking primitive sits two and three helper
+// frames below the task body, so only the call-graph summaries can see
+// it. The local Ctx mirrors the runtime's spawn surface so the fixture
+// type-checks without importing internal/core.
+package fixture
+
+import "time"
+
+// Ctx stands in for core.Ctx.
+type Ctx struct{}
+
+// Async mirrors core.Ctx.Async.
+func (c *Ctx) Async(fn func(*Ctx)) {}
+
+// settle is three frames above the primitive.
+func settle() { drain() }
+
+// drain is two frames above the primitive.
+func drain() { backoff() }
+
+// backoff holds the actual time.Sleep.
+func backoff() { time.Sleep(time.Millisecond) }
+
+// run is a named task body that blocks two frames down.
+func run(c *Ctx) { drain() }
+
+func bad(c *Ctx) {
+	c.Async(func(c *Ctx) {
+		settle() // want blocking-in-task (reaches time.Sleep via drain → backoff)
+	})
+	c.Async(run) // want blocking-in-task (named task body blocks transitively)
+}

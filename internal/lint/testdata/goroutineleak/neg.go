@@ -1,0 +1,53 @@
+package fixture
+
+import "sync"
+
+func work() {}
+
+// joined counts every spawn on a WaitGroup the same body waits on.
+func joined(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			work()
+		}()
+	}
+	wg.Wait()
+}
+
+// chanJoined observes completion through a channel the spawned body
+// closes.
+func chanJoined() {
+	done := make(chan struct{})
+	go func() {
+		work()
+		close(done)
+	}()
+	<-done
+}
+
+// pump is the stop-signalled shape: the spawned loop selects on a stop
+// channel that Stop closes.
+type pump struct{ stop chan struct{} }
+
+// Start launches the pump loop.
+func (p *pump) Start() {
+	go p.run()
+}
+
+// run drains until the stop channel closes.
+func (p *pump) run() {
+	for {
+		select {
+		case <-p.stop:
+			return
+		default:
+			work()
+		}
+	}
+}
+
+// Stop signals the loop to exit.
+func (p *pump) Stop() { close(p.stop) }

@@ -1,0 +1,19 @@
+// Package fixture is the positive/negative corpus for goroutine-leak:
+// spawns with no WaitGroup join, no channel join, and no stop signal.
+package fixture
+
+func compute() {}
+
+// leak launches a named worker nothing joins or stops.
+func leak() {
+	go compute() // want goroutine-leak
+}
+
+// leakLit launches a literal body with the same problem.
+func leakLit(n int) {
+	go func() { // want goroutine-leak
+		for i := 0; i < n; i++ {
+			compute()
+		}
+	}()
+}

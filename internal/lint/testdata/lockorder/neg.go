@@ -1,0 +1,39 @@
+package fixture
+
+import "sync"
+
+// D and E are always taken in the same order — an acyclic lock graph.
+type D struct{ mu sync.Mutex }
+
+// E is always acquired after D.
+type E struct{ mu sync.Mutex }
+
+// first holds D.mu and acquires E.mu through a helper.
+func first(d *D, e *E) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	second(e)
+}
+
+// second takes E.mu for its caller.
+func second(e *E) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+}
+
+// also repeats the same D-then-E order inline.
+func also(d *D, e *E) {
+	d.mu.Lock()
+	e.mu.Lock()
+	e.mu.Unlock()
+	d.mu.Unlock()
+}
+
+// sequential takes the locks one after the other, never nested — no
+// edge at all.
+func sequential(d *D, e *E) {
+	e.mu.Lock()
+	e.mu.Unlock()
+	d.mu.Lock()
+	d.mu.Unlock()
+}

@@ -1,0 +1,47 @@
+// Package fixture is the positive/negative corpus for lock-order-cycle:
+// two struct-field mutexes acquired in opposite orders by different
+// functions (one side through a helper, so only the Acquires summary
+// sees it), plus a same-key self-cycle.
+package fixture
+
+import "sync"
+
+// A and B carry the two mutexes of the inverted pair.
+type A struct{ mu sync.Mutex }
+
+// B is the other half of the inversion.
+type B struct{ mu sync.Mutex }
+
+// lockAB holds A.mu and acquires B.mu through grabB — the A → B edge is
+// only visible transitively.
+func lockAB(a *A, b *B) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	grabB(b) // want lock-order-cycle (A.mu → B.mu here, B.mu → A.mu in lockBA)
+}
+
+// grabB takes B.mu on behalf of its caller.
+func grabB(b *B) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+}
+
+// lockBA inverts the order directly.
+func lockBA(a *A, b *B) {
+	b.mu.Lock()
+	a.mu.Lock()
+	a.mu.Unlock()
+	b.mu.Unlock()
+}
+
+// C demonstrates the self-cycle: two instances of one type locked under
+// each other deadlock as soon as the instance order inverts.
+type C struct{ mu sync.Mutex }
+
+// double nests two C locks — a C.mu → C.mu self-edge.
+func double(c1, c2 *C) {
+	c1.mu.Lock()
+	c2.mu.Lock() // want lock-order-cycle (C.mu under C.mu)
+	c2.mu.Unlock()
+	c1.mu.Unlock()
+}

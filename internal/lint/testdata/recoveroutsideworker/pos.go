@@ -28,3 +28,11 @@ func drainQuietly(fns []func()) {
 		}()
 	}
 }
+
+// catch reaches recover directly; shield and outer reach it one and two
+// frames up, so their call sites carry the witness chain.
+func catch() bool { return recover() != nil } // want recover-outside-worker (direct)
+
+func shield() { catch() } // want recover-outside-worker (transitive, one frame)
+
+func outer() { shield() } // want recover-outside-worker (transitive, two frames)

@@ -1,0 +1,28 @@
+// Package moda is half of the tag-space corpus: a module that hardcodes
+// a reserved tag (which package modb also claims) and walks off the end
+// of an AllocTags block. TR is Transport-shaped — the AllocTags method
+// is what marks it — without importing internal/fabric.
+package moda
+
+// TR stands in for fabric.Transport.
+type TR struct{}
+
+// AllocTags mirrors Transport.AllocTags.
+func (TR) AllocTags(n int) int { return -2 }
+
+// Send mirrors Transport.Send (tag is the third argument).
+func (TR) Send(src, dst, tag int, b []byte) {}
+
+// Recv mirrors Transport.Recv (tag is the third argument).
+func (TR) Recv(dst, src, tag int) {}
+
+// claim hardcodes a reserved tag instead of allocating it.
+func claim(tr TR) {
+	tr.Send(0, 1, -7, nil) // want tag-space (literal reservation)
+}
+
+// overflow offsets past its two-tag allocation.
+func overflow(tr TR) {
+	base := tr.AllocTags(2)
+	tr.Recv(1, 0, base-2) // want tag-space (offset 2 outside 0..1)
+}

@@ -1,0 +1,11 @@
+package moda
+
+// clean reserves through AllocTags and stays inside the block; positive
+// application tags and the AnyTag wildcard (-1) are always fine.
+func clean(tr TR) {
+	base := tr.AllocTags(2)
+	tr.Send(0, 1, base, nil)
+	tr.Recv(1, 0, base-1)
+	tr.Send(0, 1, 5, nil)
+	tr.Recv(1, 0, -1)
+}

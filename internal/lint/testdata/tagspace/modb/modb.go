@@ -1,0 +1,19 @@
+// Package modb is the other half of the tag-space corpus: it hardcodes
+// the same reserved tag as package moda, which the module pass reports
+// as a cross-package collision on top of the literal-reservation
+// finding.
+package modb
+
+// TR stands in for fabric.Transport.
+type TR struct{}
+
+// AllocTags mirrors Transport.AllocTags.
+func (TR) AllocTags(n int) int { return -2 }
+
+// Send mirrors Transport.Send (tag is the third argument).
+func (TR) Send(src, dst, tag int, b []byte) {}
+
+// claim collides with moda's hardcoded reservation.
+func claim(tr TR) {
+	tr.Send(0, 1, -7, nil) // want tag-space (literal) and tag-space (overlap with moda)
+}

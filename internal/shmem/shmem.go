@@ -165,6 +165,7 @@ func (p *PE) BarrierAll() {
 // arrived. It never blocks the caller — the AsyncSHMEM module uses it so
 // a barrier never stalls the worker that services its condition poller.
 func (p *PE) BarrierAllAsync(onDone func()) {
+	//hiperlint:ignore goroutine-leak arrival goroutine exits once this PE's pending puts drain; joining it would reintroduce the blocking barrier this API exists to avoid
 	go func() {
 		p.pending.Wait()
 		p.w.coll.BarrierAsync(onDone)
