@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check lint race chaos bench-smoke bench-sched bench-trace bench-comm bench-comm-gate
+.PHONY: check lint race chaos bench-smoke bench-sched bench-trace bench-comm bench-comm-gate bench-policy
 
 ## check: the tier-1 gate — vet, then the project linter, then build and
 ## the full test suite.
@@ -25,6 +25,7 @@ bench-smoke:
 	$(GO) run ./cmd/hiper-bench -sched -schedout /tmp/BENCH_scheduler.smoke.json
 	$(GO) run ./cmd/hiper-bench -comm -commout /tmp/BENCH_comm.smoke.json
 	$(GO) run ./cmd/hiper-bench -commgate BENCH_comm.json
+	$(GO) run ./cmd/hiper-bench -policygate BENCH_scheduler.json
 
 ## bench-comm-gate: rerun ping-pong + fanin-4to1 at quick scale and fail
 ## if any ns/op regresses >3x vs the committed BENCH_comm.json — loose
@@ -42,6 +43,12 @@ bench-sched:
 ## and fanout-wake microbenchmarks.
 bench-trace:
 	$(GO) run ./cmd/hiper-bench -tracebench BENCH_trace.json -full -workers 16
+
+## bench-policy: regenerate the committed BENCH_policy.json — the
+## scheduling-policy A/B over the three DAG workloads (UTS, HPGMG, GEO)
+## plus the default-policy seam guards.
+bench-policy:
+	$(GO) run ./cmd/hiper-bench -policy -full -policyout BENCH_policy.json
 
 ## bench-comm: regenerate the committed BENCH_comm.json — transport-layer
 ## ping-pong latency, the N-to-1 congestion-collapse curve, and the

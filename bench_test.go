@@ -12,6 +12,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/hiper"
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/hipermpi"
@@ -118,7 +119,7 @@ func BenchmarkTaskifyOverhead(b *testing.B) {
 		}
 	})
 	b.Run("taskified", func(b *testing.B) {
-		rt := core.NewDefault(2)
+		rt := newRT(b)
 		m := hipermpi.New(world.Comm(0), nil)
 		modules.MustInstall(rt, m)
 		payload := make([]byte, 8)
@@ -148,7 +149,7 @@ func BenchmarkPollingVsCallbacks(b *testing.B) {
 			rts := make([]*core.Runtime, 2)
 			ms := make([]*hipermpi.Module, 2)
 			for r := 0; r < 2; r++ {
-				rts[r] = core.NewDefault(2)
+				rts[r] = newRT(b)
 				ms[r] = hipermpi.New(world.Comm(r), mode.opts)
 				modules.MustInstall(rts[r], ms[r])
 			}
@@ -208,6 +209,18 @@ func BenchmarkStealScope(b *testing.B) {
 	}
 }
 
+// newRT builds a 2-worker runtime through the public facade — the only
+// constructor now that the deprecated NewDefault/NewFromModel shims are
+// gone.
+func newRT(b *testing.B) *core.Runtime {
+	b.Helper()
+	rt, err := hiper.New(hiper.WithWorkers(2))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return rt
+}
+
 //go:noinline
 func busyWork(n int) int {
 	s := 0
@@ -221,7 +234,7 @@ func busyWork(n int) int {
 // unsatisfied future (substitute spawn + retire) versus an already-
 // satisfied one (fast path).
 func BenchmarkWorkerSubstitution(b *testing.B) {
-	rt := core.NewDefault(2)
+	rt := newRT(b)
 	defer rt.Shutdown()
 	b.Run("satisfied", func(b *testing.B) {
 		rt.Launch(func(c *core.Ctx) {

@@ -9,6 +9,8 @@
 //	hiper-bench -sched [-full] [-workers N] [-schedout BENCH_scheduler.json]
 //	hiper-bench -comm [-full] [-commout BENCH_comm.json]
 //	hiper-bench -commgate BENCH_comm.json
+//	hiper-bench -policy [-full] [-policyout BENCH_policy.json]
+//	hiper-bench -policygate BENCH_scheduler.json
 //	hiper-bench -chaos [-full] [-chaosout BENCH_resilience.json]
 //	hiper-bench -trace out.json [-workers N]
 //	hiper-bench -tracebench BENCH_trace.json [-full] [-workers N]
@@ -35,6 +37,9 @@ func main() {
 	comm := flag.Bool("comm", false, "run the transport-layer communication microbenchmarks instead of the paper figures")
 	commOut := flag.String("commout", "BENCH_comm.json", "path for the communication benchmark JSON report")
 	commGate := flag.String("commgate", "", "rerun the quick communication subset and fail on >3x ns/op regression vs the committed report at this path")
+	policyAB := flag.Bool("policy", false, "run the scheduling-policy A/B workload benchmarks instead of the paper figures")
+	policyOut := flag.String("policyout", "BENCH_policy.json", "path for the policy A/B benchmark JSON report")
+	policyGate := flag.String("policygate", "", "rerun fanout-wake under WithPolicy(RandomSteal) and fail on regression vs the committed scheduler report at this path")
 	chaos := flag.Bool("chaos", false, "run the fault-injection resilience benchmarks instead of the paper figures")
 	chaosOut := flag.String("chaosout", "BENCH_resilience.json", "path for the resilience benchmark JSON report")
 	tracePath := flag.String("trace", "", "run a traced demo workload and write its Chrome trace JSON here (load at ui.perfetto.dev)")
@@ -53,6 +58,25 @@ func main() {
 			log.Fatalf("writing %s: %v", *schedOut, err)
 		}
 		fmt.Printf("wrote %s\n", *schedOut)
+		return
+	}
+	if *policyGate != "" {
+		if err := bench.PolicyGate(*policyGate); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("policygate ok vs %s\n", *policyGate)
+		return
+	}
+	if *policyAB {
+		rep, err := bench.PolicySuite(scale)
+		if err != nil {
+			log.Fatalf("policy suite: %v", err)
+		}
+		fmt.Print(rep.Render())
+		if err := rep.WriteJSON(*policyOut); err != nil {
+			log.Fatalf("writing %s: %v", *policyOut, err)
+		}
+		fmt.Printf("wrote %s\n", *policyOut)
 		return
 	}
 	if *commGate != "" {

@@ -1,0 +1,190 @@
+package hiper_test
+
+import (
+	"flag"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata/api_surface.golden from the current facade")
+
+// TestFacadeSurface pins the facade's exported API: every exported
+// symbol of package hiper must appear in testdata/api_surface.golden, so
+// a symbol cannot be added to (or dropped from) the public surface
+// without the diff showing up in review. Regenerate deliberately with
+//
+//	go test ./hiper -run TestFacadeSurface -update
+func TestFacadeSurface(t *testing.T) {
+	got := exportedSurface(t)
+	golden := filepath.Join("testdata", "api_surface.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(strings.Join(got, "\n")+"\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden (run with -update to create): %v", err)
+	}
+	want := strings.Split(strings.TrimSpace(string(data)), "\n")
+	wantSet := map[string]bool{}
+	for _, s := range want {
+		wantSet[s] = true
+	}
+	gotSet := map[string]bool{}
+	for _, s := range got {
+		gotSet[s] = true
+	}
+	for _, s := range got {
+		if !wantSet[s] {
+			t.Errorf("exported symbol %q is not in %s — new public API must be added to the golden deliberately (-update)", s, golden)
+		}
+	}
+	for _, s := range want {
+		if !gotSet[s] {
+			t.Errorf("golden symbol %q is gone from the facade — removing public API must update %s (-update)", s, golden)
+		}
+	}
+}
+
+// TestFacadeLeaksNoInternalTypes asserts that no exported declaration of
+// package hiper names an internal package in its *signature*: internal
+// types may only surface through the facade's own documented aliases.
+// (Function bodies and the alias declarations themselves are the
+// sanctioned crossing points and are exempt.)
+func TestFacadeLeaksNoInternalTypes(t *testing.T) {
+	fset := token.NewFileSet()
+	pkg := parseFacade(t, fset)
+	internalImports := map[string]bool{} // local name -> is internal
+	for _, f := range pkg.Files {
+		for _, imp := range f.Imports {
+			path, _ := strconv.Unquote(imp.Path.Value)
+			if !strings.Contains(path, "/internal/") {
+				continue
+			}
+			name := path[strings.LastIndex(path, "/")+1:]
+			if imp.Name != nil {
+				name = imp.Name.Name
+			}
+			internalImports[name] = true
+		}
+	}
+	leak := func(decl string, typ ast.Expr) {
+		ast.Inspect(typ, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if id, ok := sel.X.(*ast.Ident); ok && internalImports[id.Name] {
+				t.Errorf("%s leaks internal type %s.%s in its signature; re-export it as a facade alias instead", decl, id.Name, sel.Sel.Name)
+			}
+			return true
+		})
+	}
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			switch d := d.(type) {
+			case *ast.FuncDecl:
+				if d.Recv != nil || !d.Name.IsExported() {
+					continue
+				}
+				leak("func "+d.Name.Name, d.Type)
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					switch s := spec.(type) {
+					case *ast.TypeSpec:
+						// Alias declarations (type X = core.Y) are the
+						// sanctioned re-export mechanism; only concrete
+						// type definitions are audited.
+						if s.Name.IsExported() && !s.Assign.IsValid() {
+							leak("type "+s.Name.Name, s.Type)
+						}
+					case *ast.ValueSpec:
+						// Vars/consts with an explicit internal type
+						// annotation would force the internal name on
+						// callers; inferred types flow through aliases.
+						if s.Type == nil {
+							continue
+						}
+						for _, n := range s.Names {
+							if n.IsExported() {
+								leak("var "+n.Name, s.Type)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// exportedSurface lists package hiper's exported top-level symbols, one
+// "kind Name" line per symbol, sorted.
+func exportedSurface(t *testing.T) []string {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkg := parseFacade(t, fset)
+	var out []string
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			switch d := d.(type) {
+			case *ast.FuncDecl:
+				if d.Recv == nil && d.Name.IsExported() {
+					out = append(out, "func "+d.Name.Name)
+				}
+			case *ast.GenDecl:
+				kind := map[token.Token]string{token.TYPE: "type", token.VAR: "var", token.CONST: "const"}[d.Tok]
+				if kind == "" {
+					continue
+				}
+				for _, spec := range d.Specs {
+					switch s := spec.(type) {
+					case *ast.TypeSpec:
+						if s.Name.IsExported() {
+							out = append(out, kind+" "+s.Name.Name)
+						}
+					case *ast.ValueSpec:
+						for _, n := range s.Names {
+							if n.IsExported() {
+								out = append(out, kind+" "+n.Name)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func parseFacade(t *testing.T, fset *token.FileSet) *ast.Package {
+	t.Helper()
+	pkgs, err := parser.ParseDir(fset, ".", func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, ok := pkgs["hiper"]
+	if !ok {
+		t.Fatalf("package hiper not found in %v", func() []string {
+			var n []string
+			for k := range pkgs {
+				n = append(n, k)
+			}
+			return n
+		}())
+	}
+	return pkg
+}

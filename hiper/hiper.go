@@ -33,6 +33,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/modules"
 	"repro/internal/platform"
+	"repro/internal/policy"
 )
 
 // Core runtime types.
@@ -90,6 +91,49 @@ type (
 // Module is the pluggable-module lifecycle contract.
 type Module = modules.Module
 
+// Scheduling-policy types (see WithPolicy). A policy plugs into the
+// worker loop's three decision points: pop order, steal-victim selection
+// with batch sizing, and place-group resolution for spawns.
+type (
+	// SchedPolicy is the pluggable scheduling-policy contract.
+	SchedPolicy = core.SchedPolicy
+	// PolicyRuntime is a policy's per-runtime state.
+	PolicyRuntime = core.PolicyRuntime
+	// PolicyWorker is a policy's per-worker-identity decision state.
+	PolicyWorker = core.PolicyWorker
+	// PolicyEnv is what a policy consults when building per-runtime state.
+	PolicyEnv = core.PolicyEnv
+	// SpawnOpt tunes a single task spawn (Cost, AtGroup) on the *With
+	// spawn variants: Ctx.AsyncWith, AsyncFutureWith, AsyncDetachedWith.
+	SpawnOpt = core.SpawnOpt
+)
+
+// The shipped scheduling policies, selectable via WithPolicy.
+var (
+	// RandomSteal is the default policy — exactly the runtime's built-in
+	// behavior, at zero added cost.
+	RandomSteal = policy.RandomSteal
+	// HEFT schedules by heterogeneous earliest finish time, driven by
+	// Cost spawn hints and the platform graph's compute/link costs.
+	HEFT = policy.HEFT
+	// CritPath pops the costliest pending work first and steals
+	// locality-first (same-socket deque columns before crossing sockets).
+	CritPath = policy.CritPath
+)
+
+// PolicyByName resolves a shipped policy by name ("random-steal", "heft",
+// "critpath") — CLI and config plumbing.
+func PolicyByName(name string) (SchedPolicy, error) { return policy.ByName(name) }
+
+// Cost attaches an execution-cost estimate (abstract units, consistent
+// within an application) to a spawn; cost-model policies like HEFT fold
+// it into their per-place accounting.
+func Cost(units float64) SpawnOpt { return core.Cost(units) }
+
+// AtGroup offers the scheduler a set of candidate places for a spawn; the
+// active policy resolves the concrete one.
+func AtGroup(places ...*Place) SpawnOpt { return core.AtGroup(places...) }
+
 // Standard place kinds.
 const (
 	KindSysMem       = platform.KindSysMem
@@ -100,21 +144,6 @@ const (
 	KindNVM          = platform.KindNVM
 	KindDisk         = platform.KindDisk
 )
-
-// NewFromModel builds a runtime over a platform model with a raw options
-// struct.
-//
-// Deprecated: use New with functional options — New(WithModel(m), ...) —
-// which validates option combinations and covers tracing and stats
-// configuration. NewFromModel remains for callers written against the old
-// two-argument New.
-func NewFromModel(m *Model, opts *Options) (*Runtime, error) { return core.New(m, opts) }
-
-// NewDefault builds a runtime over a default single-socket model with the
-// given worker count (<= 0 selects GOMAXPROCS).
-//
-// Deprecated: use New() for GOMAXPROCS workers or New(WithWorkers(n)).
-func NewDefault(workers int) *Runtime { return core.NewDefault(workers) }
 
 // NewPromise creates an unsatisfied promise bound to rt.
 func NewPromise(rt *Runtime) *Promise { return core.NewPromise(rt) }

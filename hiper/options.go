@@ -33,6 +33,8 @@ type config struct {
 	maxBlocked int
 	spinRounds int
 	watchdog   *WatchdogConfig
+	policy     SchedPolicy
+	policySet  string // option name that claimed the policy, for conflicts
 }
 
 // Option configures a runtime under construction; see New.
@@ -153,6 +155,27 @@ func WithWatchdog(cfg WatchdogConfig) Option {
 	}
 }
 
+// WithPolicy selects the scheduling policy: RandomSteal (the default,
+// zero-cost), HEFT, CritPath, or any custom SchedPolicy implementation.
+// The policy decides pop order, steal-victim selection and batch sizing,
+// and place-group resolution for spawns; see the internal/policy package
+// docs for the shipped policies' cost models. A runtime has exactly one
+// policy: repeating the option is a conflict, and WithPolicy(nil) is an
+// error (omit the option for the default instead).
+func WithPolicy(p SchedPolicy) Option {
+	return func(c *config) error {
+		if p == nil {
+			return fmt.Errorf("hiper: WithPolicy(nil): omit the option for the default policy")
+		}
+		if c.policySet != "" {
+			return fmt.Errorf("hiper: WithPolicy(%s) conflicts with WithPolicy(%s): a runtime has exactly one scheduling policy", p.Name(), c.policySet)
+		}
+		c.policy = p
+		c.policySet = p.Name()
+		return nil
+	}
+}
+
 // New builds a runtime from functional options:
 //
 //	rt, err := hiper.New()                          // GOMAXPROCS workers, default model
@@ -192,6 +215,7 @@ func New(opts ...Option) (*Runtime, error) {
 		SpinRounds:        c.spinRounds,
 		Trace:             c.traceCfg,
 		Watchdog:          c.watchdog,
+		Policy:            c.policy,
 	}
 	return core.New(model, &coreOpts)
 }

@@ -175,27 +175,6 @@ func TestCloseIdempotentThroughFacade(t *testing.T) {
 	}
 }
 
-// TestDeprecatedShims: the pre-functional-options constructors still work.
-func TestDeprecatedShims(t *testing.T) {
-	rt, err := hiper.NewFromModel(platform.Default(2), &hiper.Options{SpinRounds: 1})
-	if err != nil {
-		t.Fatal(err)
-	}
-	var ran atomic.Int64
-	rt.Launch(func(c *hiper.Ctx) { c.Finish(func(c *hiper.Ctx) { c.Async(func(*hiper.Ctx) { ran.Add(1) }) }) })
-	if err := rt.Close(); err != nil {
-		t.Fatal(err)
-	}
-	if ran.Load() != 1 {
-		t.Fatal("NewFromModel runtime did not run tasks")
-	}
-	rt2 := hiper.NewDefault(1)
-	defer rt2.Close()
-	if rt2.NumWorkers() != 1 {
-		t.Fatal("NewDefault(1) did not build a 1-worker runtime")
-	}
-}
-
 // TestStatsReportThroughFacade: the facade exposes the stats report.
 func TestStatsReportThroughFacade(t *testing.T) {
 	stats.Reset()
@@ -203,5 +182,145 @@ func TestStatsReportThroughFacade(t *testing.T) {
 	stats.SetGauge("facade", "probe", 1)
 	if rep := hiper.StatsReport(); !strings.Contains(rep, "probe") {
 		t.Fatalf("StatsReport missing gauge:\n%s", rep)
+	}
+}
+
+// TestDefaultPolicySelected: a runtime built without WithPolicy reports the
+// built-in random-steal policy.
+func TestDefaultPolicySelected(t *testing.T) {
+	rt, err := hiper.New(hiper.WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	if got := rt.Policy(); got != "random-steal" {
+		t.Fatalf("default policy = %q, want random-steal", got)
+	}
+	if got := rt.Stats().Policy; got != "random-steal" {
+		t.Fatalf("Stats().Policy = %q, want random-steal", got)
+	}
+}
+
+// TestWithPolicySelection: each shipped policy is selectable, runs a
+// workload, and its name lands in the runtime's stats snapshot.
+func TestWithPolicySelection(t *testing.T) {
+	for _, pol := range []hiper.SchedPolicy{hiper.RandomSteal, hiper.HEFT, hiper.CritPath} {
+		t.Run(pol.Name(), func(t *testing.T) {
+			rt, err := hiper.New(hiper.WithWorkers(2), hiper.WithPolicy(pol))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer rt.Close()
+			var ran atomic.Int64
+			rt.Launch(func(c *hiper.Ctx) {
+				c.Finish(func(c *hiper.Ctx) {
+					for i := 0; i < 200; i++ {
+						c.Async(func(*hiper.Ctx) { ran.Add(1) })
+					}
+				})
+			})
+			if ran.Load() != 200 {
+				t.Fatalf("ran %d tasks under %s, want 200", ran.Load(), pol.Name())
+			}
+			if got := rt.Stats().Policy; got != pol.Name() {
+				t.Fatalf("Stats().Policy = %q, want %q", got, pol.Name())
+			}
+		})
+	}
+}
+
+// TestWithPolicyNilErrors: the default is selected by omitting the option,
+// not by passing nil.
+func TestWithPolicyNilErrors(t *testing.T) {
+	rt, err := hiper.New(hiper.WithWorkers(1), hiper.WithPolicy(nil))
+	if err == nil {
+		rt.Close()
+		t.Fatal("WithPolicy(nil) did not error")
+	}
+	if !strings.Contains(err.Error(), "WithPolicy") {
+		t.Fatalf("error %q does not name WithPolicy", err)
+	}
+}
+
+// TestWithPolicyConflict: a runtime has exactly one policy, and the
+// conflict error names both contenders.
+func TestWithPolicyConflict(t *testing.T) {
+	rt, err := hiper.New(hiper.WithWorkers(1),
+		hiper.WithPolicy(hiper.HEFT), hiper.WithPolicy(hiper.CritPath))
+	if err == nil {
+		rt.Close()
+		t.Fatal("duplicate WithPolicy did not error")
+	}
+	for _, frag := range []string{"heft", "critpath"} {
+		if !strings.Contains(err.Error(), frag) {
+			t.Fatalf("conflict error %q does not name %s", err, frag)
+		}
+	}
+}
+
+// TestPolicyByName: the CLI plumbing resolves every shipped policy and
+// rejects unknown names.
+func TestPolicyByName(t *testing.T) {
+	for _, name := range []string{"random-steal", "heft", "critpath"} {
+		pol, err := hiper.PolicyByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pol.Name() != name {
+			t.Fatalf("PolicyByName(%q).Name() = %q", name, pol.Name())
+		}
+	}
+	if _, err := hiper.PolicyByName("fifo"); err == nil {
+		t.Fatal("PolicyByName(fifo) did not error")
+	}
+}
+
+// TestPolicyVisibleInStatsReport: Runtime.Close publishes the active
+// policy as a stats gauge even without tracing armed, so A/B runs are
+// attributable from the report alone.
+func TestPolicyVisibleInStatsReport(t *testing.T) {
+	stats.Reset()
+	defer stats.Reset()
+	rt, err := hiper.New(hiper.WithWorkers(1), hiper.WithPolicy(hiper.HEFT))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Launch(func(c *hiper.Ctx) { c.Async(func(*hiper.Ctx) {}) })
+	if err := rt.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if rep := hiper.StatsReport(); !strings.Contains(rep, "policy[heft]") {
+		t.Fatalf("stats report does not attribute the policy:\n%s", rep)
+	}
+}
+
+// TestRandomStealMatchesDefault: WithPolicy(RandomSteal) selects the same
+// built-in scheduler path as omitting the option — on a single worker the
+// same fixed workload must produce identical task and pop/steal counts.
+func TestRandomStealMatchesDefault(t *testing.T) {
+	run := func(opts ...hiper.Option) hiper.Stats {
+		rt, err := hiper.New(opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer rt.Close()
+		rt.Launch(func(c *hiper.Ctx) {
+			c.Finish(func(c *hiper.Ctx) {
+				for i := 0; i < 64; i++ {
+					c.Async(func(c *hiper.Ctx) {
+						for j := 0; j < 4; j++ {
+							c.Async(func(*hiper.Ctx) {})
+						}
+					})
+				}
+			})
+		})
+		return rt.Stats()
+	}
+	def := run(hiper.WithWorkers(1))
+	sel := run(hiper.WithWorkers(1), hiper.WithPolicy(hiper.RandomSteal))
+	def.Policy, sel.Policy = "", "" // names differ only in how they were chosen
+	if def != sel {
+		t.Fatalf("WithPolicy(RandomSteal) diverged from the default scheduler:\ndefault:  %+v\nselected: %+v", def, sel)
 	}
 }

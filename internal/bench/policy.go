@@ -1,0 +1,252 @@
+// Scheduling-policy A/B benchmarks.
+//
+// PolicySuite runs four DAG-shaped workloads — a synthetic heterogeneous
+// task graph (the classic list-scheduler evaluation subject, where
+// placement matters) plus the paper's UTS, HPGMG, and GEO — under every
+// shipped scheduling policy and reports per-policy run time plus the
+// speedup over the default random-steal policy, so policy plugins are
+// compared on the workloads they were designed for rather than on
+// microbenchmarks. The report also carries two default-policy
+// guard rows (fanout-wake latency and spawn allocations) measured through
+// the policy seam, to pin the "RandomSteal is the built-in path" claim
+// against the committed BENCH_scheduler.json numbers.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/platform"
+	"repro/internal/policy"
+	"repro/internal/workloads/dag"
+	"repro/internal/workloads/geo"
+	"repro/internal/workloads/hpgmg"
+	"repro/internal/workloads/uts"
+)
+
+// PolicyRow is one (workload, policy) measurement.
+type PolicyRow struct {
+	Workload string  `json:"workload"`
+	Policy   string  `json:"policy"`
+	NsPerRun float64 `json:"ns_per_run"`
+	CI95Ns   float64 `json:"ci95_ns_per_run"`
+	// Speedup is mean(random-steal)/mean(this policy) on the same
+	// workload: >1 means the policy beats the default.
+	Speedup float64 `json:"speedup_vs_random"`
+}
+
+// PolicyReport is the machine-readable policy A/B report
+// (BENCH_policy.json).
+type PolicyReport struct {
+	GoMaxProcs int         `json:"gomaxprocs"`
+	Repeats    int         `json:"repeats"`
+	Rows       []PolicyRow `json:"benchmarks"`
+	// Default-policy seam guards, measured with WithPolicy(RandomSteal)
+	// selected (the nil-PolicyRuntime fast path): comparable against the
+	// same benchmarks in BENCH_scheduler.json, which run without the
+	// option.
+	FanoutWakeNsPerOp float64 `json:"default_fanout_wake_ns_per_op"`
+	SpawnAllocsPerOp  float64 `json:"default_spawn_allocs_per_op"`
+}
+
+// policyWorkload is one A/B subject: run executes it once under pol.
+type policyWorkload struct {
+	name string
+	run  func(pol core.SchedPolicy) (time.Duration, error)
+}
+
+// policyWorkloads builds the three DAG workloads at smoke or full scale.
+// Shapes reuse the corresponding paper-figure configurations.
+func policyWorkloads(s Scale) []policyWorkload {
+	tree := uts.TreeConfig{B0: 4, GenMax: 11, Seed: 19}
+	utsRanks := 4
+	// HPGMG stays at the N=16 shape even at full scale: the N=32 slab
+	// diverges under the simulated V-cycle regardless of policy (also
+	// breaks Fig4HPGMG at -full; tracked in ROADMAP.md).
+	n, nz, cycles, hpgmgRanks := 16, 8, 2, 4
+	gnx, gnz, gsteps, geoRanks := 64, 24, 3, 2
+	layers, width, unit := 6, 8, 50*time.Microsecond
+	if s == Full {
+		tree = uts.DefaultTree
+		utsRanks = 8
+		cycles, hpgmgRanks = 3, 8
+		gnx, gnz, gsteps, geoRanks = 64, 32, 5, 4
+		layers, width, unit = 10, 16, 100*time.Microsecond
+	}
+	return []policyWorkload{
+		{"taskdag", func(pol core.SchedPolicy) (time.Duration, error) {
+			res, err := dag.RunHiPER(dag.Config{
+				Layers: layers, Width: width, Workers: 4, Unit: unit, Seed: 7,
+				Policy: pol,
+			})
+			return res.Elapsed, err
+		}},
+		{"uts", func(pol core.SchedPolicy) (time.Duration, error) {
+			res, err := uts.RunHiPER(uts.RunConfig{
+				Tree: tree, Ranks: utsRanks, Threads: 4, Cost: Network(), Policy: pol,
+			})
+			return res.Elapsed, err
+		}},
+		{"hpgmg", func(pol core.SchedPolicy) (time.Duration, error) {
+			res, err := hpgmg.RunHiPER(hpgmg.Config{
+				N: n, NZ: nz, Ranks: hpgmgRanks, Workers: 4, Cycles: cycles,
+				Cost: Network(), Policy: pol,
+			})
+			return res.Elapsed, err
+		}},
+		{"geo", func(pol core.SchedPolicy) (time.Duration, error) {
+			res, err := geo.RunHiPER(geo.Config{
+				NX: gnx, NY: gnx, NZ: gnz, Steps: gsteps, Ranks: geoRanks, Workers: 4,
+				Cost: SlowNetwork(), GPU: SlowGPU(), Seed: 11,
+				PollInterval: 2 * time.Microsecond, Policy: pol,
+			})
+			return res.Elapsed, err
+		}},
+	}
+}
+
+// defaultPolicyRuntime builds a runtime with RandomSteal selected
+// explicitly, exercising the policy seam's default fast path.
+func defaultPolicyRuntime(workers int) (*core.Runtime, error) {
+	return core.New(platform.Default(workers), &core.Options{Policy: policy.RandomSteal})
+}
+
+// PolicySuite runs every shipped policy over every DAG workload plus the
+// default-policy seam guards and returns the report.
+func PolicySuite(scale Scale) (*PolicyReport, error) {
+	wu, rep := reps(scale)
+	report := &PolicyReport{GoMaxProcs: runtime.GOMAXPROCS(0), Repeats: rep}
+	for _, w := range policyWorkloads(scale) {
+		var runErr error
+		var baseline float64
+		for _, pol := range policy.All {
+			sample := Measure(wu, rep, func() time.Duration {
+				d, err := w.run(pol)
+				if err != nil && runErr == nil {
+					runErr = fmt.Errorf("policy %s on %s: %w", pol.Name(), w.name, err)
+				}
+				return d
+			})
+			if runErr != nil {
+				return nil, runErr
+			}
+			row := PolicyRow{
+				Workload: w.name,
+				Policy:   pol.Name(),
+				NsPerRun: float64(sample.Mean),
+				CI95Ns:   float64(sample.CI95),
+			}
+			if pol == policy.RandomSteal {
+				baseline = row.NsPerRun
+			}
+			if baseline > 0 && row.NsPerRun > 0 {
+				row.Speedup = baseline / row.NsPerRun
+			}
+			report.Rows = append(report.Rows, row)
+		}
+	}
+	// Seam guards: the same spawn-latency and fanout-wake shapes as
+	// SchedulerSuite, with RandomSteal selected through the option.
+	workers := runtime.GOMAXPROCS(0)
+	ops := 50
+	spawnOps := 50000
+	if scale == Full {
+		ops, spawnOps = 200, 200000
+	}
+	rt, err := defaultPolicyRuntime(workers)
+	if err != nil {
+		return nil, err
+	}
+	var allocs uint64
+	allocs = allocsDuring(func() { spawnLatency(rt, spawnOps) })
+	report.SpawnAllocsPerOp = float64(allocs) / float64(spawnOps)
+	fan := Measure(1, 3, func() time.Duration {
+		return fanOutWake(rt, ops) / time.Duration(ops)
+	})
+	rt.Shutdown()
+	report.FanoutWakeNsPerOp = float64(fan.Mean)
+	return report, nil
+}
+
+// PolicyGate is the bench-smoke assertion for the policy seam: rerun
+// fanout-wake with WithPolicy(RandomSteal) selected and fail when it
+// regresses more than gateFactor over the committed BENCH_scheduler.json
+// number (measured before the seam existed), or when spawn allocations
+// grow. Deliberately loose, like CommGate: it catches "the seam put an
+// interface call on the default hot path", not scheduler noise.
+func PolicyGate(schedPath string) error {
+	data, err := os.ReadFile(schedPath)
+	if err != nil {
+		return fmt.Errorf("policygate: reading committed report: %w", err)
+	}
+	var committed SchedReport
+	if err := json.Unmarshal(data, &committed); err != nil {
+		return fmt.Errorf("policygate: parsing %s: %w", schedPath, err)
+	}
+	var fanout, spawn *SchedResult
+	for i := range committed.Results {
+		switch committed.Results[i].Name {
+		case "fanout-wake":
+			fanout = &committed.Results[i]
+		case "spawn-latency":
+			spawn = &committed.Results[i]
+		}
+	}
+	if fanout == nil || spawn == nil {
+		return fmt.Errorf("policygate: %s lacks fanout-wake/spawn-latency rows (regenerate with make bench-sched)", schedPath)
+	}
+	workers := fanout.Workers
+	if prev := runtime.GOMAXPROCS(0); workers > prev {
+		runtime.GOMAXPROCS(workers)
+		defer runtime.GOMAXPROCS(prev)
+	}
+	rt, err := defaultPolicyRuntime(workers)
+	if err != nil {
+		return err
+	}
+	defer rt.Shutdown()
+	const ops = 50
+	got := Measure(1, 3, func() time.Duration {
+		return fanOutWake(rt, ops) / time.Duration(ops)
+	})
+	if float64(got.Mean) > fanout.NsPerOp*gateFactor {
+		return fmt.Errorf("policygate: fanout-wake under WithPolicy(RandomSteal) %.0f ns/op > %.1fx committed %.0f ns/op",
+			float64(got.Mean), gateFactor, fanout.NsPerOp)
+	}
+	const spawnOps = 20000
+	allocs := allocsDuring(func() { spawnLatency(rt, spawnOps) })
+	perOp := float64(allocs) / float64(spawnOps)
+	// Allocations are near-deterministic; allow generous concurrent-GC
+	// noise but catch a per-spawn allocation sneaking into the seam.
+	if perOp > spawn.AllocsOp+1 {
+		return fmt.Errorf("policygate: spawn allocations under WithPolicy(RandomSteal) %.2f/op > committed %.2f/op + 1",
+			perOp, spawn.AllocsOp)
+	}
+	return nil
+}
+
+// WriteJSON writes the report to path.
+func (r *PolicyReport) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Render prints the report as an aligned table.
+func (r *PolicyReport) Render() string {
+	out := fmt.Sprintf("== Scheduling-policy A/B (repeats=%d, gomaxprocs=%d) ==\n", r.Repeats, r.GoMaxProcs)
+	out += fmt.Sprintf("%-10s %-14s %14s %14s %10s\n", "workload", "policy", "ms/run", "±ci95", "speedup")
+	for _, row := range r.Rows {
+		out += fmt.Sprintf("%-10s %-14s %14.2f %14.2f %9.2fx\n",
+			row.Workload, row.Policy, row.NsPerRun/1e6, row.CI95Ns/1e6, row.Speedup)
+	}
+	out += fmt.Sprintf("default-policy seam guards: fanout-wake %.0f ns/op, spawn %.2f allocs/op\n",
+		r.FanoutWakeNsPerOp, r.SpawnAllocsPerOp)
+	return out
+}

@@ -9,6 +9,7 @@ import (
 	"strconv"
 
 	"repro/internal/platform"
+	"repro/internal/stats"
 	"repro/internal/trace"
 )
 
@@ -39,7 +40,13 @@ func (r *Runtime) Close() error {
 	if err := r.shutdownWatched(); err != nil {
 		return err
 	}
-	if r.tracer == nil || r.closed.Swap(true) {
+	if r.closed.Swap(true) {
+		return nil
+	}
+	// Policy identity is published even untraced, so a stats report always
+	// names the policy that produced its numbers.
+	stats.SetGauge("sched", "policy["+r.polName+"]", 1)
+	if r.tracer == nil {
 		return nil
 	}
 	// The pool is down and Launch callers have returned: recording is

@@ -1,0 +1,299 @@
+package core
+
+import (
+	"repro/internal/platform"
+	"repro/internal/trace"
+)
+
+// This file is the scheduling-policy seam: the three decisions the worker
+// loop makes — pop order over the pop path, steal-victim selection with
+// batch sizing, and placement resolution when a spawn names a place group
+// instead of a concrete place — lifted behind interfaces so policies are
+// pluggable modules, per the paper's composability thesis.
+//
+// The default policy (random-steal) is NOT expressed through these
+// interfaces. A SchedPolicy whose NewRuntime returns nil selects the
+// runtime's built-in implementation in findWork: in-path-order pops, a
+// pseudo-random victim start with full batches. That keeps the default hot
+// path exactly as fast as before the seam existed — the only added cost is
+// one nil check per findWork scan (the same idiom the tracer and watchdog
+// hooks use). Non-default policies pay interface dispatch per scan, which
+// their smarter decisions must buy back; see DESIGN.md "Policy seam".
+
+// SchedPolicy is a pluggable scheduling policy. Implementations are
+// stateless descriptors (safe to share across runtimes); per-runtime state
+// is created by NewRuntime.
+type SchedPolicy interface {
+	// Name identifies the policy in stats gauges, trace summaries, and
+	// benchmark reports.
+	Name() string
+	// NewRuntime creates the policy's per-runtime state. Returning nil
+	// selects the runtime's built-in random-steal fast path (this is how
+	// the default policy guarantees zero hot-path regression).
+	NewRuntime(env PolicyEnv) PolicyRuntime
+}
+
+// PolicyEnv is what a policy may consult when building per-runtime state.
+type PolicyEnv struct {
+	// Model is the platform graph the runtime schedules over. Policies
+	// derive compute/link costs from it (Place.ComputeSpeed, Model.Hops).
+	Model *platform.Model
+	// NWorkers is the configured worker count; identities beyond it are
+	// substitution slots running some configured worker's paths (identity
+	// id runs path group id % NWorkers).
+	NWorkers int
+	// MaxIDs is the total worker-identity space (NWorkers + substitution
+	// slots); victim selection ranges over it.
+	MaxIDs int
+	// Pending reports the live count of eligible tasks queued at a place —
+	// the runtime's own per-place counter, one atomic load. Policies
+	// combine it with accumulated cost hints to estimate outstanding work.
+	Pending func(pid int) int64
+}
+
+// PolicyRuntime is a policy's per-runtime state. Its methods are called
+// concurrently from every worker and spawn site and must be lock-free or
+// nearly so.
+type PolicyRuntime interface {
+	// Worker creates the per-worker-identity decision state for a worker
+	// running the given path group. Called for each configured worker at
+	// runtime construction and again each time a substitution identity is
+	// activated (substitutes inherit the blocked worker's paths).
+	Worker(id, group int, pop, steal []*platform.Place) PolicyWorker
+	// Resolve picks the concrete place for a spawn that named a place
+	// group (the AtGroup spawn option). from is the spawning task's place;
+	// cost is the spawn's cost hint (0 when absent). Returning nil or a
+	// place outside the group falls back to the default rule (prefer from,
+	// else the group's first member).
+	Resolve(from *platform.Place, group []*platform.Place, cost float64) *platform.Place
+	// CostHint records an application-supplied execution-cost estimate for
+	// a task spawned at place pid (the Cost spawn option). Units are
+	// abstract but must be consistent within an application; HEFT reads
+	// them as the task's upward rank when the caller knows the DAG.
+	// Zero-cost spawns are not reported. Hints describe work a worker will
+	// pop and execute — device-side operations go through InFlight instead.
+	CostHint(pid int, cost float64)
+	// InFlight tracks work executing *behind* a place rather than queued at
+	// it: modules report a positive delta when they issue an operation the
+	// place's hardware runs asynchronously (a CUDA kernel on a stream, an
+	// MPI transfer parked with a poller) and the matching negative delta
+	// when it retires. Policies fold the running sum into placement
+	// decisions (a busy device finishes new work later) but must not treat
+	// it as poppable queue depth — the only task queued at such a place is
+	// typically a poller, and chasing it buys nothing.
+	InFlight(pid int, delta float64)
+}
+
+// PolicyWorker is one worker identity's decision state. All methods are
+// called only by the owning worker goroutine (single-threaded), from the
+// scheduler's find-work scan — they must not block, and should not
+// allocate (scans run per task).
+type PolicyWorker interface {
+	// PopOrder re-orders the worker's pop-path visit order. ord holds
+	// indices into the worker's pop path; it is a persistent permutation
+	// the policy reorders in place (and must keep a permutation). Called
+	// once per scan before the pop loop.
+	PopOrder(ord []int32)
+	// Victims fills buf with the deque-column victim identities to visit,
+	// in preference order, when stealing at place pid. Identities must lie
+	// in [0, maxUsed); out-of-range entries and the worker's own id are
+	// skipped by the caller. len(buf) >= maxUsed. Returns the count filled.
+	Victims(buf []int32, pid, maxUsed int) int
+	// BatchMax bounds how many tasks one steal visit may migrate from
+	// victim vid's deque at place pid. The runtime caps the value at its
+	// internal batch limit and forces single-task steals at places off the
+	// worker's pop path (surplus must land where the pop path finds it) —
+	// those invariants are the runtime's, not the policy's, to keep.
+	BatchMax(pid, vid int) int
+}
+
+// SpawnOpt tunes a single task spawn; see Cost and AtGroup. Options are
+// plain values (no closures) so a spawn with options allocates only the
+// variadic slice.
+type SpawnOpt struct {
+	cost  float64
+	group []*platform.Place
+}
+
+// Cost attaches an execution-cost estimate to a spawn (the *With spawn
+// variants). Units are abstract — relative within an application; modules
+// hint with their own natural units (kernel grid size, message bytes).
+// The active policy folds hints into its per-place cost model; the default
+// policy ignores them at zero cost.
+func Cost(units float64) SpawnOpt { return SpawnOpt{cost: units} }
+
+// AtGroup offers the scheduler a set of candidate places for a spawn
+// instead of one concrete place; the active policy resolves the concrete
+// place (PolicyRuntime.Resolve). Without a policy the spawn stays at the
+// current place when it is in the group, else the group's first member.
+func AtGroup(places ...*platform.Place) SpawnOpt { return SpawnOpt{group: places} }
+
+// foldOpts collapses a spawn's options; later options win per field.
+func foldOpts(opts []SpawnOpt) SpawnOpt {
+	var s SpawnOpt
+	for _, o := range opts {
+		if o.cost != 0 {
+			s.cost = o.cost
+		}
+		if o.group != nil {
+			s.group = o.group
+		}
+	}
+	return s
+}
+
+// resolveSpawnPlace picks the concrete place for a group spawn. A policy
+// that resolves nil or a place outside the group is overridden by the
+// default rule rather than trusted into checkCovered's panic.
+func (r *Runtime) resolveSpawnPlace(from *platform.Place, group []*platform.Place, cost float64) *platform.Place {
+	if len(group) == 0 {
+		return from
+	}
+	if len(group) == 1 {
+		return group[0]
+	}
+	if pol := r.pol; pol != nil {
+		if p := pol.Resolve(from, group, cost); p != nil {
+			for _, g := range group {
+				if g == p {
+					return p
+				}
+			}
+		}
+	}
+	for _, g := range group {
+		if g == from {
+			return from
+		}
+	}
+	return group[0]
+}
+
+// spawnHinted is spawn plus cost-hint accounting for the active policy.
+func (r *Runtime) spawnHinted(w *worker, p *platform.Place, fs *finishScope, fn func(*Ctx), cost float64) {
+	if pol := r.pol; pol != nil && cost > 0 {
+		pol.CostHint(p.ID, cost)
+	}
+	r.spawn(w, p, fs, fn)
+}
+
+// CostHint forwards a cost estimate for tasks bound to place p to the
+// active policy's per-place cost model, without spawning anything —
+// applications use it when a batch of uniform work is about to expand at a
+// place and per-spawn Cost options would be redundant. A no-op under the
+// built-in policy.
+func (r *Runtime) CostHint(p *platform.Place, cost float64) {
+	if pol := r.pol; pol != nil && cost > 0 && p != nil {
+		pol.CostHint(p.ID, cost)
+	}
+}
+
+// HintInFlight reports work executing behind place p that never becomes a
+// poppable task: modules call it with a positive delta when they issue an
+// internally-scheduled operation (a CUDA kernel enqueued on a stream, an
+// MPI transfer parked with a poller) and the matching negative delta when
+// the operation retires, so cost-model policies see device and link
+// pressure build and drain. A no-op under the built-in policy.
+func (r *Runtime) HintInFlight(p *platform.Place, delta float64) {
+	if pol := r.pol; pol != nil && delta != 0 && p != nil {
+		pol.InFlight(p.ID, delta)
+	}
+}
+
+// attachPolicyWorker (re)builds w's per-identity policy state for the path
+// group it currently runs. Called at construction for configured workers
+// and at substitution activation (the substitute inherits the blocked
+// worker's paths, so its policy state must be rebuilt to match).
+func (r *Runtime) attachPolicyWorker(w *worker) {
+	w.pw = r.pol.Worker(w.id, w.group, w.pop, w.steal)
+	if len(w.popOrder) != len(w.pop) {
+		w.popOrder = make([]int32, len(w.pop))
+	}
+	for i := range w.popOrder {
+		w.popOrder[i] = int32(i)
+	}
+	if len(w.victimBuf) != r.maxIDs {
+		w.victimBuf = make([]int32, r.maxIDs)
+	}
+}
+
+// findWorkPolicy is findWork with the three decision points delegated to
+// the worker's PolicyWorker. Accounting is identical to the built-in path:
+// pendingPerPlace, pop/steal/batch counters, and the EvStealAttempt /
+// EvStealSuccess trace events all behave exactly as in findWork — a policy
+// changes *which* deque is visited next, never what a visit means.
+func (w *worker) findWorkPolicy() *Task {
+	r := w.rt
+	w.pw.PopOrder(w.popOrder)
+	for _, i := range w.popOrder {
+		p := w.pop[i]
+		if t := r.deques[p.ID][w.id].PopBottom(); t != nil {
+			r.pendingPerPlace[p.ID].Add(-1)
+			w.pops.Add(1)
+			return t
+		}
+	}
+	maxUsed := int(r.maxUsed.Load())
+	traced := w.tr != nil && w.tr.Enabled()
+	for _, p := range w.steal {
+		if r.pendingPerPlace[p.ID].Load() == 0 {
+			continue
+		}
+		if traced {
+			w.ring.Record(trace.EvStealAttempt, int32(p.ID), 0, 0)
+		}
+		if t := r.inject[p.ID].take(); t != nil {
+			r.pendingPerPlace[p.ID].Add(-1)
+			w.steals.Add(1)
+			if traced {
+				w.ring.Record(trace.EvStealSuccess, int32(p.ID), uint64(t.tid), 0)
+			}
+			return t
+		}
+		nv := w.pw.Victims(w.victimBuf, p.ID, maxUsed)
+		for k := 0; k < nv; k++ {
+			vid := int(w.victimBuf[k])
+			if vid == w.id || vid < 0 || vid >= maxUsed {
+				continue
+			}
+			batch := 1
+			if w.popCover[p.ID] { // surplus must land where our pop path finds it
+				batch = w.pw.BatchMax(p.ID, vid)
+				if batch > stealBatchMax {
+					batch = stealBatchMax
+				}
+			}
+			for {
+				if batch > 1 {
+					n, retry := r.deques[p.ID][vid].StealBatch(w.stealBuf[:batch])
+					if n > 0 {
+						t := w.takeBatch(p.ID, n)
+						r.pendingPerPlace[p.ID].Add(-1)
+						w.steals.Add(1)
+						if traced {
+							w.ring.Record(trace.EvStealSuccess, int32(p.ID), uint64(t.tid), uint64(n-1))
+						}
+						return t
+					}
+					if !retry {
+						break
+					}
+					continue
+				}
+				t, retry := r.deques[p.ID][vid].Steal()
+				if t != nil {
+					r.pendingPerPlace[p.ID].Add(-1)
+					w.steals.Add(1)
+					if traced {
+						w.ring.Record(trace.EvStealSuccess, int32(p.ID), uint64(t.tid), 0)
+					}
+					return t
+				}
+				if !retry {
+					break
+				}
+			}
+		}
+	}
+	return nil
+}

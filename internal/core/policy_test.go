@@ -1,0 +1,182 @@
+package core
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/platform"
+)
+
+// probePolicy counts every seam callback so tests can assert the worker
+// loop and spawn paths actually delegate to a non-default policy.
+type probePolicy struct {
+	rt probeRuntime
+}
+
+func (p *probePolicy) Name() string { return "probe" }
+func (p *probePolicy) NewRuntime(env PolicyEnv) PolicyRuntime {
+	p.rt.env = env
+	return &p.rt
+}
+
+type probeRuntime struct {
+	env      PolicyEnv
+	workers  atomic.Int64
+	resolves atomic.Int64
+	hints    atomic.Int64
+	inflight atomic.Int64
+	hintSum  atomic.Int64
+	// resolveTo, when set, is what Resolve returns (nil → default rule).
+	resolveTo func(group []*platform.Place) *platform.Place
+}
+
+func (r *probeRuntime) Worker(id, group int, pop, steal []*platform.Place) PolicyWorker {
+	r.workers.Add(1)
+	return &probeWorker{r: r}
+}
+
+func (r *probeRuntime) Resolve(from *platform.Place, group []*platform.Place, cost float64) *platform.Place {
+	r.resolves.Add(1)
+	if r.resolveTo != nil {
+		return r.resolveTo(group)
+	}
+	return group[len(group)-1]
+}
+
+func (r *probeRuntime) CostHint(pid int, cost float64) {
+	r.hints.Add(1)
+	r.hintSum.Add(int64(cost))
+}
+
+func (r *probeRuntime) InFlight(pid int, delta float64) { r.inflight.Add(int64(delta)) }
+
+type probeWorker struct {
+	r         *probeRuntime
+	popCalls  atomic.Int64
+	victCalls atomic.Int64
+}
+
+func (w *probeWorker) PopOrder(ord []int32) { w.popCalls.Add(1) }
+
+func (w *probeWorker) Victims(buf []int32, pid, maxUsed int) int {
+	w.victCalls.Add(1)
+	for k := 0; k < maxUsed; k++ {
+		buf[k] = int32(k)
+	}
+	return maxUsed
+}
+
+func (w *probeWorker) BatchMax(pid, vid int) int { return 4 }
+
+func newPolicyRuntime(t testing.TB, workers int, pol SchedPolicy) *Runtime {
+	t.Helper()
+	r, err := New(platform.Default(workers), &Options{Policy: pol})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(r.Shutdown)
+	return r
+}
+
+// TestPolicySeamDelegates: a non-default policy's Worker/PopOrder/Victims
+// hooks are exercised by the worker loop, and spawn Cost hints reach
+// CostHint.
+func TestPolicySeamDelegates(t *testing.T) {
+	pol := &probePolicy{}
+	r := newPolicyRuntime(t, 4, pol)
+	var ran atomic.Int64
+	r.Launch(func(c *Ctx) {
+		c.Finish(func(c *Ctx) {
+			for i := 0; i < 200; i++ {
+				c.AsyncWith(func(*Ctx) { ran.Add(1) }, Cost(3))
+			}
+		})
+	})
+	if ran.Load() != 200 {
+		t.Fatalf("ran %d tasks, want 200", ran.Load())
+	}
+	if got := pol.rt.workers.Load(); got < 4 {
+		t.Fatalf("policy built %d workers, want >= 4", got)
+	}
+	if pol.rt.hints.Load() != 200 {
+		t.Fatalf("CostHint called %d times, want 200", pol.rt.hints.Load())
+	}
+	if pol.rt.hintSum.Load() != 600 {
+		t.Fatalf("CostHint sum %d, want 600", pol.rt.hintSum.Load())
+	}
+}
+
+// TestPolicyResolveAtGroup: AtGroup spawns route through Resolve, and the
+// policy's in-group choice is honored.
+func TestPolicyResolveAtGroup(t *testing.T) {
+	pol := &probePolicy{}
+	r := newPolicyRuntime(t, 2, pol)
+	model := r.Model()
+	group := []*platform.Place{model.Places()[0], model.Places()[1]}
+	pol.rt.resolveTo = func(g []*platform.Place) *platform.Place { return g[1] }
+	var landed atomic.Pointer[platform.Place]
+	r.Launch(func(c *Ctx) {
+		c.Finish(func(c *Ctx) {
+			c.AsyncWith(func(cc *Ctx) { landed.Store(cc.Place()) }, AtGroup(group...))
+		})
+	})
+	if pol.rt.resolves.Load() == 0 {
+		t.Fatal("Resolve was never called for an AtGroup spawn")
+	}
+	if landed.Load() != group[1] {
+		t.Fatalf("task landed at %v, want the policy's choice %v", landed.Load(), group[1])
+	}
+}
+
+// TestPolicyResolveFallbacks: a policy resolving nil or a place outside
+// the group is overridden by the default rule (prefer the spawner's
+// place, else the group's first member) instead of being trusted.
+func TestPolicyResolveFallbacks(t *testing.T) {
+	pol := &probePolicy{}
+	r := newPolicyRuntime(t, 2, pol)
+	model := r.Model()
+	group := []*platform.Place{model.Places()[1], model.Places()[2]}
+	outside := model.Places()[0]
+	for name, resolve := range map[string]func([]*platform.Place) *platform.Place{
+		"nil":       func([]*platform.Place) *platform.Place { return nil },
+		"out-group": func([]*platform.Place) *platform.Place { return outside },
+	} {
+		t.Run(name, func(t *testing.T) {
+			pol.rt.resolveTo = resolve
+			var landed atomic.Pointer[platform.Place]
+			r.Launch(func(c *Ctx) {
+				c.Finish(func(c *Ctx) {
+					c.AsyncWith(func(cc *Ctx) { landed.Store(cc.Place()) }, AtGroup(group...))
+				})
+			})
+			got := landed.Load()
+			if got != group[0] && got != group[1] {
+				t.Fatalf("task landed outside its group at %v", got)
+			}
+		})
+	}
+}
+
+// TestHintInFlightForwards: Runtime.HintInFlight reaches the policy with
+// sign preserved, and is a no-op (not a panic) under the built-in path.
+func TestHintInFlightForwards(t *testing.T) {
+	pol := &probePolicy{}
+	r := newPolicyRuntime(t, 1, pol)
+	p := r.Model().Places()[0]
+	r.HintInFlight(p, 8)
+	r.HintInFlight(p, -3)
+	r.HintInFlight(nil, 5) // nil place: ignored
+	if got := pol.rt.inflight.Load(); got != 5 {
+		t.Fatalf("in-flight sum %d, want 5", got)
+	}
+	def := newTestRuntime(t, 1)
+	def.HintInFlight(def.Model().Places()[0], 1) // built-in policy: no-op
+}
+
+// TestPolicyStatsName: the runtime snapshot carries the policy identity.
+func TestPolicyStatsName(t *testing.T) {
+	r := newPolicyRuntime(t, 1, &probePolicy{})
+	if got := r.Stats().Policy; got != "probe" {
+		t.Fatalf("Stats().Policy = %q, want probe", got)
+	}
+}

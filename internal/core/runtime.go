@@ -35,6 +35,11 @@ type Options struct {
 	// instead of hanging silently. A nil Watchdog costs the hot path one
 	// pointer check.
 	Watchdog *WatchdogConfig
+	// Policy selects the scheduling policy (pop order, steal-victim
+	// selection and batch sizing, place-group resolution). Nil — or a
+	// policy whose NewRuntime returns nil, like the default random-steal —
+	// keeps the built-in inline fast path; see internal/core/policy.go.
+	Policy SchedPolicy
 }
 
 func (o *Options) withDefaults() Options {
@@ -51,6 +56,7 @@ func (o *Options) withDefaults() Options {
 			cfg := *o.Watchdog
 			out.Watchdog = &cfg
 		}
+		out.Policy = o.Policy
 	}
 	return out
 }
@@ -102,6 +108,14 @@ type worker struct {
 
 	// stealBuf is scratch space for StealBatch visits.
 	stealBuf [stealBatchMax]*Task
+
+	// pw is the policy seam: nil selects the built-in random-steal fast
+	// path in findWork; non-nil delegates pop order, victim selection, and
+	// batch sizing to the plugin (findWorkPolicy). popOrder/victimBuf are
+	// its allocation-free scratch, sized at attachPolicyWorker.
+	pw        PolicyWorker
+	popOrder  []int32
+	victimBuf []int32
 
 	// wdState/wdPlace publish the worker's activity class for the quiesce
 	// watchdog's stall report. Written only when the watchdog is armed
@@ -164,6 +178,12 @@ type Runtime struct {
 	// watch is non-nil iff Options.Watchdog armed the quiesce watchdog.
 	watch *watchdogState
 
+	// pol is the active policy's per-runtime state; nil means the built-in
+	// random-steal fast path (either no Options.Policy, or a policy whose
+	// NewRuntime returned nil). polName always names the active policy.
+	pol     PolicyRuntime
+	polName string
+
 	// finalizers registered by modules, run during Shutdown.
 	finalizeMu sync.Mutex
 	finalizers []func()
@@ -198,6 +218,16 @@ func New(model *platform.Model, opts *Options) (*Runtime, error) {
 	r.covered = make([]bool, np)
 	for id := range model.CoveredPlaces() {
 		r.covered[id] = true
+	}
+	r.polName = "random-steal"
+	if o.Policy != nil {
+		r.polName = o.Policy.Name()
+		r.pol = o.Policy.NewRuntime(PolicyEnv{
+			Model:    model,
+			NWorkers: n,
+			MaxIDs:   r.maxIDs,
+			Pending:  func(pid int) int64 { return r.pendingPerPlace[pid].Load() },
+		})
 	}
 
 	resolve := func(ids []int) []*platform.Place {
@@ -236,6 +266,7 @@ func New(model *platform.Model, opts *Options) (*Runtime, error) {
 			names[p] = model.Place(p).Name
 		}
 		r.tracer.SetPlaceNames(names)
+		r.tracer.SetPolicy(r.polName)
 	}
 	r.workers = make([]*worker, r.maxIDs)
 	for id := 0; id < r.maxIDs; id++ {
@@ -259,6 +290,12 @@ func New(model *platform.Model, opts *Options) (*Runtime, error) {
 			if id < n {
 				r.workers[id].ring = r.tracer.Ring(id)
 			}
+		}
+		// Configured workers get their policy state now; substitution
+		// identities build theirs at activation, when their inherited
+		// paths are known.
+		if r.pol != nil && id < n {
+			r.attachPolicyWorker(r.workers[id])
 		}
 	}
 	if o.Watchdog != nil {
@@ -675,6 +712,9 @@ func (r *Runtime) runBody(w *worker, fn func(*Ctx), c *Ctx) (err error) {
 // migrates into w's deque column in one visit, so fine-grained fan-outs
 // re-balance in O(log n) visits instead of one visit per task.
 func (w *worker) findWork() *Task {
+	if w.pw != nil {
+		return w.findWorkPolicy()
+	}
 	r := w.rt
 	for _, p := range w.pop {
 		if t := r.deques[p.ID][w.id].PopBottom(); t != nil {
@@ -870,6 +910,12 @@ func (r *Runtime) waitOn(w *worker, tid uint64, f *Future) {
 			sub.steal = w.steal
 			sub.covers = w.covers
 			sub.popCover = w.popCover
+			if r.pol != nil {
+				// The substitute runs OUR paths now; rebuild its policy
+				// state to match (published to its goroutine by the `go`
+				// statement below, like the path slices above).
+				r.attachPolicyWorker(sub)
+			}
 			for {
 				cur := r.maxUsed.Load()
 				if int64(id) < cur || r.maxUsed.CompareAndSwap(cur, int64(id)+1) {
@@ -936,6 +982,7 @@ func (r *Runtime) helpUntil(w *worker, pred func() bool) {
 // the paper describes (a unified scheduler is aware of all work on the
 // system).
 type Stats struct {
+	Policy        string // active scheduling policy name
 	TasksExecuted uint64
 	Pops          uint64 // tasks taken from own deques (pop path)
 	Steals        uint64 // tasks taken from other workers or injectors
@@ -945,9 +992,13 @@ type Stats struct {
 	MaxWorkerIDs  int    // identity columns ever activated
 }
 
+// Policy returns the active scheduling policy's name ("random-steal" by
+// default).
+func (r *Runtime) Policy() string { return r.polName }
+
 // Stats returns a snapshot of scheduler counters.
 func (r *Runtime) Stats() Stats {
-	var s Stats
+	s := Stats{Policy: r.polName}
 	for _, w := range r.workers {
 		s.TasksExecuted += w.tasks.Load()
 		s.Pops += w.pops.Load()

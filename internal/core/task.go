@@ -91,6 +91,38 @@ func (c *Ctx) AsyncDetachedAt(p *platform.Place, fn func(*Ctx)) {
 	c.rt.spawn(c.w, p, nil, fn)
 }
 
+// AsyncWith is Async with spawn options: a Cost hint feeding the active
+// scheduling policy's per-place cost model, and/or an AtGroup place group
+// whose concrete place the policy resolves. AsyncAt(p, fn) is equivalent
+// to AsyncWith(fn, AtGroup(p)). Options cost one variadic-slice
+// allocation; spawns on allocation-critical paths should use Async.
+func (c *Ctx) AsyncWith(fn func(*Ctx), opts ...SpawnOpt) {
+	s := foldOpts(opts)
+	p := c.rt.resolveSpawnPlace(c.place, s.group, s.cost)
+	c.rt.spawnHinted(c.w, p, c.fin, fn, s.cost)
+}
+
+// AsyncFutureWith is AsyncFuture with spawn options (see AsyncWith).
+func (c *Ctx) AsyncFutureWith(fn func(*Ctx) any, opts ...SpawnOpt) *Future {
+	s := foldOpts(opts)
+	p := c.rt.resolveSpawnPlace(c.place, s.group, s.cost)
+	prom := NewPromise(c.rt)
+	c.rt.spawnHinted(c.w, p, c.fin, func(cc *Ctx) {
+		defer settlePanic(prom, cc)
+		prom.put(cc, fn(cc))
+	}, s.cost)
+	return prom.Future()
+}
+
+// AsyncDetachedWith is AsyncDetachedAt with spawn options (see AsyncWith):
+// modules use it to tag their proxy tasks — kernel launches, transfer
+// pollers — with cost hints in their natural units.
+func (c *Ctx) AsyncDetachedWith(fn func(*Ctx), opts ...SpawnOpt) {
+	s := foldOpts(opts)
+	p := c.rt.resolveSpawnPlace(c.place, s.group, s.cost)
+	c.rt.spawnHinted(c.w, p, nil, fn, s.cost)
+}
+
 // AsyncFuture creates a task and returns a future that is satisfied with
 // fn's return value when the task completes. If fn panics, the future
 // fails with the *PanicError instead of never settling, and the panic

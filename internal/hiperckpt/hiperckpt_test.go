@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/hiper"
 	"repro/internal/core"
 	"repro/internal/fabric"
 	"repro/internal/modules"
@@ -30,7 +31,10 @@ func boot(t testing.TB, cfg StoreConfig) (*core.Runtime, *Module) {
 }
 
 func TestInitRequiresStoragePlace(t *testing.T) {
-	rt := core.NewDefault(1) // default model: no NVM, no disk
+	rt, err := hiper.New(hiper.WithWorkers(1)) // default model: no NVM, no disk
+	if err != nil {
+		t.Fatal(err)
+	}
 	defer rt.Shutdown()
 	if err := modules.Install(rt, New(NewStore(StoreConfig{}))); err == nil {
 		t.Fatal("Init must fail without a storage place")

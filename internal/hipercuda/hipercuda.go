@@ -59,6 +59,7 @@ type Module struct {
 type pendingEvent struct {
 	ev   *cuda.Event
 	prom *core.Promise
+	cost float64 // in-flight hint to retire on completion
 }
 
 // New creates the module for one simulated device.
@@ -138,11 +139,16 @@ func (m *Module) stream() *cuda.Stream {
 }
 
 // register parks (event, promise) for the poller, mirroring the MPI
-// module's pending-request scheme.
-func (m *Module) register(c *core.Ctx, ev *cuda.Event) *core.Future {
+// module's pending-request scheme. cost estimates the registered
+// operation's device occupancy (abstract units: kernel grid size, copy
+// kilo-elements); it is reported to the scheduling policy as in-flight
+// work at the GPU place and retired when the poller sees the event
+// complete, so cost-model policies see device pressure build and drain.
+func (m *Module) register(c *core.Ctx, ev *cuda.Event, cost float64) *core.Future {
+	m.rt.HintInFlight(m.gpu, cost)
 	prom := core.NewPromise(m.rt)
 	m.mu.Lock()
-	m.pending = append(m.pending, pendingEvent{ev: ev, prom: prom})
+	m.pending = append(m.pending, pendingEvent{ev: ev, prom: prom, cost: cost})
 	spawn := !m.pollerActive
 	if spawn {
 		m.pollerActive = true
@@ -174,6 +180,7 @@ func (m *Module) poll(c *core.Ctx) {
 	m.mu.Unlock()
 
 	for _, p := range done {
+		m.rt.HintInFlight(m.gpu, -p.cost)
 		c.Put(p.prom, nil)
 	}
 	if remaining > 0 {
@@ -189,7 +196,7 @@ func (m *Module) poll(c *core.Ctx) {
 func (m *Module) ForasyncCUDA(c *core.Ctx, grid int, kernel cuda.Kernel) *core.Future {
 	defer stats.Track(ModuleName, "forasync_cuda")()
 	ev := m.stream().LaunchAsync(grid, kernel)
-	return m.register(c, ev)
+	return m.register(c, ev, float64(grid))
 }
 
 // ForasyncCUDAAwait launches kernel once all deps are satisfied and
@@ -207,7 +214,7 @@ func (m *Module) ForasyncCUDAAwait(c *core.Ctx, grid int, kernel cuda.Kernel, de
 func (m *Module) MemcpyH2DAsync(c *core.Ctx, dst *cuda.Buffer, dstOff int, src []float64) *core.Future {
 	defer stats.Track(ModuleName, "cudaMemcpyAsync_H2D")()
 	ev := m.stream().MemcpyH2DAsync(dst, dstOff, src)
-	return m.register(c, ev)
+	return m.register(c, ev, float64(len(src))/1024)
 }
 
 // MemcpyD2HAsync starts an asynchronous device-to-host copy, returning its
@@ -215,7 +222,7 @@ func (m *Module) MemcpyH2DAsync(c *core.Ctx, dst *cuda.Buffer, dstOff int, src [
 func (m *Module) MemcpyD2HAsync(c *core.Ctx, dst []float64, src *cuda.Buffer, srcOff, n int) *core.Future {
 	defer stats.Track(ModuleName, "cudaMemcpyAsync_D2H")()
 	ev := m.stream().MemcpyD2HAsync(dst, src, srcOff, n)
-	return m.register(c, ev)
+	return m.register(c, ev, float64(n)/1024)
 }
 
 // MemcpyH2D is the blocking transfer (taskified at the GPU place).
@@ -286,5 +293,5 @@ func (m *Module) copyD2D(c *core.Ctx, dst, src core.Buf, n int) *core.Future {
 		panic(fmt.Sprintf("hipercuda: AsyncCopy between GPU places requires *cuda.Buffer on both sides, got %T and %T", src.Data, dst.Data))
 	}
 	ev := m.stream().MemcpyD2DAsync(d, dst.Off, s, src.Off, n)
-	return m.register(c, ev)
+	return m.register(c, ev, float64(n)/1024)
 }

@@ -4,6 +4,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/hiper"
 	"repro/internal/core"
 	"repro/internal/cuda"
 	"repro/internal/modules"
@@ -24,7 +25,10 @@ func boot(t testing.TB, workers int, cfg cuda.Config, opts *Options) (*core.Runt
 }
 
 func TestInitRequiresGPUPlaces(t *testing.T) {
-	rt := core.NewDefault(1) // Default model has no GPU
+	rt, err := hiper.New(hiper.WithWorkers(1)) // default model has no GPU
+	if err != nil {
+		t.Fatal(err)
+	}
 	defer rt.Shutdown()
 	if err := modules.Install(rt, New(cuda.NewDevice(cuda.Config{}), nil)); err == nil {
 		t.Fatal("Init must fail without GPU places")

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/hiper"
 	"repro/internal/core"
 	"repro/internal/cuda"
 	"repro/internal/hipercuda"
@@ -41,7 +42,10 @@ func gpuJob(t testing.TB, ranks int, fn func(c *core.Ctx, m *Module, cm *hipercu
 func TestGPUAwareDiscovery(t *testing.T) {
 	// Without the CUDA module, the device APIs must refuse.
 	world := mpi.NewWorld(1, simnet.CostModel{})
-	rt := core.NewDefault(1)
+	rt, err := hiper.New(hiper.WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
 	defer rt.Shutdown()
 	m := New(world.Comm(0), nil)
 	modules.MustInstall(rt, m)

@@ -67,6 +67,7 @@ type Module struct {
 type pendingOp struct {
 	req  *mpi.Request
 	prom *core.Promise
+	cost float64 // in-flight hint to retire on completion
 }
 
 // New creates the module for one rank's communicator.
@@ -138,15 +139,26 @@ func (m *Module) taskify(c *core.Ctx, api string, fn func()) {
 	c.Wait(f)
 }
 
+// transferCost is a transfer's in-flight hint in the module's units
+// (kilobytes) — link pressure the scheduling policy sees while the
+// operation is outstanding.
+func transferCost(buf []byte) float64 { return float64(len(buf)) / 1024 }
+
 // Send is taskified MPI_Send.
 func (m *Module) Send(c *core.Ctx, buf []byte, dest, tag int) {
+	cost := transferCost(buf)
+	m.rt.HintInFlight(m.nic, cost)
 	m.taskify(c, "MPI_Send", func() { m.comm.Send(buf, dest, tag) })
+	m.rt.HintInFlight(m.nic, -cost)
 }
 
 // Recv is taskified MPI_Recv.
 func (m *Module) Recv(c *core.Ctx, buf []byte, source, tag int) mpi.Status {
 	var st mpi.Status
+	cost := transferCost(buf)
+	m.rt.HintInFlight(m.nic, cost)
 	m.taskify(c, "MPI_Recv", func() { st = m.comm.Recv(buf, source, tag) })
+	m.rt.HintInFlight(m.nic, -cost)
 	return st
 }
 
@@ -155,14 +167,14 @@ func (m *Module) Recv(c *core.Ctx, buf []byte, source, tag int) mpi.Status {
 func (m *Module) Isend(c *core.Ctx, buf []byte, dest, tag int) *core.Future {
 	defer stats.Track(ModuleName, "MPI_Isend")()
 	req := m.comm.Isend(buf, dest, tag)
-	return m.register(c, req)
+	return m.register(c, req, transferCost(buf))
 }
 
 // Irecv is MPI_Irecv with the MPI_Request output replaced by a future.
 func (m *Module) Irecv(c *core.Ctx, buf []byte, source, tag int) *core.Future {
 	defer stats.Track(ModuleName, "MPI_Irecv")()
 	req := m.comm.Irecv(buf, source, tag)
-	return m.register(c, req)
+	return m.register(c, req, transferCost(buf))
 }
 
 // IsendAwait is the paper's MPI_Isend_await: the send is issued only after
@@ -190,14 +202,20 @@ func (m *Module) IrecvAwait(c *core.Ctx, buf []byte, source, tag int, deps ...*c
 
 // register parks (req, promise) on the pending list and ensures a poller
 // task exists (or, in callback mode, wires the request callback directly).
-func (m *Module) register(c *core.Ctx, req *mpi.Request) *core.Future {
+// cost is reported to the scheduling policy as in-flight work at the
+// Interconnect place and retired when the operation completes.
+func (m *Module) register(c *core.Ctx, req *mpi.Request, cost float64) *core.Future {
+	m.rt.HintInFlight(m.nic, cost)
 	prom := core.NewPromise(m.rt)
 	if m.opts.Callbacks {
-		req.OnComplete(func(st mpi.Status) { prom.Put(st) })
+		req.OnComplete(func(st mpi.Status) {
+			m.rt.HintInFlight(m.nic, -cost)
+			prom.Put(st)
+		})
 		return prom.Future()
 	}
 	m.mu.Lock()
-	m.pending = append(m.pending, pendingOp{req: req, prom: prom})
+	m.pending = append(m.pending, pendingOp{req: req, prom: prom, cost: cost})
 	spawn := !m.pollerActive
 	if spawn {
 		m.pollerActive = true
@@ -231,6 +249,7 @@ func (m *Module) poll(c *core.Ctx) {
 	m.mu.Unlock()
 
 	for _, op := range done {
+		m.rt.HintInFlight(m.nic, -op.cost)
 		c.Put(op.prom, op.req.Status())
 	}
 	if remaining > 0 {
@@ -249,7 +268,7 @@ func (m *Module) poll(c *core.Ctx) {
 // request poller).
 func (m *Module) Barrier(c *core.Ctx) {
 	defer stats.Track(ModuleName, "MPI_Barrier")()
-	c.Wait(m.register(c, m.comm.Ibarrier()))
+	c.Wait(m.register(c, m.comm.Ibarrier(), 0))
 }
 
 // Bcast is taskified MPI_Bcast.
@@ -284,5 +303,5 @@ func (m *Module) Allgather(c *core.Ctx, contrib []byte) [][]byte {
 // BarrierFuture is MPI_Ibarrier: it returns a future satisfied when all
 // ranks have entered the barrier, without descheduling the caller.
 func (m *Module) BarrierFuture(c *core.Ctx) *core.Future {
-	return m.register(c, m.comm.Ibarrier())
+	return m.register(c, m.comm.Ibarrier(), 0)
 }

@@ -143,17 +143,25 @@ func (m *Module) Add(c *core.Ctx, a *shmem.Int64Array, dst, off int, delta int64
 	m.pe.Add(a, dst, off, delta)
 }
 
-// Get is taskified shmem_get64 (a blocking round trip).
+// Get is taskified shmem_get64 (a blocking round trip). The transfer is
+// reported to the scheduling policy as in-flight link work for its
+// duration.
 func (m *Module) Get(c *core.Ctx, a *shmem.Int64Array, src, off, n int) []int64 {
 	var out []int64
+	cost := float64(8*n) / 1024
+	m.rt.HintInFlight(m.nic, cost)
 	m.taskify(c, "shmem_get", func() { out = m.pe.Get(a, src, off, n) })
+	m.rt.HintInFlight(m.nic, -cost)
 	return out
 }
 
 // GetBytes is taskified bulk byte get.
 func (m *Module) GetBytes(c *core.Ctx, a *shmem.ByteArray, src, off, n int) []byte {
 	var out []byte
+	cost := float64(n) / 1024
+	m.rt.HintInFlight(m.nic, cost)
 	m.taskify(c, "shmem_getmem", func() { out = m.pe.GetBytes(a, src, off, n) })
+	m.rt.HintInFlight(m.nic, -cost)
 	return out
 }
 

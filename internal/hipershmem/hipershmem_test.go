@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/hiper"
 	"repro/internal/core"
 	"repro/internal/modules"
 	"repro/internal/platform"
@@ -36,6 +37,17 @@ func job(t testing.TB, pes, workers int, cost simnet.CostModel,
 	wg.Wait()
 }
 
+// newRT builds an n-worker runtime through the public facade, the only
+// default-model constructor since the deprecated shims were removed.
+func newRT(t testing.TB, n int) *core.Runtime {
+	t.Helper()
+	rt, err := hiper.New(hiper.WithWorkers(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt
+}
+
 func TestInitRequiresInterconnect(t *testing.T) {
 	mdl := platform.NewModel()
 	mem := mdl.AddPlace("sysmem0", platform.KindSysMem)
@@ -57,7 +69,7 @@ func TestPutBarrierVisibility(t *testing.T) {
 	arr := world.AllocInt64(n)
 	var wg sync.WaitGroup
 	for r := 0; r < n; r++ {
-		rt := core.NewDefault(2)
+		rt := newRT(t, 2)
 		m := New(world.PE(r), nil)
 		modules.MustInstall(rt, m)
 		wg.Add(1)
@@ -131,7 +143,7 @@ func TestAsyncWhenFiresOnRemotePut(t *testing.T) {
 	var fired atomic.Bool
 	var wg sync.WaitGroup
 	for r := 0; r < n; r++ {
-		rt := core.NewDefault(2)
+		rt := newRT(t, 2)
 		m := New(world.PE(r), nil)
 		modules.MustInstall(rt, m)
 		wg.Add(1)
@@ -186,7 +198,7 @@ func TestWaitUntilDeschedulesNotBlocks(t *testing.T) {
 	// worker must also run other tasks to satisfy the condition.
 	world := shmem.NewWorld(1, simnet.CostModel{})
 	arr := world.AllocInt64(1)
-	rt := core.NewDefault(1)
+	rt := newRT(t, 1)
 	m := New(world.PE(0), nil)
 	modules.MustInstall(rt, m)
 	done := make(chan struct{})

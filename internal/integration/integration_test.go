@@ -10,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/hiper"
 	"repro/internal/core"
 	"repro/internal/cuda"
 	"repro/internal/hiperckpt"
@@ -34,6 +35,17 @@ func fullModel(t testing.TB, workers int) *platform.Model {
 		t.Fatal(err)
 	}
 	return m
+}
+
+// newRT builds an n-worker runtime through the public facade, the only
+// default-model constructor since the deprecated shims were removed.
+func newRT(t testing.TB, n int) *core.Runtime {
+	t.Helper()
+	rt, err := hiper.New(hiper.WithWorkers(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt
 }
 
 // TestFourModulesOneRuntime installs MPI, SHMEM, CUDA, and checkpoint
@@ -191,7 +203,7 @@ func TestBlockingCollectiveDoesNotStarvePoller(t *testing.T) {
 	go func() {
 		var wg sync.WaitGroup
 		for r := 0; r < ranks; r++ {
-			rt := core.NewDefault(2)
+			rt := newRT(t, 2)
 			mm := hipermpi.New(world.Comm(r), nil)
 			modules.MustInstall(rt, mm)
 			wg.Add(1)
@@ -237,7 +249,7 @@ func TestSHMEMAndMPIInOneApp(t *testing.T) {
 	arr := sworld.AllocInt64(ranks)
 	var wg sync.WaitGroup
 	for r := 0; r < ranks; r++ {
-		rt := core.NewDefault(2)
+		rt := newRT(t, 2)
 		mm := hipermpi.New(mworld.Comm(r), nil)
 		sm := hipershmem.New(sworld.PE(r), nil)
 		modules.MustInstall(rt, mm)

@@ -34,6 +34,9 @@ type Spec struct {
 	// (or aborts, per the config) instead of wedging the whole job
 	// silently.
 	Watchdog *core.WatchdogConfig
+	// Policy, if non-nil, selects every rank's scheduling policy (nil
+	// keeps the built-in random-steal fast path).
+	Policy core.SchedPolicy
 }
 
 // Run boots spec.Ranks runtimes, calls setup for each (module
@@ -51,8 +54,8 @@ func Run(spec Spec, setup func(p *Proc) error, body func(p *Proc, c *core.Ctx)) 
 		spec.WorkersPerRank = 1
 	}
 	var opts *core.Options
-	if spec.Watchdog != nil {
-		opts = &core.Options{Watchdog: spec.Watchdog}
+	if spec.Watchdog != nil || spec.Policy != nil {
+		opts = &core.Options{Watchdog: spec.Watchdog, Policy: spec.Policy}
 	}
 	procs := make([]*Proc, spec.Ranks)
 	for r := 0; r < spec.Ranks; r++ {

@@ -5,7 +5,18 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/platform"
 )
+
+// newRT builds a 1-worker runtime. This in-package test cannot use the
+// hiper facade (hiper imports modules), so it goes through core.New.
+func newRT() *core.Runtime {
+	rt, err := core.New(platform.Default(1), nil)
+	if err != nil {
+		panic(err)
+	}
+	return rt
+}
 
 type fakeModule struct {
 	name      string
@@ -19,7 +30,7 @@ func (m *fakeModule) Init(*core.Runtime) error { m.inited++; return m.initErr }
 func (m *fakeModule) Finalize()                { m.finalized++ }
 
 func TestInstallLifecycle(t *testing.T) {
-	rt := core.NewDefault(1)
+	rt := newRT()
 	m := &fakeModule{name: "fake"}
 	if err := Install(rt, m); err != nil {
 		t.Fatal(err)
@@ -41,7 +52,7 @@ func TestInstallLifecycle(t *testing.T) {
 }
 
 func TestInstallDuplicateRejected(t *testing.T) {
-	rt := core.NewDefault(1)
+	rt := newRT()
 	defer rt.Shutdown()
 	MustInstall(rt, &fakeModule{name: "dup"})
 	if err := Install(rt, &fakeModule{name: "dup"}); err == nil {
@@ -50,7 +61,7 @@ func TestInstallDuplicateRejected(t *testing.T) {
 }
 
 func TestInstallInitErrorRollsBack(t *testing.T) {
-	rt := core.NewDefault(1)
+	rt := newRT()
 	defer rt.Shutdown()
 	bad := &fakeModule{name: "bad", initErr: errors.New("boom")}
 	if err := Install(rt, bad); err == nil {
@@ -66,7 +77,7 @@ func TestInstallInitErrorRollsBack(t *testing.T) {
 }
 
 func TestNamesOrdered(t *testing.T) {
-	rt := core.NewDefault(1)
+	rt := newRT()
 	defer rt.Shutdown()
 	MustInstall(rt, &fakeModule{name: "a"})
 	MustInstall(rt, &fakeModule{name: "b"})
@@ -74,13 +85,13 @@ func TestNamesOrdered(t *testing.T) {
 	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
 		t.Fatalf("names = %v", got)
 	}
-	if Names(core.NewDefault(1)) != nil {
+	if Names(newRT()) != nil {
 		t.Fatal("fresh runtime should have no modules")
 	}
 }
 
 func TestMustInstallPanics(t *testing.T) {
-	rt := core.NewDefault(1)
+	rt := newRT()
 	defer rt.Shutdown()
 	defer func() {
 		if recover() == nil {
@@ -103,7 +114,7 @@ func TestTimedHelpers(t *testing.T) {
 }
 
 func TestFinalizeOrderAcrossModules(t *testing.T) {
-	rt := core.NewDefault(1)
+	rt := newRT()
 	var order []string
 	a := &orderModule{name: "a", order: &order}
 	b := &orderModule{name: "b", order: &order}

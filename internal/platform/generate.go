@@ -48,6 +48,9 @@ func Generate(spec MachineSpec) (*Model, error) {
 	var nic *Place
 	for g := 0; g < spec.GPUs; g++ {
 		gpu := m.AddPlace(fmt.Sprintf("gpu%d", g), KindGPU)
+		// Relative compute speed for cost-model policies (Place.ComputeSpeed):
+		// matches the simulated device's data-parallel advantage.
+		gpu.Attrs = map[string]string{"speed": "8"}
 		gmem := m.AddPlace(fmt.Sprintf("gpumem%d", g), KindGPUMem)
 		m.AddEdge(gpu, gmem)
 		m.AddEdge(gmem, sysmem[0])

@@ -19,6 +19,8 @@ import (
 	"io"
 	"os"
 	"sort"
+	"strconv"
+	"sync"
 )
 
 // Kind classifies the hardware component a place represents. Module
@@ -75,6 +77,12 @@ type Model struct {
 	byName  map[string]*Place
 	edges   [][2]int
 	workers []WorkerSpec
+
+	// hops is the lazily built all-pairs hop-distance table scheduling
+	// policies query (see Hops). Models are mutated only during
+	// construction, before any runtime — and hence any policy — sees them.
+	hopsOnce sync.Once
+	hops     [][]int16
 }
 
 // jsonModel is the on-disk representation.
@@ -231,6 +239,59 @@ func (m *Model) ShortestPath(src, dst *Place) []*Place {
 		}
 	}
 	return nil
+}
+
+// Hops returns the minimum hop count between places a and b, or -1 when
+// they are disconnected. Scheduling policies use it as the link-cost term
+// of their cost models (each hop of the platform graph is one unit of
+// communication distance). The all-pairs table is computed once, on first
+// call, by BFS from every place — models are small (tens of places) — and
+// cached for the model's lifetime; mutate the model only before first use.
+func (m *Model) Hops(a, b *Place) int {
+	m.hopsOnce.Do(m.buildHops)
+	return int(m.hops[a.ID][b.ID])
+}
+
+func (m *Model) buildHops() {
+	np := len(m.places)
+	m.hops = make([][]int16, np)
+	for src := 0; src < np; src++ {
+		row := make([]int16, np)
+		for i := range row {
+			row[i] = -1
+		}
+		row[src] = 0
+		queue := []*Place{m.places[src]}
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			for _, nb := range cur.neighbors {
+				if row[nb.ID] >= 0 {
+					continue
+				}
+				row[nb.ID] = row[cur.ID] + 1
+				queue = append(queue, nb)
+			}
+		}
+		m.hops[src] = row
+	}
+}
+
+// ComputeSpeed returns the place's relative execution speed for
+// cost-model-driven scheduling policies: the "speed" attribute when the
+// model carries one (generators emit it for GPU places; hand-written
+// models may set any value), else a kind default — GPUs run the simulated
+// data-parallel kernels about 8x a CPU place, everything else is 1.
+func (p *Place) ComputeSpeed() float64 {
+	if s, ok := p.Attrs["speed"]; ok {
+		if v, err := strconv.ParseFloat(s, 64); err == nil && v > 0 {
+			return v
+		}
+	}
+	if p.Kind == KindGPU {
+		return 8
+	}
+	return 1
 }
 
 // Validate checks structural invariants: non-empty, unique names, worker

@@ -1,0 +1,153 @@
+package policy
+
+import (
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/platform"
+)
+
+type critPolicy struct{}
+
+func (critPolicy) Name() string { return "critpath" }
+
+func (critPolicy) NewRuntime(env core.PolicyEnv) core.PolicyRuntime {
+	return &critState{
+		env:  env,
+		load: newLoadTable(env.Model.NumPlaces()),
+	}
+}
+
+// critState is the critical-path-first policy's per-runtime state. The
+// load table's per-place peak cost is the critical-path signal: the place
+// whose pending work includes the costliest known task class is served
+// first, so the longest chain keeps making progress while cheap fan-out
+// fills the remaining capacity (Rohlin et al.'s critical-path-first
+// mapping, adapted to a work-stealing runtime: we cannot reorder within a
+// deque, but we can choose which place's deque to drain).
+type critState struct {
+	env  core.PolicyEnv
+	load *loadTable
+}
+
+func (s *critState) CostHint(pid int, cost float64) { s.load.hint(pid, cost) }
+
+// InFlight is ignored: CritPath ranks places by the costliest *queued*
+// task class; work already running on a device is not a chain it can serve.
+func (s *critState) InFlight(int, float64) {}
+
+// Resolve biases placement toward locality: each hop costs four units
+// against a candidate's pending count, so a near place wins unless its
+// queue is substantially deeper — the opposite trade from HEFT, which
+// prices queues in cost units and crosses links eagerly.
+func (s *critState) Resolve(from *platform.Place, group []*platform.Place, cost float64) *platform.Place {
+	best := group[0]
+	bestScore := s.score(from, group[0])
+	for _, p := range group[1:] {
+		if sc := s.score(from, p); sc < bestScore {
+			best, bestScore = p, sc
+		}
+	}
+	return best
+}
+
+func (s *critState) score(from, to *platform.Place) float64 {
+	hops := 0
+	if from != nil && from != to {
+		hops = s.env.Model.Hops(from, to)
+		if hops < 0 {
+			return 1e18
+		}
+	}
+	return float64(s.env.Pending(to.ID)) + 4*float64(hops)
+}
+
+func (s *critState) Worker(id, group int, pop, steal []*platform.Place) core.PolicyWorker {
+	w := &critWorker{
+		s:    s,
+		pop:  pop,
+		keys: make([]float64, len(pop)),
+		rng:  splitmix(id),
+		dist: make([]int16, s.env.MaxIDs),
+	}
+	// Precompute the victim preference order: all identities sorted by
+	// platform-graph distance between our home place (pop[0]) and the
+	// victim's home — identity v runs path group v % NWorkers, so its home
+	// is that group's first pop place. Same-socket columns (distance 0,
+	// shared cache) come before cross-socket ones; ties break by identity
+	// for determinism. Victims() rotates within the leading equal-distance
+	// tier per scan to spread contention.
+	home := pop[0]
+	specs := s.env.Model.Workers()
+	w.order = make([]int32, s.env.MaxIDs)
+	for v := 0; v < s.env.MaxIDs; v++ {
+		w.order[v] = int32(v)
+		vHome := s.env.Model.Place(specs[v%s.env.NWorkers].Pop[0])
+		d := s.env.Model.Hops(home, vHome)
+		if d < 0 {
+			d = int(^uint16(0) >> 1) // disconnected: last resort
+		}
+		w.dist[v] = int16(d)
+	}
+	sort.SliceStable(w.order, func(i, j int) bool {
+		return w.dist[w.order[i]] < w.dist[w.order[j]]
+	})
+	return w
+}
+
+// critWorker: critical-path-first pop order (descending peak pending
+// cost), distance-tiered victim order, and batch sizes that take less from
+// same-socket victims (their work is cache-warm where it is) and full
+// batches across sockets (amortize the cold migration).
+type critWorker struct {
+	s     *critState
+	pop   []*platform.Place
+	keys  []float64
+	order []int32 // identities by home-place distance, then id
+	dist  []int16 // identity -> home-place hop distance
+	rng   uint64
+}
+
+func (w *critWorker) PopOrder(ord []int32) {
+	if len(ord) < 2 {
+		return
+	}
+	for i, p := range w.pop {
+		if w.s.env.Pending(p.ID) == 0 {
+			w.keys[i] = -1 // empty places sink; stable among themselves
+			continue
+		}
+		w.keys[i] = w.s.load.peak(p.ID)
+	}
+	sortByKeyDesc(ord, w.keys)
+}
+
+func (w *critWorker) Victims(buf []int32, pid, maxUsed int) int {
+	n := 0
+	for _, v := range w.order {
+		if int(v) < maxUsed {
+			buf[n] = v
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	// Rotate within the leading equal-distance tier so concurrent thieves
+	// on one socket do not all hammer the same near victim.
+	near := 1
+	for near < n && w.dist[buf[near]] == w.dist[buf[0]] {
+		near++
+	}
+	if near > 1 {
+		rotateLeft(buf[:near], int(xorshift(&w.rng)%uint64(near)))
+	}
+	return n
+}
+
+func (w *critWorker) BatchMax(pid, vid int) int {
+	if w.dist[vid] == 0 {
+		return 8 // near victim: leave cache-warm work in place
+	}
+	return 16 // far victim: full batch amortizes the cold migration
+}

@@ -1,0 +1,142 @@
+package policy
+
+import (
+	"repro/internal/core"
+	"repro/internal/platform"
+)
+
+// hopCost is the communication-cost weight of one platform-graph hop, in
+// task cost units: half a unit-cost task per hop. It only needs to rank
+// alternatives consistently — the simulated fabric's absolute latencies
+// are the transport's business, not the scheduler's.
+const hopCost = 0.5
+
+type heftPolicy struct{}
+
+func (heftPolicy) Name() string { return "heft" }
+
+func (heftPolicy) NewRuntime(env core.PolicyEnv) core.PolicyRuntime {
+	places := env.Model.Places()
+	s := &heftState{
+		env:   env,
+		load:  newLoadTable(len(places)),
+		speed: make([]float64, len(places)),
+	}
+	for _, p := range places {
+		s.speed[p.ID] = p.ComputeSpeed()
+	}
+	return s
+}
+
+// heftState is HEFT's per-runtime cost model: per-place relative speeds
+// from the platform model, hop distances as link costs, and the load table
+// accumulating the application's Cost hints (its stand-in for upward
+// ranks — with hints proportional to rank-u, backlog ordering approximates
+// HEFT's descending-rank schedule without a global priority queue).
+type heftState struct {
+	env   core.PolicyEnv
+	load  *loadTable
+	speed []float64
+}
+
+func (s *heftState) CostHint(pid int, cost float64) { s.load.hint(pid, cost) }
+
+func (s *heftState) InFlight(pid int, delta float64) { s.load.flight(pid, delta) }
+
+// backlog estimates the time place pid needs to drain its *poppable*
+// queued work: pending count × mean observed task cost, on this place's
+// speed. Deliberately excludes in-flight device work — the pop order must
+// chase tasks a worker can execute, and at a device place with operations
+// in flight the only queued task is the module's poller (an early version
+// that folded in-flight work into pop priority turned one worker into a
+// dedicated poll loop, which on an oversubscribed host starves compute).
+func (s *heftState) backlog(pid int) float64 {
+	n := s.env.Pending(pid)
+	if n == 0 {
+		return 0
+	}
+	return float64(n) * s.load.mean(pid) / s.speed[pid]
+}
+
+// busy is the placement-time wait estimate: queued work plus the work the
+// place's hardware is already running (a device with three kernels in
+// flight finishes a fourth later, even though no task is queued).
+func (s *heftState) busy(pid int) float64 {
+	return (float64(s.env.Pending(pid))*s.load.mean(pid) + s.load.inflight(pid)) / s.speed[pid]
+}
+
+// Resolve implements the earliest-finish-time rule over the group:
+// finish(p) = busy time at p + link cost from the spawner's place +
+// this task's execution time at p's speed. Ties keep the earliest group
+// member (deterministic).
+func (s *heftState) Resolve(from *platform.Place, group []*platform.Place, cost float64) *platform.Place {
+	best := group[0]
+	bestEFT := s.eft(from, group[0], cost)
+	for _, p := range group[1:] {
+		if e := s.eft(from, p, cost); e < bestEFT {
+			best, bestEFT = p, e
+		}
+	}
+	return best
+}
+
+func (s *heftState) eft(from, to *platform.Place, cost float64) float64 {
+	comm := 0.0
+	if from != nil && from != to {
+		h := s.env.Model.Hops(from, to)
+		if h < 0 {
+			// Disconnected: effectively unreachable, rank it last.
+			return 1e18
+		}
+		comm = float64(h) * hopCost
+	}
+	exec := cost / s.speed[to.ID]
+	return s.busy(to.ID) + comm + exec
+}
+
+func (s *heftState) Worker(id, group int, pop, steal []*platform.Place) core.PolicyWorker {
+	return &heftWorker{
+		s:    s,
+		pop:  pop,
+		keys: make([]float64, len(pop)),
+		rng:  splitmix(id),
+	}
+}
+
+// heftWorker orders the pop path by descending backlog — drain the place
+// with the most outstanding ranked work first — and keeps the built-in
+// randomized victim rotation with full batches (HEFT's contribution is
+// ordering and placement; random stealing already maximizes rebalance
+// throughput).
+type heftWorker struct {
+	s    *heftState
+	pop  []*platform.Place
+	keys []float64
+	rng  uint64
+}
+
+func (w *heftWorker) PopOrder(ord []int32) {
+	if len(ord) < 2 {
+		return
+	}
+	for i, p := range w.pop {
+		w.keys[i] = w.s.backlog(p.ID)
+	}
+	sortByKeyDesc(ord, w.keys)
+}
+
+func (w *heftWorker) Victims(buf []int32, pid, maxUsed int) int {
+	start := int(xorshift(&w.rng) % uint64(maxUsed))
+	for k := 0; k < maxUsed; k++ {
+		v := start + k
+		if v >= maxUsed {
+			v -= maxUsed
+		}
+		buf[k] = int32(v)
+	}
+	return maxUsed
+}
+
+func (w *heftWorker) BatchMax(pid, vid int) int {
+	return 16 // the runtime caps at its internal batch limit
+}

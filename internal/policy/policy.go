@@ -1,0 +1,188 @@
+// Package policy ships the pluggable scheduling policies that slot into
+// core's SchedPolicy seam — the paper's composability thesis applied to
+// the scheduler itself: pop order, steal-victim selection, batch sizing,
+// and place-group resolution become swappable modules.
+//
+// Three policies:
+//
+//   - RandomSteal — the default. In-path-order pops, pseudo-random victim
+//     start, full steal batches. Its NewRuntime returns nil, which selects
+//     the runtime's built-in inline implementation: the default policy is
+//     today's scheduler by construction, not by reimplementation.
+//   - HEFT — heterogeneous earliest-finish-time. Spawns carrying Cost
+//     hints (read as upward rank when the application knows its DAG) feed
+//     a per-place cost model; place groups resolve to the place with the
+//     earliest estimated finish (queue backlog + link hops + execution on
+//     that place's relative speed), and workers pop their most-backlogged
+//     place first so high-rank work drains ahead of FIFO order.
+//   - CritPath — critical-path-first with locality-biased stealing: pop
+//     the place holding the costliest known task class first, steal from
+//     same-socket deque columns (platform-graph distance 0 between home
+//     places) before crossing sockets, and take smaller batches from near
+//     victims (shared cache keeps their work warm) than from far ones.
+package policy
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/core"
+)
+
+// RandomSteal is the default scheduling policy: exactly the runtime's
+// built-in behavior (NewRuntime returns nil → the runtime keeps its
+// inline, allocation-free find-work path, with zero added dispatch).
+var RandomSteal core.SchedPolicy = randomSteal{}
+
+type randomSteal struct{}
+
+func (randomSteal) Name() string                                 { return "random-steal" }
+func (randomSteal) NewRuntime(core.PolicyEnv) core.PolicyRuntime { return nil }
+
+// HEFT is the heterogeneous-earliest-finish-time policy; see the package
+// comment. Stateless descriptor — per-runtime state comes from NewRuntime.
+var HEFT core.SchedPolicy = heftPolicy{}
+
+// CritPath is the critical-path-first, locality-biased policy; see the
+// package comment.
+var CritPath core.SchedPolicy = critPolicy{}
+
+// All lists the shipped policies, default first — the order benchmark
+// sweeps use.
+var All = []core.SchedPolicy{RandomSteal, HEFT, CritPath}
+
+// ByName resolves a shipped policy by its Name (CLI and config plumbing).
+func ByName(name string) (core.SchedPolicy, error) {
+	for _, p := range All {
+		if p.Name() == name {
+			return p, nil
+		}
+	}
+	return nil, fmt.Errorf("policy: unknown policy %q", name)
+}
+
+// costScale converts float cost units to the integer milli-units the load
+// table accumulates atomically.
+const costScale = 1024
+
+// loadTable aggregates the cost hints observed per place: monotonic sum
+// and count (their ratio is the place's mean task cost) plus the largest
+// single hint (CritPath's critical-path signal). Monotonic accumulation
+// sidesteps per-task drain accounting — combined with the runtime's live
+// pending counter, mean×pending estimates the outstanding cost mass
+// without touching the 32-byte Task struct.
+type loadTable struct {
+	sum []atomic.Int64 // cost units × costScale
+	n   []atomic.Int64
+	max []atomic.Int64 // largest single hint × costScale
+	fly []atomic.Int64 // in-flight device/link work × costScale (signed)
+}
+
+func newLoadTable(places int) *loadTable {
+	return &loadTable{
+		sum: make([]atomic.Int64, places),
+		n:   make([]atomic.Int64, places),
+		max: make([]atomic.Int64, places),
+		fly: make([]atomic.Int64, places),
+	}
+}
+
+// hint folds one cost observation into place pid's aggregates.
+func (lt *loadTable) hint(pid int, cost float64) {
+	c := int64(cost * costScale)
+	if c <= 0 {
+		return
+	}
+	lt.sum[pid].Add(c)
+	lt.n[pid].Add(1)
+	for {
+		cur := lt.max[pid].Load()
+		if c <= cur || lt.max[pid].CompareAndSwap(cur, c) {
+			return
+		}
+	}
+}
+
+// mean returns the mean observed task cost at pid, defaulting to 1 unit
+// when the place has no hints (so unhinted places still rank by count).
+func (lt *loadTable) mean(pid int) float64 {
+	n := lt.n[pid].Load()
+	if n == 0 {
+		return 1
+	}
+	return float64(lt.sum[pid].Load()) / float64(n) / costScale
+}
+
+// peak returns the largest single cost hint seen at pid (0 when none).
+func (lt *loadTable) peak(pid int) float64 {
+	return float64(lt.max[pid].Load()) / costScale
+}
+
+// flight folds a signed in-flight delta (issue +, retire −) into pid's
+// running device/link occupancy.
+func (lt *loadTable) flight(pid int, delta float64) {
+	lt.fly[pid].Add(int64(delta * costScale))
+}
+
+// inflight returns pid's current in-flight work estimate, floored at zero
+// (retirements can transiently overtake issues when hints race).
+func (lt *loadTable) inflight(pid int) float64 {
+	v := lt.fly[pid].Load()
+	if v <= 0 {
+		return 0
+	}
+	return float64(v) / costScale
+}
+
+// splitmix seeds a per-worker xorshift stream from the worker id, matching
+// the determinism of the runtime's built-in per-worker seeding.
+func splitmix(id int) uint64 {
+	z := uint64(id)*0x9E3779B97F4A7C15 + 0x1234567
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// xorshift advances one worker-local PRNG stream.
+func xorshift(x *uint64) uint64 {
+	v := *x
+	v ^= v << 13
+	v ^= v >> 7
+	v ^= v << 17
+	*x = v
+	return v
+}
+
+// sortByKeyDesc insertion-sorts ord so keys[ord[i]] is non-increasing.
+// Stable, allocation-free; pop paths are a handful of entries.
+func sortByKeyDesc(ord []int32, keys []float64) {
+	for i := 1; i < len(ord); i++ {
+		o, k := ord[i], keys[ord[i]]
+		j := i - 1
+		for j >= 0 && keys[ord[j]] < k {
+			ord[j+1] = ord[j]
+			j--
+		}
+		ord[j+1] = o
+	}
+}
+
+// rotateLeft rotates s left by r using three reversals (in place).
+func rotateLeft(s []int32, r int) {
+	if len(s) < 2 {
+		return
+	}
+	r %= len(s)
+	if r == 0 {
+		return
+	}
+	reverse(s[:r])
+	reverse(s[r:])
+	reverse(s)
+}
+
+func reverse(s []int32) {
+	for i, j := 0, len(s)-1; i < j; i, j = i+1, j-1 {
+		s[i], s[j] = s[j], s[i]
+	}
+}

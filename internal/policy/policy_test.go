@@ -1,0 +1,219 @@
+package policy
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/platform"
+)
+
+func TestByName(t *testing.T) {
+	for _, p := range All {
+		got, err := ByName(p.Name())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != p {
+			t.Fatalf("ByName(%q) returned a different policy", p.Name())
+		}
+	}
+	if _, err := ByName("round-robin"); err == nil {
+		t.Fatal("ByName accepted an unknown policy name")
+	}
+}
+
+// TestRandomStealIsBuiltIn: the default policy's NewRuntime returns nil —
+// the contract that selects the runtime's inline fast path.
+func TestRandomStealIsBuiltIn(t *testing.T) {
+	if rt := RandomSteal.NewRuntime(core.PolicyEnv{}); rt != nil {
+		t.Fatalf("RandomSteal.NewRuntime = %T, want nil (built-in path)", rt)
+	}
+}
+
+func TestLoadTable(t *testing.T) {
+	lt := newLoadTable(2)
+	if got := lt.mean(0); got != 1 {
+		t.Fatalf("mean with no hints = %v, want the 1-unit default", got)
+	}
+	lt.hint(0, 2)
+	lt.hint(0, 6)
+	lt.hint(0, -5) // non-positive hints are dropped
+	if got := lt.mean(0); got != 4 {
+		t.Fatalf("mean = %v, want 4", got)
+	}
+	if got := lt.peak(0); got != 6 {
+		t.Fatalf("peak = %v, want 6", got)
+	}
+	if got := lt.mean(1); got != 1 {
+		t.Fatalf("hints leaked across places: mean(1) = %v", got)
+	}
+	lt.flight(1, 10)
+	lt.flight(1, -4)
+	if got := lt.inflight(1); got != 6 {
+		t.Fatalf("inflight = %v, want 6", got)
+	}
+	lt.flight(1, -100)
+	if got := lt.inflight(1); got != 0 {
+		t.Fatalf("inflight floor = %v, want 0 (retirements may transiently overtake issues)", got)
+	}
+}
+
+// heftEnv builds a HEFT runtime over a CPU+GPU model with a controllable
+// pending table.
+func heftEnv(t *testing.T) (*heftState, map[int]int64, *platform.Model) {
+	t.Helper()
+	m := platform.DefaultWithGPU(2, 1)
+	pending := map[int]int64{}
+	s := HEFT.NewRuntime(core.PolicyEnv{
+		Model:    m,
+		NWorkers: 2,
+		MaxIDs:   4,
+		Pending:  func(pid int) int64 { return pending[pid] },
+	}).(*heftState)
+	return s, pending, m
+}
+
+// TestHEFTResolvePrefersFastIdlePlace: with both places idle, a heavy
+// task resolves to the GPU place (8x compute speed beats the hop cost).
+func TestHEFTResolvePrefersFastIdlePlace(t *testing.T) {
+	s, _, m := heftEnv(t)
+	cpu := m.FirstByKind(platform.KindSysMem)
+	gpu := m.FirstByKind(platform.KindGPU)
+	if got := s.Resolve(cpu, []*platform.Place{cpu, gpu}, 16); got != gpu {
+		t.Fatalf("idle heavy task resolved to %v, want the fast place %v", got, gpu)
+	}
+}
+
+// TestHEFTResolveAvoidsBusyPlace: in-flight device work delays new
+// arrivals, so a loaded GPU loses to an idle CPU place.
+func TestHEFTResolveAvoidsBusyPlace(t *testing.T) {
+	s, _, m := heftEnv(t)
+	cpu := m.FirstByKind(platform.KindSysMem)
+	gpu := m.FirstByKind(platform.KindGPU)
+	s.InFlight(gpu.ID, 1000)
+	if got := s.Resolve(cpu, []*platform.Place{cpu, gpu}, 16); got != cpu {
+		t.Fatalf("task resolved to the busy place %v, want %v", got, cpu)
+	}
+	s.InFlight(gpu.ID, -1000)
+	if got := s.Resolve(cpu, []*platform.Place{cpu, gpu}, 16); got != gpu {
+		t.Fatalf("after retirement the fast place should win again, got %v", got)
+	}
+}
+
+// TestHEFTResolveQueueAware: queued work (pending x mean cost) counts
+// against a candidate the same way in-flight work does.
+func TestHEFTResolveQueueAware(t *testing.T) {
+	s, pending, m := heftEnv(t)
+	cpu := m.FirstByKind(platform.KindSysMem)
+	gpu := m.FirstByKind(platform.KindGPU)
+	s.CostHint(gpu.ID, 64)
+	pending[gpu.ID] = 50
+	if got := s.Resolve(cpu, []*platform.Place{cpu, gpu}, 16); got != cpu {
+		t.Fatalf("task resolved to the deeply queued place %v, want %v", got, cpu)
+	}
+}
+
+// TestHEFTPopOrderDrainsBacklogFirst: the pop permutation sorts by
+// descending queued-work estimate, and ignores in-flight device work (a
+// place whose only queued task is a poller must not jump the order).
+func TestHEFTPopOrderDrainsBacklogFirst(t *testing.T) {
+	s, pending, m := heftEnv(t)
+	spec := m.Workers()[0]
+	pop := make([]*platform.Place, len(spec.Pop))
+	for i, id := range spec.Pop {
+		pop[i] = m.Place(id)
+	}
+	if len(pop) < 3 {
+		t.Fatalf("worker 0 pop path too short for the test: %d places", len(pop))
+	}
+	w := s.Worker(0, 0, pop, nil).(*heftWorker)
+	ord := make([]int32, len(pop))
+	for i := range ord {
+		ord[i] = int32(i)
+	}
+	last := pop[len(pop)-1]
+	pending[last.ID] = 9 // deep queue at the path's last place
+	w.PopOrder(ord)
+	if pop[ord[0]] != last {
+		t.Fatalf("pop order starts at %v, want the backlogged %v", pop[ord[0]], last)
+	}
+	// In-flight work at another place must not promote it past real queues.
+	first := pop[0]
+	s.InFlight(first.ID, 100000)
+	w.PopOrder(ord)
+	if pop[ord[0]] != last {
+		t.Fatalf("in-flight work promoted %v in the pop order over queued %v", pop[ord[0]], last)
+	}
+	seen := map[int32]bool{}
+	for _, o := range ord {
+		seen[o] = true
+	}
+	if len(seen) != len(ord) {
+		t.Fatalf("PopOrder broke the permutation: %v", ord)
+	}
+}
+
+// TestCritPathVictimTiers: victim preference is distance-tiered — every
+// same-home victim precedes every farther one — and batch sizes shrink
+// for near victims.
+func TestCritPathVictimTiers(t *testing.T) {
+	m, err := platform.Generate(platform.MachineSpec{Sockets: 2, CoresPerSocket: 2, Interconnect: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := CritPath.NewRuntime(core.PolicyEnv{
+		Model:    m,
+		NWorkers: 4,
+		MaxIDs:   8,
+		Pending:  func(int) int64 { return 0 },
+	})
+	spec := m.Workers()[0]
+	pop := make([]*platform.Place, len(spec.Pop))
+	for i, id := range spec.Pop {
+		pop[i] = m.Place(id)
+	}
+	w := s.Worker(0, 0, pop, nil).(*critWorker)
+	buf := make([]int32, 8)
+	n := w.Victims(buf, pop[0].ID, 8)
+	if n != 8 {
+		t.Fatalf("Victims filled %d, want 8", n)
+	}
+	for i := 1; i < n; i++ {
+		if w.dist[buf[i]] < w.dist[buf[i-1]] {
+			t.Fatalf("victim order not distance-tiered: %v (dist %v then %v)", buf[:n], w.dist[buf[i-1]], w.dist[buf[i]])
+		}
+	}
+	near, far := buf[0], buf[n-1]
+	if w.dist[near] == w.dist[far] {
+		t.Fatalf("two-socket model gave uniform victim distances: %v", w.dist)
+	}
+	if got := w.BatchMax(pop[0].ID, int(near)); got != 8 {
+		t.Fatalf("near-victim batch = %d, want 8", got)
+	}
+	if got := w.BatchMax(pop[0].ID, int(far)); got != 16 {
+		t.Fatalf("far-victim batch = %d, want 16", got)
+	}
+}
+
+func TestSortByKeyDesc(t *testing.T) {
+	ord := []int32{0, 1, 2, 3}
+	keys := []float64{1, 9, 1, 4}
+	sortByKeyDesc(ord, keys)
+	want := []int32{1, 3, 0, 2} // descending keys, stable among equals
+	for i := range want {
+		if ord[i] != want[i] {
+			t.Fatalf("sorted order %v, want %v", ord, want)
+		}
+	}
+}
+
+func TestRotateLeft(t *testing.T) {
+	s := []int32{0, 1, 2, 3, 4}
+	rotateLeft(s, 2)
+	want := []int32{2, 3, 4, 0, 1}
+	for i := range want {
+		if s[i] != want[i] {
+			t.Fatalf("rotated %v, want %v", s, want)
+		}
+	}
+}

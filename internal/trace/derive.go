@@ -28,6 +28,12 @@ type PlaceStats struct {
 // Derived is the counter set computed from an event stream. It is what
 // the text summary renders and what Publish merges into internal/stats.
 type Derived struct {
+	// Policy names the scheduling policy that produced the stream (set by
+	// Tracer.Derived from SetPolicy; empty for raw Analyze calls). When
+	// set, Publish emits policy-suffixed copies of the scheduler-health
+	// gauges so policy A/B runs land side by side in one stats report.
+	Policy string
+
 	Wall time.Duration // last event TS - first event TS
 
 	Spawns        uint64
@@ -221,7 +227,9 @@ func (d Derived) Format(topN int) string {
 
 // Derived snapshots the tracer and computes its derived counters.
 func (t *Tracer) Derived() Derived {
-	return Analyze(t.Events(), t.PlaceName)
+	d := Analyze(t.Events(), t.PlaceName)
+	d.Policy = t.policy
+	return d
 }
 
 // Summary snapshots the tracer and renders the top-N text summary.
@@ -235,6 +243,13 @@ func (t *Tracer) Summary(topN int) string {
 func (d Derived) Publish() {
 	stats.SetGauge("trace", "steal_success_rate", d.StealSuccessRate)
 	stats.SetGauge("trace", "mean_park_latency_us", float64(d.MeanParkLatency)/1e3)
+	if d.Policy != "" {
+		// Policy-suffixed copies: successive runs under different policies
+		// each keep their own gauge row (plain gauges overwrite), which is
+		// what the -policy benchmark sweep compares.
+		stats.SetGauge("trace", "steal_success_rate["+d.Policy+"]", d.StealSuccessRate)
+		stats.SetGauge("trace", "mean_park_latency_us["+d.Policy+"]", float64(d.MeanParkLatency)/1e3)
+	}
 	stats.SetGauge("trace", "tasks_finished", float64(d.TasksFinished))
 	if secs := d.Wall.Seconds(); secs > 0 {
 		stats.SetGauge("trace", "tasks_per_sec", float64(d.TasksStarted)/secs)

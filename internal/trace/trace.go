@@ -216,6 +216,7 @@ type Tracer struct {
 
 	nextTask   atomic.Uint64
 	placeNames []string
+	policy     string
 }
 
 // New creates a tracer covering worker identities 0..workers-1 plus the
@@ -259,6 +260,15 @@ func (t *Tracer) now() int64 { return t.clock() }
 
 // SetPlaceNames installs the place-ID → name table used by exporters.
 func (t *Tracer) SetPlaceNames(names []string) { t.placeNames = names }
+
+// SetPolicy records the scheduling policy the traced runtime runs, so
+// derived gauges carry policy identity (the A/B metric for policy sweeps).
+// Call at runtime construction, before recording.
+func (t *Tracer) SetPolicy(name string) { t.policy = name }
+
+// Policy returns the traced runtime's scheduling policy name (may be
+// empty for tracers created outside a runtime).
+func (t *Tracer) Policy() string { return t.policy }
 
 // PlaceName resolves a place ID to its display name.
 func (t *Tracer) PlaceName(id int32) string {

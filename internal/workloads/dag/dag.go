@@ -1,0 +1,140 @@
+// Package dag is a synthetic heterogeneous task-graph workload: the
+// standard evaluation subject for list schedulers (Topcuoglu et al.'s HEFT
+// paper benchmarks on random layered DAGs with known per-task costs),
+// adapted to a dynamic work-stealing runtime.
+//
+// The graph is Layers fully-dependent layers of Width tasks each (layer
+// k+1 starts when layer k completes — a Finish scope per layer). Task
+// costs are drawn from a seeded PRNG, so the application knows each
+// task's weight up front, exactly the information HEFT's upward ranks
+// encode. Every task is offered to the scheduler with both placement
+// candidates — the CPU memory place and the GPU place — via the AtGroup
+// spawn option, with its weight attached via Cost.
+//
+// Execution is simulated, like the fabric and device latencies elsewhere
+// in this repo: a task occupies its landing place for cost×Unit scaled by
+// the place's ComputeSpeed, so the GPU place (speed 8) runs the same task
+// 8× faster. The policies therefore differ only in placement: the
+// built-in random-steal policy has no cost model and resolves every
+// group to its first member (the CPU place — static host-affine
+// placement), while a cost-model policy can offload to the accelerator
+// whenever its queue-wait estimate says the task finishes earlier there.
+package dag
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/job"
+	"repro/internal/platform"
+	"repro/internal/spin"
+)
+
+// Config describes one run.
+type Config struct {
+	Layers  int           // dependent layers in the graph
+	Width   int           // independent tasks per layer
+	Workers int           // runtime workers
+	Unit    time.Duration // simulated execution time of one cost unit at speed 1
+	Seed    uint64        // cost-distribution seed
+	Policy  core.SchedPolicy
+}
+
+func (c Config) withDefaults() Config {
+	if c.Layers <= 0 {
+		c.Layers = 8
+	}
+	if c.Width <= 0 {
+		c.Width = 8
+	}
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.Unit <= 0 {
+		c.Unit = 20 * time.Microsecond
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Result is one run's outcome.
+type Result struct {
+	Elapsed time.Duration
+	Tasks   int     // tasks executed
+	Work    float64 // total cost units in the graph
+	OnCPU   int64   // tasks the active policy placed on the CPU place
+	OnGPU   int64   // tasks the active policy placed on the GPU place
+}
+
+// Costs returns the task-cost matrix a run with this config executes:
+// costs[l][i] is task i of layer l, in (1, 32] cost units. Exported so
+// tests can assert against the exact total work.
+func (c Config) Costs() [][]float64 {
+	c = c.withDefaults()
+	rng := c.Seed
+	costs := make([][]float64, c.Layers)
+	for l := range costs {
+		costs[l] = make([]float64, c.Width)
+		for i := range costs[l] {
+			rng ^= rng << 13
+			rng ^= rng >> 7
+			rng ^= rng << 17
+			costs[l][i] = 1 + float64(rng%31) // heterogeneous, known up front
+		}
+	}
+	return costs
+}
+
+// RunHiPER executes the graph on one HiPER runtime with a GPU place under
+// cfg.Policy.
+func RunHiPER(cfg Config) (Result, error) {
+	cfg = cfg.withDefaults()
+	costs := cfg.Costs()
+	var res Result
+	for _, layer := range costs {
+		for _, w := range layer {
+			res.Work += w
+		}
+	}
+	var onCPU, onGPU, ran atomic.Int64
+	start := time.Now()
+	err := job.Run(job.Spec{Ranks: 1, WorkersPerRank: cfg.Workers, GPUs: 1,
+		Policy: cfg.Policy, OnStart: func() { start = time.Now() }},
+		nil,
+		func(p *job.Proc, c *core.Ctx) {
+			gpu := p.RT.Model().FirstByKind(platform.KindGPU)
+			cpu := p.RT.Model().FirstByKind(platform.KindSysMem)
+			for _, layer := range costs {
+				layer := layer
+				c.Finish(func(c *core.Ctx) {
+					for _, cost := range layer {
+						cost := cost
+						c.AsyncWith(func(cc *core.Ctx) {
+							if cc.Place() == gpu {
+								onGPU.Add(1)
+							} else {
+								onCPU.Add(1)
+							}
+							ran.Add(1)
+							spin.Sleep(time.Duration(float64(cfg.Unit) * cost / cc.Place().ComputeSpeed()))
+						}, core.Cost(cost), core.AtGroup(cpu, gpu))
+					}
+				})
+			}
+		})
+	res.Elapsed = time.Since(start)
+	res.Tasks = int(ran.Load())
+	res.OnCPU = onCPU.Load()
+	res.OnGPU = onGPU.Load()
+	if err != nil {
+		return res, err
+	}
+	if want := cfg.Layers * cfg.Width; res.Tasks != want {
+		return res, fmt.Errorf("dag: executed %d tasks, want %d", res.Tasks, want)
+	}
+	return res, nil
+}

@@ -1,0 +1,96 @@
+package dag
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/policy"
+)
+
+// TestCostsDeterministic: the cost matrix is a pure function of the config.
+func TestCostsDeterministic(t *testing.T) {
+	cfg := Config{Layers: 4, Width: 6, Seed: 9}
+	a, b := cfg.Costs(), cfg.Costs()
+	for l := range a {
+		for i := range a[l] {
+			if a[l][i] != b[l][i] {
+				t.Fatalf("costs[%d][%d] differs between identical configs: %v vs %v", l, i, a[l][i], b[l][i])
+			}
+			if a[l][i] < 1 || a[l][i] > 32 {
+				t.Fatalf("costs[%d][%d] = %v outside (1, 32]", l, i, a[l][i])
+			}
+		}
+	}
+}
+
+// TestDefaultPlacementIsHostAffine: without a cost-model policy, every
+// task resolves to the group's first member (the CPU place) — the static
+// placement HEFT is benchmarked against.
+func TestDefaultPlacementIsHostAffine(t *testing.T) {
+	res, err := RunHiPER(Config{Layers: 3, Width: 4, Workers: 2, Unit: time.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OnGPU != 0 {
+		t.Fatalf("default policy placed %d tasks on the GPU place, want 0", res.OnGPU)
+	}
+	if res.OnCPU != int64(res.Tasks) {
+		t.Fatalf("accounting: %d CPU + %d GPU != %d tasks", res.OnCPU, res.OnGPU, res.Tasks)
+	}
+}
+
+// TestHEFTOffloads: HEFT's earliest-finish-time rule sends a substantial
+// share of the graph to the 8×-speed GPU place.
+func TestHEFTOffloads(t *testing.T) {
+	res, err := RunHiPER(Config{Layers: 4, Width: 8, Workers: 2, Unit: time.Microsecond, Policy: policy.HEFT})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OnGPU == 0 {
+		t.Fatal("HEFT placed no tasks on the GPU place")
+	}
+}
+
+// TestAllPoliciesRunToCompletion: every shipped policy executes the whole
+// graph.
+func TestAllPoliciesRunToCompletion(t *testing.T) {
+	for _, pol := range policy.All {
+		res, err := RunHiPER(Config{Layers: 3, Width: 5, Workers: 3, Unit: time.Microsecond, Policy: pol})
+		if err != nil {
+			t.Fatalf("%s: %v", pol.Name(), err)
+		}
+		if res.Tasks != 15 {
+			t.Fatalf("%s: ran %d tasks, want 15", pol.Name(), res.Tasks)
+		}
+	}
+}
+
+// TestHEFTBeatsHostAffineBaseline is the workload's reason to exist: with
+// known costs and a faster accelerator place on offer, EFT placement must
+// finish the graph faster than the default's static host-affine
+// placement. Generous margin (1.2×) — the win at benchmark scale is much
+// larger, but CI machines are noisy.
+func TestHEFTBeatsHostAffineBaseline(t *testing.T) {
+	cfg := Config{Layers: 8, Width: 12, Workers: 4, Unit: 50 * time.Microsecond, Seed: 7}
+	best := func(pol core.SchedPolicy) time.Duration {
+		var b time.Duration
+		for i := 0; i < 3; i++ {
+			res, err := RunHiPER(Config{Layers: cfg.Layers, Width: cfg.Width, Workers: cfg.Workers,
+				Unit: cfg.Unit, Seed: cfg.Seed, Policy: pol})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if b == 0 || res.Elapsed < b {
+				b = res.Elapsed
+			}
+		}
+		return b
+	}
+	def := best(policy.RandomSteal)
+	heft := best(policy.HEFT)
+	t.Logf("random-steal %v, heft %v (%.2fx)", def, heft, float64(def)/float64(heft))
+	if float64(heft)*1.2 > float64(def) {
+		t.Fatalf("HEFT (%v) did not beat host-affine default (%v) by 1.2x", heft, def)
+	}
+}

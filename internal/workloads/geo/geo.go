@@ -45,6 +45,9 @@ type Config struct {
 	// PollInterval tunes the HiPER modules' completion pollers; smaller
 	// values tighten future-chain latency at the cost of poll CPU.
 	PollInterval time.Duration
+	// Policy selects the HiPER variant's scheduling policy (nil keeps the
+	// built-in random-steal). The blocking reference ignores it.
+	Policy core.SchedPolicy
 }
 
 func (c Config) withDefaults() Config {
@@ -267,7 +270,7 @@ func RunHiPER(cfg Config) (Result, error) {
 
 	start := time.Now()
 	err := job.Run(job.Spec{Ranks: cfg.Ranks, WorkersPerRank: cfg.Workers, GPUs: 1,
-		OnStart: func() { start = time.Now() }},
+		Policy: cfg.Policy, OnStart: func() { start = time.Now() }},
 		func(p *job.Proc) error {
 			mpiMods[p.Rank] = hipermpi.New(world.Comm(p.Rank), &hipermpi.Options{PollInterval: cfg.PollInterval})
 			cudaMods[p.Rank] = hipercuda.New(cuda.NewDevice(cfg.GPU), &hipercuda.Options{PollInterval: cfg.PollInterval})

@@ -33,6 +33,9 @@ type Config struct {
 	Workers int
 	Cycles  int
 	Cost    simnet.CostModel
+	// Policy selects the HiPER variant's scheduling policy (nil keeps the
+	// built-in random-steal). The MPI+OMP reference ignores it.
+	Policy core.SchedPolicy
 }
 
 func (c Config) withDefaults() Config {
@@ -321,7 +324,7 @@ func RunHiPER(cfg Config) (Result, error) {
 
 	start := time.Now()
 	err := job.Run(job.Spec{Ranks: cfg.Ranks, WorkersPerRank: cfg.Workers,
-		OnStart: func() { start = time.Now() }},
+		Policy: cfg.Policy, OnStart: func() { start = time.Now() }},
 		func(p *job.Proc) error {
 			umods[p.Rank] = hiperupcxx.New(uworld.Rank(p.Rank), nil)
 			mmods[p.Rank] = hipermpi.New(mworld.Comm(p.Rank), nil)

@@ -37,6 +37,10 @@ type RunConfig struct {
 	// child crosses the shared queue, because communication can only
 	// happen between fully-drained task regions.
 	TaskRegionBudget int
+
+	// Policy selects the HiPER variant's scheduling policy (nil keeps the
+	// built-in random-steal). The flat and OpenMP baselines ignore it.
+	Policy core.SchedPolicy
 }
 
 func (c RunConfig) withDefaults() RunConfig {
@@ -263,7 +267,7 @@ func RunHiPER(cfg RunConfig) (Result, error) {
 
 	start := time.Now()
 	err := job.Run(job.Spec{Ranks: cfg.Ranks, WorkersPerRank: cfg.Threads,
-		OnStart: func() { start = time.Now() }},
+		Policy: cfg.Policy, OnStart: func() { start = time.Now() }},
 		func(p *job.Proc) error {
 			mods[p.Rank] = hipershmem.New(world.PE(p.Rank), nil)
 			return modules.Install(p.RT, mods[p.Rank])
@@ -301,7 +305,10 @@ func RunHiPER(cfg RunConfig) (Result, error) {
 					continue
 				}
 				// Persistent-pool parallel expansion: chunked forasync, no
-				// fork-join thread churn.
+				// fork-join thread churn. The batch size is the natural cost
+				// hint for the expansion landing at this place: cost-model
+				// policies see how much tree is queued per rank.
+				c.Runtime().CostHint(c.Place(), float64(len(batch)))
 				buckets := make([][]node, cfg.Threads)
 				c.ForasyncSync(core.Range{Lo: 0, Hi: cfg.Threads, Grain: 1}, func(_ *core.Ctx, tid int) {
 					var local []node
