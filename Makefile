@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check lint race chaos bench-smoke bench-sched bench-trace bench-comm bench-comm-gate bench-policy
+.PHONY: check lint race chaos bench-smoke bench-sched bench-trace bench-comm bench-comm-gate bench-policy bench-elastic
 
 ## check: the tier-1 gate — vet, then the project linter, then build and
 ## the full test suite.
@@ -26,6 +26,7 @@ bench-smoke:
 	$(GO) run ./cmd/hiper-bench -comm -commout /tmp/BENCH_comm.smoke.json
 	$(GO) run ./cmd/hiper-bench -commgate BENCH_comm.json
 	$(GO) run ./cmd/hiper-bench -policygate BENCH_scheduler.json
+	$(GO) run ./cmd/hiper-bench -elasticgate BENCH_elastic.json
 
 ## bench-comm-gate: rerun ping-pong + fanin-4to1 at quick scale and fail
 ## if any ns/op regresses >3x vs the committed BENCH_comm.json — loose
@@ -55,6 +56,13 @@ bench-policy:
 ## shared-vs-separate-fabric A/B for mixed MPI+SHMEM traffic.
 bench-comm:
 	$(GO) run ./cmd/hiper-bench -comm -full -commout BENCH_comm.json
+
+## bench-elastic: regenerate the committed BENCH_elastic.json — both
+## workloads (ISx, Graph500 BFS) static vs scripted kill/grow/shrink over
+## the virtualized chaos fabric: per-phase wall time plus migration and
+## resize latencies. Every run verifies results byte-identical.
+bench-elastic:
+	$(GO) run ./cmd/hiper-bench -elastic -full -elasticout BENCH_elastic.json
 
 ## chaos: fault-injection gate — every chaos/resilience test (deterministic
 ## seeded fault plans over the Reliable layer) plus a quick resilience

@@ -12,6 +12,8 @@
 //	hiper-bench -policy [-full] [-policyout BENCH_policy.json]
 //	hiper-bench -policygate BENCH_scheduler.json
 //	hiper-bench -chaos [-full] [-chaosout BENCH_resilience.json]
+//	hiper-bench -elastic [-full] [-elasticout BENCH_elastic.json]
+//	hiper-bench -elasticgate BENCH_elastic.json
 //	hiper-bench -trace out.json [-workers N]
 //	hiper-bench -tracebench BENCH_trace.json [-full] [-workers N]
 package main
@@ -42,6 +44,9 @@ func main() {
 	policyGate := flag.String("policygate", "", "rerun fanout-wake under WithPolicy(RandomSteal) and fail on regression vs the committed scheduler report at this path")
 	chaos := flag.Bool("chaos", false, "run the fault-injection resilience benchmarks instead of the paper figures")
 	chaosOut := flag.String("chaosout", "BENCH_resilience.json", "path for the resilience benchmark JSON report")
+	elastic := flag.Bool("elastic", false, "run the elasticity benchmarks (migration + resize vs static baseline) instead of the paper figures")
+	elasticOut := flag.String("elasticout", "BENCH_elastic.json", "path for the elasticity benchmark JSON report")
+	elasticGate := flag.String("elasticgate", "", "rerun the quick elastic ISx comparison and fail on >3x ns/phase regression vs the committed report at this path")
 	tracePath := flag.String("trace", "", "run a traced demo workload and write its Chrome trace JSON here (load at ui.perfetto.dev)")
 	traceBench := flag.String("tracebench", "", "run the tracing overhead microbenchmarks and write the JSON report here")
 	workers := flag.Int("workers", 0, "worker count for -sched/-trace/-tracebench (0 = GOMAXPROCS)")
@@ -105,6 +110,25 @@ func main() {
 			log.Fatalf("writing %s: %v", *chaosOut, err)
 		}
 		fmt.Printf("wrote %s\n", *chaosOut)
+		return
+	}
+	if *elasticGate != "" {
+		if err := bench.ElasticGate(*elasticGate); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("elasticgate ok vs %s\n", *elasticGate)
+		return
+	}
+	if *elastic {
+		rep, err := bench.ElasticSuite(scale)
+		if err != nil {
+			log.Fatalf("elastic suite: %v", err)
+		}
+		fmt.Print(rep.Render())
+		if err := rep.WriteJSON(*elasticOut); err != nil {
+			log.Fatalf("writing %s: %v", *elasticOut, err)
+		}
+		fmt.Printf("wrote %s\n", *elasticOut)
 		return
 	}
 	if *traceBench != "" {

@@ -1,0 +1,281 @@
+// Elasticity benchmark: what rank virtualization costs, and what the
+// scripted membership changes cost on top.
+//
+// Each workload (ISx bucket sort, Graph500 BFS) runs twice over the
+// same virtualized chaos fabric — once static (no membership changes)
+// and once under the full scripted schedule (kill → checkpoint-restore
+// onto a fresh endpoint, grow, shrink, each at a collective boundary).
+// Both runs verify every phase byte-identical against a fabric-free
+// reference, so a row certifies correctness under elasticity; the
+// columns are the price: per-phase wall time and per-event (migration /
+// resize) latency. cmd/hiper-bench -elastic emits BENCH_elastic.json.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/fabric"
+	"repro/internal/job"
+	"repro/internal/workloads/graph500"
+	"repro/internal/workloads/isx"
+)
+
+// ElasticResult is one workload's static-vs-elastic comparison.
+type ElasticResult struct {
+	Workload        string  `json:"workload"`
+	Phases          int     `json:"phases"`
+	Ranks           int     `json:"initial_ranks"`
+	StaticNsPhase   float64 `json:"static_ns_per_phase"`
+	ElasticNsPhase  float64 `json:"elastic_ns_per_phase"`
+	MigrationNs     float64 `json:"migration_ns"` // kill: chaos-kill + remap + state wipe
+	GrowNs          float64 `json:"grow_ns"`
+	ShrinkNs        float64 `json:"shrink_ns"` // includes checkpoint redistribution
+	RestorePhaseNs  float64 `json:"restore_phase_ns"`
+	BaselinePhaseNs float64 `json:"baseline_phase_ns"` // elastic run's unperturbed first phase
+}
+
+// ElasticReport is the machine-readable elasticity report.
+type ElasticReport struct {
+	Repeats int             `json:"repeats"`
+	Results []ElasticResult `json:"benchmarks"`
+}
+
+// elasticSchedule is the canonical scripted membership schedule the
+// ISSUE's end-to-end proofs run: one migration, one grow, one shrink,
+// each at a collective boundary.
+func elasticSchedule() []job.ElasticEvent {
+	return []job.ElasticEvent{
+		{AfterPhase: 0, Kind: "kill", Rank: 1},
+		{AfterPhase: 1, Kind: "grow", Delta: 2},
+		{AfterPhase: 2, Kind: "shrink", Delta: 1},
+	}
+}
+
+func elasticRel() fabric.RelConfig {
+	return fabric.RelConfig{
+		RetryBase:    50 * time.Microsecond,
+		RetryCap:     200 * time.Microsecond,
+		MaxAttempts:  12,
+		DeathSilence: 100 * time.Millisecond,
+	}
+}
+
+func elasticPlan() fabric.FaultPlan {
+	return fabric.FaultPlan{Seed: 42, Drop: 0.05, Dup: 0.05}
+}
+
+// meanPhaseNs averages the phase wall times of one run.
+func meanPhaseNs(phases []time.Duration) float64 {
+	if len(phases) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, d := range phases {
+		sum += d
+	}
+	return float64(sum.Nanoseconds()) / float64(len(phases))
+}
+
+func eventNs(events []isxEventCost, kind string) float64 {
+	for _, e := range events {
+		if e.kind == kind {
+			return float64(e.latency.Nanoseconds())
+		}
+	}
+	return 0
+}
+
+// isxEventCost unifies the two workloads' event-cost types.
+type isxEventCost struct {
+	kind    string
+	latency time.Duration
+}
+
+// elasticISx runs the ISx variant once and adapts its result.
+func elasticISx(cfg isx.ElasticConfig) ([]time.Duration, []isxEventCost, error) {
+	res, err := isx.RunElastic(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	evs := make([]isxEventCost, len(res.Events))
+	for i, e := range res.Events {
+		evs[i] = isxEventCost{kind: e.Kind, latency: e.Latency}
+	}
+	return res.PhaseTimes, evs, nil
+}
+
+// elasticBFS runs the Graph500 variant once and adapts its result.
+func elasticBFS(cfg graph500.ElasticConfig) ([]time.Duration, []isxEventCost, error) {
+	res, err := graph500.RunElastic(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	evs := make([]isxEventCost, len(res.Events))
+	for i, e := range res.Events {
+		evs[i] = isxEventCost{kind: e.Kind, latency: e.Latency}
+	}
+	return res.PhaseTimes, evs, nil
+}
+
+// isxElasticConfig builds the benchmark's ISx configuration.
+func isxElasticConfig(scale Scale, events []job.ElasticEvent) isx.ElasticConfig {
+	streams, keys := 8, 256
+	if scale == Full {
+		streams, keys = 16, 2048
+	}
+	return isx.ElasticConfig{
+		Streams: streams, KeysPerStream: keys,
+		Ranks: 3, Capacity: 8, Phases: 4, Seed: 1234,
+		Plan: elasticPlan(), Rel: elasticRel(),
+		Events: events, Workers: 1,
+	}
+}
+
+// bfsElasticConfig builds the benchmark's Graph500 configuration.
+func bfsElasticConfig(scale Scale, events []job.ElasticEvent) graph500.ElasticConfig {
+	g := graph500.GraphConfig{Scale: 8, EdgeFactor: 8, Seed: 5}
+	if scale == Full {
+		g = graph500.GraphConfig{Scale: 10, EdgeFactor: 16, Seed: 5}
+	}
+	return graph500.ElasticConfig{
+		Graph: g, Ranks: 3, Capacity: 8, Phases: 4,
+		Plan: elasticPlan(), Rel: elasticRel(),
+		Events: events, Workers: 1,
+	}
+}
+
+// elasticCompare runs one workload static then scripted and fills a row.
+func elasticCompare(name string, repeats, phases, ranks int,
+	static, elastic func() ([]time.Duration, []isxEventCost, error)) (ElasticResult, error) {
+	row := ElasticResult{Workload: name, Phases: phases, Ranks: ranks}
+	var staticSum float64
+	for i := 0; i < repeats; i++ {
+		pt, _, err := static()
+		if err != nil {
+			return row, fmt.Errorf("%s static: %w", name, err)
+		}
+		staticSum += meanPhaseNs(pt)
+	}
+	row.StaticNsPhase = staticSum / float64(repeats)
+	var elasticSum float64
+	for i := 0; i < repeats; i++ {
+		pt, evs, err := elastic()
+		if err != nil {
+			return row, fmt.Errorf("%s elastic: %w", name, err)
+		}
+		elasticSum += meanPhaseNs(pt)
+		// Event latencies and the restore-phase cost from the last run.
+		row.MigrationNs = eventNs(evs, "kill")
+		row.GrowNs = eventNs(evs, "grow")
+		row.ShrinkNs = eventNs(evs, "shrink")
+		if len(pt) > 1 {
+			row.BaselinePhaseNs = float64(pt[0].Nanoseconds())
+			row.RestorePhaseNs = float64(pt[1].Nanoseconds()) // phase after the kill
+		}
+	}
+	row.ElasticNsPhase = elasticSum / float64(repeats)
+	return row, nil
+}
+
+// ElasticSuite runs both workloads static and scripted and returns the
+// report. Correctness failures abort the suite: every run internally
+// verifies byte-identical results, so a surviving row is a certificate.
+func ElasticSuite(scale Scale) (*ElasticReport, error) {
+	repeats := 3
+	if scale == Full {
+		repeats = 5
+	}
+	rep := &ElasticReport{Repeats: repeats}
+
+	isxRow, err := elasticCompare("isx", repeats, 4, 3,
+		func() ([]time.Duration, []isxEventCost, error) {
+			return elasticISx(isxElasticConfig(scale, nil))
+		},
+		func() ([]time.Duration, []isxEventCost, error) {
+			return elasticISx(isxElasticConfig(scale, elasticSchedule()))
+		})
+	if err != nil {
+		return nil, err
+	}
+	rep.Results = append(rep.Results, isxRow)
+
+	bfsRow, err := elasticCompare("graph500", repeats, 4, 3,
+		func() ([]time.Duration, []isxEventCost, error) {
+			return elasticBFS(bfsElasticConfig(scale, nil))
+		},
+		func() ([]time.Duration, []isxEventCost, error) {
+			return elasticBFS(bfsElasticConfig(scale, elasticSchedule()))
+		})
+	if err != nil {
+		return nil, err
+	}
+	rep.Results = append(rep.Results, bfsRow)
+	return rep, nil
+}
+
+// ElasticGate is the bench-smoke gate: rerun the quick ISx comparison
+// and fail if the elastic per-phase time regresses more than gateFactor×
+// against the committed report — catching an elasticity-machinery
+// collapse (epoch-table contention, remap leak, checkpoint stall), not
+// scheduler noise. Any correctness failure fails the gate outright.
+func ElasticGate(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("elasticgate: reading committed report: %w", err)
+	}
+	var committed ElasticReport
+	if err := json.Unmarshal(data, &committed); err != nil {
+		return fmt.Errorf("elasticgate: parsing %s: %w", path, err)
+	}
+	var want float64
+	for _, r := range committed.Results {
+		if r.Workload == "isx" {
+			want = r.ElasticNsPhase
+		}
+	}
+	if want == 0 {
+		return fmt.Errorf("elasticgate: isx row missing from %s (regenerate with make bench-elastic)", path)
+	}
+	var sum float64
+	const repeats = 3
+	for i := 0; i < repeats; i++ {
+		pt, _, err := elasticISx(isxElasticConfig(Quick, elasticSchedule()))
+		if err != nil {
+			return fmt.Errorf("elasticgate: %w", err)
+		}
+		sum += meanPhaseNs(pt)
+	}
+	got := sum / repeats
+	if got > want*gateFactor {
+		return fmt.Errorf("elasticgate: isx elastic %.0f ns/phase vs committed %.0f (> %.0fx)",
+			got, want, gateFactor)
+	}
+	return nil
+}
+
+// WriteJSON writes the report to path.
+func (r *ElasticReport) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Render prints the report as an aligned table.
+func (r *ElasticReport) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== elasticity: kill/grow/shrink over Virtual(Reliable(Chaos(Sim))), %d repeats ==\n", r.Repeats)
+	fmt.Fprintf(&b, "%-10s %-7s %14s %15s %12s %10s %10s %14s\n",
+		"workload", "phases", "static ns/ph", "elastic ns/ph", "migrate ns", "grow ns", "shrink ns", "restore ph ns")
+	for _, res := range r.Results {
+		fmt.Fprintf(&b, "%-10s %-7d %14.0f %15.0f %12.0f %10.0f %10.0f %14.0f\n",
+			res.Workload, res.Phases, res.StaticNsPhase, res.ElasticNsPhase,
+			res.MigrationNs, res.GrowNs, res.ShrinkNs, res.RestorePhaseNs)
+	}
+	return b.String()
+}

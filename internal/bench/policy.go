@@ -64,16 +64,13 @@ type policyWorkload struct {
 func policyWorkloads(s Scale) []policyWorkload {
 	tree := uts.TreeConfig{B0: 4, GenMax: 11, Seed: 19}
 	utsRanks := 4
-	// HPGMG stays at the N=16 shape even at full scale: the N=32 slab
-	// diverges under the simulated V-cycle regardless of policy (also
-	// breaks Fig4HPGMG at -full; tracked in ROADMAP.md).
 	n, nz, cycles, hpgmgRanks := 16, 8, 2, 4
 	gnx, gnz, gsteps, geoRanks := 64, 24, 3, 2
 	layers, width, unit := 6, 8, 50*time.Microsecond
 	if s == Full {
 		tree = uts.DefaultTree
 		utsRanks = 8
-		cycles, hpgmgRanks = 3, 8
+		n, nz, cycles, hpgmgRanks = 32, 16, 3, 8
 		gnx, gnz, gsteps, geoRanks = 64, 32, 5, 4
 		layers, width, unit = 10, 16, 100*time.Microsecond
 	}

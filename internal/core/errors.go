@@ -39,3 +39,20 @@ func wrapPanic(v any) *PanicError {
 	}
 	return &PanicError{Value: v, Stack: debug.Stack()}
 }
+
+// Contain runs fn and converts a panic into the *PanicError the worker
+// barrier would have produced, instead of crashing the process. It
+// exists for the one containment case that has no worker barrier under
+// it: plain goroutines hosting non-HiPER rank bodies (job.RunFlat's
+// flat SPMD baselines), where a panicking rank must fail like a crashed
+// process — its own error, joined with its siblings' — not take the
+// whole simulated job down. HiPER task bodies must NOT use this; their
+// panics already belong to the execute barrier and its failure domains.
+func Contain(fn func() error) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = wrapPanic(v)
+		}
+	}()
+	return fn()
+}

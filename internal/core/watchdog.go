@@ -78,6 +78,13 @@ type StallReport struct {
 	Places     []PlaceDepth  // places with pending tasks
 	Workers    []WorkerInfo  // per-worker states (active identities only)
 	TraceTail  []trace.Event // last events from the trace rings, if armed
+
+	// Epoch and Phase name where an elastic job was when the stall
+	// tripped (set via Runtime.SetStallLabel; zero/empty otherwise). A
+	// migration or resize that wedges mid-protocol is diagnosable only
+	// if the report says which epoch it wedged in.
+	Epoch uint64
+	Phase string
 }
 
 // String renders the report as the multi-line diagnostic logged on
@@ -85,6 +92,9 @@ type StallReport struct {
 func (s *StallReport) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "core: %s stalled: quiesce watchdog deadline (%v) exceeded\n", s.Op, s.Deadline)
+	if s.Phase != "" || s.Epoch != 0 {
+		fmt.Fprintf(&b, "  elastic: epoch %d, phase %q\n", s.Epoch, s.Phase)
+	}
 	fmt.Fprintf(&b, "  open finish scopes (%d):\n", len(s.OpenScopes))
 	for _, sc := range s.OpenScopes {
 		fmt.Fprintf(&b, "    %s: %d pending refs, open %v\n", sc.Label, sc.Pending, sc.Age.Round(time.Millisecond))
@@ -143,6 +153,8 @@ type watchdogState struct {
 
 	mu     sync.Mutex
 	scopes map[*finishScope]struct{}
+	epoch  uint64 // elastic labels stamped into reports
+	phase  string
 
 	stalls atomic.Int64 // reports produced (observability/testing)
 }
@@ -195,6 +207,7 @@ func (wd *watchdogState) report(op string) *StallReport {
 	rep := &StallReport{Op: op, Deadline: wd.cfg.Deadline}
 
 	wd.mu.Lock()
+	rep.Epoch, rep.Phase = wd.epoch, wd.phase
 	now := time.Now()
 	for fs := range wd.scopes {
 		rep.OpenScopes = append(rep.OpenScopes, ScopeInfo{
@@ -322,6 +335,19 @@ func (r *Runtime) shutdownWatched() error {
 		<-done
 		return nil
 	}
+}
+
+// SetStallLabel stamps the elastic epoch and phase a job driver is
+// executing into subsequent stall reports, so a wedged migration or
+// resize names where it stuck. No-op when the watchdog is unarmed.
+func (r *Runtime) SetStallLabel(epoch uint64, phase string) {
+	wd := r.watch
+	if wd == nil {
+		return
+	}
+	wd.mu.Lock()
+	wd.epoch, wd.phase = epoch, phase
+	wd.mu.Unlock()
 }
 
 // Stalls reports how many stall diagnostics the watchdog has produced

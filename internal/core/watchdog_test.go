@@ -97,6 +97,52 @@ func TestWatchdogReportsWedgedScope(t *testing.T) {
 	}
 }
 
+// TestWatchdogStallLabelNamesEpoch: an elastic job driver stamps its
+// epoch/phase via SetStallLabel; a subsequent stall report must carry
+// and render them, so a wedged migration names where it stuck.
+func TestWatchdogStallLabelNamesEpoch(t *testing.T) {
+	var (
+		mu      sync.Mutex
+		rep     *StallReport
+		release sync.Once
+	)
+	var r *Runtime
+	var gate *Promise
+	r = newWatchdogRuntime(t, 1, WatchdogConfig{
+		Deadline: 50 * time.Millisecond,
+		OnStall: func(s *StallReport) {
+			mu.Lock()
+			if rep == nil {
+				rep = s
+			}
+			mu.Unlock()
+			release.Do(func() { gate.Put(nil) })
+		},
+	})
+	defer r.Shutdown()
+	gate = NewPromise(r)
+	r.SetStallLabel(7, "phase 3")
+
+	if err := r.Launch(func(c *Ctx) {
+		c.Async(func(cc *Ctx) { cc.Wait(gate.Future()) })
+	}); err != nil {
+		t.Fatalf("Launch: %v", err)
+	}
+
+	mu.Lock()
+	got := rep
+	mu.Unlock()
+	if got == nil {
+		t.Fatal("watchdog never fired")
+	}
+	if got.Epoch != 7 || got.Phase != "phase 3" {
+		t.Fatalf("report labels = (%d, %q), want (7, \"phase 3\")", got.Epoch, got.Phase)
+	}
+	if !strings.Contains(got.String(), `epoch 7, phase "phase 3"`) {
+		t.Errorf("rendering lacks the elastic label:\n%s", got)
+	}
+}
+
 // TestWatchdogAbortLaunch: with Abort set, a stalled Launch returns
 // ErrStalled instead of hanging.
 func TestWatchdogAbortLaunch(t *testing.T) {

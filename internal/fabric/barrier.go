@@ -25,6 +25,29 @@ func (b *Barrier) Await() {
 	<-done
 }
 
+// Resize changes the participant count for subsequent generations.
+// Callers must guarantee no generation is mid-flight when membership
+// changes (the elastic resize protocol runs between phases, after a
+// completed barrier); if stragglers from a shrunk generation have
+// already arrived, the generation completes immediately so nobody
+// strands.
+func (b *Barrier) Resize(n int) {
+	b.mu.Lock()
+	b.n = n
+	if b.count >= b.n {
+		b.count = 0
+		b.gen++
+		cbs := b.cbs
+		b.cbs = nil
+		b.mu.Unlock()
+		for _, cb := range cbs {
+			cb()
+		}
+		return
+	}
+	b.mu.Unlock()
+}
+
 // Arrive registers one arrival in the current generation and invokes fn
 // (if non-nil) when the generation completes. The last arriver runs all
 // callbacks on its own goroutine. Arrive never blocks, which lets runtime

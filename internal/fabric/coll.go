@@ -1,6 +1,15 @@
 package fabric
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
+
+// epocher is the optional interface an elastic transport (Virtual)
+// implements: a generation counter that advances whenever membership
+// changes. Coll polls it at barrier entry to re-resolve membership
+// lazily — collectives between two epoch bumps never pay for it.
+type epocher interface{ Epoch() uint64 }
 
 // ReduceOp combines two equal-length byte buffers element-wise (the
 // interpretation — int64 sum, float64 max, ... — belongs to the caller's
@@ -24,6 +33,9 @@ type Coll struct {
 	tr  Transport
 	bar *Barrier
 
+	epMu      sync.Mutex
+	lastEpoch uint64
+
 	tagBcast     int
 	tagReduce    int
 	tagGather    int
@@ -36,9 +48,14 @@ type Coll struct {
 // endpoints, reserving the tag block it needs.
 func NewColl(tr Transport) *Coll {
 	base := tr.AllocTags(6)
+	var ep uint64
+	if e, ok := tr.(epocher); ok {
+		ep = e.Epoch()
+	}
 	return &Coll{
-		tr:  tr,
-		bar: NewBarrier(tr.Size()),
+		tr:        tr,
+		bar:       NewBarrier(tr.Size()),
+		lastEpoch: ep,
 
 		tagBcast:     base,
 		tagReduce:    base - 1,
@@ -55,12 +72,38 @@ func (cl *Coll) Transport() Transport { return cl.tr }
 // Size returns the number of participants.
 func (cl *Coll) Size() int { return cl.tr.Size() }
 
+// syncEpoch re-resolves membership at an epoch boundary: when an
+// elastic transport's epoch advanced since the last collective, the
+// barrier resizes to the current participant count. The elastic
+// protocol guarantees no collective is in flight across an epoch bump
+// (membership changes happen between job phases), so the resize cannot
+// strand an arrival.
+func (cl *Coll) syncEpoch() {
+	e, ok := cl.tr.(epocher)
+	if !ok {
+		return
+	}
+	ep := e.Epoch()
+	cl.epMu.Lock()
+	if ep != cl.lastEpoch {
+		cl.lastEpoch = ep
+		cl.bar.Resize(cl.tr.Size())
+	}
+	cl.epMu.Unlock()
+}
+
 // Barrier blocks until every participant has entered.
-func (cl *Coll) Barrier() { cl.bar.Await() }
+func (cl *Coll) Barrier() {
+	cl.syncEpoch()
+	cl.bar.Await()
+}
 
 // BarrierAsync registers a barrier arrival and invokes fn (if non-nil)
 // when all participants have arrived, without blocking the caller.
-func (cl *Coll) BarrierAsync(fn func()) { cl.bar.Arrive(fn) }
+func (cl *Coll) BarrierAsync(fn func()) {
+	cl.syncEpoch()
+	cl.bar.Arrive(fn)
+}
 
 // recvInto receives a matching message into buf and returns the byte
 // count, panicking on overflow (a protocol bug, not a user error).

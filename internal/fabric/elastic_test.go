@@ -1,0 +1,260 @@
+package fabric
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fastRel is a retry schedule tight enough for link-death tests to
+// finish in milliseconds while keeping the rounds+silence discipline.
+func fastRel() RelConfig {
+	return RelConfig{
+		RetryBase:    50 * time.Microsecond,
+		RetryCap:     200 * time.Microsecond,
+		MaxAttempts:  4,
+		DeathSilence: time.Millisecond,
+	}
+}
+
+func TestEpochTableLifecycle(t *testing.T) {
+	tab := NewEpochTable(3, 6)
+	if tab.Ranks() != 3 || tab.Capacity() != 6 || tab.Epoch() != 0 {
+		t.Fatalf("fresh table: ranks=%d cap=%d epoch=%d", tab.Ranks(), tab.Capacity(), tab.Epoch())
+	}
+	for r := 0; r < 3; r++ {
+		if tab.Endpoint(r) != r || tab.Logical(r) != r {
+			t.Fatalf("identity map broken at %d", r)
+		}
+	}
+
+	old, fresh, err := tab.Remap(1)
+	if err != nil || old != 1 || fresh != 3 {
+		t.Fatalf("Remap(1) = (%d,%d,%v)", old, fresh, err)
+	}
+	if tab.Epoch() != 1 || tab.Endpoint(1) != 3 {
+		t.Fatalf("after remap: epoch=%d endpoint(1)=%d", tab.Epoch(), tab.Endpoint(1))
+	}
+	if tab.Logical(1) != -1 {
+		t.Fatalf("abandoned endpoint 1 still maps to logical %d", tab.Logical(1))
+	}
+	if tab.Logical(3) != 1 {
+		t.Fatalf("fresh endpoint 3 maps to logical %d, want 1", tab.Logical(3))
+	}
+
+	added, err := tab.Grow(2)
+	if err != nil || len(added) != 2 || added[0] != 3 || added[1] != 4 {
+		t.Fatalf("Grow(2) = (%v,%v)", added, err)
+	}
+	if tab.Ranks() != 5 || tab.Epoch() != 2 {
+		t.Fatalf("after grow: ranks=%d epoch=%d", tab.Ranks(), tab.Epoch())
+	}
+	// Grow drew endpoints 4 and 5; the pool is now empty (endpoint 1 was
+	// abandoned dead, never recycled).
+	if _, _, err := tab.Remap(0); err == nil {
+		t.Fatal("remap succeeded with an exhausted pool")
+	}
+
+	if err := tab.Shrink(2); err != nil {
+		t.Fatal(err)
+	}
+	if tab.Ranks() != 3 || tab.Epoch() != 3 {
+		t.Fatalf("after shrink: ranks=%d epoch=%d", tab.Ranks(), tab.Epoch())
+	}
+	// Shrink returned healthy endpoints to the pool: remap works again.
+	if _, fresh, err := tab.Remap(0); err != nil || fresh == 1 {
+		t.Fatalf("post-shrink Remap = (%d,%v); dead endpoint must stay retired", fresh, err)
+	}
+
+	if err := tab.Shrink(3); err == nil {
+		t.Fatal("shrink to zero ranks must error")
+	}
+}
+
+func TestVirtualTranslatesAcrossRemap(t *testing.T) {
+	tab := NewEpochTable(2, 4)
+	v := NewVirtual(NewInline(4), tab)
+	if v.Size() != 2 || CapacityOf(v) != 4 {
+		t.Fatalf("size=%d capacity=%d", v.Size(), CapacityOf(v))
+	}
+
+	v.Send(0, 1, 7, []byte("pre"))
+	m := v.Recv(1, 0, 7)
+	if m.Src != 0 || m.Dst != 1 || string(m.Data) != "pre" {
+		t.Fatalf("pre-remap message %+v", m)
+	}
+
+	if _, fresh, err := tab.Remap(1); err != nil || fresh != 2 {
+		t.Fatalf("remap: fresh=%d err=%v", fresh, err)
+	}
+	// Logical addressing is unchanged; the wire now targets endpoint 2,
+	// and the delivered source still reads as logical 0.
+	v.Send(0, 1, 7, []byte("post"))
+	m = v.Recv(1, 0, 7)
+	if m.Src != 0 || m.Dst != 1 || string(m.Data) != "post" {
+		t.Fatalf("post-remap message %+v", m)
+	}
+	// The old endpoint's mailbox saw only the pre-remap traffic.
+	inner := v.inner.(*Inline)
+	if _, ok := inner.TryRecv(1, AnySource, 7); ok {
+		t.Fatal("post-remap frame landed on the abandoned endpoint")
+	}
+}
+
+func TestCollBarrierTracksEpoch(t *testing.T) {
+	tab := NewEpochTable(2, 5)
+	v := NewVirtual(NewInline(5), tab)
+	cl := NewColl(v)
+
+	arrive := func(n int) {
+		var wg sync.WaitGroup
+		for r := 0; r < n; r++ {
+			wg.Add(1)
+			go func() { defer wg.Done(); cl.Barrier() }()
+		}
+		done := make(chan struct{})
+		go func() { wg.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("%d-party barrier hung", n)
+		}
+	}
+
+	arrive(2)
+	if _, err := tab.Grow(2); err != nil {
+		t.Fatal(err)
+	}
+	arrive(4) // must need exactly 4 arrivals now
+	if err := tab.Shrink(3); err != nil {
+		t.Fatal(err)
+	}
+	arrive(1)
+}
+
+// TestReliableDeadEndpointFailsFastAfterRemap is the link-death × remap
+// interplay contract: once an endpoint is killed, traffic to it fails
+// fast (one-sided ops complete with a recorded link error — never
+// hang), and remapping the logical rank onto a fresh endpoint restores
+// service because the fresh physical pair has fresh go-back-N state;
+// the dead pair's record stays put.
+func TestReliableDeadEndpointFailsFastAfterRemap(t *testing.T) {
+	tab := NewEpochTable(2, 4)
+	ch := NewChaos(NewInline(4), FaultPlan{})
+	rel := NewReliable(ch, fastRel())
+	v := NewVirtual(rel, tab)
+
+	// Healthy round trip first, so live sender state exists on (0,1).
+	v.Send(0, 1, 9, []byte("warm"))
+	if m := v.Recv(1, 0, 9); string(m.Data) != "warm" {
+		t.Fatalf("warmup message %q", m.Data)
+	}
+
+	ch.Kill(1)
+
+	// A one-sided op toward the dead endpoint must complete, not hang.
+	done := make(chan struct{})
+	v.Put(0, 1, 64, nil, func() { close(done) })
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Put to a dead endpoint hung instead of failing fast")
+	}
+	if rel.LinkErr(0, 1) == nil {
+		t.Fatal("dead link 0->1 has no recorded error")
+	}
+
+	old, fresh, err := tab.Remap(1)
+	if err != nil || old != 1 {
+		t.Fatalf("remap: (%d,%d,%v)", old, fresh, err)
+	}
+
+	// Logical rank 1 is reachable again over the fresh pair — two-sided
+	// and one-sided both — while the dead pair's record is unchanged.
+	v.Send(0, 1, 9, []byte("revived"))
+	if m := v.Recv(1, 0, 9); string(m.Data) != "revived" || m.Src != 0 {
+		t.Fatalf("post-remap message %+v", m)
+	}
+	done2 := make(chan struct{})
+	v.Put(0, 1, 64, nil, func() { close(done2) })
+	select {
+	case <-done2:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Put to the remapped rank hung")
+	}
+	if rel.LinkErr(0, fresh) != nil {
+		t.Fatalf("fresh link 0->%d marked dead: %v", fresh, rel.LinkErr(0, fresh))
+	}
+	if rel.LinkErr(0, old) == nil {
+		t.Fatal("remap erased the dead link's record")
+	}
+}
+
+// TestReliableRemapUnderChaos runs logical ping-pong across a kill+remap
+// with 5% drop + 5% dup on every link: the sequence numbers and the
+// remap must compose, delivering every post-remap message exactly once
+// and in order.
+func TestReliableRemapUnderChaos(t *testing.T) {
+	tab := NewEpochTable(2, 4)
+	ch := NewChaos(NewInline(4), FaultPlan{Seed: 42, Drop: 0.05, Dup: 0.05})
+	rel := NewReliable(ch, RelConfig{
+		RetryBase:    50 * time.Microsecond,
+		RetryCap:     200 * time.Microsecond,
+		MaxAttempts:  12,
+		DeathSilence: 50 * time.Millisecond,
+	})
+	v := NewVirtual(rel, tab)
+
+	pingPong := func(round int) {
+		for i := 0; i < 20; i++ {
+			want := []byte(fmt.Sprintf("r%d-%d", round, i))
+			v.Send(0, 1, 3, want)
+			m := v.Recv(1, 0, 3)
+			if !bytes.Equal(m.Data, want) || m.Src != 0 {
+				t.Fatalf("round %d msg %d: got %q from %d", round, i, m.Data, m.Src)
+			}
+			v.Send(1, 0, 4, m.Data)
+			if e := v.Recv(0, 1, 4); !bytes.Equal(e.Data, want) {
+				t.Fatalf("round %d echo %d: %q", round, i, e.Data)
+			}
+		}
+	}
+
+	pingPong(0)
+	ch.Kill(tab.Endpoint(1))
+	if _, _, err := tab.Remap(1); err != nil {
+		t.Fatal(err)
+	}
+	pingPong(1)
+	if rel.Retries() == 0 {
+		t.Log("note: chaos injected no retries this run")
+	}
+}
+
+// TestVirtualWorldGrowShrinkKeepsTraffic exercises resize mid-traffic:
+// ranks added by Grow can immediately talk, and after Shrink the
+// surviving ranks still can.
+func TestVirtualWorldGrowShrinkKeepsTraffic(t *testing.T) {
+	tab := NewEpochTable(2, 6)
+	v := NewVirtual(NewInline(6), tab)
+
+	added, err := tab.Grow(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range added {
+		v.Send(0, r, 5, []byte{byte(r)})
+		if m := v.Recv(r, 0, 5); m.Src != 0 || m.Data[0] != byte(r) {
+			t.Fatalf("grown rank %d: %+v", r, m)
+		}
+	}
+	if err := tab.Shrink(2); err != nil {
+		t.Fatal(err)
+	}
+	v.Send(1, 0, 5, []byte("still here"))
+	if m := v.Recv(0, 1, 5); string(m.Data) != "still here" || m.Src != 1 {
+		t.Fatalf("post-shrink message %+v", m)
+	}
+}

@@ -1,0 +1,177 @@
+package fabric
+
+import (
+	"fmt"
+	"sync"
+)
+
+// EpochTable is the versioned logical-rank → fabric-endpoint map at the
+// heart of rank virtualization. A job's stable identity is the *logical*
+// rank; which physical transport endpoint carries that rank's traffic is
+// an assignment the table owns and may change at run time:
+//
+//   - Remap retargets a logical rank to a fresh endpoint (migration after
+//     a crash: the old endpoint keeps its Chaos kill record and its dead
+//     Reliable go-back-N links; the fresh endpoint starts clean).
+//   - Grow/Shrink change the logical rank count (live resize at a
+//     collective boundary).
+//
+// Every mutation bumps a generation counter (the epoch). Layers that
+// cache membership — fabric.Coll's barrier, library worlds — compare
+// epochs to re-resolve membership lazily at the next collective, and the
+// job layer stamps the epoch into watchdog stall reports so a stuck
+// migration names the epoch it wedged in.
+//
+// The table is constructed with spare endpoint capacity: endpoints
+// [ranks, capacity) form the free pool that Remap and Grow draw from.
+// Endpoints abandoned by Remap are dead and never reused; endpoints
+// released by Shrink are healthy and return to the pool.
+type EpochTable struct {
+	mu    sync.Mutex
+	phys  []int       // logical rank -> physical endpoint
+	rev   map[int]int // physical endpoint -> logical rank (current epoch only)
+	free  []int       // healthy unassigned endpoints, FIFO
+	epoch uint64
+	cap   int
+}
+
+// NewEpochTable creates a table for `ranks` logical ranks over a
+// transport with `capacity` physical endpoints (capacity-ranks spares).
+// The initial assignment is the identity: logical rank r ↔ endpoint r.
+func NewEpochTable(ranks, capacity int) *EpochTable {
+	if ranks <= 0 {
+		panic(fmt.Sprintf("fabric: epoch table needs at least 1 rank, got %d", ranks))
+	}
+	if capacity < ranks {
+		panic(fmt.Sprintf("fabric: epoch table capacity %d < %d ranks", capacity, ranks))
+	}
+	t := &EpochTable{
+		phys: make([]int, ranks),
+		rev:  make(map[int]int, ranks),
+		cap:  capacity,
+	}
+	for r := 0; r < ranks; r++ {
+		t.phys[r] = r
+		t.rev[r] = r
+	}
+	for e := ranks; e < capacity; e++ {
+		t.free = append(t.free, e)
+	}
+	return t
+}
+
+// Ranks returns the current logical rank count.
+func (t *EpochTable) Ranks() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.phys)
+}
+
+// Capacity returns the physical endpoint count the table was built over.
+func (t *EpochTable) Capacity() int { return t.cap }
+
+// Epoch returns the generation counter; it advances on every Remap,
+// Grow, or Shrink.
+func (t *EpochTable) Epoch() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.epoch
+}
+
+// Endpoint resolves a logical rank to its current physical endpoint.
+func (t *EpochTable) Endpoint(logical int) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if logical < 0 || logical >= len(t.phys) {
+		panic(fmt.Sprintf("fabric: logical rank %d out of range [0,%d)", logical, len(t.phys)))
+	}
+	return t.phys[logical]
+}
+
+// Logical resolves a physical endpoint back to the logical rank it
+// currently carries, or -1 when it carries none (never assigned,
+// abandoned by Remap, or released by Shrink). Stale traffic surfacing a
+// -1 source is a protocol violation worth crashing loudly on.
+func (t *EpochTable) Logical(endpoint int) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	lr, ok := t.rev[endpoint]
+	if !ok {
+		return -1
+	}
+	return lr
+}
+
+// Remap retargets a logical rank onto a fresh endpoint from the free
+// pool, returning the old and new endpoints. The old endpoint is
+// abandoned — its Reliable link state and Chaos kill record stay with
+// it, which is exactly what invalidates them for the logical rank.
+func (t *EpochTable) Remap(logical int) (old, fresh int, err error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if logical < 0 || logical >= len(t.phys) {
+		return 0, 0, fmt.Errorf("fabric: remap of logical rank %d out of range [0,%d)", logical, len(t.phys))
+	}
+	if len(t.free) == 0 {
+		return 0, 0, fmt.Errorf("fabric: no spare endpoint to remap logical rank %d onto (capacity %d exhausted)", logical, t.cap)
+	}
+	old = t.phys[logical]
+	fresh = t.free[0]
+	t.free = t.free[1:]
+	t.phys[logical] = fresh
+	delete(t.rev, old)
+	t.rev[fresh] = logical
+	t.epoch++
+	return old, fresh, nil
+}
+
+// Grow appends k logical ranks, assigning each a free endpoint, and
+// returns the new logical ranks.
+func (t *EpochTable) Grow(k int) ([]int, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if k <= 0 {
+		return nil, fmt.Errorf("fabric: grow by %d", k)
+	}
+	if len(t.free) < k {
+		return nil, fmt.Errorf("fabric: grow by %d needs %d spare endpoints, have %d", k, k, len(t.free))
+	}
+	added := make([]int, 0, k)
+	for i := 0; i < k; i++ {
+		ep := t.free[0]
+		t.free = t.free[1:]
+		lr := len(t.phys)
+		t.phys = append(t.phys, ep)
+		t.rev[ep] = lr
+		added = append(added, lr)
+	}
+	t.epoch++
+	return added, nil
+}
+
+// Shrink drops the top k logical ranks. Their endpoints are healthy and
+// return to the free pool for later Remap/Grow reuse.
+func (t *EpochTable) Shrink(k int) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if k <= 0 || k >= len(t.phys) {
+		return fmt.Errorf("fabric: shrink by %d from %d ranks", k, len(t.phys))
+	}
+	for i := 0; i < k; i++ {
+		lr := len(t.phys) - 1
+		ep := t.phys[lr]
+		t.phys = t.phys[:lr]
+		delete(t.rev, ep)
+		t.free = append(t.free, ep)
+	}
+	t.epoch++
+	return nil
+}
+
+// Endpoints returns a snapshot of the current logical→endpoint map
+// (diagnostics; index = logical rank).
+func (t *EpochTable) Endpoints() []int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]int(nil), t.phys...)
+}

@@ -1,0 +1,138 @@
+package fabric
+
+import (
+	"fmt"
+
+	"repro/internal/trace"
+)
+
+// Virtual is the endpoint-remap seam: a Transport whose ranks are
+// *logical* — stable job-level identities resolved through an EpochTable
+// on every operation. Library worlds built over a Virtual survive
+// migration (a logical rank retargeted to a fresh physical endpoint) and
+// live resize (Grow/Shrink) without rebuilding, because nothing they
+// cache is a physical endpoint.
+//
+// The translation discipline:
+//
+//   - Outbound (Send, Put, Get, the dst of a Recv): logical → physical
+//     via the table's current epoch.
+//   - Inbound (a delivered Message): physical → logical, so user code
+//     that indexes by Message.Src keeps working. A message from an
+//     endpoint that no longer carries any logical rank surfaces Src=-1 —
+//     stale traffic from before a remap, visible rather than misdelivered.
+//
+// Remap invalidation comes for free from layering: Reliable's go-back-N
+// link state and Chaos's kill records are keyed by *physical* endpoint,
+// so abandoning an endpoint abandons exactly that state, and the fresh
+// endpoint starts with clean links underneath whatever logical rank now
+// maps to it.
+//
+// Size() is the logical rank count and changes across epochs; Capacity()
+// is the fixed physical endpoint count of the inner transport. Layers
+// that preallocate per-rank structures size them at Capacity() so grow
+// never reallocates (see the worlds in internal/mpi and internal/shmem).
+type Virtual struct {
+	inner Transport
+	tab   *EpochTable
+}
+
+// CapacityOf returns how many per-rank slots a world built over tr
+// should preallocate: the physical capacity for an elastic transport —
+// so Grow never reallocates handle or symmetric-instance arrays mid-run
+// (reallocation would invalidate interior pointers, e.g. sync.Cond
+// references into a mutex array) — else just Size().
+func CapacityOf(tr Transport) int {
+	if c, ok := tr.(interface{ Capacity() int }); ok {
+		return c.Capacity()
+	}
+	return tr.Size()
+}
+
+// NewVirtual wraps inner with logical-rank indirection through tab. The
+// table's capacity must not exceed the inner transport's endpoint count.
+func NewVirtual(inner Transport, tab *EpochTable) *Virtual {
+	if tab.Capacity() > inner.Size() {
+		panic(fmt.Sprintf("fabric: epoch table capacity %d exceeds transport size %d",
+			tab.Capacity(), inner.Size()))
+	}
+	return &Virtual{inner: inner, tab: tab}
+}
+
+// Table returns the epoch table driving the indirection.
+func (v *Virtual) Table() *EpochTable { return v.tab }
+
+// Epoch returns the table's generation counter. fabric.Coll and the
+// library worlds use it to re-resolve cached membership lazily at the
+// next collective after a remap or resize.
+func (v *Virtual) Epoch() uint64 { return v.tab.Epoch() }
+
+// Capacity returns the physical endpoint count of the inner transport's
+// slice this Virtual may ever address.
+func (v *Virtual) Capacity() int { return v.tab.Capacity() }
+
+// Size returns the current *logical* rank count.
+func (v *Virtual) Size() int { return v.tab.Ranks() }
+
+// Cost returns the inner transport's cost model.
+func (v *Virtual) Cost() CostModel { return v.inner.Cost() }
+
+// phys resolves a logical rank, passing wildcards through untouched.
+func (v *Virtual) phys(logical int) int {
+	if logical == AnySource {
+		return AnySource
+	}
+	return v.tab.Endpoint(logical)
+}
+
+// logicalize rewrites a delivered message's endpoints back to logical
+// ranks.
+func (v *Virtual) logicalize(m Message) Message {
+	m.Src = v.tab.Logical(m.Src)
+	m.Dst = v.tab.Logical(m.Dst)
+	return m
+}
+
+func (v *Virtual) Send(src, dst, tag int, data []byte) {
+	v.inner.Send(v.phys(src), v.phys(dst), tag, data)
+}
+
+func (v *Virtual) Recv(dst, src, tag int) Message {
+	return v.logicalize(v.inner.Recv(v.phys(dst), v.phys(src), tag))
+}
+
+func (v *Virtual) RecvAsync(dst, src, tag int, fn func(Message)) {
+	v.inner.RecvAsync(v.phys(dst), v.phys(src), tag, func(m Message) {
+		fn(v.logicalize(m))
+	})
+}
+
+func (v *Virtual) TryRecv(dst, src, tag int) (Message, bool) {
+	m, ok := v.inner.TryRecv(v.phys(dst), v.phys(src), tag)
+	if !ok {
+		return Message{}, false
+	}
+	return v.logicalize(m), true
+}
+
+func (v *Virtual) Probe(dst, src, tag int) (Message, bool) {
+	m, ok := v.inner.Probe(v.phys(dst), v.phys(src), tag)
+	if !ok {
+		return Message{}, false
+	}
+	return v.logicalize(m), true
+}
+
+func (v *Virtual) Put(src, dst, bytes int, apply, onDone func()) {
+	v.inner.Put(v.phys(src), v.phys(dst), bytes, apply, onDone)
+}
+
+func (v *Virtual) Get(src, dst, bytes int, apply, onDone func()) {
+	v.inner.Get(v.phys(src), v.phys(dst), bytes, apply, onDone)
+}
+
+func (v *Virtual) AllocTags(n int) int { return v.inner.AllocTags(n) }
+
+func (v *Virtual) SetTracer(tr *trace.Tracer) { v.inner.SetTracer(tr) }
+
+func (v *Virtual) Stats() (msgs, bytes int64) { return v.inner.Stats() }

@@ -109,6 +109,45 @@ func (s *Store) read(key string) ([]float64, bool) {
 // Drain waits for all in-flight writes (used by Finalize).
 func (s *Store) Drain() { s.writes.Wait() }
 
+// WriteBlob persists a blob synchronously (blocking for the modelled
+// latency), for driver-side protocols — the elastic resize path
+// redistributes per-rank state through the store between job phases,
+// outside any rank's runtime. Returns the device failure, if injected.
+func (s *Store) WriteBlob(key string, data []float64) error {
+	snapshot := make([]float64, len(data))
+	copy(snapshot, data)
+	s.delay(8 * len(snapshot))
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.writeErr != nil {
+		return s.writeErr
+	}
+	s.blobs[key] = snapshot
+	return nil
+}
+
+// ReadBlob fetches a blob synchronously (blocking for the modelled
+// latency); the returned slice is a private copy.
+func (s *Store) ReadBlob(key string) ([]float64, bool) {
+	return s.read(key)
+}
+
+// DeleteBlob removes a blob (e.g. a shrunk rank's checkpoint after its
+// state has been redistributed).
+func (s *Store) DeleteBlob(key string) {
+	s.mu.Lock()
+	delete(s.blobs, key)
+	s.mu.Unlock()
+}
+
+// RankKey names rank-owned state by *logical* rank. Keying checkpoints
+// by logical rank — never by fabric endpoint — is what lets a rank
+// killed on one endpoint restore onto a fresh one: the key survives the
+// remap because nothing in it identifies the hardware.
+func RankKey(logical int, name string) string {
+	return fmt.Sprintf("rank%d/%s", logical, name)
+}
+
 // Module is the checkpoint module bound to one rank's runtime.
 type Module struct {
 	store *Store

@@ -1,0 +1,216 @@
+package job
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/fabric"
+	"repro/internal/platform"
+)
+
+// Elastic jobs: phased execution over an epoch table, with migration
+// (kill → remap onto a fresh endpoint) and live resize (grow/shrink)
+// applied between phases — the collective boundaries where no traffic
+// is in flight. Library worlds are built once by the caller over a
+// fabric.Virtual and persist across phases; what is rebuilt per phase
+// is only the per-rank HiPER runtime, matching a real restart of the
+// failed process while the job object survives.
+
+// ElasticEvent is one scripted membership change, applied after the
+// named phase completes.
+type ElasticEvent struct {
+	// AfterPhase is the 0-based phase index this event follows.
+	AfterPhase int
+	// Kind is "kill" (fail Rank's endpoint and remap the rank onto a
+	// fresh one), "grow" (add Delta logical ranks), or "shrink" (drop
+	// the top Delta logical ranks).
+	Kind string
+	// Rank is the logical rank to kill (Kind "kill").
+	Rank int
+	// Delta is the rank-count change (Kind "grow"/"shrink").
+	Delta int
+}
+
+// ElasticSpec describes an elastic job.
+type ElasticSpec struct {
+	// WorkersPerRank sizes each rank's runtime (default 1).
+	WorkersPerRank int
+	// NVM gives every rank's platform model a node-local NVM place —
+	// required when the body checkpoints through hiperckpt.
+	NVM bool
+	// Watchdog, if non-nil, arms every rank's quiesce watchdog. Elastic
+	// phases additionally stamp the current epoch and phase into stall
+	// reports, so a wedged migration names where it stuck.
+	Watchdog *core.WatchdogConfig
+	// Table is the logical-rank → endpoint map shared with the
+	// fabric.Virtual the caller's worlds are built over.
+	Table *fabric.EpochTable
+	// Kill, if non-nil, is invoked with the condemned *physical*
+	// endpoint before a "kill" event's remap — typically Chaos.Kill, so
+	// the old endpoint is dead on the wire, not just unmapped.
+	Kill func(endpoint int)
+	// Phases is how many times the body runs (>= 1). Events apply
+	// between phases.
+	Phases int
+	// Events is the membership-change schedule.
+	Events []ElasticEvent
+	// OnEvent, if non-nil, observes each applied event. For "kill" it
+	// receives the old and fresh endpoints; -1/-1 otherwise. Workloads
+	// use it to drop the killed rank's in-process state (simulating the
+	// loss the checkpoint restore must repair) and to redistribute
+	// state across a resize.
+	OnEvent func(ev ElasticEvent, oldEndpoint, freshEndpoint int)
+	// AfterPhase, if non-nil, runs after each phase's runtimes shut
+	// down and before that phase's events apply — the collective
+	// boundary. Workload drivers verify phase results and reset shared
+	// scratch here; an error aborts the job.
+	AfterPhase func(phase int) error
+}
+
+// RunElastic runs spec.Phases phases of body. Each phase boots one
+// fresh runtime per current logical rank (setup runs per rank per
+// phase — module installation), launches body on every rank, joins the
+// per-rank errors exactly like Run, then applies the phase's scripted
+// events to the epoch table. A phase error aborts the job; event
+// application errors (e.g. remap with no spare endpoint) do too.
+//
+// The Proc handed to setup/body carries the elastic coordinates: the
+// stable logical Rank, the current physical Endpoint, the table Epoch,
+// the Phase index, and Restored — true on the phase right after this
+// rank was killed and remapped, telling the body to recover state from
+// its checkpoint instead of trusting in-memory remnants.
+func RunElastic(spec ElasticSpec, setup func(p *Proc) error, body func(p *Proc, c *core.Ctx)) error {
+	if spec.Table == nil {
+		return fmt.Errorf("job: elastic run needs an epoch table")
+	}
+	if spec.Phases <= 0 {
+		return fmt.Errorf("job: need at least 1 phase, got %d", spec.Phases)
+	}
+	if spec.WorkersPerRank <= 0 {
+		spec.WorkersPerRank = 1
+	}
+	restored := make(map[int]bool)
+	for phase := 0; phase < spec.Phases; phase++ {
+		if err := runElasticPhase(&spec, phase, restored, setup, body); err != nil {
+			return err
+		}
+		if spec.AfterPhase != nil {
+			if err := spec.AfterPhase(phase); err != nil {
+				return fmt.Errorf("job: after phase %d: %w", phase, err)
+			}
+		}
+		restored = make(map[int]bool)
+		for _, ev := range spec.Events {
+			if ev.AfterPhase != phase {
+				continue
+			}
+			oldEp, freshEp := -1, -1
+			switch ev.Kind {
+			case "kill":
+				oldEp = spec.Table.Endpoint(ev.Rank)
+				if spec.Kill != nil {
+					spec.Kill(oldEp)
+				}
+				var err error
+				_, freshEp, err = spec.Table.Remap(ev.Rank)
+				if err != nil {
+					return fmt.Errorf("job: phase %d: %w", phase, err)
+				}
+				restored[ev.Rank] = true
+			case "grow":
+				if _, err := spec.Table.Grow(ev.Delta); err != nil {
+					return fmt.Errorf("job: phase %d: %w", phase, err)
+				}
+			case "shrink":
+				if err := spec.Table.Shrink(ev.Delta); err != nil {
+					return fmt.Errorf("job: phase %d: %w", phase, err)
+				}
+			default:
+				return fmt.Errorf("job: phase %d: unknown elastic event kind %q", phase, ev.Kind)
+			}
+			if spec.OnEvent != nil {
+				spec.OnEvent(ev, oldEp, freshEp)
+			}
+		}
+	}
+	return nil
+}
+
+// runElasticPhase is one phase: Run's boot/launch/join/shutdown cycle
+// over the table's current membership, with elastic coordinates stamped
+// into each Proc and into the watchdog's stall labels.
+func runElasticPhase(spec *ElasticSpec, phase int, restored map[int]bool,
+	setup func(p *Proc) error, body func(p *Proc, c *core.Ctx)) error {
+	ranks := spec.Table.Ranks()
+	epoch := spec.Table.Epoch()
+	var opts *core.Options
+	if spec.Watchdog != nil {
+		opts = &core.Options{Watchdog: spec.Watchdog}
+	}
+	procs := make([]*Proc, ranks)
+	for r := 0; r < ranks; r++ {
+		var model *platform.Model
+		if spec.NVM {
+			var err error
+			model, err = platform.Generate(platform.MachineSpec{
+				Sockets: 1, CoresPerSocket: spec.WorkersPerRank, NVM: true, Interconnect: true,
+			})
+			if err != nil {
+				return fmt.Errorf("job: phase %d rank %d: %w", phase, r, err)
+			}
+		} else {
+			model = platform.Default(spec.WorkersPerRank)
+		}
+		rt, err := core.New(model, opts)
+		if err != nil {
+			return fmt.Errorf("job: phase %d rank %d: %w", phase, r, err)
+		}
+		rt.SetStallLabel(epoch, fmt.Sprintf("phase %d", phase))
+		procs[r] = &Proc{
+			Rank:     r,
+			RT:       rt,
+			Endpoint: spec.Table.Endpoint(r),
+			Epoch:    epoch,
+			Phase:    phase,
+			Restored: restored[r],
+		}
+		if setup != nil {
+			if err := setup(procs[r]); err != nil {
+				return fmt.Errorf("job: phase %d rank %d setup: %w", phase, r, err)
+			}
+		}
+	}
+	rankErrs := make([]error, ranks)
+	var wg sync.WaitGroup
+	for _, p := range procs {
+		wg.Add(1)
+		go func(p *Proc) {
+			defer wg.Done()
+			if err := p.RT.Launch(func(c *core.Ctx) { body(p, c) }); err != nil {
+				rankErrs[p.Rank] = fmt.Errorf("job: phase %d rank %d: %w", phase, p.Rank, err)
+			}
+		}(p)
+	}
+	wg.Wait()
+	for _, p := range procs {
+		p.RT.Shutdown()
+	}
+	return errors.Join(rankErrs...)
+}
+
+// RankSeed derives a deterministic per-rank RNG stream from a job seed,
+// a *logical* rank, and a caller-chosen stream label (typically the
+// phase index). Because nothing physical enters the mix, a rank that
+// migrated endpoints — or a rank recomputed at a different world size —
+// regenerates byte-identical data; that is what makes the elastic
+// byte-identical proofs possible. SplitMix64 finalizer over the mixed
+// words.
+func RankSeed(seed uint64, logical int, stream uint64) uint64 {
+	z := seed ^ (uint64(logical)+1)*0x9e3779b97f4a7c15 ^ (stream+1)*0xbf58476d1ce4e5b9
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

@@ -1,0 +1,103 @@
+package job
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fabric"
+)
+
+// TestRunElasticSchedule drives the full membership script — kill,
+// grow, shrink — and checks the elastic coordinates every phase's Procs
+// carry: ranks per phase, endpoints following the table, Restored set
+// exactly once on the killed rank, epochs advancing.
+func TestRunElasticSchedule(t *testing.T) {
+	tab := fabric.NewEpochTable(3, 8)
+	killed := -1
+
+	type seen struct {
+		endpoint int
+		epoch    uint64
+		restored bool
+	}
+	var mu sync.Mutex
+	phases := make([]map[int]seen, 4)
+
+	err := RunElastic(ElasticSpec{
+		Table:  tab,
+		Phases: 4,
+		Kill:   func(ep int) { killed = ep },
+		Events: []ElasticEvent{
+			{AfterPhase: 0, Kind: "kill", Rank: 1},
+			{AfterPhase: 1, Kind: "grow", Delta: 2},
+			{AfterPhase: 2, Kind: "shrink", Delta: 1},
+		},
+	}, nil, func(p *Proc, c *core.Ctx) {
+		mu.Lock()
+		if phases[p.Phase] == nil {
+			phases[p.Phase] = make(map[int]seen)
+		}
+		phases[p.Phase][p.Rank] = seen{endpoint: p.Endpoint, epoch: p.Epoch, restored: p.Restored}
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wantRanks := []int{3, 3, 5, 4}
+	wantEpoch := []uint64{0, 1, 2, 3}
+	for ph, m := range phases {
+		if len(m) != wantRanks[ph] {
+			t.Errorf("phase %d ran %d ranks, want %d", ph, len(m), wantRanks[ph])
+		}
+		for r, s := range m {
+			if s.epoch != wantEpoch[ph] {
+				t.Errorf("phase %d rank %d epoch %d, want %d", ph, r, s.epoch, wantEpoch[ph])
+			}
+			if wantRestored := ph == 1 && r == 1; s.restored != wantRestored {
+				t.Errorf("phase %d rank %d restored=%v", ph, r, s.restored)
+			}
+		}
+	}
+	if killed != 1 {
+		t.Errorf("Kill hook saw endpoint %d, want 1 (rank 1's pre-remap endpoint)", killed)
+	}
+	if got := phases[1][1].endpoint; got == 1 {
+		t.Errorf("rank 1 still on endpoint 1 after remap")
+	}
+	if got := phases[0][1].endpoint; got != 1 {
+		t.Errorf("rank 1 started on endpoint %d, want 1", got)
+	}
+}
+
+func TestRunElasticValidation(t *testing.T) {
+	if err := RunElastic(ElasticSpec{Phases: 1}, nil, func(*Proc, *core.Ctx) {}); err == nil {
+		t.Fatal("nil table must error")
+	}
+	tab := fabric.NewEpochTable(1, 1)
+	if err := RunElastic(ElasticSpec{Table: tab}, nil, func(*Proc, *core.Ctx) {}); err == nil {
+		t.Fatal("zero phases must error")
+	}
+	// A kill with no spare endpoint must surface the remap failure.
+	err := RunElastic(ElasticSpec{
+		Table:  tab,
+		Phases: 2,
+		Events: []ElasticEvent{{AfterPhase: 0, Kind: "kill", Rank: 0}},
+	}, nil, func(*Proc, *core.Ctx) {})
+	if err == nil {
+		t.Fatal("remap with exhausted pool must fail the job")
+	}
+}
+
+func TestRankSeedStability(t *testing.T) {
+	// Same (seed, rank, stream) → same value; any coordinate change →
+	// different stream. Physical placement never enters the mix.
+	a := RankSeed(99, 4, 2)
+	if a != RankSeed(99, 4, 2) {
+		t.Fatal("RankSeed not deterministic")
+	}
+	if a == RankSeed(99, 5, 2) || a == RankSeed(99, 4, 3) || a == RankSeed(100, 4, 2) {
+		t.Fatal("RankSeed collides across coordinates")
+	}
+}

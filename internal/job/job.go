@@ -13,10 +13,20 @@ import (
 	"repro/internal/platform"
 )
 
-// Proc is one simulated process (rank) of a job.
+// Proc is one simulated process (rank) of a job. Rank is the *logical*
+// rank — the stable identity elastic jobs preserve across migration.
+// The remaining fields are the elastic coordinates RunElastic stamps
+// (zero for plain Run): the physical fabric Endpoint currently carrying
+// this rank, the epoch-table generation and phase index this runtime
+// was booted in, and Restored, set on the phase right after this rank
+// was killed and remapped so the body knows to recover from checkpoint.
 type Proc struct {
-	Rank int
-	RT   *core.Runtime
+	Rank     int
+	RT       *core.Runtime
+	Endpoint int
+	Epoch    uint64
+	Phase    int
+	Restored bool
 }
 
 // Spec describes a job.
@@ -99,15 +109,28 @@ func Run(spec Spec, setup func(p *Proc) error, body func(p *Proc, c *core.Ctx)) 
 
 // RunFlat runs a non-HiPER SPMD job: body once per rank on a plain
 // goroutine (the "flat" and hybrid baseline variants, which do not use the
-// HiPER runtime at all).
-func RunFlat(ranks int, body func(rank int)) {
+// HiPER runtime at all). Error handling matches Run: every rank runs to
+// completion, a panicking rank is contained and converted to that rank's
+// error, and the per-rank errors come back joined, each tagged with its
+// rank.
+func RunFlat(ranks int, body func(rank int) error) error {
+	if ranks <= 0 {
+		return fmt.Errorf("job: need at least 1 rank, got %d", ranks)
+	}
+	rankErrs := make([]error, ranks)
 	var wg sync.WaitGroup
 	for r := 0; r < ranks; r++ {
 		wg.Add(1)
 		go func(r int) {
 			defer wg.Done()
-			body(r)
+			// core.Contain is the containment barrier for non-HiPER rank
+			// goroutines: a panicking rank fails like a crashed process —
+			// its own joined error — instead of killing the whole job.
+			if err := core.Contain(func() error { return body(r) }); err != nil {
+				rankErrs[r] = fmt.Errorf("job: rank %d: %w", r, err)
+			}
 		}(r)
 	}
 	wg.Wait()
+	return errors.Join(rankErrs...)
 }

@@ -72,9 +72,37 @@ func TestRunWithGPUPlatform(t *testing.T) {
 
 func TestRunFlat(t *testing.T) {
 	var n atomic.Int64
-	RunFlat(8, func(r int) { n.Add(int64(r)) })
+	if err := RunFlat(8, func(r int) error { n.Add(int64(r)); return nil }); err != nil {
+		t.Fatal(err)
+	}
 	if n.Load() != 28 {
 		t.Fatalf("sum of ranks = %d", n.Load())
+	}
+}
+
+func TestRunFlatCollectsRankErrors(t *testing.T) {
+	var ran atomic.Int64
+	err := RunFlat(3, func(r int) error {
+		ran.Add(1)
+		switch r {
+		case 1:
+			return errors.New("rank 1 failed")
+		case 2:
+			panic("rank 2 exploded")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("failing ranks returned nil")
+	}
+	if ran.Load() != 3 {
+		t.Fatalf("only %d ranks ran to completion", ran.Load())
+	}
+	if !strings.Contains(err.Error(), "rank 1") || !strings.Contains(err.Error(), "rank 2") {
+		t.Errorf("error does not name both failing ranks: %v", err)
+	}
+	if strings.Contains(err.Error(), "rank 0:") {
+		t.Errorf("healthy rank blamed: %v", err)
 	}
 }
 

@@ -59,12 +59,19 @@ func NewWorld(n int, cost simnet.CostModel) *World {
 // endpoint. Several library worlds (MPI, SHMEM, UPC++) may share one
 // transport; their traffic then shares links, congestion windows, and
 // locality domains.
+//
+// Rank handles are preallocated at the transport's capacity (which for
+// an elastic fabric.Virtual exceeds its current Size), and Comm.Size is
+// resolved through the transport on every call — so a world built over
+// a Virtual survives live resize: after Grow, the handles for the new
+// logical ranks already exist, and every rank's view of the world size
+// updates at the next epoch boundary without rebuilding the world.
 func NewWorldOver(tr fabric.Transport) *World {
-	n := tr.Size()
 	w := &World{tr: tr, coll: fabric.NewColl(tr)}
-	w.comms = make([]*Comm, n)
-	for r := 0; r < n; r++ {
-		w.comms[r] = &Comm{world: w, rank: r, size: n, mode: ThreadMultiple}
+	slots := fabric.CapacityOf(tr)
+	w.comms = make([]*Comm, slots)
+	for r := 0; r < slots; r++ {
+		w.comms[r] = &Comm{world: w, rank: r, mode: ThreadMultiple}
 	}
 	return w
 }
@@ -83,7 +90,6 @@ func (w *World) Comm(r int) *Comm { return w.comms[r] }
 type Comm struct {
 	world *World
 	rank  int
-	size  int
 
 	mode    ThreadMode
 	inCall  atomic.Int32
@@ -93,8 +99,9 @@ type Comm struct {
 // Rank returns the calling process's rank.
 func (c *Comm) Rank() int { return c.rank }
 
-// Size returns the communicator size.
-func (c *Comm) Size() int { return c.size }
+// Size returns the communicator size, resolved through the transport so
+// it tracks live resize on an elastic fabric.
+func (c *Comm) Size() int { return c.world.Size() }
 
 // InitThread sets the thread support level, as MPI_Init_thread would.
 func (c *Comm) InitThread(mode ThreadMode) { c.mode = mode }

@@ -14,10 +14,10 @@ type ByteArray struct {
 // AllocBytes allocates a symmetric byte array of length n per PE.
 func (w *World) AllocBytes(n int) *ByteArray {
 	a := &ByteArray{w: w}
-	a.data = make([][]byte, w.n)
-	a.mus = make([]sync.Mutex, w.n)
-	a.cond = make([]*sync.Cond, w.n)
-	for r := 0; r < w.n; r++ {
+	a.data = make([][]byte, w.slots)
+	a.mus = make([]sync.Mutex, w.slots)
+	a.cond = make([]*sync.Cond, w.slots)
+	for r := 0; r < w.slots; r++ {
 		a.data[r] = make([]byte, n)
 		a.cond[r] = sync.NewCond(&a.mus[r])
 	}
@@ -68,10 +68,10 @@ type Float64Array struct {
 // AllocFloat64 allocates a symmetric float64 array of length n per PE.
 func (w *World) AllocFloat64(n int) *Float64Array {
 	a := &Float64Array{w: w}
-	a.data = make([][]float64, w.n)
-	a.mus = make([]sync.Mutex, w.n)
-	a.cond = make([]*sync.Cond, w.n)
-	for r := 0; r < w.n; r++ {
+	a.data = make([][]float64, w.slots)
+	a.mus = make([]sync.Mutex, w.slots)
+	a.cond = make([]*sync.Cond, w.slots)
+	for r := 0; r < w.slots; r++ {
 		a.data[r] = make([]float64, n)
 		a.cond[r] = sync.NewCond(&a.mus[r])
 	}

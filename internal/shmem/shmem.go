@@ -64,10 +64,15 @@ func (c Cmp) Eval(a, b int64) bool {
 
 // World is an in-process SHMEM job: n PEs sharing a symmetric heap.
 type World struct {
-	n    int
-	tr   fabric.Transport
-	coll *fabric.Coll
-	pes  []*PE
+	// slots is the preallocation width for per-PE structures: the
+	// transport's capacity (elastic fabrics keep spare endpoints), not
+	// its current size. Symmetric arrays allocate one instance per slot
+	// so live resize never reallocates — appending would invalidate the
+	// sync.Cond pointers into the mutex array.
+	slots int
+	tr    fabric.Transport
+	coll  *fabric.Coll
+	pes   []*PE
 }
 
 // NewWorld creates an n-PE job over a simulated interconnect with the
@@ -83,16 +88,17 @@ func NewWorld(n int, cost simnet.CostModel) *World {
 // endpoint. Several library worlds may share one transport; their traffic
 // then shares links, congestion windows, and locality domains.
 func NewWorldOver(tr fabric.Transport) *World {
-	w := &World{n: tr.Size(), tr: tr, coll: fabric.NewColl(tr)}
-	w.pes = make([]*PE, w.n)
+	w := &World{slots: fabric.CapacityOf(tr), tr: tr, coll: fabric.NewColl(tr)}
+	w.pes = make([]*PE, w.slots)
 	for i := range w.pes {
 		w.pes[i] = &PE{w: w, rank: i}
 	}
 	return w
 }
 
-// Size returns the number of PEs (shmem_n_pes).
-func (w *World) Size() int { return w.n }
+// Size returns the number of PEs (shmem_n_pes), resolved through the
+// transport so it tracks live resize on an elastic fabric.
+func (w *World) Size() int { return w.tr.Size() }
 
 // Transport exposes the underlying transport (for diagnostics and for
 // composing further library worlds over the same endpoints).
@@ -112,7 +118,7 @@ type PE struct {
 func (p *PE) Rank() int { return p.rank }
 
 // Size returns the job size (shmem_n_pes).
-func (p *PE) Size() int { return p.w.n }
+func (p *PE) Size() int { return p.w.Size() }
 
 // World returns the underlying job.
 func (p *PE) World() *World { return p.w }
@@ -183,13 +189,15 @@ type Int64Array struct {
 }
 
 // AllocInt64 allocates a symmetric int64 array of length n per PE
-// (shmem_malloc), zero-initialized.
+// (shmem_malloc), zero-initialized. Instances are allocated for every
+// slot (transport capacity), so PEs added by a live grow find their
+// instance already in place.
 func (w *World) AllocInt64(n int) *Int64Array {
 	a := &Int64Array{w: w}
-	a.data = make([][]int64, w.n)
-	a.mus = make([]sync.Mutex, w.n)
-	a.cond = make([]*sync.Cond, w.n)
-	for r := 0; r < w.n; r++ {
+	a.data = make([][]int64, w.slots)
+	a.mus = make([]sync.Mutex, w.slots)
+	a.cond = make([]*sync.Cond, w.slots)
+	for r := 0; r < w.slots; r++ {
 		a.data[r] = make([]int64, n)
 		a.cond[r] = sync.NewCond(&a.mus[r])
 	}

@@ -172,7 +172,7 @@ func RunMPICUDA(cfg Config) (Result, error) {
 	sums := make([]float64, cfg.Ranks)
 
 	start := time.Now()
-	job.RunFlat(cfg.Ranks, func(r int) {
+	err := job.RunFlat(cfg.Ranks, func(r int) error {
 		comm := world.Comm(r)
 		dev := cuda.NewDevice(cfg.GPU)
 		a := dev.MustMalloc(slabSize(cfg))
@@ -247,8 +247,12 @@ func RunMPICUDA(cfg Config) (Result, error) {
 		final := make([]float64, slabSize(cfg))
 		dev.MemcpyD2H(final, in, 0, slabSize(cfg))
 		sums[r] = checksum(cfg, final)
+		return nil
 	})
 	elapsed := time.Since(start)
+	if err != nil {
+		return Result{}, err
+	}
 	var total float64
 	for _, s := range sums {
 		total += s

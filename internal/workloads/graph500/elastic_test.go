@@ -1,0 +1,78 @@
+package graph500
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/fabric"
+	"repro/internal/job"
+)
+
+func elasticTestConfig() ElasticConfig {
+	return ElasticConfig{
+		Graph:    GraphConfig{Scale: 8, EdgeFactor: 8, Seed: 5},
+		Ranks:    3,
+		Capacity: 8,
+		Phases:   4,
+		Plan:     fabric.FaultPlan{Seed: 42, Drop: 0.05, Dup: 0.05},
+		Rel: fabric.RelConfig{
+			RetryBase:    50 * time.Microsecond,
+			RetryCap:     200 * time.Microsecond,
+			MaxAttempts:  12,
+			DeathSilence: 100 * time.Millisecond,
+		},
+		Events: []job.ElasticEvent{
+			{AfterPhase: 0, Kind: "kill", Rank: 1},
+			{AfterPhase: 1, Kind: "grow", Delta: 2},
+			{AfterPhase: 2, Kind: "shrink", Delta: 1},
+		},
+		Workers: 1,
+	}
+}
+
+// TestElasticBFSSurvivesChaosSchedule is the ISSUE's end-to-end Graph500
+// proof: kill → checkpoint-restore onto a fresh endpoint, one grow, one
+// shrink, each at a collective boundary, under 5% drop + 5% dup chaos,
+// with every phase's depth array verified byte-identical to the
+// sequential oracle inside RunElastic.
+func TestElasticBFSSurvivesChaosSchedule(t *testing.T) {
+	cfg := elasticTestConfig()
+	res, err := RunElastic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Digests) != cfg.Phases {
+		t.Fatalf("verified %d phases, want %d", len(res.Digests), cfg.Phases)
+	}
+	if len(res.Events) != len(cfg.Events) {
+		t.Fatalf("applied %d events, want %d", len(res.Events), len(cfg.Events))
+	}
+	if res.Visited == 0 {
+		t.Fatal("no vertices visited")
+	}
+}
+
+// TestElasticBFSDeterministicAcrossMembership: a static clean-wire run at
+// a different rank count produces the same per-phase depth digests — the
+// BFS result is a property of the graph, not of membership or chaos.
+func TestElasticBFSDeterministicAcrossMembership(t *testing.T) {
+	a := elasticTestConfig()
+	b := elasticTestConfig()
+	b.Events = nil
+	b.Ranks = 4
+	b.Plan = fabric.FaultPlan{}
+	ra, err := RunElastic(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := RunElastic(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ph := range ra.Digests {
+		if ra.Digests[ph] != rb.Digests[ph] {
+			t.Fatalf("phase %d digests diverge across membership: %#x vs %#x",
+				ph, ra.Digests[ph], rb.Digests[ph])
+		}
+	}
+}

@@ -77,7 +77,7 @@ func RunReference(cfg RunConfig) (Result, error) {
 	levels := 0
 
 	start := time.Now()
-	job.RunFlat(cfg.Ranks, func(r int) {
+	err := job.RunFlat(cfg.Ranks, func(r int) error {
 		pe := world.PE(r)
 		st := newBFSState(cfg.Graph, cfg.Ranks, r)
 		states[r] = st
@@ -119,8 +119,12 @@ func RunReference(cfg RunConfig) (Result, error) {
 				break
 			}
 		}
+		return nil
 	})
 	elapsed := time.Since(start)
+	if err != nil {
+		return Result{}, err
+	}
 
 	parent, depth, visited := gatherResult(cfg.Graph, states)
 	if err := ValidateTree(cfg.Graph, cfg.Root, parent, depth); err != nil {

@@ -19,11 +19,14 @@ package hpgmg
 import "math"
 
 // level is one multigrid level's local slab: interior nz×ny×nx cells with
-// one ghost layer in every direction (x/y ghosts hold the zero Dirichlet
-// boundary; z ghosts are exchanged with neighbour ranks).
+// one ghost layer in every direction (x/y ghosts hold the reflected
+// Dirichlet boundary — see reflectGhosts; z ghosts are exchanged with
+// neighbour ranks, except on the global boundary slabs where they are
+// reflected too).
 type level struct {
 	nx, ny, nz int
 	h          float64
+	zLo, zHi   bool // slab touches the global z boundary at its low/high end
 	u, f, res  []float64
 	scratch    []float64
 }
@@ -62,6 +65,44 @@ func (l *level) copyPlaneIn(arr []float64, z int, vals []float64) {
 		row := l.at(z, y, 1)
 		copy(arr[row:row+l.nx], vals[i:i+l.nx])
 		i += l.nx
+	}
+}
+
+// reflectGhosts imposes the homogeneous Dirichlet condition on the global
+// boundary faces by odd reflection: ghost = -interior places u = 0 exactly
+// on the cell face, independent of the mesh width. (A zero ghost instead
+// puts the boundary at the ghost-cell center, h/2 *outside* the face — and
+// since h doubles per level, every coarse level then solves a slightly
+// larger domain than the fine one, so the coarse-grid correction is
+// inconsistent; at N=32 the accumulated mismatch makes V-cycles diverge.)
+// x and y faces are always global boundaries (the domain is decomposed in
+// z only); z faces are reflected only on the boundary slabs — interior z
+// ghosts hold neighbour-rank planes installed by the halo exchange and
+// must not be touched.
+func (l *level) reflectGhosts(arr []float64) {
+	for z := 1; z <= l.nz; z++ {
+		for y := 1; y <= l.ny; y++ {
+			arr[l.at(z, y, 0)] = -arr[l.at(z, y, 1)]
+			arr[l.at(z, y, l.nx+1)] = -arr[l.at(z, y, l.nx)]
+		}
+		for x := 0; x <= l.nx+1; x++ {
+			arr[l.at(z, 0, x)] = -arr[l.at(z, 1, x)]
+			arr[l.at(z, l.ny+1, x)] = -arr[l.at(z, l.ny, x)]
+		}
+	}
+	if l.zLo {
+		for y := 0; y <= l.ny+1; y++ {
+			for x := 0; x <= l.nx+1; x++ {
+				arr[l.at(0, y, x)] = -arr[l.at(1, y, x)]
+			}
+		}
+	}
+	if l.zHi {
+		for y := 0; y <= l.ny+1; y++ {
+			for x := 0; x <= l.nx+1; x++ {
+				arr[l.at(l.nz+1, y, x)] = -arr[l.at(l.nz, y, x)]
+			}
+		}
 	}
 }
 
@@ -145,7 +186,9 @@ func (l *level) restrictTo(coarse *level) {
 // prolongFrom adds the coarse correction into this level's u by trilinear
 // (cell-centered) interpolation: each fine cell blends its parent coarse
 // cell (weight 3/4 per axis) with the nearest coarse neighbour (1/4 per
-// axis). Coarse ghost cells are zero, which imposes the homogeneous
+// axis). The caller refreshes coarse ghosts first (halo exchange +
+// reflectGhosts), so boundary-adjacent fine cells interpolate against the
+// odd reflection and the correction vanishes on the face, matching the
 // Dirichlet condition the error equation satisfies.
 func (l *level) prolongFrom(coarse *level) {
 	axis := func(fine int) (parent, neigh int, wp, wn float64) {
@@ -188,11 +231,15 @@ func (l *level) prolongFrom(coarse *level) {
 
 // buildHierarchy constructs the per-rank level stack: the fine level plus
 // coarser levels halving every dimension while the local slab stays
-// divisible and meaningfully sized.
-func buildHierarchy(nx, ny, nz int, h float64) []*level {
+// divisible and meaningfully sized. rank/ranks mark which slabs own the
+// global z boundary faces (reflectGhosts needs to know).
+func buildHierarchy(nx, ny, nz int, h float64, rank, ranks int) []*level {
 	var levels []*level
 	for {
-		levels = append(levels, newLevel(nx, ny, nz, h))
+		l := newLevel(nx, ny, nz, h)
+		l.zLo = rank == 0
+		l.zHi = rank == ranks-1
+		levels = append(levels, l)
 		if nx%2 != 0 || ny%2 != 0 || nz%2 != 0 || nx < 4 || ny < 4 || nz < 4 {
 			break
 		}

@@ -72,9 +72,16 @@ type engine interface {
 	allreduceSum(c *core.Ctx, v float64) float64
 }
 
+// haloFill refreshes arr's ghost layer: neighbour planes via the engine's
+// exchange, then the odd Dirichlet reflection on global boundary faces.
+func haloFill(c *core.Ctx, e engine, li int, l *level, arr []float64) {
+	e.exchange(c, li, l, arr)
+	l.reflectGhosts(arr)
+}
+
 // smooth performs one weighted-Jacobi sweep with a fresh halo.
 func smooth(c *core.Ctx, e engine, li int, l *level) {
-	e.exchange(c, li, l, l.u)
+	haloFill(c, e, li, l, l.u)
 	e.planes(c, l, l.smoothPlane)
 	e.planes(c, l, l.commitSmoothPlane)
 }
@@ -91,12 +98,12 @@ func vcycle(c *core.Ctx, e engine, levels []*level, li int) {
 	for s := 0; s < nu1; s++ {
 		smooth(c, e, li, l)
 	}
-	e.exchange(c, li, l, l.u)
+	haloFill(c, e, li, l, l.u)
 	e.planes(c, l, l.residualPlane)
 	l.restrictTo(levels[li+1])
 	vcycle(c, e, levels, li+1)
 	// Trilinear prolongation reads coarse ghost cells at slab boundaries.
-	e.exchange(c, li+1, levels[li+1], levels[li+1].u)
+	haloFill(c, e, li+1, levels[li+1], levels[li+1].u)
 	l.prolongFrom(levels[li+1])
 	for s := 0; s < nu2; s++ {
 		smooth(c, e, li, l)
@@ -108,7 +115,7 @@ func vcycle(c *core.Ctx, e engine, levels []*level, li int) {
 // identical rounding.
 func residualNorm(c *core.Ctx, e engine, levels []*level) float64 {
 	l := levels[0]
-	e.exchange(c, 0, l, l.u)
+	haloFill(c, e, 0, l, l.u)
 	e.planes(c, l, l.residualPlane)
 	var local float64
 	for z := 1; z <= l.nz; z++ {
@@ -205,13 +212,17 @@ func RunReference(cfg Config) (Result, error) {
 	hists := make([][]float64, cfg.Ranks)
 
 	start := time.Now()
-	job.RunFlat(cfg.Ranks, func(r int) {
-		levels := buildHierarchy(cfg.N, cfg.N, cfg.NZ, 1.0/float64(cfg.N+1))
+	err := job.RunFlat(cfg.Ranks, func(r int) error {
+		levels := buildHierarchy(cfg.N, cfg.N, cfg.NZ, 1.0/float64(cfg.N+1), r, cfg.Ranks)
 		initRHS(levels[0], r, cfg.Ranks)
 		e := newRefEngine(world.Comm(r), omp.NewTeam(cfg.Workers), r, cfg.Ranks)
 		hists[r] = solve(nil, e, levels, cfg.Cycles)
+		return nil
 	})
 	elapsed := time.Since(start)
+	if err != nil {
+		return Result{}, err
+	}
 	return checkResult("mpi+omp", cfg, hists, elapsed)
 }
 
@@ -310,7 +321,7 @@ func RunHiPER(cfg Config) (Result, error) {
 
 	// Pre-compute the level shapes (identical on every rank) and allocate
 	// the symmetric ghost arrays.
-	shapes := buildHierarchy(cfg.N, cfg.N, cfg.NZ, 1.0/float64(cfg.N+1))
+	shapes := buildHierarchy(cfg.N, cfg.N, cfg.NZ, 1.0/float64(cfg.N+1), 0, cfg.Ranks)
 	ghosts := make([]*upcxx.SharedArray, len(shapes))
 	ctrs := make([]*upcxx.SharedArray, len(shapes))
 	for i, l := range shapes {
@@ -335,7 +346,7 @@ func RunHiPER(cfg Config) (Result, error) {
 		},
 		func(p *job.Proc, c *core.Ctx) {
 			r := p.Rank
-			levels := buildHierarchy(cfg.N, cfg.N, cfg.NZ, 1.0/float64(cfg.N+1))
+			levels := buildHierarchy(cfg.N, cfg.N, cfg.NZ, 1.0/float64(cfg.N+1), r, cfg.Ranks)
 			initRHS(levels[0], r, cfg.Ranks)
 			grain := levels[0].nz / (2 * cfg.Workers)
 			if grain < 1 {

@@ -1,0 +1,92 @@
+package isx
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/fabric"
+	"repro/internal/job"
+)
+
+func elasticTestConfig() ElasticConfig {
+	return ElasticConfig{
+		Streams:       8,
+		KeysPerStream: 256,
+		Ranks:         3,
+		Capacity:      8,
+		Phases:        4,
+		Seed:          1234,
+		Plan:          fabric.FaultPlan{Seed: 42, Drop: 0.05, Dup: 0.05},
+		Rel: fabric.RelConfig{
+			RetryBase:    50 * time.Microsecond,
+			RetryCap:     200 * time.Microsecond,
+			MaxAttempts:  12,
+			DeathSilence: 100 * time.Millisecond,
+		},
+		Events: []job.ElasticEvent{
+			{AfterPhase: 0, Kind: "kill", Rank: 1},
+			{AfterPhase: 1, Kind: "grow", Delta: 2},
+			{AfterPhase: 2, Kind: "shrink", Delta: 1},
+		},
+		Workers: 1,
+	}
+}
+
+// TestElasticSortSurvivesChaosSchedule is the ISSUE's end-to-end ISx
+// proof: the scripted schedule — kill rank 1 (checkpoint-restore onto a
+// fresh endpoint), grow by 2, shrink by 1, each at a collective
+// boundary — under 5% drop + 5% dup chaos on every link, with every
+// phase's globally-sorted sequence verified byte-identical to a
+// fabric-free reference inside RunElastic.
+func TestElasticSortSurvivesChaosSchedule(t *testing.T) {
+	cfg := elasticTestConfig()
+	res, err := RunElastic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Digests) != cfg.Phases {
+		t.Fatalf("verified %d phases, want %d", len(res.Digests), cfg.Phases)
+	}
+	wantKeys := int64(cfg.Phases * cfg.Streams * cfg.KeysPerStream)
+	if res.TotalKeys != wantKeys {
+		t.Fatalf("sorted %d keys, want %d", res.TotalKeys, wantKeys)
+	}
+	if len(res.Events) != len(cfg.Events) {
+		t.Fatalf("applied %d events, want %d", len(res.Events), len(cfg.Events))
+	}
+	// Every phase digest must match a fresh reference computation —
+	// RunElastic already enforced this; recheck one phase here so the
+	// test fails loudly if the internal check is ever weakened.
+	maxKey := int64(cfg.Streams * cfg.KeysPerStream)
+	for ph, d := range res.Digests {
+		if want := referenceSortDigest(cfg, ph, maxKey); d != want {
+			t.Fatalf("phase %d digest %#x != reference %#x", ph, d, want)
+		}
+	}
+}
+
+// TestElasticSortDeterministicAcrossMembership: the same config with a
+// DIFFERENT schedule (or none) yields the same per-phase digests — the
+// sorted output is a function of the logical streams only, never of
+// membership history, endpoints, or chaos.
+func TestElasticSortDeterministicAcrossMembership(t *testing.T) {
+	a := elasticTestConfig()
+	b := elasticTestConfig()
+	b.Events = nil              // static run
+	b.Ranks = 4                 // different membership entirely
+	b.Plan = fabric.FaultPlan{} // clean wire
+	ra, err := RunElastic(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := RunElastic(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ph := range ra.Digests {
+		if ra.Digests[ph] != rb.Digests[ph] {
+			t.Fatalf("phase %d digests diverge across membership: %#x vs %#x",
+				ph, ra.Digests[ph], rb.Digests[ph])
+		}
+	}
+}

@@ -158,10 +158,9 @@ func RunFlat(cfg Config) (Result, error) {
 	bucketSize := int64(n)
 	world := shmem.NewWorld(npes, cfg.Cost)
 	ex := newExchange(world, int(float64(n)*cfg.slack()))
-	errs := make([]error, npes)
 
 	start := time.Now()
-	job.RunFlat(npes, func(r int) {
+	err := job.RunFlat(npes, func(r int) error {
 		pe := world.PE(r)
 		keys := genKeys(cfg.Seed, r, n, maxKey)
 		chunks, _ := bucketizeSeq(keys, npes, bucketSize)
@@ -177,13 +176,11 @@ func RunFlat(cfg Config) (Result, error) {
 		cnt := int(ex.recvCnt.Local(r)[0])
 		mine := ex.recvBuf.Local(r)[:cnt]
 		countingSort(mine, int64(r)*bucketSize, bucketSize)
-		errs[r] = verifyBucket(r, mine, bucketSize)
+		return verifyBucket(r, mine, bucketSize)
 	})
 	elapsed := time.Since(start)
-	for _, err := range errs {
-		if err != nil {
-			return Result{}, err
-		}
+	if err != nil {
+		return Result{}, err
 	}
 	if got := ex.total.Local(0)[0]; got != int64(npes)*int64(n) {
 		return Result{}, fmt.Errorf("isx: flat lost keys: %d != %d", got, int64(npes)*int64(n))
@@ -206,10 +203,9 @@ func RunHybridOMP(cfg Config) (Result, error) {
 	bucketSize := int64(nPerRank)
 	world := shmem.NewWorld(ranks, cfg.Cost)
 	ex := newExchange(world, int(float64(nPerRank)*cfg.slack()))
-	errs := make([]error, ranks)
 
 	start := time.Now()
-	job.RunFlat(ranks, func(r int) {
+	err := job.RunFlat(ranks, func(r int) error {
 		pe := world.PE(r)
 		team := omp.NewTeam(cfg.Threads)
 		keys := genKeys(cfg.Seed, r, nPerRank, maxKey)
@@ -241,13 +237,11 @@ func RunHybridOMP(cfg Config) (Result, error) {
 		cnt := int(ex.recvCnt.Local(r)[0])
 		mine := ex.recvBuf.Local(r)[:cnt]
 		parallelCountingSort(team, mine, int64(r)*bucketSize, bucketSize)
-		errs[r] = verifyBucket(r, mine, bucketSize)
+		return verifyBucket(r, mine, bucketSize)
 	})
 	elapsed := time.Since(start)
-	for _, err := range errs {
-		if err != nil {
-			return Result{}, err
-		}
+	if err != nil {
+		return Result{}, err
 	}
 	total := int64(ranks) * int64(nPerRank)
 	if got := ex.total.Local(0)[0]; got != total {

@@ -116,10 +116,9 @@ func RunSHMEMOMP(cfg RunConfig) (Result, error) {
 	world := shmem.NewWorld(cfg.Ranks, cfg.Cost)
 	dq := newDistQueue(world, cfg.Tree, cfg.QueueCap)
 	dq.seed()
-	errs := make([]error, cfg.Ranks)
 
 	start := time.Now()
-	job.RunFlat(cfg.Ranks, func(r int) {
+	err := job.RunFlat(cfg.Ranks, func(r int) error {
 		pe := world.PE(r)
 		team := omp.NewTeam(cfg.Threads)
 		rng := uint64(r + 1)
@@ -148,20 +147,18 @@ func RunSHMEMOMP(cfg RunConfig) (Result, error) {
 			if len(pool) > cfg.LocalMax {
 				surplus := popBatch(&pool, len(pool)-cfg.LocalMax/2)
 				if err := dq.release(pe, surplus); err != nil {
-					errs[r] = err
-					return
+					return err
 				}
 			}
 			processed += int64(len(batch))
 			dq.updateInflight(pe, int64(len(children))-int64(len(batch)))
 		}
 		dq.counted.Local(r)[0] = processed
+		return nil
 	})
 	elapsed := time.Since(start)
-	for _, err := range errs {
-		if err != nil {
-			return Result{}, err
-		}
+	if err != nil {
+		return Result{}, err
 	}
 	return finish("shmem+omp", cfg, dq, elapsed)
 }
@@ -178,10 +175,9 @@ func RunSHMEMOMPTasks(cfg RunConfig) (Result, error) {
 	world := shmem.NewWorld(cfg.Ranks, cfg.Cost)
 	dq := newDistQueue(world, cfg.Tree, cfg.QueueCap)
 	dq.seed()
-	errs := make([]error, cfg.Ranks)
 
 	start := time.Now()
-	job.RunFlat(cfg.Ranks, func(r int) {
+	err := job.RunFlat(cfg.Ranks, func(r int) error {
 		pe := world.PE(r)
 		team := omp.NewTeam(cfg.Threads)
 		rng := uint64(r + 1)
@@ -231,8 +227,7 @@ func RunSHMEMOMPTasks(cfg RunConfig) (Result, error) {
 			// Region fully drained (the coarse sync): only now may the
 			// rank talk to SHMEM again.
 			if err := dq.release(pe, overflow); err != nil {
-				errs[r] = err
-				return
+				return err
 			}
 			processed += regionProcessed
 			// Net in-flight delta: overflow pushed minus batch consumed;
@@ -240,12 +235,11 @@ func RunSHMEMOMPTasks(cfg RunConfig) (Result, error) {
 			dq.updateInflight(pe, int64(len(overflow))-int64(len(batch)))
 		}
 		dq.counted.Local(r)[0] = processed
+		return nil
 	})
 	elapsed := time.Since(start)
-	for _, err := range errs {
-		if err != nil {
-			return Result{}, err
-		}
+	if err != nil {
+		return Result{}, err
 	}
 	return finish("shmem+omp-tasks", cfg, dq, elapsed)
 }
