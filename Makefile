@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check lint race chaos bench-smoke bench-sched bench-trace bench-comm bench-comm-gate bench-policy bench-elastic
+.PHONY: check lint race chaos bench-smoke bench-sched bench-trace bench-comm bench-comm-gate bench-policy bench-elastic bench-supervise
 
 ## check: the tier-1 gate — vet, then the project linter, then build and
 ## the full test suite.
@@ -27,6 +27,7 @@ bench-smoke:
 	$(GO) run ./cmd/hiper-bench -commgate BENCH_comm.json
 	$(GO) run ./cmd/hiper-bench -policygate BENCH_scheduler.json
 	$(GO) run ./cmd/hiper-bench -elasticgate BENCH_elastic.json
+	$(GO) run ./cmd/hiper-bench -supervisegate BENCH_supervise.json
 
 ## bench-comm-gate: rerun ping-pong + fanin-4to1 at quick scale and fail
 ## if any ns/op regresses >3x vs the committed BENCH_comm.json — loose
@@ -64,9 +65,25 @@ bench-comm:
 bench-elastic:
 	$(GO) run ./cmd/hiper-bench -elastic -full -elasticout BENCH_elastic.json
 
-## chaos: fault-injection gate — every chaos/resilience test (deterministic
-## seeded fault plans over the Reliable layer) plus a quick resilience
-## benchmark pass that certifies the fan-out completes correctly under loss.
+## bench-supervise: regenerate the committed BENCH_supervise.json — both
+## workloads (ISx, Graph500 BFS) under unscripted seeded kills with
+## phi-accrual supervision, at a clean wire and at 5% drop+dup:
+## detection latency, MTTR, and the completed-work ratio. Every run
+## verifies committed phases byte-identical.
+bench-supervise:
+	$(GO) run ./cmd/hiper-bench -supervise -superviseout BENCH_supervise.json
+
+## chaos: fault-injection gate — every chaos/resilience/self-healing test
+## (deterministic seeded fault plans over the Reliable layer, plus the
+## detector and supervised-recovery suites) across a seed matrix: tests
+## read HIPER_CHAOS_SEED so the same suite replays under each seed, and
+## the seeds live here — not in the tests — so widening the matrix is a
+## one-line change. Ends with a quick resilience benchmark pass that
+## certifies the fan-out completes correctly under loss.
+CHAOS_SEEDS ?= 42 7 1301
 chaos:
-	$(GO) test -count=1 -run 'Chaos|Resilience|Reliable|Watchdog|Stall' ./...
+	@for seed in $(CHAOS_SEEDS); do \
+		echo "== chaos seed $$seed =="; \
+		HIPER_CHAOS_SEED=$$seed $(GO) test -count=1 -run 'Chaos|Resilience|Reliable|Watchdog|Stall|Detector|Supervise|Evict|KillPlan' ./... || exit 1; \
+	done
 	$(GO) run ./cmd/hiper-bench -chaos -chaosout /tmp/BENCH_resilience.smoke.json

@@ -14,6 +14,8 @@
 //	hiper-bench -chaos [-full] [-chaosout BENCH_resilience.json]
 //	hiper-bench -elastic [-full] [-elasticout BENCH_elastic.json]
 //	hiper-bench -elasticgate BENCH_elastic.json
+//	hiper-bench -supervise [-full] [-superviseout BENCH_supervise.json]
+//	hiper-bench -supervisegate BENCH_supervise.json
 //	hiper-bench -trace out.json [-workers N]
 //	hiper-bench -tracebench BENCH_trace.json [-full] [-workers N]
 package main
@@ -47,6 +49,9 @@ func main() {
 	elastic := flag.Bool("elastic", false, "run the elasticity benchmarks (migration + resize vs static baseline) instead of the paper figures")
 	elasticOut := flag.String("elasticout", "BENCH_elastic.json", "path for the elasticity benchmark JSON report")
 	elasticGate := flag.String("elasticgate", "", "rerun the quick elastic ISx comparison and fail on >3x ns/phase regression vs the committed report at this path")
+	supervise := flag.Bool("supervise", false, "run the self-healing benchmarks (unscripted kills under phi-accrual supervision) instead of the paper figures")
+	superviseOut := flag.String("superviseout", "BENCH_supervise.json", "path for the self-healing benchmark JSON report")
+	superviseGate := flag.String("supervisegate", "", "rerun the quick supervised ISx run and fail on >3x MTTR regression vs the committed report at this path")
 	tracePath := flag.String("trace", "", "run a traced demo workload and write its Chrome trace JSON here (load at ui.perfetto.dev)")
 	traceBench := flag.String("tracebench", "", "run the tracing overhead microbenchmarks and write the JSON report here")
 	workers := flag.Int("workers", 0, "worker count for -sched/-trace/-tracebench (0 = GOMAXPROCS)")
@@ -129,6 +134,25 @@ func main() {
 			log.Fatalf("writing %s: %v", *elasticOut, err)
 		}
 		fmt.Printf("wrote %s\n", *elasticOut)
+		return
+	}
+	if *superviseGate != "" {
+		if err := bench.SuperviseGate(*superviseGate); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("supervisegate ok vs %s\n", *superviseGate)
+		return
+	}
+	if *supervise {
+		rep, err := bench.SuperviseSuite(scale)
+		if err != nil {
+			log.Fatalf("supervise suite: %v", err)
+		}
+		fmt.Print(rep.Render())
+		if err := rep.WriteJSON(*superviseOut); err != nil {
+			log.Fatalf("writing %s: %v", *superviseOut, err)
+		}
+		fmt.Printf("wrote %s\n", *superviseOut)
 		return
 	}
 	if *traceBench != "" {

@@ -1,0 +1,237 @@
+// Self-healing benchmark: what detector-driven recovery costs.
+//
+// Each workload (ISx bucket sort, Graph500 BFS) runs supervised — an
+// opaque seeded KillPlan crashes endpoints, phi-accrual detection finds
+// the victims, and job.Supervise rolls back / remaps / evicts its way
+// to completion — at a clean wire and at 5% drop + 5% dup. Every
+// committed phase is verified byte-identical inside the run, so a row
+// is a correctness certificate; the columns are the price of healing:
+// detection latency (sweep rounds and wall time), MTTR (first failure
+// of a phase to its successful commit), and the completed-work ratio
+// (committed phases over attempts launched — the fraction of compute
+// that was not thrown away). cmd/hiper-bench -supervise emits
+// BENCH_supervise.json.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/fabric"
+	"repro/internal/job"
+	"repro/internal/workloads/graph500"
+	"repro/internal/workloads/isx"
+)
+
+// SuperviseRow is one workload × chaos-rate supervised run.
+type SuperviseRow struct {
+	Workload           string  `json:"workload"`
+	DropRate           float64 `json:"drop_rate"` // drop == dup rate on every link
+	Phases             int     `json:"phases"`
+	Kills              int     `json:"kills"` // unscripted endpoint kills that fired
+	Attempts           int     `json:"attempts"`
+	Retries            int     `json:"retries"`
+	Remaps             int     `json:"remaps"`
+	Evictions          int     `json:"evictions"`
+	FinalRanks         int     `json:"final_ranks"`
+	DetectionRounds    float64 `json:"detection_rounds_mean"`
+	DetectionNs        float64 `json:"detection_ns_mean"`
+	MTTRNs             float64 `json:"mttr_ns_mean"` // first failure -> recommit
+	CompletedWorkRatio float64 `json:"completed_work_ratio"`
+	PhaseNs            float64 `json:"ns_per_committed_phase"`
+}
+
+// SuperviseReport is the machine-readable self-healing report.
+type SuperviseReport struct {
+	Seed    uint64         `json:"seed"`
+	Results []SuperviseRow `json:"benchmarks"`
+}
+
+// superviseKills is the canonical unscripted fault source: up to two
+// seeded kills at 90% per-attempt probability — under seed 42 they fire
+// early and exercise detection, rollback, and remap.
+func superviseKills(seed uint64) job.KillPlan {
+	return job.KillPlan{Seed: seed + 1000, Prob: 0.9, Max: 2}
+}
+
+func supervisePlan(seed uint64, rate float64) fabric.FaultPlan {
+	return fabric.FaultPlan{Seed: seed, Drop: rate, Dup: rate}
+}
+
+// isxSuperviseConfig builds the benchmark's supervised ISx run.
+func isxSuperviseConfig(scale Scale, seed uint64, rate float64) isx.SuperviseConfig {
+	streams, keys := 8, 256
+	if scale == Full {
+		streams, keys = 16, 2048
+	}
+	return isx.SuperviseConfig{
+		Streams: streams, KeysPerStream: keys,
+		Ranks: 3, Capacity: 8, Phases: 4, Seed: 1234,
+		Plan: supervisePlan(seed, rate), Rel: elasticRel(),
+		Kills: superviseKills(seed), Workers: 1,
+	}
+}
+
+// bfsSuperviseConfig builds the benchmark's supervised Graph500 run.
+func bfsSuperviseConfig(scale Scale, seed uint64, rate float64) graph500.SuperviseConfig {
+	g := graph500.GraphConfig{Scale: 8, EdgeFactor: 8, Seed: 5}
+	if scale == Full {
+		g = graph500.GraphConfig{Scale: 10, EdgeFactor: 16, Seed: 5}
+	}
+	return graph500.SuperviseConfig{
+		Graph: g, Ranks: 3, Capacity: 8, Phases: 3,
+		Plan: supervisePlan(seed, rate), Rel: elasticRel(),
+		Kills: superviseKills(seed), Workers: 1,
+	}
+}
+
+// superviseRow condenses one supervised run into a report row.
+func superviseRow(workload string, rate float64, kills int,
+	phases []time.Duration, rep *job.RecoveryReport) SuperviseRow {
+	row := SuperviseRow{
+		Workload: workload, DropRate: rate, Kills: kills,
+		Phases: rep.Phases, Attempts: rep.Attempts, Retries: rep.Retries,
+		Remaps: rep.Remaps, Evictions: rep.Evictions, FinalRanks: rep.FinalRanks,
+		PhaseNs: meanPhaseNs(phases),
+	}
+	if n := len(rep.Detections); n > 0 {
+		var rounds, ns float64
+		for _, d := range rep.Detections {
+			rounds += float64(d.Rounds)
+			ns += float64(d.Latency.Nanoseconds())
+		}
+		row.DetectionRounds = rounds / float64(n)
+		row.DetectionNs = ns / float64(n)
+	}
+	if n := len(rep.Recoveries); n > 0 {
+		var ns float64
+		for _, r := range rep.Recoveries {
+			ns += float64(r.Downtime.Nanoseconds())
+		}
+		row.MTTRNs = ns / float64(n)
+	}
+	if rep.Attempts > 0 {
+		row.CompletedWorkRatio = float64(rep.Phases) / float64(rep.Attempts)
+	}
+	return row
+}
+
+// countingInject wraps a KillPlan so the benchmark can report how many
+// unscripted kills actually fired (the supervisor never knows).
+func countingInject(kills job.KillPlan, killed *int) func(tab *fabric.EpochTable, kill func(ep int)) func(phase, attempt int) {
+	return func(tab *fabric.EpochTable, kill func(ep int)) func(phase, attempt int) {
+		return kills.Injector(tab, func(ep int) { *killed++; kill(ep) })
+	}
+}
+
+// superviseISx runs supervised ISx once and condenses it.
+func superviseISx(scale Scale, seed uint64, rate float64) (SuperviseRow, error) {
+	cfg := isxSuperviseConfig(scale, seed, rate)
+	killed := 0
+	cfg.Inject = countingInject(cfg.Kills, &killed)
+	res, err := isx.RunSupervised(cfg)
+	if err != nil {
+		return SuperviseRow{}, fmt.Errorf("isx supervised (drop %.2f): %w", rate, err)
+	}
+	return superviseRow("isx", rate, killed, res.PhaseTimes, res.Report), nil
+}
+
+// superviseBFS runs supervised Graph500 once and condenses it.
+func superviseBFS(scale Scale, seed uint64, rate float64) (SuperviseRow, error) {
+	cfg := bfsSuperviseConfig(scale, seed, rate)
+	killed := 0
+	cfg.Inject = countingInject(cfg.Kills, &killed)
+	res, err := graph500.RunSupervised(cfg)
+	if err != nil {
+		return SuperviseRow{}, fmt.Errorf("graph500 supervised (drop %.2f): %w", rate, err)
+	}
+	return superviseRow("graph500", rate, killed, res.PhaseTimes, res.Report), nil
+}
+
+// SuperviseSuite runs both workloads under unscripted kills at a clean
+// wire and at 5% drop + 5% dup. A returned report certifies that every
+// row completed with byte-identical output despite the kills.
+func SuperviseSuite(scale Scale) (*SuperviseReport, error) {
+	const seed = 42
+	rep := &SuperviseReport{Seed: seed}
+	for _, rate := range []float64{0, 0.05} {
+		row, err := superviseISx(scale, seed, rate)
+		if err != nil {
+			return nil, err
+		}
+		rep.Results = append(rep.Results, row)
+	}
+	for _, rate := range []float64{0, 0.05} {
+		row, err := superviseBFS(scale, seed, rate)
+		if err != nil {
+			return nil, err
+		}
+		rep.Results = append(rep.Results, row)
+	}
+	return rep, nil
+}
+
+// SuperviseGate is the bench-smoke gate: rerun the quick supervised ISx
+// run at 5% chaos and fail if MTTR regresses more than gateFactor×
+// against the committed report — catching a recovery-path collapse
+// (sweep stall, checkpoint-restore regression, remap leak). Any
+// correctness failure — a kill the supervisor cannot heal — fails the
+// gate outright.
+func SuperviseGate(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("supervisegate: reading committed report: %w", err)
+	}
+	var committed SuperviseReport
+	if err := json.Unmarshal(data, &committed); err != nil {
+		return fmt.Errorf("supervisegate: parsing %s: %w", path, err)
+	}
+	var want SuperviseRow
+	for _, r := range committed.Results {
+		if r.Workload == "isx" && r.DropRate > 0 {
+			want = r
+		}
+	}
+	if want.MTTRNs == 0 {
+		return fmt.Errorf("supervisegate: no isx chaos row with recoveries in %s (regenerate with make bench-supervise)", path)
+	}
+	got, err := superviseISx(Quick, committed.Seed, want.DropRate)
+	if err != nil {
+		return fmt.Errorf("supervisegate: %w", err)
+	}
+	if got.Kills > 0 && got.MTTRNs == 0 {
+		return fmt.Errorf("supervisegate: %d kills fired but no recovery was recorded", got.Kills)
+	}
+	if got.MTTRNs > want.MTTRNs*gateFactor {
+		return fmt.Errorf("supervisegate: isx MTTR %.0f ns vs committed %.0f (> %.0fx)",
+			got.MTTRNs, want.MTTRNs, gateFactor)
+	}
+	return nil
+}
+
+// WriteJSON writes the report to path.
+func (r *SuperviseReport) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Render prints the report as an aligned table.
+func (r *SuperviseReport) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== self-healing: unscripted kills under phi-accrual supervision (seed %d) ==\n", r.Seed)
+	fmt.Fprintf(&b, "%-10s %6s %6s %6s %8s %7s %6s %12s %12s %12s %8s\n",
+		"workload", "drop", "kills", "phases", "attempts", "remaps", "evict", "detect rnds", "detect ns", "mttr ns", "work")
+	for _, row := range r.Results {
+		fmt.Fprintf(&b, "%-10s %6.2f %6d %6d %8d %7d %6d %12.1f %12.0f %12.0f %8.2f\n",
+			row.Workload, row.DropRate, row.Kills, row.Phases, row.Attempts,
+			row.Remaps, row.Evictions, row.DetectionRounds, row.DetectionNs,
+			row.MTTRNs, row.CompletedWorkRatio)
+	}
+	return b.String()
+}

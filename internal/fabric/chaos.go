@@ -35,11 +35,12 @@ import (
 // the loss — route one-sided traffic through Reliable, which converts
 // it into a completed op plus a recorded link error).
 type Chaos struct {
-	inner Transport
-	plan  FaultPlan
-	n     int
-	links []chaosLink
-	dead  []atomic.Bool
+	inner    Transport
+	plan     FaultPlan
+	n        int
+	schedLen uint64 // fault-schedule cycle length in ops (0 = flat plan)
+	links    []chaosLink
+	dead     []atomic.Bool
 
 	drops  atomic.Int64
 	dups   atomic.Int64
@@ -70,33 +71,80 @@ type FaultPlan struct {
 	// it and the next PartitionOps-1 sends on the same link are dropped.
 	Partition float64
 	// SpikeLatency is the extra delay a spiked send suffers (default
-	// 500µs when DelaySpike > 0).
+	// 500µs when DelaySpike > 0 anywhere in the plan).
 	SpikeLatency time.Duration
 	// PartitionOps is how many consecutive sends a partition eats
-	// (default 8 when Partition > 0).
+	// (default 8 when Partition > 0 anywhere in the plan).
 	PartitionOps int
+	// Schedule, when non-empty, makes the plan time-varying: each link
+	// cycles through the windows (a window covers Ops sends on that
+	// link), and the window's rates REPLACE the flat rates above for
+	// sends falling inside it. Each link enters the cycle at a seeded
+	// phase offset, so links don't fault in lockstep — a burst window
+	// hits different links at different times, and an alternating
+	// clean/dropped schedule models independent link flapping. The
+	// op-index domain keeps the non-stationarity exactly as replayable
+	// as the flat plan.
+	Schedule []FaultWindow
+}
+
+// FaultWindow is one segment of a time-varying fault schedule: Ops
+// consecutive sends on a link faulting at the given rates.
+type FaultWindow struct {
+	Ops                              uint64
+	Drop, Dup, DelaySpike, Partition float64
 }
 
 func (p FaultPlan) withDefaults() FaultPlan {
-	if p.DelaySpike > 0 && p.SpikeLatency == 0 {
+	spikes := p.DelaySpike > 0
+	parts := p.Partition > 0
+	for _, w := range p.Schedule {
+		spikes = spikes || w.DelaySpike > 0
+		parts = parts || w.Partition > 0
+	}
+	if spikes && p.SpikeLatency == 0 {
 		p.SpikeLatency = 500 * time.Microsecond
 	}
-	if p.Partition > 0 && p.PartitionOps == 0 {
+	if parts && p.PartitionOps == 0 {
 		p.PartitionOps = 8
 	}
 	return p
 }
 
-func (p FaultPlan) validate() error {
-	for _, v := range []float64{p.Drop, p.Dup, p.DelaySpike, p.Partition} {
+func validateRates(drop, dup, spike, part float64) error {
+	for _, v := range []float64{drop, dup, spike, part} {
 		if v < 0 || v > 1 {
 			return fmt.Errorf("fabric: chaos: fault rate %v outside [0,1]", v)
 		}
 	}
-	if s := p.Drop + p.Dup + p.DelaySpike + p.Partition; s > 1 {
+	if s := drop + dup + spike + part; s > 1 {
 		return fmt.Errorf("fabric: chaos: fault rates sum to %v > 1", s)
 	}
 	return nil
+}
+
+func (p FaultPlan) validate() error {
+	if err := validateRates(p.Drop, p.Dup, p.DelaySpike, p.Partition); err != nil {
+		return err
+	}
+	for i, w := range p.Schedule {
+		if w.Ops == 0 {
+			return fmt.Errorf("fabric: chaos: schedule window %d has zero Ops", i)
+		}
+		if err := validateRates(w.Drop, w.Dup, w.DelaySpike, w.Partition); err != nil {
+			return fmt.Errorf("fabric: chaos: schedule window %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// scheduleLen is the cycle length in ops (0 for a flat plan).
+func (p FaultPlan) scheduleLen() uint64 {
+	var n uint64
+	for _, w := range p.Schedule {
+		n += w.Ops
+	}
+	return n
 }
 
 // FaultEvent is one injected fault, recorded when SetRecording is on.
@@ -123,11 +171,12 @@ func NewChaos(inner Transport, plan FaultPlan) *Chaos {
 	}
 	n := inner.Size()
 	return &Chaos{
-		inner: inner,
-		plan:  plan.withDefaults(),
-		n:     n,
-		links: make([]chaosLink, n*n),
-		dead:  make([]atomic.Bool, n),
+		inner:    inner,
+		plan:     plan.withDefaults(),
+		n:        n,
+		schedLen: plan.scheduleLen(),
+		links:    make([]chaosLink, n*n),
+		dead:     make([]atomic.Bool, n),
 	}
 }
 
@@ -188,6 +237,24 @@ func (c *Chaos) record(src, dst int, op uint64, kind string) {
 	c.recMu.Unlock()
 }
 
+// rates resolves the fault rates governing op on link: the flat plan's,
+// or — under a Schedule — the window the op falls in, after shifting by
+// the link's seeded phase offset into the cycle.
+func (c *Chaos) rates(link, op uint64) (drop, dup, spike, part float64) {
+	p := c.plan
+	if c.schedLen == 0 {
+		return p.Drop, p.Dup, p.DelaySpike, p.Partition
+	}
+	pos := (op + splitmix64(p.Seed^(link+1)*0xA24BAED4963EE407)%c.schedLen) % c.schedLen
+	for _, w := range p.Schedule {
+		if pos < w.Ops {
+			return w.Drop, w.Dup, w.DelaySpike, w.Partition
+		}
+		pos -= w.Ops
+	}
+	return 0, 0, 0, 0 // unreachable: pos < schedLen = sum of window Ops
+}
+
 // decide consumes one send slot on (src,dst) and returns the fault kind
 // for it: "" for clean delivery.
 func (c *Chaos) decide(src, dst int) (uint64, string) {
@@ -202,15 +269,16 @@ func (c *Chaos) decide(src, dst int) (uint64, string) {
 		return op, "partition-drop"
 	}
 	r := chaosHash(c.plan.Seed, link, op)
+	drop, dup, spike, part := c.rates(link, op)
 	var kind string
-	switch p := c.plan; {
-	case r < p.Drop:
+	switch {
+	case r < drop:
 		kind = "drop"
-	case r < p.Drop+p.Dup:
+	case r < drop+dup:
 		kind = "dup"
-	case r < p.Drop+p.Dup+p.DelaySpike:
+	case r < drop+dup+spike:
 		kind = "spike"
-	case r < p.Drop+p.Dup+p.DelaySpike+p.Partition:
+	case r < drop+dup+spike+part:
 		kind = "partition"
 		l.partLeft = c.plan.PartitionOps - 1 // this send is the first casualty
 	}

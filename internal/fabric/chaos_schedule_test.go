@@ -1,0 +1,131 @@
+package fabric
+
+import (
+	"testing"
+)
+
+// TestChaosScheduleWindowCoverage: a 10%-of-cycle total-loss window must
+// drop exactly 10% of a whole number of cycles' sends on every link —
+// the burst windows are exact, not probabilistic.
+func TestChaosScheduleWindowCoverage(t *testing.T) {
+	seed := chaosSeedFromEnv(t, 42)
+	plan := FaultPlan{
+		Seed: seed,
+		Schedule: []FaultWindow{
+			{Ops: 10, Drop: 1.0},
+			{Ops: 90},
+		},
+	}
+	ch := NewChaos(NewSim(2, CostModel{}), plan)
+	const cycles = 5
+	for i := 0; i < cycles*100; i++ {
+		ch.Send(0, 1, 1, []byte{1})
+	}
+	if got := ch.Drops(); got != cycles*10 {
+		t.Fatalf("drops = %d, want exactly %d (burst windows are deterministic)", got, cycles*10)
+	}
+	// Drain what was delivered so the sim isn't left with queued sends.
+	for i := 0; i < cycles*90; i++ {
+		ch.Recv(1, 0, 1)
+	}
+}
+
+// TestChaosScheduleReplays: the time-varying plan must be as replayable
+// as the flat plan — identical traffic, identical fault event logs.
+func TestChaosScheduleReplays(t *testing.T) {
+	seed := chaosSeedFromEnv(t, 42)
+	plan := FaultPlan{
+		Seed: seed,
+		Schedule: []FaultWindow{
+			{Ops: 7, Drop: 0.9, Dup: 0.1},
+			{Ops: 23, Drop: 0.02, Dup: 0.02},
+		},
+	}
+	run := func() []FaultEvent {
+		ch := NewChaos(NewSim(3, CostModel{}), plan)
+		ch.SetRecording(true)
+		for i := 0; i < 300; i++ {
+			ch.Send(0, 1, 1, []byte{byte(i)})
+			ch.Send(1, 2, 1, []byte{byte(i)})
+		}
+		return ch.Events()
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("fault logs differ in length: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("fault logs diverge at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestChaosScheduleLinksOutOfPhase: links enter the cycle at seeded
+// offsets, so a burst window does not hit every link at the same op
+// index — the flapping is per-link, not global.
+func TestChaosScheduleLinksOutOfPhase(t *testing.T) {
+	plan := FaultPlan{
+		Schedule: []FaultWindow{
+			{Ops: 10, Drop: 1.0},
+			{Ops: 90},
+		},
+	}
+	firstDrop := func(seed uint64, src, dst int) uint64 {
+		p := plan
+		p.Seed = seed
+		ch := NewChaos(NewSim(3, CostModel{}), p)
+		ch.SetRecording(true)
+		for i := 0; i < 100; i++ {
+			ch.Send(src, dst, 1, []byte{1})
+		}
+		for _, ev := range ch.Events() {
+			if ev.Kind == "drop" {
+				return ev.Op
+			}
+		}
+		return ^uint64(0)
+	}
+	// Across a few seeds, at least one must give the two links different
+	// burst phases (identical offsets on every seed would mean the
+	// links flap in lockstep).
+	differ := false
+	for seed := uint64(1); seed <= 5 && !differ; seed++ {
+		differ = firstDrop(seed, 0, 1) != firstDrop(seed, 1, 2)
+	}
+	if !differ {
+		t.Fatalf("burst windows hit every link at the same op index across all seeds")
+	}
+}
+
+func TestChaosScheduleValidation(t *testing.T) {
+	mustPanic := func(name string, plan FaultPlan) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: NewChaos accepted an invalid schedule", name)
+			}
+		}()
+		NewChaos(NewSim(2, CostModel{}), plan)
+	}
+	mustPanic("zero-ops window", FaultPlan{Schedule: []FaultWindow{{Ops: 0, Drop: 0.5}}})
+	mustPanic("rates above 1", FaultPlan{Schedule: []FaultWindow{{Ops: 5, Drop: 0.8, Dup: 0.4}}})
+}
+
+// TestChaosScheduleSpikeDefaults: a plan whose only spikes live in a
+// window still gets the default SpikeLatency, and spiked sends arrive.
+func TestChaosScheduleSpikeDefaults(t *testing.T) {
+	plan := FaultPlan{
+		Seed:     3,
+		Schedule: []FaultWindow{{Ops: 4, DelaySpike: 1.0}, {Ops: 4}},
+	}
+	ch := NewChaos(NewSim(2, CostModel{}), plan)
+	for i := 0; i < 8; i++ {
+		ch.Send(0, 1, 1, []byte{byte(i)})
+	}
+	for i := 0; i < 8; i++ {
+		ch.Recv(1, 0, 1) // every send must eventually arrive, spiked or not
+	}
+	if ch.Spikes() != 4 {
+		t.Fatalf("spikes = %d, want the window's 4", ch.Spikes())
+	}
+}

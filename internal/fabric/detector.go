@@ -1,0 +1,402 @@
+package fabric
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// Detector is a phi-accrual heartbeat failure detector (Hayashibara et
+// al.) running entirely over the public Transport API: a dedicated
+// monitor endpoint pings every watched endpoint each round on an
+// AllocTags-reserved tag pair, watched endpoints echo, and the monitor
+// accrues a per-endpoint suspicion level phi from the inter-arrival
+// history of the echoes.
+//
+// The detector's clock is its own round counter, not wall time. A gap is
+// "rounds since the last echo arrived", the arrival history is a sliding
+// window of round-domain gaps, and phi is the negated log tail
+// probability of the current gap under a normal fit of that window. Two
+// consequences make this the right clock for a deterministic fabric:
+//
+//   - Detection latency is measured in rounds and — because Chaos fault
+//     decisions are a pure function of (seed, link, op-index) and the
+//     heartbeat links carry exactly one op per round — is itself a pure
+//     function of the seed. Replays reproduce the same detection round.
+//   - Idle time is invisible. Rounds only advance when the supervisor
+//     ticks, so a job that pauses detection between phases resumes with
+//     no accrued suspicion against anybody.
+//
+// The detector is built to coexist with Reliable's go-back-N masking:
+// heartbeats ride the *raw* chaos transport (drops are real, so phi sees
+// the loss process Reliable hides), the round window (RoundWait) is wide
+// enough that a DelaySpike-delayed echo still lands in its round, and
+// the suspicion threshold is tuned so a spike storm survived by
+// go-back-N stays below it while a Kill — which silences the endpoint
+// entirely — crosses it within a few rounds. Suspicion is advisory:
+// remapping a falsely-suspected live rank wastes a spare endpoint but
+// never corrupts the job, because recovery restores from checkpoint
+// regardless.
+//
+// The monitor endpoint must be outside the job's epoch table (the
+// convention is endpoint index == table capacity, with the transport
+// sized capacity+1) so heartbeat links are disjoint from application
+// links: neither traffic perturbs the other's per-link fault sequence.
+type Detector struct {
+	tr  Transport
+	cfg DetectorConfig
+
+	pingTag, pongTag int
+
+	mu     sync.Mutex
+	eps    map[int]*epState
+	round  uint64
+	events []SuspectEvent
+
+	running bool
+	stop    chan struct{}
+	wg      sync.WaitGroup
+}
+
+// DetectorConfig tunes a Detector.
+type DetectorConfig struct {
+	// Monitor is the endpoint heartbeats originate from. It must not be
+	// killed or carry application traffic.
+	Monitor int
+	// Window is the inter-arrival history length per endpoint (default
+	// 32 gaps).
+	Window int
+	// Threshold is the phi level at which an endpoint becomes suspected
+	// (default 8 — tail probability 1e-8, about a 4-round silence under
+	// a healthy 1-gap history).
+	Threshold float64
+	// MinStdDev floors the fitted deviation in rounds (default 0.5), so
+	// a perfectly regular history doesn't hair-trigger on one lost echo.
+	MinStdDev float64
+	// RoundWait is how long a Tick waits for echoes before evaluating
+	// (default 2ms — comfortably above Chaos's default 500µs
+	// DelaySpike, so a spiked echo still lands in its round).
+	RoundWait time.Duration
+	// Interval is the background ticking period for Start (default:
+	// RoundWait).
+	Interval time.Duration
+}
+
+func (c DetectorConfig) withDefaults() DetectorConfig {
+	if c.Window <= 0 {
+		c.Window = 32
+	}
+	if c.Threshold <= 0 {
+		c.Threshold = 8
+	}
+	if c.MinStdDev <= 0 {
+		c.MinStdDev = 0.5
+	}
+	if c.RoundWait <= 0 {
+		c.RoundWait = 2 * time.Millisecond
+	}
+	if c.Interval <= 0 {
+		c.Interval = c.RoundWait
+	}
+	return c
+}
+
+// SuspectEvent is one suspicion transition on the detector's timeline.
+type SuspectEvent struct {
+	Round    uint64
+	Endpoint int
+	Phi      float64
+	Kind     string // "suspect" (phi crossed up) or "clear" (echo heard again)
+}
+
+// epState is one watched endpoint's arrival history.
+type epState struct {
+	lastHeard uint64    // round the last echo arrived
+	gaps      []float64 // sliding window of inter-arrival gaps, in rounds
+	suspected bool
+}
+
+// NewDetector builds a detector over tr, reserving its tag pair and
+// arming the echo collector on the monitor endpoint. Watch each
+// endpoint of interest, then drive rounds with Tick/Baseline/Sweep (or
+// Start for wall-clock background ticking).
+func NewDetector(tr Transport, cfg DetectorConfig) *Detector {
+	cfg = cfg.withDefaults()
+	if cfg.Monitor < 0 || cfg.Monitor >= tr.Size() {
+		panic(fmt.Sprintf("fabric: detector monitor endpoint %d outside transport [0,%d)", cfg.Monitor, tr.Size()))
+	}
+	base := tr.AllocTags(2)
+	d := &Detector{
+		tr:      tr,
+		cfg:     cfg,
+		pingTag: base,
+		pongTag: base - 1,
+		eps:     make(map[int]*epState),
+	}
+	d.armPong()
+	return d
+}
+
+// armPong arms the monitor-side echo collector (the standard
+// drain-and-re-arm pattern, so bursts of echoes cost one handler).
+func (d *Detector) armPong() {
+	d.tr.RecvAsync(d.cfg.Monitor, AnySource, d.pongTag, func(m Message) {
+		d.heard(m)
+		for {
+			m2, ok := d.tr.TryRecv(d.cfg.Monitor, AnySource, d.pongTag)
+			if !ok {
+				break
+			}
+			d.heard(m2)
+		}
+		d.armPong()
+	})
+}
+
+// heard records one echo arrival at the current round.
+func (d *Detector) heard(m Message) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	st, ok := d.eps[m.Src]
+	if !ok {
+		return // unwatched (stale echo after a remap)
+	}
+	gap := float64(d.round - st.lastHeard)
+	if gap >= 1 {
+		st.gaps = append(st.gaps, gap)
+		if len(st.gaps) > d.cfg.Window {
+			st.gaps = st.gaps[len(st.gaps)-d.cfg.Window:]
+		}
+	}
+	st.lastHeard = d.round
+}
+
+// Watch starts monitoring an endpoint: arms its echo responder and
+// seeds its arrival history with the expected one-round gap (the
+// bootstrap prior; Baseline replaces it with observed gaps). Watching
+// an already-watched endpoint is a no-op.
+func (d *Detector) Watch(ep int) {
+	d.mu.Lock()
+	if _, ok := d.eps[ep]; ok {
+		d.mu.Unlock()
+		return
+	}
+	st := &epState{lastHeard: d.round}
+	st.gaps = []float64{1, 1, 1, 1}
+	d.eps[ep] = st
+	d.mu.Unlock()
+	d.armEcho(ep)
+}
+
+// Unwatch stops monitoring an endpoint (e.g. one abandoned by a remap).
+// Its responder stays armed but harmless: echoes from unwatched sources
+// are discarded, and a dead endpoint's responder never fires at all.
+func (d *Detector) Unwatch(ep int) {
+	d.mu.Lock()
+	delete(d.eps, ep)
+	d.mu.Unlock()
+}
+
+// armEcho arms the responder on a watched endpoint: every ping is
+// echoed straight back to the monitor with the same payload.
+func (d *Detector) armEcho(ep int) {
+	d.tr.RecvAsync(ep, d.cfg.Monitor, d.pingTag, func(m Message) {
+		d.tr.Send(ep, d.cfg.Monitor, d.pongTag, m.Data)
+		for {
+			m2, ok := d.tr.TryRecv(ep, d.cfg.Monitor, d.pingTag)
+			if !ok {
+				break
+			}
+			d.tr.Send(ep, d.cfg.Monitor, d.pongTag, m2.Data)
+		}
+		d.armEcho(ep)
+	})
+}
+
+// Tick runs one detection round: ping every watched endpoint, wait
+// RoundWait for echoes, then re-evaluate every phi and record suspicion
+// transitions. Returns the endpoints suspected as of this round.
+func (d *Detector) Tick() []int {
+	d.mu.Lock()
+	d.round++
+	round := d.round
+	targets := make([]int, 0, len(d.eps))
+	for ep := range d.eps {
+		targets = append(targets, ep)
+	}
+	d.mu.Unlock()
+
+	var payload [8]byte
+	binary.LittleEndian.PutUint64(payload[:], round)
+	for _, ep := range targets {
+		d.tr.Send(d.cfg.Monitor, ep, d.pingTag, payload[:])
+	}
+	time.Sleep(d.cfg.RoundWait)
+
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var suspects []int
+	maxPhi := 0.0
+	// Evaluate in sorted endpoint order so the suspect list and event
+	// timeline are deterministic (map iteration order is not).
+	eps := make([]int, 0, len(d.eps))
+	for ep := range d.eps {
+		eps = append(eps, ep)
+	}
+	sort.Ints(eps)
+	for _, ep := range eps {
+		st := d.eps[ep]
+		phi := d.phiLocked(st)
+		if phi > maxPhi {
+			maxPhi = phi
+		}
+		if phi >= d.cfg.Threshold {
+			if !st.suspected {
+				st.suspected = true
+				d.events = append(d.events, SuspectEvent{Round: round, Endpoint: ep, Phi: phi, Kind: "suspect"})
+			}
+			suspects = append(suspects, ep)
+		} else if st.suspected {
+			st.suspected = false
+			d.events = append(d.events, SuspectEvent{Round: round, Endpoint: ep, Phi: phi, Kind: "clear"})
+		}
+	}
+	stats.SetGauge("detector", "round", float64(round))
+	stats.SetGauge("detector", "suspected", float64(len(suspects)))
+	stats.SetGauge("detector", "max_phi", math.Min(maxPhi, 99))
+	return suspects
+}
+
+// Baseline runs n warm-up rounds so every watched endpoint's history
+// holds observed gaps (including the ambient drop rate) before the
+// first suspicion matters.
+func (d *Detector) Baseline(n int) {
+	for i := 0; i < n; i++ {
+		d.Tick()
+	}
+}
+
+// Sweep ticks until at least one endpoint is suspected or maxRounds
+// elapse, returning the suspects (nil if none crossed the threshold)
+// and the number of rounds consumed. This is the supervisor's
+// post-failure probe: detection latency is the returned round count.
+func (d *Detector) Sweep(maxRounds int) (suspects []int, rounds int) {
+	for rounds < maxRounds {
+		rounds++
+		if s := d.Tick(); len(s) > 0 {
+			return s, rounds
+		}
+	}
+	return nil, rounds
+}
+
+// Phi returns an endpoint's current suspicion level (0 for unwatched).
+func (d *Detector) Phi(ep int) float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	st, ok := d.eps[ep]
+	if !ok {
+		return 0
+	}
+	return d.phiLocked(st)
+}
+
+// Suspected reports whether an endpoint's phi crossed the threshold at
+// the last Tick evaluation.
+func (d *Detector) Suspected(ep int) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	st, ok := d.eps[ep]
+	return ok && st.suspected
+}
+
+// Round returns the detector's round counter.
+func (d *Detector) Round() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.round
+}
+
+// Events returns a copy of the suspicion-transition timeline.
+func (d *Detector) Events() []SuspectEvent {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return append([]SuspectEvent(nil), d.events...)
+}
+
+// phiLocked computes phi for one endpoint: the negated log10 tail
+// probability of the current silence under a normal fit of the gap
+// window, phi = -log10 P(gap >= now - lastHeard).
+func (d *Detector) phiLocked(st *epState) float64 {
+	gap := float64(d.round - st.lastHeard)
+	if gap <= 0 {
+		return 0
+	}
+	var sum, sq float64
+	for _, g := range st.gaps {
+		sum += g
+		sq += g * g
+	}
+	n := float64(len(st.gaps))
+	mean := sum / n
+	sigma := math.Sqrt(math.Max(sq/n-mean*mean, 0))
+	if sigma < d.cfg.MinStdDev {
+		sigma = d.cfg.MinStdDev
+	}
+	tail := 0.5 * math.Erfc((gap-mean)/(sigma*math.Sqrt2))
+	if tail <= 1e-99 {
+		return 99 // saturate: the endpoint is silent beyond any doubt
+	}
+	return -math.Log10(tail)
+}
+
+// Start begins background ticking every Interval until Stop — the
+// wall-clock deployment mode. Supervisors that need replayable
+// detection latencies drive Tick/Sweep synchronously instead.
+func (d *Detector) Start() {
+	d.mu.Lock()
+	if d.running {
+		d.mu.Unlock()
+		return
+	}
+	d.running = true
+	d.stop = make(chan struct{})
+	stop := d.stop
+	d.mu.Unlock()
+
+	d.wg.Add(1)
+	go func() {
+		defer d.wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			d.Tick()
+			select {
+			case <-stop:
+				return
+			case <-time.After(d.cfg.Interval):
+			}
+		}
+	}()
+}
+
+// Stop halts background ticking and joins the ticker goroutine.
+func (d *Detector) Stop() {
+	d.mu.Lock()
+	if !d.running {
+		d.mu.Unlock()
+		return
+	}
+	d.running = false
+	close(d.stop)
+	d.mu.Unlock()
+	d.wg.Wait()
+}

@@ -1,0 +1,274 @@
+package fabric
+
+import (
+	"os"
+	"strconv"
+	"testing"
+	"time"
+)
+
+// chaosSeedFromEnv lets the Makefile's chaos seed matrix vary the fault
+// schedule without hardcoding seeds into tests: HIPER_CHAOS_SEED
+// overrides the default when set.
+func chaosSeedFromEnv(t testing.TB, def uint64) uint64 {
+	t.Helper()
+	s := os.Getenv("HIPER_CHAOS_SEED")
+	if s == "" {
+		return def
+	}
+	v, err := strconv.ParseUint(s, 10, 64)
+	if err != nil {
+		t.Fatalf("HIPER_CHAOS_SEED=%q: %v", s, err)
+	}
+	return v
+}
+
+// detStack builds the standard detector test stack: a chaos-wrapped sim
+// with n application endpoints plus a monitor at index n.
+func detStack(n int, plan FaultPlan, cfg DetectorConfig) (*Chaos, *Detector) {
+	ch := NewChaos(NewSim(n+1, CostModel{}), plan)
+	cfg.Monitor = n
+	d := NewDetector(ch, cfg)
+	for ep := 0; ep < n; ep++ {
+		d.Watch(ep)
+	}
+	return ch, d
+}
+
+func TestDetectorDetectsKillUnderChaos(t *testing.T) {
+	seed := chaosSeedFromEnv(t, 42)
+	ch, d := detStack(3, FaultPlan{Seed: seed, Drop: 0.05, Dup: 0.05}, DetectorConfig{})
+	d.Baseline(8)
+	if s := d.Tick(); len(s) != 0 {
+		t.Fatalf("suspects before any kill: %v", s)
+	}
+	ch.Kill(1)
+	suspects, rounds := d.Sweep(32)
+	if len(suspects) == 0 {
+		t.Fatalf("killed endpoint never suspected within 32 rounds")
+	}
+	found := false
+	for _, ep := range suspects {
+		if ep == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("suspects %v does not include the killed endpoint 1", suspects)
+	}
+	if rounds <= 0 || rounds > 32 {
+		t.Fatalf("detection latency %d rounds out of range", rounds)
+	}
+	if phi := d.Phi(1); phi < 8 {
+		t.Fatalf("killed endpoint phi %.2f below threshold", phi)
+	}
+	if !d.Suspected(1) {
+		t.Fatalf("killed endpoint not latched as suspected")
+	}
+	// The survivors must not be casualties of the sweep.
+	for _, ep := range []int{0, 2} {
+		if d.Suspected(ep) {
+			t.Fatalf("live endpoint %d falsely suspected (phi %.2f)", ep, d.Phi(ep))
+		}
+	}
+}
+
+func TestDetectorNoFalseSuspicionUnderChaos(t *testing.T) {
+	seed := chaosSeedFromEnv(t, 42)
+	_, d := detStack(4, FaultPlan{Seed: seed, Drop: 0.05, Dup: 0.05}, DetectorConfig{})
+	d.Baseline(8)
+	for i := 0; i < 24; i++ {
+		if s := d.Tick(); len(s) != 0 {
+			t.Fatalf("round %d: live endpoints suspected: %v", i, s)
+		}
+	}
+}
+
+// TestDetectorLatencyReplays is the determinism proof: the detector's
+// clock is its round counter and chaos faults are a pure function of
+// (seed, link, op), so the same kill under the same seed is detected in
+// exactly the same round, twice.
+func TestDetectorLatencyReplays(t *testing.T) {
+	seed := chaosSeedFromEnv(t, 42)
+	run := func() (int, []int, uint64) {
+		ch, d := detStack(3, FaultPlan{Seed: seed, Drop: 0.05, Dup: 0.05}, DetectorConfig{})
+		d.Baseline(8)
+		ch.Kill(1)
+		suspects, rounds := d.Sweep(32)
+		return rounds, suspects, d.Round()
+	}
+	r1, s1, round1 := run()
+	r2, s2, round2 := run()
+	if r1 != r2 || round1 != round2 {
+		t.Fatalf("detection latency not replayable: %d rounds (abs %d) vs %d (abs %d)", r1, round1, r2, round2)
+	}
+	if len(s1) != len(s2) {
+		t.Fatalf("suspect sets differ across replays: %v vs %v", s1, s2)
+	}
+	for i := range s1 {
+		if s1[i] != s2[i] {
+			t.Fatalf("suspect sets differ across replays: %v vs %v", s1, s2)
+		}
+	}
+}
+
+// TestDetectorSpikeStormStaysCalm: a delay-spike storm (every send held
+// 500µs) must not push any live endpoint over the threshold — the round
+// window is sized so a spiked echo still lands in its round. This is
+// the detector half of the DeathSilence-coexistence contract.
+func TestDetectorSpikeStormStaysCalm(t *testing.T) {
+	seed := chaosSeedFromEnv(t, 42)
+	_, d := detStack(3, FaultPlan{Seed: seed, DelaySpike: 1.0}, DetectorConfig{})
+	d.Baseline(4)
+	for i := 0; i < 16; i++ {
+		if s := d.Tick(); len(s) != 0 {
+			t.Fatalf("spike storm round %d: suspected %v (phi %v)", i, s, d.Phi(s[0]))
+		}
+	}
+}
+
+// TestDetectorFlappingLinkSuspectsAndClears: under a seeded flapping
+// schedule (a total-loss burst window cycling with a long clean
+// window), a live endpoint is suspected during the burst and cleared
+// when its echoes resume — both transitions land on the event timeline.
+func TestDetectorFlappingLinkSuspectsAndClears(t *testing.T) {
+	seed := chaosSeedFromEnv(t, 7)
+	plan := FaultPlan{
+		Seed: seed,
+		Schedule: []FaultWindow{
+			{Ops: 8, Drop: 1.0},
+			{Ops: 120},
+		},
+	}
+	_, d := detStack(2, plan, DetectorConfig{})
+	for i := 0; i < 150; i++ {
+		d.Tick()
+	}
+	var suspected, cleared bool
+	for _, ev := range d.Events() {
+		switch ev.Kind {
+		case "suspect":
+			suspected = true
+		case "clear":
+			if suspected {
+				cleared = true
+			}
+		}
+	}
+	if !suspected {
+		t.Fatalf("flapping link never suspected; events: %v", d.Events())
+	}
+	if !cleared {
+		t.Fatalf("flapped endpoint never cleared after echoes resumed; events: %v", d.Events())
+	}
+	for ep := 0; ep < 2; ep++ {
+		if d.Phi(ep) >= 8 {
+			// Both links are mid-cycle somewhere; after the loop the
+			// detector must at least not have latched a permanent
+			// suspicion on an endpoint that echoes again.
+			d.Tick()
+		}
+	}
+}
+
+func TestDetectorStartStop(t *testing.T) {
+	ch, d := detStack(2, FaultPlan{Seed: 1}, DetectorConfig{RoundWait: 200 * time.Microsecond})
+	d.Start()
+	d.Start() // idempotent
+	deadline := time.Now().Add(2 * time.Second)
+	for d.Round() < 8 {
+		if time.Now().After(deadline) {
+			t.Fatalf("background ticker stalled at round %d", d.Round())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	ch.Kill(1)
+	for !d.Suspected(1) {
+		if time.Now().After(deadline) {
+			t.Fatalf("background ticker never suspected the killed endpoint")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	d.Stop()
+	d.Stop() // idempotent
+	r := d.Round()
+	time.Sleep(5 * time.Millisecond)
+	if d.Round() != r {
+		t.Fatalf("ticker still running after Stop")
+	}
+}
+
+func TestDetectorUnwatchSilencesEndpoint(t *testing.T) {
+	ch, d := detStack(3, FaultPlan{Seed: 1}, DetectorConfig{})
+	d.Baseline(4)
+	ch.Kill(2)
+	d.Unwatch(2)
+	for i := 0; i < 12; i++ {
+		if s := d.Tick(); len(s) != 0 {
+			t.Fatalf("unwatched dead endpoint still suspected: %v", s)
+		}
+	}
+	if phi := d.Phi(2); phi != 0 {
+		t.Fatalf("unwatched endpoint has phi %.2f", phi)
+	}
+}
+
+func TestEpochTableEvictMovesTopOntoSlot(t *testing.T) {
+	tab := NewEpochTable(4, 4) // no spares: the evict regime
+	deadEp := tab.Endpoint(1)
+	topEp := tab.Endpoint(3)
+	e0 := tab.Epoch()
+	dropped, err := tab.Evict(1)
+	if err != nil {
+		t.Fatalf("evict: %v", err)
+	}
+	if dropped != 3 {
+		t.Fatalf("evict dropped rank %d, want previous top 3", dropped)
+	}
+	if got := tab.Ranks(); got != 3 {
+		t.Fatalf("ranks after evict = %d, want 3", got)
+	}
+	if got := tab.Endpoint(1); got != topEp {
+		t.Fatalf("evicted slot carries endpoint %d, want the top rank's %d", got, topEp)
+	}
+	if got := tab.Logical(deadEp); got != -1 {
+		t.Fatalf("dead endpoint still maps to rank %d", got)
+	}
+	if got := tab.Logical(topEp); got != 1 {
+		t.Fatalf("reused endpoint maps to rank %d, want 1", got)
+	}
+	if tab.Epoch() != e0+1 {
+		t.Fatalf("evict did not bump the epoch")
+	}
+	// The dead endpoint must never re-enter circulation.
+	if _, err := tab.Grow(1); err == nil {
+		t.Fatalf("grow succeeded after evict: the dead endpoint was pooled")
+	}
+}
+
+func TestEpochTableEvictTopIsPlainDrop(t *testing.T) {
+	tab := NewEpochTable(3, 3)
+	dropped, err := tab.Evict(2)
+	if err != nil {
+		t.Fatalf("evict top: %v", err)
+	}
+	if dropped != 2 || tab.Ranks() != 2 {
+		t.Fatalf("evict top: dropped %d ranks %d, want 2 and 2", dropped, tab.Ranks())
+	}
+	if tab.Endpoint(0) != 0 || tab.Endpoint(1) != 1 {
+		t.Fatalf("surviving assignments disturbed: %v", tab.Endpoints())
+	}
+}
+
+func TestEpochTableEvictErrors(t *testing.T) {
+	tab := NewEpochTable(2, 2)
+	if _, err := tab.Evict(5); err == nil {
+		t.Fatalf("out-of-range evict succeeded")
+	}
+	if _, err := tab.Evict(0); err != nil {
+		t.Fatalf("evict to 1 rank: %v", err)
+	}
+	if _, err := tab.Evict(0); err == nil {
+		t.Fatalf("evicting the last rank succeeded")
+	}
+}

@@ -168,6 +168,38 @@ func (t *EpochTable) Shrink(k int) error {
 	return nil
 }
 
+// Evict removes a logical rank whose endpoint is dead when no spare
+// remains to Remap onto — the graceful-degradation resize. The dead
+// endpoint is abandoned (never pooled). To keep the logical space
+// contiguous while preserving every *surviving* rank's identity, the
+// top logical rank's healthy endpoint is moved onto the evicted rank's
+// slot and the top logical rank is dropped; callers redistribute the
+// dropped rank's state exactly as for a Shrink of 1 (the evicted rank
+// itself recovers from its checkpoint onto the reused endpoint).
+// Evicting the top rank is a plain drop. Returns the logical rank that
+// was dropped — always the previous top.
+func (t *EpochTable) Evict(logical int) (dropped int, err error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if logical < 0 || logical >= len(t.phys) {
+		return 0, fmt.Errorf("fabric: evict of logical rank %d out of range [0,%d)", logical, len(t.phys))
+	}
+	if len(t.phys) <= 1 {
+		return 0, fmt.Errorf("fabric: cannot evict the last rank")
+	}
+	top := len(t.phys) - 1
+	deadEp := t.phys[logical]
+	delete(t.rev, deadEp)
+	if logical != top {
+		ep := t.phys[top]
+		t.phys[logical] = ep
+		t.rev[ep] = logical
+	}
+	t.phys = t.phys[:top]
+	t.epoch++
+	return top, nil
+}
+
 // Endpoints returns a snapshot of the current logical→endpoint map
 // (diagnostics; index = logical rank).
 func (t *EpochTable) Endpoints() []int {

@@ -1,0 +1,106 @@
+package fabric
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestReliableDetectorSpikeStormNoDoubleKill is the DeathSilence ×
+// Detector interplay regression: a delay-spike storm that go-back-N
+// survives may still push the detector over threshold (its round
+// window here is deliberately narrower than the spike), but suspicion
+// is advisory — the storm must NOT kill the Reliable link (DeathSilence
+// keeps hearing late acks), and a precautionary Remap of the suspected
+// rank must leave no poisoned state behind: traffic to the rank on its
+// fresh endpoint completes, the old link records no error, and nothing
+// was Chaos-killed.
+func TestReliableDetectorSpikeStormNoDoubleKill(t *testing.T) {
+	seed := chaosSeedFromEnv(t, 42)
+	const app = 4 // endpoints 0..3; monitor = 4
+	tab := NewEpochTable(2, app)
+	chaos := NewChaos(NewSim(app+1, CostModel{}), FaultPlan{
+		Seed:         seed,
+		DelaySpike:   0.9,
+		SpikeLatency: 2 * time.Millisecond,
+	})
+	rel := NewReliable(chaos, RelConfig{
+		RetryBase:    100 * time.Microsecond,
+		RetryCap:     time.Millisecond,
+		MaxAttempts:  20,
+		DeathSilence: 2 * time.Second, // survives the storm
+	})
+	var linkErrs atomic.Int64
+	rel.SetOnLinkError(func(src, dst int, err error) { linkErrs.Add(1) })
+	vt := NewVirtual(rel, tab)
+
+	// Detector tuned to false-positive on spikes: the round window is
+	// shorter than the spike latency, so a storm looks like silence.
+	det := NewDetector(chaos, DetectorConfig{
+		Monitor:   app,
+		RoundWait: 500 * time.Microsecond,
+		Threshold: 3,
+	})
+	det.Watch(tab.Endpoint(0))
+	det.Watch(tab.Endpoint(1))
+
+	// Storm traffic over the reliable layer: go-back-N must land all of
+	// it despite 90% spikes.
+	const msgs = 50
+	for i := 0; i < msgs; i++ {
+		vt.Send(0, 1, 5, []byte{byte(i)})
+	}
+	suspects, _ := det.Sweep(64)
+	for i := 0; i < msgs; i++ {
+		m := vt.Recv(1, 0, 5)
+		if m.Data[0] != byte(i) {
+			t.Fatalf("storm broke FIFO delivery at %d: got %d", i, m.Data[0])
+		}
+	}
+	if len(suspects) == 0 {
+		t.Skipf("detector did not false-positive under this seed; interplay not exercised")
+	}
+
+	// The suspicion must not have killed anything: the link survived...
+	if err := rel.LinkErr(0, 1); err != nil {
+		t.Fatalf("spike storm killed the 0->1 link: %v", err)
+	}
+	if linkErrs.Load() != 0 {
+		t.Fatalf("%d link errors fired during a survivable storm", linkErrs.Load())
+	}
+	for ep := 0; ep < app; ep++ {
+		if !chaos.Alive(ep) {
+			t.Fatalf("endpoint %d chaos-killed by suspicion alone", ep)
+		}
+	}
+
+	// ...and a precautionary remap of the suspect leaves clean state:
+	// the rank keeps working on its fresh endpoint, and the abandoned
+	// endpoint's go-back-N state never bleeds into the new link.
+	victim := tab.Logical(suspects[0])
+	if victim < 0 {
+		t.Fatalf("suspect %d carries no rank", suspects[0])
+	}
+	old, fresh, err := tab.Remap(victim)
+	if err != nil {
+		t.Fatalf("remap: %v", err)
+	}
+	det.Unwatch(old)
+	det.Watch(fresh)
+	peer := 1 - victim
+	for i := 0; i < msgs; i++ {
+		vt.Send(peer, victim, 6, []byte{byte(i)})
+	}
+	for i := 0; i < msgs; i++ {
+		m := vt.Recv(victim, peer, 6)
+		if m.Data[0] != byte(i) || m.Src != peer {
+			t.Fatalf("post-remap delivery broken at %d: %+v", i, m)
+		}
+	}
+	if err := rel.LinkErr(tab.Endpoint(peer), fresh); err != nil {
+		t.Fatalf("fresh link inherited an error: %v", err)
+	}
+	if linkErrs.Load() != 0 {
+		t.Fatalf("link errors after remap: %d", linkErrs.Load())
+	}
+}

@@ -1,0 +1,99 @@
+package hiperckpt
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+// The blob API (WriteBlob/ReadBlob/DeleteBlob) is the supervisor's
+// recovery substrate: the two-slot pending/committed checkpoint
+// protocol and eviction-time state redistribution run entirely through
+// it, outside any rank's runtime. These tests pin its failure
+// semantics.
+
+func TestWriteBlobUnderDeviceFailure(t *testing.T) {
+	s := NewStore(StoreConfig{})
+	if err := s.WriteBlob("a", []float64{1, 2}); err != nil {
+		t.Fatalf("healthy write: %v", err)
+	}
+	boom := errors.New("device full")
+	s.FailWrites(boom)
+	if err := s.WriteBlob("a", []float64{9, 9}); !errors.Is(err, boom) {
+		t.Fatalf("failed write returned %v, want the injected error", err)
+	}
+	// A failed write is not torn: the previous blob survives untouched.
+	blob, ok := s.ReadBlob("a")
+	if !ok || blob[0] != 1 || blob[1] != 2 {
+		t.Fatalf("failed write corrupted the stored blob: %v %v", blob, ok)
+	}
+	if err := s.WriteBlob("b", []float64{3}); !errors.Is(err, boom) {
+		t.Fatalf("fresh-key write under failure returned %v", err)
+	}
+	if _, ok := s.ReadBlob("b"); ok {
+		t.Fatal("failed write persisted a blob")
+	}
+	// Healing restores service.
+	s.FailWrites(nil)
+	if err := s.WriteBlob("a", []float64{7}); err != nil {
+		t.Fatalf("write after heal: %v", err)
+	}
+	if blob, _ := s.ReadBlob("a"); len(blob) != 1 || blob[0] != 7 {
+		t.Fatalf("healed write not visible: %v", blob)
+	}
+}
+
+func TestReadBlobAfterDelete(t *testing.T) {
+	s := NewStore(StoreConfig{})
+	if err := s.WriteBlob("k", []float64{4, 5}); err != nil {
+		t.Fatal(err)
+	}
+	s.DeleteBlob("k")
+	if blob, ok := s.ReadBlob("k"); ok {
+		t.Fatalf("deleted key still readable: %v", blob)
+	}
+	// Deleting a missing key is a no-op, not a fault.
+	s.DeleteBlob("k")
+	s.DeleteBlob("never-written")
+}
+
+// TestBlobConcurrentDeleteRead hammers the same keys from concurrent
+// readers, writers, and deleters — run under -race, it proves the blob
+// API is safe for the supervisor's driver-side use while rank runtimes
+// checkpoint through the same store. Every successful read must see a
+// complete, untorn snapshot.
+func TestBlobConcurrentDeleteRead(t *testing.T) {
+	s := NewStore(StoreConfig{})
+	keys := []string{"rank0/x", "rank1/x", "rank2/x"}
+	const iters = 300
+	var wg sync.WaitGroup
+	for _, key := range keys {
+		k := key
+		wg.Add(3)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				v := float64(i)
+				_ = s.WriteBlob(k, []float64{v, v})
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				s.DeleteBlob(k)
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				if blob, ok := s.ReadBlob(k); ok {
+					if len(blob) != 2 || blob[0] != blob[1] {
+						t.Errorf("torn read on %s: %v", k, blob)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/fabric"
@@ -143,42 +144,76 @@ func RunElastic(spec ElasticSpec, setup func(p *Proc) error, body func(p *Proc, 
 // into each Proc and into the watchdog's stall labels.
 func runElasticPhase(spec *ElasticSpec, phase int, restored map[int]bool,
 	setup func(p *Proc) error, body func(p *Proc, c *core.Ctx)) error {
-	ranks := spec.Table.Ranks()
-	epoch := spec.Table.Epoch()
+	return runPhase(phaseBoot{
+		workers:  spec.WorkersPerRank,
+		nvm:      spec.NVM,
+		watchdog: spec.Watchdog,
+		table:    spec.Table,
+		phase:    phase,
+		restored: restored,
+		label:    fmt.Sprintf("phase %d", phase),
+	}, setup, body)
+}
+
+// phaseBoot parameterizes one phase of a phased driver (RunElastic's
+// scripted schedule or Supervise's detector-driven retry loop): boot one
+// fresh runtime per current logical rank, launch the bodies, join the
+// per-rank errors, shut everything down.
+type phaseBoot struct {
+	workers  int
+	nvm      bool
+	watchdog *core.WatchdogConfig
+	table    *fabric.EpochTable
+	phase    int
+	restored map[int]bool
+	// label is stamped (with the table epoch) into watchdog stall
+	// reports, so a wedged phase names where — and, for supervised
+	// retries, which recovery step — it stuck.
+	label string
+	// abandonShutdown, when > 0, bounds the post-join Shutdown pass: a
+	// runtime that cannot quiesce within the deadline (e.g. after a
+	// watchdog abort of a wedged phase) is abandoned rather than
+	// allowed to wedge the supervisor's recovery loop.
+	abandonShutdown time.Duration
+}
+
+func runPhase(b phaseBoot, setup func(p *Proc) error, body func(p *Proc, c *core.Ctx)) error {
+	ranks := b.table.Ranks()
+	epoch := b.table.Epoch()
 	var opts *core.Options
-	if spec.Watchdog != nil {
-		opts = &core.Options{Watchdog: spec.Watchdog}
+	if b.watchdog != nil {
+		opts = &core.Options{Watchdog: b.watchdog}
 	}
 	procs := make([]*Proc, ranks)
 	for r := 0; r < ranks; r++ {
 		var model *platform.Model
-		if spec.NVM {
+		if b.nvm {
 			var err error
 			model, err = platform.Generate(platform.MachineSpec{
-				Sockets: 1, CoresPerSocket: spec.WorkersPerRank, NVM: true, Interconnect: true,
+				Sockets: 1, CoresPerSocket: b.workers, NVM: true, Interconnect: true,
 			})
 			if err != nil {
-				return fmt.Errorf("job: phase %d rank %d: %w", phase, r, err)
+				return fmt.Errorf("job: phase %d rank %d: %w", b.phase, r, err)
 			}
 		} else {
-			model = platform.Default(spec.WorkersPerRank)
+			model = platform.Default(b.workers)
 		}
 		rt, err := core.New(model, opts)
 		if err != nil {
-			return fmt.Errorf("job: phase %d rank %d: %w", phase, r, err)
+			return fmt.Errorf("job: phase %d rank %d: %w", b.phase, r, err)
 		}
-		rt.SetStallLabel(epoch, fmt.Sprintf("phase %d", phase))
+		rt.SetStallLabel(epoch, b.label)
 		procs[r] = &Proc{
 			Rank:     r,
 			RT:       rt,
-			Endpoint: spec.Table.Endpoint(r),
+			Endpoint: b.table.Endpoint(r),
 			Epoch:    epoch,
-			Phase:    phase,
-			Restored: restored[r],
+			Phase:    b.phase,
+			Restored: b.restored[r],
 		}
 		if setup != nil {
 			if err := setup(procs[r]); err != nil {
-				return fmt.Errorf("job: phase %d rank %d setup: %w", phase, r, err)
+				return fmt.Errorf("job: phase %d rank %d setup: %w", b.phase, r, err)
 			}
 		}
 	}
@@ -189,13 +224,29 @@ func runElasticPhase(spec *ElasticSpec, phase int, restored map[int]bool,
 		go func(p *Proc) {
 			defer wg.Done()
 			if err := p.RT.Launch(func(c *core.Ctx) { body(p, c) }); err != nil {
-				rankErrs[p.Rank] = fmt.Errorf("job: phase %d rank %d: %w", phase, p.Rank, err)
+				rankErrs[p.Rank] = fmt.Errorf("job: phase %d rank %d: %w", b.phase, p.Rank, err)
 			}
 		}(p)
 	}
 	wg.Wait()
-	for _, p := range procs {
-		p.RT.Shutdown()
+	if b.abandonShutdown > 0 {
+		done := make(chan struct{})
+		go func() {
+			for _, p := range procs {
+				p.RT.Shutdown()
+			}
+			close(done)
+		}()
+		select {
+		case <-done:
+		case <-time.After(b.abandonShutdown):
+			// Wedged runtimes are abandoned; the phase error (watchdog
+			// abort or rank failure) reports why.
+		}
+	} else {
+		for _, p := range procs {
+			p.RT.Shutdown()
+		}
 	}
 	return errors.Join(rankErrs...)
 }

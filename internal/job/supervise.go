@@ -1,0 +1,383 @@
+package job
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fabric"
+	"repro/internal/stats"
+)
+
+// Supervise is the self-healing phase driver: RunElastic's phase
+// machinery with the scripted event schedule replaced by a phi-accrual
+// failure detector. Nothing tells the supervisor which rank died or
+// when — it learns of failures the way a production pilot-job layer
+// must, by a phase attempt failing verification and the detector's
+// suspicion crossing threshold — and recovers autonomously:
+//
+//	attempt phase → verify
+//	  │ fail
+//	  ▼
+//	sweep the detector until a suspect emerges (detection latency)
+//	roll back: discard the attempt, restore every rank from the last
+//	  committed checkpoint (OnRollback + Restored procs)
+//	remap the suspect onto a spare endpoint   — while its restart
+//	  budget and the spare pool last
+//	evict (shrink the world by one)           — when either runs out,
+//	  if the workload opted in via the shrink redistribution hook
+//	escalate with a structured RecoveryReport — at MinRanks or the
+//	  per-phase attempt cap
+//
+// Retries back off exponentially (RetryBase doubling to RetryCap).
+// Every recovery action lands in the RecoveryReport and in the next
+// attempt's watchdog stall label, so a recovery that itself wedges
+// names the in-flight step.
+
+// SuperviseSpec describes a supervised job.
+type SuperviseSpec struct {
+	// WorkersPerRank, NVM, Watchdog, Table: as in ElasticSpec.
+	WorkersPerRank int
+	NVM            bool
+	Watchdog       *core.WatchdogConfig
+	Table          *fabric.EpochTable
+	// Detector supplies failure suspicion. The supervisor watches the
+	// table's endpoints, baselines it, and keeps its watch-set in step
+	// with remaps and evictions.
+	Detector *fabric.Detector
+	// Phases is how many phases must commit for the job to succeed.
+	Phases int
+	// MinRanks is the degradation floor: the supervisor never shrinks
+	// the world below it (default 2).
+	MinRanks int
+	// RestartBudget is how many remaps each logical rank gets before
+	// its next suspicion degrades the world instead (default 2).
+	RestartBudget int
+	// MaxAttempts caps attempts per phase; spending it escalates
+	// (default 8).
+	MaxAttempts int
+	// RetryBase/RetryCap bound the exponential backoff between
+	// attempts (defaults 500µs / 8ms).
+	RetryBase time.Duration
+	RetryCap  time.Duration
+	// BaselineRounds warms the detector before phase 0 (default 8).
+	BaselineRounds int
+	// SweepRounds bounds each post-failure detection sweep (default 32).
+	SweepRounds int
+	// ShutdownDeadline bounds each attempt's runtime-shutdown pass; a
+	// runtime wedged past it (watchdog-aborted phases) is abandoned
+	// (default 2s).
+	ShutdownDeadline time.Duration
+	// Inject, if non-nil, runs before every attempt launches. It is
+	// the fault-injection seam for tests and benchmarks (see
+	// KillPlan): the supervisor never sees what it does — recovery is
+	// driven purely by verification failures and detector suspicion.
+	Inject func(phase, attempt int)
+	// OnRollback, if non-nil, observes every discarded attempt before
+	// recovery actions apply: the workload wipes in-memory rank state
+	// and per-attempt scratch, and discards uncommitted (pending)
+	// checkpoints. Suspects lists the suspected logical ranks (empty
+	// for a transient failure with no suspect).
+	OnRollback func(phase, attempt int, suspects []int)
+	// OnCommit, if non-nil, runs after a phase verifies: the workload
+	// promotes the phase's pending checkpoints to committed — the
+	// state rollback restores. An error is fatal (checkpoint storage
+	// is the recovery substrate; losing it is not recoverable).
+	OnCommit func(phase int) error
+	// OnEvent, if non-nil, observes recovery actions in ElasticSpec's
+	// vocabulary: a remap arrives as a "kill" event (old and fresh
+	// endpoints), an eviction as a "shrink" of 1 whose dropped rank's
+	// committed state the workload must redistribute — the same hook
+	// contract scripted elastic jobs already implement.
+	OnEvent func(ev ElasticEvent, oldEndpoint, freshEndpoint int)
+	// AfterPhase verifies an attempt (digest checks) and, on success,
+	// records it. An error fails the attempt and triggers recovery.
+	AfterPhase func(phase int) error
+}
+
+func (s SuperviseSpec) withDefaults() SuperviseSpec {
+	if s.WorkersPerRank <= 0 {
+		s.WorkersPerRank = 1
+	}
+	if s.MinRanks <= 0 {
+		s.MinRanks = 2
+	}
+	if s.RestartBudget <= 0 {
+		s.RestartBudget = 2
+	}
+	if s.MaxAttempts <= 0 {
+		s.MaxAttempts = 8
+	}
+	if s.RetryBase <= 0 {
+		s.RetryBase = 500 * time.Microsecond
+	}
+	if s.RetryCap <= 0 {
+		s.RetryCap = 8 * time.Millisecond
+	}
+	if s.BaselineRounds <= 0 {
+		s.BaselineRounds = 8
+	}
+	if s.SweepRounds <= 0 {
+		s.SweepRounds = 32
+	}
+	if s.ShutdownDeadline <= 0 {
+		s.ShutdownDeadline = 2 * time.Second
+	}
+	return s
+}
+
+// Detection is one detector-driven recovery decision in the report.
+type Detection struct {
+	Phase, Attempt int
+	Rank           int     // suspected logical rank
+	Endpoint       int     // the suspected (old) endpoint
+	Phi            float64 // suspicion level at detection
+	Rounds         int     // sweep rounds until suspicion — the detection latency
+	Latency        time.Duration
+	Action         string // "remap", "evict", "escalate"
+}
+
+// Recovery summarizes one phase that needed retries.
+type Recovery struct {
+	Phase    int
+	Attempts int           // attempts the phase took (>= 2)
+	Downtime time.Duration // first failure → successful commit: the MTTR
+}
+
+// RecoveryReport is the supervisor's structured account of a run. On
+// escalation it is joined into the job error via RecoveryError.
+type RecoveryReport struct {
+	Phases     int // phases committed
+	Attempts   int // attempts launched
+	Retries    int // attempts discarded
+	Remaps     int
+	Evictions  int
+	FinalRanks int
+	Detections []Detection
+	Recoveries []Recovery
+	Escalated  string // non-empty: why the supervisor gave up
+}
+
+// String renders the one-line summary.
+func (r *RecoveryReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "phases %d, attempts %d, retries %d, remaps %d, evictions %d, final ranks %d",
+		r.Phases, r.Attempts, r.Retries, r.Remaps, r.Evictions, r.FinalRanks)
+	for _, d := range r.Detections {
+		fmt.Fprintf(&b, "; phase %d attempt %d: rank %d (ep %d) phi %.1f after %d rounds -> %s",
+			d.Phase, d.Attempt, d.Rank, d.Endpoint, d.Phi, d.Rounds, d.Action)
+	}
+	if r.Escalated != "" {
+		fmt.Fprintf(&b, "; escalated: %s", r.Escalated)
+	}
+	return b.String()
+}
+
+// RecoveryError joins the supervisor's report into the job error when
+// the recovery budget is spent. errors.As recovers the report.
+type RecoveryError struct {
+	Report *RecoveryReport
+	Err    error
+}
+
+func (e *RecoveryError) Error() string {
+	return fmt.Sprintf("job: supervision escalated (%s): %v", e.Report.String(), e.Err)
+}
+
+func (e *RecoveryError) Unwrap() error { return e.Err }
+
+// Supervise runs spec.Phases phases of body under detector-driven
+// recovery. The report is returned in every case — alongside the error
+// on escalation — so callers always get the detection timeline.
+func Supervise(spec SuperviseSpec, setup func(p *Proc) error, body func(p *Proc, c *core.Ctx)) (*RecoveryReport, error) {
+	rep := &RecoveryReport{}
+	if spec.Table == nil || spec.Detector == nil {
+		return rep, fmt.Errorf("job: supervised run needs an epoch table and a detector")
+	}
+	if spec.Phases <= 0 {
+		return rep, fmt.Errorf("job: need at least 1 phase, got %d", spec.Phases)
+	}
+	spec = spec.withDefaults()
+	tab, det := spec.Table, spec.Detector
+
+	for _, ep := range tab.Endpoints() {
+		det.Watch(ep)
+	}
+	det.Baseline(spec.BaselineRounds)
+
+	escalate := func(cause error, reason string, args ...any) (*RecoveryReport, error) {
+		rep.Escalated = fmt.Sprintf(reason, args...)
+		rep.FinalRanks = tab.Ranks()
+		return rep, &RecoveryError{Report: rep, Err: cause}
+	}
+
+	budget := make(map[int]int) // logical rank -> remaps spent
+	restored := make(map[int]bool)
+	for phase := 0; phase < spec.Phases; phase++ {
+		var downSince time.Time
+		recovering := "" // last recovery trail, for the stall label
+		for attempt := 0; ; attempt++ {
+			if attempt >= spec.MaxAttempts {
+				return escalate(fmt.Errorf("phase %d still failing", phase),
+					"phase %d spent its attempt budget (%d)", phase, spec.MaxAttempts)
+			}
+			rep.Attempts++
+			if spec.Inject != nil {
+				spec.Inject(phase, attempt)
+			}
+			label := fmt.Sprintf("phase %d attempt %d", phase, attempt)
+			if recovering != "" {
+				label += " (recovering: " + recovering + ")"
+			}
+			err := runPhase(phaseBoot{
+				workers:         spec.WorkersPerRank,
+				nvm:             spec.NVM,
+				watchdog:        spec.Watchdog,
+				table:           tab,
+				phase:           phase,
+				restored:        restored,
+				label:           label,
+				abandonShutdown: spec.ShutdownDeadline,
+			}, setup, body)
+			if err == nil && spec.AfterPhase != nil {
+				err = spec.AfterPhase(phase)
+			}
+			if err == nil {
+				if spec.OnCommit != nil {
+					if cerr := spec.OnCommit(phase); cerr != nil {
+						return rep, fmt.Errorf("job: phase %d commit: %w", phase, cerr)
+					}
+				}
+				rep.Phases++
+				if attempt > 0 {
+					rep.Recoveries = append(rep.Recoveries,
+						Recovery{Phase: phase, Attempts: attempt + 1, Downtime: time.Since(downSince)})
+				}
+				restored = make(map[int]bool)
+				break
+			}
+
+			// The attempt is discarded. Find out who (if anyone) died,
+			// roll back, recover, and go again.
+			if downSince.IsZero() {
+				downSince = time.Now()
+			}
+			rep.Retries++
+			stats.SetGauge("supervise", "retries", float64(rep.Retries))
+
+			sweepStart := time.Now()
+			suspectEps, rounds := det.Sweep(spec.SweepRounds)
+			sweepLat := time.Since(sweepStart)
+
+			var suspects []int
+			for _, ep := range suspectEps {
+				if lr := tab.Logical(ep); lr >= 0 {
+					suspects = append(suspects, lr)
+				} else {
+					det.Unwatch(ep) // stale: not carrying any rank
+				}
+			}
+			if spec.OnRollback != nil {
+				spec.OnRollback(phase, attempt, suspects)
+			}
+
+			var steps []string
+			for _, lr := range suspects {
+				ep := tab.Endpoint(lr)
+				d := Detection{
+					Phase: phase, Attempt: attempt, Rank: lr, Endpoint: ep,
+					Phi: det.Phi(ep), Rounds: rounds, Latency: sweepLat,
+				}
+				if budget[lr] < spec.RestartBudget {
+					if old, fresh, rerr := tab.Remap(lr); rerr == nil {
+						budget[lr]++
+						rep.Remaps++
+						stats.SetGauge("supervise", "remaps", float64(rep.Remaps))
+						det.Unwatch(old)
+						det.Watch(fresh)
+						d.Action = "remap"
+						rep.Detections = append(rep.Detections, d)
+						steps = append(steps, fmt.Sprintf("remap rank %d ep %d->%d", lr, old, fresh))
+						if spec.OnEvent != nil {
+							spec.OnEvent(ElasticEvent{AfterPhase: phase, Kind: "kill", Rank: lr}, old, fresh)
+						}
+						continue
+					}
+					// Spare pool exhausted: degrade instead.
+				}
+				if tab.Ranks()-1 < spec.MinRanks {
+					d.Action = "escalate"
+					rep.Detections = append(rep.Detections, d)
+					return escalate(err, "rank %d suspected with restart budget and world floor (%d ranks) spent",
+						lr, spec.MinRanks)
+				}
+				dropped, everr := tab.Evict(lr)
+				if everr != nil {
+					return rep, fmt.Errorf("job: phase %d evicting rank %d: %w", phase, lr, everr)
+				}
+				rep.Evictions++
+				stats.SetGauge("supervise", "evictions", float64(rep.Evictions))
+				det.Unwatch(ep)
+				d.Action = "evict"
+				rep.Detections = append(rep.Detections, d)
+				steps = append(steps, fmt.Sprintf("evict rank %d (world -> %d)", lr, tab.Ranks()))
+				if spec.OnEvent != nil {
+					// The same shrink contract scripted jobs implement:
+					// the dropped (previous top) rank's committed state
+					// must redistribute into the smaller world.
+					spec.OnEvent(ElasticEvent{AfterPhase: phase, Kind: "shrink", Delta: 1, Rank: dropped}, -1, -1)
+				}
+			}
+			if len(suspects) == 0 {
+				steps = append(steps, "transient: retry without remap")
+			}
+			recovering = strings.Join(steps, ", ")
+
+			// Full rollback: every rank restores from its committed
+			// checkpoint on the next attempt.
+			restored = make(map[int]bool)
+			for r := 0; r < tab.Ranks(); r++ {
+				restored[r] = true
+			}
+
+			backoff := spec.RetryBase << uint(attempt)
+			if backoff > spec.RetryCap {
+				backoff = spec.RetryCap
+			}
+			time.Sleep(backoff)
+		}
+	}
+	rep.FinalRanks = tab.Ranks()
+	return rep, nil
+}
+
+// KillPlan is a seeded, unscripted fault injector for supervised jobs:
+// before an attempt it may (with probability Prob, at most Max times)
+// kill the endpoint of a seeded-pseudorandomly chosen current logical
+// rank. The decisions are a pure function of (Seed, phase, attempt), so
+// runs replay exactly — but, unlike an ElasticEvent script, nothing is
+// communicated to the supervisor: it must detect the kill itself.
+type KillPlan struct {
+	Seed uint64
+	Prob float64
+	Max  int
+}
+
+// Injector binds the plan to a table and a kill primitive (typically
+// Chaos.Kill), yielding a SuperviseSpec.Inject hook.
+func (k KillPlan) Injector(tab *fabric.EpochTable, kill func(endpoint int)) func(phase, attempt int) {
+	killed := 0
+	return func(phase, attempt int) {
+		if killed >= k.Max || k.Prob <= 0 {
+			return
+		}
+		h := RankSeed(k.Seed, phase, uint64(attempt))
+		if float64(h>>11)/(1<<53) >= k.Prob {
+			return
+		}
+		victim := int(RankSeed(k.Seed+1, phase, uint64(attempt)) % uint64(tab.Ranks()))
+		kill(tab.Endpoint(victim))
+		killed++
+	}
+}

@@ -1,0 +1,302 @@
+package job
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fabric"
+)
+
+// supStack builds the supervised-test fabric: a table over `ranks` of
+// `capacity` endpoints, chaos with the given plan on a sim sized
+// capacity+1, and a detector on the extra (monitor) endpoint.
+func supStack(ranks, capacity int, plan fabric.FaultPlan) (*fabric.EpochTable, *fabric.Chaos, *fabric.Detector) {
+	tab := fabric.NewEpochTable(ranks, capacity)
+	ch := fabric.NewChaos(fabric.NewSim(capacity+1, fabric.CostModel{}), plan)
+	det := fabric.NewDetector(ch, fabric.DetectorConfig{Monitor: capacity})
+	return tab, ch, det
+}
+
+// aliveCheck builds the verification seam these tests use in place of a
+// workload digest: an attempt "fails verification" exactly when some
+// current endpoint is dead — the same observable a corrupt digest gives
+// a real workload, with the same ignorance of who died.
+func aliveCheck(tab *fabric.EpochTable, ch *fabric.Chaos) func(phase int) error {
+	return func(phase int) error {
+		for r := 0; r < tab.Ranks(); r++ {
+			if !ch.Alive(tab.Endpoint(r)) {
+				return fmt.Errorf("phase %d result corrupt", phase)
+			}
+		}
+		return nil
+	}
+}
+
+func TestSuperviseCleanRun(t *testing.T) {
+	tab, ch, det := supStack(2, 3, fabric.FaultPlan{Seed: 1})
+	var bodies atomic.Int64
+	rep, err := Supervise(SuperviseSpec{
+		Table: tab, Detector: det, Phases: 3,
+		AfterPhase: aliveCheck(tab, ch),
+	}, nil, func(p *Proc, c *core.Ctx) { bodies.Add(1) })
+	if err != nil {
+		t.Fatalf("clean supervised run failed: %v", err)
+	}
+	if rep.Phases != 3 || rep.Attempts != 3 || rep.Retries != 0 || rep.Remaps != 0 {
+		t.Fatalf("clean run report off: %s", rep)
+	}
+	if rep.FinalRanks != 2 {
+		t.Fatalf("final ranks %d, want 2", rep.FinalRanks)
+	}
+	if bodies.Load() != 6 {
+		t.Fatalf("bodies ran %d times, want 6", bodies.Load())
+	}
+}
+
+// TestSuperviseDetectsAndRemaps: an opaque kill before phase 1 must be
+// detected by the sweep and remapped onto a spare, with every rank
+// restored on the retry.
+func TestSuperviseDetectsAndRemaps(t *testing.T) {
+	tab, ch, det := supStack(3, 5, fabric.FaultPlan{Seed: 1})
+	var mu sync.Mutex
+	restoredAt := map[string]bool{} // "phase/rank" -> Restored
+	var killedEvents []ElasticEvent
+	rep, err := Supervise(SuperviseSpec{
+		Table: tab, Detector: det, Phases: 3,
+		Inject: func(phase, attempt int) {
+			if phase == 1 && attempt == 0 {
+				ch.Kill(tab.Endpoint(1))
+			}
+		},
+		OnEvent: func(ev ElasticEvent, oldEp, freshEp int) {
+			mu.Lock()
+			killedEvents = append(killedEvents, ev)
+			mu.Unlock()
+		},
+		AfterPhase: aliveCheck(tab, ch),
+	}, nil, func(p *Proc, c *core.Ctx) {
+		mu.Lock()
+		restoredAt[fmt.Sprintf("%d/%d/%d", p.Phase, p.Rank, boolInt(p.Restored))] = true
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatalf("supervised run failed: %v", err)
+	}
+	if rep.Phases != 3 || rep.Remaps != 1 || rep.Retries != 1 || rep.Evictions != 0 {
+		t.Fatalf("report off: %s", rep)
+	}
+	if len(rep.Detections) != 1 {
+		t.Fatalf("detections: %+v", rep.Detections)
+	}
+	d := rep.Detections[0]
+	if d.Rank != 1 || d.Action != "remap" || d.Phase != 1 || d.Rounds <= 0 || d.Phi < 8 {
+		t.Fatalf("detection record off: %+v", d)
+	}
+	if len(rep.Recoveries) != 1 || rep.Recoveries[0].Phase != 1 || rep.Recoveries[0].Attempts != 2 {
+		t.Fatalf("recovery record off: %+v", rep.Recoveries)
+	}
+	if len(killedEvents) != 1 || killedEvents[0].Kind != "kill" || killedEvents[0].Rank != 1 {
+		t.Fatalf("OnEvent saw %+v", killedEvents)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	// The retry of phase 1 must run every rank Restored.
+	for r := 0; r < 3; r++ {
+		if !restoredAt[fmt.Sprintf("1/%d/1", r)] {
+			t.Fatalf("phase 1 retry did not restore rank %d; saw %v", r, restoredAt)
+		}
+	}
+	// Phase 2 (after a committed phase 1) runs un-restored.
+	for r := 0; r < 3; r++ {
+		if restoredAt[fmt.Sprintf("2/%d/1", r)] {
+			t.Fatalf("phase 2 ran restored after a clean commit")
+		}
+	}
+}
+
+func boolInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// TestSuperviseDegradesByEviction: with no spare endpoints the suspect
+// cannot be remapped — the supervisor must shrink the world (evict) and
+// finish at the smaller size, emitting the shrink redistribution event.
+func TestSuperviseDegradesByEviction(t *testing.T) {
+	tab, ch, det := supStack(3, 3, fabric.FaultPlan{Seed: 1}) // zero spares
+	var shrinks []ElasticEvent
+	rep, err := Supervise(SuperviseSpec{
+		Table: tab, Detector: det, Phases: 3, MinRanks: 2,
+		Inject: func(phase, attempt int) {
+			if phase == 1 && attempt == 0 {
+				ch.Kill(tab.Endpoint(1))
+			}
+		},
+		OnEvent: func(ev ElasticEvent, oldEp, freshEp int) {
+			if ev.Kind == "shrink" {
+				shrinks = append(shrinks, ev)
+			}
+		},
+		AfterPhase: aliveCheck(tab, ch),
+	}, nil, func(p *Proc, c *core.Ctx) {})
+	if err != nil {
+		t.Fatalf("supervised run failed to degrade: %v", err)
+	}
+	if rep.Phases != 3 || rep.Evictions != 1 || rep.Remaps != 0 || rep.FinalRanks != 2 {
+		t.Fatalf("degrade report off: %s", rep)
+	}
+	if len(rep.Detections) != 1 || rep.Detections[0].Action != "evict" {
+		t.Fatalf("detections: %+v", rep.Detections)
+	}
+	if len(shrinks) != 1 || shrinks[0].Delta != 1 || shrinks[0].Rank != 2 {
+		t.Fatalf("shrink event off: %+v (want dropped top rank 2)", shrinks)
+	}
+	if tab.Ranks() != 2 {
+		t.Fatalf("world did not shrink: %d ranks", tab.Ranks())
+	}
+}
+
+// TestSuperviseRestartBudgetSpentDegrades: spares exist, but the rank's
+// restart budget is spent — repeated kills of the same rank must tip
+// from remap into eviction, proving the budget gates the ladder.
+func TestSuperviseRestartBudgetSpentDegrades(t *testing.T) {
+	tab, ch, det := supStack(3, 6, fabric.FaultPlan{Seed: 1})
+	rep, err := Supervise(SuperviseSpec{
+		Table: tab, Detector: det, Phases: 4, MinRanks: 2, RestartBudget: 1,
+		Inject: func(phase, attempt int) {
+			// Kill rank 1's current endpoint at the start of phases 1
+			// and 2 — the second suspicion finds its budget spent.
+			if (phase == 1 || phase == 2) && attempt == 0 {
+				ch.Kill(tab.Endpoint(1))
+			}
+		},
+		AfterPhase: aliveCheck(tab, ch),
+	}, nil, func(p *Proc, c *core.Ctx) {})
+	if err != nil {
+		t.Fatalf("supervised run failed: %v", err)
+	}
+	if rep.Remaps != 1 || rep.Evictions != 1 || rep.FinalRanks != 2 {
+		t.Fatalf("budget ladder off: %s", rep)
+	}
+	if len(rep.Detections) != 2 || rep.Detections[0].Action != "remap" || rep.Detections[1].Action != "evict" {
+		t.Fatalf("detections: %+v", rep.Detections)
+	}
+}
+
+// TestSuperviseEscalatesAtFloor: at the world-size floor with no spares
+// and no budget, the supervisor must give up with a RecoveryError
+// carrying the structured report.
+func TestSuperviseEscalatesAtFloor(t *testing.T) {
+	tab, ch, det := supStack(2, 2, fabric.FaultPlan{Seed: 1}) // floor = ranks
+	rep, err := Supervise(SuperviseSpec{
+		Table: tab, Detector: det, Phases: 3, MinRanks: 2,
+		Inject: func(phase, attempt int) {
+			if phase == 1 && attempt == 0 {
+				ch.Kill(tab.Endpoint(0))
+			}
+		},
+		AfterPhase: aliveCheck(tab, ch),
+	}, nil, func(p *Proc, c *core.Ctx) {})
+	if err == nil {
+		t.Fatalf("run at the floor with a dead rank succeeded; report: %s", rep)
+	}
+	var rerr *RecoveryError
+	if !errors.As(err, &rerr) {
+		t.Fatalf("escalation error is not a RecoveryError: %v", err)
+	}
+	if rerr.Report != rep {
+		t.Fatalf("error does not carry the returned report")
+	}
+	if rep.Escalated == "" {
+		t.Fatalf("report not marked escalated: %s", rep)
+	}
+	if n := len(rep.Detections); n == 0 || rep.Detections[n-1].Action != "escalate" {
+		t.Fatalf("final detection not an escalation: %+v", rep.Detections)
+	}
+	if rep.Phases != 1 {
+		t.Fatalf("committed %d phases before the kill, want 1", rep.Phases)
+	}
+}
+
+// TestSuperviseTransientFailureRetries: a verification failure with no
+// dead endpoint (no suspect emerges) must retry in place — no remap, no
+// evict — and succeed.
+func TestSuperviseTransientFailureRetries(t *testing.T) {
+	tab, ch, det := supStack(2, 3, fabric.FaultPlan{Seed: 1})
+	failOnce := true
+	rep, err := Supervise(SuperviseSpec{
+		Table: tab, Detector: det, Phases: 2, SweepRounds: 6,
+		AfterPhase: func(phase int) error {
+			if phase == 1 && failOnce {
+				failOnce = false
+				return fmt.Errorf("transient corruption")
+			}
+			return aliveCheck(tab, ch)(phase)
+		},
+	}, nil, func(p *Proc, c *core.Ctx) {})
+	if err != nil {
+		t.Fatalf("transient failure not survived: %v", err)
+	}
+	if rep.Retries != 1 || rep.Remaps != 0 || rep.Evictions != 0 || len(rep.Detections) != 0 {
+		t.Fatalf("transient report off: %s", rep)
+	}
+	if len(rep.Recoveries) != 1 || rep.Recoveries[0].Attempts != 2 {
+		t.Fatalf("recoveries: %+v", rep.Recoveries)
+	}
+}
+
+// TestSuperviseAttemptBudgetEscalates: a phase that keeps failing with
+// no suspect must spend MaxAttempts and escalate with the report joined
+// into the error.
+func TestSuperviseAttemptBudgetEscalates(t *testing.T) {
+	tab, _, det := supStack(2, 3, fabric.FaultPlan{Seed: 1})
+	rep, err := Supervise(SuperviseSpec{
+		Table: tab, Detector: det, Phases: 1, MaxAttempts: 3, SweepRounds: 4,
+		AfterPhase: func(phase int) error { return fmt.Errorf("always corrupt") },
+	}, nil, func(p *Proc, c *core.Ctx) {})
+	if err == nil {
+		t.Fatalf("endless corruption did not escalate")
+	}
+	var rerr *RecoveryError
+	if !errors.As(err, &rerr) {
+		t.Fatalf("not a RecoveryError: %v", err)
+	}
+	if rep.Attempts != 3 || rep.Phases != 0 || rep.Escalated == "" {
+		t.Fatalf("attempt-budget report off: %s", rep)
+	}
+}
+
+// TestKillPlanReplays: the unscripted killer is a pure function of its
+// seed — two runs over identical tables kill the same endpoints at the
+// same (phase, attempt) coordinates.
+func TestKillPlanReplays(t *testing.T) {
+	run := func() []int {
+		tab := fabric.NewEpochTable(4, 6)
+		var kills []int
+		inj := KillPlan{Seed: 9, Prob: 0.5, Max: 3}.Injector(tab, func(ep int) { kills = append(kills, ep) })
+		for phase := 0; phase < 6; phase++ {
+			for attempt := 0; attempt < 2; attempt++ {
+				inj(phase, attempt)
+			}
+		}
+		return kills
+	}
+	a, b := run(), run()
+	if len(a) == 0 {
+		t.Fatalf("kill plan never fired")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("kill sequences differ: %v vs %v", a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("kill sequences differ: %v vs %v", a, b)
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package graph500
+
+import (
+	"os"
+	"strconv"
+	"testing"
+	"time"
+
+	"repro/internal/fabric"
+	"repro/internal/job"
+)
+
+// chaosSeedFromEnv mirrors the fabric test helper: the Makefile's chaos
+// seed matrix overrides the default fault seed via HIPER_CHAOS_SEED.
+func chaosSeedFromEnv(t testing.TB, def uint64) uint64 {
+	t.Helper()
+	s := os.Getenv("HIPER_CHAOS_SEED")
+	if s == "" {
+		return def
+	}
+	v, err := strconv.ParseUint(s, 10, 64)
+	if err != nil {
+		t.Fatalf("HIPER_CHAOS_SEED=%q: %v", s, err)
+	}
+	return v
+}
+
+func supervisedTestConfig(seed uint64) SuperviseConfig {
+	return SuperviseConfig{
+		Graph:    GraphConfig{Scale: 8, EdgeFactor: 8, Seed: 5},
+		Ranks:    3,
+		Capacity: 8,
+		Phases:   3,
+		Plan:     fabric.FaultPlan{Seed: seed, Drop: 0.05, Dup: 0.05},
+		Rel: fabric.RelConfig{
+			RetryBase:    50 * time.Microsecond,
+			RetryCap:     200 * time.Microsecond,
+			MaxAttempts:  12,
+			DeathSilence: 100 * time.Millisecond,
+		},
+		Kills:   job.KillPlan{Seed: seed + 1000, Prob: 0.9, Max: 2},
+		Workers: 1,
+	}
+}
+
+// TestSupervisedBFSSurvivesUnscriptedKills is the ISSUE's end-to-end
+// self-healing Graph500 proof: 5% drop + 5% dup chaos plus an opaque
+// seeded KillPlan; a dead rank surfaces only as a wrong depth array
+// (the fixed-trip level loop guarantees no hang), and the supervisor
+// must detect, roll back, and remap or evict its way to depth arrays
+// byte-identical to the sequential oracle for every committed phase.
+func TestSupervisedBFSSurvivesUnscriptedKills(t *testing.T) {
+	seed := chaosSeedFromEnv(t, 42)
+	cfg := supervisedTestConfig(seed)
+	killed := 0
+	kills := cfg.Kills
+	cfg.Inject = func(tab *fabric.EpochTable, kill func(ep int)) func(phase, attempt int) {
+		return kills.Injector(tab, func(ep int) { killed++; kill(ep) })
+	}
+	res, err := RunSupervised(cfg)
+	if err != nil {
+		t.Fatalf("supervised run failed (report: %s): %v", res.Report, err)
+	}
+	if len(res.Digests) != cfg.Phases {
+		t.Fatalf("committed %d phases, want %d", len(res.Digests), cfg.Phases)
+	}
+	if res.Visited == 0 {
+		t.Fatal("no vertices visited")
+	}
+	if killed == 0 {
+		t.Skipf("kill plan never fired under seed %d; self-healing not exercised", seed)
+	}
+	rep := res.Report
+	if rep.Retries == 0 || rep.Remaps+rep.Evictions == 0 {
+		t.Fatalf("%d kills fired but the report shows no recovery: %s", killed, rep)
+	}
+	for _, d := range rep.Detections {
+		if d.Rounds <= 0 || d.Latency <= 0 {
+			t.Fatalf("detection carries no latency: %+v", d)
+		}
+	}
+}
+
+// TestSupervisedBFSMatchesScriptedKill: the scripted-vs-detected
+// convergence proof on BFS — an announced kill of rank 1 after phase 0
+// and an opaque kill of the same rank's endpoint must converge to
+// byte-identical per-phase depth digests.
+func TestSupervisedBFSMatchesScriptedKill(t *testing.T) {
+	seed := chaosSeedFromEnv(t, 42)
+
+	ecfg := elasticTestConfig()
+	ecfg.Plan = fabric.FaultPlan{Seed: seed, Drop: 0.05, Dup: 0.05}
+	ecfg.Events = []job.ElasticEvent{{AfterPhase: 0, Kind: "kill", Rank: 1}}
+	ecfg.Phases = 3
+	scripted, err := RunElastic(ecfg)
+	if err != nil {
+		t.Fatalf("scripted kill run failed: %v", err)
+	}
+
+	scfg := supervisedTestConfig(seed)
+	scfg.Kills = job.KillPlan{}
+	scfg.Inject = func(tab *fabric.EpochTable, kill func(ep int)) func(phase, attempt int) {
+		return func(phase, attempt int) {
+			if phase == 1 && attempt == 0 {
+				kill(tab.Endpoint(1))
+			}
+		}
+	}
+	detected, err := RunSupervised(scfg)
+	if err != nil {
+		t.Fatalf("detector-observed kill run failed (report: %s): %v", detected.Report, err)
+	}
+	if detected.Report.Remaps+detected.Report.Evictions == 0 {
+		t.Fatalf("opaque kill was never recovered: %s", detected.Report)
+	}
+
+	if len(scripted.Digests) != len(detected.Digests) {
+		t.Fatalf("phase counts diverge: scripted %d vs detected %d",
+			len(scripted.Digests), len(detected.Digests))
+	}
+	for ph := range scripted.Digests {
+		if scripted.Digests[ph] != detected.Digests[ph] {
+			t.Fatalf("phase %d depth digest diverges: scripted %#x vs detected %#x",
+				ph, scripted.Digests[ph], detected.Digests[ph])
+		}
+	}
+}

@@ -1,0 +1,329 @@
+package isx
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fabric"
+	"repro/internal/hiperckpt"
+	"repro/internal/job"
+	"repro/internal/modules"
+	"repro/internal/shmem"
+	"repro/internal/simnet"
+)
+
+// Supervised ISx: the unscripted counterpart of the elastic sort. The
+// same fixed logical key streams and the same per-phase byte-identical
+// digest proof, but nothing tells the driver which rank dies or when —
+// a seeded KillPlan crashes endpoints opaquely, a failed attempt's
+// digest mismatch is the only symptom, and job.Supervise recovers via
+// phi-accrual detection, checkpoint rollback, remap, and (when spares
+// run out) graceful eviction.
+//
+// Checkpoints are two-slot. Each attempt the body writes its advanced
+// accumulator to the rank's PENDING key — possibly garbage, since the
+// attempt has not been verified yet. Commit (after the digest proof)
+// promotes pending to COMMITTED; rollback discards every pending blob
+// and wipes in-memory state, so the next attempt restores all ranks
+// from the last committed phase. That two-slot protocol is what keeps a
+// failed attempt's corruption out of the recovery path.
+
+// pendingSuffix/committedSuffix name the two checkpoint slots.
+const (
+	isxCommitted = "isx-state"
+	isxPending   = "isx-pending"
+)
+
+// SuperviseConfig parameterizes a supervised elastic sort.
+type SuperviseConfig struct {
+	Streams       int
+	KeysPerStream int
+	Ranks         int // initial logical ranks
+	Capacity      int // table capacity; the transport is sized Capacity+1 (monitor)
+	Phases        int
+	Seed          int64
+	Cost          simnet.CostModel
+	Plan          fabric.FaultPlan
+	Rel           fabric.RelConfig
+	Det           fabric.DetectorConfig // Monitor is set by the driver
+	Kills         job.KillPlan
+	// Inject, when set, replaces Kills as the fault source: it receives
+	// the live table and a kill function and returns the per-attempt
+	// injector. Tests use it to target a specific rank and compare the
+	// detector-observed recovery against a scripted one.
+	Inject        func(tab *fabric.EpochTable, kill func(ep int)) func(phase, attempt int)
+	Workers       int
+	MinRanks      int
+	RestartBudget int
+	MaxAttempts   int
+}
+
+// SuperviseResult reports one supervised run. Report is always
+// populated, including on escalation errors.
+type SuperviseResult struct {
+	Variant    string
+	PhaseTimes []time.Duration
+	Digests    []uint64 // per committed phase
+	TotalKeys  int64
+	Report     *job.RecoveryReport
+}
+
+// RunSupervised runs the sort under detector-driven recovery and
+// verifies every committed phase byte-identical to the fabric-free
+// reference.
+func RunSupervised(cfg SuperviseConfig) (SuperviseResult, error) {
+	res := SuperviseResult{Variant: "supervised-shmem", Report: &job.RecoveryReport{}}
+	if cfg.Streams <= 0 || cfg.KeysPerStream <= 0 || cfg.Ranks < 2 || cfg.Phases <= 0 {
+		return res, fmt.Errorf("isx: supervised config incomplete: %+v", cfg)
+	}
+	if cfg.Capacity < cfg.Ranks {
+		cfg.Capacity = cfg.Ranks * 2
+	}
+	totalKeys := cfg.Streams * cfg.KeysPerStream
+	maxKey := int64(totalKeys)
+	ecfg := ElasticConfig{Streams: cfg.Streams, KeysPerStream: cfg.KeysPerStream, Seed: cfg.Seed}
+
+	// The transport carries Capacity application endpoints plus one
+	// monitor endpoint the heartbeats originate from; the epoch table —
+	// and therefore every application link — never touches the monitor.
+	tab := fabric.NewEpochTable(cfg.Ranks, cfg.Capacity)
+	chaos := fabric.NewChaos(fabric.NewSim(cfg.Capacity+1, cfg.Cost), cfg.Plan)
+	rel := fabric.NewReliable(chaos, cfg.Rel)
+	vt := fabric.NewVirtual(rel, tab)
+	world := shmem.NewWorldOver(vt)
+	cfg.Det.Monitor = cfg.Capacity
+	det := fabric.NewDetector(chaos, cfg.Det) // raw chaos: drops are real
+
+	recvBuf := world.AllocInt64(totalKeys)
+	recvCnt := world.AllocInt64(1)
+	store := hiperckpt.NewStore(hiperckpt.StoreConfig{})
+
+	buckets := make([][]int64, cfg.Capacity)
+	priv := make([][]float64, cfg.Capacity)
+	mods := make([]*hiperckpt.Module, cfg.Capacity)
+
+	var expectSorted, expectDigest float64
+
+	var errMu sync.Mutex
+	var phaseErr error
+	fail := func(err error) {
+		errMu.Lock()
+		if phaseErr == nil {
+			phaseErr = err
+		}
+		errMu.Unlock()
+	}
+
+	resetScratch := func() {
+		for r := 0; r < cfg.Capacity; r++ {
+			recvCnt.Local(r)[0] = 0
+			buckets[r] = nil
+		}
+	}
+
+	kill := func(ep int) { chaos.Kill(ep) }
+	inject := cfg.Kills.Injector(tab, kill)
+	if cfg.Inject != nil {
+		inject = cfg.Inject(tab, kill)
+	}
+	spec := job.SuperviseSpec{
+		WorkersPerRank: cfg.Workers,
+		NVM:            true,
+		Table:          tab,
+		Detector:       det,
+		Phases:         cfg.Phases,
+		MinRanks:       cfg.MinRanks,
+		RestartBudget:  cfg.RestartBudget,
+		MaxAttempts:    cfg.MaxAttempts,
+		Inject:         inject,
+	}
+
+	spec.OnRollback = func(phase, attempt int, suspects []int) {
+		// Discard the attempt wholesale: clear the sticky error, wipe
+		// every rank's in-memory state and pending checkpoint, reset the
+		// shared scratch. The next attempt restores from committed.
+		errMu.Lock()
+		phaseErr = nil
+		errMu.Unlock()
+		for r := 0; r < cfg.Capacity; r++ {
+			priv[r] = nil
+			store.DeleteBlob(hiperckpt.RankKey(r, isxPending))
+		}
+		resetScratch()
+	}
+
+	spec.OnCommit = func(phase int) error {
+		for r := 0; r < tab.Ranks(); r++ {
+			pkey := hiperckpt.RankKey(r, isxPending)
+			blob, ok := store.ReadBlob(pkey)
+			if !ok {
+				return fmt.Errorf("isx: phase %d rank %d verified but has no pending checkpoint", phase, r)
+			}
+			if err := store.WriteBlob(hiperckpt.RankKey(r, isxCommitted), blob); err != nil {
+				return err
+			}
+			store.DeleteBlob(pkey)
+		}
+		return nil
+	}
+
+	spec.OnEvent = func(ev job.ElasticEvent, oldEp, freshEp int) {
+		switch ev.Kind {
+		case "kill":
+			priv[ev.Rank] = nil
+		case "shrink":
+			// Eviction dropped the top logical rank; fold its committed
+			// state into the survivor owning its slot — the same
+			// redistribution protocol the scripted shrink uses.
+			newRanks := tab.Ranks()
+			for d := newRanks; d < newRanks+ev.Delta; d++ {
+				key := hiperckpt.RankKey(d, isxCommitted)
+				blob, ok := store.ReadBlob(key)
+				if !ok {
+					continue
+				}
+				t := d % newRanks
+				tkey := hiperckpt.RankKey(t, isxCommitted)
+				tb, _ := store.ReadBlob(tkey)
+				if tb == nil {
+					tb = []float64{0, 0}
+				}
+				tb[0] += blob[0]
+				tb[1] += blob[1]
+				if err := store.WriteBlob(tkey, tb); err == nil {
+					store.DeleteBlob(key)
+				}
+				priv[d] = nil
+			}
+		}
+	}
+
+	var phaseStart time.Time
+	spec.AfterPhase = func(phase int) error {
+		errMu.Lock()
+		err := phaseErr
+		errMu.Unlock()
+		if err != nil {
+			return err
+		}
+		ranks := tab.Ranks()
+		h := uint64(0)
+		var got int
+		for r := 0; r < ranks; r++ {
+			h = fnv1a64(h, buckets[r])
+			got += len(buckets[r])
+		}
+		if got != totalKeys {
+			return fmt.Errorf("isx: phase %d sorted %d keys, want %d", phase, got, totalKeys)
+		}
+		if want := referenceSortDigest(ecfg, phase, maxKey); h != want {
+			return fmt.Errorf("isx: phase %d digest %#x != reference %#x (result not byte-identical)", phase, h, want)
+		}
+		// Verified: record the phase and accrue the balance expectation
+		// (commit promotes the checkpoints right after we return nil).
+		for r := 0; r < ranks; r++ {
+			expectDigest += fold48(fnv1a64(0, buckets[r]))
+		}
+		res.Digests = append(res.Digests, h)
+		res.PhaseTimes = append(res.PhaseTimes, time.Since(phaseStart))
+		res.TotalKeys += int64(got)
+		expectSorted += float64(totalKeys)
+		resetScratch()
+		return nil
+	}
+
+	setup := func(p *job.Proc) error {
+		if p.Rank == 0 {
+			phaseStart = time.Now()
+		}
+		mods[p.Rank] = hiperckpt.New(store)
+		return modules.Install(p.RT, mods[p.Rank])
+	}
+
+	body := func(p *job.Proc, c *core.Ctx) {
+		r := p.Rank
+		ranks := world.Size()
+		pe := world.PE(r)
+		m := mods[r]
+
+		// Recover or initialize. Restored is set on every rank after a
+		// rollback; a rank with no committed checkpoint yet (phase 0
+		// failed before anything committed) starts from zero — phase 0
+		// is recomputed from the seed, so nothing is lost.
+		st := priv[r]
+		if p.Restored {
+			if st != nil {
+				fail(fmt.Errorf("isx: rank %d restored but memory survived the rollback", r))
+			}
+			if blob, ok := m.Restore(c, hiperckpt.RankKey(r, isxCommitted)); ok {
+				st = blob
+			}
+		}
+		if st == nil {
+			st = []float64{0, 0}
+		}
+
+		for s := r; s < cfg.Streams; s += ranks {
+			keys := streamKeys(cfg.Seed, s, p.Phase, cfg.KeysPerStream, maxKey)
+			chunks := make([][]int64, ranks)
+			for _, k := range keys {
+				o := keyOwner(maxKey, ranks, k)
+				chunks[o] = append(chunks[o], k)
+			}
+			for dst := 0; dst < ranks; dst++ {
+				if len(chunks[dst]) == 0 {
+					continue
+				}
+				off := pe.FetchAdd(recvCnt, dst, 0, int64(len(chunks[dst])))
+				pe.Put(recvBuf, dst, int(off), chunks[dst])
+			}
+		}
+		pe.BarrierAll()
+
+		cnt := int(recvCnt.Local(r)[0])
+		mine := append([]int64(nil), recvBuf.Local(r)[:cnt]...)
+		lo, hi := bucketBounds(maxKey, ranks, r)
+		countingSort(mine, lo, hi-lo)
+		if err := verifyRange(r, mine, lo, hi); err != nil {
+			fail(err)
+			return
+		}
+		buckets[r] = mine
+
+		// Advance the accumulator and persist it to the PENDING slot —
+		// this attempt is not yet verified, and the commit protocol is
+		// what keeps a corrupt attempt out of the committed state.
+		st[0] += float64(cnt)
+		st[1] += fold48(fnv1a64(0, mine))
+		priv[r] = st
+		f := m.CheckpointAsync(c, hiperckpt.RankKey(r, isxPending), st)
+		c.Wait(f)
+	}
+
+	rep, err := job.Supervise(spec, setup, body)
+	res.Report = rep
+	if err != nil {
+		return res, err
+	}
+	if phaseErr != nil {
+		return res, phaseErr
+	}
+
+	// Global balance: per-rank accumulators, however remapped and
+	// evicted, must sum to exactly what the committed phases produced.
+	var gotSorted, gotDigest float64
+	for r := 0; r < cfg.Capacity; r++ {
+		if priv[r] != nil {
+			gotSorted += priv[r][0]
+			gotDigest += priv[r][1]
+		}
+	}
+	if gotSorted != expectSorted || gotDigest != expectDigest {
+		return res, fmt.Errorf(
+			"isx: accumulator imbalance after supervision: sorted %v/%v digest %v/%v",
+			gotSorted, expectSorted, gotDigest, expectDigest)
+	}
+	return res, nil
+}

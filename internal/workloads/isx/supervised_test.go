@@ -1,0 +1,179 @@
+package isx
+
+import (
+	"os"
+	"strconv"
+	"testing"
+	"time"
+
+	"repro/internal/fabric"
+	"repro/internal/job"
+)
+
+// chaosSeedFromEnv mirrors the fabric test helper: the Makefile's chaos
+// seed matrix overrides the default fault seed via HIPER_CHAOS_SEED.
+func chaosSeedFromEnv(t testing.TB, def uint64) uint64 {
+	t.Helper()
+	s := os.Getenv("HIPER_CHAOS_SEED")
+	if s == "" {
+		return def
+	}
+	v, err := strconv.ParseUint(s, 10, 64)
+	if err != nil {
+		t.Fatalf("HIPER_CHAOS_SEED=%q: %v", s, err)
+	}
+	return v
+}
+
+func supervisedTestConfig(seed uint64) SuperviseConfig {
+	return SuperviseConfig{
+		Streams:       8,
+		KeysPerStream: 256,
+		Ranks:         3,
+		Capacity:      8,
+		Phases:        4,
+		Seed:          1234,
+		Plan:          fabric.FaultPlan{Seed: seed, Drop: 0.05, Dup: 0.05},
+		Rel: fabric.RelConfig{
+			RetryBase:    50 * time.Microsecond,
+			RetryCap:     200 * time.Microsecond,
+			MaxAttempts:  12,
+			DeathSilence: 100 * time.Millisecond,
+		},
+		Kills:   job.KillPlan{Seed: seed + 1000, Prob: 0.9, Max: 2},
+		Workers: 1,
+	}
+}
+
+// TestSupervisedSortSurvivesUnscriptedKills is the ISSUE's end-to-end
+// self-healing ISx proof: 5% drop + 5% dup chaos on every link plus a
+// seeded KillPlan that crashes endpoints without telling anyone. The
+// only symptoms are failed digests; the supervisor must detect the
+// victims by phi-accrual, roll back to the committed checkpoint, remap
+// or evict, and still produce every phase byte-identical to the
+// fabric-free reference.
+func TestSupervisedSortSurvivesUnscriptedKills(t *testing.T) {
+	seed := chaosSeedFromEnv(t, 42)
+	cfg := supervisedTestConfig(seed)
+	killed := 0
+	kills := cfg.Kills
+	cfg.Inject = func(tab *fabric.EpochTable, kill func(ep int)) func(phase, attempt int) {
+		return kills.Injector(tab, func(ep int) { killed++; kill(ep) })
+	}
+	res, err := RunSupervised(cfg)
+	if err != nil {
+		t.Fatalf("supervised run failed (report: %s): %v", res.Report, err)
+	}
+	if len(res.Digests) != cfg.Phases {
+		t.Fatalf("committed %d phases, want %d", len(res.Digests), cfg.Phases)
+	}
+	wantKeys := int64(cfg.Phases * cfg.Streams * cfg.KeysPerStream)
+	if res.TotalKeys != wantKeys {
+		t.Fatalf("sorted %d keys, want %d", res.TotalKeys, wantKeys)
+	}
+	ecfg := ElasticConfig{Streams: cfg.Streams, KeysPerStream: cfg.KeysPerStream, Seed: cfg.Seed}
+	maxKey := int64(cfg.Streams * cfg.KeysPerStream)
+	for ph, d := range res.Digests {
+		if want := referenceSortDigest(ecfg, ph, maxKey); d != want {
+			t.Fatalf("phase %d digest %#x != reference %#x", ph, d, want)
+		}
+	}
+	if killed == 0 {
+		t.Skipf("kill plan never fired under seed %d; self-healing not exercised", seed)
+	}
+	// A killed endpoint stays dead: the run can only have completed by
+	// detecting each victim and remapping or evicting it.
+	rep := res.Report
+	if rep.Retries == 0 || rep.Remaps+rep.Evictions == 0 {
+		t.Fatalf("%d kills fired but the report shows no recovery: %s", killed, rep)
+	}
+	if len(rep.Detections) == 0 {
+		t.Fatalf("kills recovered without detections: %s", rep)
+	}
+	for _, d := range rep.Detections {
+		if d.Rounds <= 0 || d.Latency <= 0 {
+			t.Fatalf("detection carries no latency: %+v", d)
+		}
+	}
+	if len(rep.Recoveries) == 0 {
+		t.Fatalf("no MTTR samples recorded: %s", rep)
+	}
+}
+
+// TestSupervisedSortReplays: detection latency and the whole recovery
+// transcript are a pure function of the seeds — two identical runs
+// produce identical reports.
+func TestSupervisedSortReplays(t *testing.T) {
+	seed := chaosSeedFromEnv(t, 42)
+	run := func() (SuperviseResult, error) {
+		cfg := supervisedTestConfig(seed)
+		cfg.Phases = 2
+		return RunSupervised(cfg)
+	}
+	a, errA := run()
+	b, errB := run()
+	if (errA == nil) != (errB == nil) {
+		t.Fatalf("replay diverged in outcome: %v vs %v", errA, errB)
+	}
+	if errA != nil {
+		t.Fatalf("supervised run failed: %v", errA)
+	}
+	ra, rb := a.Report, b.Report
+	if ra.Attempts != rb.Attempts || ra.Remaps != rb.Remaps || ra.Evictions != rb.Evictions ||
+		ra.FinalRanks != rb.FinalRanks || len(ra.Detections) != len(rb.Detections) {
+		t.Fatalf("recovery transcripts diverge:\n  %s\n  %s", ra, rb)
+	}
+	for i := range ra.Detections {
+		da, db := ra.Detections[i], rb.Detections[i]
+		if da.Phase != db.Phase || da.Rank != db.Rank || da.Rounds != db.Rounds || da.Action != db.Action {
+			t.Fatalf("detection %d diverges: %+v vs %+v", i, da, db)
+		}
+	}
+}
+
+// TestSupervisedMatchesScriptedKill is the scripted-vs-detected
+// convergence proof: killing rank 1 after phase 0 via the elastic
+// script (the supervisor is TOLD who died) and killing the same rank's
+// endpoint opaquely (the supervisor must DETECT it) must both complete
+// and converge to byte-identical per-phase output.
+func TestSupervisedMatchesScriptedKill(t *testing.T) {
+	seed := chaosSeedFromEnv(t, 42)
+
+	ecfg := elasticTestConfig()
+	ecfg.Plan = fabric.FaultPlan{Seed: seed, Drop: 0.05, Dup: 0.05}
+	ecfg.Events = []job.ElasticEvent{{AfterPhase: 0, Kind: "kill", Rank: 1}}
+	scripted, err := RunElastic(ecfg)
+	if err != nil {
+		t.Fatalf("scripted kill run failed: %v", err)
+	}
+
+	scfg := supervisedTestConfig(seed)
+	scfg.Kills = job.KillPlan{} // replaced by the targeted injector
+	scfg.Inject = func(tab *fabric.EpochTable, kill func(ep int)) func(phase, attempt int) {
+		return func(phase, attempt int) {
+			// The same fault the script delivers after phase 0 — except
+			// nobody tells the supervisor.
+			if phase == 1 && attempt == 0 {
+				kill(tab.Endpoint(1))
+			}
+		}
+	}
+	detected, err := RunSupervised(scfg)
+	if err != nil {
+		t.Fatalf("detector-observed kill run failed (report: %s): %v", detected.Report, err)
+	}
+	if detected.Report.Remaps+detected.Report.Evictions == 0 {
+		t.Fatalf("opaque kill was never recovered: %s", detected.Report)
+	}
+
+	if len(scripted.Digests) != len(detected.Digests) {
+		t.Fatalf("phase counts diverge: scripted %d vs detected %d",
+			len(scripted.Digests), len(detected.Digests))
+	}
+	for ph := range scripted.Digests {
+		if scripted.Digests[ph] != detected.Digests[ph] {
+			t.Fatalf("phase %d output diverges: scripted %#x vs detected %#x",
+				ph, scripted.Digests[ph], detected.Digests[ph])
+		}
+	}
+}
